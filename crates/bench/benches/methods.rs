@@ -1,0 +1,62 @@
+//! Per-tile method benchmarks: one representative mid-density tile, all
+//! four paper methods plus the DP reference — the per-tile costs behind
+//! the CPU columns of Tables 1 and 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pilfill_core::flow::{FlowConfig, FlowContext};
+use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
+use pilfill_core::TileProblem;
+use pilfill_layout::synth::{synthesize, SynthConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Picks the tile with the most paired capacity (the hardest instance).
+fn representative_tile() -> (TileProblem, u32) {
+    let design = synthesize(&SynthConfig::t2());
+    let cfg = FlowConfig::new(32_000, 2).expect("config");
+    let ctx = FlowContext::build(&design, &cfg).expect("context");
+    let problem = ctx
+        .problems()
+        .iter()
+        .max_by_key(|p| {
+            p.columns
+                .iter()
+                .filter(|c| c.distance.is_some())
+                .map(|c| c.capacity() as u64)
+                .sum::<u64>()
+        })
+        .expect("at least one tile")
+        .clone();
+    let budget = (problem.capacity() / 2) as u32;
+    (problem, budget)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let (tile, budget) = representative_tile();
+    let mut group = c.benchmark_group("tile_methods");
+    group.sample_size(20);
+    let methods: Vec<(&str, &dyn FillMethod)> = vec![
+        ("normal", &NormalFill),
+        ("greedy", &GreedyFill),
+        ("ilp1", &IlpOne),
+        ("ilp2", &IlpTwo),
+        ("dp_exact", &DpExact),
+    ];
+    for (name, method) in methods {
+        group.bench_function(
+            format!("{name}_cols{}_budget{budget}", tile.columns.len()),
+            |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    method
+                        .place(&tile, budget, false, &mut rng)
+                        .expect("placement")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

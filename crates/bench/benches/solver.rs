@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the LP/MILP solver on MDFC-shaped instances
+//! (the CPLEX-substitute whose runtime dominates the ILP-II CPU columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pilfill_solver::{Model, Objective, Sense};
+
+/// Builds an ILP-II-shaped model: `k` columns with one-hot binaries over
+/// capacities `cap`, convex costs, one budget row.
+fn ilp2_shaped(k: usize, cap: u32, budget: f64) -> Model {
+    let mut m = Model::new(Objective::Minimize);
+    let mut budget_terms = Vec::new();
+    for col in 0..k {
+        let alpha = 1.0 + (col % 7) as f64 * 0.31;
+        let vars: Vec<_> = (0..=cap)
+            .map(|n| {
+                // Convex in n, like the exact capacitance table.
+                let cost = alpha * (n as f64) / (cap as f64 + 1.0 - n as f64);
+                m.add_binary_var(cost)
+            })
+            .collect();
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
+        budget_terms.extend(vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
+    }
+    m.add_constraint(budget_terms, Sense::Eq, budget);
+    m
+}
+
+/// An ILP-I-shaped model: integer counts, linear costs, one budget row.
+fn ilp1_shaped(k: usize, cap: u32, budget: f64) -> Model {
+    let mut m = Model::new(Objective::Minimize);
+    let vars: Vec<_> = (0..k)
+        .map(|col| {
+            let cost = 1.0 + (col % 7) as f64 * 0.31;
+            m.add_integer_var(0.0, cap as f64, cost)
+        })
+        .collect();
+    m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Eq, budget);
+    m
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    for (k, cap) in [(20usize, 4u32), (60, 6)] {
+        let budget = (k as f64 * cap as f64 * 0.5).floor();
+        group.bench_function(format!("ilp2_shape_k{k}_cap{cap}"), |b| {
+            b.iter(|| {
+                ilp2_shaped(k, cap, budget)
+                    .solve()
+                    .expect("feasible model")
+            })
+        });
+        group.bench_function(format!("ilp1_shape_k{k}_cap{cap}"), |b| {
+            b.iter(|| {
+                ilp1_shaped(k, cap, budget)
+                    .solve()
+                    .expect("feasible model")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_relaxation(c: &mut Criterion) {
+    c.bench_function("lp_relaxation_k60_cap6", |b| {
+        let budget = 180.0;
+        b.iter(|| ilp2_shaped(60, 6, budget).solve_lp().expect("lp"))
+    });
+}
+
+criterion_group!(benches, bench_solver, bench_lp_relaxation);
+criterion_main!(benches);

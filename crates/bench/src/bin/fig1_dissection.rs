@@ -1,0 +1,59 @@
+//! Regenerates **Figure 1** of the paper as data: the fixed r-dissection
+//! framework. Prints tile/window counts for the experiment grid and an
+//! ASCII rendering of a small r = 3 dissection like the paper's figure.
+//!
+//! Usage: `cargo run --release -p pilfill-bench --bin fig1_dissection`
+
+use pilfill_bench::{t1, t2, windows_and_r};
+use pilfill_density::FixedDissection;
+use pilfill_geom::Rect;
+
+fn main() {
+    // The paper's illustration: an n x n layout, r = 3.
+    let die = Rect::new(0, 0, 9_000, 9_000);
+    let dis = FixedDissection::new(die, 3_000, 3).expect("r=3 dissection");
+    println!("Figure 1: fixed r-dissection (r = 3, window = 3000 dbu)");
+    println!(
+        "  layout {}x{} dbu -> {}x{} tiles of {} dbu, {} overlapping windows\n",
+        die.width(),
+        die.height(),
+        dis.tiles().nx(),
+        dis.tiles().ny(),
+        dis.tile_size(),
+        dis.windows().count()
+    );
+    // ASCII: tiles as cells; one window (anchor 1,1) marked.
+    let marked: Vec<(usize, usize)> = dis
+        .windows()
+        .nth(dis.tiles().nx() - 2 + 1)
+        .map(|w| w.tiles().collect())
+        .unwrap_or_default();
+    for iy in (0..dis.tiles().ny()).rev() {
+        let mut line = String::new();
+        for ix in 0..dis.tiles().nx() {
+            line.push_str(if marked.contains(&(ix, iy)) { "[#]" } else { "[ ]" });
+        }
+        println!("  {line}");
+    }
+    println!("  (# = one w x w window = r x r = 9 tiles)\n");
+
+    println!("Experiment-grid dissections:");
+    println!(
+        "  {:<10} {:>9} {:>4} {:>10} {:>8} {:>9}",
+        "T/W/r", "window", "r", "tile", "tiles", "windows"
+    );
+    for design in [t1(), t2()] {
+        for (label, window, r) in windows_and_r() {
+            let dis = FixedDissection::new(design.die, window, r).expect("valid dissection");
+            println!(
+                "  {:<10} {:>9} {:>4} {:>10} {:>8} {:>9}",
+                format!("{}/{}/{}", design.name, label, r),
+                window,
+                r,
+                dis.tile_size(),
+                dis.num_tiles(),
+                dis.windows().count()
+            );
+        }
+    }
+}

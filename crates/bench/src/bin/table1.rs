@@ -1,0 +1,30 @@
+//! Regenerates **Table 1** of the paper: non-weighted PIL-Fill synthesis —
+//! total delay increase and per-method CPU time for Normal / ILP-I /
+//! ILP-II / Greedy over the T{1,2} x W{32,20} x r{2,4,8} grid.
+//!
+//! Usage: `cargo run --release -p pilfill-bench --bin table1 [--smoke]`
+//!
+//! Results are printed and written to `results/table1.csv`.
+
+use pilfill_bench::{render_rows, run_grid, t1, t2, write_csv, Grid};
+use std::path::Path;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let grid = if smoke {
+        Grid::smoke(false)
+    } else {
+        Grid::paper(false)
+    };
+    let mut rows = Vec::new();
+    for design in [t1(), t2()] {
+        let got = run_grid(&design, &grid, &mut |msg| eprintln!("[table1] {msg}"))
+            .expect("experiment grid must run");
+        rows.extend(got);
+    }
+    println!("\nTable 1: non-weighted PIL-Fill synthesis (tau in fs)\n");
+    println!("{}", render_rows(&rows, false));
+    let path = Path::new("results/table1.csv");
+    write_csv(&rows, path).expect("write csv");
+    eprintln!("[table1] wrote {}", path.display());
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 2** of the paper: weighted PIL-Fill synthesis — the
+//! same grid as Table 1 with the downstream-sink-weighted objective and
+//! metric.
+//!
+//! Usage: `cargo run --release -p pilfill-bench --bin table2 [--smoke]`
+//!
+//! Results are printed and written to `results/table2.csv`.
+
+use pilfill_bench::{render_rows, run_grid, t1, t2, write_csv, Grid};
+use std::path::Path;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let grid = if smoke {
+        Grid::smoke(true)
+    } else {
+        Grid::paper(true)
+    };
+    let mut rows = Vec::new();
+    for design in [t1(), t2()] {
+        let got = run_grid(&design, &grid, &mut |msg| eprintln!("[table2] {msg}"))
+            .expect("experiment grid must run");
+        rows.extend(got);
+    }
+    println!("\nTable 2: weighted PIL-Fill synthesis (weighted tau in fs)\n");
+    println!("{}", render_rows(&rows, true));
+    let path = Path::new("results/table2.csv");
+    write_csv(&rows, path).expect("write csv");
+    eprintln!("[table2] wrote {}", path.display());
+}

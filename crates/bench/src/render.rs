@@ -1,0 +1,152 @@
+//! Text and CSV rendering of experiment rows in the paper's table format.
+
+use crate::experiments::ExperimentRow;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders rows as an aligned text table mirroring the paper's Tables 1/2.
+///
+/// `weighted` selects which delay metric fills the tau columns; delays are
+/// printed in femtoseconds (the synthetic testbed is macro-block scale, so
+/// absolute magnitudes are smaller than the paper's — see EXPERIMENTS.md).
+pub fn render_rows(rows: &[ExperimentRow], weighted: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} | {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>9} {:>7}",
+        "T/W/r", "budget", "Normal", "ILP-I", "CPU", "ILP-II", "CPU", "Greedy", "CPU"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    for row in rows {
+        let tau = |i: usize| -> f64 {
+            let m = &row.methods[i];
+            let t = if weighted {
+                m.weighted_delay
+            } else {
+                m.total_delay
+            };
+            t * 1e15 // seconds -> fs
+        };
+        let cpu = |i: usize| row.methods[i].cpu.as_secs_f64() * 1e3; // ms
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} | {:>9.2} | {:>9.2} {:>5.0}ms | {:>9.2} {:>5.0}ms | {:>9.2} {:>5.0}ms",
+            format!("{}/{}/{}", row.testcase, row.window_label, row.r),
+            row.budget,
+            tau(0),
+            tau(1),
+            cpu(1),
+            tau(2),
+            cpu(2),
+            tau(3),
+            cpu(3),
+        );
+    }
+    out
+}
+
+/// Writes rows as CSV (one line per method per grid cell).
+///
+/// # Errors
+///
+/// Any I/O error creating or writing the file.
+pub fn write_csv(rows: &[ExperimentRow], path: &Path) -> std::io::Result<()> {
+    let mut out = String::from(
+        "testcase,window,r,budget,method,total_delay_s,weighted_delay_s,cpu_s,placed,shortfall,min_density_after\n",
+    );
+    for row in rows {
+        for m in &row.methods {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6e},{:.6e},{:.4},{},{},{:.6}",
+                row.testcase,
+                row.window_label,
+                row.r,
+                row.budget,
+                m.method,
+                m.total_delay,
+                m.weighted_delay,
+                m.cpu.as_secs_f64(),
+                m.placed,
+                m.shortfall,
+                m.min_density_after,
+            );
+        }
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, out)
+}
+
+/// Percentage reduction of `value` relative to `baseline` (positive =
+/// better than baseline).
+pub fn reduction_pct(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    100.0 * (baseline - value) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::MethodResult;
+    use std::time::Duration;
+
+    fn row() -> ExperimentRow {
+        let m = |name: &'static str, t: f64| MethodResult {
+            method: name,
+            total_delay: t,
+            weighted_delay: t * 3.0,
+            cpu: Duration::from_millis(250),
+            placed: 100,
+            shortfall: 0,
+            min_density_after: 0.3,
+        };
+        ExperimentRow {
+            testcase: "T1".into(),
+            window_label: 32,
+            r: 2,
+            budget: 100,
+            methods: vec![
+                m("Normal", 1e-10),
+                m("ILP-I", 8e-11),
+                m("ILP-II", 2e-11),
+                m("Greedy", 7e-11),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_table_contains_row_and_header() {
+        let s = render_rows(&[row()], false);
+        assert!(s.contains("T1/32/2"));
+        assert!(s.contains("Normal"));
+        assert!(s.contains("100000.00")); // 1e-10 s = 100000 fs
+    }
+
+    #[test]
+    fn weighted_rendering_uses_weighted_metric() {
+        let s = render_rows(&[row()], true);
+        assert!(s.contains("300000.00"));
+    }
+
+    #[test]
+    fn csv_round_trips_line_count() {
+        let dir = std::env::temp_dir().join("pilfill-bench-test");
+        let path = dir.join("t.csv");
+        write_csv(&[row()], &path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 1 + 4);
+        assert!(text.starts_with("testcase,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reduction_pct_basics() {
+        assert_eq!(reduction_pct(100.0, 10.0), 90.0);
+        assert_eq!(reduction_pct(0.0, 5.0), 0.0);
+        assert!(reduction_pct(50.0, 75.0) < 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The experiment testcases: synthesized stand-ins for the paper's
+//! industry layouts T1 and T2 (see `DESIGN.md`, substitution 1), plus the
+//! `W`/`r` grid of Tables 1 and 2.
+
+use pilfill_geom::Coord;
+use pilfill_layout::synth::{synthesize, SynthConfig};
+use pilfill_layout::Design;
+
+/// The T1 stand-in: larger and denser, so per-tile ILPs are bigger and
+/// runtimes longer — matching the paper's T1-slower-than-T2 ordering.
+pub fn t1() -> Design {
+    synthesize(&SynthConfig::t1())
+}
+
+/// The T2 stand-in: smaller and sparser, with more low-density area for
+/// the budgeter to fill.
+pub fn t2() -> Design {
+    synthesize(&SynthConfig::t2())
+}
+
+/// The `(window, r)` grid of Tables 1 and 2. The paper labels window sizes
+/// "32" and "20"; we interpret them in kdbu (32 000 and 20 000 dbu), both
+/// divisible by every `r` in the grid.
+pub fn windows_and_r() -> Vec<(u32, Coord, usize)> {
+    let mut out = Vec::new();
+    for (label, window) in [(32u32, 32_000i64), (20, 20_000)] {
+        for r in [2usize, 4, 8] {
+            out.push((label, window, r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testcases_are_valid_and_distinct() {
+        let a = t1();
+        let b = t2();
+        assert!(a.validate().is_ok());
+        assert!(b.validate().is_ok());
+        assert!(a.die.area() > b.die.area());
+    }
+
+    #[test]
+    fn grid_matches_paper_shape() {
+        let g = windows_and_r();
+        assert_eq!(g.len(), 6);
+        for (_, w, r) in g {
+            assert_eq!(w % r as i64, 0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `pilfill` — the PIL-Fill command-line tool.
+//!
+//! ```sh
+//! pilfill synth --preset t2 --out t2.pfl --svg t2.svg
+//! pilfill fill t2.pfl --window 32000 --r 2 --method ilp2 --gds t2_filled.gds
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use commands::{dispatch, CliError};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match Args::parse(raw) {
+        Ok(parsed) => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            match dispatch(&parsed, &mut lock) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("pilfill: {e}");
+                    exit_code(&e)
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("pilfill: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn exit_code(e: &CliError) -> i32 {
+    match e {
+        CliError::Args(_) | CliError::UnknownCommand(_) | CliError::UnknownChoice { .. } => 2,
+        CliError::Io(_) => 3,
+        CliError::Tool(_) => 1,
+    }
+}

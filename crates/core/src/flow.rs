@@ -1,0 +1,662 @@
+//! End-to-end PIL-Fill flow: density analysis, fill budgeting, per-tile
+//! MDFC solving and exact evaluation — the pipeline behind every row of
+//! the paper's Tables 1 and 2.
+
+use crate::methods::{FillMethod, MethodError};
+use crate::{
+    build_tile_problems, evaluate_placement, extract_active_lines, scan_slack_columns,
+    DelayImpact, FillFeature, SlackColumnDef, TileProblem,
+};
+use pilfill_density::{
+    lp_budget, montecarlo_budget, BudgetError, DensityAnalysis, DensityMap, DissectionError,
+    FixedDissection,
+};
+use pilfill_geom::Coord;
+use pilfill_layout::{Design, LayerId, LayoutError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Configuration of one flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Fill target layer.
+    pub layer: LayerId,
+    /// Density window size in dbu (the paper's `w`).
+    pub window: Coord,
+    /// Dissection parameter (the paper's `r`).
+    pub r: usize,
+    /// Slack-column definition for the per-tile problems.
+    pub def: SlackColumnDef,
+    /// Optimize the weighted objective (Table 2) instead of the unweighted
+    /// one (Table 1). Evaluation always reports both.
+    pub weighted: bool,
+    /// Window-density upper bound for budgeting.
+    pub max_density: f64,
+    /// Seed for stochastic methods (Normal fill).
+    pub seed: u64,
+    /// Use the exact LP for budgeting instead of the Monte-Carlo greedy
+    /// (only sensible for small tile grids).
+    pub lp_budget: bool,
+}
+
+impl FlowConfig {
+    /// A default configuration for the given window size and dissection:
+    /// SlackColumn-III, unweighted objective, Monte-Carlo budgeting, 33%
+    /// density bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Dissection`] if `window` is not positive and
+    /// divisible by `r`.
+    pub fn new(window: Coord, r: usize) -> Result<Self, FlowError> {
+        if window <= 0 || r == 0 || window % r as Coord != 0 {
+            return Err(FlowError::Dissection(DissectionError::InvalidWindow {
+                window,
+                r,
+            }));
+        }
+        Ok(Self {
+            layer: LayerId(0),
+            window,
+            r,
+            def: SlackColumnDef::Three,
+            weighted: false,
+            max_density: 0.33,
+            seed: 0xF111,
+            lp_budget: false,
+        })
+    }
+}
+
+/// Error from the end-to-end flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Invalid dissection parameters.
+    Dissection(DissectionError),
+    /// Layout/topology problem.
+    Layout(LayoutError),
+    /// Fill budgeting failed.
+    Budget(BudgetError),
+    /// A per-tile method failed.
+    Method(MethodError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Dissection(e) => write!(f, "dissection: {e}"),
+            FlowError::Layout(e) => write!(f, "layout: {e}"),
+            FlowError::Budget(e) => write!(f, "budget: {e}"),
+            FlowError::Method(e) => write!(f, "method: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<DissectionError> for FlowError {
+    fn from(e: DissectionError) -> Self {
+        FlowError::Dissection(e)
+    }
+}
+impl From<LayoutError> for FlowError {
+    fn from(e: LayoutError) -> Self {
+        FlowError::Layout(e)
+    }
+}
+impl From<BudgetError> for FlowError {
+    fn from(e: BudgetError) -> Self {
+        FlowError::Budget(e)
+    }
+}
+impl From<MethodError> for FlowError {
+    fn from(e: MethodError) -> Self {
+        FlowError::Method(e)
+    }
+}
+
+/// Everything a flow run produces.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Method name.
+    pub method: &'static str,
+    /// Exact delay impact of the placement.
+    pub impact: DelayImpact,
+    /// Total features prescribed by the density budget.
+    pub budget_total: u64,
+    /// Features actually placed.
+    pub placed_features: u64,
+    /// Budgeted features that could not be placed (capacity shortfall —
+    /// non-zero mainly under SlackColumn-I).
+    pub shortfall: u64,
+    /// Window-density analysis before fill.
+    pub density_before: DensityAnalysis,
+    /// Window-density analysis after fill.
+    pub density_after: DensityAnalysis,
+    /// The placed fill features (for export / rendering).
+    pub features: Vec<FillFeature>,
+    /// Wall-clock time spent in the per-tile placement method.
+    pub solve_time: Duration,
+    /// Number of tiles in the dissection.
+    pub tiles: usize,
+}
+
+/// Precomputed, method-independent flow state: everything up to (and
+/// including) the fill budget. Build once per (design, config) and run
+/// several methods against it without repaying the setup cost.
+///
+/// Algorithms are written for horizontally routed layers; when the target
+/// layer routes vertically, the context works on the transposed design and
+/// transposes placed features back into the original frame.
+#[derive(Debug, Clone)]
+pub struct FlowContext {
+    /// The design in the working frame (transposed for vertical layers).
+    frame_design: Design,
+    /// `true` when the working frame is the transpose of the input.
+    transposed: bool,
+    dissection: FixedDissection,
+    lines: Vec<crate::ActiveLine>,
+    columns: Vec<crate::SlackColumn>,
+    problems: Vec<TileProblem>,
+    budget: pilfill_density::FillBudget,
+    budget_total: u64,
+    density_before: DensityAnalysis,
+    density_map: DensityMap,
+}
+
+impl FlowContext {
+    /// Builds the context: extraction, scan, tile problems, density map and
+    /// fill budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn build(design: &Design, config: &FlowConfig) -> Result<Self, FlowError> {
+        // Work in a frame where the target layer routes horizontally.
+        let transposed = design
+            .layers
+            .get(config.layer.0)
+            .map(|l| l.dir.is_vertical())
+            .unwrap_or(false);
+        let frame_design = if transposed {
+            design.transposed()
+        } else {
+            design.clone()
+        };
+        let design = &frame_design;
+        let dissection = FixedDissection::new(design.die, config.window, config.r)?;
+        let lines = extract_active_lines(design, config.layer)?;
+        let columns = scan_slack_columns(&lines, design.die, design.rules);
+
+        // Per-tile capacity for budgeting always uses definition III (the
+        // physical truth); the method may then be run under a weaker
+        // definition and take a shortfall.
+        let problems_three = build_tile_problems(
+            &lines,
+            &columns,
+            &dissection,
+            &design.tech,
+            design.rules,
+            SlackColumnDef::Three,
+        );
+        let slack: Vec<u32> = problems_three
+            .iter()
+            .map(|p| p.capacity().min(u32::MAX as u64) as u32)
+            .collect();
+
+        let density_map = DensityMap::compute(design, config.layer, &dissection);
+        let density_before = density_map.analyze();
+        let feature_area = design.rules.feature_area();
+        let budget = if config.lp_budget {
+            lp_budget(&density_map, &slack, feature_area, config.max_density)?
+        } else {
+            montecarlo_budget(&density_map, &slack, feature_area, config.max_density)?
+        };
+        let budget_total = budget.total();
+
+        let problems = if config.def == SlackColumnDef::Three {
+            problems_three
+        } else {
+            build_tile_problems(
+                &lines,
+                &columns,
+                &dissection,
+                &design.tech,
+                design.rules,
+                config.def,
+            )
+        };
+
+        Ok(Self {
+            frame_design,
+            transposed,
+            dissection,
+            lines,
+            columns,
+            problems,
+            budget,
+            budget_total,
+            density_before,
+            density_map,
+        })
+    }
+
+    /// The design in the working frame (transposed when the target layer
+    /// routes vertically).
+    pub fn frame_design(&self) -> &Design {
+        &self.frame_design
+    }
+
+    /// The per-tile problems (row-major).
+    pub fn problems(&self) -> &[TileProblem] {
+        &self.problems
+    }
+
+    /// The global slack columns.
+    pub fn columns(&self) -> &[crate::SlackColumn] {
+        &self.columns
+    }
+
+    /// The extracted active lines.
+    pub fn lines(&self) -> &[crate::ActiveLine] {
+        &self.lines
+    }
+
+    /// Total budgeted features.
+    pub fn budget_total(&self) -> u64 {
+        self.budget_total
+    }
+
+    /// Features budgeted for one tile.
+    pub fn budget_features(&self, cell: pilfill_geom::CellIndex) -> u32 {
+        self.budget.features(cell)
+    }
+
+    /// Runs one placement method against the prepared context, solving
+    /// tiles on `threads` worker threads. The result is identical to
+    /// [`FlowContext::run`] for any thread count: per-tile seeds depend
+    /// only on the tile index, and tile results are merged in tile order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Method`] if any tile solve fails.
+    pub fn run_parallel(
+        &self,
+        config: &FlowConfig,
+        method: &(dyn FillMethod + Sync),
+        threads: usize,
+    ) -> Result<FlowOutcome, FlowError> {
+        let threads = threads.max(1);
+        let n = self.problems.len();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type TileResult = Result<(usize, Vec<u32>, Duration), MethodError>;
+        let results: Vec<std::sync::Mutex<Option<TileResult>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let problem = &self.problems[i];
+                    let want = self.budget.features(problem.cell);
+                    let effective = (want as u64).min(problem.capacity()) as u32;
+                    let out: TileResult = if effective == 0 {
+                        Ok((i, vec![0; problem.columns.len()], Duration::ZERO))
+                    } else {
+                        let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
+                        let t0 = Instant::now();
+                        method
+                            .place(problem, effective, config.weighted, &mut rng)
+                            .map(|counts| (i, counts, t0.elapsed()))
+                    };
+                    *results[i].lock().expect("no poisoned tile lock") = Some(out);
+                });
+            }
+        });
+
+        let mut per_tile = Vec::with_capacity(n);
+        for slot in results {
+            let r = slot
+                .into_inner()
+                .expect("no poisoned tile lock")
+                .expect("every tile visited");
+            per_tile.push(r?);
+        }
+        self.assemble(method.name(), per_tile)
+    }
+
+    /// Runs one placement method against the prepared context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Method`] if a tile solve fails.
+    pub fn run(
+        &self,
+        config: &FlowConfig,
+        method: &dyn FillMethod,
+    ) -> Result<FlowOutcome, FlowError> {
+        let mut per_tile = Vec::with_capacity(self.problems.len());
+        for (i, problem) in self.problems.iter().enumerate() {
+            let want = self.budget.features(problem.cell);
+            let effective = (want as u64).min(problem.capacity()) as u32;
+            if effective == 0 {
+                per_tile.push((i, vec![0; problem.columns.len()], Duration::ZERO));
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
+            let t0 = Instant::now();
+            let counts = method.place(problem, effective, config.weighted, &mut rng)?;
+            per_tile.push((i, counts, t0.elapsed()));
+        }
+        self.assemble(method.name(), per_tile)
+    }
+
+    /// Merges per-tile assignments into features, density and impact.
+    fn assemble(
+        &self,
+        method_name: &'static str,
+        per_tile: Vec<(usize, Vec<u32>, Duration)>,
+    ) -> Result<FlowOutcome, FlowError> {
+        let design = &self.frame_design;
+        let mut features: Vec<FillFeature> = Vec::new();
+        let mut placed = 0u64;
+        let mut shortfall = 0u64;
+        let mut density_after_map = self.density_map.clone();
+        let feature_area = design.rules.feature_area();
+        let mut solve_time = Duration::ZERO;
+
+        for (i, counts, elapsed) in per_tile {
+            let problem = &self.problems[i];
+            let want = self.budget.features(problem.cell) as u64;
+            let tile_placed: u64 = counts.iter().map(|&m| m as u64).sum();
+            shortfall += want.saturating_sub(tile_placed);
+            solve_time += elapsed;
+            for (col, &m) in problem.columns.iter().zip(&counts) {
+                for &slot in col.slots.iter().take(m as usize) {
+                    features.push(FillFeature {
+                        x: col.feature_x,
+                        y: slot,
+                    });
+                }
+            }
+            placed += tile_placed;
+            density_after_map.add_tile_area(problem.cell, tile_placed as i64 * feature_area);
+        }
+
+        let impact = evaluate_placement(
+            &features,
+            &self.columns,
+            &self.lines,
+            design.die,
+            &design.tech,
+            design.rules,
+            design.nets.len(),
+        );
+
+        // Report features in the caller's frame.
+        if self.transposed {
+            for f in features.iter_mut() {
+                *f = FillFeature { x: f.y, y: f.x };
+            }
+        }
+
+        Ok(FlowOutcome {
+            method: method_name,
+            impact,
+            budget_total: self.budget_total,
+            placed_features: placed,
+            shortfall,
+            density_before: self.density_before,
+            density_after: density_after_map.analyze(),
+            features,
+            solve_time,
+            tiles: self.dissection.num_tiles(),
+        })
+    }
+}
+
+/// Per-tile RNG seed, independent of tile iteration order and thread
+/// scheduling.
+fn tile_seed(seed: u64, cell: pilfill_geom::CellIndex) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((cell.0 as u64) << 32) | cell.1 as u64)
+}
+
+/// Convenience wrapper: build a [`FlowContext`] and run one method.
+///
+/// # Errors
+///
+/// See [`FlowError`].
+pub fn run_flow(
+    design: &Design,
+    config: &FlowConfig,
+    method: &dyn FillMethod,
+) -> Result<FlowOutcome, FlowError> {
+    FlowContext::build(design, config)?.run(config, method)
+}
+
+/// Runs the flow for every layer of the design (the full-chip fill step:
+/// each layer gets its own dissection, budget and placement). `config`'s
+/// `layer` field is overridden per layer; all other settings are shared.
+///
+/// # Errors
+///
+/// Returns the first [`FlowError`] encountered.
+pub fn run_flow_all_layers(
+    design: &Design,
+    config: &FlowConfig,
+    method: &dyn FillMethod,
+) -> Result<Vec<(LayerId, FlowOutcome)>, FlowError> {
+    (0..design.layers.len())
+        .map(|li| {
+            let mut layer_config = config.clone();
+            layer_config.layer = LayerId(li);
+            let outcome = run_flow(design, &layer_config, method)?;
+            Ok((LayerId(li), outcome))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{DpExact, GreedyFill, IlpOne, IlpTwo, NormalFill};
+    use pilfill_layout::synth::{synthesize, SynthConfig};
+
+    fn design() -> Design {
+        synthesize(&SynthConfig::small_test(21))
+    }
+
+    fn config() -> FlowConfig {
+        FlowConfig::new(8_000, 2).expect("valid config")
+    }
+
+    #[test]
+    fn flow_places_full_budget_under_def_three() {
+        let d = design();
+        let outcome = run_flow(&d, &config(), &GreedyFill).expect("flow");
+        assert_eq!(outcome.shortfall, 0);
+        assert_eq!(outcome.placed_features, outcome.budget_total);
+        assert_eq!(outcome.impact.unlocated_features, 0);
+    }
+
+    #[test]
+    fn fill_improves_density_uniformity() {
+        let d = design();
+        let outcome = run_flow(&d, &config(), &NormalFill).expect("flow");
+        assert!(outcome.budget_total > 0, "test design needs fill");
+        assert!(
+            outcome.density_after.min_window_density
+                > outcome.density_before.min_window_density
+        );
+        assert!(outcome.density_after.max_window_density <= 0.35 + 1e-9);
+    }
+
+    #[test]
+    fn all_methods_share_density_quality() {
+        let d = design();
+        let cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let outcomes: Vec<FlowOutcome> = [
+            &NormalFill as &dyn crate::methods::FillMethod,
+            &GreedyFill,
+            &IlpOne,
+            &IlpTwo,
+        ]
+        .iter()
+        .map(|m| ctx.run(&cfg, *m).expect("run"))
+        .collect();
+        let reference = outcomes[0].density_after;
+        for o in &outcomes[1..] {
+            assert_eq!(o.placed_features, outcomes[0].placed_features);
+            assert!(
+                (o.density_after.min_window_density - reference.min_window_density).abs()
+                    < 1e-12,
+                "{}: density quality must be identical",
+                o.method
+            );
+        }
+    }
+
+    #[test]
+    fn method_ordering_matches_paper() {
+        let d = design();
+        let cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let run = |m: &dyn crate::methods::FillMethod| {
+            ctx.run(&cfg, m).expect("run").impact.total_delay
+        };
+        let normal = run(&NormalFill);
+        let greedy = run(&GreedyFill);
+        let ilp2 = run(&IlpTwo);
+        let dp = run(&DpExact);
+        // ILP-II optimizes the exact per-tile model: it must beat Normal
+        // and match the DP reference closely.
+        assert!(ilp2 <= normal + 1e-24, "ilp2 {ilp2} vs normal {normal}");
+        assert!(ilp2 <= greedy + 1e-24, "ilp2 {ilp2} vs greedy {greedy}");
+        assert!(
+            (ilp2 - dp).abs() <= 1e-9 * (1.0 + dp.abs()),
+            "ilp2 {ilp2} vs dp {dp}"
+        );
+        // Greedy should also improve on random placement.
+        assert!(greedy <= normal + 1e-24, "greedy {greedy} vs normal {normal}");
+    }
+
+    #[test]
+    fn def_one_takes_shortfall() {
+        let d = design();
+        let mut cfg = config();
+        cfg.def = SlackColumnDef::One;
+        let outcome = run_flow(&d, &cfg, &GreedyFill).expect("flow");
+        // Definition I wastes all boundary slack; on a sparse design the
+        // budget cannot fit.
+        assert!(
+            outcome.shortfall > 0,
+            "expected shortfall under SlackColumn-I"
+        );
+        assert_eq!(
+            outcome.placed_features + outcome.shortfall,
+            outcome.budget_total
+        );
+    }
+
+    #[test]
+    fn weighted_objective_reduces_weighted_metric() {
+        let d = design();
+        let mut cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        cfg.weighted = false;
+        let unweighted_run = ctx.run(&cfg, &IlpTwo).expect("run");
+        cfg.weighted = true;
+        let weighted_run = ctx.run(&cfg, &IlpTwo).expect("run");
+        assert!(
+            weighted_run.impact.weighted_delay
+                <= unweighted_run.impact.weighted_delay + 1e-24
+        );
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let d = design();
+        let cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        for method in [
+            &NormalFill as &(dyn crate::methods::FillMethod + Sync),
+            &GreedyFill,
+            &IlpTwo,
+        ] {
+            let seq = ctx.run(&cfg, method).expect("seq");
+            let par = ctx.run_parallel(&cfg, method, 4).expect("par");
+            assert_eq!(seq.features, par.features, "{}", method.name());
+            assert_eq!(seq.impact.total_delay, par.impact.total_delay);
+            assert_eq!(seq.placed_features, par.placed_features);
+        }
+    }
+
+    #[test]
+    fn all_layers_flow_covers_every_layer() {
+        let d = design();
+        let cfg = config();
+        let outcomes = run_flow_all_layers(&d, &cfg, &GreedyFill).expect("all layers");
+        assert_eq!(outcomes.len(), d.layers.len());
+        for (layer, o) in &outcomes {
+            assert_eq!(o.placed_features, o.budget_total, "layer {}", layer.0);
+            // Features must clear the wires of their own layer.
+            let size = d.rules.feature_size;
+            for (_, _, seg) in d.segments_on_layer(*layer) {
+                let keepout = seg.rect().grown(d.rules.buffer);
+                for f in &o.features {
+                    assert!(!f.rect(size).overlaps(&keepout));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_layer_flow_matches_transposed_horizontal_flow() {
+        // Filling the vertical jog layer of a design must be exactly the
+        // horizontal flow on the transposed design, with features mapped
+        // back into the original frame.
+        let d = design();
+        let mut cfg = config();
+        cfg.layer = pilfill_layout::LayerId(1); // m2, vertical
+        let vertical = run_flow(&d, &cfg, &GreedyFill).expect("vertical flow");
+
+        let dt = d.transposed();
+        let horizontal = run_flow(&dt, &cfg, &GreedyFill).expect("transposed flow");
+        assert_eq!(vertical.impact.total_delay, horizontal.impact.total_delay);
+        assert_eq!(vertical.placed_features, horizontal.placed_features);
+        let mapped: Vec<_> = horizontal
+            .features
+            .iter()
+            .map(|f| crate::FillFeature { x: f.y, y: f.x })
+            .collect();
+        assert_eq!(vertical.features, mapped);
+
+        // Features lie inside the original die and clear of m2 wires.
+        let size = d.rules.feature_size;
+        for f in &vertical.features {
+            assert!(d.die.contains_rect(&f.rect(size)));
+        }
+        for (_, _, seg) in d.segments_on_layer(pilfill_layout::LayerId(1)) {
+            let keepout = seg.rect().grown(d.rules.buffer);
+            for f in &vertical.features {
+                assert!(
+                    !f.rect(size).overlaps(&keepout),
+                    "vertical-layer fill too close to wire"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(FlowConfig::new(0, 2).is_err());
+        assert!(FlowConfig::new(1_001, 2).is_err());
+        assert!(FlowConfig::new(8_000, 0).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Active-line extraction: the per-layer wire segments the fill must keep
+//! its distance from, annotated with the timing data the MDFC objective
+//! needs (entry resistance, per-unit resistance, downstream-sink weight).
+
+use pilfill_geom::{Coord, Dir, Rect};
+use pilfill_layout::{Design, LayerId, LayoutError, NetId, SegmentId, SignalDir};
+use pilfill_rc::annotate_design;
+
+/// One active (signal-carrying) line on the fill layer.
+///
+/// Lines are stored in layer-local *horizontal* orientation: a vertically
+/// routed layer is transposed during extraction so every downstream
+/// algorithm can assume horizontal routing (the paper's convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveLine {
+    /// Owning net; `None` for obstruction pseudo-lines (macros block fill
+    /// and induce coupling on their neighbours, but have no signal of
+    /// their own).
+    pub net: Option<NetId>,
+    /// Segment within the net.
+    pub segment: SegmentId,
+    /// Drawn rectangle (in the possibly transposed frame).
+    pub rect: Rect,
+    /// Downstream sink count (the paper's weight `W_l`).
+    pub weight: u32,
+    /// Per-unit-length resistance in ohm/dbu.
+    pub res_per_dbu: f64,
+    /// Resistance from the net source to the signal-entry end of the line.
+    pub upstream_res: f64,
+    /// x coordinate (in the transposed frame) of the signal-entry end.
+    pub entry_x: Coord,
+    /// Signal flow along x.
+    pub signal: SignalDir,
+}
+
+impl ActiveLine {
+    /// Upstream resistance seen at position `x` along the line (Eq. (13)'s
+    /// `R_l + sum r_l`): entry resistance plus wire resistance from the
+    /// entry end to `x`. `x` is clamped to the line's extent.
+    pub fn res_at(&self, x: Coord) -> f64 {
+        let x = x.clamp(self.rect.left, self.rect.right);
+        self.upstream_res + self.res_per_dbu * (x - self.entry_x).abs() as f64
+    }
+}
+
+/// Extracts all active lines of `layer`, transposing vertical layers into
+/// the horizontal frame. Wrong-direction segments on the layer are skipped
+/// (the paper ignores wrong-direction routing, Sec. 5.2). Obstructions on
+/// the layer become zero-weight, zero-resistance pseudo-lines: fill keeps
+/// its distance from them and their induced coupling charges only the
+/// *real* line on the other side of a gap.
+///
+/// # Errors
+///
+/// Propagates net-topology errors from the RC annotator.
+pub fn extract_active_lines(
+    design: &Design,
+    layer: LayerId,
+) -> Result<Vec<ActiveLine>, LayoutError> {
+    let timing = annotate_design(design)?;
+    let layer_dir = design.layers[layer.0].dir;
+    let mut out = Vec::new();
+    for (net_id, seg_id, seg) in design.segments_on_layer(layer) {
+        if seg.dir() != layer_dir {
+            continue;
+        }
+        let t = timing[net_id.0].segments[seg_id.0];
+        let rect = match layer_dir {
+            Dir::Horizontal => seg.rect(),
+            Dir::Vertical => seg.rect().transposed(),
+        };
+        let entry = match layer_dir {
+            Dir::Horizontal => seg.start.x,
+            Dir::Vertical => seg.start.y,
+        };
+        out.push(ActiveLine {
+            net: Some(net_id),
+            segment: seg_id,
+            rect,
+            weight: t.weight,
+            res_per_dbu: t.res_per_dbu,
+            upstream_res: t.upstream_res,
+            entry_x: entry,
+            signal: seg.signal_dir(),
+        });
+    }
+    for o in design.obstructions_on_layer(layer) {
+        let rect = match layer_dir {
+            Dir::Horizontal => o.rect,
+            Dir::Vertical => o.rect.transposed(),
+        };
+        out.push(ActiveLine {
+            net: None,
+            segment: SegmentId(usize::MAX),
+            rect,
+            weight: 0,
+            res_per_dbu: 0.0,
+            upstream_res: 0.0,
+            entry_x: rect.left,
+            signal: SignalDir::Increasing,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_geom::{Dir, Point};
+    use pilfill_layout::DesignBuilder;
+
+    fn design() -> Design {
+        DesignBuilder::new("d", Rect::new(0, 0, 50_000, 50_000))
+            .layer("m3", Dir::Horizontal)
+            .layer("m2", Dir::Vertical)
+            .net("a", Point::new(1_000, 10_000))
+            .segment(
+                "m3",
+                Point::new(1_000, 10_000),
+                Point::new(41_000, 10_000),
+                200,
+            )
+            .segment(
+                "m2",
+                Point::new(41_000, 10_000),
+                Point::new(41_000, 30_000),
+                200,
+            )
+            .sink(Point::new(41_000, 30_000))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn horizontal_layer_lines_extracted() {
+        let d = design();
+        let lines = extract_active_lines(&d, LayerId(0)).expect("extract");
+        assert_eq!(lines.len(), 1);
+        let l = &lines[0];
+        assert_eq!(l.rect, Rect::new(1_000, 9_900, 41_000, 10_100));
+        assert_eq!(l.weight, 1);
+        assert_eq!(l.entry_x, 1_000);
+        assert_eq!(l.upstream_res, 0.0);
+    }
+
+    #[test]
+    fn vertical_layer_lines_are_transposed() {
+        let d = design();
+        let lines = extract_active_lines(&d, LayerId(1)).expect("extract");
+        assert_eq!(lines.len(), 1);
+        let l = &lines[0];
+        // Original rect: x [40900, 41100), y [10000, 30000) -> transposed.
+        assert_eq!(l.rect, Rect::new(10_000, 40_900, 30_000, 41_100));
+        // Entry at the jog's start y.
+        assert_eq!(l.entry_x, 10_000);
+        // The vertical segment has the trunk upstream of it.
+        assert!(l.upstream_res > 0.0);
+    }
+
+    #[test]
+    fn res_at_grows_away_from_entry() {
+        let d = design();
+        let lines = extract_active_lines(&d, LayerId(0)).expect("extract");
+        let l = &lines[0];
+        assert_eq!(l.res_at(1_000), l.upstream_res);
+        let mid = l.res_at(21_000);
+        let far = l.res_at(41_000);
+        assert!(mid > l.upstream_res);
+        assert!(far > mid);
+        // 40_000 dbu of 200-wide wire at 0.07 ohm/sq = 14 ohm.
+        assert!((far - 14.0).abs() < 1e-9, "far = {far}");
+        // Clamped outside the line.
+        assert_eq!(l.res_at(100_000), far);
+        assert_eq!(l.res_at(-5), l.upstream_res);
+    }
+
+    #[test]
+    fn reversed_signal_direction_measures_from_right() {
+        let d = DesignBuilder::new("d", Rect::new(0, 0, 50_000, 50_000))
+            .layer("m3", Dir::Horizontal)
+            .net("a", Point::new(41_000, 10_000))
+            .segment(
+                "m3",
+                Point::new(41_000, 10_000),
+                Point::new(1_000, 10_000),
+                200,
+            )
+            .sink(Point::new(1_000, 10_000))
+            .build()
+            .expect("valid");
+        let lines = extract_active_lines(&d, LayerId(0)).expect("extract");
+        let l = &lines[0];
+        assert_eq!(l.entry_x, 41_000);
+        assert_eq!(l.signal, SignalDir::Decreasing);
+        assert!(l.res_at(1_000) > l.res_at(40_000));
+    }
+}

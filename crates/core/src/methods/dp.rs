@@ -1,0 +1,156 @@
+//! Exact separable-resource-allocation solver for the MDFC tile problem,
+//! used as an independent reference for the ILP methods in tests and as
+//! the "exact" row of ablation studies.
+//!
+//! The MDFC objective is separable — `sum_k cost_k(m_k)` with one budget
+//! constraint — so a simple dynamic program over (column, features used)
+//! finds the true optimum of the exact (lookup-table) cost model.
+
+use super::{check_budget, FillMethod, MethodError};
+use crate::TileProblem;
+use rand::rngs::StdRng;
+
+/// Exact DP over the lookup-table costs; optimal for the same model ILP-II
+/// optimizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpExact;
+
+impl FillMethod for DpExact {
+    fn name(&self) -> &'static str {
+        "DP-exact"
+    }
+
+    fn place(
+        &self,
+        problem: &TileProblem,
+        budget: u32,
+        weighted: bool,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<u32>, MethodError> {
+        check_budget(problem, budget)?;
+        let k = problem.columns.len();
+        let b = budget as usize;
+        // best[i][f]: min cost placing f features in the first i columns.
+        // Kept as a flat rolling array with a parent table for recovery.
+        const INF: f64 = f64::INFINITY;
+        let mut best = vec![INF; b + 1];
+        best[0] = 0.0;
+        // choice[i][f] = features placed in column i when f used after i.
+        let mut choice = vec![vec![u32::MAX; b + 1]; k];
+        for (i, col) in problem.columns.iter().enumerate() {
+            let cap = col.capacity().min(budget);
+            let mut next = vec![INF; b + 1];
+            let mut pick = vec![u32::MAX; b + 1];
+            for used in 0..=b {
+                if best[used] == INF {
+                    continue;
+                }
+                for m in 0..=cap {
+                    let f = used + m as usize;
+                    if f > b {
+                        break;
+                    }
+                    let cost = best[used] + col.cost_exact(m, weighted);
+                    if cost < next[f] {
+                        next[f] = cost;
+                        pick[f] = m;
+                    }
+                }
+            }
+            best = next;
+            choice[i] = pick;
+        }
+        if best[b] == INF {
+            // Unreachable given the capacity check, but guard anyway.
+            return Err(MethodError::BudgetOverCapacity {
+                budget,
+                capacity: problem.capacity(),
+            });
+        }
+        // Recover the assignment.
+        let mut counts = vec![0u32; k];
+        let mut f = b;
+        for i in (0..k).rev() {
+            let m = choice[i][f];
+            debug_assert_ne!(m, u32::MAX);
+            counts[i] = m;
+            f -= m as usize;
+        }
+        debug_assert_eq!(f, 0);
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn dp_finds_free_columns() {
+        let tile = synthetic_tile(&[(2_000, 5, 1.0)], 5);
+        let counts = DpExact.place(&tile, 5, false, &mut rng()).expect("place");
+        assert_eq!(counts, vec![0, 5]);
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_tiles() {
+        let tile = synthetic_tile(&[(1_500, 3, 2.0), (2_500, 3, 1.0), (4_000, 3, 3.0)], 1);
+        for budget in 0..=10u32 {
+            let counts = DpExact
+                .place(&tile, budget, false, &mut rng())
+                .expect("place");
+            assert_valid_assignment(&tile, &counts, budget);
+            let dp_cost = tile.cost_of(&counts, false);
+            // Brute force over all assignments.
+            let caps: Vec<u32> = tile.columns.iter().map(|c| c.capacity()).collect();
+            let mut best = f64::INFINITY;
+            let mut x = vec![0u32; caps.len()];
+            'outer: loop {
+                if x.iter().sum::<u32>() == budget {
+                    best = best.min(tile.cost_of(&x, false));
+                }
+                let mut i = 0;
+                loop {
+                    if i == caps.len() {
+                        break 'outer;
+                    }
+                    x[i] += 1;
+                    if x[i] <= caps[i] {
+                        break;
+                    }
+                    x[i] = 0;
+                    i += 1;
+                }
+            }
+            assert!(
+                (dp_cost - best).abs() < 1e-20 * (1.0 + best.abs()),
+                "budget {budget}: dp {dp_cost} vs brute {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_never_worse_than_greedy() {
+        use crate::methods::GreedyFill;
+        let tile = synthetic_tile(
+            &[(1_000, 4, 1.0), (1_400, 5, 0.8), (5_000, 6, 2.0), (900, 2, 0.1)],
+            2,
+        );
+        for budget in [3u32, 8, 14] {
+            let dp = DpExact.place(&tile, budget, true, &mut rng()).expect("dp");
+            let gr = GreedyFill
+                .place(&tile, budget, true, &mut rng())
+                .expect("greedy");
+            assert!(
+                tile.cost_of(&dp, true) <= tile.cost_of(&gr, true) + 1e-25,
+                "budget {budget}"
+            );
+        }
+    }
+}

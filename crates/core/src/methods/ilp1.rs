@@ -1,0 +1,126 @@
+//! ILP-I (paper Section 5.2): integer program over per-column counts with
+//! the *linearized* capacitance model of Eq. (6).
+//!
+//! Because the linearization underestimates capacitance — badly so when a
+//! column approaches saturation — ILP-I's "optimal" answers can be worse
+//! than Greedy's or even Normal's under the exact evaluation model, which
+//! is exactly what the paper's Table 1 shows for several testcases.
+
+use super::{check_budget, FillMethod, MethodError};
+use crate::TileProblem;
+use pilfill_solver::{Model, Objective, Sense};
+use rand::rngs::StdRng;
+
+/// The Section-5.2 integer linear program (Eqs. 10-14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpOne;
+
+impl FillMethod for IlpOne {
+    fn name(&self) -> &'static str {
+        "ILP-I"
+    }
+
+    fn place(
+        &self,
+        problem: &TileProblem,
+        budget: u32,
+        weighted: bool,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<u32>, MethodError> {
+        check_budget(problem, budget)?;
+        if budget == 0 {
+            return Ok(vec![0; problem.columns.len()]);
+        }
+        // Scale objective coefficients to ~1 to keep the simplex
+        // well-conditioned (costs are in ohm*farad ~ 1e-18).
+        let raw: Vec<f64> = problem
+            .columns
+            .iter()
+            .map(|c| c.alpha(weighted) * c.linear_cap_per_feature)
+            .collect();
+        let scale = raw.iter().fold(0.0f64, |m, c| m.max(*c));
+        let scale = if scale > 0.0 { scale } else { 1.0 };
+
+        let mut model = Model::new(Objective::Minimize);
+        // Eq. (14): integer m_k in [0, C_k]; objective Eqs. (10)+(12)+(13)
+        // folded: sum_k alpha_k * linear_cap_k * m_k.
+        let vars: Vec<_> = problem
+            .columns
+            .iter()
+            .zip(&raw)
+            .map(|(c, &cost)| model.add_integer_var(0.0, c.capacity() as f64, cost / scale))
+            .collect();
+        // Eq. (11): the prescribed amount of fill.
+        model.add_constraint(
+            vars.iter().map(|&v| (v, 1.0)),
+            Sense::Eq,
+            budget as f64,
+        );
+        let sol = model.solve()?;
+        Ok(vars.iter().map(|&v| sol.int_value(v).max(0) as u32).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn hits_budget_exactly() {
+        let tile = synthetic_tile(&[(1_500, 3, 2.0), (2_500, 4, 1.0)], 2);
+        for budget in [0u32, 1, 5, 9] {
+            let counts = IlpOne.place(&tile, budget, false, &mut rng()).expect("place");
+            assert_valid_assignment(&tile, &counts, budget);
+        }
+    }
+
+    #[test]
+    fn prefers_columns_cheap_under_linear_model() {
+        // Two identical columns except alpha: lower alpha wins under any
+        // monotone cost model.
+        let tile = synthetic_tile(&[(2_000, 4, 5.0), (2_000, 4, 1.0)], 0);
+        let counts = IlpOne.place(&tile, 4, false, &mut rng()).expect("place");
+        assert_eq!(counts, vec![0, 4]);
+    }
+
+    #[test]
+    fn linearization_can_mislead_vs_exact_cost() {
+        // Column A: wide gap (nearly linear); column B: narrow gap where the
+        // exact cost explodes at saturation but the linear model stays mild.
+        // Per feature (linear): A: alpha 1.0 * lin(d=6000) ; B: alpha scaled
+        // so B looks cheaper linearly but is costlier exactly at high m.
+        let tile = synthetic_tile(&[(6_000, 8, 1.0), (1_400, 2, 1.15)], 0);
+        let ilp1 = IlpOne.place(&tile, 2, false, &mut rng()).expect("ilp1");
+        // Under the linear model, B (index 1) is preferred when
+        // alpha_B * lin_B < alpha_A * lin_A.
+        let lin_cost =
+            |i: usize, m: u32| tile.columns[i].alpha(false)
+                * tile.columns[i].linear_cap_per_feature
+                * m as f64;
+        if lin_cost(1, 1) < lin_cost(0, 1) {
+            assert!(ilp1[1] > 0, "ILP-I should pick the linearly-cheap column");
+            // And that choice is worse under the exact model than putting
+            // everything in A.
+            let alt = vec![2u32, 0];
+            assert!(
+                tile.cost_of(&ilp1, false) > tile.cost_of(&alt, false),
+                "exact model should reveal the ILP-I mistake"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_over_capacity() {
+        let tile = synthetic_tile(&[(2_000, 1, 1.0)], 0);
+        assert!(matches!(
+            IlpOne.place(&tile, 5, false, &mut rng()),
+            Err(MethodError::BudgetOverCapacity { .. })
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! ILP-II (paper Section 5.3): the lookup-table integer program. Each
+//! column's count is one-hot encoded over `n = 0..=C_k` with exact
+//! incremental capacitances `f(n, d_k)` from the pre-built [`CapTable`]
+//! (Eqs. 15-23), so the optimizer sees the true convex cost curve instead
+//! of ILP-I's linearization.
+//!
+//! The model is compacted before solving: the paper's intermediate
+//! variables `m_k`, `Cap_k` and `dtau_l` are substituted into the
+//! objective, leaving only the binaries, one convexity row per column and
+//! the budget row.
+
+use super::{check_budget, FillMethod, MethodError};
+use crate::TileProblem;
+use pilfill_rc::CapTable;
+use pilfill_solver::{Model, Objective, Sense};
+use rand::rngs::StdRng;
+
+/// The Section-5.3 lookup-table ILP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpTwo;
+
+impl FillMethod for IlpTwo {
+    fn name(&self) -> &'static str {
+        "ILP-II"
+    }
+
+    fn place(
+        &self,
+        problem: &TileProblem,
+        budget: u32,
+        weighted: bool,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<u32>, MethodError> {
+        check_budget(problem, budget)?;
+        if budget == 0 {
+            return Ok(vec![0; problem.columns.len()]);
+        }
+        // Model reduction: zero-cost columns (no line pair, or zero delay
+        // coefficient) are interchangeable, so they collapse into a single
+        // aggregate integer variable. This keeps the binary count
+        // proportional to the *costed* columns only, which is what makes
+        // the per-tile ILPs tractable on large sparse tiles. The reduction
+        // is exact: any distribution of the aggregate over free columns is
+        // optimal.
+        let is_free = |c: &crate::TileColumn| c.table.is_none() || c.alpha(weighted) == 0.0;
+        let free_cap: u64 = problem
+            .columns
+            .iter()
+            .filter(|c| is_free(c))
+            .map(|c| c.capacity() as u64)
+            .sum();
+
+        // Objective scaling (costs are in ohm*farad ~ 1e-18).
+        let max_cost = problem
+            .columns
+            .iter()
+            .filter(|c| c.capacity() > 0 && !is_free(c))
+            .map(|c| c.cost_exact(c.capacity(), weighted))
+            .fold(0.0f64, f64::max);
+        let scale = if max_cost > 0.0 { max_cost } else { 1.0 };
+
+        let mut model = Model::new(Objective::Minimize);
+        // Binaries m_{k,n} (Eq. 15/23), n = 0..=C_k, for costed columns;
+        // cost from the table (Eq. 20 folded into Eq. 16 through Eq. 21).
+        let mut vars: Vec<Option<Vec<pilfill_solver::VarId>>> =
+            Vec::with_capacity(problem.columns.len());
+        let mut budget_terms: Vec<(pilfill_solver::VarId, f64)> = Vec::new();
+        for col in &problem.columns {
+            if is_free(col) {
+                vars.push(None);
+                continue;
+            }
+            let cap = col.capacity();
+            let col_vars: Vec<_> = (0..=cap)
+                .map(|n| {
+                    let cost = col
+                        .table
+                        .as_ref()
+                        .map_or(0.0, |t: &CapTable| col.alpha(weighted) * t.delta_cap(n));
+                    model.add_binary_var(cost / scale)
+                })
+                .collect();
+            // Eq. (19) with the n = 0 entry included: exactly one count is
+            // chosen per column.
+            model.add_constraint(col_vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
+            budget_terms.extend(col_vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
+            vars.push(Some(col_vars));
+        }
+        // The aggregate free variable (continuous: the budget row forces an
+        // integral value given integral binaries).
+        let free_var = model.add_var(0.0, free_cap as f64, 0.0);
+        budget_terms.push((free_var, 1.0));
+        // Eqs. (17)+(18) folded: sum_k sum_n n * m_{k,n} + free = F.
+        model.add_constraint(budget_terms, Sense::Eq, budget as f64);
+
+        let sol = model.solve()?;
+        let mut counts: Vec<u32> = vars
+            .iter()
+            .map(|col_vars| match col_vars {
+                Some(cv) => cv
+                    .iter()
+                    .enumerate()
+                    .find(|(_, &v)| sol.value(v) > 0.5)
+                    .map(|(n, _)| n as u32)
+                    .unwrap_or(0),
+                None => 0,
+            })
+            .collect();
+        // Distribute the aggregate over the free columns.
+        let mut free_left = sol.value(free_var).round().max(0.0) as u64;
+        for (i, col) in problem.columns.iter().enumerate() {
+            if free_left == 0 {
+                break;
+            }
+            if is_free(col) {
+                let take = (col.capacity() as u64).min(free_left) as u32;
+                counts[i] = take;
+                free_left -= take as u64;
+            }
+        }
+        // Numerical safety: if rounding left a residual against the exact
+        // budget, top up / trim in free columns first.
+        reconcile_budget(problem, &mut counts, budget, &is_free);
+        Ok(counts)
+    }
+}
+
+/// Adjusts `counts` so they sum exactly to `budget`, preferring free
+/// columns for any correction (costed columns only as a last resort, which
+/// only triggers on solver round-off).
+fn reconcile_budget(
+    problem: &TileProblem,
+    counts: &mut [u32],
+    budget: u32,
+    is_free: &dyn Fn(&crate::TileColumn) -> bool,
+) {
+    let mut total: i64 = counts.iter().map(|&m| m as i64).sum();
+    let order: Vec<usize> = {
+        let mut free: Vec<usize> = (0..counts.len())
+            .filter(|&i| is_free(&problem.columns[i]))
+            .collect();
+        let costed: Vec<usize> = (0..counts.len())
+            .filter(|&i| !is_free(&problem.columns[i]))
+            .collect();
+        free.extend(costed);
+        free
+    };
+    for &i in &order {
+        if total == budget as i64 {
+            break;
+        }
+        let cap = problem.columns[i].capacity();
+        if total < budget as i64 {
+            let add = ((budget as i64 - total) as u32).min(cap - counts[i]);
+            counts[i] += add;
+            total += add as i64;
+        } else {
+            let sub = ((total - budget as i64) as u32).min(counts[i]);
+            counts[i] -= sub;
+            total -= sub as i64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
+    use crate::methods::{DpExact, GreedyFill, IlpOne};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn hits_budget_exactly() {
+        let tile = synthetic_tile(&[(1_500, 3, 2.0), (2_500, 4, 1.0)], 2);
+        for budget in [0u32, 1, 5, 9] {
+            let counts = IlpTwo.place(&tile, budget, false, &mut rng()).expect("place");
+            assert_valid_assignment(&tile, &counts, budget);
+        }
+    }
+
+    #[test]
+    fn matches_dp_exact_optimum() {
+        let tile = synthetic_tile(
+            &[(1_000, 3, 1.0), (1_400, 4, 0.8), (5_000, 5, 2.0), (900, 2, 0.1)],
+            2,
+        );
+        for budget in [2u32, 6, 11] {
+            for weighted in [false, true] {
+                let ilp = IlpTwo
+                    .place(&tile, budget, weighted, &mut rng())
+                    .expect("ilp2");
+                let dp = DpExact
+                    .place(&tile, budget, weighted, &mut rng())
+                    .expect("dp");
+                let ci = tile.cost_of(&ilp, weighted);
+                let cd = tile.cost_of(&dp, weighted);
+                assert!(
+                    (ci - cd).abs() <= 1e-9 * (1.0 + cd.abs()),
+                    "budget {budget} weighted {weighted}: ilp2 {ci} vs dp {cd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_worse_than_greedy_or_ilp1_on_exact_model() {
+        let tile = synthetic_tile(
+            &[(6_000, 8, 1.0), (1_400, 3, 1.15), (2_000, 4, 0.5)],
+            1,
+        );
+        for budget in [3u32, 7, 12] {
+            let two = IlpTwo.place(&tile, budget, false, &mut rng()).expect("2");
+            let one = IlpOne.place(&tile, budget, false, &mut rng()).expect("1");
+            let gr = GreedyFill.place(&tile, budget, false, &mut rng()).expect("g");
+            let c2 = tile.cost_of(&two, false);
+            assert!(c2 <= tile.cost_of(&one, false) + 1e-25, "budget {budget} vs ilp1");
+            assert!(c2 <= tile.cost_of(&gr, false) + 1e-25, "budget {budget} vs greedy");
+        }
+    }
+
+    #[test]
+    fn free_columns_absorb_first() {
+        let tile = synthetic_tile(&[(2_000, 5, 1.0)], 4);
+        let counts = IlpTwo.place(&tile, 4, false, &mut rng()).expect("place");
+        assert_eq!(counts, vec![0, 4]);
+    }
+}

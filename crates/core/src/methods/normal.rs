@@ -1,0 +1,100 @@
+//! The density-only "normal fill" baseline (the paper's reference \[3\]):
+//! fill features are placed into uniformly random slack slots with no
+//! regard to timing.
+
+use super::{check_budget, FillMethod, MethodError};
+use crate::TileProblem;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Monte-Carlo random placement — the baseline every PIL-Fill method is
+/// compared against in Tables 1 and 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NormalFill;
+
+impl FillMethod for NormalFill {
+    fn name(&self) -> &'static str {
+        "Normal"
+    }
+
+    fn place(
+        &self,
+        problem: &TileProblem,
+        budget: u32,
+        _weighted: bool,
+        rng: &mut StdRng,
+    ) -> Result<Vec<u32>, MethodError> {
+        check_budget(problem, budget)?;
+        let mut counts = vec![0u32; problem.columns.len()];
+        // Sample `budget` distinct slots uniformly: draw a random slot index
+        // among the remaining free ones each time (weighted by remaining
+        // capacity per column).
+        let mut remaining: Vec<u32> = problem.columns.iter().map(|c| c.capacity()).collect();
+        let mut free_total: u64 = remaining.iter().map(|&r| r as u64).sum();
+        for _ in 0..budget {
+            debug_assert!(free_total > 0);
+            let mut pick = rng.gen_range(0..free_total);
+            for (i, r) in remaining.iter_mut().enumerate() {
+                if pick < *r as u64 {
+                    *r -= 1;
+                    counts[i] += 1;
+                    free_total -= 1;
+                    break;
+                }
+                pick -= *r as u64;
+            }
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
+    use rand::SeedableRng;
+
+    #[test]
+    fn places_exact_budget() {
+        let tile = synthetic_tile(&[(2_000, 4, 1.0), (3_000, 6, 2.0)], 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for budget in [0, 1, 7, 15] {
+            let counts = NormalFill
+                .place(&tile, budget, false, &mut rng)
+                .expect("place");
+            assert_valid_assignment(&tile, &counts, budget);
+        }
+    }
+
+    #[test]
+    fn rejects_over_capacity() {
+        let tile = synthetic_tile(&[(2_000, 2, 1.0)], 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            NormalFill.place(&tile, 3, false, &mut rng),
+            Err(MethodError::BudgetOverCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let tile = synthetic_tile(&[(2_000, 5, 1.0), (2_500, 5, 1.0)], 5);
+        let a = NormalFill
+            .place(&tile, 8, false, &mut StdRng::seed_from_u64(7))
+            .expect("place");
+        let b = NormalFill
+            .place(&tile, 8, false, &mut StdRng::seed_from_u64(7))
+            .expect("place");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreads_over_columns_statistically() {
+        // With a large budget over two equal columns, both get fill.
+        let tile = synthetic_tile(&[(20_000, 50, 1.0), (20_000, 50, 1.0)], 0);
+        let counts = NormalFill
+            .place(&tile, 60, false, &mut StdRng::seed_from_u64(3))
+            .expect("place");
+        assert!(counts[0] > 10 && counts[1] > 10, "{counts:?}");
+    }
+}

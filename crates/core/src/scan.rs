@@ -1,0 +1,389 @@
+//! The scan-line slack-column algorithm (paper Figure 7).
+//!
+//! Assuming horizontal routing, the area is divided into vertical *site
+//! columns* one fill-site wide. Sweeping the active lines bottom-to-top
+//! yields, per site column, the maximal vertical gaps between consecutive
+//! lines (or between a line and the area boundary). Each gap is a
+//! [`SlackColumn`]: it knows the line below, the line above, and the
+//! concrete fill *slots* (y positions) that respect the buffer distance.
+
+use crate::{ActiveLine, FillFeature};
+use pilfill_geom::{Coord, Interval, Rect};
+use pilfill_layout::FillRules;
+
+/// A maximal vertical run of fillable space in one site column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackColumn {
+    /// Site-column index (0 = leftmost).
+    pub site_x: usize,
+    /// Left edge of the site column.
+    pub x: Coord,
+    /// Edge-to-edge vertical gap `[below.top, above.bottom)` (or the area
+    /// boundary where no line bounds the gap).
+    pub gap: Interval,
+    /// Index (into the scanned line slice) of the line below, if any.
+    pub below: Option<usize>,
+    /// Index of the line above, if any.
+    pub above: Option<usize>,
+    /// Feasible fill slot bottoms (ascending y), spaced one site pitch
+    /// apart, respecting the buffer distance on line-bounded sides.
+    pub slots: Vec<Coord>,
+}
+
+impl SlackColumn {
+    /// Number of fill features the column can hold (the paper's `C_k`).
+    pub fn capacity(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The line-to-line distance `d` of the capacitance model, defined only
+    /// when both sides are active lines.
+    pub fn distance(&self) -> Option<Coord> {
+        match (self.below, self.above) {
+            (Some(_), Some(_)) => Some(self.gap.len()),
+            _ => None,
+        }
+    }
+
+    /// x of a fill feature placed in this column (centered in the site).
+    pub fn feature_x(&self, rules: FillRules) -> Coord {
+        self.x + (rules.site_pitch() - rules.feature_size) / 2
+    }
+}
+
+fn slots_for_gap(
+    gap: Interval,
+    below_is_line: bool,
+    above_is_line: bool,
+    rules: FillRules,
+) -> Vec<Coord> {
+    let lo = gap.lo + if below_is_line { rules.buffer } else { 0 };
+    let hi = gap.hi - if above_is_line { rules.buffer } else { 0 };
+    let mut slots = Vec::new();
+    let mut y = lo;
+    while y + rules.feature_size <= hi {
+        slots.push(y);
+        y += rules.site_pitch();
+    }
+    slots
+}
+
+/// Runs the Figure-7 scan over `bounds`, producing every slack column.
+///
+/// `lines` must be in the horizontal frame (see
+/// [`crate::extract_active_lines`]); only their overlap with `bounds` is
+/// considered. Site columns narrower than one site pitch (at the right
+/// boundary) are skipped — they cannot hold a feature.
+pub fn scan_slack_columns(
+    lines: &[ActiveLine],
+    bounds: Rect,
+    rules: FillRules,
+) -> Vec<SlackColumn> {
+    let pitch = rules.site_pitch();
+    let n_cols = (bounds.width() / pitch) as usize;
+    if n_cols == 0 {
+        return Vec::new();
+    }
+
+    // Lines sorted by bottom edge (step 2 of Figure 7), pre-clipped to the
+    // scan bounds. Each line is expanded by the buffer distance in x so
+    // that no slot can be created within the buffer of a line *end*; the
+    // vertical buffer is enforced per-slot instead (`slots_for_gap`), which
+    // keeps the gap's edge-to-edge distance `d` exact for the capacitance
+    // model.
+    let mut order: Vec<(usize, Rect)> = lines
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let expanded = Rect::new(
+                l.rect.left - rules.buffer,
+                l.rect.bottom,
+                l.rect.right + rules.buffer,
+                l.rect.top,
+            );
+            let clipped = expanded.intersection(&bounds);
+            (!clipped.is_empty()).then_some((i, clipped))
+        })
+        .collect();
+    order.sort_by_key(|(_, r)| r.bottom);
+
+    // Open gap state per site column.
+    let mut open_y = vec![bounds.bottom; n_cols];
+    let mut open_below: Vec<Option<usize>> = vec![None; n_cols];
+    let mut out = Vec::new();
+
+    let col_range = |r: &Rect| -> (usize, usize) {
+        // Site columns whose [x, x+pitch) overlaps the rect's x span.
+        let lo = ((r.left - bounds.left) / pitch).max(0) as usize;
+        let hi = (((r.right - 1 - bounds.left) / pitch) as usize).min(n_cols - 1);
+        (lo, hi)
+    };
+
+    let emit = |site_x: usize,
+                    gap: Interval,
+                    below: Option<usize>,
+                    above: Option<usize>,
+                    out: &mut Vec<SlackColumn>| {
+        if gap.is_empty() {
+            return;
+        }
+        let slots = slots_for_gap(gap, below.is_some(), above.is_some(), rules);
+        out.push(SlackColumn {
+            site_x,
+            x: bounds.left + site_x as Coord * pitch,
+            gap,
+            below,
+            above,
+            slots,
+        });
+    };
+
+    for (line_idx, rect) in order {
+        let (lo, hi) = col_range(&rect);
+        for c in lo..=hi {
+            let gap = Interval::new(open_y[c], rect.bottom);
+            emit(c, gap, open_below[c], Some(line_idx), &mut out);
+            open_y[c] = open_y[c].max(rect.top);
+            open_below[c] = Some(line_idx);
+        }
+    }
+    // Step 14: close columns at the top boundary.
+    for c in 0..n_cols {
+        let gap = Interval::new(open_y[c], bounds.top);
+        emit(c, gap, open_below[c], None, &mut out);
+    }
+
+    out.sort_by_key(|col| (col.site_x, col.gap.lo));
+    out
+}
+
+/// Locates the slack column (by index into `columns`) that contains a fill
+/// feature placed at `feature`. Returns `None` for positions outside every
+/// column (e.g. inside a line or out of bounds).
+///
+/// `columns` must be the unmodified result of [`scan_slack_columns`] for
+/// the same `bounds` and `rules`.
+pub fn locate_feature(
+    columns: &[SlackColumn],
+    bounds: Rect,
+    rules: FillRules,
+    feature: FillFeature,
+) -> Option<usize> {
+    let pitch = rules.site_pitch();
+    if feature.x < bounds.left || feature.y < bounds.bottom {
+        return None;
+    }
+    let site_x = ((feature.x - bounds.left) / pitch) as usize;
+    // Binary search the sorted (site_x, gap.lo) order.
+    let start = columns.partition_point(|c| c.site_x < site_x);
+    columns[start..]
+        .iter()
+        .take_while(|c| c.site_x == site_x)
+        .position(|c| c.gap.contains(feature.y))
+        .map(|offset| start + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_layout::{NetId, SegmentId, SignalDir};
+
+    fn rules() -> FillRules {
+        FillRules {
+            feature_size: 300,
+            gap: 150,
+            buffer: 150,
+        }
+    }
+
+    fn line(rect: Rect) -> ActiveLine {
+        ActiveLine {
+            net: Some(NetId(0)),
+            segment: SegmentId(0),
+            rect,
+            weight: 1,
+            res_per_dbu: 3.5e-4,
+            upstream_res: 0.0,
+            entry_x: rect.left,
+            signal: SignalDir::Increasing,
+        }
+    }
+
+    #[test]
+    fn empty_area_yields_full_height_columns() {
+        let bounds = Rect::new(0, 0, 4_500, 3_000);
+        let cols = scan_slack_columns(&[], bounds, rules());
+        assert_eq!(cols.len(), 10); // 4500 / 450
+        for c in &cols {
+            assert_eq!(c.gap, Interval::new(0, 3_000));
+            assert_eq!(c.below, None);
+            assert_eq!(c.above, None);
+            // No buffers at boundaries: slots at 0, 450, ..., 2700.
+            assert_eq!(c.capacity(), 7);
+            assert_eq!(c.distance(), None);
+        }
+    }
+
+    #[test]
+    fn single_line_splits_columns() {
+        let bounds = Rect::new(0, 0, 900, 10_000);
+        let l = line(Rect::new(0, 4_000, 900, 4_200));
+        let cols = scan_slack_columns(&[l], bounds, rules());
+        // 2 site columns x 2 gaps each.
+        assert_eq!(cols.len(), 4);
+        let below_gaps: Vec<_> = cols.iter().filter(|c| c.above == Some(0)).collect();
+        let above_gaps: Vec<_> = cols.iter().filter(|c| c.below == Some(0)).collect();
+        assert_eq!(below_gaps.len(), 2);
+        assert_eq!(above_gaps.len(), 2);
+        assert_eq!(below_gaps[0].gap, Interval::new(0, 4_000));
+        assert_eq!(above_gaps[0].gap, Interval::new(4_200, 10_000));
+        // Buffer applies on the line side only.
+        assert_eq!(below_gaps[0].slots.first(), Some(&0));
+        let last = *below_gaps[0].slots.last().expect("has slots");
+        assert!(last + 300 <= 4_000 - 150);
+    }
+
+    #[test]
+    fn gap_between_two_lines_has_distance() {
+        let bounds = Rect::new(0, 0, 450, 10_000);
+        let a = line(Rect::new(0, 1_000, 450, 1_200));
+        let b = line(Rect::new(0, 3_000, 450, 3_300));
+        let cols = scan_slack_columns(&[a, b], bounds, rules());
+        let mid = cols
+            .iter()
+            .find(|c| c.below == Some(0) && c.above == Some(1))
+            .expect("middle gap");
+        assert_eq!(mid.gap, Interval::new(1_200, 3_000));
+        assert_eq!(mid.distance(), Some(1_800));
+        // usable = 1800 - 300 = 1500 -> slots at 1350, 1800, 2250 + ...
+        // floor((1500 - 300)/450)+1 = 3.
+        assert_eq!(mid.capacity(), 3);
+        // All slots respect buffers.
+        for &s in &mid.slots {
+            assert!(s >= 1_200 + 150);
+            assert!(s + 300 <= 3_000 - 150);
+        }
+    }
+
+    #[test]
+    fn capacity_matches_rc_helper_for_line_line_gaps() {
+        let bounds = Rect::new(0, 0, 450, 50_000);
+        for gap_len in (700..20_000).step_by(333) {
+            let a = line(Rect::new(0, 1_000, 450, 1_200));
+            let b = line(Rect::new(0, 1_200 + gap_len, 450, 1_500 + gap_len));
+            let cols = scan_slack_columns(&[a, b], bounds, rules());
+            let mid = cols
+                .iter()
+                .find(|c| c.below == Some(0) && c.above == Some(1))
+                .expect("gap");
+            assert_eq!(
+                mid.capacity(),
+                pilfill_rc::max_fill_features(gap_len, rules()),
+                "gap {gap_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_x_overlap_only_affects_covered_columns() {
+        let bounds = Rect::new(0, 0, 1_800, 5_000); // 4 site columns
+        // The line covers columns 0 and 1; its buffer-expanded extent
+        // [-150, 1050) additionally blocks column 2 ([900, 1350)).
+        let l = line(Rect::new(0, 2_000, 900, 2_200));
+        let cols = scan_slack_columns(&[l], bounds, rules());
+        let full: Vec<_> = cols
+            .iter()
+            .filter(|c| c.gap == Interval::new(0, 5_000))
+            .collect();
+        assert_eq!(full.len(), 1); // only column 3 untouched
+        assert!(full.iter().all(|c| c.site_x == 3));
+    }
+
+    #[test]
+    fn no_slot_within_buffer_of_a_line_end() {
+        let bounds = Rect::new(0, 0, 4_500, 5_000);
+        let l = line(Rect::new(2_000, 2_000, 3_000, 2_280));
+        let r = rules();
+        let cols = scan_slack_columns(&[l], bounds, r);
+        for c in &cols {
+            for &slot in &c.slots {
+                let feat = Rect::new(
+                    c.feature_x(r),
+                    slot,
+                    c.feature_x(r) + r.feature_size,
+                    slot + r.feature_size,
+                );
+                let keepout = Rect::new(2_000, 2_000, 3_000, 2_280).grown(r.buffer);
+                assert!(
+                    !feat.overlaps(&keepout),
+                    "slot at {feat} violates buffer around the line"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn touching_lines_produce_no_gap_between() {
+        let bounds = Rect::new(0, 0, 450, 5_000);
+        let a = line(Rect::new(0, 1_000, 450, 2_000));
+        let b = line(Rect::new(0, 2_000, 450, 3_000));
+        let cols = scan_slack_columns(&[a, b], bounds, rules());
+        assert!(cols
+            .iter()
+            .all(|c| !(c.below == Some(0) && c.above == Some(1))));
+        assert_eq!(cols.len(), 2); // bottom and top boundary gaps only
+    }
+
+    #[test]
+    fn locate_feature_round_trips_slots() {
+        let bounds = Rect::new(0, 0, 4_500, 8_000);
+        let a = line(Rect::new(900, 3_000, 3_600, 3_300));
+        let cols = scan_slack_columns(&[a], bounds, rules());
+        for (i, c) in cols.iter().enumerate() {
+            for &slot in &c.slots {
+                let f = FillFeature {
+                    x: c.feature_x(rules()),
+                    y: slot,
+                };
+                assert_eq!(
+                    locate_feature(&cols, bounds, rules(), f),
+                    Some(i),
+                    "column {i} slot {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locate_feature_outside_returns_none() {
+        let bounds = Rect::new(0, 0, 900, 5_000);
+        let a = line(Rect::new(0, 2_000, 900, 2_500));
+        let cols = scan_slack_columns(&[a], bounds, rules());
+        // Inside the line.
+        let inside = FillFeature { x: 75, y: 2_100 };
+        assert_eq!(locate_feature(&cols, bounds, rules(), inside), None);
+        // Out of bounds.
+        let out = FillFeature { x: -10, y: 0 };
+        assert_eq!(locate_feature(&cols, bounds, rules(), out), None);
+    }
+
+    #[test]
+    fn slot_capacity_sums_are_stable_under_line_order() {
+        let bounds = Rect::new(0, 0, 2_700, 9_000);
+        let mut lines = vec![
+            line(Rect::new(0, 1_000, 2_700, 1_200)),
+            line(Rect::new(450, 5_000, 1_800, 5_300)),
+            line(Rect::new(0, 7_000, 900, 7_400)),
+        ];
+        let a = scan_slack_columns(&lines, bounds, rules());
+        lines.reverse();
+        // Line indices change, but geometry (gaps and capacities) must not.
+        let b = scan_slack_columns(&lines, bounds, rules());
+        let summarize = |cols: &[SlackColumn]| -> Vec<(usize, Interval, u32)> {
+            cols.iter()
+                .map(|c| (c.site_x, c.gap, c.capacity()))
+                .collect()
+        };
+        assert_eq!(summarize(&a), summarize(&b));
+    }
+}

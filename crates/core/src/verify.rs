@@ -1,0 +1,258 @@
+//! Fill DRC verification: checks a fill placement against the design
+//! rules the way a signoff deck would — die containment, buffer distance
+//! to wires and obstructions, fill-to-fill spacing, and overlaps.
+//!
+//! The flow's own placements satisfy these by construction (the scan-line
+//! enforces them); the verifier exists for *imported* fill (e.g. read back
+//! from GDSII with `pilfill_stream::GdsLibrary::fill_features`) and as
+//! an independent check in tests and the `pilfill verify` CLI command.
+
+use crate::FillFeature;
+use pilfill_geom::{Coord, Rect};
+use pilfill_layout::{Design, LayerId};
+use std::collections::HashMap;
+
+/// One design-rule violation found by [`check_fill`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrcViolation {
+    /// A feature extends beyond the die.
+    OffDie {
+        /// The offending feature.
+        feature: FillFeature,
+    },
+    /// A feature is within the buffer distance of a wire.
+    BufferToWire {
+        /// The offending feature.
+        feature: FillFeature,
+        /// The wire rectangle it crowds.
+        wire: Rect,
+    },
+    /// A feature is within the buffer distance of an obstruction.
+    BufferToObstruction {
+        /// The offending feature.
+        feature: FillFeature,
+        /// The obstruction rectangle it crowds.
+        obstruction: Rect,
+    },
+    /// Two features are closer than the fill-to-fill gap (overlapping
+    /// features also report as this).
+    FillSpacing {
+        /// First feature.
+        a: FillFeature,
+        /// Second feature.
+        b: FillFeature,
+    },
+}
+
+impl std::fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrcViolation::OffDie { feature } => {
+                write!(f, "fill at ({}, {}) off die", feature.x, feature.y)
+            }
+            DrcViolation::BufferToWire { feature, wire } => write!(
+                f,
+                "fill at ({}, {}) within buffer of wire {wire}",
+                feature.x, feature.y
+            ),
+            DrcViolation::BufferToObstruction {
+                feature,
+                obstruction,
+            } => write!(
+                f,
+                "fill at ({}, {}) within buffer of obstruction {obstruction}",
+                feature.x, feature.y
+            ),
+            DrcViolation::FillSpacing { a, b } => write!(
+                f,
+                "fill at ({}, {}) and ({}, {}) closer than the fill gap",
+                a.x, a.y, b.x, b.y
+            ),
+        }
+    }
+}
+
+/// Result of a fill DRC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrcReport {
+    /// Features checked.
+    pub checked: usize,
+    /// All violations found (empty = clean).
+    pub violations: Vec<DrcViolation>,
+}
+
+impl DrcReport {
+    /// `true` when no rule is violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks `features` (placed on `layer`) against `design`'s rules.
+///
+/// Spacing uses a bucket grid, so the check is linear in the feature count
+/// for well-formed placements.
+pub fn check_fill(design: &Design, layer: LayerId, features: &[FillFeature]) -> DrcReport {
+    let rules = design.rules;
+    let size = rules.feature_size;
+    let mut violations = Vec::new();
+
+    // Die containment + keepouts.
+    let wires: Vec<Rect> = design
+        .segments_on_layer(layer)
+        .map(|(_, _, s)| s.rect().grown(rules.buffer))
+        .collect();
+    let obstructions: Vec<Rect> = design
+        .obstructions_on_layer(layer)
+        .map(|o| o.rect.grown(rules.buffer))
+        .collect();
+    for &f in features {
+        let rect = f.rect(size);
+        if !design.die.contains_rect(&rect) {
+            violations.push(DrcViolation::OffDie { feature: f });
+        }
+        for w in &wires {
+            if rect.overlaps(w) {
+                violations.push(DrcViolation::BufferToWire {
+                    feature: f,
+                    wire: w.shrunk(rules.buffer),
+                });
+            }
+        }
+        for o in &obstructions {
+            if rect.overlaps(o) {
+                violations.push(DrcViolation::BufferToObstruction {
+                    feature: f,
+                    obstruction: o.shrunk(rules.buffer),
+                });
+            }
+        }
+    }
+
+    // Fill-to-fill spacing via bucket grid (bucket side = pitch).
+    let pitch = rules.site_pitch().max(1);
+    let mut buckets: HashMap<(Coord, Coord), Vec<usize>> = HashMap::new();
+    for (i, f) in features.iter().enumerate() {
+        buckets
+            .entry((f.x.div_euclid(pitch), f.y.div_euclid(pitch)))
+            .or_default()
+            .push(i);
+    }
+    for (i, f) in features.iter().enumerate() {
+        let rect = f.rect(size).grown(rules.gap);
+        let (bx, by) = (f.x.div_euclid(pitch), f.y.div_euclid(pitch));
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(others) = buckets.get(&(bx + dx, by + dy)) else {
+                    continue;
+                };
+                for &j in others {
+                    if j <= i {
+                        continue;
+                    }
+                    if rect.overlaps(&features[j].rect(size)) {
+                        violations.push(DrcViolation::FillSpacing {
+                            a: *f,
+                            b: features[j],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    DrcReport {
+        checked: features.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_geom::{Dir, Point};
+    use pilfill_layout::DesignBuilder;
+
+    fn design() -> Design {
+        DesignBuilder::new("d", Rect::new(0, 0, 10_000, 10_000))
+            .layer("m3", Dir::Horizontal)
+            .obstruction("m3", Rect::new(6_000, 6_000, 8_000, 8_000))
+            .net("a", Point::new(300, 3_000))
+            .segment("m3", Point::new(300, 3_000), Point::new(9_000, 3_000), 280)
+            .sink(Point::new(9_000, 3_000))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn clean_placement_passes() {
+        let d = design();
+        let features = vec![
+            FillFeature { x: 1_000, y: 5_000 },
+            FillFeature { x: 1_450, y: 5_000 },
+            FillFeature { x: 1_000, y: 5_450 },
+        ];
+        let report = check_fill(&d, LayerId(0), &features);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.checked, 3);
+    }
+
+    #[test]
+    fn off_die_detected() {
+        let d = design();
+        let report = check_fill(&d, LayerId(0), &[FillFeature { x: 9_900, y: 0 }]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [DrcViolation::OffDie { .. }]
+        ));
+    }
+
+    #[test]
+    fn wire_buffer_violation_detected() {
+        let d = design();
+        // Wire band is y [2860, 3140); buffer 150 -> keepout to 3290.
+        let report = check_fill(&d, LayerId(0), &[FillFeature { x: 1_000, y: 3_200 }]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [DrcViolation::BufferToWire { .. }]
+        ));
+    }
+
+    #[test]
+    fn obstruction_buffer_violation_detected() {
+        let d = design();
+        let report = check_fill(&d, LayerId(0), &[FillFeature { x: 5_800, y: 6_500 }]);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [DrcViolation::BufferToObstruction { .. }]
+        ));
+    }
+
+    #[test]
+    fn spacing_violation_detected_once_per_pair() {
+        let d = design();
+        let a = FillFeature { x: 1_000, y: 5_000 };
+        let b = FillFeature { x: 1_100, y: 5_000 }; // 100 < gap 150 apart... overlapping actually
+        let report = check_fill(&d, LayerId(0), &[a, b]);
+        assert_eq!(
+            report
+                .violations
+                .iter()
+                .filter(|v| matches!(v, DrcViolation::FillSpacing { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn flow_output_is_always_clean() {
+        use crate::flow::{run_flow, FlowConfig};
+        use crate::methods::GreedyFill;
+        use pilfill_layout::synth::{synthesize, SynthConfig};
+        let d = synthesize(&SynthConfig::small_test(17));
+        let cfg = FlowConfig::new(8_000, 2).expect("config");
+        let outcome = run_flow(&d, &cfg, &GreedyFill).expect("flow");
+        let report = check_fill(&d, cfg.layer, &outcome.features);
+        assert!(report.is_clean(), "{:?}", &report.violations[..3.min(report.violations.len())]);
+    }
+}

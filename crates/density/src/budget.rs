@@ -1,0 +1,417 @@
+//! Fill budgeting: how many fill features each tile must receive so that
+//! window densities become as uniform as possible without exceeding an
+//! upper bound — the budgeting step of the "normal fill" baseline
+//! (reference \[3\] of the paper; invoked as "Run LP/Monte-Carlo" in the
+//! Greedy PIL-Fill algorithm, Figure 8).
+//!
+//! Two interchangeable implementations are provided:
+//!
+//! - [`lp_budget`]: the exact Min-Var linear program (maximize the minimum
+//!   window density), practical for small tile grids;
+//! - [`montecarlo_budget`]: the scalable iterative heuristic — repeatedly
+//!   add one feature to the neediest window's best tile — used by the main
+//!   experiment flow.
+//!
+//! Both are density-only: they decide *how much* fill per tile, never
+//! *where* inside the tile. The PIL-Fill methods all receive the same
+//! per-tile budget, which is what makes their density quality identical
+//! while their delay impact differs.
+
+use crate::{DensityMap, FixedDissection};
+use pilfill_geom::CellIndex;
+use pilfill_solver::{Model, Objective, Sense, SolveError};
+
+/// Error from fill budgeting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// `slack` length does not match the tile count.
+    DimensionMismatch {
+        /// Tiles in the dissection.
+        expected: usize,
+        /// Provided slack entries.
+        got: usize,
+    },
+    /// The underlying LP failed.
+    Solver(SolveError),
+    /// Parameters out of range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::DimensionMismatch { expected, got } => {
+                write!(f, "slack has {got} entries, dissection has {expected} tiles")
+            }
+            BudgetError::Solver(e) => write!(f, "budget LP failed: {e}"),
+            BudgetError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BudgetError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for BudgetError {
+    fn from(e: SolveError) -> Self {
+        BudgetError::Solver(e)
+    }
+}
+
+/// The number of fill features each tile must receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillBudget {
+    nx: usize,
+    features: Vec<u32>,
+}
+
+impl FillBudget {
+    fn new(dissection: &FixedDissection, features: Vec<u32>) -> Self {
+        debug_assert_eq!(features.len(), dissection.tiles().len());
+        Self {
+            nx: dissection.tiles().nx(),
+            features,
+        }
+    }
+
+    /// Features budgeted for tile `(ix, iy)`.
+    pub fn features(&self, (ix, iy): CellIndex) -> u32 {
+        self.features[iy * self.nx + ix]
+    }
+
+    /// Total features across all tiles.
+    pub fn total(&self) -> u64 {
+        self.features.iter().map(|&f| f as u64).sum()
+    }
+
+    /// Iterates `(cell, features)` for tiles with a non-zero budget.
+    pub fn iter(&self) -> impl Iterator<Item = (CellIndex, u32)> + '_ {
+        self.features
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(move |(i, &f)| ((i % self.nx, i / self.nx), f))
+    }
+}
+
+fn check_inputs(
+    existing: &DensityMap,
+    slack: &[u32],
+    feature_area: i64,
+    upper_bound: f64,
+) -> Result<(), BudgetError> {
+    let expected = existing.dissection().tiles().len();
+    if slack.len() != expected {
+        return Err(BudgetError::DimensionMismatch {
+            expected,
+            got: slack.len(),
+        });
+    }
+    if feature_area <= 0 {
+        return Err(BudgetError::InvalidParameter(format!(
+            "feature area must be positive (got {feature_area})"
+        )));
+    }
+    if !(0.0..=1.0).contains(&upper_bound) {
+        return Err(BudgetError::InvalidParameter(format!(
+            "upper bound must be in [0, 1] (got {upper_bound})"
+        )));
+    }
+    Ok(())
+}
+
+/// Exact Min-Var budgeting LP: maximize the minimum window density subject
+/// to the per-window `upper_bound` and per-tile `slack` capacities
+/// (in fill-feature counts). The relaxed per-tile counts are rounded down,
+/// so the result is always feasible.
+///
+/// Intended for small grids (≲ 500 tiles); the main flow uses
+/// [`montecarlo_budget`].
+///
+/// # Errors
+///
+/// Returns [`BudgetError::DimensionMismatch`] / `InvalidParameter` on bad
+/// inputs and [`BudgetError::Solver`] if the LP fails (e.g. the existing
+/// density already violates `upper_bound` makes it infeasible only if
+/// windows exceed the bound before any fill; such windows are allowed — the
+/// constraint only limits *added* fill).
+pub fn lp_budget(
+    existing: &DensityMap,
+    slack: &[u32],
+    feature_area: i64,
+    upper_bound: f64,
+) -> Result<FillBudget, BudgetError> {
+    check_inputs(existing, slack, feature_area, upper_bound)?;
+    let dis = *existing.dissection();
+    let grid = dis.tiles();
+    let n = grid.len();
+
+    let mut model = Model::new(Objective::Maximize);
+    // Per-tile fill feature count, relaxed to continuous.
+    let vars: Vec<_> = (0..n)
+        .map(|i| model.add_var(0.0, slack[i] as f64, 0.0))
+        .collect();
+    // M: the minimum window density (the objective).
+    let m = model.add_var(0.0, 1.0, 1.0);
+
+    let fa = feature_area as f64;
+    for w in dis.windows() {
+        let rect_area = dis.window_rect(w).area() as f64;
+        let a0 = existing.window_area(w) as f64;
+        let tile_vars: Vec<_> = w
+            .tiles()
+            .map(|(ix, iy)| (vars[iy * grid.nx() + ix], fa))
+            .collect();
+        // Upper bound on *added* fill: A0 + fa * sum(n) <= max(U, current) * area.
+        let ub = upper_bound.max(a0 / rect_area);
+        model.add_constraint(tile_vars.clone(), Sense::Le, ub * rect_area - a0);
+        // Min density: A0 + fa * sum(n) >= M * area.
+        let mut terms = tile_vars;
+        terms.push((m, -rect_area));
+        model.add_constraint(terms, Sense::Ge, -a0);
+    }
+
+    let sol = model.solve_lp()?;
+    let features = vars
+        .iter()
+        .map(|&v| sol.value(v).floor().max(0.0) as u32)
+        .collect();
+    Ok(FillBudget::new(&dis, features))
+}
+
+/// Scalable Monte-Carlo/greedy budgeting: repeatedly pick the window with
+/// the lowest density and add one feature to its tile with the most
+/// remaining slack, subject to no window exceeding `upper_bound`. Stops
+/// when no minimum-density window can accept more fill.
+///
+/// Deterministic: ties break towards lower tile index.
+///
+/// # Errors
+///
+/// Returns [`BudgetError::DimensionMismatch`] / `InvalidParameter` on bad
+/// inputs.
+pub fn montecarlo_budget(
+    existing: &DensityMap,
+    slack: &[u32],
+    feature_area: i64,
+    upper_bound: f64,
+) -> Result<FillBudget, BudgetError> {
+    check_inputs(existing, slack, feature_area, upper_bound)?;
+    let dis = *existing.dissection();
+    let grid = dis.tiles();
+    let nx = grid.nx();
+    let n = grid.len();
+    let windows: Vec<_> = dis.windows().collect();
+
+    // Window areas and current feature areas.
+    let w_area: Vec<f64> = windows
+        .iter()
+        .map(|&w| dis.window_rect(w).area() as f64)
+        .collect();
+    let mut w_fill: Vec<f64> = windows
+        .iter()
+        .map(|&w| existing.window_area(w) as f64)
+        .collect();
+    // Windows covering each tile.
+    let mut windows_of_tile: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (wi, w) in windows.iter().enumerate() {
+        for (ix, iy) in w.tiles() {
+            windows_of_tile[iy * nx + ix].push(wi);
+        }
+    }
+
+    let mut remaining: Vec<u32> = slack.to_vec();
+    let mut budget = vec![0u32; n];
+    let fa = feature_area as f64;
+    let mut stuck = vec![false; windows.len()];
+
+    loop {
+        // Lowest-density window that is not stuck.
+        let target = (0..windows.len())
+            .filter(|&wi| !stuck[wi])
+            .min_by(|&a, &b| {
+                (w_fill[a] / w_area[a])
+                    .partial_cmp(&(w_fill[b] / w_area[b]))
+                    .expect("densities are finite")
+            });
+        let Some(wi) = target else { break };
+
+        // Best tile in that window: most remaining slack, addition must not
+        // push any covering window above the bound.
+        let candidate = windows[wi]
+            .tiles()
+            .map(|(ix, iy)| iy * nx + ix)
+            .filter(|&t| remaining[t] > 0)
+            .filter(|&t| {
+                windows_of_tile[t].iter().all(|&cw| {
+                    let after = (w_fill[cw] + fa) / w_area[cw];
+                    // Never push a window above the bound unless it already
+                    // exceeded it from drawn features alone (then fill is
+                    // simply forbidden there).
+                    after <= upper_bound.max(w_fill[cw] / w_area[cw]) && after <= upper_bound
+                })
+            })
+            .max_by_key(|&t| (remaining[t], std::cmp::Reverse(t)));
+
+        match candidate {
+            Some(t) => {
+                remaining[t] -= 1;
+                budget[t] += 1;
+                for &cw in &windows_of_tile[t] {
+                    w_fill[cw] += fa;
+                    // Any window that gained fill might unstick neighbours'
+                    // ordering; conservative: clear all stuck marks
+                    // occasionally would be O(n^2). Stuck windows stay
+                    // stuck: adding fill elsewhere only raises densities,
+                    // never creates new capacity, so this is sound.
+                }
+            }
+            None => {
+                stuck[wi] = true;
+            }
+        }
+    }
+
+    Ok(FillBudget::new(&dis, budget))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FixedDissection;
+    use pilfill_geom::{Dir, Point, Rect};
+    use pilfill_layout::{DesignBuilder, LayerId};
+
+    const FEATURE_AREA: i64 = 160_000; // 400 x 400
+
+    fn test_map() -> DensityMap {
+        // One dense corner wire, rest empty.
+        let design = DesignBuilder::new("d", Rect::new(0, 0, 16_000, 16_000))
+            .layer("m3", Dir::Horizontal)
+            .net("n", Point::new(0, 1_000))
+            .segment("m3", Point::new(0, 1_000), Point::new(7_000, 1_000), 2_000)
+            .sink(Point::new(7_000, 1_000))
+            .build()
+            .expect("valid");
+        let dis = FixedDissection::new(design.die, 8_000, 2).expect("valid");
+        DensityMap::compute(&design, LayerId(0), &dis)
+    }
+
+    fn full_slack(map: &DensityMap, per_tile: u32) -> Vec<u32> {
+        vec![per_tile; map.dissection().tiles().len()]
+    }
+
+    #[test]
+    fn lp_budget_improves_min_density() {
+        let map = test_map();
+        let slack = full_slack(&map, 40);
+        let before = map.analyze();
+        let budget = lp_budget(&map, &slack, FEATURE_AREA, 0.4).expect("lp");
+        let mut after_map = map.clone();
+        for (cell, f) in budget.iter() {
+            after_map.add_tile_area(cell, f as i64 * FEATURE_AREA);
+        }
+        let after = after_map.analyze();
+        assert!(after.min_window_density > before.min_window_density);
+        assert!(after.max_window_density <= 0.4 + 1e-9);
+        assert!(after.variation < before.variation);
+    }
+
+    #[test]
+    fn montecarlo_budget_improves_min_density() {
+        let map = test_map();
+        let slack = full_slack(&map, 40);
+        let before = map.analyze();
+        let budget = montecarlo_budget(&map, &slack, FEATURE_AREA, 0.4).expect("mc");
+        let mut after_map = map.clone();
+        for (cell, f) in budget.iter() {
+            after_map.add_tile_area(cell, f as i64 * FEATURE_AREA);
+        }
+        let after = after_map.analyze();
+        assert!(after.min_window_density > before.min_window_density);
+        assert!(after.max_window_density <= 0.4 + 1e-9);
+    }
+
+    #[test]
+    fn budgets_respect_slack() {
+        let map = test_map();
+        let slack = full_slack(&map, 3);
+        for budget in [
+            lp_budget(&map, &slack, FEATURE_AREA, 0.5).expect("lp"),
+            montecarlo_budget(&map, &slack, FEATURE_AREA, 0.5).expect("mc"),
+        ] {
+            for (cell, f) in budget.iter() {
+                let _ = cell;
+                assert!(f <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_slack_means_zero_budget() {
+        let map = test_map();
+        let slack = full_slack(&map, 0);
+        let b = montecarlo_budget(&map, &slack, FEATURE_AREA, 0.5).expect("mc");
+        assert_eq!(b.total(), 0);
+        let b = lp_budget(&map, &slack, FEATURE_AREA, 0.5).expect("lp");
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn montecarlo_close_to_lp_on_small_grid() {
+        let map = test_map();
+        let slack = full_slack(&map, 25);
+        let apply = |budget: &FillBudget| {
+            let mut m = map.clone();
+            for (cell, f) in budget.iter() {
+                m.add_tile_area(cell, f as i64 * FEATURE_AREA);
+            }
+            m.analyze().min_window_density
+        };
+        let lp = lp_budget(&map, &slack, FEATURE_AREA, 0.35).expect("lp");
+        let mc = montecarlo_budget(&map, &slack, FEATURE_AREA, 0.35).expect("mc");
+        let lp_min = apply(&lp);
+        let mc_min = apply(&mc);
+        // MC should reach at least 85% of the LP's min-density gain.
+        assert!(
+            mc_min >= 0.85 * lp_min,
+            "mc {mc_min} far below lp {lp_min}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let map = test_map();
+        let slack = vec![1u32; 3];
+        assert!(matches!(
+            montecarlo_budget(&map, &slack, FEATURE_AREA, 0.5),
+            Err(BudgetError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let map = test_map();
+        let slack = full_slack(&map, 1);
+        assert!(lp_budget(&map, &slack, 0, 0.5).is_err());
+        assert!(montecarlo_budget(&map, &slack, FEATURE_AREA, 1.5).is_err());
+    }
+
+    #[test]
+    fn budget_indexing_round_trips() {
+        let map = test_map();
+        let slack = full_slack(&map, 10);
+        let b = montecarlo_budget(&map, &slack, FEATURE_AREA, 0.5).expect("mc");
+        let from_iter: u64 = b.iter().map(|(_, f)| f as u64).sum();
+        assert_eq!(from_iter, b.total());
+        for (cell, f) in b.iter() {
+            assert_eq!(b.features(cell), f);
+        }
+    }
+}

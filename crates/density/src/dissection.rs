@@ -1,0 +1,204 @@
+use pilfill_geom::{CellIndex, Coord, Grid, Rect};
+
+/// Error constructing a [`FixedDissection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DissectionError {
+    /// Window size must be positive and divisible by `r`.
+    InvalidWindow {
+        /// Requested window size.
+        window: Coord,
+        /// Requested dissection parameter.
+        r: usize,
+    },
+    /// The die is smaller than a single window.
+    DieTooSmall,
+}
+
+impl std::fmt::Display for DissectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DissectionError::InvalidWindow { window, r } => write!(
+                f,
+                "window size {window} must be positive and divisible by r = {r}"
+            ),
+            DissectionError::DieTooSmall => f.write_str("die smaller than one window"),
+        }
+    }
+}
+
+impl std::error::Error for DissectionError {}
+
+/// One `w x w` density window: an `r x r` block of tiles anchored at tile
+/// `(ix, iy)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Anchor tile (lower-left of the block).
+    pub anchor: CellIndex,
+    /// Dissection parameter: the window spans `r x r` tiles.
+    pub r: usize,
+}
+
+impl Window {
+    /// Iterates the tile indices covered by the window.
+    pub fn tiles(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        let (ax, ay) = self.anchor;
+        let r = self.r;
+        (ay..ay + r).flat_map(move |iy| (ax..ax + r).map(move |ix| (ix, iy)))
+    }
+}
+
+/// The fixed `r`-dissection of a die: square tiles of side `w/r` covering
+/// the die, with every `r x r` tile block forming a density window
+/// (Figure 1 of the paper: the `r^2` overlapping dissection phases are
+/// exactly the set of all anchored blocks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedDissection {
+    tiles: Grid,
+    window: Coord,
+    r: usize,
+}
+
+impl FixedDissection {
+    /// Creates the dissection of `die` with window size `window` (in dbu)
+    /// and dissection parameter `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DissectionError::InvalidWindow`] unless `window > 0`,
+    /// `r > 0` and `r` divides `window`; [`DissectionError::DieTooSmall`]
+    /// if the die cannot hold one full window.
+    pub fn new(die: Rect, window: Coord, r: usize) -> Result<Self, DissectionError> {
+        if window <= 0 || r == 0 || window % r as Coord != 0 {
+            return Err(DissectionError::InvalidWindow { window, r });
+        }
+        if die.width() < window || die.height() < window {
+            return Err(DissectionError::DieTooSmall);
+        }
+        let tile = window / r as Coord;
+        Ok(Self {
+            tiles: Grid::square(die, tile),
+            window,
+            r,
+        })
+    }
+
+    /// The tile grid.
+    pub const fn tiles(&self) -> Grid {
+        self.tiles
+    }
+
+    /// Tile side length (`w / r`).
+    pub fn tile_size(&self) -> Coord {
+        self.tiles.pitch_x()
+    }
+
+    /// Window side length.
+    pub const fn window_size(&self) -> Coord {
+        self.window
+    }
+
+    /// The dissection parameter `r`.
+    pub const fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Number of tiles (total).
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Iterates every window (all `r^2` phases; one window per anchor tile
+    /// that has `r x r` full tiles above and to the right).
+    pub fn windows(&self) -> impl Iterator<Item = Window> + '_ {
+        let nx = self.tiles.nx();
+        let ny = self.tiles.ny();
+        let r = self.r;
+        let max_x = nx.saturating_sub(r - 1);
+        let max_y = ny.saturating_sub(r - 1);
+        (0..max_y).flat_map(move |iy| {
+            (0..max_x).map(move |ix| Window {
+                anchor: (ix, iy),
+                r,
+            })
+        })
+    }
+
+    /// The geometric rectangle of a window.
+    pub fn window_rect(&self, w: Window) -> Rect {
+        let lo = self.tiles.cell_rect(w.anchor);
+        Rect::new(
+            lo.left,
+            lo.bottom,
+            (lo.left + self.window).min(self.tiles.bounds().right),
+            (lo.bottom + self.window).min(self.tiles.bounds().top),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dissection() -> FixedDissection {
+        FixedDissection::new(Rect::new(0, 0, 64_000, 64_000), 16_000, 4).expect("valid")
+    }
+
+    #[test]
+    fn tile_and_window_counts() {
+        let d = dissection();
+        assert_eq!(d.tile_size(), 4_000);
+        assert_eq!(d.tiles().nx(), 16);
+        assert_eq!(d.num_tiles(), 256);
+        // Windows: (16 - 3)^2.
+        assert_eq!(d.windows().count(), 13 * 13);
+        assert_eq!(d.r(), 4);
+        assert_eq!(d.window_size(), 16_000);
+    }
+
+    #[test]
+    fn r1_windows_are_tiles() {
+        let d = FixedDissection::new(Rect::new(0, 0, 10_000, 10_000), 2_000, 1).expect("r=1");
+        assert_eq!(d.windows().count(), d.num_tiles());
+    }
+
+    #[test]
+    fn window_tiles_enumerate_block() {
+        let w = Window {
+            anchor: (2, 3),
+            r: 2,
+        };
+        let tiles: Vec<_> = w.tiles().collect();
+        assert_eq!(tiles, vec![(2, 3), (3, 3), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn window_rect_spans_r_tiles() {
+        let d = dissection();
+        let w = Window {
+            anchor: (1, 1),
+            r: 4,
+        };
+        assert_eq!(d.window_rect(w), Rect::new(4_000, 4_000, 20_000, 20_000));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let die = Rect::new(0, 0, 10_000, 10_000);
+        assert!(FixedDissection::new(die, 0, 2).is_err());
+        assert!(FixedDissection::new(die, 1_000, 0).is_err());
+        assert!(FixedDissection::new(die, 1_001, 2).is_err()); // not divisible
+        assert!(FixedDissection::new(die, 20_000, 2).is_err()); // die too small
+    }
+
+    #[test]
+    fn partial_die_still_tiles_fully() {
+        // Die not an exact multiple of the tile size: tiles still cover it.
+        let d = FixedDissection::new(Rect::new(0, 0, 10_500, 9_100), 4_000, 2).expect("valid");
+        let total: i64 = d
+            .tiles()
+            .indices()
+            .map(|c| d.tiles().cell_rect(c).area())
+            .sum();
+        assert_eq!(total, 10_500 * 9_100);
+    }
+}

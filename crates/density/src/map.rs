@@ -1,0 +1,262 @@
+use crate::{FixedDissection, Window};
+use pilfill_geom::CellIndex;
+use pilfill_layout::{Design, LayerId};
+
+/// Per-tile feature area on one layer, with window-density queries.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_density::{DensityMap, FixedDissection};
+/// use pilfill_layout::synth::{SynthConfig, synthesize};
+/// use pilfill_layout::LayerId;
+///
+/// let design = synthesize(&SynthConfig::small_test(1));
+/// let dis = FixedDissection::new(design.die, 8_000, 2)?;
+/// let map = DensityMap::compute(&design, LayerId(0), &dis);
+/// let analysis = map.analyze();
+/// assert!(analysis.max_window_density <= 1.0);
+/// assert!(analysis.min_window_density <= analysis.max_window_density);
+/// # Ok::<(), pilfill_density::DissectionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMap {
+    dissection: FixedDissection,
+    /// Feature area per tile, row-major `[iy * nx + ix]`.
+    area: Vec<i64>,
+}
+
+/// Result of a window-density analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityAnalysis {
+    /// Smallest window density (features / window area).
+    pub min_window_density: f64,
+    /// Largest window density.
+    pub max_window_density: f64,
+    /// `max - min`: the variation objective of density-driven fill.
+    pub variation: f64,
+    /// Mean window density.
+    pub mean_window_density: f64,
+}
+
+impl DensityMap {
+    /// Computes per-tile drawn metal area of `layer` under `dissection`,
+    /// counting both wire segments and obstructions (macros are metal for
+    /// CMP purposes).
+    pub fn compute(design: &Design, layer: LayerId, dissection: &FixedDissection) -> Self {
+        let grid = dissection.tiles();
+        let mut area = vec![0i64; grid.len()];
+        let mut add_rect = |rect: pilfill_geom::Rect| {
+            for cell in grid.cells_overlapping(&rect) {
+                let clipped = grid.cell_rect(cell).intersection(&rect);
+                area[Self::index_of(&grid, cell)] += clipped.area();
+            }
+        };
+        for (_, _, seg) in design.segments_on_layer(layer) {
+            add_rect(seg.rect());
+        }
+        for o in design.obstructions_on_layer(layer) {
+            add_rect(o.rect);
+        }
+        Self {
+            dissection: *dissection,
+            area,
+        }
+    }
+
+    /// An all-zero map over `dissection` (useful for accumulating fill).
+    pub fn zeros(dissection: &FixedDissection) -> Self {
+        Self {
+            dissection: *dissection,
+            area: vec![0; dissection.tiles().len()],
+        }
+    }
+
+    fn index_of(grid: &pilfill_geom::Grid, (ix, iy): CellIndex) -> usize {
+        iy * grid.nx() + ix
+    }
+
+    /// The dissection this map was computed under.
+    pub const fn dissection(&self) -> &FixedDissection {
+        &self.dissection
+    }
+
+    /// Feature area of one tile.
+    pub fn tile_area(&self, cell: CellIndex) -> i64 {
+        self.area[Self::index_of(&self.dissection.tiles(), cell)]
+    }
+
+    /// Adds feature area to one tile (e.g. inserted fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile index is out of range.
+    pub fn add_tile_area(&mut self, cell: CellIndex, delta: i64) {
+        let idx = Self::index_of(&self.dissection.tiles(), cell);
+        self.area[idx] += delta;
+    }
+
+    /// Sum of feature area over a window.
+    pub fn window_area(&self, w: Window) -> i64 {
+        w.tiles().map(|c| self.tile_area(c)).sum()
+    }
+
+    /// Density (feature area / geometric area) of a window.
+    pub fn window_density(&self, w: Window) -> f64 {
+        let rect = self.dissection.window_rect(w);
+        self.window_area(w) as f64 / rect.area() as f64
+    }
+
+    /// Total feature area across all tiles.
+    pub fn total_area(&self) -> i64 {
+        self.area.iter().sum()
+    }
+
+    /// Returns a new map whose tile areas are the element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps use different dissections.
+    #[must_use]
+    pub fn sum_with(&self, other: &DensityMap) -> DensityMap {
+        assert_eq!(
+            self.dissection, other.dissection,
+            "cannot combine maps over different dissections"
+        );
+        DensityMap {
+            dissection: self.dissection,
+            area: self
+                .area
+                .iter()
+                .zip(&other.area)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Min/max/variation analysis over all windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dissection yields no windows (cannot happen for a
+    /// successfully constructed [`FixedDissection`]).
+    pub fn analyze(&self) -> DensityAnalysis {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for w in self.dissection.windows() {
+            let d = self.window_density(w);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            count += 1;
+        }
+        assert!(count > 0, "dissection has no windows");
+        DensityAnalysis {
+            min_window_density: min,
+            max_window_density: max,
+            variation: max - min,
+            mean_window_density: sum / count as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_geom::{Dir, Point, Rect};
+    use pilfill_layout::DesignBuilder;
+
+    fn dissection(die: Rect) -> FixedDissection {
+        FixedDissection::new(die, 8_000, 2).expect("valid dissection")
+    }
+
+    fn one_wire_design() -> Design {
+        DesignBuilder::new("d", Rect::new(0, 0, 32_000, 32_000))
+            .layer("m3", Dir::Horizontal)
+            .net("n", Point::new(0, 2_000))
+            .segment("m3", Point::new(0, 2_000), Point::new(8_000, 2_000), 400)
+            .sink(Point::new(8_000, 2_000))
+            .build()
+            .expect("valid design")
+    }
+
+    #[test]
+    fn tile_areas_sum_to_layer_area() {
+        let d = one_wire_design();
+        let dis = dissection(d.die);
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        assert_eq!(map.total_area(), d.metal_area_on_layer(LayerId(0)));
+    }
+
+    #[test]
+    fn wire_spanning_two_tiles_splits_area() {
+        let d = one_wire_design();
+        // Tile size 4000; the wire [0, 8000) x [1800, 2200) covers tiles
+        // (0,0) and (1,0) with 4000*400 each.
+        let dis = dissection(d.die);
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        assert_eq!(map.tile_area((0, 0)), 4_000 * 400);
+        assert_eq!(map.tile_area((1, 0)), 4_000 * 400);
+        assert_eq!(map.tile_area((2, 0)), 0);
+    }
+
+    #[test]
+    fn window_density_reflects_contents() {
+        let d = one_wire_design();
+        let dis = dissection(d.die);
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        let w = Window {
+            anchor: (0, 0),
+            r: 2,
+        };
+        let expected = (2.0 * 4_000.0 * 400.0) / (8_000.0f64 * 8_000.0);
+        assert!((map.window_density(w) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_fill_area_shifts_analysis() {
+        let d = one_wire_design();
+        let dis = dissection(d.die);
+        let mut map = DensityMap::compute(&d, LayerId(0), &dis);
+        let before = map.analyze();
+        // Fill an empty corner tile heavily.
+        map.add_tile_area((6, 6), 3_000_000);
+        let after = map.analyze();
+        assert!(after.min_window_density >= before.min_window_density);
+        assert!(after.max_window_density >= before.max_window_density);
+    }
+
+    #[test]
+    fn zeros_map_analysis_is_flat() {
+        let d = one_wire_design();
+        let dis = dissection(d.die);
+        let map = DensityMap::zeros(&dis);
+        let a = map.analyze();
+        assert_eq!(a.min_window_density, 0.0);
+        assert_eq!(a.max_window_density, 0.0);
+        assert_eq!(a.variation, 0.0);
+    }
+
+    #[test]
+    fn sum_with_adds_elementwise() {
+        let d = one_wire_design();
+        let dis = dissection(d.die);
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        let total = map.sum_with(&map);
+        assert_eq!(total.total_area(), 2 * map.total_area());
+        assert_eq!(total.tile_area((0, 0)), 2 * map.tile_area((0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dissections")]
+    fn sum_with_mismatched_dissections_panics() {
+        let d = one_wire_design();
+        let a = DensityMap::zeros(&dissection(d.die));
+        let b = DensityMap::zeros(
+            &FixedDissection::new(d.die, 16_000, 2).expect("valid"),
+        );
+        let _ = a.sum_with(&b);
+    }
+}

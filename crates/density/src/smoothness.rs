@@ -1,0 +1,197 @@
+//! Smoothness metrics for filled layouts, after the companion work the
+//! paper builds on (Chen–Kahng–Robins–Zelikovsky, ISPD 2002, reference
+//! \[4\]: "Smoothness and Uniformity of Filled Layout").
+//!
+//! Uniformity (min/max window density) is not the whole CMP story: the
+//! *gradient* between neighbouring windows matters too, and density must
+//! be controlled at several window scales at once. This module provides:
+//!
+//! - [`gradient_analysis`]: the maximum and mean absolute density
+//!   difference between overlapping windows one tile apart (the "Type II"
+//!   smoothness of the reference);
+//! - [`multi_scale_analysis`]: min/max/variation at several window sizes
+//!   over the same layout, catching fill that looks uniform at one scale
+//!   but lumpy at another.
+
+use crate::{DensityMap, DissectionError, FixedDissection};
+use pilfill_geom::Coord;
+use pilfill_layout::{Design, LayerId};
+
+/// Neighbouring-window gradient statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientAnalysis {
+    /// Largest |density difference| between windows one tile apart.
+    pub max_gradient: f64,
+    /// Mean |density difference| over all adjacent window pairs.
+    pub mean_gradient: f64,
+    /// Number of adjacent pairs inspected.
+    pub pairs: usize,
+}
+
+/// Computes the window-to-window density gradient of a map (windows whose
+/// anchors differ by one tile horizontally or vertically).
+///
+/// # Panics
+///
+/// Panics if the dissection yields no windows (impossible for a valid
+/// [`FixedDissection`]).
+pub fn gradient_analysis(map: &DensityMap) -> GradientAnalysis {
+    let dis = map.dissection();
+    let grid = dis.tiles();
+    let r = dis.r();
+    let max_x = grid.nx().saturating_sub(r - 1);
+    let max_y = grid.ny().saturating_sub(r - 1);
+    let density = |ix: usize, iy: usize| -> f64 {
+        map.window_density(crate::Window {
+            anchor: (ix, iy),
+            r,
+        })
+    };
+    let mut max_g = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut pairs = 0usize;
+    for iy in 0..max_y {
+        for ix in 0..max_x {
+            let d = density(ix, iy);
+            if ix + 1 < max_x {
+                let g = (density(ix + 1, iy) - d).abs();
+                max_g = max_g.max(g);
+                sum += g;
+                pairs += 1;
+            }
+            if iy + 1 < max_y {
+                let g = (density(ix, iy + 1) - d).abs();
+                max_g = max_g.max(g);
+                sum += g;
+                pairs += 1;
+            }
+        }
+    }
+    GradientAnalysis {
+        max_gradient: max_g,
+        mean_gradient: if pairs == 0 { 0.0 } else { sum / pairs as f64 },
+        pairs,
+    }
+}
+
+/// One scale of a multi-scale analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleAnalysis {
+    /// Window size in dbu.
+    pub window: Coord,
+    /// Standard min/max/variation analysis at this scale.
+    pub analysis: crate::DensityAnalysis,
+    /// Gradient at this scale.
+    pub gradient: GradientAnalysis,
+}
+
+/// Analyzes `design` (plus optional extra per-tile fill areas applied via
+/// the returned maps' own API) at several window sizes with a common `r`.
+///
+/// # Errors
+///
+/// Propagates [`DissectionError`] for any window size that does not fit
+/// the die or is not divisible by `r`.
+pub fn multi_scale_analysis(
+    design: &Design,
+    layer: LayerId,
+    windows: &[Coord],
+    r: usize,
+) -> Result<Vec<ScaleAnalysis>, DissectionError> {
+    windows
+        .iter()
+        .map(|&window| {
+            let dis = FixedDissection::new(design.die, window, r)?;
+            let map = DensityMap::compute(design, layer, &dis);
+            Ok(ScaleAnalysis {
+                window,
+                analysis: map.analyze(),
+                gradient: gradient_analysis(&map),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_geom::{Dir, Point, Rect};
+    use pilfill_layout::DesignBuilder;
+
+    fn lumpy_design() -> Design {
+        // All metal in one corner: large gradient.
+        DesignBuilder::new("lumpy", Rect::new(0, 0, 32_000, 32_000))
+            .layer("m3", Dir::Horizontal)
+            .net("n", Point::new(300, 1_000))
+            .segment("m3", Point::new(300, 1_000), Point::new(8_000, 1_000), 2_000)
+            .sink(Point::new(8_000, 1_000))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn gradient_positive_for_lumpy_layout() {
+        let d = lumpy_design();
+        let dis = FixedDissection::new(d.die, 8_000, 2).expect("dissection");
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        let g = gradient_analysis(&map);
+        assert!(g.max_gradient > 0.0);
+        assert!(g.mean_gradient > 0.0);
+        assert!(g.max_gradient >= g.mean_gradient);
+        assert!(g.pairs > 0);
+    }
+
+    #[test]
+    fn gradient_zero_for_empty_layout() {
+        let mut d = lumpy_design();
+        d.nets.clear();
+        let dis = FixedDissection::new(d.die, 8_000, 2).expect("dissection");
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        let g = gradient_analysis(&map);
+        assert_eq!(g.max_gradient, 0.0);
+        assert_eq!(g.mean_gradient, 0.0);
+    }
+
+    #[test]
+    fn uniform_fill_reduces_gradient() {
+        let d = lumpy_design();
+        let dis = FixedDissection::new(d.die, 8_000, 2).expect("dissection");
+        let map = DensityMap::compute(&d, LayerId(0), &dis);
+        let before = gradient_analysis(&map);
+        // Fill every tile up to a constant density.
+        let mut filled = map.clone();
+        for cell in dis.tiles().indices() {
+            let area = dis.tiles().cell_rect(cell).area();
+            let target = (area as f64 * 0.3) as i64;
+            let missing = (target - map.tile_area(cell)).max(0);
+            filled.add_tile_area(cell, missing);
+        }
+        let after = gradient_analysis(&filled);
+        assert!(
+            after.max_gradient < before.max_gradient,
+            "{} !< {}",
+            after.max_gradient,
+            before.max_gradient
+        );
+    }
+
+    #[test]
+    fn multi_scale_reports_each_window() {
+        let d = lumpy_design();
+        let scales =
+            multi_scale_analysis(&d, LayerId(0), &[8_000, 16_000, 32_000], 2).expect("scales");
+        assert_eq!(scales.len(), 3);
+        for s in &scales {
+            assert!(s.analysis.max_window_density <= 1.0);
+            assert!(s.analysis.variation >= 0.0);
+        }
+        // Coarser windows average out: variation shrinks with window size.
+        assert!(scales[2].analysis.variation <= scales[0].analysis.variation);
+    }
+
+    #[test]
+    fn multi_scale_rejects_bad_window() {
+        let d = lumpy_design();
+        assert!(multi_scale_analysis(&d, LayerId(0), &[7_001], 2).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+/// Preferred routing direction of a layer, or the orientation of a wire.
+///
+/// The PIL-Fill algorithms are written for horizontally routed layers
+/// (active lines run left-to-right, slack columns stack vertically); a
+/// vertically routed layer is handled by transposing the geometry, running
+/// the horizontal algorithm, and transposing back.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_geom::Dir;
+///
+/// assert_eq!(Dir::Horizontal.perpendicular(), Dir::Vertical);
+/// assert_eq!(Dir::Vertical.perpendicular().perpendicular(), Dir::Vertical);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Wires run along the x axis.
+    Horizontal,
+    /// Wires run along the y axis.
+    Vertical,
+}
+
+impl Dir {
+    /// The direction rotated by 90 degrees.
+    #[must_use]
+    pub const fn perpendicular(self) -> Self {
+        match self {
+            Dir::Horizontal => Dir::Vertical,
+            Dir::Vertical => Dir::Horizontal,
+        }
+    }
+
+    /// `true` for [`Dir::Horizontal`].
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Dir::Horizontal)
+    }
+
+    /// `true` for [`Dir::Vertical`].
+    pub const fn is_vertical(self) -> bool {
+        matches!(self, Dir::Vertical)
+    }
+}
+
+impl std::fmt::Display for Dir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Dir::Horizontal => "horizontal",
+            Dir::Vertical => "vertical",
+        })
+    }
+}
+
+impl std::str::FromStr for Dir {
+    type Err = ParseDirError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "horizontal" | "h" | "H" => Ok(Dir::Horizontal),
+            "vertical" | "v" | "V" => Ok(Dir::Vertical),
+            _ => Err(ParseDirError),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Dir`] from an unrecognized string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDirError;
+
+impl std::fmt::Display for ParseDirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("direction must be `horizontal`/`h` or `vertical`/`v`")
+    }
+}
+
+impl std::error::Error for ParseDirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perpendicular_swaps() {
+        assert_eq!(Dir::Horizontal.perpendicular(), Dir::Vertical);
+        assert_eq!(Dir::Vertical.perpendicular(), Dir::Horizontal);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Dir::Horizontal.is_horizontal());
+        assert!(!Dir::Horizontal.is_vertical());
+        assert!(Dir::Vertical.is_vertical());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for d in [Dir::Horizontal, Dir::Vertical] {
+            let parsed: Dir = d.to_string().parse().expect("round trip");
+            assert_eq!(parsed, d);
+        }
+        assert_eq!("h".parse::<Dir>(), Ok(Dir::Horizontal));
+        assert_eq!("V".parse::<Dir>(), Ok(Dir::Vertical));
+        assert!("diagonal".parse::<Dir>().is_err());
+    }
+}

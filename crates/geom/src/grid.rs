@@ -1,0 +1,273 @@
+use crate::{Coord, Interval, Rect};
+
+/// Index of a cell in a [`Grid`]: `(ix, iy)` counted from the lower-left.
+pub type CellIndex = (usize, usize);
+
+/// A uniform rectangular grid over a bounding rectangle.
+///
+/// Grids model both the *site* grid (one cell per candidate fill-feature
+/// location) and the *tile* grid of the fixed r-dissection. The last row and
+/// column may be partial if the bounds are not an exact multiple of the
+/// pitch; partial cells are clipped to the bounds.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_geom::{Grid, Rect};
+///
+/// let g = Grid::new(Rect::new(0, 0, 1000, 600), 250, 200);
+/// assert_eq!((g.nx(), g.ny()), (4, 3));
+/// assert_eq!(g.cell_rect((3, 2)), Rect::new(750, 400, 1000, 600));
+/// assert_eq!(g.cell_at(260, 10), Some((1, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    bounds: Rect,
+    pitch_x: Coord,
+    pitch_y: Coord,
+    nx: usize,
+    ny: usize,
+}
+
+impl Grid {
+    /// Creates a grid covering `bounds` with the given cell pitches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or either pitch is non-positive.
+    pub fn new(bounds: Rect, pitch_x: Coord, pitch_y: Coord) -> Self {
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        assert!(
+            pitch_x > 0 && pitch_y > 0,
+            "grid pitches must be positive (got {pitch_x}, {pitch_y})"
+        );
+        let nx = Self::div_ceil(bounds.width(), pitch_x);
+        let ny = Self::div_ceil(bounds.height(), pitch_y);
+        Self {
+            bounds,
+            pitch_x,
+            pitch_y,
+            nx,
+            ny,
+        }
+    }
+
+    /// Creates a square-celled grid.
+    pub fn square(bounds: Rect, pitch: Coord) -> Self {
+        Self::new(bounds, pitch, pitch)
+    }
+
+    fn div_ceil(a: Coord, b: Coord) -> usize {
+        ((a + b - 1) / b) as usize
+    }
+
+    /// The covered bounds.
+    pub const fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Horizontal cell pitch.
+    pub const fn pitch_x(&self) -> Coord {
+        self.pitch_x
+    }
+
+    /// Vertical cell pitch.
+    pub const fn pitch_y(&self) -> Coord {
+        self.pitch_y
+    }
+
+    /// Number of columns.
+    pub const fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    pub const fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells.
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// `true` if the grid has no cells (never true for a validly constructed
+    /// grid).
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rectangle of cell `(ix, iy)`, clipped to the grid bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn cell_rect(&self, (ix, iy): CellIndex) -> Rect {
+        assert!(ix < self.nx && iy < self.ny, "cell index out of range");
+        let left = self.bounds.left + self.pitch_x * ix as Coord;
+        let bottom = self.bounds.bottom + self.pitch_y * iy as Coord;
+        Rect {
+            left,
+            bottom,
+            right: (left + self.pitch_x).min(self.bounds.right),
+            top: (bottom + self.pitch_y).min(self.bounds.top),
+        }
+    }
+
+    /// The cell containing point `(x, y)`, or `None` if outside the bounds.
+    pub fn cell_at(&self, x: Coord, y: Coord) -> Option<CellIndex> {
+        if !self.bounds.contains(crate::Point::new(x, y)) {
+            return None;
+        }
+        let ix = ((x - self.bounds.left) / self.pitch_x) as usize;
+        let iy = ((y - self.bounds.bottom) / self.pitch_y) as usize;
+        Some((ix.min(self.nx - 1), iy.min(self.ny - 1)))
+    }
+
+    /// The inclusive range of column indices whose cells overlap `span`
+    /// (x interval), or `None` if no overlap.
+    pub fn columns_overlapping(&self, span: Interval) -> Option<(usize, usize)> {
+        self.axis_range(span, self.bounds.x_span(), self.pitch_x, self.nx)
+    }
+
+    /// The inclusive range of row indices whose cells overlap `span`
+    /// (y interval), or `None` if no overlap.
+    pub fn rows_overlapping(&self, span: Interval) -> Option<(usize, usize)> {
+        self.axis_range(span, self.bounds.y_span(), self.pitch_y, self.ny)
+    }
+
+    fn axis_range(
+        &self,
+        span: Interval,
+        axis: Interval,
+        pitch: Coord,
+        n: usize,
+    ) -> Option<(usize, usize)> {
+        let clipped = span.intersection(axis);
+        if clipped.is_empty() {
+            return None;
+        }
+        let lo = ((clipped.lo - axis.lo) / pitch) as usize;
+        let hi = (((clipped.hi - 1 - axis.lo) / pitch) as usize).min(n - 1);
+        Some((lo, hi))
+    }
+
+    /// Iterates indices of all cells overlapping `rect` (row-major order).
+    pub fn cells_overlapping<'a>(&'a self, rect: &Rect) -> impl Iterator<Item = CellIndex> + 'a {
+        let cols = self.columns_overlapping(rect.x_span());
+        let rows = self.rows_overlapping(rect.y_span());
+        let ((cx0, cx1), (cy0, cy1)) = match (cols, rows) {
+            (Some(c), Some(r)) => (c, r),
+            // Empty iterator via an impossible range.
+            _ => ((1, 0), (1, 0)),
+        };
+        (cy0..=cy1.max(cy0))
+            .flat_map(move |iy| (cx0..=cx1.max(cx0)).map(move |ix| (ix, iy)))
+            .filter(move |_| cols.is_some() && rows.is_some())
+    }
+
+    /// Iterates all cell indices in row-major order.
+    pub fn indices(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        (0..self.ny).flat_map(move |iy| (0..self.nx).map(move |ix| (ix, iy)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn grid() -> Grid {
+        Grid::new(Rect::new(0, 0, 1000, 600), 250, 200)
+    }
+
+    #[test]
+    fn dimensions_exact_fit() {
+        let g = grid();
+        assert_eq!(g.nx(), 4);
+        assert_eq!(g.ny(), 3);
+        assert_eq!(g.len(), 12);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn dimensions_partial_last_cell() {
+        let g = Grid::square(Rect::new(0, 0, 1001, 999), 500);
+        assert_eq!((g.nx(), g.ny()), (3, 2));
+        // Last column clipped to bounds.
+        assert_eq!(g.cell_rect((2, 1)), Rect::new(1000, 500, 1001, 999));
+    }
+
+    #[test]
+    #[should_panic(expected = "pitches must be positive")]
+    fn zero_pitch_panics() {
+        let _ = Grid::new(Rect::new(0, 0, 10, 10), 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_bounds_panics() {
+        let _ = Grid::square(Rect::empty(), 5);
+    }
+
+    #[test]
+    fn cell_rects_tile_the_bounds() {
+        let g = grid();
+        let total: i64 = g.indices().map(|c| g.cell_rect(c).area()).sum();
+        assert_eq!(total, g.bounds().area());
+        // All cells inside the bounds, pairwise non-overlapping.
+        let cells: Vec<Rect> = g.indices().map(|c| g.cell_rect(c)).collect();
+        for (i, a) in cells.iter().enumerate() {
+            assert!(g.bounds().contains_rect(a));
+            for b in &cells[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_at_matches_cell_rect() {
+        let g = grid();
+        for c in g.indices() {
+            let r = g.cell_rect(c);
+            let inside = Point::new(r.left, r.bottom);
+            assert_eq!(g.cell_at(inside.x, inside.y), Some(c));
+        }
+        assert_eq!(g.cell_at(-1, 0), None);
+        assert_eq!(g.cell_at(1000, 0), None); // right edge exclusive
+    }
+
+    #[test]
+    fn cells_overlapping_matches_brute_force() {
+        let g = grid();
+        let query = Rect::new(240, 190, 760, 210);
+        let fast: Vec<CellIndex> = g.cells_overlapping(&query).collect();
+        let brute: Vec<CellIndex> = g
+            .indices()
+            .filter(|&c| g.cell_rect(c).overlaps(&query))
+            .collect();
+        let mut fast_sorted = fast.clone();
+        fast_sorted.sort_unstable();
+        let mut brute_sorted = brute;
+        brute_sorted.sort_unstable();
+        assert_eq!(fast_sorted, brute_sorted);
+        assert_eq!(fast.len(), 8); // 4 columns x 2 rows
+    }
+
+    #[test]
+    fn cells_overlapping_disjoint_rect_is_empty() {
+        let g = grid();
+        assert_eq!(g.cells_overlapping(&Rect::new(2000, 0, 2100, 100)).count(), 0);
+        assert_eq!(g.cells_overlapping(&Rect::empty()).count(), 0);
+    }
+
+    #[test]
+    fn row_and_column_ranges() {
+        let g = grid();
+        assert_eq!(g.columns_overlapping(Interval::new(0, 250)), Some((0, 0)));
+        assert_eq!(g.columns_overlapping(Interval::new(0, 251)), Some((0, 1)));
+        assert_eq!(g.columns_overlapping(Interval::new(999, 1500)), Some((3, 3)));
+        assert_eq!(g.columns_overlapping(Interval::new(1000, 1500)), None);
+        assert_eq!(g.rows_overlapping(Interval::new(599, 600)), Some((2, 2)));
+    }
+}

@@ -1,0 +1,176 @@
+use crate::Coord;
+
+/// A half-open 1-D interval `[lo, hi)` in database units.
+///
+/// Half-open intervals compose cleanly when tiling a line: adjacent
+/// intervals share an endpoint but never a unit of length, so lengths add
+/// up exactly. An interval with `lo >= hi` is *empty*.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_geom::Interval;
+///
+/// let a = Interval::new(0, 10);
+/// let b = Interval::new(6, 14);
+/// assert_eq!(a.intersection(b), Interval::new(6, 10));
+/// assert_eq!(a.intersection(b).len(), 4);
+/// assert!(Interval::new(10, 14).intersection(a).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Inclusive lower end.
+    pub lo: Coord,
+    /// Exclusive upper end.
+    pub hi: Coord,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi)`. `lo > hi` is allowed and yields an
+    /// empty interval.
+    pub const fn new(lo: Coord, hi: Coord) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The canonical empty interval `[0, 0)`.
+    pub const fn empty() -> Self {
+        Self { lo: 0, hi: 0 }
+    }
+
+    /// Length of the interval; zero if empty.
+    pub fn len(&self) -> Coord {
+        (self.hi - self.lo).max(0)
+    }
+
+    /// `true` if the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// `true` if `x` lies in `[lo, hi)`.
+    pub fn contains(&self, x: Coord) -> bool {
+        self.lo <= x && x < self.hi
+    }
+
+    /// `true` if `other` is fully inside `self` (empty intervals are inside
+    /// everything).
+    pub fn contains_interval(&self, other: Self) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// The overlap of the two intervals (possibly empty).
+    #[must_use]
+    pub fn intersection(&self, other: Self) -> Self {
+        Self {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// `true` if the two intervals share at least one point.
+    pub fn overlaps(&self, other: Self) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// The smallest interval containing both (the *hull*; for disjoint
+    /// inputs this also covers the gap between them).
+    #[must_use]
+    pub fn hull(&self, other: Self) -> Self {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Shrinks the interval by `margin` on both sides (possibly emptying it).
+    #[must_use]
+    pub fn shrunk(&self, margin: Coord) -> Self {
+        Self {
+            lo: self.lo + margin,
+            hi: self.hi - margin,
+        }
+    }
+
+    /// Grows the interval by `margin` on both sides.
+    #[must_use]
+    pub fn grown(&self, margin: Coord) -> Self {
+        self.shrunk(-margin)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Interval::new(2, 7).len(), 5);
+        assert_eq!(Interval::new(7, 2).len(), 0);
+        assert!(Interval::new(7, 2).is_empty());
+        assert!(Interval::empty().is_empty());
+        assert!(!Interval::new(0, 1).is_empty());
+    }
+
+    #[test]
+    fn contains_respects_half_openness() {
+        let iv = Interval::new(3, 6);
+        assert!(!iv.contains(2));
+        assert!(iv.contains(3));
+        assert!(iv.contains(5));
+        assert!(!iv.contains(6));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_clamped() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersection(b), b.intersection(a));
+        assert_eq!(a.intersection(b), Interval::new(5, 10));
+        assert!(a.intersection(Interval::new(10, 12)).is_empty());
+    }
+
+    #[test]
+    fn overlaps_excludes_touching() {
+        let a = Interval::new(0, 10);
+        assert!(a.overlaps(Interval::new(9, 11)));
+        assert!(!a.overlaps(Interval::new(10, 11)));
+    }
+
+    #[test]
+    fn hull_covers_both_and_ignores_empties() {
+        let a = Interval::new(0, 2);
+        let b = Interval::new(8, 9);
+        assert_eq!(a.hull(b), Interval::new(0, 9));
+        assert_eq!(a.hull(Interval::empty()), a);
+        assert_eq!(Interval::empty().hull(b), b);
+    }
+
+    #[test]
+    fn shrink_and_grow_are_inverse_when_nonempty() {
+        let a = Interval::new(10, 30);
+        assert_eq!(a.shrunk(5), Interval::new(15, 25));
+        assert_eq!(a.shrunk(5).grown(5), a);
+        assert!(a.shrunk(12).is_empty());
+    }
+
+    #[test]
+    fn contains_interval_cases() {
+        let a = Interval::new(0, 10);
+        assert!(a.contains_interval(Interval::new(0, 10)));
+        assert!(a.contains_interval(Interval::new(3, 7)));
+        assert!(!a.contains_interval(Interval::new(-1, 4)));
+        assert!(a.contains_interval(Interval::empty()));
+    }
+}

@@ -1,0 +1,266 @@
+use crate::{Coord, Interval};
+
+/// A set of disjoint, sorted, half-open [`Interval`]s over a line.
+///
+/// Used by the scan-line slack-column extraction to track which parts of
+/// the sweep axis are currently free of active lines, and by the density
+/// engine to accumulate covered length.
+///
+/// Invariants (maintained by every operation):
+/// - intervals are non-empty,
+/// - sorted by `lo`,
+/// - pairwise disjoint *and* non-touching (touching intervals are merged).
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_geom::{Interval, IntervalSet};
+///
+/// let mut set = IntervalSet::new();
+/// set.insert(Interval::new(0, 10));
+/// set.insert(Interval::new(20, 30));
+/// set.insert(Interval::new(10, 20)); // bridges the gap -> merged
+/// assert_eq!(set.iter().count(), 1);
+/// assert_eq!(set.total_len(), 30);
+///
+/// set.remove(Interval::new(5, 25));
+/// assert_eq!(set.to_vec(), vec![Interval::new(0, 5), Interval::new(25, 30)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set covering a single interval (empty input gives an empty
+    /// set).
+    pub fn from_interval(iv: Interval) -> Self {
+        let mut s = Self::new();
+        s.insert(iv);
+        s
+    }
+
+    /// `true` if no points are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total covered length.
+    pub fn total_len(&self) -> Coord {
+        self.ivs.iter().map(Interval::len).sum()
+    }
+
+    /// `true` if `x` is covered.
+    pub fn contains(&self, x: Coord) -> bool {
+        match self.ivs.binary_search_by(|iv| iv.lo.cmp(&x)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ivs[i - 1].contains(x),
+        }
+    }
+
+    /// Adds `iv` to the covered set, merging with neighbours.
+    pub fn insert(&mut self, iv: Interval) {
+        if iv.is_empty() {
+            return;
+        }
+        // Find the run of existing intervals that touch or overlap `iv`.
+        let start = self.ivs.partition_point(|e| e.hi < iv.lo);
+        let end = self.ivs.partition_point(|e| e.lo <= iv.hi);
+        let merged = self.ivs[start..end]
+            .iter()
+            .fold(iv, |acc, e| acc.hull(*e));
+        self.ivs.splice(start..end, std::iter::once(merged));
+    }
+
+    /// Removes `iv` from the covered set, splitting intervals as needed.
+    pub fn remove(&mut self, iv: Interval) {
+        if iv.is_empty() || self.ivs.is_empty() {
+            return;
+        }
+        let start = self.ivs.partition_point(|e| e.hi <= iv.lo);
+        let end = self.ivs.partition_point(|e| e.lo < iv.hi);
+        if start >= end {
+            return;
+        }
+        let mut keep: Vec<Interval> = Vec::with_capacity(2);
+        let first = self.ivs[start];
+        let last = self.ivs[end - 1];
+        if first.lo < iv.lo {
+            keep.push(Interval::new(first.lo, iv.lo));
+        }
+        if iv.hi < last.hi {
+            keep.push(Interval::new(iv.hi, last.hi));
+        }
+        self.ivs.splice(start..end, keep);
+    }
+
+    /// Iterates the disjoint intervals in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.ivs.iter()
+    }
+
+    /// The intervals as a sorted vector.
+    pub fn to_vec(&self) -> Vec<Interval> {
+        self.ivs.clone()
+    }
+
+    /// The parts of `iv` *not* covered by the set, in ascending order.
+    pub fn gaps_within(&self, iv: Interval) -> Vec<Interval> {
+        let mut gaps = Vec::new();
+        if iv.is_empty() {
+            return gaps;
+        }
+        let mut cursor = iv.lo;
+        for e in &self.ivs {
+            if e.hi <= iv.lo {
+                continue;
+            }
+            if e.lo >= iv.hi {
+                break;
+            }
+            if e.lo > cursor {
+                gaps.push(Interval::new(cursor, e.lo));
+            }
+            cursor = cursor.max(e.hi);
+        }
+        if cursor < iv.hi {
+            gaps.push(Interval::new(cursor, iv.hi));
+        }
+        gaps
+    }
+
+    /// Total length of `iv` covered by the set.
+    pub fn covered_len_within(&self, iv: Interval) -> Coord {
+        self.ivs
+            .iter()
+            .map(|e| e.intersection(iv).len())
+            .sum()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        let mut s = Self::new();
+        for iv in iter {
+            s.insert(iv);
+        }
+        s
+    }
+}
+
+impl Extend<Interval> for IntervalSet {
+    fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
+        for iv in iter {
+            self.insert(iv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ivs: &[(Coord, Coord)]) -> IntervalSet {
+        ivs.iter().map(|&(a, b)| Interval::new(a, b)).collect()
+    }
+
+    #[test]
+    fn insert_merges_touching_and_overlapping() {
+        let s = set(&[(0, 5), (5, 10), (20, 25), (24, 30)]);
+        assert_eq!(
+            s.to_vec(),
+            vec![Interval::new(0, 10), Interval::new(20, 30)]
+        );
+        assert_eq!(s.total_len(), 20);
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut s = set(&[(0, 5)]);
+        s.insert(Interval::new(3, 3));
+        assert_eq!(s.to_vec(), vec![Interval::new(0, 5)]);
+    }
+
+    #[test]
+    fn insert_bridging_collapses_many() {
+        let mut s = set(&[(0, 2), (4, 6), (8, 10)]);
+        s.insert(Interval::new(1, 9));
+        assert_eq!(s.to_vec(), vec![Interval::new(0, 10)]);
+    }
+
+    #[test]
+    fn remove_splits_and_trims() {
+        let mut s = set(&[(0, 10)]);
+        s.remove(Interval::new(3, 7));
+        assert_eq!(s.to_vec(), vec![Interval::new(0, 3), Interval::new(7, 10)]);
+
+        let mut s = set(&[(0, 10), (20, 30)]);
+        s.remove(Interval::new(5, 25));
+        assert_eq!(s.to_vec(), vec![Interval::new(0, 5), Interval::new(25, 30)]);
+
+        let mut s = set(&[(0, 10)]);
+        s.remove(Interval::new(-5, 15));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_outside_is_noop() {
+        let mut s = set(&[(5, 10)]);
+        s.remove(Interval::new(0, 5));
+        s.remove(Interval::new(10, 12));
+        assert_eq!(s.to_vec(), vec![Interval::new(5, 10)]);
+    }
+
+    #[test]
+    fn contains_uses_half_open_semantics() {
+        let s = set(&[(0, 5), (10, 15)]);
+        assert!(s.contains(0));
+        assert!(!s.contains(5));
+        assert!(s.contains(14));
+        assert!(!s.contains(15));
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn gaps_within_covers_complement() {
+        let s = set(&[(2, 4), (6, 8)]);
+        assert_eq!(
+            s.gaps_within(Interval::new(0, 10)),
+            vec![
+                Interval::new(0, 2),
+                Interval::new(4, 6),
+                Interval::new(8, 10)
+            ]
+        );
+        // Gap query fully inside one interval: no gaps.
+        assert!(s.gaps_within(Interval::new(2, 4)).is_empty());
+        // Query over empty set: everything is a gap.
+        let empty = IntervalSet::new();
+        assert_eq!(
+            empty.gaps_within(Interval::new(1, 3)),
+            vec![Interval::new(1, 3)]
+        );
+    }
+
+    #[test]
+    fn covered_len_within_partial_overlaps() {
+        let s = set(&[(0, 10), (20, 30)]);
+        assert_eq!(s.covered_len_within(Interval::new(5, 25)), 10);
+        assert_eq!(s.covered_len_within(Interval::new(-10, 50)), 20);
+        assert_eq!(s.covered_len_within(Interval::new(12, 18)), 0);
+    }
+
+    #[test]
+    fn gaps_plus_covered_equals_query_len() {
+        let s = set(&[(3, 9), (15, 21), (40, 45)]);
+        let q = Interval::new(0, 50);
+        let gap_len: Coord = s.gaps_within(q).iter().map(Interval::len).sum();
+        assert_eq!(gap_len + s.covered_len_within(q), q.len());
+    }
+}

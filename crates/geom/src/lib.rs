@@ -1,0 +1,51 @@
+//! # pilfill-geom
+//!
+//! Integer-coordinate rectilinear geometry kernel for the PIL-Fill area
+//! fill synthesis system.
+//!
+//! All coordinates are expressed in database units ([`Coord`], one unit is
+//! typically one nanometer). The kernel provides the primitives every other
+//! crate in the workspace builds on:
+//!
+//! - [`Point`] and axis-aligned [`Rect`] with the usual predicates
+//!   (intersection, containment, area, clipping);
+//! - half-open 1-D [`Interval`]s and a disjoint [`IntervalSet`] used to track
+//!   free (fillable) space during scan-line sweeps;
+//! - a uniform [`Grid`] mapping between continuous coordinates and discrete
+//!   cell (site or tile) indices;
+//! - the routing [`Dir`] (preferred direction) with axis transposition
+//!   helpers so all algorithms can be written for one orientation.
+//!
+//! # Examples
+//!
+//! ```
+//! use pilfill_geom::{Rect, Grid};
+//!
+//! let die = Rect::new(0, 0, 1_000, 1_000);
+//! let wire = Rect::new(100, 480, 900, 520);
+//! assert!(die.contains_rect(&wire));
+//!
+//! let tiles = Grid::new(die, 100, 100);
+//! assert_eq!(tiles.nx(), 10);
+//! assert_eq!(tiles.cells_overlapping(&wire).count(), 16); // 8 columns x 2 rows
+//! ```
+
+mod dir;
+mod grid;
+mod interval;
+mod interval_set;
+mod point;
+mod rect;
+
+pub use dir::Dir;
+pub use grid::{CellIndex, Grid};
+pub use interval::Interval;
+pub use interval_set::IntervalSet;
+pub use point::Point;
+pub use rect::Rect;
+
+/// Database-unit coordinate (conventionally 1 dbu = 1 nm).
+pub type Coord = i64;
+
+/// Squared database units, used for areas.
+pub type Area = i64;

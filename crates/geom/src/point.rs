@@ -1,0 +1,133 @@
+use crate::{Coord, Dir};
+
+/// A 2-D point in database units.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_geom::Point;
+///
+/// let p = Point::new(3, 4);
+/// let q = p.translated(1, -4);
+/// assert_eq!(q, Point::new(4, 0));
+/// assert_eq!(p.manhattan_distance(q), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Coord,
+    /// Vertical coordinate.
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const fn origin() -> Self {
+        Self { x: 0, y: 0 }
+    }
+
+    /// Returns this point moved by `(dx, dy)`.
+    #[must_use]
+    pub const fn translated(self, dx: Coord, dy: Coord) -> Self {
+        Self {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan_distance(self, other: Self) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// The coordinate along `dir`: `x` for [`Dir::Horizontal`], `y` for
+    /// [`Dir::Vertical`].
+    pub fn along(self, dir: Dir) -> Coord {
+        match dir {
+            Dir::Horizontal => self.x,
+            Dir::Vertical => self.y,
+        }
+    }
+
+    /// The coordinate across (perpendicular to) `dir`.
+    pub fn across(self, dir: Dir) -> Coord {
+        self.along(dir.perpendicular())
+    }
+
+    /// Returns the point with `x` and `y` swapped.
+    #[must_use]
+    pub const fn transposed(self) -> Self {
+        Self {
+            x: self.y,
+            y: self.x,
+        }
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = Point::new(-2, 7);
+        assert_eq!(p.x, -2);
+        assert_eq!(p.y, 7);
+        assert_eq!(Point::origin(), Point::default());
+        assert_eq!(Point::from((1, 2)), Point::new(1, 2));
+    }
+
+    #[test]
+    fn translation_is_additive() {
+        let p = Point::new(5, 5);
+        assert_eq!(p.translated(0, 0), p);
+        assert_eq!(p.translated(2, 3).translated(-2, -3), p);
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1, 9);
+        let b = Point::new(-4, 2);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(a), 0);
+        assert_eq!(a.manhattan_distance(b), 12);
+    }
+
+    #[test]
+    fn along_and_across_follow_direction() {
+        let p = Point::new(10, 20);
+        assert_eq!(p.along(Dir::Horizontal), 10);
+        assert_eq!(p.along(Dir::Vertical), 20);
+        assert_eq!(p.across(Dir::Horizontal), 20);
+        assert_eq!(p.across(Dir::Vertical), 10);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let p = Point::new(3, -8);
+        assert_eq!(p.transposed().transposed(), p);
+        assert_eq!(p.transposed(), Point::new(-8, 3));
+    }
+
+    #[test]
+    fn display_formats_as_tuple() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+}

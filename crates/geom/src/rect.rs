@@ -1,0 +1,312 @@
+use crate::{Area, Coord, Dir, Interval, Point};
+
+/// An axis-aligned rectangle with half-open extents `[left, right) x
+/// [bottom, top)`.
+///
+/// A rectangle with `left >= right` or `bottom >= top` is *empty*; all
+/// operations treat empty rectangles consistently (zero area, no overlap).
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_geom::{Rect, Point};
+///
+/// let r = Rect::new(0, 0, 4, 3);
+/// assert_eq!(r.area(), 12);
+/// assert!(r.contains(Point::new(3, 2)));
+/// assert!(!r.contains(Point::new(4, 2))); // right edge is exclusive
+///
+/// let clipped = r.intersection(&Rect::new(2, 1, 10, 10));
+/// assert_eq!(clipped, Rect::new(2, 1, 4, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Inclusive left edge.
+    pub left: Coord,
+    /// Inclusive bottom edge.
+    pub bottom: Coord,
+    /// Exclusive right edge.
+    pub right: Coord,
+    /// Exclusive top edge.
+    pub top: Coord,
+}
+
+impl Rect {
+    /// Creates the rectangle `[left, right) x [bottom, top)`.
+    pub const fn new(left: Coord, bottom: Coord, right: Coord, top: Coord) -> Self {
+        Self {
+            left,
+            bottom,
+            right,
+            top,
+        }
+    }
+
+    /// Creates a rectangle from two corner points (any opposite pair).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self {
+            left: a.x.min(b.x),
+            bottom: a.y.min(b.y),
+            right: a.x.max(b.x),
+            top: a.y.max(b.y),
+        }
+    }
+
+    /// Creates a rectangle from its x and y extents.
+    pub const fn from_spans(x: Interval, y: Interval) -> Self {
+        Self {
+            left: x.lo,
+            bottom: y.lo,
+            right: x.hi,
+            top: y.hi,
+        }
+    }
+
+    /// The canonical empty rectangle.
+    pub const fn empty() -> Self {
+        Self {
+            left: 0,
+            bottom: 0,
+            right: 0,
+            top: 0,
+        }
+    }
+
+    /// Horizontal extent as an interval.
+    pub const fn x_span(&self) -> Interval {
+        Interval::new(self.left, self.right)
+    }
+
+    /// Vertical extent as an interval.
+    pub const fn y_span(&self) -> Interval {
+        Interval::new(self.bottom, self.top)
+    }
+
+    /// Extent along `dir` (`x` for horizontal).
+    pub fn span(&self, dir: Dir) -> Interval {
+        match dir {
+            Dir::Horizontal => self.x_span(),
+            Dir::Vertical => self.y_span(),
+        }
+    }
+
+    /// Width (zero if empty).
+    pub fn width(&self) -> Coord {
+        (self.right - self.left).max(0)
+    }
+
+    /// Height (zero if empty).
+    pub fn height(&self) -> Coord {
+        (self.top - self.bottom).max(0)
+    }
+
+    /// Area (zero if empty).
+    pub fn area(&self) -> Area {
+        self.width() * self.height()
+    }
+
+    /// `true` if the rectangle covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.left >= self.right || self.bottom >= self.top
+    }
+
+    /// Bottom-left corner.
+    pub const fn lower_left(&self) -> Point {
+        Point::new(self.left, self.bottom)
+    }
+
+    /// Top-right corner (exclusive).
+    pub const fn upper_right(&self) -> Point {
+        Point::new(self.right, self.top)
+    }
+
+    /// Center point, rounded towards the lower-left.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.left + (self.right - self.left) / 2,
+            self.bottom + (self.top - self.bottom) / 2,
+        )
+    }
+
+    /// `true` if `p` lies inside (right/top edges exclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        self.x_span().contains(p.x) && self.y_span().contains(p.y)
+    }
+
+    /// `true` if `other` lies fully inside `self` (empty rects are inside
+    /// everything).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (self.left <= other.left
+                && other.right <= self.right
+                && self.bottom <= other.bottom
+                && other.top <= self.top)
+    }
+
+    /// The overlap of the two rectangles (possibly empty).
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        Rect {
+            left: self.left.max(other.left),
+            bottom: self.bottom.max(other.bottom),
+            right: self.right.min(other.right),
+            top: self.top.min(other.top),
+        }
+    }
+
+    /// `true` if the rectangles share interior points.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// The smallest rectangle containing both.
+    #[must_use]
+    pub fn hull(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            left: self.left.min(other.left),
+            bottom: self.bottom.min(other.bottom),
+            right: self.right.max(other.right),
+            top: self.top.max(other.top),
+        }
+    }
+
+    /// The rectangle translated by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Coord, dy: Coord) -> Rect {
+        Rect {
+            left: self.left + dx,
+            bottom: self.bottom + dy,
+            right: self.right + dx,
+            top: self.top + dy,
+        }
+    }
+
+    /// The rectangle shrunk by `margin` on all four sides.
+    #[must_use]
+    pub fn shrunk(&self, margin: Coord) -> Rect {
+        Rect {
+            left: self.left + margin,
+            bottom: self.bottom + margin,
+            right: self.right - margin,
+            top: self.top - margin,
+        }
+    }
+
+    /// The rectangle grown by `margin` on all four sides.
+    #[must_use]
+    pub fn grown(&self, margin: Coord) -> Rect {
+        self.shrunk(-margin)
+    }
+
+    /// The rectangle reflected about the diagonal (x/y swapped). Used to run
+    /// horizontal algorithms on vertically routed layers.
+    #[must_use]
+    pub fn transposed(&self) -> Rect {
+        Rect {
+            left: self.bottom,
+            bottom: self.left,
+            right: self.top,
+            top: self.right,
+        }
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}, {}) x [{}, {})",
+            self.left, self.right, self.bottom, self.top
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_area() {
+        let r = Rect::new(1, 2, 5, 10);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 8);
+        assert_eq!(r.area(), 32);
+        assert!(!r.is_empty());
+        assert!(Rect::new(5, 0, 5, 10).is_empty());
+        assert_eq!(Rect::new(5, 0, 3, 10).area(), 0);
+    }
+
+    #[test]
+    fn from_corners_normalizes() {
+        let r = Rect::from_corners(Point::new(5, 1), Point::new(2, 9));
+        assert_eq!(r, Rect::new(2, 1, 5, 9));
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let r = Rect::new(1, 2, 3, 4);
+        assert_eq!(Rect::from_spans(r.x_span(), r.y_span()), r);
+        assert_eq!(r.span(Dir::Horizontal), Interval::new(1, 3));
+        assert_eq!(r.span(Dir::Vertical), Interval::new(2, 4));
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(!r.contains(Point::new(4, 0)));
+        assert!(!r.contains(Point::new(0, 4)));
+        assert!(r.contains_rect(&Rect::new(1, 1, 3, 3)));
+        assert!(r.contains_rect(&r));
+        assert!(!r.contains_rect(&Rect::new(1, 1, 5, 3)));
+        assert!(r.contains_rect(&Rect::empty()));
+    }
+
+    #[test]
+    fn intersection_commutative_and_area_bounded() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+        assert_eq!(a.intersection(&b), Rect::new(5, 5, 10, 10));
+        assert!(a.intersection(&b).area() <= a.area().min(b.area()));
+        assert!(!a.overlaps(&Rect::new(10, 0, 20, 10))); // touching edges
+    }
+
+    #[test]
+    fn hull_contains_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 7, 6, 9);
+        let h = a.hull(&b);
+        assert!(h.contains_rect(&a));
+        assert!(h.contains_rect(&b));
+        assert_eq!(a.hull(&Rect::empty()), a);
+    }
+
+    #[test]
+    fn translate_shrink_grow() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert_eq!(r.translated(3, -2), Rect::new(3, -2, 13, 8));
+        assert_eq!(r.shrunk(2), Rect::new(2, 2, 8, 8));
+        assert_eq!(r.shrunk(2).grown(2), r);
+        assert!(r.shrunk(6).is_empty());
+    }
+
+    #[test]
+    fn transpose_involutive_and_area_preserving() {
+        let r = Rect::new(1, 2, 7, 4);
+        assert_eq!(r.transposed().transposed(), r);
+        assert_eq!(r.transposed().area(), r.area());
+        assert_eq!(r.transposed(), Rect::new(2, 1, 4, 7));
+    }
+
+    #[test]
+    fn center_of_odd_rect_rounds_down() {
+        assert_eq!(Rect::new(0, 0, 5, 3).center(), Point::new(2, 1));
+    }
+}

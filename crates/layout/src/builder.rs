@@ -1,0 +1,227 @@
+use crate::{Design, FillRules, Layer, LayerId, LayoutError, Net, Segment};
+use pilfill_geom::{Coord, Dir, Point, Rect};
+
+/// Incremental builder for [`Design`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_layout::DesignBuilder;
+/// use pilfill_geom::{Dir, Rect, Point};
+///
+/// let design = DesignBuilder::new("demo", Rect::new(0, 0, 20_000, 20_000))
+///     .layer("m3", Dir::Horizontal)
+///     .net("clk", Point::new(0, 10_000))
+///     .segment("m3", Point::new(0, 10_000), Point::new(18_000, 10_000), 200)
+///     .sink(Point::new(18_000, 10_000))
+///     .finish_net()
+///     .build()?;
+/// assert_eq!(design.nets.len(), 1);
+/// # Ok::<(), pilfill_layout::LayoutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignBuilder {
+    design: Design,
+    current_net: Option<Net>,
+    error: Option<LayoutError>,
+}
+
+impl DesignBuilder {
+    /// Starts a design with default technology and fill rules.
+    pub fn new(name: impl Into<String>, die: Rect) -> Self {
+        Self {
+            design: Design {
+                name: name.into(),
+                die,
+                tech: Default::default(),
+                rules: Default::default(),
+                layers: Vec::new(),
+                nets: Vec::new(),
+                obstructions: Vec::new(),
+            },
+            current_net: None,
+            error: None,
+        }
+    }
+
+    /// Overrides the technology parameters.
+    #[must_use]
+    pub fn tech(mut self, tech: crate::Tech) -> Self {
+        self.design.tech = tech;
+        self
+    }
+
+    /// Overrides the fill rules.
+    #[must_use]
+    pub fn rules(mut self, rules: FillRules) -> Self {
+        self.design.rules = rules;
+        self
+    }
+
+    /// Adds a routing layer.
+    #[must_use]
+    pub fn layer(mut self, name: impl Into<String>, dir: Dir) -> Self {
+        self.design.layers.push(Layer {
+            name: name.into(),
+            dir,
+        });
+        self
+    }
+
+    /// Adds a placement blockage on a layer (looked up by name).
+    #[must_use]
+    pub fn obstruction(mut self, layer: &str, rect: Rect) -> Self {
+        match self.design.layer_by_name(layer) {
+            Some(id) => self.design.obstructions.push(crate::Obstruction {
+                layer: id,
+                rect,
+            }),
+            None => {
+                self.error
+                    .get_or_insert_with(|| LayoutError::UnknownLayer(layer.to_string()));
+            }
+        }
+        self
+    }
+
+    /// Begins a new net with the given driver location. Any net in progress
+    /// is finished first.
+    #[must_use]
+    pub fn net(mut self, name: impl Into<String>, source: Point) -> Self {
+        self.flush_net();
+        self.current_net = Some(Net {
+            name: name.into(),
+            source,
+            sinks: Vec::new(),
+            segments: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a segment to the net in progress. `layer` is looked up by name;
+    /// an unknown name is recorded and reported by [`DesignBuilder::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no net is in progress.
+    #[must_use]
+    pub fn segment(mut self, layer: &str, start: Point, end: Point, width: Coord) -> Self {
+        let layer_id = match self.design.layer_by_name(layer) {
+            Some(id) => id,
+            None => {
+                self.error
+                    .get_or_insert_with(|| LayoutError::UnknownLayer(layer.to_string()));
+                LayerId(usize::MAX)
+            }
+        };
+        let net = self
+            .current_net
+            .as_mut()
+            .expect("segment() requires an open net");
+        net.segments.push(Segment {
+            layer: layer_id,
+            start,
+            end,
+            width,
+        });
+        self
+    }
+
+    /// Adds a sink pin to the net in progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no net is in progress.
+    #[must_use]
+    pub fn sink(mut self, at: Point) -> Self {
+        self.current_net
+            .as_mut()
+            .expect("sink() requires an open net")
+            .sinks
+            .push(at);
+        self
+    }
+
+    /// Finishes the net in progress.
+    #[must_use]
+    pub fn finish_net(mut self) -> Self {
+        self.flush_net();
+        self
+    }
+
+    fn flush_net(&mut self) {
+        if let Some(net) = self.current_net.take() {
+            self.design.nets.push(net);
+        }
+    }
+
+    /// Validates and returns the finished design.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error recorded during building, or the first
+    /// [`Design::validate`] failure.
+    pub fn build(mut self) -> Result<Design, LayoutError> {
+        self.flush_net();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.design.validate()?;
+        Ok(self.design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_design() {
+        let d = DesignBuilder::new("b", Rect::new(0, 0, 5000, 5000))
+            .layer("m3", Dir::Horizontal)
+            .layer("m2", Dir::Vertical)
+            .net("a", Point::new(100, 100))
+            .segment("m3", Point::new(100, 100), Point::new(4000, 100), 100)
+            .sink(Point::new(4000, 100))
+            .net("b", Point::new(100, 900))
+            .segment("m3", Point::new(100, 900), Point::new(3000, 900), 100)
+            .segment("m2", Point::new(3000, 900), Point::new(3000, 2000), 100)
+            .sink(Point::new(3000, 2000))
+            .build()
+            .expect("valid");
+        assert_eq!(d.nets.len(), 2);
+        assert_eq!(d.layers.len(), 2);
+        assert_eq!(d.nets[1].segments.len(), 2);
+    }
+
+    #[test]
+    fn unknown_layer_reported_at_build() {
+        let r = DesignBuilder::new("b", Rect::new(0, 0, 5000, 5000))
+            .layer("m3", Dir::Horizontal)
+            .net("a", Point::new(0, 0))
+            .segment("m9", Point::new(0, 0), Point::new(100, 0), 50)
+            .build();
+        assert!(matches!(r, Err(LayoutError::UnknownLayer(name)) if name == "m9"));
+    }
+
+    #[test]
+    fn implicit_finish_net_on_new_net() {
+        let d = DesignBuilder::new("b", Rect::new(0, 0, 5000, 5000))
+            .layer("m3", Dir::Horizontal)
+            .net("a", Point::new(100, 100))
+            .segment("m3", Point::new(100, 100), Point::new(400, 100), 50)
+            .net("b", Point::new(100, 300))
+            .segment("m3", Point::new(100, 300), Point::new(400, 300), 50)
+            .build()
+            .expect("valid");
+        assert_eq!(d.nets.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an open net")]
+    fn segment_without_net_panics() {
+        let _ = DesignBuilder::new("b", Rect::new(0, 0, 100, 100))
+            .layer("m3", Dir::Horizontal)
+            .segment("m3", Point::new(0, 0), Point::new(10, 0), 5);
+    }
+}

@@ -1,0 +1,69 @@
+/// Errors produced while building, validating or parsing a layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayoutError {
+    /// A referenced layer name does not exist in the design.
+    UnknownLayer(String),
+    /// A segment is neither horizontal nor vertical.
+    DiagonalSegment {
+        /// Net the segment belongs to.
+        net: String,
+    },
+    /// A segment has zero length or non-positive width.
+    DegenerateSegment {
+        /// Net the segment belongs to.
+        net: String,
+    },
+    /// A net's segments do not form a tree connected to its source.
+    DisconnectedNet {
+        /// The offending net.
+        net: String,
+    },
+    /// A sink does not coincide with any segment endpoint.
+    DanglingSink {
+        /// The offending net.
+        net: String,
+    },
+    /// Geometry extends beyond the die.
+    OutsideDie {
+        /// The offending net, or `die` context note.
+        net: String,
+    },
+    /// Technology or rule parameters are out of range.
+    InvalidParameter(String),
+    /// Text-format syntax error with 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::UnknownLayer(name) => write!(f, "unknown layer `{name}`"),
+            LayoutError::DiagonalSegment { net } => {
+                write!(f, "net `{net}` has a non-rectilinear segment")
+            }
+            LayoutError::DegenerateSegment { net } => {
+                write!(f, "net `{net}` has a zero-length or zero-width segment")
+            }
+            LayoutError::DisconnectedNet { net } => {
+                write!(f, "net `{net}` segments do not form a tree rooted at the source")
+            }
+            LayoutError::DanglingSink { net } => {
+                write!(f, "net `{net}` has a sink not on any segment endpoint")
+            }
+            LayoutError::OutsideDie { net } => {
+                write!(f, "net `{net}` has geometry outside the die area")
+            }
+            LayoutError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            LayoutError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}

@@ -1,0 +1,419 @@
+//! Plain-text interchange format (the workspace's DEF substitute).
+//!
+//! The format is line-oriented, whitespace-separated, with `#` comments:
+//!
+//! ```text
+//! PILFILL 1
+//! DESIGN demo
+//! DIE 0 0 100000 100000
+//! TECH 0.07 3.9 500
+//! RULES 400 200 300
+//! LAYER m3 h
+//! NET clk SOURCE 0 50000
+//!   SEG m3 0 50000 90000 50000 200
+//!   SINK 90000 50000
+//! ENDNET
+//! ENDDESIGN
+//! ```
+
+use crate::{Design, FillRules, Layer, LayoutError, Net, Segment, Tech};
+use pilfill_geom::{Coord, Point, Rect};
+use std::fmt::Write as _;
+
+impl Design {
+    /// Serializes the design to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "PILFILL 1");
+        let _ = writeln!(out, "DESIGN {}", self.name);
+        let _ = writeln!(
+            out,
+            "DIE {} {} {} {}",
+            self.die.left, self.die.bottom, self.die.right, self.die.top
+        );
+        let _ = writeln!(
+            out,
+            "TECH {} {} {}",
+            self.tech.sheet_res_ohm_sq, self.tech.eps_r, self.tech.thickness
+        );
+        let _ = writeln!(
+            out,
+            "RULES {} {} {}",
+            self.rules.feature_size, self.rules.gap, self.rules.buffer
+        );
+        for layer in &self.layers {
+            let dir = if layer.dir.is_horizontal() { "h" } else { "v" };
+            let _ = writeln!(out, "LAYER {} {}", layer.name, dir);
+        }
+        for o in &self.obstructions {
+            let _ = writeln!(
+                out,
+                "OBS {} {} {} {} {}",
+                self.layers[o.layer.0].name, o.rect.left, o.rect.bottom, o.rect.right, o.rect.top
+            );
+        }
+        for net in &self.nets {
+            let _ = writeln!(
+                out,
+                "NET {} SOURCE {} {}",
+                net.name, net.source.x, net.source.y
+            );
+            for s in &net.segments {
+                let _ = writeln!(
+                    out,
+                    "  SEG {} {} {} {} {} {}",
+                    self.layers[s.layer.0].name,
+                    s.start.x,
+                    s.start.y,
+                    s.end.x,
+                    s.end.y,
+                    s.width
+                );
+            }
+            for sink in &net.sinks {
+                let _ = writeln!(out, "  SINK {} {}", sink.x, sink.y);
+            }
+            let _ = writeln!(out, "ENDNET");
+        }
+        let _ = writeln!(out, "ENDDESIGN");
+        out
+    }
+
+    /// Parses a design from the text format and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::Parse`] with the offending line number on
+    /// syntax errors, or any [`Design::validate`] error afterwards.
+    pub fn from_text(text: &str) -> Result<Design, LayoutError> {
+        Parser::new(text).parse()
+    }
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, Vec<&'a str>)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let content = l.split('#').next().unwrap_or("");
+                (i + 1, content.split_whitespace().collect::<Vec<_>>())
+            })
+            .filter(|(_, toks)| !toks.is_empty())
+            .collect();
+        Self { lines, pos: 0 }
+    }
+
+    fn err(&self, line: usize, message: impl Into<String>) -> LayoutError {
+        LayoutError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<(usize, Vec<&'a str>)> {
+        let item = self.lines.get(self.pos)?;
+        self.pos += 1;
+        Some((item.0, item.1.clone()))
+    }
+
+    fn parse_coord(&self, line: usize, tok: &str) -> Result<Coord, LayoutError> {
+        tok.parse()
+            .map_err(|_| self.err(line, format!("expected integer, got `{tok}`")))
+    }
+
+    fn parse_f64(&self, line: usize, tok: &str) -> Result<f64, LayoutError> {
+        tok.parse()
+            .map_err(|_| self.err(line, format!("expected number, got `{tok}`")))
+    }
+
+    fn parse(mut self) -> Result<Design, LayoutError> {
+        let (line, toks) = self
+            .next()
+            .ok_or_else(|| self.err(1, "empty input"))?;
+        if toks != ["PILFILL", "1"] {
+            return Err(self.err(line, "expected header `PILFILL 1`"));
+        }
+
+        let mut name = String::new();
+        let mut die: Option<Rect> = None;
+        let mut tech = Tech::default();
+        let mut rules = FillRules::default();
+        let mut layers: Vec<Layer> = Vec::new();
+        let mut nets: Vec<Net> = Vec::new();
+        let mut obstructions: Vec<crate::Obstruction> = Vec::new();
+        let mut current: Option<Net> = None;
+        let mut ended = false;
+
+        while let Some((line, toks)) = self.next() {
+            match toks[0] {
+                "DESIGN" => {
+                    name = toks
+                        .get(1)
+                        .ok_or_else(|| self.err(line, "DESIGN needs a name"))?
+                        .to_string();
+                }
+                "DIE" => {
+                    if toks.len() != 5 {
+                        return Err(self.err(line, "DIE needs 4 coordinates"));
+                    }
+                    die = Some(Rect::new(
+                        self.parse_coord(line, toks[1])?,
+                        self.parse_coord(line, toks[2])?,
+                        self.parse_coord(line, toks[3])?,
+                        self.parse_coord(line, toks[4])?,
+                    ));
+                }
+                "TECH" => {
+                    if toks.len() != 4 {
+                        return Err(self.err(line, "TECH needs 3 values"));
+                    }
+                    tech = Tech {
+                        sheet_res_ohm_sq: self.parse_f64(line, toks[1])?,
+                        eps_r: self.parse_f64(line, toks[2])?,
+                        thickness: self.parse_coord(line, toks[3])?,
+                    };
+                }
+                "RULES" => {
+                    if toks.len() != 4 {
+                        return Err(self.err(line, "RULES needs 3 values"));
+                    }
+                    rules = FillRules {
+                        feature_size: self.parse_coord(line, toks[1])?,
+                        gap: self.parse_coord(line, toks[2])?,
+                        buffer: self.parse_coord(line, toks[3])?,
+                    };
+                }
+                "LAYER" => {
+                    if toks.len() != 3 {
+                        return Err(self.err(line, "LAYER needs a name and direction"));
+                    }
+                    let dir = toks[2]
+                        .parse()
+                        .map_err(|_| self.err(line, "LAYER direction must be h or v"))?;
+                    layers.push(Layer {
+                        name: toks[1].to_string(),
+                        dir,
+                    });
+                }
+                "OBS" => {
+                    if toks.len() != 6 {
+                        return Err(self.err(line, "OBS needs a layer and 4 coordinates"));
+                    }
+                    let layer = layers
+                        .iter()
+                        .position(|l| l.name == toks[1])
+                        .map(crate::LayerId)
+                        .ok_or_else(|| LayoutError::UnknownLayer(toks[1].to_string()))?;
+                    obstructions.push(crate::Obstruction {
+                        layer,
+                        rect: Rect::new(
+                            self.parse_coord(line, toks[2])?,
+                            self.parse_coord(line, toks[3])?,
+                            self.parse_coord(line, toks[4])?,
+                            self.parse_coord(line, toks[5])?,
+                        ),
+                    });
+                }
+                "NET" => {
+                    if current.is_some() {
+                        return Err(self.err(line, "nested NET (missing ENDNET?)"));
+                    }
+                    if toks.len() != 5 || toks[2] != "SOURCE" {
+                        return Err(self.err(line, "expected `NET <name> SOURCE <x> <y>`"));
+                    }
+                    current = Some(Net {
+                        name: toks[1].to_string(),
+                        source: Point::new(
+                            self.parse_coord(line, toks[3])?,
+                            self.parse_coord(line, toks[4])?,
+                        ),
+                        sinks: Vec::new(),
+                        segments: Vec::new(),
+                    });
+                }
+                "SEG" => {
+                    let net = current
+                        .as_mut()
+                        .ok_or_else(|| self.err(line, "SEG outside NET"))?;
+                    if toks.len() != 7 {
+                        return Err(self.err(
+                            line,
+                            "expected `SEG <layer> <x0> <y0> <x1> <y1> <width>`",
+                        ));
+                    }
+                    let layer = layers
+                        .iter()
+                        .position(|l| l.name == toks[1])
+                        .map(crate::LayerId)
+                        .ok_or_else(|| LayoutError::UnknownLayer(toks[1].to_string()))?;
+                    net.segments.push(Segment {
+                        layer,
+                        start: Point::new(
+                            self.parse_coord(line, toks[2])?,
+                            self.parse_coord(line, toks[3])?,
+                        ),
+                        end: Point::new(
+                            self.parse_coord(line, toks[4])?,
+                            self.parse_coord(line, toks[5])?,
+                        ),
+                        width: self.parse_coord(line, toks[6])?,
+                    });
+                }
+                "SINK" => {
+                    let net = current
+                        .as_mut()
+                        .ok_or_else(|| self.err(line, "SINK outside NET"))?;
+                    if toks.len() != 3 {
+                        return Err(self.err(line, "expected `SINK <x> <y>`"));
+                    }
+                    net.sinks.push(Point::new(
+                        self.parse_coord(line, toks[1])?,
+                        self.parse_coord(line, toks[2])?,
+                    ));
+                }
+                "ENDNET" => {
+                    let net = current
+                        .take()
+                        .ok_or_else(|| self.err(line, "ENDNET without NET"))?;
+                    nets.push(net);
+                }
+                "ENDDESIGN" => {
+                    ended = true;
+                    break;
+                }
+                other => {
+                    return Err(self.err(line, format!("unknown directive `{other}`")));
+                }
+            }
+        }
+
+        if current.is_some() {
+            return Err(self.err(0, "unterminated NET at end of input"));
+        }
+        if !ended {
+            return Err(self.err(0, "missing ENDDESIGN"));
+        }
+        let die = die.ok_or_else(|| self.err(0, "missing DIE"))?;
+
+        let design = Design {
+            name,
+            die,
+            tech,
+            rules,
+            layers,
+            nets,
+            obstructions,
+        };
+        design.validate()?;
+        Ok(design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+    use pilfill_geom::Dir;
+
+    fn sample() -> Design {
+        DesignBuilder::new("demo", Rect::new(0, 0, 50_000, 50_000))
+            .layer("m3", Dir::Horizontal)
+            .layer("m2", Dir::Vertical)
+            .net("a", Point::new(0, 1000))
+            .segment("m3", Point::new(0, 1000), Point::new(20_000, 1000), 200)
+            .segment(
+                "m2",
+                Point::new(20_000, 1000),
+                Point::new(20_000, 5000),
+                200,
+            )
+            .sink(Point::new(20_000, 5000))
+            .net("b", Point::new(0, 9000))
+            .segment("m3", Point::new(0, 9000), Point::new(30_000, 9000), 400)
+            .sink(Point::new(30_000, 9000))
+            .build()
+            .expect("valid sample")
+    }
+
+    #[test]
+    fn round_trip_preserves_design() {
+        let d = sample();
+        let text = d.to_text();
+        let d2 = Design::from_text(&text).expect("parse back");
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn parse_with_comments_and_blank_lines() {
+        let d = sample();
+        let mut text = String::from("# generated file\n\n");
+        text.push_str(&d.to_text());
+        let with_inline = text.replace("DIE", "DIE # die comes here\n DIE");
+        // The inline-comment variant intentionally breaks; use the clean one.
+        let _ = with_inline;
+        let d2 = Design::from_text(&text).expect("parse with leading comments");
+        assert_eq!(d.name, d2.name);
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let text = "PILFILL 1 # header\nDESIGN x\nDIE 0 0 100 100 # the die\nENDDESIGN\n";
+        let d = Design::from_text(text).expect("parse");
+        assert_eq!(d.die, Rect::new(0, 0, 100, 100));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "PILFILL 1\nDESIGN x\nDIE 0 0 oops 100\nENDDESIGN\n";
+        match Design::from_text(text) {
+            Err(LayoutError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            Design::from_text("DESIGN x\n"),
+            Err(LayoutError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn seg_outside_net_rejected() {
+        let text = "PILFILL 1\nDIE 0 0 10 10\nLAYER m3 h\nSEG m3 0 0 5 0 2\nENDDESIGN\n";
+        assert!(matches!(
+            Design::from_text(text),
+            Err(LayoutError::Parse { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_layer_in_seg_rejected() {
+        let text = "PILFILL 1\nDIE 0 0 10 10\nNET n SOURCE 0 0\nSEG mX 0 0 5 0 2\nENDNET\nENDDESIGN\n";
+        assert!(matches!(
+            Design::from_text(text),
+            Err(LayoutError::UnknownLayer(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_net_rejected() {
+        let text = "PILFILL 1\nDIE 0 0 10 10\nNET n SOURCE 0 0\nENDDESIGN\n";
+        // ENDDESIGN breaks the loop with a NET still open -> error... the
+        // loop breaks first, so the check fires after the loop.
+        assert!(Design::from_text(text).is_err());
+    }
+
+    #[test]
+    fn missing_enddesign_rejected() {
+        let text = "PILFILL 1\nDIE 0 0 10 10\n";
+        assert!(Design::from_text(text).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Summary statistics for routed designs: quick sanity numbers for reports
+//! and benchmark logs.
+
+use crate::{Design, LayerId};
+use pilfill_geom::Coord;
+
+/// Aggregate statistics of a [`Design`], computed by [`design_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Number of nets.
+    pub nets: usize,
+    /// Total segments across nets.
+    pub segments: usize,
+    /// Total sink pins.
+    pub sinks: usize,
+    /// Total routed wirelength in dbu.
+    pub wirelength: Coord,
+    /// Per-layer drawn metal density (metal area / die area).
+    pub layer_density: Vec<(String, f64)>,
+    /// Longest single net wirelength.
+    pub max_net_wirelength: Coord,
+    /// Mean sinks per net.
+    pub mean_sinks: f64,
+}
+
+/// Computes [`DesignStats`] for a design.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_layout::synth::{SynthConfig, synthesize};
+/// use pilfill_layout::stats::design_stats;
+///
+/// let d = synthesize(&SynthConfig::small_test(1));
+/// let s = design_stats(&d);
+/// assert!(s.nets > 0);
+/// assert!(s.wirelength > 0);
+/// ```
+pub fn design_stats(design: &Design) -> DesignStats {
+    let nets = design.nets.len();
+    let segments = design.nets.iter().map(|n| n.segments.len()).sum();
+    let sinks: usize = design.nets.iter().map(|n| n.sinks.len()).sum();
+    let wirelength: Coord = design.nets.iter().map(|n| n.wirelength()).sum();
+    let max_net_wirelength = design
+        .nets
+        .iter()
+        .map(|n| n.wirelength())
+        .max()
+        .unwrap_or(0);
+    let die_area = design.die.area() as f64;
+    let layer_density = design
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            (
+                l.name.clone(),
+                design.metal_area_on_layer(LayerId(i)) as f64 / die_area,
+            )
+        })
+        .collect();
+    DesignStats {
+        nets,
+        segments,
+        sinks,
+        wirelength,
+        layer_density,
+        max_net_wirelength,
+        mean_sinks: if nets == 0 {
+            0.0
+        } else {
+            sinks as f64 / nets as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthConfig};
+
+    #[test]
+    fn stats_reflect_design_contents() {
+        let d = synthesize(&SynthConfig::small_test(5));
+        let s = design_stats(&d);
+        assert_eq!(s.nets, d.nets.len());
+        assert!(s.segments >= s.nets); // every net has at least one segment
+        assert!(s.sinks >= s.nets); // every generated net has >= 1 sink
+        assert!(s.max_net_wirelength <= s.wirelength);
+        assert!(s.mean_sinks >= 1.0);
+        assert_eq!(s.layer_density.len(), d.layers.len());
+        for (_, dens) in &s.layer_density {
+            assert!(*dens >= 0.0 && *dens < 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_design_stats_are_zero() {
+        let d = Design {
+            name: "empty".into(),
+            die: pilfill_geom::Rect::new(0, 0, 1000, 1000),
+            tech: Default::default(),
+            rules: Default::default(),
+            layers: vec![],
+            nets: vec![],
+            obstructions: vec![],
+        };
+        let s = design_stats(&d);
+        assert_eq!(s.nets, 0);
+        assert_eq!(s.wirelength, 0);
+        assert_eq!(s.mean_sinks, 0.0);
+    }
+}

@@ -1,0 +1,551 @@
+//! Synthetic routed-layout generation: the substitution for the paper's
+//! proprietary industry testcases T1 and T2.
+//!
+//! The generator reproduces the *structural* properties the PIL-Fill
+//! algorithms are sensitive to (see `DESIGN.md`):
+//!
+//! - a preferred horizontal routing layer (the fill target) plus a vertical
+//!   jog layer;
+//! - a wide spread of wire lengths: long multi-bit buses crossing many
+//!   tiles, medium source-rooted trees with branches (so downstream-sink
+//!   weights and entry resistances vary), and short local nets;
+//! - non-uniform density: net origins are biased towards a configurable
+//!   hotspot fraction of the die, leaving sparse regions where the density
+//!   LP must add fill.
+//!
+//! Generation is deterministic for a given [`SynthConfig`] (seeded
+//! [`StdRng`]): two calls with the same config produce identical designs.
+
+use crate::{Design, FillRules, Layer, LayerId, Net, Segment, Tech};
+use pilfill_geom::{Coord, Dir, Interval, IntervalSet, Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Parameters of the synthetic layout generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Design name.
+    pub name: String,
+    /// Side of the square die in dbu.
+    pub die_size: Coord,
+    /// RNG seed; equal configs generate equal designs.
+    pub seed: u64,
+    /// Number of long horizontal buses.
+    pub num_buses: usize,
+    /// Bits (parallel wires) per bus.
+    pub bus_bits: usize,
+    /// Number of branching tree nets.
+    pub num_tree_nets: usize,
+    /// Number of short local nets.
+    pub num_local_nets: usize,
+    /// Drawn wire width.
+    pub wire_width: Coord,
+    /// Minimum spacing between parallel wires on the same track grid.
+    pub wire_space: Coord,
+    /// Fraction (0..=1) of nets biased into the lower-left density hotspot.
+    pub hotspot_fraction: f64,
+    /// Number of macro blockages to place before routing.
+    pub num_macros: usize,
+    /// Technology parameters.
+    pub tech: Tech,
+    /// Fill rules.
+    pub rules: FillRules,
+}
+
+impl SynthConfig {
+    /// The T1 stand-in: larger, denser, more nets per tile (slower ILPs).
+    pub fn t1() -> Self {
+        Self {
+            name: "T1".into(),
+            die_size: 128_000,
+            seed: 0x7101,
+            num_buses: 22,
+            bus_bits: 8,
+            num_tree_nets: 260,
+            num_local_nets: 420,
+            wire_width: 280,
+            wire_space: 280,
+            hotspot_fraction: 0.55,
+            num_macros: 3,
+            tech: Tech::default_180nm(),
+            rules: FillRules::default(),
+        }
+    }
+
+    /// The T2 stand-in: smaller and sparser (faster ILPs, more fill needed).
+    pub fn t2() -> Self {
+        Self {
+            name: "T2".into(),
+            die_size: 96_000,
+            seed: 0x7215,
+            num_buses: 9,
+            bus_bits: 6,
+            num_tree_nets: 110,
+            num_local_nets: 170,
+            wire_width: 280,
+            wire_space: 280,
+            hotspot_fraction: 0.65,
+            num_macros: 2,
+            tech: Tech::default_180nm(),
+            rules: FillRules::default(),
+        }
+    }
+
+    /// A tiny layout for unit tests.
+    pub fn small_test(seed: u64) -> Self {
+        Self {
+            name: format!("small-{seed}"),
+            die_size: 24_000,
+            seed,
+            num_buses: 1,
+            bus_bits: 3,
+            num_tree_nets: 4,
+            num_local_nets: 6,
+            wire_width: 280,
+            wire_space: 280,
+            hotspot_fraction: 0.5,
+            num_macros: 0,
+            tech: Tech::default_180nm(),
+            rules: FillRules::default(),
+        }
+    }
+}
+
+/// Track-based occupancy manager: one [`IntervalSet`] of *blocked* x ranges
+/// per horizontal track.
+struct TrackGrid {
+    pitch: Coord,
+    die: Rect,
+    clearance: Coord,
+    blocked: HashMap<i64, IntervalSet>,
+}
+
+impl TrackGrid {
+    fn new(die: Rect, pitch: Coord, clearance: Coord) -> Self {
+        Self {
+            pitch,
+            die,
+            clearance,
+            blocked: HashMap::new(),
+        }
+    }
+
+    fn num_tracks(&self) -> i64 {
+        (self.die.height() / self.pitch) - 2
+    }
+
+    fn track_y(&self, track: i64) -> Coord {
+        self.die.bottom + (track + 1) * self.pitch
+    }
+
+    /// Tries to claim `[x0, x1)` on `track`; returns `false` on conflict.
+    fn claim(&mut self, track: i64, x: Interval) -> bool {
+        if x.is_empty() {
+            return false;
+        }
+        let set = self.blocked.entry(track).or_default();
+        let padded = x.grown(self.clearance);
+        if set.covered_len_within(padded) > 0 {
+            return false;
+        }
+        set.insert(padded);
+        true
+    }
+}
+
+/// Generates a deterministic synthetic routed design from `config`.
+///
+/// The output always passes [`Design::validate`].
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (die too small to hold a
+/// single track).
+pub fn synthesize(config: &SynthConfig) -> Design {
+    let die = Rect::new(0, 0, config.die_size, config.die_size);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pitch = config.wire_width + config.wire_space;
+    let mut tracks = TrackGrid::new(die, pitch, config.wire_space / 2);
+    assert!(tracks.num_tracks() > 4, "die too small for track grid");
+
+    let mut nets: Vec<Net> = Vec::new();
+    let mut obstructions: Vec<crate::Obstruction> = Vec::new();
+    let mut gen = Generator {
+        config,
+        die,
+        tracks: &mut tracks,
+        rng: &mut rng,
+    };
+
+    for _ in 0..config.num_macros {
+        if let Some(rect) = gen.macro_block() {
+            obstructions.push(crate::Obstruction {
+                layer: LayerId(0),
+                rect,
+            });
+        }
+    }
+
+    for b in 0..config.num_buses {
+        if let Some(mut bus) = gen.bus(b) {
+            nets.append(&mut bus);
+        }
+    }
+    for t in 0..config.num_tree_nets {
+        if let Some(net) = gen.tree_net(t) {
+            nets.push(net);
+        }
+    }
+    for l in 0..config.num_local_nets {
+        if let Some(net) = gen.local_net(l) {
+            nets.push(net);
+        }
+    }
+
+    let design = Design {
+        name: config.name.clone(),
+        die,
+        tech: config.tech,
+        rules: config.rules,
+        layers: vec![
+            Layer {
+                name: "m3".into(),
+                dir: Dir::Horizontal,
+            },
+            Layer {
+                name: "m2".into(),
+                dir: Dir::Vertical,
+            },
+        ],
+        nets,
+        obstructions,
+    };
+    debug_assert_eq!(design.validate(), Ok(()));
+    design
+}
+
+struct Generator<'a> {
+    config: &'a SynthConfig,
+    die: Rect,
+    tracks: &'a mut TrackGrid,
+    rng: &'a mut StdRng,
+}
+
+impl Generator<'_> {
+    /// Samples a track index, biased into the lower-left hotspot band for a
+    /// `hotspot_fraction` share of nets.
+    fn sample_track(&mut self) -> i64 {
+        let n = self.tracks.num_tracks();
+        if self.rng.gen_bool(self.config.hotspot_fraction) {
+            self.rng.gen_range(0..(n / 2).max(1))
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+
+    fn sample_x_origin(&mut self, max_len: Coord) -> Coord {
+        // Keep a wire-width margin from the die edge so vertical jogs
+        // hanging off trunk endpoints stay inside the die.
+        let margin = self.config.wire_width;
+        let usable = (self.die.width() - max_len - margin).max(margin + 1);
+        if self.rng.gen_bool(self.config.hotspot_fraction) {
+            self.rng.gen_range(margin..(usable / 2).max(margin + 1))
+        } else {
+            self.rng.gen_range(margin..usable)
+        }
+    }
+
+    /// A rectangular macro blockage: claims every routing track it covers
+    /// so later wires avoid it.
+    fn macro_block(&mut self) -> Option<Rect> {
+        let die_w = self.die.width();
+        for _attempt in 0..20 {
+            let w = self.rng.gen_range(die_w / 10..die_w / 5);
+            let h = self.rng.gen_range(die_w / 10..die_w / 5);
+            let x0 = self.rng.gen_range(self.die.left + 500..self.die.right - w - 500);
+            let y0 = self.rng.gen_range(self.die.bottom + 500..self.die.top - h - 500);
+            let rect = Rect::new(x0, y0, x0 + w, y0 + h);
+            // Which tracks does it cover (with clearance)?
+            let lo = (rect.bottom - self.die.bottom) / self.tracks.pitch - 2;
+            let hi = (rect.top - self.die.bottom) / self.tracks.pitch + 1;
+            let span = rect.x_span();
+            let tracks: Vec<i64> = (lo.max(0)..=hi.min(self.tracks.num_tracks() - 1)).collect();
+            let free = tracks.iter().all(|&t| {
+                self.tracks
+                    .blocked
+                    .get(&t)
+                    .map_or(true, |set| set.covered_len_within(span.grown(self.tracks.clearance)) == 0)
+            });
+            if !free {
+                continue;
+            }
+            for &t in &tracks {
+                let claimed = self.tracks.claim(t, span);
+                debug_assert!(claimed);
+            }
+            return Some(rect);
+        }
+        None
+    }
+
+    /// A multi-bit bus: `bus_bits` parallel trunks on adjacent free tracks.
+    fn bus(&mut self, _index: usize) -> Option<Vec<Net>> {
+        let w = self.config.wire_width;
+        let len = self
+            .rng
+            .gen_range((self.die.width() * 6 / 10)..(self.die.width() * 9 / 10));
+        let x0 = self.sample_x_origin(len);
+        let x = Interval::new(x0, x0 + len);
+        // Find a base track with `bus_bits` consecutive free tracks
+        // (spaced one apart to keep slack sites between the bits).
+        'outer: for _attempt in 0..40 {
+            let base = self.sample_track();
+            let step = 2; // leave one free track between bits
+            let top = base + (self.config.bus_bits as i64 - 1) * step;
+            if top >= self.tracks.num_tracks() {
+                continue;
+            }
+            for bit in 0..self.config.bus_bits as i64 {
+                let t = base + bit * step;
+                let set = self.tracks.blocked.entry(t).or_default();
+                if set.covered_len_within(x.grown(self.tracks.clearance)) > 0 {
+                    continue 'outer;
+                }
+            }
+            let mut nets = Vec::with_capacity(self.config.bus_bits);
+            for bit in 0..self.config.bus_bits as i64 {
+                let t = base + bit * step;
+                let claimed = self.tracks.claim(t, x);
+                debug_assert!(claimed);
+                let y = self.tracks.track_y(t);
+                let (sx, ex) = if bit % 2 == 0 {
+                    (x.lo, x.hi)
+                } else {
+                    // Alternate signal direction like real buses with
+                    // drivers on both sides.
+                    (x.hi, x.lo)
+                };
+                nets.push(Net {
+                    name: format!("bus{}_{}", _index, bit),
+                    source: Point::new(sx, y),
+                    sinks: vec![Point::new(ex, y)],
+                    segments: vec![Segment {
+                        layer: LayerId(0),
+                        start: Point::new(sx, y),
+                        end: Point::new(ex, y),
+                        width: w,
+                    }],
+                });
+            }
+            return Some(nets);
+        }
+        None
+    }
+
+    /// A tree net: horizontal trunk + 1..4 branches reached via vertical
+    /// jogs on the second layer.
+    fn tree_net(&mut self, index: usize) -> Option<Net> {
+        let w = self.config.wire_width;
+        let trunk_len = self
+            .rng
+            .gen_range((self.die.width() / 8)..(self.die.width() / 2));
+        let x0 = self.sample_x_origin(trunk_len);
+        let trunk_x = Interval::new(x0, x0 + trunk_len);
+
+        for _attempt in 0..30 {
+            let t = self.sample_track();
+            if !self.tracks.claim(t, trunk_x) {
+                continue;
+            }
+            let y = self.tracks.track_y(t);
+
+            // Pick branch take-off points first; the trunk is then emitted
+            // split at those points so branching happens at segment
+            // endpoints (the tree topology the RC annotator requires).
+            struct Branch {
+                jx: Coord,
+                by: Coord,
+                bend: Coord,
+            }
+            let mut branches: Vec<Branch> = Vec::new();
+            let want = self.rng.gen_range(2..=7usize);
+            'branches: for _ in 0..want {
+                // Keep the jog's drawn rect inside the die.
+                let jog_span = Interval::new(trunk_x.lo + w, trunk_x.hi - w);
+                if jog_span.is_empty() {
+                    break;
+                }
+                // Several candidate take-off points per branch: dense
+                // layouts reject most claims, and multi-sink trees are what
+                // give the downstream-sink weights their spread.
+                for _attempt in 0..8 {
+                    let jx = self.rng.gen_range(jog_span.lo..jog_span.hi);
+                    if branches.iter().any(|b| (b.jx - jx).abs() < w) {
+                        continue;
+                    }
+                    let dt = self.rng.gen_range(2..12i64)
+                        * if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                    let bt = t + dt;
+                    if bt < 0 || bt >= self.tracks.num_tracks() {
+                        continue;
+                    }
+                    let blen = self.rng.gen_range(2_000..(self.die.width() / 6));
+                    let bdir = self.rng.gen_bool(0.5);
+                    let bx = if bdir {
+                        Interval::new(jx, (jx + blen).min(self.die.right - w))
+                    } else {
+                        Interval::new((jx - blen).max(self.die.left + w), jx)
+                    };
+                    if bx.len() < 1_000 || !self.tracks.claim(bt, bx) {
+                        continue;
+                    }
+                    branches.push(Branch {
+                        jx,
+                        by: self.tracks.track_y(bt),
+                        bend: if bdir { bx.hi } else { bx.lo },
+                    });
+                    continue 'branches;
+                }
+            }
+
+            branches.sort_by_key(|b| b.jx);
+            let mut net = Net {
+                name: format!("tree{index}"),
+                source: Point::new(trunk_x.lo, y),
+                sinks: vec![Point::new(trunk_x.hi, y)],
+                segments: Vec::new(),
+            };
+            // Trunk pieces between consecutive take-off points.
+            let mut cuts: Vec<Coord> = vec![trunk_x.lo];
+            cuts.extend(branches.iter().map(|b| b.jx));
+            cuts.push(trunk_x.hi);
+            for pair in cuts.windows(2) {
+                net.segments.push(Segment {
+                    layer: LayerId(0),
+                    start: Point::new(pair[0], y),
+                    end: Point::new(pair[1], y),
+                    width: w,
+                });
+            }
+            for b in &branches {
+                // Vertical jog on m2 from the trunk to the branch track.
+                net.segments.push(Segment {
+                    layer: LayerId(1),
+                    start: Point::new(b.jx, y),
+                    end: Point::new(b.jx, b.by),
+                    width: w,
+                });
+                net.segments.push(Segment {
+                    layer: LayerId(0),
+                    start: Point::new(b.jx, b.by),
+                    end: Point::new(b.bend, b.by),
+                    width: w,
+                });
+                net.sinks.push(Point::new(b.bend, b.by));
+            }
+            return Some(net);
+        }
+        None
+    }
+
+    /// A short point-to-point net.
+    fn local_net(&mut self, index: usize) -> Option<Net> {
+        let w = self.config.wire_width;
+        let len = self.rng.gen_range(1_500..(self.die.width() / 10));
+        let x0 = self.sample_x_origin(len);
+        let x = Interval::new(x0, x0 + len);
+        for _attempt in 0..30 {
+            let t = self.sample_track();
+            if !self.tracks.claim(t, x) {
+                continue;
+            }
+            let y = self.tracks.track_y(t);
+            return Some(Net {
+                name: format!("local{index}"),
+                source: Point::new(x.lo, y),
+                sinks: vec![Point::new(x.hi, y)],
+                segments: vec![Segment {
+                    layer: LayerId(0),
+                    start: Point::new(x.lo, y),
+                    end: Point::new(x.hi, y),
+                    width: w,
+                }],
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_design_is_valid_and_deterministic() {
+        let cfg = SynthConfig::small_test(42);
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        assert!(!a.nets.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthesize(&SynthConfig::small_test(1));
+        let b = synthesize(&SynthConfig::small_test(2));
+        assert_ne!(a.nets, b.nets);
+    }
+
+    #[test]
+    fn t_presets_validate() {
+        for cfg in [SynthConfig::t1(), SynthConfig::t2()] {
+            let d = synthesize(&cfg);
+            assert!(d.validate().is_ok(), "{} invalid", cfg.name);
+            assert!(
+                d.nets.len() > cfg.num_local_nets / 2,
+                "{}: too few nets placed ({})",
+                cfg.name,
+                d.nets.len()
+            );
+        }
+    }
+
+    #[test]
+    fn t1_is_denser_than_t2() {
+        let t1 = synthesize(&SynthConfig::t1());
+        let t2 = synthesize(&SynthConfig::t2());
+        let m3 = LayerId(0);
+        let density = |d: &Design| {
+            d.metal_area_on_layer(m3) as f64 / d.die.area() as f64
+        };
+        assert!(
+            density(&t1) > density(&t2),
+            "t1 {} <= t2 {}",
+            density(&t1),
+            density(&t2)
+        );
+    }
+
+    #[test]
+    fn no_same_layer_overlaps_on_fill_layer() {
+        let d = synthesize(&SynthConfig::small_test(3));
+        let rects: Vec<_> = d
+            .segments_on_layer(LayerId(0))
+            .map(|(_, _, s)| s.rect())
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.overlaps(b), "overlap: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_nets_have_multiple_sinks() {
+        let d = synthesize(&SynthConfig::t2());
+        let max_sinks = d.nets.iter().map(|n| n.sinks.len()).max().unwrap_or(0);
+        assert!(max_sinks >= 2, "expected at least one branching net");
+    }
+}

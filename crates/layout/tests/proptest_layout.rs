@@ -1,0 +1,85 @@
+//! Property tests: text-format round trips and generator invariants over
+//! random seeds and configurations.
+
+use pilfill_layout::synth::{synthesize, SynthConfig};
+use pilfill_layout::{Design, LayerId};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SynthConfig> {
+    (
+        0u64..10_000,
+        1usize..3,
+        2usize..5,
+        0usize..8,
+        0usize..10,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(seed, num_buses, bus_bits, num_tree_nets, num_local_nets, hotspot)| SynthConfig {
+                name: format!("prop-{seed}"),
+                die_size: 30_000,
+                seed,
+                num_buses,
+                bus_bits,
+                num_tree_nets,
+                num_local_nets,
+                wire_width: 280,
+                wire_space: 280,
+                hotspot_fraction: hotspot,
+                num_macros: seed as usize % 3,
+                tech: Default::default(),
+                rules: Default::default(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_designs_always_validate(cfg in config_strategy()) {
+        let d = synthesize(&cfg);
+        prop_assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn text_round_trip_is_identity(cfg in config_strategy()) {
+        let d = synthesize(&cfg);
+        let text = d.to_text();
+        let back = Design::from_text(&text).expect("parse back");
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        prop_assert_eq!(synthesize(&cfg), synthesize(&cfg));
+    }
+
+    #[test]
+    fn fill_layer_wires_never_overlap(cfg in config_strategy()) {
+        let d = synthesize(&cfg);
+        let rects: Vec<_> = d
+            .segments_on_layer(LayerId(0))
+            .map(|(_, _, s)| s.rect())
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                prop_assert!(!a.overlaps(b), "overlap {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_net_topology_resolves(cfg in config_strategy()) {
+        let d = synthesize(&cfg);
+        for net in &d.nets {
+            let topo = net.topology().expect("valid topology");
+            prop_assert_eq!(topo.order.len(), net.segments.len());
+            // Every sink contributes weight along at least one segment,
+            // unless the net has segments only on the source (impossible
+            // here: every generated net has >= 1 segment and sinks at ends).
+            let total: u32 = topo.downstream_sinks.iter().sum();
+            prop_assert!(total as usize >= net.sinks.len());
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Elmore delay on RC chains and trees (paper Section 3, Eqs. (8)-(9)).
+
+use pilfill_layout::{LayoutError, Net, Tech};
+use std::collections::HashMap;
+
+/// A cascaded N-stage RC chain (Figure 3 of the paper).
+///
+/// Stage `i` has series resistance `r[i]` followed by shunt capacitance
+/// `c[i]`. The Elmore delay at stage `k` is
+/// `sum_{i<=k} r_cum(i) * ... ` — equivalently Eq. (8).
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_rc::RcChain;
+///
+/// let chain = RcChain::uniform(4, 10.0, 1e-15);
+/// let d = chain.delays();
+/// assert_eq!(d.len(), 4);
+/// assert!(d[3] > d[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcChain {
+    res: Vec<f64>,
+    cap: Vec<f64>,
+}
+
+impl RcChain {
+    /// Creates a chain from per-stage resistances and capacitances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn new(res: Vec<f64>, cap: Vec<f64>) -> Self {
+        assert_eq!(res.len(), cap.len(), "stage count mismatch");
+        Self { res, cap }
+    }
+
+    /// Creates `n` identical stages.
+    pub fn uniform(n: usize, r: f64, c: f64) -> Self {
+        Self {
+            res: vec![r; n],
+            cap: vec![c; n],
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.res.len()
+    }
+
+    /// `true` if the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.res.is_empty()
+    }
+
+    /// Elmore delay at every stage: Eq. (8),
+    /// `tau_k = sum_{i=1..N} C_i * R(path shared with k)` which for a chain
+    /// reduces to `sum_i C_i * sum_{j<=min(i,k)} R_j`.
+    pub fn delays(&self) -> Vec<f64> {
+        let n = self.len();
+        // Cumulative resistance from source to stage i.
+        let mut rcum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &r in &self.res {
+            acc += r;
+            rcum.push(acc);
+        }
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|i| self.cap[i] * rcum[i.min(k)])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Delay increment at stage `k` when the capacitance at stage `i`
+    /// increases by `dc` (Eq. 9): `dc * R_cum(min(i, k))`.
+    pub fn delay_increment(&self, k: usize, i: usize, dc: f64) -> f64 {
+        let upto = i.min(k);
+        let rcum: f64 = self.res[..=upto].iter().sum();
+        dc * rcum
+    }
+}
+
+/// An RC tree built from a routed [`Net`]: one node per segment endpoint,
+/// wire resistance on edges, wire capacitance split half-half between edge
+/// endpoints (pi model).
+#[derive(Debug, Clone)]
+pub struct RcTree {
+    /// Node capacitances in farads.
+    cap: Vec<f64>,
+    /// Parent link: `(parent_node, resistance)` per node; root has none.
+    parent: Vec<Option<(usize, f64)>>,
+    /// Node index per sink of the originating net.
+    sink_nodes: Vec<usize>,
+}
+
+impl RcTree {
+    /// Builds the RC tree of `net` using wire resistance from `tech` and a
+    /// nominal area capacitance per unit length (`cw_f_per_m`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors from [`Net::topology`].
+    pub fn from_net(net: &Net, tech: &Tech, cw_f_per_m: f64) -> Result<Self, LayoutError> {
+        let topo = net.topology()?;
+        let mut node_of: HashMap<pilfill_geom::Point, usize> = HashMap::new();
+        let mut cap: Vec<f64> = Vec::new();
+        let mut parent: Vec<Option<(usize, f64)>> = Vec::new();
+        let mut node = |p: pilfill_geom::Point,
+                        cap: &mut Vec<f64>,
+                        parent: &mut Vec<Option<(usize, f64)>>|
+         -> usize {
+            *node_of.entry(p).or_insert_with(|| {
+                cap.push(0.0);
+                parent.push(None);
+                cap.len() - 1
+            })
+        };
+        let root = node(net.source, &mut cap, &mut parent);
+        debug_assert_eq!(root, 0);
+        // Visit in parent-first order so parents exist before children.
+        for sid in &topo.order {
+            let seg = &net.segments[sid.0];
+            let len_m = seg.length() as f64 * crate::METERS_PER_DBU;
+            let r = tech.res_per_dbu(seg.width) * seg.length() as f64;
+            let c = cw_f_per_m * len_m;
+            let a = node(seg.start, &mut cap, &mut parent);
+            let b = node(seg.end, &mut cap, &mut parent);
+            cap[a] += c / 2.0;
+            cap[b] += c / 2.0;
+            parent[b] = Some((a, r));
+        }
+        let sink_nodes = net
+            .sinks
+            .iter()
+            .map(|s| node(*s, &mut cap, &mut parent))
+            .collect();
+        Ok(Self {
+            cap,
+            parent,
+            sink_nodes,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cap.len()
+    }
+
+    /// `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cap.is_empty()
+    }
+
+    /// Adds `dc` farads of capacitance at `node`.
+    pub fn add_cap(&mut self, node: usize, dc: f64) {
+        self.cap[node] += dc;
+    }
+
+    /// Upstream (entry) resistance from the root to `node`.
+    pub fn upstream_res(&self, node: usize) -> f64 {
+        let mut acc = 0.0;
+        let mut cur = node;
+        while let Some((p, r)) = self.parent[cur] {
+            acc += r;
+            cur = p;
+        }
+        acc
+    }
+
+    /// Elmore delay at every node: `tau_k = sum_i C_i * R_shared(i, k)`
+    /// where `R_shared` is the resistance of the common source path.
+    pub fn delays(&self) -> Vec<f64> {
+        let n = self.len();
+        // Path-to-root (list of nodes) per node; fine for the small trees
+        // PIL-Fill nets produce.
+        let paths: Vec<Vec<usize>> = (0..n)
+            .map(|k| {
+                let mut path = vec![k];
+                let mut cur = k;
+                while let Some((p, _)) = self.parent[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path
+            })
+            .collect();
+        let upstream: Vec<f64> = (0..n).map(|k| self.upstream_res(k)).collect();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|i| {
+                        // Shared resistance = upstream of the deepest common
+                        // ancestor of i and k.
+                        let lca = paths[i]
+                            .iter()
+                            .find(|x| paths[k].contains(x))
+                            .copied()
+                            .unwrap_or(0);
+                        self.cap[i] * upstream[lca]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Elmore delay at each sink of the originating net.
+    pub fn sink_delays(&self) -> Vec<f64> {
+        let all = self.delays();
+        self.sink_nodes.iter().map(|&n| all[n]).collect()
+    }
+
+    /// The maximum sink delay (critical sink).
+    pub fn max_sink_delay(&self) -> f64 {
+        self.sink_delays().into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_geom::Point;
+    use pilfill_layout::{LayerId, Segment};
+
+    #[test]
+    fn chain_delay_closed_form_uniform() {
+        // tau_N = sum_{i=1..N} c * i * r ... for uniform chain the delay at
+        // the last node is r*c*N(N+1)/2.
+        let n = 5;
+        let r = 2.0;
+        let c = 3.0;
+        let chain = RcChain::uniform(n, r, c);
+        let d = chain.delays();
+        let expect = r * c * (n * (n + 1) / 2) as f64;
+        assert!((d[n - 1] - expect).abs() < 1e-9, "{} vs {expect}", d[n - 1]);
+    }
+
+    #[test]
+    fn chain_delays_are_monotone_downstream() {
+        let chain = RcChain::new(vec![1.0, 2.0, 0.5], vec![1e-15, 2e-15, 5e-16]);
+        let d = chain.delays();
+        assert!(d[0] < d[1] && d[1] < d[2]);
+    }
+
+    #[test]
+    fn chain_increment_matches_recompute() {
+        let mut chain = RcChain::new(vec![1.0, 2.0, 0.5, 3.0], vec![1.0, 2.0, 0.5, 1.5]);
+        let before = chain.delays();
+        let dc = 0.7;
+        let at = 2;
+        let predicted: Vec<f64> = (0..chain.len())
+            .map(|k| chain.delay_increment(k, at, dc))
+            .collect();
+        chain.cap[at] += dc;
+        let after = chain.delays();
+        for k in 0..chain.len() {
+            assert!(
+                (after[k] - before[k] - predicted[k]).abs() < 1e-9,
+                "node {k}: {} vs {}",
+                after[k] - before[k],
+                predicted[k]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_uniform_constructors() {
+        assert!(RcChain::new(vec![], vec![]).is_empty());
+        assert_eq!(RcChain::uniform(3, 1.0, 1.0).len(), 3);
+    }
+
+    fn branching_net() -> Net {
+        let seg = |x0: i64, y0: i64, x1: i64, y1: i64| Segment {
+            layer: LayerId(0),
+            start: Point::new(x0, y0),
+            end: Point::new(x1, y1),
+            width: 200,
+        };
+        Net {
+            name: "t".into(),
+            source: Point::new(0, 0),
+            sinks: vec![Point::new(20_000, 0), Point::new(10_000, 8_000)],
+            segments: vec![
+                seg(0, 0, 10_000, 0),
+                seg(10_000, 0, 20_000, 0),
+                seg(10_000, 0, 10_000, 8_000),
+            ],
+        }
+    }
+
+    #[test]
+    fn tree_upstream_resistance_accumulates() {
+        let net = branching_net();
+        let tech = Tech::default_180nm();
+        let tree = RcTree::from_net(&net, &tech, 1e-10).expect("tree");
+        // Node order: source=0, then ends of segments in order.
+        let r_trunk = tech.res_per_dbu(200) * 10_000.0;
+        assert!((tree.upstream_res(0) - 0.0).abs() < 1e-12);
+        assert!((tree.upstream_res(1) - r_trunk).abs() < 1e-9);
+        // Far sink: two trunk pieces.
+        assert!((tree.upstream_res(2) - 2.0 * r_trunk).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_add_cap_increases_downstream_by_r_times_dc() {
+        let net = branching_net();
+        let tech = Tech::default_180nm();
+        let mut tree = RcTree::from_net(&net, &tech, 1e-10).expect("tree");
+        let before = tree.delays();
+        // Add cap at the branch point (node 1).
+        let dc = 5e-15;
+        let r_up = tree.upstream_res(1);
+        tree.add_cap(1, dc);
+        let after = tree.delays();
+        // Every node at or below node 1 gains exactly r_up * dc; the source
+        // gains nothing... (source has zero upstream).
+        for k in 1..tree.len() {
+            let gain = after[k] - before[k];
+            assert!(
+                (gain - r_up * dc).abs() < 1e-18,
+                "node {k}: gain {gain} vs {}",
+                r_up * dc
+            );
+        }
+        assert!((after[0] - before[0]).abs() < 1e-18);
+    }
+
+    #[test]
+    fn tree_sink_delays_positive_and_bounded_by_max() {
+        let net = branching_net();
+        let tree = RcTree::from_net(&net, &Tech::default_180nm(), 1e-10).expect("tree");
+        let sinks = tree.sink_delays();
+        assert_eq!(sinks.len(), 2);
+        for d in &sinks {
+            assert!(*d > 0.0);
+            assert!(*d <= tree.max_sink_delay());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Timing slack and slack-to-capacitance budgeting — the bridge the
+//! paper's Section 7 describes: "budgeted slacks (translated to budgeted
+//! capacitances) ... typically available within synthesis, place and
+//! route tools driven by incremental static timing engine".
+//!
+//! Given a required arrival time, each net's sinks have slack
+//! `required - elmore_arrival`. Fill adds capacitance `dC` somewhere on
+//! the net, raising sink `i`'s arrival by at most `dC * R(source->i)`
+//! (Eq. 9 with the shared-path resistance bounded by the full path). The
+//! largest `dC` that cannot violate any sink's slack is therefore
+//! `min_i slack_i / R(source->i)` — a conservative per-net capacitance
+//! budget computable without re-running timing.
+
+use crate::{RcTree, METERS_PER_DBU};
+use pilfill_layout::{Design, LayoutError, Net, Tech};
+
+/// Per-sink timing view of one net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSlack {
+    /// Elmore arrival time per sink, seconds.
+    pub arrivals: Vec<f64>,
+    /// Slack per sink (`required - arrival`), seconds.
+    pub slacks: Vec<f64>,
+    /// Upstream resistance from the source to each sink, ohms.
+    pub sink_resistances: Vec<f64>,
+}
+
+impl NetSlack {
+    /// The worst (smallest) slack, or `None` for sink-less nets.
+    pub fn worst_slack(&self) -> Option<f64> {
+        self.slacks.iter().copied().reduce(f64::min)
+    }
+
+    /// The conservative fill-capacitance budget: the largest added
+    /// capacitance that cannot violate any sink's slack, clamped at zero
+    /// for nets that already violate timing.
+    pub fn cap_budget(&self) -> f64 {
+        self.slacks
+            .iter()
+            .zip(&self.sink_resistances)
+            .map(|(&s, &r)| {
+                if r <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    (s / r).max(0.0)
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Computes the timing view of one net under the Elmore model.
+///
+/// `cw_f_per_m` is the nominal wire capacitance per meter used for the
+/// baseline arrival times; `required` the required arrival time in
+/// seconds.
+///
+/// # Errors
+///
+/// Propagates topology errors from [`Net::topology`].
+pub fn net_slack(
+    net: &Net,
+    tech: &Tech,
+    cw_f_per_m: f64,
+    required: f64,
+) -> Result<NetSlack, LayoutError> {
+    let tree = RcTree::from_net(net, tech, cw_f_per_m)?;
+    let arrivals = tree.sink_delays();
+    let slacks: Vec<f64> = arrivals.iter().map(|a| required - a).collect();
+    // Sink node resistances: recompute through the tree's upstream walk.
+    let sink_resistances = sink_upstream_resistances(net, tech)?;
+    Ok(NetSlack {
+        arrivals,
+        slacks,
+        sink_resistances,
+    })
+}
+
+fn sink_upstream_resistances(net: &Net, tech: &Tech) -> Result<Vec<f64>, LayoutError> {
+    let topo = net.topology()?;
+    let seg_res: Vec<f64> = net
+        .segments
+        .iter()
+        .map(|s| tech.res_per_dbu(s.width) * s.length() as f64)
+        .collect();
+    Ok(net
+        .sinks
+        .iter()
+        .map(|sink| {
+            match net.segments.iter().position(|s| s.end == *sink) {
+                Some(i) => {
+                    let upstream: f64 =
+                        topo.upstream[i].iter().map(|sid| seg_res[sid.0]).sum();
+                    upstream + seg_res[i]
+                }
+                // Sink at the source: no resistance in between.
+                None => 0.0,
+            }
+        })
+        .collect())
+}
+
+/// Computes every net's conservative fill-capacitance budget for a design.
+///
+/// Nets without sinks get an infinite budget (nothing to protect).
+///
+/// # Errors
+///
+/// Propagates the first topology error.
+pub fn cap_budgets_from_slack(
+    design: &Design,
+    cw_f_per_m: f64,
+    required: f64,
+) -> Result<Vec<f64>, LayoutError> {
+    design
+        .nets
+        .iter()
+        .map(|net| {
+            if net.sinks.is_empty() {
+                return Ok(f64::INFINITY);
+            }
+            Ok(net_slack(net, &design.tech, cw_f_per_m, required)?.cap_budget())
+        })
+        .collect()
+}
+
+/// A reasonable default wire capacitance per meter for baseline arrivals
+/// (area + fringe of a mid-level metal, ~0.15 fF/um).
+pub fn default_wire_cap_per_m() -> f64 {
+    0.15e-15 / (1_000.0 * METERS_PER_DBU)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_geom::{Dir, Point, Rect};
+    use pilfill_layout::DesignBuilder;
+
+    fn design() -> Design {
+        DesignBuilder::new("d", Rect::new(0, 0, 100_000, 100_000))
+            .layer("m3", Dir::Horizontal)
+            .net("short", Point::new(300, 10_000))
+            .segment("m3", Point::new(300, 10_000), Point::new(5_300, 10_000), 280)
+            .sink(Point::new(5_300, 10_000))
+            .net("long", Point::new(300, 20_000))
+            .segment("m3", Point::new(300, 20_000), Point::new(90_300, 20_000), 280)
+            .sink(Point::new(90_300, 20_000))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn arrivals_grow_with_length() {
+        let d = design();
+        let cw = default_wire_cap_per_m();
+        let short = net_slack(&d.nets[0], &d.tech, cw, 1e-9).expect("slack");
+        let long = net_slack(&d.nets[1], &d.tech, cw, 1e-9).expect("slack");
+        assert!(long.arrivals[0] > short.arrivals[0]);
+        assert!(long.worst_slack() < short.worst_slack());
+    }
+
+    #[test]
+    fn cap_budget_shrinks_with_tighter_required() {
+        let d = design();
+        let cw = default_wire_cap_per_m();
+        let loose = net_slack(&d.nets[1], &d.tech, cw, 1e-9).expect("slack");
+        let tight = net_slack(&d.nets[1], &d.tech, cw, 1e-12).expect("slack");
+        assert!(tight.cap_budget() <= loose.cap_budget());
+    }
+
+    #[test]
+    fn violating_net_gets_zero_budget() {
+        let d = design();
+        let cw = default_wire_cap_per_m();
+        // Required arrival earlier than any physical arrival.
+        let s = net_slack(&d.nets[1], &d.tech, cw, 0.0).expect("slack");
+        assert!(s.worst_slack().expect("has sinks") < 0.0);
+        assert_eq!(s.cap_budget(), 0.0);
+    }
+
+    #[test]
+    fn budget_math_matches_by_hand() {
+        let d = design();
+        let cw = default_wire_cap_per_m();
+        let s = net_slack(&d.nets[0], &d.tech, cw, 1e-9).expect("slack");
+        // Single sink: budget = slack / R(source->sink).
+        let expected = s.slacks[0] / s.sink_resistances[0];
+        assert!((s.cap_budget() - expected).abs() <= 1e-18 * expected.abs());
+        // R(source->sink) = 5000 dbu of 280-wide wire.
+        let r = d.tech.res_per_dbu(280) * 5_000.0;
+        assert!((s.sink_resistances[0] - r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_wide_budgets_cover_all_nets() {
+        let d = design();
+        let budgets =
+            cap_budgets_from_slack(&d, default_wire_cap_per_m(), 1e-9).expect("budgets");
+        assert_eq!(budgets.len(), d.nets.len());
+        assert!(budgets.iter().all(|b| *b >= 0.0));
+        // Longer net has the smaller budget.
+        assert!(budgets[1] < budgets[0]);
+    }
+}

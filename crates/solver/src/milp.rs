@@ -1,0 +1,349 @@
+//! Branch-and-bound layer over the LP relaxation.
+//!
+//! Depth-first search with best-incumbent pruning. Branching selects the
+//! integer variable whose relaxation value is most fractional, and explores
+//! the branch nearer the fractional value first (a cheap form of
+//! best-first dive). Node and pivot counts are reported in
+//! [`BranchBoundStats`] so benchmark tables can include solver effort.
+
+use crate::model::{Model, Solution, SolveError, VarId};
+
+/// Tuning knobs for [`Model::solve_with`].
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum branch-and-bound nodes before giving up.
+    pub node_limit: usize,
+    /// Absolute integrality tolerance.
+    pub int_tol: f64,
+    /// Prune nodes whose bound is within this of the incumbent (absolute).
+    pub gap_tol: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            node_limit: 200_000,
+            int_tol: 1e-6,
+            gap_tol: 1e-9,
+        }
+    }
+}
+
+/// Search statistics from a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchBoundStats {
+    /// LP relaxations solved.
+    pub nodes: usize,
+    /// Nodes pruned by bound.
+    pub pruned: usize,
+    /// Incumbent improvements.
+    pub incumbents: usize,
+    /// Total simplex pivots across all relaxations.
+    pub pivots: usize,
+}
+
+struct Node {
+    /// (var, lb, ub) bound overrides along this branch.
+    bounds: Vec<(VarId, f64, f64)>,
+    depth: usize,
+}
+
+/// Runs branch-and-bound on `model` (which must contain integer variables).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Infeasible`] when no integer-feasible point exists,
+/// [`SolveError::Unbounded`] when the relaxation is unbounded, and
+/// [`SolveError::NodeLimit`] when the node budget is exhausted with no
+/// incumbent.
+pub(crate) fn branch_and_bound(
+    model: &Model,
+    options: &MilpOptions,
+) -> Result<Solution, SolveError> {
+    // Work internally in minimization sense: incumbent comparisons multiply
+    // the model-direction objective by this sign.
+    let minimize_sign = if model.is_minimize() { 1.0 } else { -1.0 };
+
+    let int_vars: Vec<VarId> = model.integer_vars().collect();
+    debug_assert!(!int_vars.is_empty());
+
+    let mut stats = BranchBoundStats::default();
+    let mut incumbent: Option<Solution> = None;
+    let mut stack = vec![Node {
+        bounds: Vec::new(),
+        depth: 0,
+    }];
+    let mut scratch = model.clone();
+    let mut relaxation_unbounded_at_root = false;
+
+    while let Some(node) = stack.pop() {
+        if stats.nodes >= options.node_limit {
+            return match incumbent {
+                Some(sol) => Ok(finish(sol, stats)),
+                None => Err(SolveError::NodeLimit),
+            };
+        }
+
+        // Apply node bounds onto a fresh copy of the base model.
+        scratch.clone_from(model);
+        let mut consistent = true;
+        for &(v, lb, ub) in &node.bounds {
+            let (cur_lb, cur_ub) = scratch.bounds(v);
+            let new_lb = cur_lb.max(lb);
+            let new_ub = cur_ub.min(ub);
+            if new_lb > new_ub {
+                consistent = false;
+                break;
+            }
+            scratch.set_bounds(v, new_lb, new_ub);
+        }
+        if !consistent {
+            stats.pruned += 1;
+            continue;
+        }
+
+        stats.nodes += 1;
+        let relax = match scratch.solve_lp() {
+            Ok(s) => {
+                stats.pivots += s.stats.pivots;
+                s
+            }
+            Err(SolveError::Infeasible) => continue,
+            Err(SolveError::Unbounded) => {
+                if node.depth == 0 {
+                    relaxation_unbounded_at_root = true;
+                }
+                // An unbounded relaxation at depth > 0 still means the MILP
+                // may be unbounded; treat conservatively as unbounded.
+                relaxation_unbounded_at_root = relaxation_unbounded_at_root || node.depth > 0;
+                if relaxation_unbounded_at_root {
+                    return Err(SolveError::Unbounded);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+
+        // Bound pruning (compare in minimization sense).
+        if let Some(inc) = &incumbent {
+            if minimize_sign * relax.objective
+                >= minimize_sign * inc.objective - options.gap_tol
+            {
+                stats.pruned += 1;
+                continue;
+            }
+        }
+
+        // Find most fractional integer variable.
+        let mut branch_var: Option<(VarId, f64)> = None;
+        let mut best_frac = options.int_tol;
+        for &v in &int_vars {
+            let val = relax.value(v);
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((v, val));
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: snap and record.
+                let mut snapped = relax;
+                for &v in &int_vars {
+                    snapped.values[v.index()] = snapped.values[v.index()].round();
+                }
+                let better = incumbent.as_ref().map_or(true, |inc| {
+                    minimize_sign * snapped.objective
+                        < minimize_sign * inc.objective - options.gap_tol
+                });
+                if better {
+                    stats.incumbents += 1;
+                    incumbent = Some(snapped);
+                }
+            }
+            Some((v, val)) => {
+                let floor = val.floor();
+                // Explore the nearer branch last so it pops first (DFS
+                // stack order): dive towards the fractional value.
+                let down = Node {
+                    bounds: with_bound(&node.bounds, v, f64::NEG_INFINITY, floor),
+                    depth: node.depth + 1,
+                };
+                let up = Node {
+                    bounds: with_bound(&node.bounds, v, floor + 1.0, f64::INFINITY),
+                    depth: node.depth + 1,
+                };
+                if val - floor < 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(sol) => Ok(finish(sol, stats)),
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+fn with_bound(
+    bounds: &[(VarId, f64, f64)],
+    v: VarId,
+    lb: f64,
+    ub: f64,
+) -> Vec<(VarId, f64, f64)> {
+    let mut out = bounds.to_vec();
+    out.push((v, lb, ub));
+    out
+}
+
+fn finish(mut sol: Solution, stats: BranchBoundStats) -> Solution {
+    sol.stats = stats;
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Objective, Sense};
+
+    /// Exhaustive reference solver for tiny pure-integer models.
+    fn brute_force_best(
+        maximize: bool,
+        objs: &[f64],
+        caps: &[i64],
+        constraints: &[(Vec<f64>, Sense, f64)],
+    ) -> Option<f64> {
+        fn rec(
+            idx: usize,
+            caps: &[i64],
+            current: &mut Vec<i64>,
+            all: &mut Vec<Vec<i64>>,
+        ) {
+            if idx == caps.len() {
+                all.push(current.clone());
+                return;
+            }
+            for v in 0..=caps[idx] {
+                current.push(v);
+                rec(idx + 1, caps, current, all);
+                current.pop();
+            }
+        }
+        let mut all = Vec::new();
+        rec(0, caps, &mut Vec::new(), &mut all);
+        let feasible = all.into_iter().filter(|x| {
+            constraints.iter().all(|(coeffs, sense, rhs)| {
+                let lhs: f64 = coeffs
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(c, &v)| c * v as f64)
+                    .sum();
+                match sense {
+                    Sense::Le => lhs <= rhs + 1e-9,
+                    Sense::Ge => lhs >= rhs - 1e-9,
+                    Sense::Eq => (lhs - rhs).abs() < 1e-9,
+                }
+            })
+        });
+        let objective = |x: &Vec<i64>| -> f64 {
+            objs.iter().zip(x.iter()).map(|(c, &v)| c * v as f64).sum()
+        };
+        feasible
+            .map(|x| objective(&x))
+            .fold(None, |best: Option<f64>, o| match best {
+                None => Some(o),
+                Some(b) => Some(if maximize { b.max(o) } else { b.min(o) }),
+            })
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        let cases: Vec<(bool, Vec<f64>, Vec<i64>, Vec<(Vec<f64>, Sense, f64)>)> = vec![
+            (
+                true,
+                vec![5.0, 4.0, 3.0],
+                vec![3, 3, 3],
+                vec![(vec![2.0, 3.0, 1.0], Sense::Le, 5.0)],
+            ),
+            (
+                false,
+                vec![2.0, 7.0, 1.5, 4.0],
+                vec![2, 2, 2, 2],
+                vec![(vec![1.0, 1.0, 1.0, 1.0], Sense::Eq, 4.0)],
+            ),
+            (
+                false,
+                vec![1.0, 1.0, 10.0],
+                vec![4, 4, 4],
+                vec![
+                    (vec![1.0, 2.0, 1.0], Sense::Ge, 5.0),
+                    (vec![1.0, 0.0, 1.0], Sense::Le, 3.0),
+                ],
+            ),
+        ];
+        for (maximize, objs, caps, cons) in cases {
+            let mut m = Model::new(if maximize {
+                Objective::Maximize
+            } else {
+                Objective::Minimize
+            });
+            let vars: Vec<_> = objs
+                .iter()
+                .zip(&caps)
+                .map(|(&o, &c)| m.add_integer_var(0.0, c as f64, o))
+                .collect();
+            for (coeffs, sense, rhs) in &cons {
+                m.add_constraint(
+                    vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)),
+                    *sense,
+                    *rhs,
+                );
+            }
+            let expected = brute_force_best(maximize, &objs, &caps, &cons);
+            match (m.solve(), expected) {
+                (Ok(sol), Some(best)) => {
+                    assert!(
+                        (sol.objective - best).abs() < 1e-6,
+                        "milp {} vs brute {best}",
+                        sol.objective
+                    );
+                }
+                (Err(SolveError::Infeasible), None) => {}
+                (got, want) => panic!("mismatch: got {got:?}, brute force {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut m = Model::new(Objective::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| m.add_binary_var(1.0 + i as f64 * 0.3)).collect();
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Le, 3.0);
+        let s = m.solve().expect("solvable");
+        assert!(s.stats.nodes >= 1);
+    }
+
+    #[test]
+    fn node_limit_without_incumbent_errors() {
+        let mut m = Model::new(Objective::Minimize);
+        // A problem that needs branching to find feasibility.
+        let x = m.add_integer_var(0.0, 10.0, 1.0);
+        let y = m.add_integer_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Sense::Eq, 7.0); // infeasible in integers
+        let opts = MilpOptions {
+            node_limit: 1,
+            ..MilpOptions::default()
+        };
+        let res = m.solve_with(&opts);
+        assert!(matches!(
+            res,
+            Err(SolveError::NodeLimit) | Err(SolveError::Infeasible)
+        ));
+    }
+}

@@ -1,0 +1,586 @@
+//! Dense bounded-variable primal simplex with Big-M feasibility.
+//!
+//! Solves `min c'x  s.t.  Ax = b, 0 <= x <= u` where some components of `u`
+//! may be infinite. Inequalities and general bounds are normalized into this
+//! form by [`crate::model::Model`]. The implementation keeps the full
+//! tableau `[B^-1 A | B^-1 b]` and updates it by pivoting; nonbasic
+//! variables may rest at their lower *or* upper bound (the standard
+//! upper-bounded simplex extension), which keeps the tableau small for
+//! models with many box-constrained variables (e.g. ILP-II binaries).
+
+/// Feasibility/boundedness status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below (for minimization).
+    Unbounded,
+    /// The iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+/// A linear program in computational standard form.
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Number of structural variables (excluding slacks/artificials).
+    pub n_structural: usize,
+    /// Objective coefficients (minimization), length `n_structural`.
+    pub costs: Vec<f64>,
+    /// Dense constraint rows over structural variables.
+    pub rows: Vec<Vec<f64>>,
+    /// Row senses normalized to `<=` (false) or `=` (true); `>=` rows are
+    /// pre-negated by the caller.
+    pub eq: Vec<bool>,
+    /// Right-hand sides, one per row.
+    pub rhs: Vec<f64>,
+    /// Upper bounds per structural variable (may be `f64::INFINITY`).
+    pub upper: Vec<f64>,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solve status; values/objective are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Values of the structural variables.
+    pub values: Vec<f64>,
+    /// Objective value (minimization sense).
+    pub objective: f64,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+const EPS: f64 = 1e-9;
+/// Pivot elements smaller than this are rejected for stability.
+const PIVOT_EPS: f64 = 1e-7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NonbasicAt {
+    Lower,
+    Upper,
+}
+
+/// Solves the standard-form LP with the bounded-variable Big-M simplex.
+///
+/// All variables have implicit lower bound zero. Slack variables are added
+/// for `<=` rows; artificial variables (with Big-M cost) are added for `=`
+/// rows and for `<=` rows with negative right-hand side.
+pub fn solve_standard(lp: &StandardLp) -> LpSolution {
+    Tableau::build(lp).solve(lp)
+}
+
+struct Tableau {
+    /// rows x cols coefficient matrix (structural + slack + artificial).
+    a: Vec<Vec<f64>>,
+    /// Current right-hand side (basic variable values given nonbasic rests).
+    b: Vec<f64>,
+    /// Cost per column (Big-M applied to artificials).
+    cost: Vec<f64>,
+    /// Upper bound per column.
+    upper: Vec<f64>,
+    /// Basic variable (column index) per row.
+    basis: Vec<usize>,
+    /// Rest position of each nonbasic column.
+    at: Vec<NonbasicAt>,
+    /// Columns that are artificial (for the feasibility check).
+    artificial_start: usize,
+    n_cols: usize,
+    n_rows: usize,
+    big_m: f64,
+}
+
+impl Tableau {
+    fn build(lp: &StandardLp) -> Self {
+        let n_rows = lp.rows.len();
+        let n_struct = lp.n_structural;
+
+        // Normalize rows so rhs >= 0 (flip row sign if needed); `<=` rows
+        // that get flipped become `>=`, which then need surplus+artificial.
+        // We encode: for each row, slack coefficient (+1 for <=, -1 for >=,
+        // 0 for =) and whether an artificial is required.
+        let mut rows = lp.rows.clone();
+        let mut rhs = lp.rhs.clone();
+        let mut slack_sign = vec![0.0f64; n_rows];
+        let mut needs_artificial = vec![false; n_rows];
+        for i in 0..n_rows {
+            let mut ge = false;
+            if rhs[i] < 0.0 {
+                for v in rows[i].iter_mut() {
+                    *v = -*v;
+                }
+                rhs[i] = -rhs[i];
+                if !lp.eq[i] {
+                    ge = true; // flipped <= becomes >=
+                }
+            }
+            if lp.eq[i] {
+                slack_sign[i] = 0.0;
+                needs_artificial[i] = true;
+            } else if ge {
+                slack_sign[i] = -1.0;
+                needs_artificial[i] = true;
+            } else {
+                slack_sign[i] = 1.0;
+                needs_artificial[i] = false;
+            }
+        }
+
+        // Row equilibration: scale each row so its largest coefficient has
+        // magnitude 1. Keeps Big-M proportionate when callers pass rows
+        // with wildly different magnitudes (e.g. capacitances vs counts).
+        for i in 0..n_rows {
+            let max_abs = rows[i]
+                .iter()
+                .fold(0.0f64, |m, &v| m.max(v.abs()));
+            if max_abs > 0.0 && (max_abs > 1e3 || max_abs < 1e-3) {
+                let inv = 1.0 / max_abs;
+                for v in rows[i].iter_mut() {
+                    *v *= inv;
+                }
+                rhs[i] *= inv;
+            }
+        }
+
+        let n_slack = slack_sign.iter().filter(|&&s| s != 0.0).count();
+        let n_art = needs_artificial.iter().filter(|&&x| x).count();
+        let n_cols = n_struct + n_slack + n_art;
+
+        let max_abs_cost = lp
+            .costs
+            .iter()
+            .fold(1.0f64, |m, &c| m.max(c.abs()));
+        let max_abs_rhs = rhs.iter().fold(1.0f64, |m, &r| m.max(r.abs()));
+        let big_m = 1e7 * max_abs_cost.max(max_abs_rhs);
+
+        let mut a = vec![vec![0.0; n_cols]; n_rows];
+        let mut cost = vec![0.0; n_cols];
+        let mut upper = vec![f64::INFINITY; n_cols];
+        cost[..n_struct].copy_from_slice(&lp.costs);
+        upper[..n_struct].copy_from_slice(&lp.upper);
+        for (i, row) in rows.iter().enumerate() {
+            a[i][..n_struct].copy_from_slice(row);
+        }
+
+        let mut col = n_struct;
+        let mut slack_col = vec![usize::MAX; n_rows];
+        for i in 0..n_rows {
+            if slack_sign[i] != 0.0 {
+                a[i][col] = slack_sign[i];
+                slack_col[i] = col;
+                col += 1;
+            }
+        }
+        let artificial_start = col;
+        let mut basis = vec![usize::MAX; n_rows];
+        for i in 0..n_rows {
+            if needs_artificial[i] {
+                a[i][col] = 1.0;
+                cost[col] = big_m;
+                basis[i] = col;
+                col += 1;
+            } else {
+                basis[i] = slack_col[i];
+            }
+        }
+        debug_assert_eq!(col, n_cols);
+
+        Self {
+            a,
+            b: rhs,
+            cost,
+            upper,
+            basis,
+            at: vec![NonbasicAt::Lower; n_cols],
+            artificial_start,
+            n_cols,
+            n_rows,
+            big_m,
+        }
+    }
+
+    /// Value of column `j` given its rest position (0, upper, or basic).
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.at[j] {
+            NonbasicAt::Lower => 0.0,
+            NonbasicAt::Upper => self.upper[j],
+        }
+    }
+
+    fn is_basic(&self, j: usize) -> bool {
+        self.basis.contains(&j)
+    }
+
+    fn solve(mut self, lp: &StandardLp) -> LpSolution {
+        // Adjust b for nonbasic variables resting at finite upper bounds:
+        // initially all rest at lower (=0), so nothing to do. The invariant
+        // maintained throughout: self.b[i] = value of basic var of row i.
+        let iter_limit = 200 * (self.n_rows + self.n_cols).max(50);
+        let mut iterations = 0usize;
+        let mut degenerate_streak = 0usize;
+
+        loop {
+            if iterations > iter_limit {
+                return LpSolution {
+                    status: LpStatus::IterationLimit,
+                    values: vec![0.0; lp.n_structural],
+                    objective: f64::NAN,
+                    iterations,
+                };
+            }
+
+            // Reduced costs: d_j = c_j - c_B' B^-1 A_j. Since we keep the
+            // tableau in updated form (a = B^-1 A), d_j = c_j - sum_i
+            // c_basis[i] * a[i][j].
+            let mut entering: Option<(usize, f64)> = None;
+            let use_bland = degenerate_streak > 2 * self.n_rows.max(10);
+            for j in 0..self.n_cols {
+                if self.is_basic(j) {
+                    continue;
+                }
+                let mut d = self.cost[j];
+                for i in 0..self.n_rows {
+                    let cb = self.cost[self.basis[i]];
+                    if cb != 0.0 {
+                        d -= cb * self.a[i][j];
+                    }
+                }
+                // Improving direction: increase var at lower bound when
+                // d < 0; decrease var at upper bound when d > 0.
+                let improving = match self.at[j] {
+                    NonbasicAt::Lower => d < -EPS,
+                    NonbasicAt::Upper => d > EPS,
+                };
+                if improving {
+                    let score = d.abs();
+                    if use_bland {
+                        entering = Some((j, d));
+                        break;
+                    }
+                    if entering.map_or(true, |(_, best)| score > best.abs()) {
+                        entering = Some((j, d));
+                    }
+                }
+            }
+
+            let Some((q, dq)) = entering else {
+                return self.extract(lp, iterations);
+            };
+
+            // Direction: +1 if q increases from lower, -1 if decreases from
+            // upper.
+            let dir = if self.at[q] == NonbasicAt::Lower { 1.0 } else { -1.0 };
+            debug_assert!(dq * dir < 0.0);
+
+            // Ratio test with bounds. t = amount of movement of q (>= 0).
+            // Basic variable i changes by -dir * a[i][q] * t; it must stay
+            // within [0, upper[basis[i]]]. q itself must stay within
+            // [0, upper[q]].
+            let mut t_max = if self.upper[q].is_finite() {
+                self.upper[q]
+            } else {
+                f64::INFINITY
+            };
+            // Leaving candidate: (row, basic var goes to which bound).
+            let mut leaving: Option<(usize, NonbasicAt)> = None;
+            for i in 0..self.n_rows {
+                let alpha = dir * self.a[i][q];
+                let xb = self.b[i];
+                if alpha > PIVOT_EPS {
+                    // Basic decreases towards 0.
+                    let t = xb / alpha;
+                    if t < t_max - EPS || (t < t_max + EPS && leaving.is_none()) {
+                        if t < t_max {
+                            t_max = t.max(0.0);
+                            leaving = Some((i, NonbasicAt::Lower));
+                        }
+                    }
+                } else if alpha < -PIVOT_EPS {
+                    let ub = self.upper[self.basis[i]];
+                    if ub.is_finite() {
+                        // Basic increases towards its upper bound.
+                        let t = (ub - xb) / (-alpha);
+                        if t < t_max {
+                            t_max = t.max(0.0);
+                            leaving = Some((i, NonbasicAt::Upper));
+                        }
+                    }
+                }
+            }
+
+            if t_max.is_infinite() {
+                return LpSolution {
+                    status: LpStatus::Unbounded,
+                    values: vec![0.0; lp.n_structural],
+                    objective: f64::NEG_INFINITY,
+                    iterations,
+                };
+            }
+
+            degenerate_streak = if t_max < EPS { degenerate_streak + 1 } else { 0 };
+
+            match leaving {
+                None => {
+                    // q moves all the way to its other bound; basis is
+                    // unchanged ("bound flip").
+                    for i in 0..self.n_rows {
+                        self.b[i] -= dir * self.a[i][q] * t_max;
+                    }
+                    self.at[q] = match self.at[q] {
+                        NonbasicAt::Lower => NonbasicAt::Upper,
+                        NonbasicAt::Upper => NonbasicAt::Lower,
+                    };
+                }
+                Some((r, leave_to)) => {
+                    self.pivot(r, q, dir, t_max, leave_to);
+                }
+            }
+            iterations += 1;
+        }
+    }
+
+    /// Pivot: q enters the basis at row r; the old basic leaves to
+    /// `leave_to`.
+    fn pivot(&mut self, r: usize, q: usize, dir: f64, t: f64, leave_to: NonbasicAt) {
+        let leaving_var = self.basis[r];
+
+        // Update basic values for the movement t of q.
+        for i in 0..self.n_rows {
+            self.b[i] -= dir * self.a[i][q] * t;
+        }
+        // New basic value of q = rest value + dir * t.
+        let q_new = self.nonbasic_value(q) + dir * t;
+
+        // Normalize pivot row.
+        let piv = self.a[r][q];
+        debug_assert!(piv.abs() > PIVOT_EPS * 0.5, "tiny pivot {piv}");
+        let inv = 1.0 / piv;
+        for v in self.a[r].iter_mut() {
+            *v *= inv;
+        }
+        // b[r] currently holds the (updated) value of the *leaving*
+        // variable; replace row content for q's row, eliminating q from
+        // other rows. For the b vector we maintain actual basic values, so
+        // set row r to q's value first, then eliminate.
+        self.b[r] = q_new;
+
+        for i in 0..self.n_rows {
+            if i == r {
+                continue;
+            }
+            let factor = self.a[i][q];
+            if factor != 0.0 {
+                let (head, tail) = if i < r {
+                    let (h, t2) = self.a.split_at_mut(r);
+                    (&mut h[i], &t2[0])
+                } else {
+                    let (h, t2) = self.a.split_at_mut(i);
+                    (&mut t2[0], &h[r])
+                };
+                for (x, y) in head.iter_mut().zip(tail.iter()) {
+                    *x -= factor * y;
+                }
+                // Note: b[i] was already updated by the movement step; the
+                // elimination does not change basic values, only the
+                // representation.
+            }
+        }
+
+        self.basis[r] = q;
+        self.at[leaving_var] = leave_to;
+        // Guard: a nonbasic "at upper" with infinite bound is invalid; can
+        // only happen with numerical trouble.
+        if leave_to == NonbasicAt::Upper && !self.upper[leaving_var].is_finite() {
+            self.at[leaving_var] = NonbasicAt::Lower;
+        }
+    }
+
+    fn extract(&self, lp: &StandardLp, iterations: usize) -> LpSolution {
+        let mut values = vec![0.0; self.n_cols];
+        for j in 0..self.n_cols {
+            if !self.is_basic(j) {
+                values[j] = self.nonbasic_value(j);
+            }
+        }
+        for (i, &bj) in self.basis.iter().enumerate() {
+            values[bj] = self.b[i];
+        }
+        // Check artificials: any residual means infeasible.
+        let feas_tol = 1e-6 * (1.0 + self.big_m / 1e7);
+        for j in self.artificial_start..self.n_cols {
+            if values[j].abs() > feas_tol {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    values: vec![0.0; lp.n_structural],
+                    objective: f64::NAN,
+                    iterations,
+                };
+            }
+        }
+        let structural: Vec<f64> = values[..lp.n_structural]
+            .iter()
+            .map(|&v| if v.abs() < 1e-11 { 0.0 } else { v })
+            .collect();
+        let objective = structural
+            .iter()
+            .zip(&lp.costs)
+            .map(|(v, c)| v * c)
+            .sum();
+        LpSolution {
+            status: LpStatus::Optimal,
+            values: structural,
+            objective,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(
+        costs: Vec<f64>,
+        rows: Vec<(Vec<f64>, bool, f64)>,
+        upper: Vec<f64>,
+    ) -> StandardLp {
+        let n = costs.len();
+        StandardLp {
+            n_structural: n,
+            costs,
+            eq: rows.iter().map(|r| r.1).collect(),
+            rhs: rows.iter().map(|r| r.2).collect(),
+            rows: rows.into_iter().map(|r| r.0).collect(),
+            upper,
+        }
+    }
+
+    #[test]
+    fn simple_two_var_max() {
+        // min -x - 2y s.t. x + y <= 4, y <= 3 (via bound). Optimum (1, 3).
+        let p = lp(
+            vec![-1.0, -2.0],
+            vec![(vec![1.0, 1.0], false, 4.0)],
+            vec![f64::INFINITY, 3.0],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - (-7.0)).abs() < 1e-6, "obj {}", s.objective);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+        assert!((s.values[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + 2y = 6, 0<=x, 0<=y<=2 -> y=2, x=2, obj 4.
+        let p = lp(
+            vec![1.0, 1.0],
+            vec![(vec![1.0, 2.0], true, 6.0)],
+            vec![f64::INFINITY, 2.0],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 3 (encoded as -x <= -3).
+        let p = lp(
+            vec![1.0],
+            vec![
+                (vec![1.0], false, 1.0),
+                (vec![-1.0], false, -3.0),
+            ],
+            vec![f64::INFINITY],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unbounded.
+        let p = lp(vec![-1.0], vec![], vec![f64::INFINITY]);
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bounded_by_upper_only() {
+        // min -x - y with x<=5, y<=7 and no rows: optimum at (5,7).
+        let p = lp(vec![-1.0, -1.0], vec![], vec![5.0, 7.0]);
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple constraints active at the optimum.
+        let p = lp(
+            vec![-1.0, -1.0],
+            vec![
+                (vec![1.0, 0.0], false, 2.0),
+                (vec![1.0, 0.0], false, 2.0),
+                (vec![0.0, 1.0], false, 2.0),
+                (vec![1.0, 1.0], false, 4.0),
+            ],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_le_row_feasible() {
+        // -x <= -2 means x >= 2; min x -> 2.
+        let p = lp(
+            vec![1.0],
+            vec![(vec![-1.0], false, -2.0)],
+            vec![f64::INFINITY],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classic_product_mix() {
+        // min -3x - 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 -> (2, 6), obj -36.
+        let p = lp(
+            vec![-3.0, -5.0],
+            vec![
+                (vec![1.0, 0.0], false, 4.0),
+                (vec![0.0, 2.0], false, 12.0),
+                (vec![3.0, 2.0], false, 18.0),
+            ],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 36.0).abs() < 1e-6);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_with_upper_bounds_budget() {
+        // The MDFC shape: min c'm s.t. sum m = F, 0 <= m_k <= C_k.
+        // c = [3, 1, 2], C = [2, 2, 2], F = 4 -> m = [0, 2, 2], obj 6.
+        let p = lp(
+            vec![3.0, 1.0, 2.0],
+            vec![(vec![1.0, 1.0, 1.0], true, 4.0)],
+            vec![2.0, 2.0, 2.0],
+        );
+        let s = solve_standard(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 6.0).abs() < 1e-6, "obj {}", s.objective);
+        assert!((s.values[0]).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+        assert!((s.values[2] - 2.0).abs() < 1e-6);
+    }
+}

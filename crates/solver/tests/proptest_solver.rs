@@ -1,0 +1,171 @@
+//! Property-based tests: the MILP solver must agree with exhaustive
+//! enumeration on random small pure-integer programs, and LP solutions must
+//! dominate every sampled feasible point.
+
+use pilfill_solver::{Model, Objective, Sense, SolveError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomIp {
+    maximize: bool,
+    objs: Vec<f64>,
+    caps: Vec<i64>,
+    /// (coeffs, sense, rhs)
+    cons: Vec<(Vec<f64>, Sense, f64)>,
+}
+
+fn sense_strategy() -> impl Strategy<Value = Sense> {
+    prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)]
+}
+
+fn ip_strategy() -> impl Strategy<Value = RandomIp> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            let objs = prop::collection::vec(-5.0f64..5.0, n..=n);
+            let caps = prop::collection::vec(0i64..4, n..=n);
+            let cons = prop::collection::vec(
+                (
+                    prop::collection::vec(-3.0f64..3.0, n..=n),
+                    sense_strategy(),
+                    -6.0f64..10.0,
+                ),
+                0..3,
+            );
+            (any::<bool>(), objs, caps, cons)
+        })
+        .prop_map(|(maximize, objs, caps, cons)| RandomIp {
+            maximize,
+            // Round coefficients to quarters to avoid near-degenerate float
+            // comparisons between solver and brute force.
+            objs: objs.iter().map(|c| (c * 4.0).round() / 4.0).collect(),
+            caps,
+            cons: cons
+                .into_iter()
+                .map(|(coef, s, r)| {
+                    (
+                        coef.iter().map(|c| (c * 4.0).round() / 4.0).collect(),
+                        s,
+                        (r * 4.0).round() / 4.0,
+                    )
+                })
+                .collect(),
+        })
+}
+
+fn enumerate_best(ip: &RandomIp) -> Option<f64> {
+    let n = ip.caps.len();
+    let mut best: Option<f64> = None;
+    let mut x = vec![0i64; n];
+    loop {
+        let feasible = ip.cons.iter().all(|(coeffs, sense, rhs)| {
+            let lhs: f64 = coeffs
+                .iter()
+                .zip(&x)
+                .map(|(c, &v)| c * v as f64)
+                .sum();
+            match sense {
+                Sense::Le => lhs <= rhs + 1e-7,
+                Sense::Ge => lhs >= rhs - 1e-7,
+                Sense::Eq => (lhs - rhs).abs() < 1e-7,
+            }
+        });
+        if feasible {
+            let obj: f64 = ip
+                .objs
+                .iter()
+                .zip(&x)
+                .map(|(c, &v)| c * v as f64)
+                .sum();
+            best = Some(match best {
+                None => obj,
+                Some(b) => {
+                    if ip.maximize {
+                        b.max(obj)
+                    } else {
+                        b.min(obj)
+                    }
+                }
+            });
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            x[i] += 1;
+            if x[i] <= ip.caps[i] {
+                break;
+            }
+            x[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn build_model(ip: &RandomIp) -> Model {
+    let mut m = Model::new(if ip.maximize {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    });
+    let vars: Vec<_> = ip
+        .objs
+        .iter()
+        .zip(&ip.caps)
+        .map(|(&o, &c)| m.add_integer_var(0.0, c as f64, o))
+        .collect();
+    for (coeffs, sense, rhs) in &ip.cons {
+        m.add_constraint(
+            vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)),
+            *sense,
+            *rhs,
+        );
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn milp_matches_exhaustive_enumeration(ip in ip_strategy()) {
+        let model = build_model(&ip);
+        let brute = enumerate_best(&ip);
+        match (model.solve(), brute) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!(
+                    (sol.objective - best).abs() < 1e-5,
+                    "solver={} brute={} ip={:?}",
+                    sol.objective, best, ip
+                );
+                // The reported point must itself be feasible and integral.
+                for (v, cap) in sol.values.iter().zip(&ip.caps) {
+                    prop_assert!((v - v.round()).abs() < 1e-6);
+                    prop_assert!(v.round() >= -1e-9 && v.round() <= *cap as f64 + 1e-9);
+                }
+            }
+            (Err(SolveError::Infeasible), None) => {}
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "solver {got:?} vs brute {want:?} on {ip:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_dominates_integer_points(ip in ip_strategy()) {
+        let model = build_model(&ip);
+        // LP optimum must be at least as good as every feasible integer point.
+        if let (Ok(lp), Some(best)) = (model.solve_lp(), enumerate_best(&ip)) {
+            if ip.maximize {
+                prop_assert!(lp.objective >= best - 1e-5,
+                    "lp {} < best integer {}", lp.objective, best);
+            } else {
+                prop_assert!(lp.objective <= best + 1e-5,
+                    "lp {} > best integer {}", lp.objective, best);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # pilfill-stream
+//!
+//! A minimal GDSII Stream writer/reader, sufficient to export a filled
+//! layout (drawn wires plus inserted fill features) and read it back —
+//! the "GDSII Stream … geometric processing engines" corner of the
+//! original experimental testbed.
+//!
+//! Only the record subset needed for rectangle data is implemented:
+//! `HEADER`, `BGNLIB`, `LIBNAME`, `UNITS`, `BGNSTR`, `STRNAME`,
+//! `BOUNDARY`, `LAYER`, `DATATYPE`, `XY`, `ENDEL`, `ENDSTR`, `ENDLIB`.
+//! Fill features are written with a distinct datatype so downstream tools
+//! can tell drawn metal (datatype 0) from fill (datatype
+//! [`FILL_DATATYPE`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pilfill_layout::synth::{SynthConfig, synthesize};
+//! use pilfill_stream::{write_gds, read_gds};
+//!
+//! let design = synthesize(&SynthConfig::small_test(1));
+//! let bytes = write_gds(&design, &[]);
+//! let lib = read_gds(&bytes)?;
+//! assert_eq!(lib.name, design.name);
+//! # Ok::<(), pilfill_stream::GdsError>(())
+//! ```
+
+mod real8;
+mod reader;
+mod records;
+mod writer;
+
+pub use reader::{read_gds, GdsBoundary, GdsLibrary};
+pub use records::GdsError;
+pub use writer::{write_gds, FILL_DATATYPE};
+
+pub(crate) use real8::{decode_real8, encode_real8};

@@ -1,0 +1,116 @@
+//! GDSII 8-byte excess-64 floating point ("real8") conversion.
+//!
+//! Layout: sign bit, 7-bit exponent biased by 64 (power of 16), 56-bit
+//! mantissa interpreted as a fraction in `[1/16, 1)` for normalized
+//! values. Zero is all-zero bytes.
+
+/// Encodes an `f64` into the GDSII real8 format.
+///
+/// Values too large for the format saturate to the largest representable
+/// magnitude; subnormal underflow encodes as zero.
+pub fn encode_real8(value: f64) -> [u8; 8] {
+    if value == 0.0 || !value.is_finite() {
+        return [0; 8];
+    }
+    let sign = if value < 0.0 { 0x80u8 } else { 0 };
+    let mut mag = value.abs();
+    // Find exponent e such that mag / 16^(e-64) is in [1/16, 1).
+    let mut exp: i32 = 64;
+    while mag >= 1.0 {
+        mag /= 16.0;
+        exp += 1;
+    }
+    while mag < 1.0 / 16.0 {
+        mag *= 16.0;
+        exp -= 1;
+    }
+    if exp > 127 {
+        // Saturate.
+        exp = 127;
+        mag = 1.0 - f64::EPSILON;
+    }
+    if exp < 0 {
+        return [0; 8];
+    }
+    let mantissa = (mag * (1u64 << 56) as f64) as u64;
+    let mut out = [0u8; 8];
+    out[0] = sign | (exp as u8 & 0x7F);
+    for (i, byte) in out.iter_mut().skip(1).enumerate() {
+        *byte = ((mantissa >> (8 * (6 - i))) & 0xFF) as u8;
+    }
+    out
+}
+
+/// Decodes a GDSII real8 into an `f64`.
+pub fn decode_real8(bytes: [u8; 8]) -> f64 {
+    let sign = if bytes[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exp = (bytes[0] & 0x7F) as i32 - 64;
+    let mut mantissa: u64 = 0;
+    for &b in &bytes[1..] {
+        mantissa = (mantissa << 8) | b as u64;
+    }
+    if mantissa == 0 {
+        return 0.0;
+    }
+    sign * (mantissa as f64 / (1u64 << 56) as f64) * 16f64.powi(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_round_trips() {
+        assert_eq!(encode_real8(0.0), [0; 8]);
+        assert_eq!(decode_real8([0; 8]), 0.0);
+    }
+
+    #[test]
+    fn known_value_one() {
+        // 1.0 = 0x4110000000000000 in GDSII real8.
+        let enc = encode_real8(1.0);
+        assert_eq!(enc[0], 0x41);
+        assert_eq!(enc[1], 0x10);
+        assert!((decode_real8(enc) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn typical_units_round_trip() {
+        // The canonical UNITS values: 1e-3 user units, 1e-9 meters.
+        for v in [1e-3, 1e-9, 0.001, 2.5e-7] {
+            let dec = decode_real8(encode_real8(v));
+            assert!(
+                ((dec - v) / v).abs() < 1e-12,
+                "{v} -> {dec}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_values() {
+        let dec = decode_real8(encode_real8(-42.5));
+        assert!((dec + 42.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_range_relative_error_small() {
+        let mut v = 1e-12;
+        while v < 1e12 {
+            for sign in [1.0, -1.0] {
+                let x = sign * v * 1.2345;
+                let dec = decode_real8(encode_real8(x));
+                assert!(
+                    ((dec - x) / x).abs() < 1e-12,
+                    "{x} -> {dec}"
+                );
+            }
+            v *= 10.0;
+        }
+    }
+
+    #[test]
+    fn non_finite_encodes_as_zero() {
+        assert_eq!(encode_real8(f64::NAN), [0; 8]);
+        assert_eq!(encode_real8(f64::INFINITY), [0; 8]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Density heat-map rendering: one colored cell per tile, with a legend —
+//! the visual form of the fixed r-dissection analysis.
+
+use crate::svg::{lerp_color, SvgDoc};
+use pilfill_density::DensityMap;
+
+/// An SVG heat map of a [`DensityMap`].
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_density::{DensityMap, FixedDissection};
+/// use pilfill_layout::synth::{SynthConfig, synthesize};
+/// use pilfill_layout::LayerId;
+/// use pilfill_viz::DensityView;
+///
+/// let design = synthesize(&SynthConfig::small_test(1));
+/// let dis = FixedDissection::new(design.die, 8_000, 2)?;
+/// let map = DensityMap::compute(&design, LayerId(0), &dis);
+/// let svg = DensityView::new(&map).render(640.0);
+/// assert!(svg.starts_with("<svg"));
+/// # Ok::<(), pilfill_density::DissectionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityView<'a> {
+    map: &'a DensityMap,
+    /// Density mapped to the hot end of the scale (defaults to the max
+    /// tile density).
+    max_density: Option<f64>,
+}
+
+impl<'a> DensityView<'a> {
+    /// A view with an auto-scaled color range.
+    pub fn new(map: &'a DensityMap) -> Self {
+        Self {
+            map,
+            max_density: None,
+        }
+    }
+
+    /// Pins the hot end of the color scale (useful for before/after pairs
+    /// sharing one scale).
+    #[must_use]
+    pub fn with_max_density(mut self, max: f64) -> Self {
+        self.max_density = Some(max);
+        self
+    }
+
+    /// Renders the heat map at the given pixel width (a legend strip is
+    /// appended below the map).
+    pub fn render(&self, width_px: f64) -> String {
+        let grid = self.map.dissection().tiles();
+        let bounds = grid.bounds();
+        let scale = width_px / bounds.width() as f64;
+        let map_height = bounds.height() as f64 * scale;
+        let legend_height = 28.0;
+        let mut doc = SvgDoc::new(width_px, map_height + legend_height);
+
+        let tile_density = |ix: usize, iy: usize| -> f64 {
+            let rect = grid.cell_rect((ix, iy));
+            self.map.tile_area((ix, iy)) as f64 / rect.area() as f64
+        };
+        let max = self.max_density.unwrap_or_else(|| {
+            grid.indices()
+                .map(|(ix, iy)| tile_density(ix, iy))
+                .fold(0.0f64, f64::max)
+                .max(1e-9)
+        });
+
+        const COLD: (u8, u8, u8) = (18, 26, 48);
+        const HOT: (u8, u8, u8) = (240, 110, 60);
+
+        doc.begin_group("tiles");
+        for (ix, iy) in grid.indices() {
+            let rect = grid.cell_rect((ix, iy));
+            let x = (rect.left - bounds.left) as f64 * scale;
+            let h = rect.height() as f64 * scale;
+            let y = (bounds.top - rect.top) as f64 * scale;
+            let w = rect.width() as f64 * scale;
+            let t = (tile_density(ix, iy) / max).clamp(0.0, 1.0);
+            let color = lerp_color(COLD, HOT, t);
+            // Inline fill: per-cell colors don't fit a class-based style.
+            doc.rect_colored(x, y, w, h, &color);
+        }
+        doc.end_group();
+
+        // Legend: a gradient strip with min/max labels.
+        doc.begin_group("legend");
+        let steps = 32;
+        let strip_w = width_px * 0.6;
+        let x0 = (width_px - strip_w) / 2.0;
+        for i in 0..steps {
+            let t = i as f64 / (steps - 1) as f64;
+            doc.rect_colored(
+                x0 + t * strip_w * (1.0 - 1.0 / steps as f64),
+                map_height + 8.0,
+                strip_w / steps as f64 + 1.0,
+                10.0,
+                &lerp_color(COLD, HOT, t),
+            );
+        }
+        doc.text(x0 - 6.0, map_height + 18.0, "legend-label", "0");
+        doc.text(
+            x0 + strip_w + 6.0,
+            map_height + 18.0,
+            "legend-label",
+            &format!("{max:.2}"),
+        );
+        doc.end_group();
+
+        doc.finish(
+            ".legend-label{font:10px monospace;fill:#c8c8c8} .tiles rect{stroke:none}",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_density::FixedDissection;
+    use pilfill_layout::synth::{synthesize, SynthConfig};
+    use pilfill_layout::LayerId;
+
+    fn map() -> DensityMap {
+        let d = synthesize(&SynthConfig::small_test(3));
+        let dis = FixedDissection::new(d.die, 8_000, 2).expect("dissection");
+        DensityMap::compute(&d, LayerId(0), &dis)
+    }
+
+    #[test]
+    fn one_cell_per_tile_plus_legend() {
+        let m = map();
+        let svg = DensityView::new(&m).render(640.0);
+        let tiles = m.dissection().tiles().len();
+        let rects = svg.matches("<rect").count();
+        assert!(rects >= tiles, "expected >= {tiles} rects, got {rects}");
+        assert!(svg.contains("legend"));
+    }
+
+    #[test]
+    fn pinned_scale_changes_colors() {
+        let m = map();
+        let auto = DensityView::new(&m).render(640.0);
+        let pinned = DensityView::new(&m).with_max_density(1.0).render(640.0);
+        assert_ne!(auto, pinned);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = map();
+        assert_eq!(
+            DensityView::new(&m).render(320.0),
+            DensityView::new(&m).render(320.0)
+        );
+    }
+}

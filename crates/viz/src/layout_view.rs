@@ -1,0 +1,229 @@
+//! Layout rendering: die, wires per layer, fill features, optional
+//! net highlighting.
+
+use crate::svg::SvgDoc;
+use pilfill_core::FillFeature;
+use pilfill_geom::Rect;
+use pilfill_layout::{Design, NetId};
+
+/// Colors and sizing for layout rendering.
+#[derive(Debug, Clone)]
+pub struct Theme {
+    /// Target image width in pixels (height follows the die aspect).
+    pub width_px: f64,
+    /// Fill colors per layer index (cycled when there are more layers).
+    pub layer_colors: Vec<&'static str>,
+    /// Color of fill features.
+    pub fill_color: &'static str,
+    /// Color of highlighted nets.
+    pub highlight_color: &'static str,
+    /// Die background.
+    pub background: &'static str,
+}
+
+impl Default for Theme {
+    fn default() -> Self {
+        Self {
+            width_px: 800.0,
+            layer_colors: vec!["#3d6fb8", "#b85c3d", "#3db87a", "#8a3db8"],
+            fill_color: "#c9b458",
+            highlight_color: "#d62828",
+            background: "#0e1116",
+        }
+    }
+}
+
+/// A configurable SVG view of a [`Design`].
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_layout::synth::{SynthConfig, synthesize};
+/// use pilfill_viz::{LayoutView, Theme};
+///
+/// let design = synthesize(&SynthConfig::small_test(2));
+/// let svg = LayoutView::new(&design)
+///     .with_layer_visible(1, false)
+///     .render(&Theme::default());
+/// assert!(svg.contains("class=\"layer0\""));
+/// assert!(!svg.contains("class=\"layer1\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayoutView<'a> {
+    design: &'a Design,
+    fill: &'a [FillFeature],
+    highlight: Vec<NetId>,
+    layer_visible: Vec<bool>,
+}
+
+impl<'a> LayoutView<'a> {
+    /// A view of the bare design (no fill, all layers visible).
+    pub fn new(design: &'a Design) -> Self {
+        Self {
+            design,
+            fill: &[],
+            highlight: Vec::new(),
+            layer_visible: vec![true; design.layers.len()],
+        }
+    }
+
+    /// Adds fill features to the view.
+    #[must_use]
+    pub fn with_fill(mut self, fill: &'a [FillFeature]) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Highlights one net.
+    #[must_use]
+    pub fn with_highlight(mut self, net: NetId) -> Self {
+        self.highlight.push(net);
+        self
+    }
+
+    /// Shows or hides one layer.
+    #[must_use]
+    pub fn with_layer_visible(mut self, layer: usize, visible: bool) -> Self {
+        if layer < self.layer_visible.len() {
+            self.layer_visible[layer] = visible;
+        }
+        self
+    }
+
+    /// Renders to an SVG string.
+    pub fn render(&self, theme: &Theme) -> String {
+        let die = self.design.die;
+        let scale = theme.width_px / die.width() as f64;
+        let height_px = die.height() as f64 * scale;
+        let mut doc = SvgDoc::new(theme.width_px, height_px);
+
+        let to_px = |r: &Rect, doc: &SvgDoc| -> (f64, f64, f64, f64) {
+            let x = (r.left - die.left) as f64 * scale;
+            let w = r.width() as f64 * scale;
+            let h = r.height() as f64 * scale;
+            let y = doc.flip_y((r.top - die.bottom) as f64 * scale);
+            (x, y, w, h)
+        };
+
+        // Die background.
+        doc.rect(0.0, 0.0, doc.width(), doc.height(), "die");
+
+        for (li, _layer) in self.design.layers.iter().enumerate() {
+            if !self.layer_visible[li] {
+                continue;
+            }
+            doc.begin_group(&format!("layer{li}"));
+            for (net_id, _, seg) in self
+                .design
+                .nets
+                .iter()
+                .enumerate()
+                .flat_map(|(ni, net)| {
+                    net.segments
+                        .iter()
+                        .enumerate()
+                        .map(move |(si, s)| (NetId(ni), si, s))
+                })
+                .filter(|(_, _, s)| s.layer.0 == li)
+            {
+                let class = if self.highlight.contains(&net_id) {
+                    "hot".to_string()
+                } else {
+                    format!("layer{li}")
+                };
+                let (x, y, w, h) = to_px(&seg.rect(), &doc);
+                doc.rect(x, y, w, h, &class);
+            }
+            doc.end_group();
+        }
+
+        if !self.design.obstructions.is_empty() {
+            doc.begin_group("obstructions");
+            for o in &self.design.obstructions {
+                let (x, y, w, h) = to_px(&o.rect, &doc);
+                doc.rect(x, y, w, h, "obs");
+            }
+            doc.end_group();
+        }
+
+        if !self.fill.is_empty() {
+            doc.begin_group("fill");
+            let size = self.design.rules.feature_size;
+            for f in self.fill {
+                let (x, y, w, h) = to_px(&f.rect(size), &doc);
+                doc.rect(x, y, w, h, "fill");
+            }
+            doc.end_group();
+        }
+
+        let mut style = format!(
+            ".die{{fill:{}}} .fill{{fill:{};fill-opacity:0.85}} .hot{{fill:{}}} \
+             .obs{{fill:#555b66;fill-opacity:0.8}}",
+            theme.background, theme.fill_color, theme.highlight_color
+        );
+        for li in 0..self.design.layers.len() {
+            let color = theme.layer_colors[li % theme.layer_colors.len()];
+            style.push_str(&format!(" .layer{li}{{fill:{color};fill-opacity:0.9}}"));
+        }
+        doc.finish(&style)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_layout::synth::{synthesize, SynthConfig};
+
+    fn design() -> Design {
+        synthesize(&SynthConfig::small_test(6))
+    }
+
+    #[test]
+    fn renders_all_segments() {
+        let d = design();
+        let svg = LayoutView::new(&d).render(&Theme::default());
+        let total_segments: usize = d.nets.iter().map(|n| n.segments.len()).sum();
+        // One rect per segment plus the die background.
+        assert_eq!(svg.matches("<rect").count(), total_segments + 1);
+    }
+
+    #[test]
+    fn fill_group_appears_only_with_fill() {
+        let d = design();
+        let plain = LayoutView::new(&d).render(&Theme::default());
+        assert!(!plain.contains(r#"class="fill""#));
+        let features = vec![
+            FillFeature { x: 1_000, y: 1_000 },
+            FillFeature { x: 2_000, y: 2_000 },
+        ];
+        let filled = LayoutView::new(&d)
+            .with_fill(&features)
+            .render(&Theme::default());
+        assert_eq!(filled.matches(r#"class="fill""#).count(), 2 + 1); // 2 rects + group
+    }
+
+    #[test]
+    fn highlight_recolors_net() {
+        let d = design();
+        let svg = LayoutView::new(&d)
+            .with_highlight(NetId(0))
+            .render(&Theme::default());
+        let hot = svg.matches(r#"class="hot""#).count();
+        assert_eq!(hot, d.nets[0].segments.len());
+    }
+
+    #[test]
+    fn aspect_ratio_follows_die() {
+        let d = design(); // square die
+        let svg = LayoutView::new(&d).render(&Theme::default());
+        assert!(svg.contains(r#"width="800" height="800""#));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let d = design();
+        let a = LayoutView::new(&d).render(&Theme::default());
+        let b = LayoutView::new(&d).render(&Theme::default());
+        assert_eq!(a, b);
+    }
+}

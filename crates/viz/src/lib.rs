@@ -1,0 +1,27 @@
+//! # pilfill-viz
+//!
+//! SVG rendering for PIL-Fill: routed layouts with their fill placements,
+//! and window-density heat maps — the visual counterparts of the paper's
+//! layout figures, generated from live data.
+//!
+//! The crate is dependency-free beyond the workspace: [`svg`] is a tiny
+//! string-building SVG writer sufficient for rectilinear EDA artwork.
+//!
+//! # Examples
+//!
+//! ```
+//! use pilfill_layout::synth::{SynthConfig, synthesize};
+//! use pilfill_viz::{LayoutView, Theme};
+//!
+//! let design = synthesize(&SynthConfig::small_test(1));
+//! let svg = LayoutView::new(&design).render(&Theme::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! ```
+
+mod density_view;
+mod layout_view;
+pub mod svg;
+
+pub use density_view::DensityView;
+pub use layout_view::{LayoutView, Theme};

@@ -1,0 +1,206 @@
+//! A minimal SVG document writer: just enough for rectilinear EDA artwork
+//! (rectangles, lines, text, groups), producing deterministic,
+//! well-formed output.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+///
+/// Coordinates are in user units; the constructor sets the `viewBox`. The
+/// y axis is *not* flipped automatically — callers mapping die coordinates
+/// (y up) to SVG (y down) should use [`SvgDoc::flip_y`].
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+    indent: usize,
+}
+
+impl SvgDoc {
+    /// Creates a document with the given pixel size and matching viewBox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "svg dimensions must be positive (got {width} x {height})"
+        );
+        Self {
+            width,
+            height,
+            body: String::new(),
+            indent: 1,
+        }
+    }
+
+    /// Document width in user units.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height in user units.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Maps a y coordinate from y-up (die) space into y-down SVG space.
+    pub fn flip_y(&self, y: f64) -> f64 {
+        self.height - y
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.body.push_str("  ");
+        }
+    }
+
+    /// Adds a filled rectangle. `class` becomes the `class` attribute
+    /// (style lives in the document's `<style>` block).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, class: &str) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" class="{class}"/>"#
+        );
+    }
+
+    /// Adds a rectangle with an explicit inline fill color (for per-cell
+    /// colors, e.g. heat maps, where classes don't fit).
+    pub fn rect_colored(&mut self, x: f64, y: f64, w: f64, h: f64, color: &str) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r##"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{color}"/>"##
+        );
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, class: &str) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" class="{class}"/>"#
+        );
+    }
+
+    /// Adds a text label anchored at `(x, y)`.
+    pub fn text(&mut self, x: f64, y: f64, class: &str, content: &str) {
+        self.pad();
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" class="{class}">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Opens a group with a class; close with [`SvgDoc::end_group`].
+    pub fn begin_group(&mut self, class: &str) {
+        self.pad();
+        let _ = writeln!(self.body, r#"<g class="{class}">"#);
+        self.indent += 1;
+    }
+
+    /// Closes the innermost group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no group is open.
+    pub fn end_group(&mut self) {
+        assert!(self.indent > 1, "no group to close");
+        self.indent -= 1;
+        self.pad();
+        self.body.push_str("</g>\n");
+    }
+
+    /// Finishes the document, embedding `style` as CSS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group is still open.
+    pub fn finish(self, style: &str) -> String {
+        assert_eq!(self.indent, 1, "unclosed group at finish");
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+             viewBox=\"0 0 {w:.2} {h:.2}\">\n  <style>{style}</style>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+/// Escapes text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Linear color interpolation between two `(r, g, b)` triples, `t` in
+/// `[0, 1]`, formatted as `#rrggbb`.
+pub fn lerp_color(from: (u8, u8, u8), to: (u8, u8, u8), t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let c = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * t).round() as u8 };
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        c(from.0, to.0),
+        c(from.1, to.1),
+        c(from.2, to.2)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_is_well_formed() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.begin_group("wires");
+        doc.rect(1.0, 2.0, 3.0, 4.0, "m3");
+        doc.line(0.0, 0.0, 10.0, 10.0, "edge");
+        doc.end_group();
+        doc.text(5.0, 5.0, "label", "hello <world> & friends");
+        let svg = doc.finish(".m3{fill:red}");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains(r#"viewBox="0 0 100.00 50.00""#));
+        assert!(svg.contains("&lt;world&gt; &amp; friends"));
+        // Balanced groups.
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed group")]
+    fn unclosed_group_panics() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.begin_group("g");
+        let _ = doc.finish("");
+    }
+
+    #[test]
+    #[should_panic(expected = "no group to close")]
+    fn extra_end_group_panics() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.end_group();
+    }
+
+    #[test]
+    fn flip_y_inverts_axis() {
+        let doc = SvgDoc::new(10.0, 100.0);
+        assert_eq!(doc.flip_y(0.0), 100.0);
+        assert_eq!(doc.flip_y(100.0), 0.0);
+    }
+
+    #[test]
+    fn lerp_color_endpoints_and_midpoint() {
+        assert_eq!(lerp_color((0, 0, 0), (255, 255, 255), 0.0), "#000000");
+        assert_eq!(lerp_color((0, 0, 0), (255, 255, 255), 1.0), "#ffffff");
+        assert_eq!(lerp_color((0, 0, 0), (255, 255, 255), 0.5), "#808080");
+        // Clamped.
+        assert_eq!(lerp_color((0, 0, 0), (255, 0, 0), 2.0), "#ff0000");
+    }
+}

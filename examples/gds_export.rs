@@ -1,0 +1,58 @@
+//! Full tool-style pipeline: synthesize, fill, export GDSII, read it back
+//! and verify the stream — the post-GDSII insertion flow the paper's
+//! introduction describes.
+//!
+//! ```sh
+//! cargo run --release --example gds_export
+//! ```
+
+use pil_fill::core::flow::{run_flow, FlowConfig};
+use pil_fill::core::methods::IlpTwo;
+use pil_fill::layout::synth::{synthesize, SynthConfig};
+use pil_fill::stream::{read_gds, write_gds, FILL_DATATYPE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = synthesize(&SynthConfig::small_test(3));
+    let config = FlowConfig::new(8_000, 2)?;
+    let outcome = run_flow(&design, &config, &IlpTwo)?;
+    println!(
+        "placed {} fill features with {:.4} fs delay impact",
+        outcome.placed_features,
+        outcome.impact.total_delay * 1e15
+    );
+
+    // Export drawn metal + fill to a GDSII stream.
+    let bytes = write_gds(&design, &outcome.features);
+    let path = std::env::temp_dir().join("pilfill_demo.gds");
+    std::fs::write(&path, &bytes)?;
+    println!("wrote {} ({} bytes)", path.display(), bytes.len());
+
+    // Read back and verify.
+    let lib = read_gds(&bytes)?;
+    let fills = lib.boundaries_with_datatype(FILL_DATATYPE);
+    let drawn = lib.boundaries.len() - fills.len();
+    println!(
+        "read back library `{}` / structure `{}`: {} drawn shapes, {} fill shapes",
+        lib.name, lib.structure, drawn, fills.len()
+    );
+    assert_eq!(fills.len() as u64, outcome.placed_features);
+    assert!(fills.iter().all(|b| b.is_rect()));
+
+    // Fill features must keep the buffer distance from drawn metal.
+    let buffer = design.rules.buffer;
+    for fill in &fills {
+        let grown = fill.bbox().grown(buffer);
+        for b in &lib.boundaries {
+            if b.datatype != FILL_DATATYPE && b.layer == 0 {
+                assert!(
+                    !grown.overlaps(&b.bbox()),
+                    "fill at {} violates buffer to drawn metal at {}",
+                    fill.bbox(),
+                    b.bbox()
+                );
+            }
+        }
+    }
+    println!("verified: every fill shape keeps the {buffer} dbu buffer distance");
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Timing-aware fill on a hand-built design: shows how entry resistance
+//! and downstream-sink weights steer PIL-Fill away from timing-critical
+//! wire, and how to inspect per-net delay impact.
+//!
+//! ```sh
+//! cargo run --release --example timing_aware_fill
+//! ```
+
+use pil_fill::core::flow::{run_flow, FlowConfig};
+use pil_fill::core::methods::{IlpTwo, NormalFill};
+use pil_fill::geom::{Dir, Point, Rect};
+use pil_fill::layout::{Design, DesignBuilder};
+
+/// Two parallel long nets: `critical` drives four sinks through a long
+/// trunk (heavy weight, large downstream resistance), `relaxed` is a short
+/// point-to-point wire. Fill must go *somewhere* between them to meet
+/// density; PIL-Fill should lean towards the relaxed net's neighborhood
+/// and the upstream (low-resistance) end of the critical net.
+fn build_design() -> Result<Design, Box<dyn std::error::Error>> {
+    let die = Rect::new(0, 0, 40_000, 40_000);
+    let mut b = DesignBuilder::new("timing-demo", die)
+        .layer("m3", Dir::Horizontal)
+        .layer("m2", Dir::Vertical);
+
+    // The critical net: source far left, trunk crossing the die, branches
+    // with sinks (weights accumulate on the trunk).
+    b = b
+        .net("critical", Point::new(500, 20_000))
+        .segment("m3", Point::new(500, 20_000), Point::new(12_000, 20_000), 280)
+        .segment(
+            "m3",
+            Point::new(12_000, 20_000),
+            Point::new(25_000, 20_000),
+            280,
+        )
+        .segment(
+            "m3",
+            Point::new(25_000, 20_000),
+            Point::new(38_000, 20_000),
+            280,
+        )
+        .sink(Point::new(38_000, 20_000))
+        .segment("m2", Point::new(12_000, 20_000), Point::new(12_000, 26_000), 280)
+        .segment("m3", Point::new(12_000, 26_000), Point::new(20_000, 26_000), 280)
+        .sink(Point::new(20_000, 26_000))
+        .segment("m2", Point::new(25_000, 20_000), Point::new(25_000, 14_000), 280)
+        .segment("m3", Point::new(25_000, 14_000), Point::new(33_000, 14_000), 280)
+        .sink(Point::new(33_000, 14_000));
+
+    // A relaxed neighbour just below the critical trunk.
+    b = b
+        .net("relaxed", Point::new(500, 18_500))
+        .segment("m3", Point::new(500, 18_500), Point::new(30_000, 18_500), 280)
+        .sink(Point::new(30_000, 18_500));
+
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = build_design()?;
+    let config = FlowConfig::new(10_000, 2)?;
+
+    println!("net inventory:");
+    for (i, net) in design.nets.iter().enumerate() {
+        println!(
+            "  [{i}] {:<9} {} segment(s), {} sink(s)",
+            net.name,
+            net.segments.len(),
+            net.sinks.len()
+        );
+    }
+
+    for method in [
+        &NormalFill as &dyn pil_fill::core::methods::FillMethod,
+        &IlpTwo,
+    ] {
+        let outcome = run_flow(&design, &config, method)?;
+        println!(
+            "\n{}: {} features placed, total delay impact {:.4} fs",
+            outcome.method,
+            outcome.placed_features,
+            outcome.impact.total_delay * 1e15
+        );
+        for (net, delay) in outcome.impact.worst_nets(5) {
+            println!(
+                "    {:<9} +{:.4} fs",
+                design.nets[net.0].name,
+                delay * 1e15
+            );
+        }
+    }
+    println!(
+        "\nILP-II shifts coupling away from the heavily-weighted critical\n\
+         net and towards cheap space, at identical fill density."
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! # pil-fill
+//!
+//! Facade crate for the PIL-Fill workspace: re-exports every subsystem so
+//! downstream users can depend on a single crate.
+//!
+//! See the individual crates for details: [`geom`], [`layout`],
+//! [`density`], [`solver`], [`rc`], [`core`], [`stream`], [`viz`].
+
+pub use pilfill_core as core;
+pub use pilfill_density as density;
+pub use pilfill_geom as geom;
+pub use pilfill_layout as layout;
+pub use pilfill_rc as rc;
+pub use pilfill_solver as solver;
+pub use pilfill_stream as stream;
+pub use pilfill_viz as viz;

@@ -1,0 +1,106 @@
+//! Integration tests for obstruction (macro blockage) handling across the
+//! stack: text format, density accounting, fill avoidance, GDSII export
+//! and rendering.
+
+use pil_fill::core::flow::{run_flow, FlowConfig};
+use pil_fill::core::methods::{GreedyFill, IlpTwo};
+use pil_fill::density::{DensityMap, FixedDissection};
+use pil_fill::geom::{Dir, Point, Rect};
+use pil_fill::layout::{Design, DesignBuilder, LayerId};
+use pil_fill::viz::{LayoutView, Theme};
+
+fn design_with_macro() -> Design {
+    DesignBuilder::new("obs-demo", Rect::new(0, 0, 24_000, 24_000))
+        .layer("m3", Dir::Horizontal)
+        .obstruction("m3", Rect::new(9_000, 9_000, 15_000, 15_000))
+        .net("a", Point::new(300, 4_000))
+        .segment("m3", Point::new(300, 4_000), Point::new(23_000, 4_000), 280)
+        .sink(Point::new(23_000, 4_000))
+        .net("b", Point::new(300, 20_000))
+        .segment("m3", Point::new(300, 20_000), Point::new(23_000, 20_000), 280)
+        .sink(Point::new(23_000, 20_000))
+        .build()
+        .expect("valid design")
+}
+
+#[test]
+fn obstruction_round_trips_text_format() {
+    let d = design_with_macro();
+    let d2 = Design::from_text(&d.to_text()).expect("parse back");
+    assert_eq!(d, d2);
+    assert_eq!(d2.obstructions.len(), 1);
+}
+
+#[test]
+fn obstruction_counts_toward_density() {
+    let d = design_with_macro();
+    let dis = FixedDissection::new(d.die, 12_000, 2).expect("dissection");
+    let map = DensityMap::compute(&d, LayerId(0), &dis);
+    // The macro sits across the center tiles; its 6000x6000 area must be in
+    // the map.
+    let wire_area: i64 = d
+        .segments_on_layer(LayerId(0))
+        .map(|(_, _, s)| s.rect().area())
+        .sum();
+    assert_eq!(map.total_area(), wire_area + 6_000 * 6_000);
+}
+
+#[test]
+fn fill_keeps_buffer_distance_from_macro() {
+    let d = design_with_macro();
+    let cfg = FlowConfig::new(12_000, 2).expect("config");
+    let outcome = run_flow(&d, &cfg, &GreedyFill).expect("flow");
+    assert!(outcome.placed_features > 0);
+    let keepout = d.obstructions[0].rect.grown(d.rules.buffer);
+    for f in &outcome.features {
+        assert!(
+            !f.rect(d.rules.feature_size).overlaps(&keepout),
+            "fill at ({}, {}) inside the macro keepout",
+            f.x,
+            f.y
+        );
+    }
+}
+
+#[test]
+fn coupling_to_macro_charges_only_the_real_net() {
+    // Fill between wire `a` and the macro couples them; the macro has no
+    // net, so only net a's delay may grow from those columns.
+    let d = design_with_macro();
+    let cfg = FlowConfig::new(12_000, 2).expect("config");
+    let outcome = run_flow(&d, &cfg, &IlpTwo).expect("flow");
+    // Per-net vectors must be sized to the real nets only.
+    assert_eq!(outcome.impact.per_net_delay.len(), d.nets.len());
+    assert!(outcome.impact.total_delay >= 0.0);
+}
+
+#[test]
+fn gds_and_svg_include_the_macro() {
+    let d = design_with_macro();
+    let lib = pil_fill::stream::read_gds(&pil_fill::stream::write_gds(&d, &[]))
+        .expect("gds round trip");
+    let drawn = lib.boundaries_with_datatype(0);
+    let total_segments: usize = d.nets.iter().map(|n| n.segments.len()).sum();
+    assert_eq!(drawn.len(), total_segments + d.obstructions.len());
+
+    let svg = LayoutView::new(&d).render(&Theme::default());
+    assert!(svg.contains(r#"class="obs""#));
+}
+
+#[test]
+fn synthetic_testcases_carry_macros() {
+    use pil_fill::layout::synth::{synthesize, SynthConfig};
+    let t1 = synthesize(&SynthConfig::t1());
+    assert!(!t1.obstructions.is_empty(), "T1 should place macros");
+    // Wires keep clear of macros.
+    for o in &t1.obstructions {
+        for (_, _, seg) in t1.segments_on_layer(LayerId(0)) {
+            assert!(
+                !seg.rect().overlaps(&o.rect),
+                "wire {} overlaps macro {}",
+                seg.rect(),
+                o.rect
+            );
+        }
+    }
+}

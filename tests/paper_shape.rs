@@ -1,0 +1,109 @@
+//! "Paper shape" integration tests: the qualitative claims of the paper's
+//! evaluation must hold on small testcases — who wins, where the
+//! crossovers fall — independent of absolute magnitudes.
+
+use pil_fill::core::flow::{FlowConfig, FlowContext};
+use pil_fill::core::methods::{FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
+use pil_fill::core::SlackColumnDef;
+use pil_fill::layout::synth::{synthesize, SynthConfig};
+
+fn medium_design() -> pil_fill::layout::Design {
+    let mut cfg = SynthConfig::small_test(31);
+    cfg.die_size = 48_000;
+    cfg.num_buses = 3;
+    cfg.bus_bits = 4;
+    cfg.num_tree_nets = 14;
+    cfg.num_local_nets = 30;
+    synthesize(&cfg)
+}
+
+#[test]
+fn ilp2_wins_and_normal_loses_across_dissections() {
+    let d = medium_design();
+    for (window, r) in [(16_000i64, 2usize), (16_000, 4), (12_000, 2)] {
+        let cfg = FlowConfig::new(window, r).expect("config");
+        let ctx = FlowContext::build(&d, &cfg).expect("context");
+        let tau = |m: &dyn FillMethod| {
+            ctx.run(&cfg, m).expect("flow").impact.total_delay
+        };
+        let normal = tau(&NormalFill);
+        let ilp1 = tau(&IlpOne);
+        let ilp2 = tau(&IlpTwo);
+        let greedy = tau(&GreedyFill);
+        assert!(
+            ilp2 <= ilp1 && ilp2 <= greedy && ilp2 <= normal,
+            "W={window} r={r}: ILP-II must win ({ilp2} vs {ilp1}/{greedy}/{normal})"
+        );
+        assert!(
+            normal >= greedy,
+            "W={window} r={r}: Normal must not beat Greedy"
+        );
+    }
+}
+
+#[test]
+fn improvement_shrinks_with_finer_dissection() {
+    // Paper Sec. 6: fine-grained dissections split slack columns across
+    // independently-solved tiles, eroding the optimizers' advantage.
+    let d = medium_design();
+    let mut reductions = Vec::new();
+    for r in [1usize, 4, 8] {
+        let cfg = FlowConfig::new(16_000, r).expect("config");
+        let ctx = FlowContext::build(&d, &cfg).expect("context");
+        let normal = ctx
+            .run(&cfg, &NormalFill)
+            .expect("flow")
+            .impact
+            .total_delay;
+        let ilp2 = ctx.run(&cfg, &IlpTwo).expect("flow").impact.total_delay;
+        reductions.push((normal - ilp2) / normal);
+    }
+    assert!(
+        reductions[0] > reductions[2],
+        "coarse dissection must benefit more: {reductions:?}"
+    );
+}
+
+#[test]
+fn slack_definition_quality_ordering() {
+    // Paper Sec. 5.1: III most accurate, II places everything but
+    // mis-attributes, I runs out of room.
+    let d = medium_design();
+    let mut outcomes = Vec::new();
+    for def in [
+        SlackColumnDef::One,
+        SlackColumnDef::Two,
+        SlackColumnDef::Three,
+    ] {
+        let mut cfg = FlowConfig::new(16_000, 2).expect("config");
+        cfg.def = def;
+        let ctx = FlowContext::build(&d, &cfg).expect("context");
+        outcomes.push((def, ctx.run(&cfg, &IlpTwo).expect("flow")));
+    }
+    let (_, ref one) = outcomes[0];
+    let (_, ref two) = outcomes[1];
+    let (_, ref three) = outcomes[2];
+    assert!(one.shortfall > 0, "definition I must run out of capacity");
+    assert_eq!(two.shortfall, 0);
+    assert_eq!(three.shortfall, 0);
+    assert!(
+        three.impact.total_delay <= two.impact.total_delay,
+        "III ({}) must not lose to II ({})",
+        three.impact.total_delay,
+        two.impact.total_delay
+    );
+}
+
+#[test]
+fn ilp2_runtime_dominates_other_methods() {
+    // Paper Tables 1-2: ILP-II has by far the largest CPU column.
+    let d = medium_design();
+    let cfg = FlowConfig::new(16_000, 2).expect("config");
+    let ctx = FlowContext::build(&d, &cfg).expect("context");
+    let time = |m: &dyn FillMethod| ctx.run(&cfg, m).expect("flow").solve_time;
+    let ilp2 = time(&IlpTwo);
+    let greedy = time(&GreedyFill);
+    let normal = time(&NormalFill);
+    assert!(ilp2 > greedy, "ILP-II ({ilp2:?}) slower than Greedy ({greedy:?})");
+    assert!(ilp2 > normal, "ILP-II ({ilp2:?}) slower than Normal ({normal:?})");
+}
