@@ -2,13 +2,13 @@
 //! four paper methods plus the DP reference — the per-tile costs behind
 //! the CPU columns of Tables 1 and 2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pilfill_bench::Harness;
 use pilfill_core::flow::{FlowConfig, FlowContext};
 use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
 use pilfill_core::TileProblem;
 use pilfill_layout::synth::{synthesize, SynthConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::SeedableRng;
 
 /// Picks the tile with the most paired capacity (the hardest instance).
 fn representative_tile() -> (TileProblem, u32) {
@@ -31,10 +31,9 @@ fn representative_tile() -> (TileProblem, u32) {
     (problem, budget)
 }
 
-fn bench_methods(c: &mut Criterion) {
+fn main() {
     let (tile, budget) = representative_tile();
-    let mut group = c.benchmark_group("tile_methods");
-    group.sample_size(20);
+    let mut h = Harness::new();
     let methods: Vec<(&str, &dyn FillMethod)> = vec![
         ("normal", &NormalFill),
         ("greedy", &GreedyFill),
@@ -43,20 +42,19 @@ fn bench_methods(c: &mut Criterion) {
         ("dp_exact", &DpExact),
     ];
     for (name, method) in methods {
-        group.bench_function(
-            format!("{name}_cols{}_budget{budget}", tile.columns.len()),
-            |b| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    method
-                        .place(&tile, budget, false, &mut rng)
-                        .expect("placement")
-                })
+        h.bench(
+            &format!(
+                "tile_methods/{name}_cols{}_budget{budget}",
+                tile.columns.len()
+            ),
+            9,
+            1,
+            || {
+                let mut rng = StdRng::seed_from_u64(1);
+                method
+                    .place(&tile, budget, false, &mut rng)
+                    .expect("placement")
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_methods);
-criterion_main!(benches);

@@ -1,35 +1,27 @@
 //! Micro-benchmark for the Figure-7 scan-line slack-column extraction
 //! (the computational-geometry core every experiment depends on).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pilfill_bench::Harness;
 use pilfill_core::{extract_active_lines, scan_slack_columns};
 use pilfill_layout::synth::{synthesize, SynthConfig};
 use pilfill_layout::LayerId;
 
-fn bench_scanline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scanline");
+fn main() {
+    let mut h = Harness::new();
     for (name, design) in [
         ("t2", synthesize(&SynthConfig::t2())),
         ("t1", synthesize(&SynthConfig::t1())),
     ] {
         let lines = extract_active_lines(&design, LayerId(0)).expect("lines");
-        group.bench_function(format!("scan_{name}_{}_lines", lines.len()), |b| {
-            b.iter_batched(
-                || lines.clone(),
-                |lines| scan_slack_columns(&lines, design.die, design.rules),
-                BatchSize::LargeInput,
-            )
-        });
+        h.bench(
+            &format!("scanline/scan_{name}_{}_lines", lines.len()),
+            15,
+            1,
+            || scan_slack_columns(&lines, design.die, design.rules),
+        );
     }
-    group.finish();
-}
-
-fn bench_extraction(c: &mut Criterion) {
     let design = synthesize(&SynthConfig::t2());
-    c.bench_function("extract_active_lines_t2", |b| {
-        b.iter(|| extract_active_lines(&design, LayerId(0)).expect("lines"))
+    h.bench("scanline/extract_active_lines_t2", 15, 1, || {
+        extract_active_lines(&design, LayerId(0)).expect("lines")
     });
 }
-
-criterion_group!(benches, bench_scanline, bench_extraction);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the LP/MILP solver on MDFC-shaped instances
 //! (the CPLEX-substitute whose runtime dominates the ILP-II CPU columns).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pilfill_bench::Harness;
 use pilfill_solver::{Model, Objective, Sense};
 
 /// Builds an ILP-II-shaped model: `k` columns with one-hot binaries over
@@ -38,34 +38,18 @@ fn ilp1_shaped(k: usize, cap: u32, budget: f64) -> Model {
     m
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver");
+fn main() {
+    let mut h = Harness::new();
     for (k, cap) in [(20usize, 4u32), (60, 6)] {
         let budget = (k as f64 * cap as f64 * 0.5).floor();
-        group.bench_function(format!("ilp2_shape_k{k}_cap{cap}"), |b| {
-            b.iter(|| {
-                ilp2_shaped(k, cap, budget)
-                    .solve()
-                    .expect("feasible model")
-            })
+        h.bench(&format!("solver/ilp2_shape_k{k}_cap{cap}"), 11, 1, || {
+            ilp2_shaped(k, cap, budget).solve().expect("feasible model")
         });
-        group.bench_function(format!("ilp1_shape_k{k}_cap{cap}"), |b| {
-            b.iter(|| {
-                ilp1_shaped(k, cap, budget)
-                    .solve()
-                    .expect("feasible model")
-            })
+        h.bench(&format!("solver/ilp1_shape_k{k}_cap{cap}"), 11, 1, || {
+            ilp1_shaped(k, cap, budget).solve().expect("feasible model")
         });
     }
-    group.finish();
-}
-
-fn bench_lp_relaxation(c: &mut Criterion) {
-    c.bench_function("lp_relaxation_k60_cap6", |b| {
-        let budget = 180.0;
-        b.iter(|| ilp2_shaped(60, 6, budget).solve_lp().expect("lp"))
+    h.bench("solver/lp_relaxation_k60_cap6", 11, 1, || {
+        ilp2_shaped(60, 6, 180.0).solve_lp().expect("lp")
     });
 }
-
-criterion_group!(benches, bench_solver, bench_lp_relaxation);
-criterion_main!(benches);

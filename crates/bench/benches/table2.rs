@@ -1,26 +1,24 @@
-//! Criterion wrapper for one Table-2 grid cell (T2/32/2, weighted
-//! objective): tracks the cost of the weighted variant of the pipeline.
+//! Timing for one Table-2 grid cell (T2/32/2, weighted objective):
+//! tracks the cost of the weighted variant of the pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pilfill_bench::Harness;
 use pilfill_core::flow::{FlowConfig, FlowContext};
 use pilfill_core::methods::{GreedyFill, IlpTwo};
 use pilfill_layout::synth::{synthesize, SynthConfig};
 
-fn bench_table2_cell(c: &mut Criterion) {
+fn main() {
     let design = synthesize(&SynthConfig::t2());
     let mut cfg = FlowConfig::new(32_000, 2).expect("config");
     cfg.weighted = true;
     let ctx = FlowContext::build(&design, &cfg).expect("context");
-    let mut group = c.benchmark_group("table2_cell_t2_32_2_weighted");
-    group.sample_size(10);
-    group.bench_function("greedy_weighted", |b| {
-        b.iter(|| ctx.run(&cfg, &GreedyFill).expect("run"))
+    let mut h = Harness::new();
+    h.bench("table2_cell_t2_32_2_weighted/greedy_weighted", 7, 1, || {
+        ctx.run(&cfg, &GreedyFill).expect("run")
     });
-    group.bench_function("ilp2_weighted_parallel", |b| {
-        b.iter(|| ctx.run_parallel(&cfg, &IlpTwo, 4).expect("run"))
-    });
-    group.finish();
+    h.bench(
+        "table2_cell_t2_32_2_weighted/ilp2_weighted_parallel",
+        5,
+        1,
+        || ctx.run_parallel(&cfg, &IlpTwo, 4).expect("run"),
+    );
 }
-
-criterion_group!(benches, bench_table2_cell);
-criterion_main!(benches);

@@ -33,9 +33,7 @@ fn main() {
             let normal = ctx
                 .run_parallel(&cfg, &NormalFill, threads)
                 .expect("normal");
-            let ilp2 = ctx
-                .run_parallel(&cfg, &IlpTwo, threads)
-                .expect("ilp2");
+            let ilp2 = ctx.run_parallel(&cfg, &IlpTwo, threads).expect("ilp2");
             let red = reduction_pct(normal.impact.total_delay, ilp2.impact.total_delay);
             println!(
                 "{:<6} {:>4} {:>8} {:>14.3} {:>14.3} {:>11.1}%",

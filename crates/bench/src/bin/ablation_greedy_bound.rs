@@ -16,8 +16,8 @@ use pilfill_bench::experiments::default_threads;
 use pilfill_bench::testcases::{t1, t2};
 use pilfill_core::flow::{FlowConfig, FlowContext, FlowOutcome};
 use pilfill_core::methods::{net_delays, BoundedGreedy, FillMethod, GreedyFill, IlpTwo};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::SeedableRng;
 use std::fmt::Write as _;
 
 fn worst_net(o: &FlowOutcome) -> f64 {
@@ -30,8 +30,7 @@ fn worst_net(o: &FlowOutcome) -> f64 {
 
 fn main() {
     let threads = default_threads();
-    let mut csv =
-        String::from("testcase,method,bound_s,total_tau_s,worst_net_tau_s\n");
+    let mut csv = String::from("testcase,method,bound_s,total_tau_s,worst_net_tau_s\n");
     println!("Ablation C: Greedy net-delay bound (W=32k, r=2)\n");
     println!(
         "{:<6} {:<18} {:>12} {:>14} {:>16}",
@@ -82,14 +81,10 @@ fn main() {
         for frac in [0.5, 0.2, 0.05] {
             let bound = w0 * frac;
             let method = BoundedGreedy::new(bound);
-            let o = ctx
-                .run_parallel(&cfg, &method, threads)
-                .expect("bounded");
-            report(format!("Greedy-bounded"), bound, &o);
+            let o = ctx.run_parallel(&cfg, &method, threads).expect("bounded");
+            report("Greedy-bounded".to_string(), bound, &o);
         }
-        let ilp2 = ctx
-            .run_parallel(&cfg, &IlpTwo, threads)
-            .expect("ilp2");
+        let ilp2 = ctx.run_parallel(&cfg, &IlpTwo, threads).expect("ilp2");
         report("ILP-II".into(), f64::INFINITY, &ilp2);
         println!();
     }

@@ -35,9 +35,7 @@ fn main() {
             let mut cfg = FlowConfig::new(32_000, 2).expect("config");
             cfg.def = def;
             let ctx = FlowContext::build(&design, &cfg).expect("context");
-            let o = ctx
-                .run_parallel(&cfg, &IlpTwo, threads)
-                .expect("run");
+            let o = ctx.run_parallel(&cfg, &IlpTwo, threads).expect("run");
             println!(
                 "{:<6} {:<16} {:>12.4} {:>9} {:>10} {:>12}",
                 design.name,

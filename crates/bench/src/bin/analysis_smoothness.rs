@@ -17,9 +17,8 @@ use std::fmt::Write as _;
 
 fn main() {
     let threads = default_threads();
-    let mut csv = String::from(
-        "testcase,stage,window,min_density,variation,max_gradient,mean_gradient\n",
-    );
+    let mut csv =
+        String::from("testcase,stage,window,min_density,variation,max_gradient,mean_gradient\n");
     println!("Extension E: smoothness of filled layouts (r = 2)\n");
     println!(
         "{:<6} {:<14} {:>8} {:>8} {:>10} {:>10} {:>10}",
@@ -28,9 +27,7 @@ fn main() {
     for design in [t1(), t2()] {
         let cfg = FlowConfig::new(32_000, 2).expect("config");
         let ctx = FlowContext::build(&design, &cfg).expect("context");
-        let ilp2 = ctx
-            .run_parallel(&cfg, &IlpTwo, threads)
-            .expect("ilp2 run");
+        let ilp2 = ctx.run_parallel(&cfg, &IlpTwo, threads).expect("ilp2 run");
         let normal = ctx
             .run_parallel(&cfg, &NormalFill, threads)
             .expect("normal run");
@@ -57,8 +54,13 @@ fn main() {
                 let g = gradient_analysis(map);
                 println!(
                     "{:<6} {:<14} {:>8} {:>8.4} {:>10.4} {:>10.4} {:>10.4}",
-                    design.name, stage, window, a.min_window_density, a.variation,
-                    g.max_gradient, g.mean_gradient
+                    design.name,
+                    stage,
+                    window,
+                    a.min_window_density,
+                    a.variation,
+                    g.max_gradient,
+                    g.mean_gradient
                 );
                 let _ = writeln!(
                     csv,

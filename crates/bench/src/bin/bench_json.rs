@@ -1,0 +1,110 @@
+//! One-shot machine-readable bench report: times the hot paths of the
+//! whole pipeline (density analysis, scan-line extraction, every per-tile
+//! fill method, and the end-to-end flow) and writes `BENCH_pr1.json`
+//! mapping each metric to its median nanoseconds.
+//!
+//! Run with `cargo run --release -p pilfill-bench --bin bench_json`.
+
+use pilfill_bench::{Harness, Json};
+use pilfill_core::flow::{FlowConfig, FlowContext};
+use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
+use pilfill_core::{extract_active_lines, scan_slack_columns, TileProblem};
+use pilfill_density::{DensityMap, FixedDissection};
+use pilfill_layout::synth::{synthesize, SynthConfig};
+use pilfill_layout::{Design, LayerId};
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::SeedableRng;
+
+const OUT_PATH: &str = "BENCH_pr1.json";
+
+/// Picks the tile with the most paired capacity (the hardest instance).
+fn representative_tile(design: &Design, cfg: &FlowConfig) -> (TileProblem, u32) {
+    let ctx = FlowContext::build(design, cfg).expect("context");
+    let problem = ctx
+        .problems()
+        .iter()
+        .max_by_key(|p| {
+            p.columns
+                .iter()
+                .filter(|c| c.distance.is_some())
+                .map(|c| c.capacity() as u64)
+                .sum::<u64>()
+        })
+        .expect("at least one tile")
+        .clone();
+    let budget = (problem.capacity() / 2) as u32;
+    (problem, budget)
+}
+
+fn main() {
+    let mut h = Harness::new();
+    let t2 = synthesize(&SynthConfig::t2());
+    let cfg = FlowConfig::new(32_000, 2).expect("config");
+
+    // Density: map construction and the (now prefix-sum-backed) window
+    // analysis.
+    let dissection = FixedDissection::new(t2.die, cfg.window, cfg.r).expect("dissection");
+    h.bench("density/compute_map_t2", 15, 1, || {
+        DensityMap::compute(&t2, LayerId(0), &dissection)
+    });
+    let map = DensityMap::compute(&t2, LayerId(0), &dissection);
+    h.bench("density/analyze_t2", 15, 8, || map.analyze());
+
+    // Scan-line core.
+    let lines = extract_active_lines(&t2, LayerId(0)).expect("lines");
+    h.bench("scanline/extract_active_lines_t2", 15, 1, || {
+        extract_active_lines(&t2, LayerId(0)).expect("lines")
+    });
+    h.bench("scanline/scan_slack_columns_t2", 15, 1, || {
+        scan_slack_columns(&lines, t2.die, t2.rules)
+    });
+
+    // Flow preparation (context build: extraction + scan + tile problems +
+    // budget), sequential and chunked.
+    h.bench("flow/context_build_t2", 7, 1, || {
+        FlowContext::build(&t2, &cfg).expect("context")
+    });
+    h.bench("flow/context_build_parallel4_t2", 7, 1, || {
+        FlowContext::build_parallel(&t2, &cfg, 4).expect("context")
+    });
+
+    // Per-tile method solves on the hardest tile.
+    let (tile, budget) = representative_tile(&t2, &cfg);
+    let methods: Vec<(&str, &dyn FillMethod)> = vec![
+        ("normal", &NormalFill),
+        ("greedy", &GreedyFill),
+        ("ilp1", &IlpOne),
+        ("ilp2", &IlpTwo),
+        ("dp_exact", &DpExact),
+    ];
+    for (name, method) in methods {
+        h.bench(&format!("tile/{name}"), 9, 1, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            method
+                .place(&tile, budget, false, &mut rng)
+                .expect("placement")
+        });
+    }
+
+    // End-to-end flow (context reused, placement + assembly + evaluation).
+    let ctx = FlowContext::build(&t2, &cfg).expect("context");
+    h.bench("flow/run_greedy_t2", 5, 1, || {
+        ctx.run(&cfg, &GreedyFill).expect("run")
+    });
+    h.bench("flow/run_ilp2_t2", 5, 1, || {
+        ctx.run(&cfg, &IlpTwo).expect("run")
+    });
+    h.bench("flow/run_parallel4_ilp2_t2", 5, 1, || {
+        ctx.run_parallel(&cfg, &IlpTwo, 4).expect("run")
+    });
+
+    let mut report = Json::object();
+    report.insert("schema", Json::Str("pilfill-bench/median_ns/v1".into()));
+    let mut metrics = Json::object();
+    for m in h.results() {
+        metrics.insert(&m.name, Json::UInt(m.median_ns));
+    }
+    report.insert("median_ns", metrics);
+    std::fs::write(OUT_PATH, report.to_pretty_string()).expect("write report");
+    println!("wrote {OUT_PATH}");
+}

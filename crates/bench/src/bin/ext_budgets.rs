@@ -17,9 +17,7 @@ use std::fmt::Write as _;
 
 fn main() {
     let threads = default_threads();
-    let mut csv = String::from(
-        "testcase,method,protected_cap_f,others_cap_f,total_tau_s\n",
-    );
+    let mut csv = String::from("testcase,method,protected_cap_f,others_cap_f,total_tau_s\n");
     println!("Extension D: per-net capacitance budgets (W=16k, r=2)");
     println!("Protecting the 5 most fill-coupled nets with a 10% budget.\n");
     println!(
@@ -34,9 +32,7 @@ fn main() {
 
         // Baseline: plain ILP-II; pick the 5 nets that absorbed the most
         // fill coupling (the "critical nets" a timing engine would flag).
-        let plain = ctx
-            .run_parallel(&cfg, &IlpTwo, threads)
-            .expect("ilp2");
+        let plain = ctx.run_parallel(&cfg, &IlpTwo, threads).expect("ilp2");
         let mut by_cap: Vec<(usize, f64)> = plain
             .impact
             .per_net_cap
@@ -53,8 +49,7 @@ fn main() {
         for &i in &protected {
             global[i] = plain.impact.per_net_cap[i] * 0.10;
         }
-        let budgets =
-            CapBudgets::from_global(global).split_over_tiles(ctx.problems());
+        let budgets = CapBudgets::from_global(global).split_over_tiles(ctx.problems());
         let budgeted_method = BudgetedIlpTwo { budgets };
         let budgeted = ctx
             .run_parallel(&cfg, &budgeted_method, threads)
@@ -65,8 +60,7 @@ fn main() {
                 .iter()
                 .map(|&i| outcome.impact.per_net_cap[i])
                 .sum();
-            let others: f64 =
-                outcome.impact.per_net_cap.iter().sum::<f64>() - prot;
+            let others: f64 = outcome.impact.per_net_cap.iter().sum::<f64>() - prot;
             println!(
                 "{:<6} {:<16} {:>20.3} {:>16.3} {:>14.3}",
                 design.name,

@@ -31,7 +31,11 @@ fn main() {
     for iy in (0..dis.tiles().ny()).rev() {
         let mut line = String::new();
         for ix in 0..dis.tiles().nx() {
-            line.push_str(if marked.contains(&(ix, iy)) { "[#]" } else { "[ ]" });
+            line.push_str(if marked.contains(&(ix, iy)) {
+                "[#]"
+            } else {
+                "[ ]"
+            });
         }
         println!("  {line}");
     }

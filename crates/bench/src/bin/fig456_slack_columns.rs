@@ -7,9 +7,7 @@
 //! Usage: `cargo run --release -p pilfill-bench --bin fig456_slack_columns`
 
 use pilfill_bench::testcases::t2;
-use pilfill_core::{
-    build_tile_problems, extract_active_lines, scan_slack_columns, SlackColumnDef,
-};
+use pilfill_core::{build_tile_problems, extract_active_lines, scan_slack_columns, SlackColumnDef};
 use pilfill_density::FixedDissection;
 use pilfill_layout::LayerId;
 

@@ -27,12 +27,14 @@ fn main() {
         println!("wrote {path}");
 
         // Density heat map before fill.
-        let dissection =
-            FixedDissection::new(design.die, 32_000, 2).expect("dissection");
+        let dissection = FixedDissection::new(design.die, 32_000, 2).expect("dissection");
         let map = DensityMap::compute(&design, LayerId(0), &dissection);
         let path = format!("results/{tag}_density_before.svg");
-        std::fs::write(&path, DensityView::new(&map).with_max_density(0.5).render(640.0))
-            .expect("write density svg");
+        std::fs::write(
+            &path,
+            DensityView::new(&map).with_max_density(0.5).render(640.0),
+        )
+        .expect("write density svg");
         println!("wrote {path}");
 
         // Filled layout (ILP-II) + density after, on a shared color scale.
@@ -42,9 +44,7 @@ fn main() {
             &IlpTwo as &(dyn pilfill_core::methods::FillMethod + Sync),
             &NormalFill,
         ] {
-            let outcome = ctx
-                .run_parallel(&cfg, method, threads)
-                .expect("fill run");
+            let outcome = ctx.run_parallel(&cfg, method, threads).expect("fill run");
             let name = outcome.method.to_lowercase().replace('-', "");
             let svg = LayoutView::new(&design)
                 .with_fill(&outcome.features)

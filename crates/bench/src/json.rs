@@ -1,0 +1,128 @@
+//! Minimal hand-rolled JSON writer — enough to emit `BENCH_*.json`
+//! without serde. Only the value shapes the bench harness needs are
+//! supported: objects with string keys, strings, and integers.
+
+use std::fmt::Write as _;
+
+/// A JSON value restricted to what the bench reports emit.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// Unsigned integer (nanosecond counts, sample counts).
+    UInt(u64),
+    /// String scalar.
+    Str(String),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Inserts `key: value`, replacing an existing key in place.
+    pub fn insert(&mut self, key: &str, value: Json) {
+        let Json::Object(entries) = self else {
+            panic!("insert on non-object JSON value");
+        };
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 2);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_object() {
+        let mut inner = Json::object();
+        inner.insert("median_ns", Json::UInt(1500));
+        let mut root = Json::object();
+        root.insert("analyze", inner);
+        root.insert("note", Json::Str("a\"b".into()));
+        let text = root.to_pretty_string();
+        assert_eq!(
+            text,
+            "{\n  \"analyze\": {\n    \"median_ns\": 1500\n  },\n  \"note\": \"a\\\"b\"\n}\n"
+        );
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut o = Json::object();
+        o.insert("k", Json::UInt(1));
+        o.insert("k", Json::UInt(2));
+        assert_eq!(o.to_pretty_string(), "{\n  \"k\": 2\n}\n");
+    }
+
+    #[test]
+    fn empty_object_and_control_chars() {
+        assert_eq!(Json::object().to_pretty_string(), "{}\n");
+        let mut o = Json::object();
+        o.insert("s", Json::Str("\u{1}\n".into()));
+        assert!(o.to_pretty_string().contains("\\u0001\\n"));
+    }
+}

@@ -10,9 +10,13 @@
 //! `ablation_*`, `ext_budgets`) each regenerate one artifact.
 
 pub mod experiments;
+pub mod json;
 pub mod render;
 pub mod testcases;
+pub mod timing;
 
 pub use experiments::{run_grid, ExperimentRow, Grid, MethodResult};
+pub use json::Json;
 pub use render::{render_rows, write_csv};
 pub use testcases::{t1, t2, windows_and_r};
+pub use timing::{Harness, Measurement};

@@ -1,0 +1,157 @@
+//! Std-only micro-benchmark harness: wall-clock sampling with median
+//! reporting, replacing criterion so the workspace builds offline.
+//!
+//! Each metric is measured as `samples` independent timed runs of the
+//! closure (after `warmup` untimed runs); the reported figure is the
+//! median per-call time in nanoseconds, which is robust to scheduler
+//! noise without needing criterion's bootstrap machinery. Sub-microsecond
+//! closures should be batched by the caller via `inner_iters` so a single
+//! sample stays well above timer granularity.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured metric.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Metric name as it appears in reports and `BENCH_*.json`.
+    pub name: String,
+    /// Median per-call wall-clock time in nanoseconds.
+    pub median_ns: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Closure invocations per sample.
+    pub inner_iters: usize,
+}
+
+/// Collects measurements and prints them as they complete.
+#[derive(Debug, Default)]
+pub struct Harness {
+    results: Vec<Measurement>,
+    quiet: bool,
+}
+
+impl Harness {
+    /// Creates a harness that prints each result to stdout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a harness that stays silent (for smoke tests).
+    pub fn quiet() -> Self {
+        Self {
+            results: Vec::new(),
+            quiet: true,
+        }
+    }
+
+    /// Times `f` and records the median per-call nanoseconds.
+    ///
+    /// Runs `warmup` untimed calls, then `samples` timed samples of
+    /// `inner_iters` calls each. Return values pass through
+    /// [`black_box`] so the optimizer cannot elide the work.
+    pub fn bench<T>(
+        &mut self,
+        name: &str,
+        samples: usize,
+        inner_iters: usize,
+        mut f: impl FnMut() -> T,
+    ) -> u64 {
+        assert!(samples > 0 && inner_iters > 0, "empty benchmark plan");
+        let warmup = samples.div_ceil(4).max(1);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let mut per_call: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..inner_iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as u64;
+            per_call.push(ns / inner_iters as u64);
+        }
+        per_call.sort_unstable();
+        let median_ns = median_of_sorted(&per_call);
+        if !self.quiet {
+            println!(
+                "{name:<44} {:>14} ns/iter  ({samples} samples)",
+                group_digits(median_ns)
+            );
+        }
+        self.results.push(Measurement {
+            name: name.to_string(),
+            median_ns,
+            samples,
+            inner_iters,
+        });
+        median_ns
+    }
+
+    /// All measurements recorded so far, in insertion order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+fn median_of_sorted(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Formats `1234567` as `1_234_567` for readable console output.
+fn group_digits(v: u64) -> String {
+    let raw = v.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, ch) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_results() {
+        let mut h = Harness::quiet();
+        h.bench("a", 3, 1, || 1 + 1);
+        h.bench("b", 5, 10, || 2 + 2);
+        let names: Vec<_> = h.results().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(h.results()[1].samples, 5);
+        assert_eq!(h.results()[1].inner_iters, 10);
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median_of_sorted(&[1, 2, 3]), 2);
+        assert_eq!(median_of_sorted(&[1, 2, 3, 10]), 2);
+        assert_eq!(median_of_sorted(&[7]), 7);
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1_000");
+        assert_eq!(group_digits(1234567), "1_234_567");
+    }
+
+    #[test]
+    fn timing_is_positive_for_real_work() {
+        let mut h = Harness::quiet();
+        let data: Vec<u64> = (0..4096).collect();
+        let ns = h.bench("sum", 5, 4, || data.iter().sum::<u64>());
+        // A 4096-element sum cannot take literally zero time every sample.
+        assert!(ns < 10_000_000, "implausibly slow: {ns} ns");
+    }
+}

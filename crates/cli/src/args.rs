@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn missing_command_rejected() {
-        assert_eq!(Args::parse(Vec::<String>::new()), Err(ArgError::MissingCommand));
+        assert_eq!(
+            Args::parse(Vec::<String>::new()),
+            Err(ArgError::MissingCommand)
+        );
     }
 
     #[test]
@@ -204,7 +207,10 @@ mod tests {
     #[test]
     fn get_parsed_defaults_and_errors() {
         let a = Args::parse(["x", "--r", "four"]).expect("parse");
-        assert_eq!(a.get_parsed("window", 9i64, "an integer").expect("default"), 9);
+        assert_eq!(
+            a.get_parsed("window", 9i64, "an integer").expect("default"),
+            9
+        );
         assert!(matches!(
             a.get_parsed("r", 2usize, "an integer"),
             Err(ArgError::BadValue { .. })

@@ -104,7 +104,8 @@ COMMANDS:
   density  <design.pfl> [--window DBU] [--r N] [--svg heat.svg]
            fixed r-dissection window density analysis
   fill     <design.pfl> [--window DBU] [--r N] [--method normal|greedy|ilp1|ilp2|dp]
-           [--def 1|2|3] [--max-density F] [--weighted] [--threads N]
+           [--def 1|2|3] [--max-density F] [--weighted]
+           [--threads N] (0 = auto-detect available parallelism; default)
            [--gds out.gds] [--svg out.svg] [--csv report.csv]
            run timing-aware fill and report the delay impact
   export   <design.pfl> --gds out.gds
@@ -159,10 +160,19 @@ fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let design = load_design(args.positional(0, "design.pfl")?)?;
     let s = design_stats(&design);
     writeln!(out, "design      {}", design.name)?;
-    writeln!(out, "die         {} x {} dbu", design.die.width(), design.die.height())?;
+    writeln!(
+        out,
+        "die         {} x {} dbu",
+        design.die.width(),
+        design.die.height()
+    )?;
     writeln!(out, "nets        {}", s.nets)?;
     writeln!(out, "segments    {}", s.segments)?;
-    writeln!(out, "sinks       {} (mean {:.2}/net)", s.sinks, s.mean_sinks)?;
+    writeln!(
+        out,
+        "sinks       {} (mean {:.2}/net)",
+        s.sinks, s.mean_sinks
+    )?;
     writeln!(out, "wirelength  {} dbu", s.wirelength)?;
     for (name, density) in &s.layer_density {
         writeln!(out, "density     {name}: {density:.4}")?;
@@ -235,7 +245,12 @@ fn fill(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let design = load_design(args.positional(0, "design.pfl")?)?;
     let (window, r) = dissection_args(args)?;
     let method = parse_method(args.get("method").unwrap_or("ilp2"))?;
-    let threads = args.get_parsed("threads", 0usize, "a thread count")?;
+    // `--threads 0` (the default) auto-detects the available parallelism;
+    // `--threads 1` forces the sequential path.
+    let threads = match args.get_parsed("threads", 0usize, "a thread count")? {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    };
 
     let mut config = FlowConfig::new(window, r).map_err(tool_err)?;
     config.weighted = args.flag("weighted");
@@ -252,9 +267,10 @@ fn fill(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Tool(format!("no layer named `{layer}`")))?;
     }
 
-    let ctx = FlowContext::build(&design, &config).map_err(tool_err)?;
+    let ctx = FlowContext::build_parallel(&design, &config, threads).map_err(tool_err)?;
     let outcome = if threads > 1 {
-        ctx.run_parallel(&config, method, threads).map_err(tool_err)?
+        ctx.run_parallel(&config, method, threads)
+            .map_err(tool_err)?
     } else {
         ctx.run(&config, method).map_err(tool_err)?
     };
@@ -388,7 +404,13 @@ mod tests {
     fn synth_stats_density_fill_export_pipeline() {
         let design_path = tmp("pipe.pfl");
         let out = run(&[
-            "synth", "--preset", "small", "--seed", "5", "--out", &design_path,
+            "synth",
+            "--preset",
+            "small",
+            "--seed",
+            "5",
+            "--out",
+            &design_path,
         ])
         .expect("synth");
         assert!(out.contains("wrote"));
@@ -397,16 +419,27 @@ mod tests {
         assert!(out.contains("nets"));
         assert!(out.contains("wirelength"));
 
-        let out = run(&["density", &design_path, "--window", "8000", "--r", "2"])
-            .expect("density");
+        let out = run(&["density", &design_path, "--window", "8000", "--r", "2"]).expect("density");
         assert!(out.contains("variation"));
 
         let gds_path = tmp("pipe.gds");
         let svg_path = tmp("pipe.svg");
         let csv_path = tmp("pipe.csv");
         let out = run(&[
-            "fill", &design_path, "--window", "8000", "--r", "2", "--method", "greedy",
-            "--gds", &gds_path, "--svg", &svg_path, "--csv", &csv_path,
+            "fill",
+            &design_path,
+            "--window",
+            "8000",
+            "--r",
+            "2",
+            "--method",
+            "greedy",
+            "--gds",
+            &gds_path,
+            "--svg",
+            &svg_path,
+            "--csv",
+            &csv_path,
         ])
         .expect("fill");
         assert!(out.contains("delay impact"));
@@ -427,12 +460,28 @@ mod tests {
     #[test]
     fn verify_passes_on_flow_output_and_fails_on_corrupt_fill() {
         let design_path = tmp("verify.pfl");
-        run(&["synth", "--preset", "small", "--seed", "8", "--out", &design_path])
-            .expect("synth");
+        run(&[
+            "synth",
+            "--preset",
+            "small",
+            "--seed",
+            "8",
+            "--out",
+            &design_path,
+        ])
+        .expect("synth");
         let gds_path = tmp("verify.gds");
         run(&[
-            "fill", &design_path, "--window", "8000", "--r", "2", "--method", "greedy",
-            "--gds", &gds_path,
+            "fill",
+            &design_path,
+            "--window",
+            "8000",
+            "--r",
+            "2",
+            "--method",
+            "greedy",
+            "--gds",
+            &gds_path,
         ])
         .expect("fill");
         let out = run(&["verify", &design_path, "--gds", &gds_path]).expect("verify");

@@ -21,9 +21,9 @@
 use crate::methods::{check_budget, FillMethod, IlpTwo, MethodError};
 use crate::{ActiveLine, SlackColumn, TileProblem};
 use pilfill_layout::NetId;
+use pilfill_prng::rngs::StdRng;
 use pilfill_rc::CouplingModel;
 use pilfill_solver::{Model, Objective, Sense};
-use rand::rngs::StdRng;
 use std::collections::HashMap;
 
 /// Per-net incremental-capacitance allowances, in farads.
@@ -211,8 +211,7 @@ impl FillMethod for BudgetedIlpTwo {
             let mut vars: Vec<Option<Vec<pilfill_solver::VarId>>> =
                 Vec::with_capacity(problem.columns.len());
             let mut budget_terms = Vec::new();
-            let mut net_terms: HashMap<NetId, Vec<(pilfill_solver::VarId, f64)>> =
-                HashMap::new();
+            let mut net_terms: HashMap<NetId, Vec<(pilfill_solver::VarId, f64)>> = HashMap::new();
             for col in problem.columns.iter() {
                 if is_free(col) {
                     vars.push(None);
@@ -220,9 +219,7 @@ impl FillMethod for BudgetedIlpTwo {
                 }
                 let table = col.table.as_ref().expect("costed column has a table");
                 let col_vars: Vec<_> = (0..=col.capacity())
-                    .map(|n| {
-                        model.add_binary_var(col.alpha(weighted) * table.delta_cap(n) / scale)
-                    })
+                    .map(|n| model.add_binary_var(col.alpha(weighted) * table.delta_cap(n) / scale))
                     .collect();
                 model.add_constraint(col_vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
                 budget_terms.extend(col_vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
@@ -296,7 +293,7 @@ impl FillMethod for BudgetedIlpTwo {
 mod tests {
     use super::*;
     use crate::methods::testutil::synthetic_tile;
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -323,11 +320,7 @@ mod tests {
     fn tight_budget_shifts_fill_off_the_protected_net() {
         let tile = tile_with_nets();
         // Allow net 0 almost nothing; force 8 features (free holds 3).
-        let one_feature_cap = tile.columns[0]
-            .table
-            .as_ref()
-            .expect("table")
-            .delta_cap(1);
+        let one_feature_cap = tile.columns[0].table.as_ref().expect("table").delta_cap(1);
         let method = BudgetedIlpTwo {
             budgets: CapBudgets {
                 budgets: vec![one_feature_cap * 0.5, 1.0],
@@ -380,8 +373,7 @@ mod tests {
         let lines = extract_active_lines(&d, LayerId(0)).expect("lines");
         let columns = scan_slack_columns(&lines, d.die, d.rules);
         let model = CouplingModel::new(&d.tech);
-        let budgets =
-            CapBudgets::proportional(&lines, &columns, &model, d.nets.len(), 0.1);
+        let budgets = CapBudgets::proportional(&lines, &columns, &model, d.nets.len(), 0.1);
         assert_eq!(budgets.len(), 3);
         // The coupled pair has exposure; every budget is finite and
         // non-negative.

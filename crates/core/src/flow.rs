@@ -4,7 +4,7 @@
 
 use crate::methods::{FillMethod, MethodError};
 use crate::{
-    build_tile_problems, evaluate_placement, extract_active_lines, scan_slack_columns,
+    build_tile_problems_parallel, evaluate_placement, extract_active_lines, scan_slack_columns,
     DelayImpact, FillFeature, SlackColumnDef, TileProblem,
 };
 use pilfill_density::{
@@ -13,8 +13,8 @@ use pilfill_density::{
 };
 use pilfill_geom::Coord;
 use pilfill_layout::{Design, LayerId, LayoutError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Configuration of one flow run.
@@ -173,6 +173,23 @@ impl FlowContext {
     ///
     /// See [`FlowError`].
     pub fn build(design: &Design, config: &FlowConfig) -> Result<Self, FlowError> {
+        Self::build_parallel(design, config, 1)
+    }
+
+    /// Like [`FlowContext::build`], but prepares the per-tile problems on
+    /// `threads` scoped worker threads (per-tile slack scans for
+    /// definitions I/II, chunked global-column distribution for
+    /// definition III). The result is identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn build_parallel(
+        design: &Design,
+        config: &FlowConfig,
+        threads: usize,
+    ) -> Result<Self, FlowError> {
+        let threads = threads.max(1);
         // Work in a frame where the target layer routes horizontally.
         let transposed = design
             .layers
@@ -192,13 +209,14 @@ impl FlowContext {
         // Per-tile capacity for budgeting always uses definition III (the
         // physical truth); the method may then be run under a weaker
         // definition and take a shortfall.
-        let problems_three = build_tile_problems(
+        let problems_three = build_tile_problems_parallel(
             &lines,
             &columns,
             &dissection,
             &design.tech,
             design.rules,
             SlackColumnDef::Three,
+            threads,
         );
         let slack: Vec<u32> = problems_three
             .iter()
@@ -218,13 +236,14 @@ impl FlowContext {
         let problems = if config.def == SlackColumnDef::Three {
             problems_three
         } else {
-            build_tile_problems(
+            build_tile_problems_parallel(
                 &lines,
                 &columns,
                 &dissection,
                 &design.tech,
                 design.rules,
                 config.def,
+                threads,
             )
         };
 
@@ -289,42 +308,45 @@ impl FlowContext {
     ) -> Result<FlowOutcome, FlowError> {
         let threads = threads.max(1);
         let n = self.problems.len();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        type TileResult = Result<(usize, Vec<u32>, Duration), MethodError>;
-        let results: Vec<std::sync::Mutex<Option<TileResult>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        if threads == 1 || n < 2 {
+            return self.run(config, method);
+        }
+
+        // Pre-partition the result vector into disjoint contiguous slices,
+        // one per worker: no locks, no contention, and every slot is
+        // written exactly once.
+        type TileResult = Result<(Vec<u32>, Duration), MethodError>;
+        let mut results: Vec<Option<TileResult>> = Vec::new();
+        results.resize_with(n, || None);
+        let chunk = n.div_ceil(threads);
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for (ci, slice) in results.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let problem = &self.problems[base + off];
+                        let want = self.budget.features(problem.cell);
+                        let effective = (want as u64).min(problem.capacity()) as u32;
+                        *slot = Some(if effective == 0 {
+                            Ok((vec![0; problem.columns.len()], Duration::ZERO))
+                        } else {
+                            let mut rng =
+                                StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
+                            let t0 = Instant::now();
+                            method
+                                .place(problem, effective, config.weighted, &mut rng)
+                                .map(|counts| (counts, t0.elapsed()))
+                        });
                     }
-                    let problem = &self.problems[i];
-                    let want = self.budget.features(problem.cell);
-                    let effective = (want as u64).min(problem.capacity()) as u32;
-                    let out: TileResult = if effective == 0 {
-                        Ok((i, vec![0; problem.columns.len()], Duration::ZERO))
-                    } else {
-                        let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
-                        let t0 = Instant::now();
-                        method
-                            .place(problem, effective, config.weighted, &mut rng)
-                            .map(|counts| (i, counts, t0.elapsed()))
-                    };
-                    *results[i].lock().expect("no poisoned tile lock") = Some(out);
                 });
             }
         });
 
         let mut per_tile = Vec::with_capacity(n);
-        for slot in results {
-            let r = slot
-                .into_inner()
-                .expect("no poisoned tile lock")
-                .expect("every tile visited");
-            per_tile.push(r?);
+        for (i, slot) in results.into_iter().enumerate() {
+            let (counts, elapsed) = slot.expect("every tile visited")?;
+            per_tile.push((i, counts, elapsed));
         }
         self.assemble(method.name(), per_tile)
     }
@@ -368,6 +390,7 @@ impl FlowContext {
         let mut density_after_map = self.density_map.clone();
         let feature_area = design.rules.feature_area();
         let mut solve_time = Duration::ZERO;
+        let mut area_deltas = Vec::with_capacity(per_tile.len());
 
         for (i, counts, elapsed) in per_tile {
             let problem = &self.problems[i];
@@ -384,8 +407,11 @@ impl FlowContext {
                 }
             }
             placed += tile_placed;
-            density_after_map.add_tile_area(problem.cell, tile_placed as i64 * feature_area);
+            area_deltas.push((problem.cell, tile_placed as i64 * feature_area));
         }
+        // One batched update → a single prefix-sum rebuild instead of one
+        // per tile.
+        density_after_map.add_tile_areas(area_deltas);
 
         let impact = evaluate_placement(
             &features,
@@ -490,8 +516,7 @@ mod tests {
         let outcome = run_flow(&d, &config(), &NormalFill).expect("flow");
         assert!(outcome.budget_total > 0, "test design needs fill");
         assert!(
-            outcome.density_after.min_window_density
-                > outcome.density_before.min_window_density
+            outcome.density_after.min_window_density > outcome.density_before.min_window_density
         );
         assert!(outcome.density_after.max_window_density <= 0.35 + 1e-9);
     }
@@ -514,8 +539,7 @@ mod tests {
         for o in &outcomes[1..] {
             assert_eq!(o.placed_features, outcomes[0].placed_features);
             assert!(
-                (o.density_after.min_window_density - reference.min_window_density).abs()
-                    < 1e-12,
+                (o.density_after.min_window_density - reference.min_window_density).abs() < 1e-12,
                 "{}: density quality must be identical",
                 o.method
             );
@@ -527,9 +551,8 @@ mod tests {
         let d = design();
         let cfg = config();
         let ctx = FlowContext::build(&d, &cfg).expect("ctx");
-        let run = |m: &dyn crate::methods::FillMethod| {
-            ctx.run(&cfg, m).expect("run").impact.total_delay
-        };
+        let run =
+            |m: &dyn crate::methods::FillMethod| ctx.run(&cfg, m).expect("run").impact.total_delay;
         let normal = run(&NormalFill);
         let greedy = run(&GreedyFill);
         let ilp2 = run(&IlpTwo);
@@ -543,7 +566,10 @@ mod tests {
             "ilp2 {ilp2} vs dp {dp}"
         );
         // Greedy should also improve on random placement.
-        assert!(greedy <= normal + 1e-24, "greedy {greedy} vs normal {normal}");
+        assert!(
+            greedy <= normal + 1e-24,
+            "greedy {greedy} vs normal {normal}"
+        );
     }
 
     #[test]
@@ -573,27 +599,62 @@ mod tests {
         let unweighted_run = ctx.run(&cfg, &IlpTwo).expect("run");
         cfg.weighted = true;
         let weighted_run = ctx.run(&cfg, &IlpTwo).expect("run");
-        assert!(
-            weighted_run.impact.weighted_delay
-                <= unweighted_run.impact.weighted_delay + 1e-24
-        );
+        assert!(weighted_run.impact.weighted_delay <= unweighted_run.impact.weighted_delay + 1e-24);
     }
 
     #[test]
-    fn parallel_run_matches_sequential() {
+    fn parallel_run_is_bit_identical_for_every_method_and_thread_count() {
         let d = design();
         let cfg = config();
         let ctx = FlowContext::build(&d, &cfg).expect("ctx");
-        for method in [
-            &NormalFill as &(dyn crate::methods::FillMethod + Sync),
+        let bounded = crate::methods::BoundedGreedy::new(1e-12);
+        let methods: [&(dyn crate::methods::FillMethod + Sync); 6] = [
+            &NormalFill,
             &GreedyFill,
+            &bounded,
+            &IlpOne,
             &IlpTwo,
-        ] {
+            &DpExact,
+        ];
+        for method in methods {
             let seq = ctx.run(&cfg, method).expect("seq");
-            let par = ctx.run_parallel(&cfg, method, 4).expect("par");
-            assert_eq!(seq.features, par.features, "{}", method.name());
-            assert_eq!(seq.impact.total_delay, par.impact.total_delay);
-            assert_eq!(seq.placed_features, par.placed_features);
+            for threads in [1usize, 2, 8] {
+                let par = ctx.run_parallel(&cfg, method, threads).expect("par");
+                let tag = format!("{} @ {threads} threads", method.name());
+                // Everything except wall-clock timing must be bit-identical.
+                assert_eq!(seq.method, par.method, "{tag}");
+                assert_eq!(seq.features, par.features, "{tag}");
+                assert_eq!(seq.placed_features, par.placed_features, "{tag}");
+                assert_eq!(seq.budget_total, par.budget_total, "{tag}");
+                assert_eq!(seq.shortfall, par.shortfall, "{tag}");
+                assert_eq!(seq.tiles, par.tiles, "{tag}");
+                assert_eq!(seq.impact, par.impact, "{tag}");
+                assert_eq!(seq.density_before, par.density_before, "{tag}");
+                assert_eq!(seq.density_after, par.density_after, "{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_for_every_def() {
+        let d = design();
+        for def in [
+            SlackColumnDef::One,
+            SlackColumnDef::Two,
+            SlackColumnDef::Three,
+        ] {
+            let mut cfg = config();
+            cfg.def = def;
+            let seq = FlowContext::build(&d, &cfg).expect("seq build");
+            for threads in [2usize, 8] {
+                let par = FlowContext::build_parallel(&d, &cfg, threads).expect("par build");
+                assert_eq!(seq.problems, par.problems, "{def} @ {threads} threads");
+                assert_eq!(seq.budget_total, par.budget_total);
+                let a = seq.run(&cfg, &GreedyFill).expect("run seq ctx");
+                let b = par.run(&cfg, &GreedyFill).expect("run par ctx");
+                assert_eq!(a.features, b.features);
+                assert_eq!(a.impact, b.impact);
+            }
         }
     }
 

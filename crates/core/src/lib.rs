@@ -52,7 +52,9 @@ pub use evaluate::{evaluate_placement, DelayImpact};
 pub use flow::{run_flow, run_flow_all_layers, FlowConfig, FlowError, FlowOutcome};
 pub use line::{extract_active_lines, ActiveLine};
 pub use scan::{scan_slack_columns, SlackColumn};
-pub use tile::{build_tile_problems, SlackColumnDef, TileColumn, TileProblem};
+pub use tile::{
+    build_tile_problems, build_tile_problems_parallel, SlackColumnDef, TileColumn, TileProblem,
+};
 pub use verify::{check_fill, DrcReport, DrcViolation};
 
 /// A placed square fill feature (lower-left corner; side length comes from

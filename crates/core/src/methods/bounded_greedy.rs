@@ -13,7 +13,7 @@
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
 use pilfill_layout::NetId;
-use rand::rngs::StdRng;
+use pilfill_prng::rngs::StdRng;
 use std::collections::HashMap;
 
 /// Greedy with an upper bound on the delay added to any single net.
@@ -72,9 +72,10 @@ impl FillMethod for BoundedGreedy {
             let col = &problem.columns[i];
             let take = left.min(col.capacity());
             let cost = col.cost_exact(take, weighted);
-            let over = col.adjacent_nets.iter().any(|n| {
-                net_delay.get(n).copied().unwrap_or(0.0) + cost > self.max_net_delay
-            });
+            let over = col
+                .adjacent_nets
+                .iter()
+                .any(|n| net_delay.get(n).copied().unwrap_or(0.0) + cost > self.max_net_delay);
             if over {
                 deferred.push(i);
                 continue;
@@ -128,7 +129,7 @@ mod tests {
     use super::*;
     use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
     use crate::methods::GreedyFill;
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -151,10 +152,7 @@ mod tests {
         // saturates both net-0 columns; the per-net bound allows one but
         // not two, diverting the second batch onto net 1.
         use pilfill_layout::NetId;
-        let mut tile = synthetic_tile(
-            &[(2_500, 3, 1.0), (2_500, 3, 1.01), (2_500, 3, 1.3)],
-            0,
-        );
+        let mut tile = synthetic_tile(&[(2_500, 3, 1.0), (2_500, 3, 1.01), (2_500, 3, 1.3)], 0);
         tile.columns[0].adjacent_nets = vec![NetId(0)];
         tile.columns[1].adjacent_nets = vec![NetId(0)];
         tile.columns[2].adjacent_nets = vec![NetId(1)];

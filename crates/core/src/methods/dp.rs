@@ -8,7 +8,7 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
-use rand::rngs::StdRng;
+use pilfill_prng::rngs::StdRng;
 
 /// Exact DP over the lookup-table costs; optimal for the same model ILP-II
 /// optimizes.
@@ -41,8 +41,8 @@ impl FillMethod for DpExact {
             let cap = col.capacity().min(budget);
             let mut next = vec![INF; b + 1];
             let mut pick = vec![u32::MAX; b + 1];
-            for used in 0..=b {
-                if best[used] == INF {
+            for (used, &base) in best.iter().enumerate() {
+                if base == INF {
                     continue;
                 }
                 for m in 0..=cap {
@@ -50,7 +50,7 @@ impl FillMethod for DpExact {
                     if f > b {
                         break;
                     }
-                    let cost = best[used] + col.cost_exact(m, weighted);
+                    let cost = base + col.cost_exact(m, weighted);
                     if cost < next[f] {
                         next[f] = cost;
                         pick[f] = m;
@@ -85,7 +85,7 @@ impl FillMethod for DpExact {
 mod tests {
     use super::*;
     use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -139,7 +139,12 @@ mod tests {
     fn dp_never_worse_than_greedy() {
         use crate::methods::GreedyFill;
         let tile = synthetic_tile(
-            &[(1_000, 4, 1.0), (1_400, 5, 0.8), (5_000, 6, 2.0), (900, 2, 0.1)],
+            &[
+                (1_000, 4, 1.0),
+                (1_400, 5, 0.8),
+                (5_000, 6, 2.0),
+                (900, 2, 0.1),
+            ],
             2,
         );
         for budget in [3u32, 8, 14] {

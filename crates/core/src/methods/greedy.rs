@@ -4,7 +4,7 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
-use rand::rngs::StdRng;
+use pilfill_prng::rngs::StdRng;
 
 /// Figure-8 greedy: whole columns in ascending full-column delay order.
 ///
@@ -61,7 +61,7 @@ impl FillMethod for GreedyFill {
 mod tests {
     use super::*;
     use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -70,7 +70,9 @@ mod tests {
     #[test]
     fn prefers_free_columns_first() {
         let tile = synthetic_tile(&[(2_000, 5, 1.0)], 5);
-        let counts = GreedyFill.place(&tile, 5, false, &mut rng()).expect("place");
+        let counts = GreedyFill
+            .place(&tile, 5, false, &mut rng())
+            .expect("place");
         assert_valid_assignment(&tile, &counts, 5);
         // All five features go into the zero-cost column (index 1).
         assert_eq!(counts, vec![0, 5]);
@@ -79,14 +81,18 @@ mod tests {
     #[test]
     fn fills_low_alpha_columns_before_high() {
         let tile = synthetic_tile(&[(2_000, 4, 10.0), (2_000, 4, 1.0)], 0);
-        let counts = GreedyFill.place(&tile, 4, false, &mut rng()).expect("place");
+        let counts = GreedyFill
+            .place(&tile, 4, false, &mut rng())
+            .expect("place");
         assert_eq!(counts, vec![0, 4]);
     }
 
     #[test]
     fn overflows_into_next_cheapest() {
         let tile = synthetic_tile(&[(2_000, 4, 10.0), (2_000, 4, 1.0)], 2);
-        let counts = GreedyFill.place(&tile, 7, false, &mut rng()).expect("place");
+        let counts = GreedyFill
+            .place(&tile, 7, false, &mut rng())
+            .expect("place");
         assert_valid_assignment(&tile, &counts, 7);
         // Free column (2 slots) + cheap column (4) + 1 in the expensive one.
         assert_eq!(counts, vec![1, 4, 2]);
@@ -107,7 +113,9 @@ mod tests {
     #[test]
     fn zero_budget_places_nothing() {
         let tile = synthetic_tile(&[(2_000, 4, 1.0)], 1);
-        let counts = GreedyFill.place(&tile, 0, false, &mut rng()).expect("place");
+        let counts = GreedyFill
+            .place(&tile, 0, false, &mut rng())
+            .expect("place");
         assert!(counts.iter().all(|&c| c == 0));
     }
 }

@@ -8,8 +8,8 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
+use pilfill_prng::rngs::StdRng;
 use pilfill_solver::{Model, Objective, Sense};
-use rand::rngs::StdRng;
 
 /// The Section-5.2 integer linear program (Eqs. 10-14).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,13 +51,12 @@ impl FillMethod for IlpOne {
             .map(|(c, &cost)| model.add_integer_var(0.0, c.capacity() as f64, cost / scale))
             .collect();
         // Eq. (11): the prescribed amount of fill.
-        model.add_constraint(
-            vars.iter().map(|&v| (v, 1.0)),
-            Sense::Eq,
-            budget as f64,
-        );
+        model.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Eq, budget as f64);
         let sol = model.solve()?;
-        Ok(vars.iter().map(|&v| sol.int_value(v).max(0) as u32).collect())
+        Ok(vars
+            .iter()
+            .map(|&v| sol.int_value(v).max(0) as u32)
+            .collect())
     }
 }
 
@@ -65,7 +64,7 @@ impl FillMethod for IlpOne {
 mod tests {
     use super::*;
     use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -75,7 +74,9 @@ mod tests {
     fn hits_budget_exactly() {
         let tile = synthetic_tile(&[(1_500, 3, 2.0), (2_500, 4, 1.0)], 2);
         for budget in [0u32, 1, 5, 9] {
-            let counts = IlpOne.place(&tile, budget, false, &mut rng()).expect("place");
+            let counts = IlpOne
+                .place(&tile, budget, false, &mut rng())
+                .expect("place");
             assert_valid_assignment(&tile, &counts, budget);
         }
     }
@@ -99,10 +100,9 @@ mod tests {
         let ilp1 = IlpOne.place(&tile, 2, false, &mut rng()).expect("ilp1");
         // Under the linear model, B (index 1) is preferred when
         // alpha_B * lin_B < alpha_A * lin_A.
-        let lin_cost =
-            |i: usize, m: u32| tile.columns[i].alpha(false)
-                * tile.columns[i].linear_cap_per_feature
-                * m as f64;
+        let lin_cost = |i: usize, m: u32| {
+            tile.columns[i].alpha(false) * tile.columns[i].linear_cap_per_feature * m as f64
+        };
         if lin_cost(1, 1) < lin_cost(0, 1) {
             assert!(ilp1[1] > 0, "ILP-I should pick the linearly-cheap column");
             // And that choice is worse under the exact model than putting

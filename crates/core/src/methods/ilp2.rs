@@ -11,9 +11,9 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
+use pilfill_prng::rngs::StdRng;
 use pilfill_rc::CapTable;
 use pilfill_solver::{Model, Objective, Sense};
-use rand::rngs::StdRng;
 
 /// The Section-5.3 lookup-table ILP.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -167,7 +167,7 @@ mod tests {
     use super::*;
     use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
     use crate::methods::{DpExact, GreedyFill, IlpOne};
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -177,7 +177,9 @@ mod tests {
     fn hits_budget_exactly() {
         let tile = synthetic_tile(&[(1_500, 3, 2.0), (2_500, 4, 1.0)], 2);
         for budget in [0u32, 1, 5, 9] {
-            let counts = IlpTwo.place(&tile, budget, false, &mut rng()).expect("place");
+            let counts = IlpTwo
+                .place(&tile, budget, false, &mut rng())
+                .expect("place");
             assert_valid_assignment(&tile, &counts, budget);
         }
     }
@@ -185,7 +187,12 @@ mod tests {
     #[test]
     fn matches_dp_exact_optimum() {
         let tile = synthetic_tile(
-            &[(1_000, 3, 1.0), (1_400, 4, 0.8), (5_000, 5, 2.0), (900, 2, 0.1)],
+            &[
+                (1_000, 3, 1.0),
+                (1_400, 4, 0.8),
+                (5_000, 5, 2.0),
+                (900, 2, 0.1),
+            ],
             2,
         );
         for budget in [2u32, 6, 11] {
@@ -208,17 +215,22 @@ mod tests {
 
     #[test]
     fn never_worse_than_greedy_or_ilp1_on_exact_model() {
-        let tile = synthetic_tile(
-            &[(6_000, 8, 1.0), (1_400, 3, 1.15), (2_000, 4, 0.5)],
-            1,
-        );
+        let tile = synthetic_tile(&[(6_000, 8, 1.0), (1_400, 3, 1.15), (2_000, 4, 0.5)], 1);
         for budget in [3u32, 7, 12] {
             let two = IlpTwo.place(&tile, budget, false, &mut rng()).expect("2");
             let one = IlpOne.place(&tile, budget, false, &mut rng()).expect("1");
-            let gr = GreedyFill.place(&tile, budget, false, &mut rng()).expect("g");
+            let gr = GreedyFill
+                .place(&tile, budget, false, &mut rng())
+                .expect("g");
             let c2 = tile.cost_of(&two, false);
-            assert!(c2 <= tile.cost_of(&one, false) + 1e-25, "budget {budget} vs ilp1");
-            assert!(c2 <= tile.cost_of(&gr, false) + 1e-25, "budget {budget} vs greedy");
+            assert!(
+                c2 <= tile.cost_of(&one, false) + 1e-25,
+                "budget {budget} vs ilp1"
+            );
+            assert!(
+                c2 <= tile.cost_of(&gr, false) + 1e-25,
+                "budget {budget} vs greedy"
+            );
         }
     }
 

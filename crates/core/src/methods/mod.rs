@@ -22,7 +22,7 @@ pub use ilp2::IlpTwo;
 pub use normal::NormalFill;
 
 use crate::TileProblem;
-use rand::rngs::StdRng;
+use pilfill_prng::rngs::StdRng;
 
 /// Error from a placement method.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,15 +119,16 @@ pub(crate) mod testutil {
                 // Clamp to what the capacitance model allows (m * w < d).
                 let cap = cap.min(((d - 1) / w) as u32);
                 TileColumn {
-                feature_x: 1_000 * i as Coord,
-                slots: (0..cap).map(|s| s as Coord * 450).collect(),
-                distance: Some(d),
-                alpha_weighted: alpha * 2.0,
-                alpha_unweighted: alpha,
-                table: Some(CapTable::build(&model, d, w, cap)),
-                linear_cap_per_feature: model.delta_cap_linear(1, d, w),
-                adjacent_nets: vec![pilfill_layout::NetId(i)],
-            }})
+                    feature_x: 1_000 * i as Coord,
+                    slots: (0..cap).map(|s| s as Coord * 450).collect(),
+                    distance: Some(d),
+                    alpha_weighted: alpha * 2.0,
+                    alpha_unweighted: alpha,
+                    table: Some(CapTable::build(&model, d, w, cap)),
+                    linear_cap_per_feature: model.delta_cap_linear(1, d, w),
+                    adjacent_nets: vec![pilfill_layout::NetId(i)],
+                }
+            })
             .collect();
         if free_capacity > 0 {
             columns.push(TileColumn {
@@ -153,7 +154,11 @@ pub(crate) mod testutil {
         let total: u32 = counts.iter().sum();
         assert_eq!(total, budget, "assignment must hit the budget exactly");
         for (c, &m) in problem.columns.iter().zip(counts) {
-            assert!(m <= c.capacity(), "count {m} over capacity {}", c.capacity());
+            assert!(
+                m <= c.capacity(),
+                "count {m} over capacity {}",
+                c.capacity()
+            );
         }
     }
 }

@@ -4,8 +4,8 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
-use rand::rngs::StdRng;
-use rand::Rng;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::Rng;
 
 /// Monte-Carlo random placement — the baseline every PIL-Fill method is
 /// compared against in Tables 1 and 2.
@@ -52,7 +52,7 @@ impl FillMethod for NormalFill {
 mod tests {
     use super::*;
     use crate::methods::testutil::{assert_valid_assignment, synthetic_tile};
-    use rand::SeedableRng;
+    use pilfill_prng::SeedableRng;
 
     #[test]
     fn places_exact_budget() {

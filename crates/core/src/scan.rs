@@ -120,10 +120,10 @@ pub fn scan_slack_columns(
     };
 
     let emit = |site_x: usize,
-                    gap: Interval,
-                    below: Option<usize>,
-                    above: Option<usize>,
-                    out: &mut Vec<SlackColumn>| {
+                gap: Interval,
+                below: Option<usize>,
+                above: Option<usize>,
+                out: &mut Vec<SlackColumn>| {
         if gap.is_empty() {
             return;
         }
@@ -287,8 +287,8 @@ mod tests {
     #[test]
     fn partial_x_overlap_only_affects_covered_columns() {
         let bounds = Rect::new(0, 0, 1_800, 5_000); // 4 site columns
-        // The line covers columns 0 and 1; its buffer-expanded extent
-        // [-150, 1050) additionally blocks column 2 ([900, 1350)).
+                                                    // The line covers columns 0 and 1; its buffer-expanded extent
+                                                    // [-150, 1050) additionally blocks column 2 ([900, 1350)).
         let l = line(Rect::new(0, 2_000, 900, 2_200));
         let cols = scan_slack_columns(&[l], bounds, rules());
         let full: Vec<_> = cols

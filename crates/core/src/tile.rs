@@ -89,7 +89,11 @@ impl TileColumn {
     ///
     /// Panics if `m` exceeds the capacity.
     pub fn cost_exact(&self, m: u32, weighted: bool) -> f64 {
-        assert!(m <= self.capacity(), "m={m} over capacity {}", self.capacity());
+        assert!(
+            m <= self.capacity(),
+            "m={m} over capacity {}",
+            self.capacity()
+        );
         match &self.table {
             Some(t) => self.alpha(weighted) * t.delta_cap(m),
             None => 0.0,
@@ -173,6 +177,63 @@ fn make_tile_column(
     }
 }
 
+/// Definition III worker: expands one contiguous chunk of global columns
+/// into `(tile index, column)` pairs, preserving column order within the
+/// chunk.
+fn def_three_chunk(
+    lines: &[ActiveLine],
+    chunk: &[SlackColumn],
+    grid: &pilfill_geom::Grid,
+    rules: FillRules,
+    model: &CouplingModel,
+) -> Vec<(usize, TileColumn)> {
+    let mut out = Vec::new();
+    for col in chunk {
+        let fx = col.feature_x(rules);
+        let mut by_tile: Vec<(CellIndex, Vec<Coord>)> = Vec::new();
+        for &slot in &col.slots {
+            let Some(cell) = grid.cell_at(fx, slot) else {
+                continue;
+            };
+            match by_tile.last_mut() {
+                Some((c, slots)) if *c == cell => slots.push(slot),
+                _ => by_tile.push((cell, vec![slot])),
+            }
+        }
+        for ((ix, iy), slots) in by_tile {
+            let tc = make_tile_column(lines, col, slots, rules, model);
+            out.push((iy * grid.nx() + ix, tc));
+        }
+    }
+    out
+}
+
+/// Definition I/II worker: scans and fills one contiguous chunk of tiles
+/// in place. Each tile's columns depend only on its own rect, so disjoint
+/// chunks are independent.
+fn def_one_two_chunk(
+    lines: &[ActiveLine],
+    chunk: &mut [TileProblem],
+    rules: FillRules,
+    model: &CouplingModel,
+    def: SlackColumnDef,
+) {
+    for problem in chunk {
+        let tile_cols = crate::scan_slack_columns(lines, problem.rect, rules);
+        for col in tile_cols {
+            if def == SlackColumnDef::One && col.distance().is_none() {
+                continue;
+            }
+            let slots = col.slots.clone();
+            if slots.is_empty() {
+                continue;
+            }
+            let tc = make_tile_column(lines, &col, slots, rules, model);
+            problem.columns.push(tc);
+        }
+    }
+}
+
 /// Builds one [`TileProblem`] per tile (row-major order) under `def`.
 ///
 /// `global_columns` must be the result of [`crate::scan_slack_columns`]
@@ -185,6 +246,27 @@ pub fn build_tile_problems(
     rules: FillRules,
     def: SlackColumnDef,
 ) -> Vec<TileProblem> {
+    build_tile_problems_parallel(lines, global_columns, dissection, tech, rules, def, 1)
+}
+
+/// Parallel variant of [`build_tile_problems`]: the work is split into
+/// contiguous chunks solved on `threads` scoped worker threads, and chunk
+/// results are merged in chunk order, so the output is identical to the
+/// sequential build for every thread count.
+///
+/// Definition III chunks the global column list (each chunk expands to
+/// `(tile, column)` pairs); definitions I and II chunk the tile grid
+/// directly, each worker filling a disjoint `&mut [TileProblem]` slice.
+pub fn build_tile_problems_parallel(
+    lines: &[ActiveLine],
+    global_columns: &[SlackColumn],
+    dissection: &FixedDissection,
+    tech: &Tech,
+    rules: FillRules,
+    def: SlackColumnDef,
+    threads: usize,
+) -> Vec<TileProblem> {
+    let threads = threads.max(1);
     let model = CouplingModel::new(tech);
     let grid = dissection.tiles();
     let mut problems: Vec<TileProblem> = grid
@@ -195,27 +277,35 @@ pub fn build_tile_problems(
             columns: Vec::new(),
         })
         .collect();
-    let index_of = |(ix, iy): CellIndex| iy * grid.nx() + ix;
 
     match def {
         SlackColumnDef::Three => {
             // Distribute each global column's slots to the tiles containing
             // them; the column keeps its true line associations.
-            for col in global_columns {
-                let fx = col.feature_x(rules);
-                let mut by_tile: Vec<(CellIndex, Vec<Coord>)> = Vec::new();
-                for &slot in &col.slots {
-                    let Some(cell) = grid.cell_at(fx, slot) else {
-                        continue;
-                    };
-                    match by_tile.last_mut() {
-                        Some((c, slots)) if *c == cell => slots.push(slot),
-                        _ => by_tile.push((cell, vec![slot])),
-                    }
+            if threads == 1 || global_columns.len() < 2 {
+                for (idx, tc) in def_three_chunk(lines, global_columns, &grid, rules, &model) {
+                    problems[idx].columns.push(tc);
                 }
-                for (cell, slots) in by_tile {
-                    let tc = make_tile_column(lines, col, slots, rules, &model);
-                    problems[index_of(cell)].columns.push(tc);
+            } else {
+                let chunk = global_columns.len().div_ceil(threads);
+                let merged = std::thread::scope(|scope| {
+                    let handles: Vec<_> = global_columns
+                        .chunks(chunk)
+                        .map(|cols| {
+                            let grid = &grid;
+                            let model = &model;
+                            scope.spawn(move || def_three_chunk(lines, cols, grid, rules, model))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("tile-problem worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for part in merged {
+                    for (idx, tc) in part {
+                        problems[idx].columns.push(tc);
+                    }
                 }
             }
         }
@@ -223,20 +313,16 @@ pub fn build_tile_problems(
             // Per-tile scan: lines are clipped to the tile, so columns
             // bounded by geometry outside the tile lose their association
             // (definition II) or are dropped entirely (definition I).
-            for cell in grid.indices() {
-                let rect = grid.cell_rect(cell);
-                let tile_cols = crate::scan_slack_columns(lines, rect, rules);
-                for col in tile_cols {
-                    if def == SlackColumnDef::One && col.distance().is_none() {
-                        continue;
+            if threads == 1 || problems.len() < 2 {
+                def_one_two_chunk(lines, &mut problems, rules, &model, def);
+            } else {
+                let chunk = problems.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for slice in problems.chunks_mut(chunk) {
+                        let model = &model;
+                        scope.spawn(move || def_one_two_chunk(lines, slice, rules, model, def));
                     }
-                    let slots = col.slots.clone();
-                    if slots.is_empty() {
-                        continue;
-                    }
-                    let tc = make_tile_column(lines, &col, slots, rules, &model);
-                    problems[index_of(cell)].columns.push(tc);
-                }
+                });
             }
         }
     }
@@ -327,7 +413,12 @@ mod tests {
         assert!(cap(&one) <= cap(&two), "{} > {}", cap(&one), cap(&two));
         // II vs III can go either way per tile, but for this layout III
         // dominates because II loses edge strips.
-        assert!(cap(&two) <= cap(&three) + 64, "{} vs {}", cap(&two), cap(&three));
+        assert!(
+            cap(&two) <= cap(&three) + 64,
+            "{} vs {}",
+            cap(&two),
+            cap(&three)
+        );
     }
 
     #[test]

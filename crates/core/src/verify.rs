@@ -253,6 +253,10 @@ mod tests {
         let cfg = FlowConfig::new(8_000, 2).expect("config");
         let outcome = run_flow(&d, &cfg, &GreedyFill).expect("flow");
         let report = check_fill(&d, cfg.layer, &outcome.features);
-        assert!(report.is_clean(), "{:?}", &report.violations[..3.min(report.violations.len())]);
+        assert!(
+            report.is_clean(),
+            "{:?}",
+            &report.violations[..3.min(report.violations.len())]
+        );
     }
 }

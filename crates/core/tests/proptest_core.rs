@@ -1,13 +1,14 @@
-//! Property-based tests for the PIL-Fill core: scan-line invariants over
+//! Randomized tests for the PIL-Fill core: scan-line invariants over
 //! random line sets, and method contracts over random tile problems.
+//! Driven by the in-repo seeded PRNG so every run explores the same
+//! cases.
 
 use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
 use pilfill_core::{scan_slack_columns, ActiveLine, FillFeature, SlackColumn};
 use pilfill_geom::{Coord, Interval, Rect};
 use pilfill_layout::{FillRules, NetId, SegmentId, SignalDir};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 
 fn rules() -> FillRules {
     FillRules {
@@ -21,56 +22,59 @@ fn bounds() -> Rect {
     Rect::new(0, 0, 9_000, 9_000)
 }
 
-/// Random horizontal, non-overlapping-ish lines inside the bounds.
-fn lines_strategy() -> impl Strategy<Value = Vec<ActiveLine>> {
-    prop::collection::vec(
-        (0i64..18, 0i64..28, 1i64..18, 0.0f64..20.0),
-        0..14,
-    )
-    .prop_map(|specs| {
-        let mut lines: Vec<ActiveLine> = Vec::new();
-        for (xs, track, len, res) in specs {
-            let y = 300 + track * 300;
-            let rect = Rect::new(xs * 450, y, (xs + len).min(20) * 450, y + 280);
-            if rect.is_empty() || rect.right > 9_000 || rect.top > 9_000 {
-                continue;
-            }
-            // Skip overlapping lines (same-layer wires never overlap).
-            if lines.iter().any(|l| l.rect.overlaps(&rect)) {
-                continue;
-            }
-            lines.push(ActiveLine {
-                net: Some(NetId(lines.len())),
-                segment: SegmentId(0),
-                rect,
-                weight: 1 + (lines.len() as u32 % 3),
-                res_per_dbu: 2.5e-4,
-                upstream_res: res,
-                entry_x: rect.left,
-                signal: SignalDir::Increasing,
-            });
+/// Random horizontal, non-overlapping lines inside the bounds.
+fn rand_lines(rng: &mut StdRng) -> Vec<ActiveLine> {
+    let n = rng.gen_range(0usize..14);
+    let mut lines: Vec<ActiveLine> = Vec::new();
+    for _ in 0..n {
+        let xs = rng.gen_range(0i64..18);
+        let track = rng.gen_range(0i64..28);
+        let len = rng.gen_range(1i64..18);
+        let res = rng.gen_range(0.0f64..20.0);
+        let y = 300 + track * 300;
+        let rect = Rect::new(xs * 450, y, (xs + len).min(20) * 450, y + 280);
+        if rect.is_empty() || rect.right > 9_000 || rect.top > 9_000 {
+            continue;
         }
-        lines
-    })
+        // Skip overlapping lines (same-layer wires never overlap).
+        if lines.iter().any(|l| l.rect.overlaps(&rect)) {
+            continue;
+        }
+        lines.push(ActiveLine {
+            net: Some(NetId(lines.len())),
+            segment: SegmentId(0),
+            rect,
+            weight: 1 + (lines.len() as u32 % 3),
+            res_per_dbu: 2.5e-4,
+            upstream_res: res,
+            entry_x: rect.left,
+            signal: SignalDir::Increasing,
+        });
+    }
+    lines
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scan_slots_never_touch_lines_or_each_other(lines in lines_strategy()) {
+#[test]
+fn scan_slots_never_touch_lines_or_each_other() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0001);
+    for _ in 0..64 {
+        let lines = rand_lines(&mut rng);
         let r = rules();
         let cols = scan_slack_columns(&lines, bounds(), r);
         let mut feature_rects: Vec<Rect> = Vec::new();
         for c in &cols {
             for &slot in &c.slots {
-                let f = FillFeature { x: c.feature_x(r), y: slot };
+                let f = FillFeature {
+                    x: c.feature_x(r),
+                    y: slot,
+                };
                 let rect = f.rect(r.feature_size);
-                prop_assert!(bounds().contains_rect(&rect));
+                assert!(bounds().contains_rect(&rect));
                 for l in &lines {
-                    prop_assert!(
+                    assert!(
                         !rect.overlaps(&l.rect.grown(r.buffer)),
-                        "slot {rect} violates buffer to line {}", l.rect
+                        "slot {rect} violates buffer to line {}",
+                        l.rect
                     );
                 }
                 feature_rects.push(rect);
@@ -78,23 +82,26 @@ proptest! {
         }
         for (i, a) in feature_rects.iter().enumerate() {
             for b in &feature_rects[i + 1..] {
-                prop_assert!(!a.overlaps(b), "slots overlap: {a} vs {b}");
+                assert!(!a.overlaps(b), "slots overlap: {a} vs {b}");
             }
         }
     }
+}
 
-    #[test]
-    fn scan_gaps_partition_each_site_column(lines in lines_strategy()) {
+#[test]
+fn scan_gaps_partition_each_site_column() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0002);
+    for _ in 0..64 {
+        let lines = rand_lines(&mut rng);
         let r = rules();
         let b = bounds();
         let cols = scan_slack_columns(&lines, b, r);
         let n_cols = (b.width() / r.site_pitch()) as usize;
         for site in 0..n_cols {
-            let gaps: Vec<&SlackColumn> =
-                cols.iter().filter(|c| c.site_x == site).collect();
+            let gaps: Vec<&SlackColumn> = cols.iter().filter(|c| c.site_x == site).collect();
             // Gaps are disjoint and sorted.
             for pair in gaps.windows(2) {
-                prop_assert!(pair[0].gap.hi <= pair[1].gap.lo);
+                assert!(pair[0].gap.hi <= pair[1].gap.lo);
             }
             // Total gap length = column height minus covered length
             // (covered by buffer-expanded lines overlapping this column).
@@ -115,29 +122,37 @@ proptest! {
                 }
             }
             let gap_total: Coord = gaps.iter().map(|g| g.gap.len()).sum();
-            prop_assert_eq!(
+            assert_eq!(
                 gap_total,
                 b.height() - covered.covered_len_within(b.y_span()),
-                "site {}", site
+                "site {}",
+                site
             );
         }
     }
+}
 
-    #[test]
-    fn methods_hit_budget_and_respect_capacities(
-        lines in lines_strategy(),
-        budget_frac in 0.0f64..1.0,
-        weighted in any::<bool>(),
-    ) {
-        use pilfill_core::{build_tile_problems, SlackColumnDef};
-        use pilfill_density::FixedDissection;
-        use pilfill_layout::Tech;
+#[test]
+fn methods_hit_budget_and_respect_capacities() {
+    use pilfill_core::{build_tile_problems, SlackColumnDef};
+    use pilfill_density::FixedDissection;
+    use pilfill_layout::Tech;
 
+    let mut rng = StdRng::seed_from_u64(0xC0_0003);
+    for _ in 0..32 {
+        let lines = rand_lines(&mut rng);
+        let budget_frac = rng.gen_range(0.0f64..1.0);
+        let weighted = rng.gen::<bool>();
         let r = rules();
         let cols = scan_slack_columns(&lines, bounds(), r);
         let dissection = FixedDissection::new(bounds(), 4_500, 2).expect("dissection");
         let problems = build_tile_problems(
-            &lines, &cols, &dissection, &Tech::default_180nm(), r, SlackColumnDef::Three,
+            &lines,
+            &cols,
+            &dissection,
+            &Tech::default_180nm(),
+            r,
+            SlackColumnDef::Three,
         );
         let methods: Vec<&dyn FillMethod> =
             vec![&NormalFill, &GreedyFill, &IlpOne, &IlpTwo, &DpExact];
@@ -145,54 +160,69 @@ proptest! {
             let cap = p.capacity();
             let budget = (cap as f64 * budget_frac).floor() as u32;
             for m in &methods {
-                let mut rng = StdRng::seed_from_u64(7);
-                let counts = m.place(p, budget, weighted, &mut rng)
+                let mut mrng = StdRng::seed_from_u64(7);
+                let counts = m
+                    .place(p, budget, weighted, &mut mrng)
                     .unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
-                prop_assert_eq!(counts.len(), p.columns.len());
-                prop_assert_eq!(
+                assert_eq!(counts.len(), p.columns.len());
+                assert_eq!(
                     counts.iter().map(|&c| c as u64).sum::<u64>(),
                     budget as u64,
-                    "{} must hit the budget", m.name()
+                    "{} must hit the budget",
+                    m.name()
                 );
                 for (c, &got) in p.columns.iter().zip(&counts) {
-                    prop_assert!(got <= c.capacity());
+                    assert!(got <= c.capacity());
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn optimizers_never_beat_dp_on_model_cost(
-        lines in lines_strategy(),
-        budget_frac in 0.1f64..0.9,
-    ) {
-        use pilfill_core::{build_tile_problems, SlackColumnDef};
-        use pilfill_density::FixedDissection;
-        use pilfill_layout::Tech;
+#[test]
+fn optimizers_never_beat_dp_on_model_cost() {
+    use pilfill_core::{build_tile_problems, SlackColumnDef};
+    use pilfill_density::FixedDissection;
+    use pilfill_layout::Tech;
 
+    let mut rng = StdRng::seed_from_u64(0xC0_0004);
+    for _ in 0..32 {
+        let lines = rand_lines(&mut rng);
+        let budget_frac = rng.gen_range(0.1f64..0.9);
         let r = rules();
         let cols = scan_slack_columns(&lines, bounds(), r);
         let dissection = FixedDissection::new(bounds(), 4_500, 2).expect("dissection");
         let problems = build_tile_problems(
-            &lines, &cols, &dissection, &Tech::default_180nm(), r, SlackColumnDef::Three,
+            &lines,
+            &cols,
+            &dissection,
+            &Tech::default_180nm(),
+            r,
+            SlackColumnDef::Three,
         );
         for p in problems.iter().take(2) {
             let budget = (p.capacity() as f64 * budget_frac).floor() as u32;
-            let mut rng = StdRng::seed_from_u64(3);
-            let dp = DpExact.place(p, budget, false, &mut rng).expect("dp");
+            let mut mrng = StdRng::seed_from_u64(3);
+            let dp = DpExact.place(p, budget, false, &mut mrng).expect("dp");
             let dp_cost = p.cost_of(&dp, false);
-            for m in [&IlpTwo as &dyn FillMethod, &GreedyFill, &IlpOne, &NormalFill] {
-                let counts = m.place(p, budget, false, &mut rng).expect("place");
+            for m in [
+                &IlpTwo as &dyn FillMethod,
+                &GreedyFill,
+                &IlpOne,
+                &NormalFill,
+            ] {
+                let counts = m.place(p, budget, false, &mut mrng).expect("place");
                 let cost = p.cost_of(&counts, false);
-                prop_assert!(
+                assert!(
                     cost >= dp_cost - 1e-9 * (1.0 + dp_cost.abs()),
-                    "{} ({cost}) beat the exact optimum ({dp_cost})", m.name()
+                    "{} ({cost}) beat the exact optimum ({dp_cost})",
+                    m.name()
                 );
             }
             // ILP-II must also *match* the optimum.
-            let ilp2 = IlpTwo.place(p, budget, false, &mut rng).expect("ilp2");
+            let ilp2 = IlpTwo.place(p, budget, false, &mut mrng).expect("ilp2");
             let c2 = p.cost_of(&ilp2, false);
-            prop_assert!(
+            assert!(
                 (c2 - dp_cost).abs() <= 1e-6 * (1.0 + dp_cost.abs()),
                 "ilp2 {c2} vs dp {dp_cost}"
             );

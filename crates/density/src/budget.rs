@@ -41,7 +41,10 @@ impl std::fmt::Display for BudgetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BudgetError::DimensionMismatch { expected, got } => {
-                write!(f, "slack has {got} entries, dissection has {expected} tiles")
+                write!(
+                    f,
+                    "slack has {got} entries, dissection has {expected} tiles"
+                )
             }
             BudgetError::Solver(e) => write!(f, "budget LP failed: {e}"),
             BudgetError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
@@ -379,10 +382,7 @@ mod tests {
         let lp_min = apply(&lp);
         let mc_min = apply(&mc);
         // MC should reach at least 85% of the LP's min-density gain.
-        assert!(
-            mc_min >= 0.85 * lp_min,
-            "mc {mc_min} far below lp {lp_min}"
-        );
+        assert!(mc_min >= 0.85 * lp_min, "mc {mc_min} far below lp {lp_min}");
     }
 
     #[test]

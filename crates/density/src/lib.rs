@@ -36,6 +36,6 @@ mod map;
 pub mod smoothness;
 
 pub use budget::{lp_budget, montecarlo_budget, BudgetError, FillBudget};
-pub use smoothness::{gradient_analysis, multi_scale_analysis, GradientAnalysis, ScaleAnalysis};
 pub use dissection::{DissectionError, FixedDissection, Window};
 pub use map::{DensityAnalysis, DensityMap};
+pub use smoothness::{gradient_analysis, multi_scale_analysis, GradientAnalysis, ScaleAnalysis};

@@ -24,6 +24,11 @@ pub struct DensityMap {
     dissection: FixedDissection,
     /// Feature area per tile, row-major `[iy * nx + ix]`.
     area: Vec<i64>,
+    /// Summed-area table over `area`, `(nx + 1) x (ny + 1)` row-major:
+    /// `prefix[iy * (nx + 1) + ix]` is the total area of tiles in
+    /// `[0, ix) x [0, iy)`. Rebuilt eagerly on every mutation (O(tiles))
+    /// so window queries are O(1) and the map stays `Sync`.
+    prefix: Vec<i64>,
 }
 
 /// Result of a window-density analysis.
@@ -58,18 +63,49 @@ impl DensityMap {
         for o in design.obstructions_on_layer(layer) {
             add_rect(o.rect);
         }
-        Self {
-            dissection: *dissection,
-            area,
-        }
+        Self::from_areas(*dissection, area)
     }
 
     /// An all-zero map over `dissection` (useful for accumulating fill).
     pub fn zeros(dissection: &FixedDissection) -> Self {
-        Self {
-            dissection: *dissection,
-            area: vec![0; dissection.tiles().len()],
+        let n = dissection.tiles().len();
+        Self::from_areas(*dissection, vec![0; n])
+    }
+
+    /// Builds a map from per-tile areas, computing the summed-area table.
+    fn from_areas(dissection: FixedDissection, area: Vec<i64>) -> Self {
+        let mut map = Self {
+            dissection,
+            area,
+            prefix: Vec::new(),
+        };
+        map.rebuild_prefix();
+        map
+    }
+
+    /// Recomputes the summed-area table from `area` in O(tiles).
+    fn rebuild_prefix(&mut self) {
+        let grid = self.dissection.tiles();
+        let (nx, ny) = (grid.nx(), grid.ny());
+        self.prefix.clear();
+        self.prefix.resize((nx + 1) * (ny + 1), 0);
+        for iy in 0..ny {
+            let mut row_sum = 0i64;
+            for ix in 0..nx {
+                row_sum += self.area[iy * nx + ix];
+                self.prefix[(iy + 1) * (nx + 1) + ix + 1] =
+                    self.prefix[iy * (nx + 1) + ix + 1] + row_sum;
+            }
         }
+    }
+
+    /// Sum of feature area over the half-open tile block
+    /// `[x0, x1) x [y0, y1)` in O(1) via the summed-area table.
+    fn block_area(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        let stride = self.dissection.tiles().nx() + 1;
+        self.prefix[y1 * stride + x1] + self.prefix[y0 * stride + x0]
+            - self.prefix[y0 * stride + x1]
+            - self.prefix[y1 * stride + x0]
     }
 
     fn index_of(grid: &pilfill_geom::Grid, (ix, iy): CellIndex) -> usize {
@@ -94,11 +130,30 @@ impl DensityMap {
     pub fn add_tile_area(&mut self, cell: CellIndex, delta: i64) {
         let idx = Self::index_of(&self.dissection.tiles(), cell);
         self.area[idx] += delta;
+        self.rebuild_prefix();
     }
 
-    /// Sum of feature area over a window.
+    /// Adds feature area to many tiles with a single summed-area rebuild
+    /// (the batched form of [`DensityMap::add_tile_area`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile index is out of range.
+    pub fn add_tile_areas(&mut self, deltas: impl IntoIterator<Item = (CellIndex, i64)>) {
+        let grid = self.dissection.tiles();
+        for (cell, delta) in deltas {
+            self.area[Self::index_of(&grid, cell)] += delta;
+        }
+        self.rebuild_prefix();
+    }
+
+    /// Sum of feature area over a window, O(1) via the summed-area table.
     pub fn window_area(&self, w: Window) -> i64 {
-        w.tiles().map(|c| self.tile_area(c)).sum()
+        let grid = self.dissection.tiles();
+        let (ax, ay) = w.anchor;
+        let x1 = (ax + w.r).min(grid.nx());
+        let y1 = (ay + w.r).min(grid.ny());
+        self.block_area(ax.min(x1), ay.min(y1), x1, y1)
     }
 
     /// Density (feature area / geometric area) of a window.
@@ -123,15 +178,14 @@ impl DensityMap {
             self.dissection, other.dissection,
             "cannot combine maps over different dissections"
         );
-        DensityMap {
-            dissection: self.dissection,
-            area: self
-                .area
+        DensityMap::from_areas(
+            self.dissection,
+            self.area
                 .iter()
                 .zip(&other.area)
                 .map(|(a, b)| a + b)
                 .collect(),
-        }
+        )
     }
 
     /// Min/max/variation analysis over all windows.
@@ -249,14 +303,54 @@ mod tests {
         assert_eq!(total.tile_area((0, 0)), 2 * map.tile_area((0, 0)));
     }
 
+    /// Reference implementation: naive per-tile summation over the window.
+    fn naive_window_area(map: &DensityMap, w: Window) -> i64 {
+        w.tiles().map(|c| map.tile_area(c)).sum()
+    }
+
+    #[test]
+    fn prefix_sum_matches_naive_on_randomized_maps() {
+        use pilfill_prng::{Rng, SeedableRng};
+        let mut rng = pilfill_prng::rngs::StdRng::seed_from_u64(0xD1CE);
+        // Mix of square and ragged grids, several r values.
+        let cases = [
+            (Rect::new(0, 0, 32_000, 32_000), 8_000i64, 2usize),
+            (Rect::new(0, 0, 64_000, 64_000), 16_000, 4),
+            (Rect::new(0, 0, 10_500, 9_100), 4_000, 2),
+            (Rect::new(-5_000, -3_000, 27_000, 29_000), 8_000, 4),
+            (Rect::new(0, 0, 24_000, 24_000), 24_000, 3),
+        ];
+        for (die, window, r) in cases {
+            let dis = FixedDissection::new(die, window, r).expect("valid dissection");
+            let mut map = DensityMap::zeros(&dis);
+            let grid = dis.tiles();
+            map.add_tile_areas(grid.indices().map(|c| (c, rng.gen_range(0..1_000_000i64))));
+            for w in dis.windows() {
+                assert_eq!(
+                    map.window_area(w),
+                    naive_window_area(&map, w),
+                    "window {w:?} under {die:?} w={window} r={r}"
+                );
+            }
+            // Mutate a few tiles one at a time and re-verify: the table
+            // must track incremental updates, not just bulk builds.
+            for _ in 0..8 {
+                let ix = rng.gen_range(0..grid.nx());
+                let iy = rng.gen_range(0..grid.ny());
+                map.add_tile_area((ix, iy), rng.gen_range(-500_000..500_000i64));
+            }
+            for w in dis.windows() {
+                assert_eq!(map.window_area(w), naive_window_area(&map, w));
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "different dissections")]
     fn sum_with_mismatched_dissections_panics() {
         let d = one_wire_design();
         let a = DensityMap::zeros(&dissection(d.die));
-        let b = DensityMap::zeros(
-            &FixedDissection::new(d.die, 16_000, 2).expect("valid"),
-        );
+        let b = DensityMap::zeros(&FixedDissection::new(d.die, 16_000, 2).expect("valid"));
         let _ = a.sum_with(&b);
     }
 }

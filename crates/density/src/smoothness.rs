@@ -123,7 +123,12 @@ mod tests {
         DesignBuilder::new("lumpy", Rect::new(0, 0, 32_000, 32_000))
             .layer("m3", Dir::Horizontal)
             .net("n", Point::new(300, 1_000))
-            .segment("m3", Point::new(300, 1_000), Point::new(8_000, 1_000), 2_000)
+            .segment(
+                "m3",
+                Point::new(300, 1_000),
+                Point::new(8_000, 1_000),
+                2_000,
+            )
             .sink(Point::new(8_000, 1_000))
             .build()
             .expect("valid")

@@ -1,9 +1,11 @@
-//! Property-based tests for the density engine: window sums against brute
-//! force, and budgeter invariants over random density landscapes.
+//! Randomized tests for the density engine: window sums against brute
+//! force, and budgeter invariants over random density landscapes. Driven
+//! by the in-repo seeded PRNG so every run explores the same cases.
 
 use pilfill_density::{lp_budget, montecarlo_budget, DensityMap, FixedDissection};
 use pilfill_geom::Rect;
-use proptest::prelude::*;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 
 const FEATURE_AREA: i64 = 90_000; // 300 x 300
 
@@ -12,92 +14,96 @@ fn dissection() -> FixedDissection {
 }
 
 /// A random density map: arbitrary per-tile areas within the tile size.
-fn map_strategy() -> impl Strategy<Value = DensityMap> {
+fn rand_map(rng: &mut StdRng) -> DensityMap {
     let dis = dissection();
-    let n = dis.tiles().len();
-    prop::collection::vec(0i64..8_000_000, n..=n).prop_map(move |areas| {
-        let mut map = DensityMap::zeros(&dis);
-        for (i, &a) in areas.iter().enumerate() {
-            let cell = (i % dis.tiles().nx(), i / dis.tiles().nx());
-            map.add_tile_area(cell, a);
-        }
-        map
-    })
+    let mut map = DensityMap::zeros(&dis);
+    let nx = dis.tiles().nx();
+    map.add_tile_areas((0..dis.tiles().len()).map(|i| {
+        let cell = (i % nx, i / nx);
+        (cell, rng.gen_range(0i64..8_000_000))
+    }));
+    map
 }
 
-fn slack_strategy() -> impl Strategy<Value = Vec<u32>> {
-    let n = dissection().tiles().len();
-    prop::collection::vec(0u32..60, n..=n)
+fn rand_slack(rng: &mut StdRng) -> Vec<u32> {
+    (0..dissection().tiles().len())
+        .map(|_| rng.gen_range(0u32..60))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn window_area_matches_brute_force(map in map_strategy()) {
+#[test]
+fn window_area_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xDE_0001);
+    for _ in 0..48 {
+        let map = rand_map(&mut rng);
         let dis = *map.dissection();
         for w in dis.windows() {
             let brute: i64 = w.tiles().map(|c| map.tile_area(c)).sum();
-            prop_assert_eq!(map.window_area(w), brute);
+            assert_eq!(map.window_area(w), brute);
         }
     }
+}
 
-    #[test]
-    fn analysis_bounds_are_consistent(map in map_strategy()) {
+#[test]
+fn analysis_bounds_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xDE_0002);
+    for _ in 0..48 {
+        let map = rand_map(&mut rng);
         let a = map.analyze();
-        prop_assert!(a.min_window_density <= a.mean_window_density + 1e-12);
-        prop_assert!(a.mean_window_density <= a.max_window_density + 1e-12);
-        prop_assert!((a.variation - (a.max_window_density - a.min_window_density)).abs() < 1e-12);
+        assert!(a.min_window_density <= a.mean_window_density + 1e-12);
+        assert!(a.mean_window_density <= a.max_window_density + 1e-12);
+        assert!((a.variation - (a.max_window_density - a.min_window_density)).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn montecarlo_budget_invariants(
-        map in map_strategy(),
-        slack in slack_strategy(),
-        bound in 0.1f64..0.6,
-    ) {
+#[test]
+fn montecarlo_budget_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xDE_0003);
+    for _ in 0..48 {
+        let map = rand_map(&mut rng);
+        let slack = rand_slack(&mut rng);
+        let bound = rng.gen_range(0.1f64..0.6);
         let budget = montecarlo_budget(&map, &slack, FEATURE_AREA, bound).expect("mc");
         let dis = *map.dissection();
         let nx = dis.tiles().nx();
         // Slack respected.
         for (cell, f) in budget.iter() {
-            prop_assert!(f <= slack[cell.1 * nx + cell.0]);
+            assert!(f <= slack[cell.1 * nx + cell.0]);
         }
         // Window bound respected for added fill (windows already above the
         // bound receive nothing extra beyond it).
         let mut after = map.clone();
-        for (cell, f) in budget.iter() {
-            after.add_tile_area(cell, f as i64 * FEATURE_AREA);
-        }
+        after.add_tile_areas(
+            budget
+                .iter()
+                .map(|(cell, f)| (cell, f as i64 * FEATURE_AREA)),
+        );
         for w in dis.windows() {
             let before_d = map.window_density(w);
             let after_d = after.window_density(w);
-            prop_assert!(
+            assert!(
                 after_d <= bound.max(before_d) + 1e-9,
                 "window over bound: {before_d} -> {after_d} (bound {bound})"
             );
         }
         // Monotone improvement of the minimum.
-        prop_assert!(
-            after.analyze().min_window_density + 1e-12
-                >= map.analyze().min_window_density
-        );
+        assert!(after.analyze().min_window_density + 1e-12 >= map.analyze().min_window_density);
     }
+}
 
-    #[test]
-    fn lp_budget_never_worse_min_density_than_mc(
-        map in map_strategy(),
-        bound in 0.2f64..0.5,
-    ) {
+#[test]
+fn lp_budget_never_worse_min_density_than_mc() {
+    let mut rng = StdRng::seed_from_u64(0xDE_0004);
+    for _ in 0..24 {
+        let map = rand_map(&mut rng);
+        let bound = rng.gen_range(0.2f64..0.5);
         // Uniform generous slack so the LP is exercised, small grid.
         let slack = vec![40u32; map.dissection().tiles().len()];
         let lp = lp_budget(&map, &slack, FEATURE_AREA, bound).expect("lp");
         let mc = montecarlo_budget(&map, &slack, FEATURE_AREA, bound).expect("mc");
         let apply = |b: &pilfill_density::FillBudget| {
             let mut m = map.clone();
-            for (cell, f) in b.iter() {
-                m.add_tile_area(cell, f as i64 * FEATURE_AREA);
-            }
+            m.add_tile_areas(b.iter().map(|(cell, f)| (cell, f as i64 * FEATURE_AREA)));
             m.analyze().min_window_density
         };
         // The LP relaxation bounds the best achievable min density, but
@@ -106,9 +112,11 @@ proptest! {
         // construction.
         let window_area = 8_000f64 * 8_000.0;
         let tolerance = 8.0 * FEATURE_AREA as f64 / window_area;
-        prop_assert!(
+        assert!(
             apply(&lp) >= apply(&mc) - tolerance,
-            "lp {} well below mc {}", apply(&lp), apply(&mc)
+            "lp {} well below mc {}",
+            apply(&lp),
+            apply(&mc)
         );
     }
 }

@@ -257,7 +257,10 @@ mod tests {
     #[test]
     fn cells_overlapping_disjoint_rect_is_empty() {
         let g = grid();
-        assert_eq!(g.cells_overlapping(&Rect::new(2000, 0, 2100, 100)).count(), 0);
+        assert_eq!(
+            g.cells_overlapping(&Rect::new(2000, 0, 2100, 100)).count(),
+            0
+        );
         assert_eq!(g.cells_overlapping(&Rect::empty()).count(), 0);
     }
 
@@ -266,7 +269,10 @@ mod tests {
         let g = grid();
         assert_eq!(g.columns_overlapping(Interval::new(0, 250)), Some((0, 0)));
         assert_eq!(g.columns_overlapping(Interval::new(0, 251)), Some((0, 1)));
-        assert_eq!(g.columns_overlapping(Interval::new(999, 1500)), Some((3, 3)));
+        assert_eq!(
+            g.columns_overlapping(Interval::new(999, 1500)),
+            Some((3, 3))
+        );
         assert_eq!(g.columns_overlapping(Interval::new(1000, 1500)), None);
         assert_eq!(g.rows_overlapping(Interval::new(599, 600)), Some((2, 2)));
     }

@@ -72,9 +72,7 @@ impl IntervalSet {
         // Find the run of existing intervals that touch or overlap `iv`.
         let start = self.ivs.partition_point(|e| e.hi < iv.lo);
         let end = self.ivs.partition_point(|e| e.lo <= iv.hi);
-        let merged = self.ivs[start..end]
-            .iter()
-            .fold(iv, |acc, e| acc.hull(*e));
+        let merged = self.ivs[start..end].iter().fold(iv, |acc, e| acc.hull(*e));
         self.ivs.splice(start..end, std::iter::once(merged));
     }
 
@@ -137,10 +135,7 @@ impl IntervalSet {
 
     /// Total length of `iv` covered by the set.
     pub fn covered_len_within(&self, iv: Interval) -> Coord {
-        self.ivs
-            .iter()
-            .map(|e| e.intersection(iv).len())
-            .sum()
+        self.ivs.iter().map(|e| e.intersection(iv).len()).sum()
     }
 }
 

@@ -1,113 +1,157 @@
-//! Property-based tests for the geometry kernel.
+//! Randomized property tests for the geometry kernel, driven by the
+//! in-repo deterministic PRNG (seeded, so every run explores the same
+//! cases).
 
 use pilfill_geom::{Coord, Grid, Interval, IntervalSet, Rect};
-use proptest::prelude::*;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (-1000i64..1000, 0i64..200).prop_map(|(lo, len)| Interval::new(lo, lo + len))
+const CASES: usize = 256;
+
+fn rand_interval(rng: &mut StdRng) -> Interval {
+    let lo = rng.gen_range(-1000i64..1000);
+    let len = rng.gen_range(0i64..200);
+    Interval::new(lo, lo + len)
 }
 
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (-500i64..500, -500i64..500, 0i64..300, 0i64..300)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+fn rand_rect(rng: &mut StdRng) -> Rect {
+    let x = rng.gen_range(-500i64..500);
+    let y = rng.gen_range(-500i64..500);
+    let w = rng.gen_range(0i64..300);
+    let h = rng.gen_range(0i64..300);
+    Rect::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    #[test]
-    fn interval_intersection_commutes(a in interval_strategy(), b in interval_strategy()) {
-        prop_assert_eq!(a.intersection(b), b.intersection(a));
-    }
+fn rand_intervals(rng: &mut StdRng, max: usize) -> Vec<Interval> {
+    let n = rng.gen_range(0usize..max);
+    (0..n).map(|_| rand_interval(rng)).collect()
+}
 
-    #[test]
-    fn interval_intersection_shorter_than_inputs(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn interval_intersection_commutes_and_shrinks() {
+    let mut rng = StdRng::seed_from_u64(0x6E01);
+    for _ in 0..CASES {
+        let a = rand_interval(&mut rng);
+        let b = rand_interval(&mut rng);
         let i = a.intersection(b);
-        prop_assert!(i.len() <= a.len());
-        prop_assert!(i.len() <= b.len());
+        assert_eq!(i, b.intersection(a));
+        assert!(i.len() <= a.len());
+        assert!(i.len() <= b.len());
     }
+}
 
-    #[test]
-    fn interval_hull_contains_both(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn interval_hull_contains_both() {
+    let mut rng = StdRng::seed_from_u64(0x6E02);
+    for _ in 0..CASES {
+        let a = rand_interval(&mut rng);
+        let b = rand_interval(&mut rng);
         let h = a.hull(b);
-        prop_assert!(h.contains_interval(a));
-        prop_assert!(h.contains_interval(b));
+        assert!(h.contains_interval(a));
+        assert!(h.contains_interval(b));
     }
+}
 
-    #[test]
-    fn rect_intersection_area_bounded(a in rect_strategy(), b in rect_strategy()) {
+#[test]
+fn rect_intersection_area_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x6E03);
+    for _ in 0..CASES {
+        let a = rand_rect(&mut rng);
+        let b = rand_rect(&mut rng);
         let i = a.intersection(&b);
-        prop_assert!(i.area() <= a.area().min(b.area()));
-        prop_assert!(a.contains_rect(&i));
-        prop_assert!(b.contains_rect(&i));
+        assert!(i.area() <= a.area().min(b.area()));
+        assert!(a.contains_rect(&i));
+        assert!(b.contains_rect(&i));
     }
+}
 
-    #[test]
-    fn rect_transpose_preserves_area(r in rect_strategy()) {
-        prop_assert_eq!(r.transposed().area(), r.area());
-        prop_assert_eq!(r.transposed().transposed(), r);
+#[test]
+fn rect_transpose_preserves_area() {
+    let mut rng = StdRng::seed_from_u64(0x6E04);
+    for _ in 0..CASES {
+        let r = rand_rect(&mut rng);
+        assert_eq!(r.transposed().area(), r.area());
+        assert_eq!(r.transposed().transposed(), r);
     }
+}
 
-    #[test]
-    fn interval_set_insert_then_contains(
-        ivs in prop::collection::vec(interval_strategy(), 0..20),
-        probe in -1000i64..1200,
-    ) {
+#[test]
+fn interval_set_insert_then_contains() {
+    let mut rng = StdRng::seed_from_u64(0x6E05);
+    for _ in 0..CASES {
+        let ivs = rand_intervals(&mut rng, 20);
+        let probe = rng.gen_range(-1000i64..1200);
         let set: IntervalSet = ivs.iter().copied().collect();
         let brute = ivs.iter().any(|iv| iv.contains(probe));
-        prop_assert_eq!(set.contains(probe), brute);
+        assert_eq!(set.contains(probe), brute);
     }
+}
 
-    #[test]
-    fn interval_set_len_matches_brute_force(
-        ivs in prop::collection::vec(interval_strategy(), 0..20),
-    ) {
+#[test]
+fn interval_set_len_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x6E06);
+    for _ in 0..64 {
+        let ivs = rand_intervals(&mut rng, 20);
         let set: IntervalSet = ivs.iter().copied().collect();
         // Brute force: count covered unit cells in the relevant range.
         let brute: Coord = (-1000..1200)
             .filter(|&x| ivs.iter().any(|iv| iv.contains(x)))
             .count() as Coord;
-        prop_assert_eq!(set.total_len(), brute);
+        assert_eq!(set.total_len(), brute);
     }
+}
 
-    #[test]
-    fn interval_set_remove_then_disjoint(
-        ivs in prop::collection::vec(interval_strategy(), 1..15),
-        cut in interval_strategy(),
-    ) {
+#[test]
+fn interval_set_remove_then_disjoint() {
+    let mut rng = StdRng::seed_from_u64(0x6E07);
+    for _ in 0..CASES {
+        let mut ivs = rand_intervals(&mut rng, 15);
+        ivs.push(rand_interval(&mut rng)); // at least one
+        let cut = rand_interval(&mut rng);
         let mut set: IntervalSet = ivs.iter().copied().collect();
         set.remove(cut);
         for iv in set.iter() {
-            prop_assert!(!iv.overlaps(cut));
-            prop_assert!(!iv.is_empty());
+            assert!(!iv.overlaps(cut));
+            assert!(!iv.is_empty());
         }
         // Still sorted and disjoint.
         let v = set.to_vec();
         for w in v.windows(2) {
-            prop_assert!(w[0].hi < w[1].lo, "intervals must stay separated: {} vs {}", w[0], w[1]);
+            assert!(
+                w[0].hi < w[1].lo,
+                "intervals must stay separated: {} vs {}",
+                w[0],
+                w[1]
+            );
         }
     }
+}
 
-    #[test]
-    fn interval_set_gaps_partition_query(
-        ivs in prop::collection::vec(interval_strategy(), 0..15),
-        q in interval_strategy(),
-    ) {
+#[test]
+fn interval_set_gaps_partition_query() {
+    let mut rng = StdRng::seed_from_u64(0x6E08);
+    for _ in 0..CASES {
+        let ivs = rand_intervals(&mut rng, 15);
+        let q = rand_interval(&mut rng);
         let set: IntervalSet = ivs.iter().copied().collect();
         let gaps = set.gaps_within(q);
         let gap_len: Coord = gaps.iter().map(Interval::len).sum();
-        prop_assert_eq!(gap_len + set.covered_len_within(q), q.len());
+        assert_eq!(gap_len + set.covered_len_within(q), q.len());
         for g in &gaps {
-            prop_assert!(q.contains_interval(*g));
+            assert!(q.contains_interval(*g));
             for x in [g.lo, g.hi - 1] {
-                prop_assert!(!set.contains(x));
+                assert!(!set.contains(x));
             }
         }
     }
+}
 
-    #[test]
-    fn grid_cells_overlapping_matches_brute(
-        rect in rect_strategy(),
-        pitch in 1i64..100,
-    ) {
+#[test]
+fn grid_cells_overlapping_matches_brute() {
+    let mut rng = StdRng::seed_from_u64(0x6E09);
+    for _ in 0..64 {
+        let rect = rand_rect(&mut rng);
+        let pitch = rng.gen_range(1i64..100);
         let g = Grid::square(Rect::new(-200, -200, 400, 350), pitch);
         let mut fast: Vec<_> = g.cells_overlapping(&rect).collect();
         let mut brute: Vec<_> = g
@@ -116,15 +160,19 @@ proptest! {
             .collect();
         fast.sort_unstable();
         brute.sort_unstable();
-        prop_assert_eq!(fast, brute);
+        assert_eq!(fast, brute);
     }
+}
 
-    #[test]
-    fn grid_cell_areas_sum_to_bounds(
-        w in 1i64..500, h in 1i64..500, pitch in 1i64..120,
-    ) {
+#[test]
+fn grid_cell_areas_sum_to_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x6E0A);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1i64..500);
+        let h = rng.gen_range(1i64..500);
+        let pitch = rng.gen_range(1i64..120);
         let g = Grid::square(Rect::new(0, 0, w, h), pitch);
         let total: i64 = g.indices().map(|c| g.cell_rect(c).area()).sum();
-        prop_assert_eq!(total, (w * h) as i64);
+        assert_eq!(total, w * h);
     }
 }

@@ -72,10 +72,10 @@ impl DesignBuilder {
     #[must_use]
     pub fn obstruction(mut self, layer: &str, rect: Rect) -> Self {
         match self.design.layer_by_name(layer) {
-            Some(id) => self.design.obstructions.push(crate::Obstruction {
-                layer: id,
-                rect,
-            }),
+            Some(id) => self
+                .design
+                .obstructions
+                .push(crate::Obstruction { layer: id, rect }),
             None => {
                 self.error
                     .get_or_insert_with(|| LayoutError::UnknownLayer(layer.to_string()));

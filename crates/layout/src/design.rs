@@ -176,10 +176,7 @@ pub struct Design {
 impl Design {
     /// Looks up a layer by name.
     pub fn layer_by_name(&self, name: &str) -> Option<LayerId> {
-        self.layers
-            .iter()
-            .position(|l| l.name == name)
-            .map(LayerId)
+        self.layers.iter().position(|l| l.name == name).map(LayerId)
     }
 
     /// Iterates all segments on `layer` across all nets, with their net
@@ -211,10 +208,7 @@ impl Design {
     }
 
     /// Iterates the obstructions on `layer`.
-    pub fn obstructions_on_layer(
-        &self,
-        layer: LayerId,
-    ) -> impl Iterator<Item = &Obstruction> + '_ {
+    pub fn obstructions_on_layer(&self, layer: LayerId) -> impl Iterator<Item = &Obstruction> + '_ {
         self.obstructions.iter().filter(move |o| o.layer == layer)
     }
 
@@ -362,14 +356,20 @@ mod tests {
 
     #[test]
     fn tech_validation_rejects_bad_values() {
-        let mut t = Tech::default();
-        t.sheet_res_ohm_sq = 0.0;
+        let t = Tech {
+            sheet_res_ohm_sq: 0.0,
+            ..Tech::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = Tech::default();
-        t.eps_r = 0.5;
+        let t = Tech {
+            eps_r: 0.5,
+            ..Tech::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = Tech::default();
-        t.thickness = 0;
+        let t = Tech {
+            thickness: 0,
+            ..Tech::default()
+        };
         assert!(t.validate().is_err());
     }
 

@@ -50,7 +50,10 @@ impl std::fmt::Display for LayoutError {
                 write!(f, "net `{net}` has a zero-length or zero-width segment")
             }
             LayoutError::DisconnectedNet { net } => {
-                write!(f, "net `{net}` segments do not form a tree rooted at the source")
+                write!(
+                    f,
+                    "net `{net}` segments do not form a tree rooted at the source"
+                )
             }
             LayoutError::DanglingSink { net } => {
                 write!(f, "net `{net}` has a sink not on any segment endpoint")

@@ -62,12 +62,7 @@ impl Design {
                 let _ = writeln!(
                     out,
                     "  SEG {} {} {} {} {} {}",
-                    self.layers[s.layer.0].name,
-                    s.start.x,
-                    s.start.y,
-                    s.end.x,
-                    s.end.y,
-                    s.width
+                    self.layers[s.layer.0].name, s.start.x, s.start.y, s.end.x, s.end.y, s.width
                 );
             }
             for sink in &net.sinks {
@@ -133,9 +128,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse(mut self) -> Result<Design, LayoutError> {
-        let (line, toks) = self
-            .next()
-            .ok_or_else(|| self.err(1, "empty input"))?;
+        let (line, toks) = self.next().ok_or_else(|| self.err(1, "empty input"))?;
         if toks != ["PILFILL", "1"] {
             return Err(self.err(line, "expected header `PILFILL 1`"));
         }
@@ -242,10 +235,9 @@ impl<'a> Parser<'a> {
                         .as_mut()
                         .ok_or_else(|| self.err(line, "SEG outside NET"))?;
                     if toks.len() != 7 {
-                        return Err(self.err(
-                            line,
-                            "expected `SEG <layer> <x0> <y0> <x1> <y1> <width>`",
-                        ));
+                        return Err(
+                            self.err(line, "expected `SEG <layer> <x0> <y0> <x1> <y1> <width>`")
+                        );
                     }
                     let layer = layers
                         .iter()
@@ -396,7 +388,8 @@ mod tests {
 
     #[test]
     fn unknown_layer_in_seg_rejected() {
-        let text = "PILFILL 1\nDIE 0 0 10 10\nNET n SOURCE 0 0\nSEG mX 0 0 5 0 2\nENDNET\nENDDESIGN\n";
+        let text =
+            "PILFILL 1\nDIE 0 0 10 10\nNET n SOURCE 0 0\nSEG mX 0 0 5 0 2\nENDNET\nENDDESIGN\n";
         assert!(matches!(
             Design::from_text(text),
             Err(LayoutError::UnknownLayer(_))

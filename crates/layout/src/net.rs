@@ -183,11 +183,8 @@ impl NetTopology {
         }
 
         // Sinks must be segment endpoints or the source.
-        let mut endpoint_nodes: Vec<Point> = net
-            .segments
-            .iter()
-            .flat_map(|s| [s.start, s.end])
-            .collect();
+        let mut endpoint_nodes: Vec<Point> =
+            net.segments.iter().flat_map(|s| [s.start, s.end]).collect();
         endpoint_nodes.push(net.source);
         for sink in &net.sinks {
             if !endpoint_nodes.contains(sink) {

@@ -18,8 +18,8 @@
 
 use crate::{Design, FillRules, Layer, LayerId, Net, Segment, Tech};
 use pilfill_geom::{Coord, Dir, Interval, IntervalSet, Point, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Parameters of the synthetic layout generator.
@@ -263,8 +263,12 @@ impl Generator<'_> {
         for _attempt in 0..20 {
             let w = self.rng.gen_range(die_w / 10..die_w / 5);
             let h = self.rng.gen_range(die_w / 10..die_w / 5);
-            let x0 = self.rng.gen_range(self.die.left + 500..self.die.right - w - 500);
-            let y0 = self.rng.gen_range(self.die.bottom + 500..self.die.top - h - 500);
+            let x0 = self
+                .rng
+                .gen_range(self.die.left + 500..self.die.right - w - 500);
+            let y0 = self
+                .rng
+                .gen_range(self.die.bottom + 500..self.die.top - h - 500);
             let rect = Rect::new(x0, y0, x0 + w, y0 + h);
             // Which tracks does it cover (with clearance)?
             let lo = (rect.bottom - self.die.bottom) / self.tracks.pitch - 2;
@@ -272,10 +276,9 @@ impl Generator<'_> {
             let span = rect.x_span();
             let tracks: Vec<i64> = (lo.max(0)..=hi.min(self.tracks.num_tracks() - 1)).collect();
             let free = tracks.iter().all(|&t| {
-                self.tracks
-                    .blocked
-                    .get(&t)
-                    .map_or(true, |set| set.covered_len_within(span.grown(self.tracks.clearance)) == 0)
+                self.tracks.blocked.get(&t).is_none_or(|set| {
+                    set.covered_len_within(span.grown(self.tracks.clearance)) == 0
+                })
             });
             if !free {
                 continue;
@@ -384,8 +387,8 @@ impl Generator<'_> {
                     if branches.iter().any(|b| (b.jx - jx).abs() < w) {
                         continue;
                     }
-                    let dt = self.rng.gen_range(2..12i64)
-                        * if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                    let dt =
+                        self.rng.gen_range(2..12i64) * if self.rng.gen_bool(0.5) { 1 } else { -1 };
                     let bt = t + dt;
                     if bt < 0 || bt >= self.tracks.num_tracks() {
                         continue;
@@ -517,9 +520,7 @@ mod tests {
         let t1 = synthesize(&SynthConfig::t1());
         let t2 = synthesize(&SynthConfig::t2());
         let m3 = LayerId(0);
-        let density = |d: &Design| {
-            d.metal_area_on_layer(m3) as f64 / d.die.area() as f64
-        };
+        let density = |d: &Design| d.metal_area_on_layer(m3) as f64 / d.die.area() as f64;
         assert!(
             density(&t1) > density(&t2),
             "t1 {} <= t2 {}",

@@ -1,85 +1,91 @@
-//! Property tests: text-format round trips and generator invariants over
-//! random seeds and configurations.
+//! Randomized tests: text-format round trips and generator invariants
+//! over random seeds and configurations, driven by the in-repo seeded
+//! PRNG so every run explores the same cases.
 
 use pilfill_layout::synth::{synthesize, SynthConfig};
 use pilfill_layout::{Design, LayerId};
-use proptest::prelude::*;
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 
-fn config_strategy() -> impl Strategy<Value = SynthConfig> {
-    (
-        0u64..10_000,
-        1usize..3,
-        2usize..5,
-        0usize..8,
-        0usize..10,
-        0.0f64..1.0,
-    )
-        .prop_map(
-            |(seed, num_buses, bus_bits, num_tree_nets, num_local_nets, hotspot)| SynthConfig {
-                name: format!("prop-{seed}"),
-                die_size: 30_000,
-                seed,
-                num_buses,
-                bus_bits,
-                num_tree_nets,
-                num_local_nets,
-                wire_width: 280,
-                wire_space: 280,
-                hotspot_fraction: hotspot,
-                num_macros: seed as usize % 3,
-                tech: Default::default(),
-                rules: Default::default(),
-            },
-        )
+fn rand_config(rng: &mut StdRng) -> SynthConfig {
+    let seed = rng.gen_range(0u64..10_000);
+    SynthConfig {
+        name: format!("prop-{seed}"),
+        die_size: 30_000,
+        seed,
+        num_buses: rng.gen_range(1usize..3),
+        bus_bits: rng.gen_range(2usize..5),
+        num_tree_nets: rng.gen_range(0usize..8),
+        num_local_nets: rng.gen_range(0usize..10),
+        wire_width: 280,
+        wire_space: 280,
+        hotspot_fraction: rng.gen_range(0.0f64..1.0),
+        num_macros: seed as usize % 3,
+        tech: Default::default(),
+        rules: Default::default(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_designs_always_validate(cfg in config_strategy()) {
-        let d = synthesize(&cfg);
-        prop_assert!(d.validate().is_ok());
+#[test]
+fn generated_designs_always_validate() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0001);
+    for _ in 0..48 {
+        let d = synthesize(&rand_config(&mut rng));
+        assert!(d.validate().is_ok());
     }
+}
 
-    #[test]
-    fn text_round_trip_is_identity(cfg in config_strategy()) {
-        let d = synthesize(&cfg);
+#[test]
+fn text_round_trip_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0002);
+    for _ in 0..48 {
+        let d = synthesize(&rand_config(&mut rng));
         let text = d.to_text();
         let back = Design::from_text(&text).expect("parse back");
-        prop_assert_eq!(d, back);
+        assert_eq!(d, back);
     }
+}
 
-    #[test]
-    fn generation_is_deterministic(cfg in config_strategy()) {
-        prop_assert_eq!(synthesize(&cfg), synthesize(&cfg));
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0003);
+    for _ in 0..24 {
+        let cfg = rand_config(&mut rng);
+        assert_eq!(synthesize(&cfg), synthesize(&cfg));
     }
+}
 
-    #[test]
-    fn fill_layer_wires_never_overlap(cfg in config_strategy()) {
-        let d = synthesize(&cfg);
+#[test]
+fn fill_layer_wires_never_overlap() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0004);
+    for _ in 0..48 {
+        let d = synthesize(&rand_config(&mut rng));
         let rects: Vec<_> = d
             .segments_on_layer(LayerId(0))
             .map(|(_, _, s)| s.rect())
             .collect();
         for (i, a) in rects.iter().enumerate() {
             for b in &rects[i + 1..] {
-                prop_assert!(!a.overlaps(b), "overlap {a} vs {b}");
+                assert!(!a.overlaps(b), "overlap {a} vs {b}");
             }
         }
     }
+}
 
-    #[test]
-    fn every_net_topology_resolves(cfg in config_strategy()) {
-        let d = synthesize(&cfg);
+#[test]
+fn every_net_topology_resolves() {
+    let mut rng = StdRng::seed_from_u64(0x1A_0005);
+    for _ in 0..48 {
+        let d = synthesize(&rand_config(&mut rng));
         for net in &d.nets {
             let topo = net.topology().expect("valid topology");
-            prop_assert_eq!(topo.order.len(), net.segments.len());
+            assert_eq!(topo.order.len(), net.segments.len());
             // Every sink contributes weight along at least one segment,
             // unless the net has segments only on the source (impossible
-            // here: every generated net has >= 1 segment and sinks at ends).
+            // here: every generated net has >= 1 segment and sinks at
+            // ends).
             let total: u32 = topo.downstream_sinks.iter().sum();
-            prop_assert!(total as usize >= net.sinks.len());
+            assert!(total as usize >= net.sinks.len());
         }
     }
 }

@@ -1,0 +1,396 @@
+//! Deterministic pseudo-random numbers without external dependencies.
+//!
+//! The workspace previously depended on the `rand` crate, which cannot be
+//! fetched in offline build environments. This crate replaces it with two
+//! small, well-known generators:
+//!
+//! - [`SplitMix64`]: a 64-bit mixer used to expand a single `u64` seed into
+//!   generator state (the standard seeding procedure recommended by the
+//!   xoshiro authors);
+//! - [`Xoshiro256PlusPlus`]: the xoshiro256++ generator (Blackman &
+//!   Vigna), a fast all-purpose generator with 256 bits of state.
+//!
+//! The public surface mirrors the subset of `rand` the workspace uses, so
+//! call sites only swap the crate path: [`StdRng`], [`SeedableRng`],
+//! [`Rng`] (with `gen_range`, `gen_bool`, `gen`) and a `rngs` module alias.
+//! Streams are fully determined by the seed: the same seed always yields
+//! the same sequence, on every platform, forever — a property the
+//! experiment tables rely on.
+
+/// SplitMix64: Sebastiano Vigna's 64-bit mixing generator. Primarily used
+/// here to derive xoshiro state from a single `u64` seed, but usable as a
+/// (weaker) standalone generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a raw seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (David Blackman and Sebastiano Vigna, public domain
+/// reference implementation), seeded through [`SplitMix64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands `seed` into 256 bits of state via SplitMix64.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let s = [
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+        ];
+        // SplitMix64 output is never all-zero across four draws for any
+        // seed, so the state is always valid.
+        Self { s }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Core generator interface: a source of 64-bit words.
+pub trait RngCore {
+    /// The next 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32-bit output (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a `u64` seed (mirrors `rand::SeedableRng`'s
+/// `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling methods (mirrors the used subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b` for integers, `a..b`
+    /// for floats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        standard_f64(self.next_u64()) < p
+    }
+
+    /// A sample from the "standard" distribution of `T`: uniform over the
+    /// full domain for integers/bool, uniform in `[0, 1)` for floats.
+    fn gen<T>(&mut self) -> T
+    where
+        T: Standard,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// `f64` in `[0, 1)` from the top 53 bits of a draw.
+fn standard_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+}
+
+/// Unbiased uniform integer in `[0, span)` via Lemire's multiply-shift
+/// method with rejection.
+///
+/// `span == 0` means the full 64-bit domain.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let low = m as u64;
+        if low < span {
+            // Reject the biased low region.
+            let threshold = span.wrapping_neg() % span;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Types with a "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one standard sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        standard_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / ((1u64 << 24) as f32))
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly (see [`Rng::gen_range`]).
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                // hi - lo + 1 wraps to 0 exactly for the full domain,
+                // which uniform_u64 handles.
+                let span = (hi as u64)
+                    .wrapping_sub(lo as u64)
+                    .wrapping_add(1);
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = standard_f64(rng.next_u64());
+        // Clamp guards the end-exclusive contract against round-off.
+        (self.start + u * (self.end - self.start))
+            .min(f64::from_bits(self.end.to_bits().wrapping_sub(1)).max(self.start))
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+///
+/// Named `StdRng` so call sites keep the familiar `rand` spelling; the
+/// stream is *not* the `rand` crate's (`rand`'s `StdRng` is explicitly not
+/// reproducible across versions anyway — this one is).
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_prng::{Rng, SeedableRng, StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let a: u64 = rng.gen_range(0..100);
+/// assert!(a < 100);
+/// let again: u64 = StdRng::seed_from_u64(7).gen_range(0..100);
+/// assert_eq!(a, again);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng(Xoshiro256PlusPlus);
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self(Xoshiro256PlusPlus::from_seed_u64(state))
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_seed_u64(state)
+    }
+}
+
+/// `rand`-style module alias so `use pilfill_prng::rngs::StdRng` works.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567 (from the public reference
+        // implementation).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256PlusPlus::from_seed_u64(42);
+        let mut b = Xoshiro256PlusPlus::from_seed_u64(42);
+        let mut c = Xoshiro256PlusPlus::from_seed_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-17..23);
+            assert!((-17..23).contains(&v));
+            let u: usize = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&u));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            // Expect 10_000 per bucket; allow 10% slop.
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_integer_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: u64 = rng.gen_range(0..=u64::MAX);
+        let _ = v; // full domain must not panic or loop
+        let w: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = w;
+        let x: i64 = rng.gen_range(i64::MIN..0);
+        assert!(x < 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u32 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!(!StdRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).gen_bool(1.0));
+    }
+
+    #[test]
+    fn standard_f64_is_half_open_unit() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = StdRng::seed_from_u64(77);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -58,9 +58,9 @@ pub fn annotate_net(net: &Net, tech: &Tech) -> Result<NetTiming, LayoutError> {
         .iter()
         .map(|s| tech.res_per_dbu(s.width) * s.length() as f64)
         .collect();
-    for i in 0..n {
+    for (i, slot) in out.iter_mut().enumerate() {
         let upstream: f64 = topo.upstream[i].iter().map(|sid| seg_res[sid.0]).sum();
-        out[i] = SegmentTiming {
+        *slot = SegmentTiming {
             res_per_dbu: tech.res_per_dbu(net.segments[i].width),
             upstream_res: upstream,
             weight: topo.downstream_sinks[i],
@@ -107,9 +107,7 @@ mod tests {
         let t = annotate_net(&net, &tech).expect("annotate");
         assert_eq!(t.segments[0].upstream_res, 0.0);
         assert!(t.segments[1].upstream_res > 0.0);
-        assert!(
-            (t.segments[2].upstream_res - 2.0 * t.segments[1].upstream_res).abs() < 1e-9
-        );
+        assert!((t.segments[2].upstream_res - 2.0 * t.segments[1].upstream_res).abs() < 1e-9);
         // Single sink at the end: every segment carries weight 1.
         assert!(t.segments.iter().all(|s| s.weight == 1));
     }

@@ -49,10 +49,7 @@ impl CouplingModel {
     /// from [`max_fill_features`] prevent this).
     pub fn f_exact(&self, m: u32, d: Coord, w: Coord) -> f64 {
         let remaining = d - m as i64 * w;
-        assert!(
-            remaining > 0,
-            "fill column over-full: m={m} w={w} d={d}"
-        );
+        assert!(remaining > 0, "fill column over-full: m={m} w={w} d={d}");
         self.eps * self.thickness_m / (remaining as f64 * METERS_PER_DBU)
     }
 

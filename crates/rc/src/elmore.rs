@@ -67,11 +67,7 @@ impl RcChain {
             rcum.push(acc);
         }
         (0..n)
-            .map(|k| {
-                (0..n)
-                    .map(|i| self.cap[i] * rcum[i.min(k)])
-                    .sum()
-            })
+            .map(|k| (0..n).map(|i| self.cap[i] * rcum[i.min(k)]).sum())
             .collect()
     }
 

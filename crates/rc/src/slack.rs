@@ -89,8 +89,7 @@ fn sink_upstream_resistances(net: &Net, tech: &Tech) -> Result<Vec<f64>, LayoutE
         .map(|sink| {
             match net.segments.iter().position(|s| s.end == *sink) {
                 Some(i) => {
-                    let upstream: f64 =
-                        topo.upstream[i].iter().map(|sid| seg_res[sid.0]).sum();
+                    let upstream: f64 = topo.upstream[i].iter().map(|sid| seg_res[sid.0]).sum();
                     upstream + seg_res[i]
                 }
                 // Sink at the source: no resistance in between.
@@ -140,10 +139,20 @@ mod tests {
         DesignBuilder::new("d", Rect::new(0, 0, 100_000, 100_000))
             .layer("m3", Dir::Horizontal)
             .net("short", Point::new(300, 10_000))
-            .segment("m3", Point::new(300, 10_000), Point::new(5_300, 10_000), 280)
+            .segment(
+                "m3",
+                Point::new(300, 10_000),
+                Point::new(5_300, 10_000),
+                280,
+            )
             .sink(Point::new(5_300, 10_000))
             .net("long", Point::new(300, 20_000))
-            .segment("m3", Point::new(300, 20_000), Point::new(90_300, 20_000), 280)
+            .segment(
+                "m3",
+                Point::new(300, 20_000),
+                Point::new(90_300, 20_000),
+                280,
+            )
             .sink(Point::new(90_300, 20_000))
             .build()
             .expect("valid")
@@ -194,8 +203,7 @@ mod tests {
     #[test]
     fn design_wide_budgets_cover_all_nets() {
         let d = design();
-        let budgets =
-            cap_budgets_from_slack(&d, default_wire_cap_per_m(), 1e-9).expect("budgets");
+        let budgets = cap_budgets_from_slack(&d, default_wire_cap_per_m(), 1e-9).expect("budgets");
         assert_eq!(budgets.len(), d.nets.len());
         assert!(budgets.iter().all(|b| *b >= 0.0));
         // Longer net has the smaller budget.

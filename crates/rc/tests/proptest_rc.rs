@@ -1,64 +1,78 @@
-//! Property-based tests for the capacitance and Elmore models.
+//! Randomized tests for the capacitance and Elmore models, driven by the
+//! in-repo seeded PRNG so every run explores the same cases.
 
 use pilfill_layout::{FillRules, Tech};
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 use pilfill_rc::{max_fill_features, CapTable, CouplingModel, RcChain};
-use proptest::prelude::*;
 
 fn model() -> CouplingModel {
     CouplingModel::new(&Tech::default_180nm())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn delta_cap_exact_increasing_and_convex(
-        d in 700i64..30_000,
-        w in 100i64..500,
-    ) {
-        let m = model();
+#[test]
+fn delta_cap_exact_increasing_and_convex() {
+    let m = model();
+    let mut rng = StdRng::seed_from_u64(0x2C_0001);
+    let mut checked = 0;
+    while checked < 128 {
+        let d = rng.gen_range(700i64..30_000);
+        let w = rng.gen_range(100i64..500);
         let max_m = ((d - 1) / w).min(12) as u32;
-        prop_assume!(max_m >= 2);
+        if max_m < 2 {
+            continue;
+        }
+        checked += 1;
         let caps: Vec<f64> = (0..=max_m).map(|k| m.delta_cap_exact(k, d, w)).collect();
         for pair in caps.windows(2) {
-            prop_assert!(pair[1] > pair[0]);
+            assert!(pair[1] > pair[0]);
         }
         for triple in caps.windows(3) {
-            prop_assert!(triple[2] - triple[1] >= triple[1] - triple[0]);
+            assert!(triple[2] - triple[1] >= triple[1] - triple[0]);
         }
     }
+}
 
-    #[test]
-    fn linear_underestimates_exact_everywhere(
-        d in 700i64..30_000,
-        w in 100i64..500,
-        k in 1u32..10,
-    ) {
-        let m = model();
-        prop_assume!((k as i64) * w < d);
-        prop_assert!(m.delta_cap_linear(k, d, w) < m.delta_cap_exact(k, d, w));
+#[test]
+fn linear_underestimates_exact_everywhere() {
+    let m = model();
+    let mut rng = StdRng::seed_from_u64(0x2C_0002);
+    let mut checked = 0;
+    while checked < 128 {
+        let d = rng.gen_range(700i64..30_000);
+        let w = rng.gen_range(100i64..500);
+        let k = rng.gen_range(1u32..10);
+        if (k as i64) * w >= d {
+            continue;
+        }
+        checked += 1;
+        assert!(m.delta_cap_linear(k, d, w) < m.delta_cap_exact(k, d, w));
     }
+}
 
-    #[test]
-    fn cap_table_agrees_with_model(
-        d in 1_000i64..20_000,
-        w in 150i64..450,
-    ) {
-        let m = model();
+#[test]
+fn cap_table_agrees_with_model() {
+    let m = model();
+    let mut rng = StdRng::seed_from_u64(0x2C_0003);
+    for _ in 0..128 {
+        let d = rng.gen_range(1_000i64..20_000);
+        let w = rng.gen_range(150i64..450);
         let cap = ((d - 1) / w).min(10) as u32;
         let table = CapTable::build(&m, d, w, cap);
         for k in 0..=cap {
-            prop_assert_eq!(table.delta_cap(k), m.delta_cap_exact(k, d, w));
+            assert_eq!(table.delta_cap(k), m.delta_cap_exact(k, d, w));
         }
     }
+}
 
-    #[test]
-    fn max_fill_features_fits_and_is_maximal(
-        gap in 0i64..30_000,
-        feature in 100i64..600,
-        space in 0i64..400,
-        buffer in 0i64..500,
-    ) {
+#[test]
+fn max_fill_features_fits_and_is_maximal() {
+    let mut rng = StdRng::seed_from_u64(0x2C_0004);
+    for _ in 0..256 {
+        let gap = rng.gen_range(0i64..30_000);
+        let feature = rng.gen_range(100i64..600);
+        let space = rng.gen_range(0i64..400);
+        let buffer = rng.gen_range(0i64..500);
         let rules = FillRules {
             feature_size: feature,
             gap: space,
@@ -67,26 +81,27 @@ proptest! {
         let m = max_fill_features(gap, rules) as i64;
         // m features fit: m*f + (m-1)*s + 2*b <= gap.
         if m > 0 {
-            prop_assert!(m * feature + (m - 1) * space + 2 * buffer <= gap);
+            assert!(m * feature + (m - 1) * space + 2 * buffer <= gap);
         }
         // m+1 features do not fit.
         let m1 = m + 1;
-        prop_assert!(m1 * feature + (m1 - 1) * space + 2 * buffer > gap);
+        assert!(m1 * feature + (m1 - 1) * space + 2 * buffer > gap);
     }
+}
 
-    #[test]
-    fn chain_delays_monotone_and_additive(
-        n in 2usize..12,
-        r in 0.1f64..50.0,
-        c in 1e-16f64..1e-13,
-        inject in 0usize..12,
-        dc in 1e-16f64..1e-14,
-    ) {
-        let inject = inject % n;
+#[test]
+fn chain_delays_monotone_and_additive() {
+    let mut rng = StdRng::seed_from_u64(0x2C_0005);
+    for _ in 0..128 {
+        let n = rng.gen_range(2usize..12);
+        let r = rng.gen_range(0.1f64..50.0);
+        let c = rng.gen_range(1e-16f64..1e-13);
+        let inject = rng.gen_range(0usize..12) % n;
+        let dc = rng.gen_range(1e-16f64..1e-14);
         let chain = RcChain::uniform(n, r, c);
         let before = chain.delays();
         for pair in before.windows(2) {
-            prop_assert!(pair[1] >= pair[0]);
+            assert!(pair[1] >= pair[0]);
         }
         // Eq. (9) additivity against recomputation.
         let caps: Vec<f64> = (0..n)
@@ -96,19 +111,23 @@ proptest! {
         for k in 0..n {
             let predicted = chain.delay_increment(k, inject, dc);
             let got = after[k] - before[k];
-            prop_assert!(
+            assert!(
                 (got - predicted).abs() <= 1e-9 * predicted.max(1e-30),
                 "stage {k}: {got} vs {predicted}"
             );
         }
     }
+}
 
-    #[test]
-    fn cb_positive_and_decreasing_in_distance(d in 100i64..100_000) {
-        let m = model();
+#[test]
+fn cb_positive_and_decreasing_in_distance() {
+    let m = model();
+    let mut rng = StdRng::seed_from_u64(0x2C_0006);
+    for _ in 0..256 {
+        let d = rng.gen_range(100i64..100_000);
         let c1 = m.cb_per_m(d);
         let c2 = m.cb_per_m(d + 100);
-        prop_assert!(c1 > 0.0);
-        prop_assert!(c2 < c1);
+        assert!(c1 > 0.0);
+        assert!(c2 < c1);
     }
 }

@@ -36,5 +36,5 @@ mod model;
 mod simplex;
 
 pub use milp::{BranchBoundStats, MilpOptions};
-pub use model::{Model, Objective, Sense, SolveError, Solution, VarId};
+pub use model::{Model, Objective, Sense, Solution, SolveError, VarId};
 pub use simplex::LpStatus;

@@ -5,8 +5,18 @@
 //! the branch nearer the fractional value first (a cheap form of
 //! best-first dive). Node and pivot counts are reported in
 //! [`BranchBoundStats`] so benchmark tables can include solver effort.
+//!
+//! Child nodes are warm-started from the parent's optimal simplex tableau:
+//! a branch only tightens one variable's bounds, which leaves the basis
+//! dual feasible, so the child re-optimizes with a few dual-simplex pivots
+//! instead of a from-scratch Big-M primal solve. Both children of a node
+//! share the parent tableau through an [`Rc`] and clone it on use; any
+//! numerical trouble on the warm path falls back to the cold solve.
+
+use std::rc::Rc;
 
 use crate::model::{Model, Solution, SolveError, VarId};
+use crate::simplex::{self, LpStatus, StandardLp, Tableau};
 
 /// Tuning knobs for [`Model::solve_with`].
 #[derive(Debug, Clone)]
@@ -17,6 +27,10 @@ pub struct MilpOptions {
     pub int_tol: f64,
     /// Prune nodes whose bound is within this of the incumbent (absolute).
     pub gap_tol: f64,
+    /// Warm-start child nodes from the parent LP basis (dual simplex).
+    /// Disable to force the from-scratch solve at every node (slower;
+    /// useful for testing and as a numerical escape hatch).
+    pub warm_start: bool,
 }
 
 impl Default for MilpOptions {
@@ -25,6 +39,7 @@ impl Default for MilpOptions {
             node_limit: 200_000,
             int_tol: 1e-6,
             gap_tol: 1e-9,
+            warm_start: true,
         }
     }
 }
@@ -40,12 +55,25 @@ pub struct BranchBoundStats {
     pub incumbents: usize,
     /// Total simplex pivots across all relaxations.
     pub pivots: usize,
+    /// Nodes re-optimized from the parent basis (dual simplex).
+    pub warm_solves: usize,
 }
 
 struct Node {
     /// (var, lb, ub) bound overrides along this branch.
     bounds: Vec<(VarId, f64, f64)>,
+    /// Parent's optimal tableau (shared by both children), plus this
+    /// node's single new bound `(column, lb, ub)` in root standard space.
+    warm: Option<(Rc<Tableau>, (usize, f64, f64))>,
     depth: usize,
+}
+
+/// Per-node LP solve outcome, normalized to model space.
+enum Relaxed {
+    Optimal(Solution, Option<Rc<Tableau>>),
+    Infeasible,
+    Unbounded,
+    Fatal(SolveError),
 }
 
 /// Runs branch-and-bound on `model` (which must contain integer variables).
@@ -67,10 +95,20 @@ pub(crate) fn branch_and_bound(
     let int_vars: Vec<VarId> = model.integer_vars().collect();
     debug_assert!(!int_vars.is_empty());
 
+    // Root presolve once: singleton-row bound tightenings are valid at
+    // every node, and the resulting standard form fixes the variable
+    // shifts that all warm-started tableaux share.
+    let Some(root_model) = model.presolved() else {
+        return Err(SolveError::Infeasible);
+    };
+    let (root_lp, offset) = root_model.to_standard();
+    let root_lower: Vec<f64> = root_model.lower_bounds().to_vec();
+
     let mut stats = BranchBoundStats::default();
     let mut incumbent: Option<Solution> = None;
     let mut stack = vec![Node {
         bounds: Vec::new(),
+        warm: None,
         depth: 0,
     }];
     let mut scratch = model.clone();
@@ -84,18 +122,25 @@ pub(crate) fn branch_and_bound(
             };
         }
 
-        // Apply node bounds onto a fresh copy of the base model.
-        scratch.clone_from(model);
+        // Effective bounds along this branch, checked for consistency
+        // before any solve.
         let mut consistent = true;
+        let mut effective: Vec<(VarId, f64, f64)> = Vec::with_capacity(node.bounds.len());
         for &(v, lb, ub) in &node.bounds {
-            let (cur_lb, cur_ub) = scratch.bounds(v);
-            let new_lb = cur_lb.max(lb);
-            let new_ub = cur_ub.min(ub);
+            let (base_lb, base_ub) = model.bounds(v);
+            let mut new_lb = base_lb.max(lb);
+            let mut new_ub = base_ub.min(ub);
+            if let Some(pos) = effective.iter().position(|&(ev, _, _)| ev == v) {
+                new_lb = new_lb.max(effective[pos].1);
+                new_ub = new_ub.min(effective[pos].2);
+                effective[pos] = (v, new_lb, new_ub);
+            } else {
+                effective.push((v, new_lb, new_ub));
+            }
             if new_lb > new_ub {
                 consistent = false;
                 break;
             }
-            scratch.set_bounds(v, new_lb, new_ub);
         }
         if !consistent {
             stats.pruned += 1;
@@ -103,13 +148,22 @@ pub(crate) fn branch_and_bound(
         }
 
         stats.nodes += 1;
-        let relax = match scratch.solve_lp() {
-            Ok(s) => {
-                stats.pivots += s.stats.pivots;
-                s
-            }
-            Err(SolveError::Infeasible) => continue,
-            Err(SolveError::Unbounded) => {
+        let relax = solve_node(
+            &node,
+            model,
+            &root_lp,
+            &root_lower,
+            offset,
+            minimize_sign,
+            &effective,
+            &mut scratch,
+            &mut stats,
+            options,
+        );
+        let (relax, warm) = match relax {
+            Relaxed::Optimal(sol, warm) => (sol, warm),
+            Relaxed::Infeasible => continue,
+            Relaxed::Unbounded => {
                 if node.depth == 0 {
                     relaxation_unbounded_at_root = true;
                 }
@@ -121,14 +175,12 @@ pub(crate) fn branch_and_bound(
                 }
                 continue;
             }
-            Err(e) => return Err(e),
+            Relaxed::Fatal(e) => return Err(e),
         };
 
         // Bound pruning (compare in minimization sense).
         if let Some(inc) = &incumbent {
-            if minimize_sign * relax.objective
-                >= minimize_sign * inc.objective - options.gap_tol
-            {
+            if minimize_sign * relax.objective >= minimize_sign * inc.objective - options.gap_tol {
                 stats.pruned += 1;
                 continue;
             }
@@ -153,7 +205,7 @@ pub(crate) fn branch_and_bound(
                 for &v in &int_vars {
                     snapped.values[v.index()] = snapped.values[v.index()].round();
                 }
-                let better = incumbent.as_ref().map_or(true, |inc| {
+                let better = incumbent.as_ref().is_none_or(|inc| {
                     minimize_sign * snapped.objective
                         < minimize_sign * inc.objective - options.gap_tol
                 });
@@ -164,16 +216,36 @@ pub(crate) fn branch_and_bound(
             }
             Some((v, val)) => {
                 let floor = val.floor();
+                // Each child tightens one side of v around the fractional
+                // value; compute the child's full [lb, ub] for v so the
+                // warm path can apply it as a single delta. The base comes
+                // from the *presolved* root model: singleton rows were
+                // consumed into these bounds and no longer exist in the
+                // shared standard form, so dropping them here would let
+                // children escape them.
+                let (mut cur_lb, mut cur_ub) = root_model.bounds(v);
+                if let Some(&(_, lb, ub)) = effective.iter().find(|&&(ev, _, _)| ev == v) {
+                    cur_lb = cur_lb.max(lb);
+                    cur_ub = cur_ub.min(ub);
+                }
+                let lb0 = root_lower[v.index()];
+                let down_delta = (v.index(), cur_lb - lb0, floor - lb0);
+                let up_delta = (v.index(), floor + 1.0 - lb0, cur_ub - lb0);
+                let child = |bounds: Vec<(VarId, f64, f64)>, delta| Node {
+                    bounds,
+                    warm: warm.as_ref().map(|t| (Rc::clone(t), delta)),
+                    depth: node.depth + 1,
+                };
                 // Explore the nearer branch last so it pops first (DFS
                 // stack order): dive towards the fractional value.
-                let down = Node {
-                    bounds: with_bound(&node.bounds, v, f64::NEG_INFINITY, floor),
-                    depth: node.depth + 1,
-                };
-                let up = Node {
-                    bounds: with_bound(&node.bounds, v, floor + 1.0, f64::INFINITY),
-                    depth: node.depth + 1,
-                };
+                let down = child(
+                    with_bound(&node.bounds, v, f64::NEG_INFINITY, floor),
+                    down_delta,
+                );
+                let up = child(
+                    with_bound(&node.bounds, v, floor + 1.0, f64::INFINITY),
+                    up_delta,
+                );
                 if val - floor < 0.5 {
                     stack.push(up);
                     stack.push(down);
@@ -191,12 +263,104 @@ pub(crate) fn branch_and_bound(
     }
 }
 
-fn with_bound(
-    bounds: &[(VarId, f64, f64)],
-    v: VarId,
-    lb: f64,
-    ub: f64,
-) -> Vec<(VarId, f64, f64)> {
+/// Solves one node's LP relaxation: dual-simplex warm start from the
+/// parent tableau when available, falling back to the per-node cold solve
+/// on numerical trouble.
+#[allow(clippy::too_many_arguments)]
+fn solve_node(
+    node: &Node,
+    model: &Model,
+    root_lp: &StandardLp,
+    root_lower: &[f64],
+    offset: f64,
+    minimize_sign: f64,
+    effective: &[(VarId, f64, f64)],
+    scratch: &mut Model,
+    stats: &mut BranchBoundStats,
+    options: &MilpOptions,
+) -> Relaxed {
+    if options.warm_start {
+        if let Some((parent, (col, lb, ub))) = &node.warm {
+            let mut tab = Tableau::clone(parent);
+            if !tab.apply_var_bounds(*col, *lb, *ub) {
+                return Relaxed::Infeasible;
+            }
+            if let Some(sol) = tab.dual_solve() {
+                stats.pivots += sol.iterations;
+                stats.warm_solves += 1;
+                return match sol.status {
+                    LpStatus::Optimal => {
+                        let values: Vec<f64> = sol
+                            .values
+                            .iter()
+                            .zip(root_lower)
+                            .map(|(v, lb)| v + lb)
+                            .collect();
+                        let objective = minimize_sign * (sol.objective + offset);
+                        Relaxed::Optimal(
+                            Solution {
+                                values,
+                                objective,
+                                stats: BranchBoundStats::default(),
+                            },
+                            Some(Rc::new(tab)),
+                        )
+                    }
+                    LpStatus::Infeasible => Relaxed::Infeasible,
+                    LpStatus::Unbounded => Relaxed::Unbounded,
+                    LpStatus::IterationLimit => Relaxed::Fatal(SolveError::IterationLimit),
+                };
+            }
+            // Dual solve bailed out: fall through to the cold path.
+        }
+    }
+
+    if node.depth == 0 {
+        // Root: solve the shared standard form directly so the optimal
+        // tableau seeds the whole tree.
+        let (sol, warm) = simplex::solve_with_warm(root_lp);
+        stats.pivots += sol.iterations;
+        return match sol.status {
+            LpStatus::Optimal => {
+                let values: Vec<f64> = sol
+                    .values
+                    .iter()
+                    .zip(root_lower)
+                    .map(|(v, lb)| v + lb)
+                    .collect();
+                let objective = minimize_sign * (sol.objective + offset);
+                Relaxed::Optimal(
+                    Solution {
+                        values,
+                        objective,
+                        stats: BranchBoundStats::default(),
+                    },
+                    warm.map(Rc::new),
+                )
+            }
+            LpStatus::Infeasible => Relaxed::Infeasible,
+            LpStatus::Unbounded => Relaxed::Unbounded,
+            LpStatus::IterationLimit => Relaxed::Fatal(SolveError::IterationLimit),
+        };
+    }
+
+    // Cold fallback: apply bounds onto a fresh copy of the base model.
+    scratch.clone_from(model);
+    for &(v, lb, ub) in effective {
+        scratch.set_bounds(v, lb, ub);
+    }
+    match scratch.solve_lp() {
+        Ok(s) => {
+            stats.pivots += s.stats.pivots;
+            Relaxed::Optimal(s, None)
+        }
+        Err(SolveError::Infeasible) => Relaxed::Infeasible,
+        Err(SolveError::Unbounded) => Relaxed::Unbounded,
+        Err(e) => Relaxed::Fatal(e),
+    }
+}
+
+fn with_bound(bounds: &[(VarId, f64, f64)], v: VarId, lb: f64, ub: f64) -> Vec<(VarId, f64, f64)> {
     let mut out = bounds.to_vec();
     out.push((v, lb, ub));
     out
@@ -219,12 +383,7 @@ mod tests {
         caps: &[i64],
         constraints: &[(Vec<f64>, Sense, f64)],
     ) -> Option<f64> {
-        fn rec(
-            idx: usize,
-            caps: &[i64],
-            current: &mut Vec<i64>,
-            all: &mut Vec<Vec<i64>>,
-        ) {
+        fn rec(idx: usize, caps: &[i64], current: &mut Vec<i64>, all: &mut Vec<Vec<i64>>) {
             if idx == caps.len() {
                 all.push(current.clone());
                 return;
@@ -251,9 +410,8 @@ mod tests {
                 }
             })
         });
-        let objective = |x: &Vec<i64>| -> f64 {
-            objs.iter().zip(x.iter()).map(|(c, &v)| c * v as f64).sum()
-        };
+        let objective =
+            |x: &Vec<i64>| -> f64 { objs.iter().zip(x.iter()).map(|(c, &v)| c * v as f64).sum() };
         feasible
             .map(|x| objective(&x))
             .fold(None, |best: Option<f64>, o| match best {
@@ -262,9 +420,10 @@ mod tests {
             })
     }
 
-    #[test]
-    fn matches_brute_force_on_fixed_instances() {
-        let cases: Vec<(bool, Vec<f64>, Vec<i64>, Vec<(Vec<f64>, Sense, f64)>)> = vec![
+    type BruteCase = (bool, Vec<f64>, Vec<i64>, Vec<(Vec<f64>, Sense, f64)>);
+
+    fn run_cases(warm_start: bool) {
+        let cases: Vec<BruteCase> = vec![
             (
                 true,
                 vec![5.0, 4.0, 3.0],
@@ -287,6 +446,10 @@ mod tests {
                 ],
             ),
         ];
+        let opts = MilpOptions {
+            warm_start,
+            ..MilpOptions::default()
+        };
         for (maximize, objs, caps, cons) in cases {
             let mut m = Model::new(if maximize {
                 Objective::Maximize
@@ -299,18 +462,14 @@ mod tests {
                 .map(|(&o, &c)| m.add_integer_var(0.0, c as f64, o))
                 .collect();
             for (coeffs, sense, rhs) in &cons {
-                m.add_constraint(
-                    vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)),
-                    *sense,
-                    *rhs,
-                );
+                m.add_constraint(vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)), *sense, *rhs);
             }
             let expected = brute_force_best(maximize, &objs, &caps, &cons);
-            match (m.solve(), expected) {
+            match (m.solve_with(&opts), expected) {
                 (Ok(sol), Some(best)) => {
                     assert!(
                         (sol.objective - best).abs() < 1e-6,
-                        "milp {} vs brute {best}",
+                        "milp {} vs brute {best} (warm_start {warm_start})",
                         sol.objective
                     );
                 }
@@ -321,9 +480,21 @@ mod tests {
     }
 
     #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        run_cases(true);
+    }
+
+    #[test]
+    fn matches_brute_force_without_warm_start() {
+        run_cases(false);
+    }
+
+    #[test]
     fn stats_are_populated() {
         let mut m = Model::new(Objective::Maximize);
-        let vars: Vec<_> = (0..6).map(|i| m.add_binary_var(1.0 + i as f64 * 0.3)).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_binary_var(1.0 + i as f64 * 0.3))
+            .collect();
         m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Le, 3.0);
         let s = m.solve().expect("solvable");
         assert!(s.stats.nodes >= 1);
@@ -345,5 +516,62 @@ mod tests {
             res,
             Err(SolveError::NodeLimit) | Err(SolveError::Infeasible)
         ));
+    }
+
+    /// Builds an ILP-II tile-shaped instance: one-hot binaries per costed
+    /// column over capacities, a convexity row per column, one budget row.
+    fn ilp2_tile(k: usize, cap: u32, budget: f64) -> Model {
+        let mut m = Model::new(Objective::Minimize);
+        let mut budget_terms = Vec::new();
+        for col in 0..k {
+            let alpha = 1.0 + (col % 7) as f64 * 0.31;
+            let vars: Vec<_> = (0..=cap)
+                .map(|n| {
+                    // Deliberately non-convex in n (weighted tiles produce
+                    // such tables), so the LP relaxation goes fractional
+                    // and branching actually happens.
+                    let jitter = ((col * 31 + n as usize * 17) % 13) as f64 * 0.23;
+                    let cost = alpha * (n as f64) * 0.4 + jitter;
+                    m.add_binary_var(cost)
+                })
+                .collect();
+            m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
+            budget_terms.extend(vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
+        }
+        m.add_constraint(budget_terms, Sense::Eq, budget);
+        m
+    }
+
+    #[test]
+    fn warm_start_same_optimum_fewer_pivots_on_ilp2_tile() {
+        // A budget that does not divide evenly across columns forces real
+        // branching, so the warm path gets exercised.
+        let m = ilp2_tile(8, 3, 11.0);
+        let warm = m
+            .solve_with(&MilpOptions::default())
+            .expect("warm solvable");
+        let cold = m
+            .solve_with(&MilpOptions {
+                warm_start: false,
+                ..MilpOptions::default()
+            })
+            .expect("cold solvable");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "optima differ: warm {} cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(
+            warm.stats.warm_solves > 0,
+            "warm path never taken: {:?}",
+            warm.stats
+        );
+        assert!(
+            warm.stats.pivots < cold.stats.pivots,
+            "warm {} pivots vs cold {}",
+            warm.stats.pivots,
+            cold.stats.pivots
+        );
     }
 }

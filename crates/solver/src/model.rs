@@ -233,10 +233,15 @@ impl Model {
             .map(|(i, _)| VarId(i))
     }
 
+    /// Current lower bounds per variable.
+    pub(crate) fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
     /// Light presolve: empty rows become feasibility checks, singleton
     /// rows become variable bounds. Returns the simplified model, or
     /// `None` when presolve proves infeasibility.
-    fn presolved(&self) -> Option<Model> {
+    pub(crate) fn presolved(&self) -> Option<Model> {
         let mut out = self.clone();
         let mut kept = Vec::with_capacity(out.constraints.len());
         for c in out.constraints.drain(..) {
@@ -279,16 +284,12 @@ impl Model {
     /// Converts to computational standard form: shift each variable by its
     /// lower bound so all variables live in `[0, ub - lb]`, and negate the
     /// objective for maximization.
-    fn to_standard(&self) -> (StandardLp, f64) {
+    pub(crate) fn to_standard(&self) -> (StandardLp, f64) {
         let n = self.num_vars();
         let sign = if self.minimize { 1.0 } else { -1.0 };
         let costs: Vec<f64> = self.obj.iter().map(|&c| sign * c).collect();
         // Constant objective offset from the shift (in minimize sign).
-        let offset: f64 = costs
-            .iter()
-            .zip(&self.lower)
-            .map(|(c, lb)| c * lb)
-            .sum();
+        let offset: f64 = costs.iter().zip(&self.lower).map(|(c, lb)| c * lb).sum();
         let upper: Vec<f64> = self
             .upper
             .iter()

@@ -2,11 +2,26 @@
 //!
 //! Solves `min c'x  s.t.  Ax = b, 0 <= x <= u` where some components of `u`
 //! may be infinite. Inequalities and general bounds are normalized into this
-//! form by [`crate::model::Model`]. The implementation keeps the full
-//! tableau `[B^-1 A | B^-1 b]` and updates it by pivoting; nonbasic
-//! variables may rest at their lower *or* upper bound (the standard
-//! upper-bounded simplex extension), which keeps the tableau small for
-//! models with many box-constrained variables (e.g. ILP-II binaries).
+//! form by [`crate::model::Model`]. The tableau `[B^-1 A | B^-1 b]` is kept
+//! in a single row-major `Vec<f64>` (one allocation, cache-friendly pivots)
+//! and updated in place; nonbasic variables may rest at their lower *or*
+//! upper bound (the standard upper-bounded simplex extension), which keeps
+//! the tableau small for models with many box-constrained variables (e.g.
+//! ILP-II binaries).
+//!
+//! Reduced costs are maintained incrementally across pivots and priced with
+//! a cyclic candidate list (partial pricing), so a pivot costs O(rows·cols)
+//! for the elimination but pricing no longer rescans every column against
+//! every row. A full reduced-cost refresh runs periodically and before
+//! declaring optimality, so accumulated float drift cannot produce a wrong
+//! termination.
+//!
+//! For branch-and-bound, a solved tableau doubles as a warm-start state:
+//! tightening a structural variable's bounds leaves `B^-1 A` and the
+//! reduced costs unchanged (bound shifts touch only the right-hand side),
+//! so a child node is re-optimized with the dual simplex from the parent
+//! basis instead of re-running the Big-M primal from scratch. See
+//! [`Tableau::apply_var_bounds`] and [`Tableau::dual_solve`].
 
 /// Feasibility/boundedness status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +71,12 @@ pub struct LpSolution {
 const EPS: f64 = 1e-9;
 /// Pivot elements smaller than this are rejected for stability.
 const PIVOT_EPS: f64 = 1e-7;
+/// Candidate-list size for partial pricing: the cyclic scan stops as soon
+/// as this many improving columns have been seen and pivots on the best.
+const PRICE_CANDIDATES: usize = 24;
+/// Maintained reduced costs are refreshed from scratch every this many
+/// pivots to bound float drift.
+const REFRESH_INTERVAL: usize = 256;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NonbasicAt {
@@ -69,24 +90,50 @@ enum NonbasicAt {
 /// for `<=` rows; artificial variables (with Big-M cost) are added for `=`
 /// rows and for `<=` rows with negative right-hand side.
 pub fn solve_standard(lp: &StandardLp) -> LpSolution {
-    Tableau::build(lp).solve(lp)
+    Tableau::build(lp).primal_solve()
 }
 
-struct Tableau {
-    /// rows x cols coefficient matrix (structural + slack + artificial).
-    a: Vec<Vec<f64>>,
-    /// Current right-hand side (basic variable values given nonbasic rests).
+/// Solves the LP and, on optimality, also returns the solved tableau so
+/// branch-and-bound can warm-start child nodes from it.
+pub(crate) fn solve_with_warm(lp: &StandardLp) -> (LpSolution, Option<Tableau>) {
+    let mut tab = Tableau::build(lp);
+    let sol = tab.primal_solve();
+    let warm = (sol.status == LpStatus::Optimal).then_some(tab);
+    (sol, warm)
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    /// `n_rows x n_cols` coefficient matrix (structural + slack +
+    /// artificial), row-major in one flat allocation.
+    a: Vec<f64>,
+    /// Current right-hand side (basic variable values given nonbasic rests),
+    /// expressed in the shifted variable space.
     b: Vec<f64>,
     /// Cost per column (Big-M applied to artificials).
     cost: Vec<f64>,
-    /// Upper bound per column.
+    /// Width of the feasible interval per column (`hi - lo` after shifts).
     upper: Vec<f64>,
+    /// Current lower bound of each column in root standard space. Zero
+    /// until branch-and-bound tightens a bound; only structural columns
+    /// ever acquire a shift.
+    shift: Vec<f64>,
+    /// Maintained reduced costs, refreshed periodically.
+    d: Vec<f64>,
     /// Basic variable (column index) per row.
     basis: Vec<usize>,
+    /// O(1) basis membership (replaces scanning `basis`).
+    in_basis: Vec<bool>,
     /// Rest position of each nonbasic column.
     at: Vec<NonbasicAt>,
-    /// Columns that are artificial (for the feasibility check).
+    /// First artificial column (for the feasibility check).
     artificial_start: usize,
+    /// Number of structural columns (prefix of the column range).
+    n_structural: usize,
+    /// Cyclic pricing cursor.
+    price_start: usize,
+    /// Scratch copy of the normalized pivot row.
+    work: Vec<f64>,
     n_cols: usize,
     n_rows: usize,
     big_m: f64,
@@ -132,10 +179,8 @@ impl Tableau {
         // magnitude 1. Keeps Big-M proportionate when callers pass rows
         // with wildly different magnitudes (e.g. capacitances vs counts).
         for i in 0..n_rows {
-            let max_abs = rows[i]
-                .iter()
-                .fold(0.0f64, |m, &v| m.max(v.abs()));
-            if max_abs > 0.0 && (max_abs > 1e3 || max_abs < 1e-3) {
+            let max_abs = rows[i].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+            if max_abs > 0.0 && !(1e-3..=1e3).contains(&max_abs) {
                 let inv = 1.0 / max_abs;
                 for v in rows[i].iter_mut() {
                     *v *= inv;
@@ -148,27 +193,24 @@ impl Tableau {
         let n_art = needs_artificial.iter().filter(|&&x| x).count();
         let n_cols = n_struct + n_slack + n_art;
 
-        let max_abs_cost = lp
-            .costs
-            .iter()
-            .fold(1.0f64, |m, &c| m.max(c.abs()));
+        let max_abs_cost = lp.costs.iter().fold(1.0f64, |m, &c| m.max(c.abs()));
         let max_abs_rhs = rhs.iter().fold(1.0f64, |m, &r| m.max(r.abs()));
         let big_m = 1e7 * max_abs_cost.max(max_abs_rhs);
 
-        let mut a = vec![vec![0.0; n_cols]; n_rows];
+        let mut a = vec![0.0; n_rows * n_cols];
         let mut cost = vec![0.0; n_cols];
         let mut upper = vec![f64::INFINITY; n_cols];
         cost[..n_struct].copy_from_slice(&lp.costs);
         upper[..n_struct].copy_from_slice(&lp.upper);
         for (i, row) in rows.iter().enumerate() {
-            a[i][..n_struct].copy_from_slice(row);
+            a[i * n_cols..i * n_cols + n_struct].copy_from_slice(row);
         }
 
         let mut col = n_struct;
         let mut slack_col = vec![usize::MAX; n_rows];
         for i in 0..n_rows {
             if slack_sign[i] != 0.0 {
-                a[i][col] = slack_sign[i];
+                a[i * n_cols + col] = slack_sign[i];
                 slack_col[i] = col;
                 col += 1;
             }
@@ -177,7 +219,7 @@ impl Tableau {
         let mut basis = vec![usize::MAX; n_rows];
         for i in 0..n_rows {
             if needs_artificial[i] {
-                a[i][col] = 1.0;
+                a[i * n_cols + col] = 1.0;
                 cost[col] = big_m;
                 basis[i] = col;
                 col += 1;
@@ -187,21 +229,44 @@ impl Tableau {
         }
         debug_assert_eq!(col, n_cols);
 
-        Self {
+        let mut in_basis = vec![false; n_cols];
+        for &bj in &basis {
+            in_basis[bj] = true;
+        }
+
+        let mut tab = Self {
             a,
             b: rhs,
             cost,
             upper,
+            shift: vec![0.0; n_cols],
+            d: vec![0.0; n_cols],
             basis,
+            in_basis,
             at: vec![NonbasicAt::Lower; n_cols],
             artificial_start,
+            n_structural: n_struct,
+            price_start: 0,
+            work: vec![0.0; n_cols],
             n_cols,
             n_rows,
             big_m,
-        }
+        };
+        tab.refresh_reduced_costs();
+        tab
     }
 
-    /// Value of column `j` given its rest position (0, upper, or basic).
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.a[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    #[inline]
+    fn coeff(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n_cols + j]
+    }
+
+    /// Value of column `j` given its rest position, in shifted space.
     fn nonbasic_value(&self, j: usize) -> f64 {
         match self.at[j] {
             NonbasicAt::Lower => 0.0,
@@ -209,14 +274,70 @@ impl Tableau {
         }
     }
 
-    fn is_basic(&self, j: usize) -> bool {
-        self.basis.contains(&j)
+    /// Recomputes `d_j = c_j - c_B' B^-1 A_j` from scratch.
+    fn refresh_reduced_costs(&mut self) {
+        self.d.copy_from_slice(&self.cost);
+        for i in 0..self.n_rows {
+            let cb = self.cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.a[i * self.n_cols..(i + 1) * self.n_cols];
+                for (dj, &aij) in self.d.iter_mut().zip(row) {
+                    if aij != 0.0 {
+                        *dj -= cb * aij;
+                    }
+                }
+            }
+        }
+        for (j, dj) in self.d.iter_mut().enumerate() {
+            if self.in_basis[j] {
+                *dj = 0.0;
+            }
+        }
     }
 
-    fn solve(mut self, lp: &StandardLp) -> LpSolution {
-        // Adjust b for nonbasic variables resting at finite upper bounds:
-        // initially all rest at lower (=0), so nothing to do. The invariant
-        // maintained throughout: self.b[i] = value of basic var of row i.
+    /// Whether moving nonbasic `j` in its feasible direction improves the
+    /// objective.
+    #[inline]
+    fn improving(&self, j: usize) -> bool {
+        match self.at[j] {
+            NonbasicAt::Lower => self.d[j] < -EPS,
+            NonbasicAt::Upper => self.d[j] > EPS,
+        }
+    }
+
+    /// Partial pricing: cyclic scan collecting at most [`PRICE_CANDIDATES`]
+    /// improving columns, returning the one with the largest |d|.
+    fn price_candidate(&mut self) -> Option<(usize, f64)> {
+        let n = self.n_cols;
+        let mut best: Option<(usize, f64)> = None;
+        let mut found = 0usize;
+        for step in 0..n {
+            let j = (self.price_start + step) % n;
+            if self.in_basis[j] || !self.improving(j) {
+                continue;
+            }
+            let dj = self.d[j];
+            if best.is_none_or(|(_, bd)| dj.abs() > bd.abs()) {
+                best = Some((j, dj));
+            }
+            found += 1;
+            if found >= PRICE_CANDIDATES {
+                self.price_start = (j + 1) % n;
+                return best;
+            }
+        }
+        self.price_start = 0;
+        best
+    }
+
+    /// Bland's rule: smallest-index improving column (anti-cycling).
+    fn price_bland(&self) -> Option<(usize, f64)> {
+        (0..self.n_cols)
+            .find(|&j| !self.in_basis[j] && self.improving(j))
+            .map(|j| (j, self.d[j]))
+    }
+
+    fn primal_solve(&mut self) -> LpSolution {
         let iter_limit = 200 * (self.n_rows + self.n_cols).max(50);
         let mut iterations = 0usize;
         let mut degenerate_streak = 0usize;
@@ -225,53 +346,44 @@ impl Tableau {
             if iterations > iter_limit {
                 return LpSolution {
                     status: LpStatus::IterationLimit,
-                    values: vec![0.0; lp.n_structural],
+                    values: vec![0.0; self.n_structural],
                     objective: f64::NAN,
                     iterations,
                 };
             }
-
-            // Reduced costs: d_j = c_j - c_B' B^-1 A_j. Since we keep the
-            // tableau in updated form (a = B^-1 A), d_j = c_j - sum_i
-            // c_basis[i] * a[i][j].
-            let mut entering: Option<(usize, f64)> = None;
-            let use_bland = degenerate_streak > 2 * self.n_rows.max(10);
-            for j in 0..self.n_cols {
-                if self.is_basic(j) {
-                    continue;
-                }
-                let mut d = self.cost[j];
-                for i in 0..self.n_rows {
-                    let cb = self.cost[self.basis[i]];
-                    if cb != 0.0 {
-                        d -= cb * self.a[i][j];
-                    }
-                }
-                // Improving direction: increase var at lower bound when
-                // d < 0; decrease var at upper bound when d > 0.
-                let improving = match self.at[j] {
-                    NonbasicAt::Lower => d < -EPS,
-                    NonbasicAt::Upper => d > EPS,
-                };
-                if improving {
-                    let score = d.abs();
-                    if use_bland {
-                        entering = Some((j, d));
-                        break;
-                    }
-                    if entering.map_or(true, |(_, best)| score > best.abs()) {
-                        entering = Some((j, d));
-                    }
-                }
+            if iterations > 0 && iterations.is_multiple_of(REFRESH_INTERVAL) {
+                self.refresh_reduced_costs();
             }
 
+            let use_bland = degenerate_streak > 2 * self.n_rows.max(10);
+            let entering = if use_bland {
+                // Recompute before an anti-cycling pick: Bland's guarantee
+                // needs exact signs, not drifted ones.
+                self.refresh_reduced_costs();
+                self.price_bland()
+            } else {
+                match self.price_candidate() {
+                    Some(e) => Some(e),
+                    None => {
+                        // The maintained d claims optimality; verify with a
+                        // full refresh before believing it.
+                        self.refresh_reduced_costs();
+                        self.price_candidate()
+                    }
+                }
+            };
+
             let Some((q, dq)) = entering else {
-                return self.extract(lp, iterations);
+                return self.extract(iterations);
             };
 
             // Direction: +1 if q increases from lower, -1 if decreases from
             // upper.
-            let dir = if self.at[q] == NonbasicAt::Lower { 1.0 } else { -1.0 };
+            let dir = if self.at[q] == NonbasicAt::Lower {
+                1.0
+            } else {
+                -1.0
+            };
             debug_assert!(dq * dir < 0.0);
 
             // Ratio test with bounds. t = amount of movement of q (>= 0).
@@ -286,16 +398,14 @@ impl Tableau {
             // Leaving candidate: (row, basic var goes to which bound).
             let mut leaving: Option<(usize, NonbasicAt)> = None;
             for i in 0..self.n_rows {
-                let alpha = dir * self.a[i][q];
+                let alpha = dir * self.coeff(i, q);
                 let xb = self.b[i];
                 if alpha > PIVOT_EPS {
                     // Basic decreases towards 0.
                     let t = xb / alpha;
-                    if t < t_max - EPS || (t < t_max + EPS && leaving.is_none()) {
-                        if t < t_max {
-                            t_max = t.max(0.0);
-                            leaving = Some((i, NonbasicAt::Lower));
-                        }
+                    if t < t_max {
+                        t_max = t.max(0.0);
+                        leaving = Some((i, NonbasicAt::Lower));
                     }
                 } else if alpha < -PIVOT_EPS {
                     let ub = self.upper[self.basis[i]];
@@ -313,20 +423,24 @@ impl Tableau {
             if t_max.is_infinite() {
                 return LpSolution {
                     status: LpStatus::Unbounded,
-                    values: vec![0.0; lp.n_structural],
+                    values: vec![0.0; self.n_structural],
                     objective: f64::NEG_INFINITY,
                     iterations,
                 };
             }
 
-            degenerate_streak = if t_max < EPS { degenerate_streak + 1 } else { 0 };
+            degenerate_streak = if t_max < EPS {
+                degenerate_streak + 1
+            } else {
+                0
+            };
 
             match leaving {
                 None => {
                     // q moves all the way to its other bound; basis is
                     // unchanged ("bound flip").
                     for i in 0..self.n_rows {
-                        self.b[i] -= dir * self.a[i][q] * t_max;
+                        self.b[i] -= dir * self.coeff(i, q) * t_max;
                     }
                     self.at[q] = match self.at[q] {
                         NonbasicAt::Lower => NonbasicAt::Upper,
@@ -342,53 +456,64 @@ impl Tableau {
     }
 
     /// Pivot: q enters the basis at row r; the old basic leaves to
-    /// `leave_to`.
+    /// `leave_to`. Shared by the primal and dual loops — both move q by
+    /// `t >= 0` in direction `dir` and then exchange basis columns.
     fn pivot(&mut self, r: usize, q: usize, dir: f64, t: f64, leave_to: NonbasicAt) {
         let leaving_var = self.basis[r];
+        let nc = self.n_cols;
 
         // Update basic values for the movement t of q.
         for i in 0..self.n_rows {
-            self.b[i] -= dir * self.a[i][q] * t;
+            self.b[i] -= dir * self.a[i * nc + q] * t;
         }
         // New basic value of q = rest value + dir * t.
         let q_new = self.nonbasic_value(q) + dir * t;
 
-        // Normalize pivot row.
-        let piv = self.a[r][q];
+        // Normalize pivot row and stash it for the eliminations.
+        let piv = self.a[r * nc + q];
         debug_assert!(piv.abs() > PIVOT_EPS * 0.5, "tiny pivot {piv}");
         let inv = 1.0 / piv;
-        for v in self.a[r].iter_mut() {
+        for v in self.a[r * nc..(r + 1) * nc].iter_mut() {
             *v *= inv;
         }
+        self.work.copy_from_slice(&self.a[r * nc..(r + 1) * nc]);
         // b[r] currently holds the (updated) value of the *leaving*
         // variable; replace row content for q's row, eliminating q from
         // other rows. For the b vector we maintain actual basic values, so
         // set row r to q's value first, then eliminate.
         self.b[r] = q_new;
 
-        for i in 0..self.n_rows {
+        for (i, row) in self.a.chunks_exact_mut(nc).enumerate() {
             if i == r {
                 continue;
             }
-            let factor = self.a[i][q];
+            let factor = row[q];
             if factor != 0.0 {
-                let (head, tail) = if i < r {
-                    let (h, t2) = self.a.split_at_mut(r);
-                    (&mut h[i], &t2[0])
-                } else {
-                    let (h, t2) = self.a.split_at_mut(i);
-                    (&mut t2[0], &h[r])
-                };
-                for (x, y) in head.iter_mut().zip(tail.iter()) {
+                for (x, y) in row.iter_mut().zip(&self.work) {
                     *x -= factor * y;
                 }
-                // Note: b[i] was already updated by the movement step; the
+                // b[i] was already updated by the movement step; the
                 // elimination does not change basic values, only the
                 // representation.
             }
         }
 
+        // Reduced costs: d_j -= d_q * (normalized pivot row)_j. The column
+        // of the leaving variable is the unit e_r pre-pivot, so the same
+        // update assigns it -d_q / piv; the entering column lands on zero.
+        let dq = self.d[q];
+        if dq != 0.0 {
+            for (dj, &wj) in self.d.iter_mut().zip(&self.work) {
+                if wj != 0.0 {
+                    *dj -= dq * wj;
+                }
+            }
+        }
+        self.d[q] = 0.0;
+
         self.basis[r] = q;
+        self.in_basis[q] = true;
+        self.in_basis[leaving_var] = false;
         self.at[leaving_var] = leave_to;
         // Guard: a nonbasic "at upper" with infinite bound is invalid; can
         // only happen with numerical trouble.
@@ -397,11 +522,185 @@ impl Tableau {
         }
     }
 
-    fn extract(&self, lp: &StandardLp, iterations: usize) -> LpSolution {
+    /// Tightens column `j` (structural) to `[lo, hi]` in root standard
+    /// space. Only the right-hand side changes — `B^-1 A` and the reduced
+    /// costs are invariant under bound shifts — so a subsequent
+    /// [`Tableau::dual_solve`] re-optimizes from the current basis.
+    ///
+    /// Returns `false` when the interval is empty (the node is infeasible).
+    pub(crate) fn apply_var_bounds(&mut self, j: usize, lo: f64, hi: f64) -> bool {
+        debug_assert!(j < self.n_structural);
+        if hi - lo < -1e-9 {
+            return false;
+        }
+        let width = (hi - lo).max(0.0);
+        let nc = self.n_cols;
+        if !self.in_basis[j] && self.at[j] == NonbasicAt::Upper {
+            // The variable rests at its (finite) upper bound; moving that
+            // bound moves the rest value.
+            let old_hi = self.shift[j] + self.upper[j];
+            let move_down = old_hi - hi;
+            if move_down != 0.0 {
+                for i in 0..self.n_rows {
+                    self.b[i] += self.a[i * nc + j] * move_down;
+                }
+            }
+        } else {
+            // Resting at (or basic above) the lower bound: shifting the
+            // lower bound by delta moves the rest value by delta. A basic
+            // column is the unit e_r, so only its own row adjusts and its
+            // model-space value is preserved.
+            let delta = lo - self.shift[j];
+            if delta != 0.0 {
+                for i in 0..self.n_rows {
+                    self.b[i] -= self.a[i * nc + j] * delta;
+                }
+            }
+        }
+        self.shift[j] = lo;
+        self.upper[j] = width;
+        true
+    }
+
+    /// Re-optimizes with the bounded dual simplex after bound tightenings.
+    ///
+    /// The basis stays dual feasible across [`Tableau::apply_var_bounds`],
+    /// so each iteration drops the most infeasible basic variable to the
+    /// violated bound and brings in the column that keeps the reduced
+    /// costs sign-correct. Returns `None` on numerical trouble (caller
+    /// falls back to a cold solve); otherwise the usual solution with
+    /// status `Optimal` or `Infeasible`.
+    pub(crate) fn dual_solve(&mut self) -> Option<LpSolution> {
+        let feas_tol = 1e-7 * (1.0 + self.big_m / 1e7);
+        // Start from exact reduced costs and verify dual feasibility; a
+        // violation means the caller's tableau was not optimal.
+        self.refresh_reduced_costs();
+        if !self.dual_feasible(feas_tol) {
+            return None;
+        }
+
+        let iter_limit = 100 * (self.n_rows + self.n_cols).max(50);
+        let mut iterations = 0usize;
+        loop {
+            if iterations > iter_limit {
+                return None;
+            }
+
+            // Leaving row: largest primal bound violation.
+            let mut leave: Option<(usize, f64, NonbasicAt)> = None;
+            for i in 0..self.n_rows {
+                let xb = self.b[i];
+                let ub = self.upper[self.basis[i]];
+                if xb < -feas_tol {
+                    let viol = -xb;
+                    if leave.is_none_or(|(_, v, _)| viol > v) {
+                        leave = Some((i, viol, NonbasicAt::Lower));
+                    }
+                } else if ub.is_finite() && xb > ub + feas_tol {
+                    let viol = xb - ub;
+                    if leave.is_none_or(|(_, v, _)| viol > v) {
+                        leave = Some((i, viol, NonbasicAt::Upper));
+                    }
+                }
+            }
+            let Some((r, _, leave_to)) = leave else {
+                // Primal feasible again; certify optimality before
+                // extracting (drifted d would silently mis-terminate).
+                self.refresh_reduced_costs();
+                if !self.dual_feasible(feas_tol) {
+                    return None;
+                }
+                return Some(self.extract(iterations));
+            };
+
+            // Entering column: dual ratio test. Eligibility keeps the
+            // movement reducing the violation; among eligible columns pick
+            // the smallest |d/a| (first dual constraint to go tight).
+            let below = leave_to == NonbasicAt::Lower;
+            let row = self.row(r);
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, |a|)
+            let mut any_eligible_sign = false;
+            for (j, &arj) in row.iter().enumerate() {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let eligible = match (below, self.at[j]) {
+                    (true, NonbasicAt::Lower) => arj < -EPS,
+                    (true, NonbasicAt::Upper) => arj > EPS,
+                    (false, NonbasicAt::Lower) => arj > EPS,
+                    (false, NonbasicAt::Upper) => arj < -EPS,
+                };
+                if !eligible {
+                    continue;
+                }
+                any_eligible_sign = true;
+                if arj.abs() <= PIVOT_EPS {
+                    continue;
+                }
+                let ratio = self.d[j].abs() / arj.abs();
+                let better = match entering {
+                    None => true,
+                    Some((_, best, besta)) => {
+                        ratio < best - EPS || (ratio < best + EPS && arj.abs() > besta)
+                    }
+                };
+                if better {
+                    entering = Some((j, ratio, arj.abs()));
+                }
+            }
+            match entering {
+                Some((q, _, _)) => {
+                    let dir = if self.at[q] == NonbasicAt::Lower {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    // Move q until the leaving basic lands on its violated
+                    // bound: b[r] - dir*a[r][q]*t = target.
+                    let target = match leave_to {
+                        NonbasicAt::Lower => 0.0,
+                        NonbasicAt::Upper => self.upper[self.basis[r]],
+                    };
+                    let t = (self.b[r] - target) / (dir * self.coeff(r, q));
+                    debug_assert!(t >= -EPS, "negative dual step {t}");
+                    self.pivot(r, q, dir, t.max(0.0), leave_to);
+                }
+                None if any_eligible_sign => {
+                    // Only numerically tiny pivots available: bail out to
+                    // the cold path rather than risk a bad basis.
+                    return None;
+                }
+                None => {
+                    // No column can reduce the violation: the primal is
+                    // infeasible (dual unbounded).
+                    return Some(LpSolution {
+                        status: LpStatus::Infeasible,
+                        values: vec![0.0; self.n_structural],
+                        objective: f64::NAN,
+                        iterations,
+                    });
+                }
+            }
+            iterations += 1;
+        }
+    }
+
+    /// Checks the reduced-cost sign conditions for every nonbasic column.
+    fn dual_feasible(&self, tol: f64) -> bool {
+        (0..self.n_cols).all(|j| {
+            self.in_basis[j]
+                || match self.at[j] {
+                    NonbasicAt::Lower => self.d[j] >= -tol,
+                    NonbasicAt::Upper => self.d[j] <= tol,
+                }
+        })
+    }
+
+    fn extract(&self, iterations: usize) -> LpSolution {
         let mut values = vec![0.0; self.n_cols];
-        for j in 0..self.n_cols {
-            if !self.is_basic(j) {
-                values[j] = self.nonbasic_value(j);
+        for (j, v) in values.iter_mut().enumerate() {
+            if !self.in_basis[j] {
+                *v = self.nonbasic_value(j);
             }
         }
         for (i, &bj) in self.basis.iter().enumerate() {
@@ -409,25 +708,29 @@ impl Tableau {
         }
         // Check artificials: any residual means infeasible.
         let feas_tol = 1e-6 * (1.0 + self.big_m / 1e7);
-        for j in self.artificial_start..self.n_cols {
-            if values[j].abs() > feas_tol {
+        for v in &values[self.artificial_start..self.n_cols] {
+            if v.abs() > feas_tol {
                 return LpSolution {
                     status: LpStatus::Infeasible,
-                    values: vec![0.0; lp.n_structural],
+                    values: vec![0.0; self.n_structural],
                     objective: f64::NAN,
                     iterations,
                 };
             }
         }
-        let structural: Vec<f64> = values[..lp.n_structural]
+        let structural: Vec<f64> = values[..self.n_structural]
             .iter()
-            .map(|&v| if v.abs() < 1e-11 { 0.0 } else { v })
+            .zip(&self.shift)
+            .map(|(&v, &s)| {
+                let x = v + s;
+                if x.abs() < 1e-11 {
+                    0.0
+                } else {
+                    x
+                }
+            })
             .collect();
-        let objective = structural
-            .iter()
-            .zip(&lp.costs)
-            .map(|(v, c)| v * c)
-            .sum();
+        let objective = structural.iter().zip(&self.cost).map(|(v, c)| v * c).sum();
         LpSolution {
             status: LpStatus::Optimal,
             values: structural,
@@ -441,11 +744,7 @@ impl Tableau {
 mod tests {
     use super::*;
 
-    fn lp(
-        costs: Vec<f64>,
-        rows: Vec<(Vec<f64>, bool, f64)>,
-        upper: Vec<f64>,
-    ) -> StandardLp {
+    fn lp(costs: Vec<f64>, rows: Vec<(Vec<f64>, bool, f64)>, upper: Vec<f64>) -> StandardLp {
         let n = costs.len();
         StandardLp {
             n_structural: n,
@@ -490,10 +789,7 @@ mod tests {
         // x <= 1 and x >= 3 (encoded as -x <= -3).
         let p = lp(
             vec![1.0],
-            vec![
-                (vec![1.0], false, 1.0),
-                (vec![-1.0], false, -3.0),
-            ],
+            vec![(vec![1.0], false, 1.0), (vec![-1.0], false, -3.0)],
             vec![f64::INFINITY],
         );
         let s = solve_standard(&p);
@@ -582,5 +878,83 @@ mod tests {
         assert!((s.values[0]).abs() < 1e-6);
         assert!((s.values[1] - 2.0).abs() < 1e-6);
         assert!((s.values[2] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_after_bound_tightening() {
+        // min -3x - 5y; x <= 4; 2y <= 12; 3x + 2y <= 18. Tighten x <= 1
+        // (warm) and compare against solving the tightened LP cold.
+        let p = lp(
+            vec![-3.0, -5.0],
+            vec![
+                (vec![1.0, 0.0], false, 4.0),
+                (vec![0.0, 2.0], false, 12.0),
+                (vec![3.0, 2.0], false, 18.0),
+            ],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let (root, warm) = solve_with_warm(&p);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let mut tab = warm.expect("warm state on optimal");
+        assert!(tab.apply_var_bounds(0, 0.0, 1.0));
+        let warm_sol = tab.dual_solve().expect("dual solve");
+        assert_eq!(warm_sol.status, LpStatus::Optimal);
+
+        let mut cold_lp = p.clone();
+        cold_lp.upper[0] = 1.0;
+        let cold_sol = solve_standard(&cold_lp);
+        assert_eq!(cold_sol.status, LpStatus::Optimal);
+        assert!(
+            (warm_sol.objective - cold_sol.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm_sol.objective,
+            cold_sol.objective
+        );
+        assert!((warm_sol.values[0] - 1.0).abs() < 1e-6);
+        assert!((warm_sol.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_restart_raised_lower_bound() {
+        // MDFC shape again: min 3a + b + 2c, a+b+c = 4, all in [0,2].
+        // Optimal has a = 0; force a >= 1 and re-optimize warm.
+        let p = lp(
+            vec![3.0, 1.0, 2.0],
+            vec![(vec![1.0, 1.0, 1.0], true, 4.0)],
+            vec![2.0, 2.0, 2.0],
+        );
+        let (root, warm) = solve_with_warm(&p);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let mut tab = warm.expect("warm");
+        assert!(tab.apply_var_bounds(0, 1.0, 2.0));
+        let sol = tab.dual_solve().expect("dual solve");
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // a=1 forced; remaining 3 split b=2, c=1: obj 3 + 2 + 2 = 7.
+        assert!((sol.objective - 7.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!((sol.values[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_restart_detects_infeasible_child() {
+        // x + y = 4 with x, y in [0, 2]: forcing x = 0 leaves y = 4 > 2.
+        let p = lp(
+            vec![1.0, 1.0],
+            vec![(vec![1.0, 1.0], true, 4.0)],
+            vec![2.0, 2.0],
+        );
+        let (root, warm) = solve_with_warm(&p);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let mut tab = warm.expect("warm");
+        assert!(tab.apply_var_bounds(0, 0.0, 0.0));
+        let sol = tab.dual_solve().expect("dual path");
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_restart_empty_interval_rejected() {
+        let p = lp(vec![1.0], vec![], vec![5.0]);
+        let (_, warm) = solve_with_warm(&p);
+        let mut tab = warm.expect("warm");
+        assert!(!tab.apply_var_bounds(0, 3.0, 2.0));
     }
 }

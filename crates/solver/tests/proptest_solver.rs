@@ -1,9 +1,11 @@
-//! Property-based tests: the MILP solver must agree with exhaustive
+//! Randomized tests: the MILP solver must agree with exhaustive
 //! enumeration on random small pure-integer programs, and LP solutions must
-//! dominate every sampled feasible point.
+//! dominate every sampled feasible point. Driven by the in-repo seeded
+//! PRNG so every run explores the same cases.
 
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
 use pilfill_solver::{Model, Objective, Sense, SolveError};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct RandomIp {
@@ -14,42 +16,43 @@ struct RandomIp {
     cons: Vec<(Vec<f64>, Sense, f64)>,
 }
 
-fn sense_strategy() -> impl Strategy<Value = Sense> {
-    prop_oneof![Just(Sense::Le), Just(Sense::Ge), Just(Sense::Eq)]
+/// Round to quarters to avoid near-degenerate float comparisons between
+/// solver and brute force.
+fn quarters(x: f64) -> f64 {
+    (x * 4.0).round() / 4.0
 }
 
-fn ip_strategy() -> impl Strategy<Value = RandomIp> {
-    (2usize..5)
-        .prop_flat_map(|n| {
-            let objs = prop::collection::vec(-5.0f64..5.0, n..=n);
-            let caps = prop::collection::vec(0i64..4, n..=n);
-            let cons = prop::collection::vec(
-                (
-                    prop::collection::vec(-3.0f64..3.0, n..=n),
-                    sense_strategy(),
-                    -6.0f64..10.0,
-                ),
-                0..3,
-            );
-            (any::<bool>(), objs, caps, cons)
+fn rand_sense(rng: &mut StdRng) -> Sense {
+    match rng.gen_range(0u32..3) {
+        0 => Sense::Le,
+        1 => Sense::Ge,
+        _ => Sense::Eq,
+    }
+}
+
+fn rand_ip(rng: &mut StdRng) -> RandomIp {
+    let n = rng.gen_range(2usize..5);
+    let objs: Vec<f64> = (0..n)
+        .map(|_| quarters(rng.gen_range(-5.0f64..5.0)))
+        .collect();
+    let caps: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..4)).collect();
+    let n_cons = rng.gen_range(0usize..3);
+    let cons = (0..n_cons)
+        .map(|_| {
+            let coeffs: Vec<f64> = (0..n)
+                .map(|_| quarters(rng.gen_range(-3.0f64..3.0)))
+                .collect();
+            let sense = rand_sense(rng);
+            let rhs = quarters(rng.gen_range(-6.0f64..10.0));
+            (coeffs, sense, rhs)
         })
-        .prop_map(|(maximize, objs, caps, cons)| RandomIp {
-            maximize,
-            // Round coefficients to quarters to avoid near-degenerate float
-            // comparisons between solver and brute force.
-            objs: objs.iter().map(|c| (c * 4.0).round() / 4.0).collect(),
-            caps,
-            cons: cons
-                .into_iter()
-                .map(|(coef, s, r)| {
-                    (
-                        coef.iter().map(|c| (c * 4.0).round() / 4.0).collect(),
-                        s,
-                        (r * 4.0).round() / 4.0,
-                    )
-                })
-                .collect(),
-        })
+        .collect();
+    RandomIp {
+        maximize: rng.gen::<bool>(),
+        objs,
+        caps,
+        cons,
+    }
 }
 
 fn enumerate_best(ip: &RandomIp) -> Option<f64> {
@@ -58,11 +61,7 @@ fn enumerate_best(ip: &RandomIp) -> Option<f64> {
     let mut x = vec![0i64; n];
     loop {
         let feasible = ip.cons.iter().all(|(coeffs, sense, rhs)| {
-            let lhs: f64 = coeffs
-                .iter()
-                .zip(&x)
-                .map(|(c, &v)| c * v as f64)
-                .sum();
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(c, &v)| c * v as f64).sum();
             match sense {
                 Sense::Le => lhs <= rhs + 1e-7,
                 Sense::Ge => lhs >= rhs - 1e-7,
@@ -70,12 +69,7 @@ fn enumerate_best(ip: &RandomIp) -> Option<f64> {
             }
         });
         if feasible {
-            let obj: f64 = ip
-                .objs
-                .iter()
-                .zip(&x)
-                .map(|(c, &v)| c * v as f64)
-                .sum();
+            let obj: f64 = ip.objs.iter().zip(&x).map(|(c, &v)| c * v as f64).sum();
             best = Some(match best {
                 None => obj,
                 Some(b) => {
@@ -116,55 +110,64 @@ fn build_model(ip: &RandomIp) -> Model {
         .map(|(&o, &c)| m.add_integer_var(0.0, c as f64, o))
         .collect();
     for (coeffs, sense, rhs) in &ip.cons {
-        m.add_constraint(
-            vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)),
-            *sense,
-            *rhs,
-        );
+        m.add_constraint(vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)), *sense, *rhs);
     }
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn milp_matches_exhaustive_enumeration(ip in ip_strategy()) {
+#[test]
+fn milp_matches_exhaustive_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0x501_7E51);
+    for case in 0..128 {
+        let ip = rand_ip(&mut rng);
         let model = build_model(&ip);
         let brute = enumerate_best(&ip);
         match (model.solve(), brute) {
             (Ok(sol), Some(best)) => {
-                prop_assert!(
+                assert!(
                     (sol.objective - best).abs() < 1e-5,
-                    "solver={} brute={} ip={:?}",
-                    sol.objective, best, ip
+                    "case {case}: solver={} brute={} ip={:?}",
+                    sol.objective,
+                    best,
+                    ip
                 );
                 // The reported point must itself be feasible and integral.
                 for (v, cap) in sol.values.iter().zip(&ip.caps) {
-                    prop_assert!((v - v.round()).abs() < 1e-6);
-                    prop_assert!(v.round() >= -1e-9 && v.round() <= *cap as f64 + 1e-9);
+                    assert!((v - v.round()).abs() < 1e-6);
+                    assert!(v.round() >= -1e-9 && v.round() <= *cap as f64 + 1e-9);
                 }
             }
             (Err(SolveError::Infeasible), None) => {}
             (got, want) => {
-                return Err(TestCaseError::fail(format!(
-                    "solver {got:?} vs brute {want:?} on {ip:?}"
-                )));
+                panic!("case {case}: solver {got:?} vs brute {want:?} on {ip:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn lp_relaxation_dominates_integer_points(ip in ip_strategy()) {
+#[test]
+fn lp_relaxation_dominates_integer_points() {
+    let mut rng = StdRng::seed_from_u64(0x501_7E52);
+    for case in 0..128 {
+        let ip = rand_ip(&mut rng);
         let model = build_model(&ip);
-        // LP optimum must be at least as good as every feasible integer point.
+        // LP optimum must be at least as good as every feasible integer
+        // point.
         if let (Ok(lp), Some(best)) = (model.solve_lp(), enumerate_best(&ip)) {
             if ip.maximize {
-                prop_assert!(lp.objective >= best - 1e-5,
-                    "lp {} < best integer {}", lp.objective, best);
+                assert!(
+                    lp.objective >= best - 1e-5,
+                    "case {case}: lp {} < best integer {}",
+                    lp.objective,
+                    best
+                );
             } else {
-                prop_assert!(lp.objective <= best + 1e-5,
-                    "lp {} > best integer {}", lp.objective, best);
+                assert!(
+                    lp.objective <= best + 1e-5,
+                    "case {case}: lp {} > best integer {}",
+                    lp.objective,
+                    best
+                );
             }
         }
     }

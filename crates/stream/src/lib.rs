@@ -25,8 +25,8 @@
 //! # Ok::<(), pilfill_stream::GdsError>(())
 //! ```
 
-mod real8;
 mod reader;
+mod real8;
 mod records;
 mod writer;
 

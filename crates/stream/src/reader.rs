@@ -40,9 +40,9 @@ impl GdsBoundary {
             return false;
         }
         let b = self.bbox();
-        self.points.iter().all(|p| {
-            (p.x == b.left || p.x == b.right) && (p.y == b.bottom || p.y == b.top)
-        })
+        self.points
+            .iter()
+            .all(|p| (p.x == b.left || p.x == b.right) && (p.y == b.bottom || p.y == b.top))
     }
 }
 

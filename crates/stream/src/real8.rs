@@ -79,10 +79,7 @@ mod tests {
         // The canonical UNITS values: 1e-3 user units, 1e-9 meters.
         for v in [1e-3, 1e-9, 0.001, 2.5e-7] {
             let dec = decode_real8(encode_real8(v));
-            assert!(
-                ((dec - v) / v).abs() < 1e-12,
-                "{v} -> {dec}"
-            );
+            assert!(((dec - v) / v).abs() < 1e-12, "{v} -> {dec}");
         }
     }
 
@@ -99,10 +96,7 @@ mod tests {
             for sign in [1.0, -1.0] {
                 let x = sign * v * 1.2345;
                 let dec = decode_real8(encode_real8(x));
-                assert!(
-                    ((dec - x) / x).abs() < 1e-12,
-                    "{x} -> {dec}"
-                );
+                assert!(((dec - x) / x).abs() < 1e-12, "{x} -> {dec}");
             }
             v *= 10.0;
         }

@@ -2,8 +2,6 @@
 //! datatype][payload]`, big-endian, with `length` counting the 4 header
 //! bytes.
 
-use bytes::{Buf, BufMut, BytesMut};
-
 /// Record type codes (the subset this crate uses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -115,13 +113,16 @@ impl std::fmt::Display for GdsError {
 impl std::error::Error for GdsError {}
 
 /// Appends one record to `out`.
-pub fn put_record(out: &mut BytesMut, rt: RecordType, dt: DataType, payload: &[u8]) {
-    debug_assert!(payload.len() % 2 == 0, "GDSII payloads are even-length");
+pub fn put_record(out: &mut Vec<u8>, rt: RecordType, dt: DataType, payload: &[u8]) {
+    debug_assert!(
+        payload.len().is_multiple_of(2),
+        "GDSII payloads are even-length"
+    );
     let len = 4 + payload.len();
-    out.put_u16(len as u16);
-    out.put_u8(rt as u8);
-    out.put_u8(dt as u8);
-    out.put_slice(payload);
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.push(rt as u8);
+    out.push(dt as u8);
+    out.extend_from_slice(payload);
 }
 
 /// A parsed record header plus payload slice offsets.
@@ -147,18 +148,19 @@ pub fn next_record(buf: &mut &[u8]) -> Result<Option<RawRecord>, GdsError> {
     if buf.len() < 4 {
         return Err(GdsError::UnexpectedEof);
     }
-    let length = buf.get_u16();
+    let length = u16::from_be_bytes([buf[0], buf[1]]);
     if length < 4 {
         return Err(GdsError::BadRecordLength { length });
     }
-    let code = buf.get_u8();
-    let _dtype = buf.get_u8();
+    let code = buf[2];
+    let _dtype = buf[3];
+    *buf = &buf[4..];
     let payload_len = (length - 4) as usize;
     if buf.len() < payload_len {
         return Err(GdsError::UnexpectedEof);
     }
     let payload = buf[..payload_len].to_vec();
-    buf.advance(payload_len);
+    *buf = &buf[payload_len..];
     let rtype = RecordType::from_code(code).ok_or(GdsError::UnexpectedRecord { code })?;
     Ok(Some(RawRecord { rtype, payload }))
 }
@@ -169,11 +171,10 @@ mod tests {
 
     #[test]
     fn record_round_trip() {
-        let mut out = BytesMut::new();
+        let mut out = Vec::new();
         put_record(&mut out, RecordType::Header, DataType::Int16, &[0x02, 0x58]);
         put_record(&mut out, RecordType::EndLib, DataType::NoData, &[]);
-        let bytes = out.freeze();
-        let mut cursor: &[u8] = &bytes;
+        let mut cursor: &[u8] = &out;
         let r1 = next_record(&mut cursor).expect("ok").expect("some");
         assert_eq!(r1.rtype, RecordType::Header);
         assert_eq!(r1.payload, vec![0x02, 0x58]);
@@ -187,7 +188,10 @@ mod tests {
     fn truncated_record_errors() {
         let bytes = [0x00u8, 0x08, 0x00]; // length says 8, only 3 bytes
         let mut cursor: &[u8] = &bytes;
-        assert!(matches!(next_record(&mut cursor), Err(GdsError::UnexpectedEof)));
+        assert!(matches!(
+            next_record(&mut cursor),
+            Err(GdsError::UnexpectedEof)
+        ));
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! GDSII writer: serializes a design's drawn metal and its fill features.
 
-use crate::records::{put_record, DataType, RecordType};
 use crate::encode_real8;
-use bytes::{BufMut, BytesMut};
+use crate::records::{put_record, DataType, RecordType};
 use pilfill_core::FillFeature;
 use pilfill_geom::Rect;
 use pilfill_layout::Design;
@@ -10,7 +9,7 @@ use pilfill_layout::Design;
 /// Datatype used for fill features (drawn metal uses datatype 0).
 pub const FILL_DATATYPE: i16 = 1;
 
-fn put_i16(out: &mut BytesMut, rt: RecordType, values: &[i16]) {
+fn put_i16(out: &mut Vec<u8>, rt: RecordType, values: &[i16]) {
     let mut payload = Vec::with_capacity(values.len() * 2);
     for v in values {
         payload.extend_from_slice(&v.to_be_bytes());
@@ -18,15 +17,15 @@ fn put_i16(out: &mut BytesMut, rt: RecordType, values: &[i16]) {
     put_record(out, rt, DataType::Int16, &payload);
 }
 
-fn put_ascii(out: &mut BytesMut, rt: RecordType, s: &str) {
+fn put_ascii(out: &mut Vec<u8>, rt: RecordType, s: &str) {
     let mut payload = s.as_bytes().to_vec();
-    if payload.len() % 2 != 0 {
+    if !payload.len().is_multiple_of(2) {
         payload.push(0);
     }
     put_record(out, rt, DataType::Ascii, &payload);
 }
 
-fn put_boundary(out: &mut BytesMut, layer: i16, datatype: i16, rect: Rect) {
+fn put_boundary(out: &mut Vec<u8>, layer: i16, datatype: i16, rect: Rect) {
     put_record(out, RecordType::Boundary, DataType::NoData, &[]);
     put_i16(out, RecordType::Layer, &[layer]);
     put_i16(out, RecordType::Datatype, &[datatype]);
@@ -38,10 +37,10 @@ fn put_boundary(out: &mut BytesMut, layer: i16, datatype: i16, rect: Rect) {
         (rect.left, rect.top),
         (rect.left, rect.bottom),
     ];
-    let mut payload = BytesMut::with_capacity(40);
+    let mut payload = Vec::with_capacity(40);
     for (x, y) in pts {
-        payload.put_i32(x as i32);
-        payload.put_i32(y as i32);
+        payload.extend_from_slice(&(x as i32).to_be_bytes());
+        payload.extend_from_slice(&(y as i32).to_be_bytes());
     }
     put_record(out, RecordType::Xy, DataType::Int32, &payload);
     put_record(out, RecordType::EndEl, DataType::NoData, &[]);
@@ -53,10 +52,14 @@ fn put_boundary(out: &mut BytesMut, layer: i16, datatype: i16, rect: Rect) {
 /// features on the first layer (index 0) with datatype [`FILL_DATATYPE`].
 /// Units are 1 dbu = 1 nm.
 pub fn write_gds(design: &Design, fill: &[FillFeature]) -> Vec<u8> {
-    let mut out = BytesMut::with_capacity(1024 + 44 * fill.len());
+    let mut out = Vec::with_capacity(1024 + 44 * fill.len());
     put_i16(&mut out, RecordType::Header, &[600]);
     // Fixed timestamps keep output deterministic (tools ignore them).
-    put_i16(&mut out, RecordType::BgnLib, &[2003, 6, 1, 0, 0, 0, 2003, 6, 1, 0, 0, 0]);
+    put_i16(
+        &mut out,
+        RecordType::BgnLib,
+        &[2003, 6, 1, 0, 0, 0, 2003, 6, 1, 0, 0, 0],
+    );
     put_ascii(&mut out, RecordType::LibName, &design.name);
     {
         let mut payload = Vec::with_capacity(16);
@@ -64,7 +67,11 @@ pub fn write_gds(design: &Design, fill: &[FillFeature]) -> Vec<u8> {
         payload.extend_from_slice(&encode_real8(1e-9)); // meters per dbu
         put_record(&mut out, RecordType::Units, DataType::Real8, &payload);
     }
-    put_i16(&mut out, RecordType::BgnStr, &[2003, 6, 1, 0, 0, 0, 2003, 6, 1, 0, 0, 0]);
+    put_i16(
+        &mut out,
+        RecordType::BgnStr,
+        &[2003, 6, 1, 0, 0, 0, 2003, 6, 1, 0, 0, 0],
+    );
     put_ascii(&mut out, RecordType::StrName, "TOP");
 
     for net in &design.nets {
@@ -82,7 +89,7 @@ pub fn write_gds(design: &Design, fill: &[FillFeature]) -> Vec<u8> {
 
     put_record(&mut out, RecordType::EndStr, DataType::NoData, &[]);
     put_record(&mut out, RecordType::EndLib, DataType::NoData, &[]);
-    out.to_vec()
+    out
 }
 
 #[cfg(test)]

@@ -108,9 +108,7 @@ impl<'a> DensityView<'a> {
         );
         doc.end_group();
 
-        doc.finish(
-            ".legend-label{font:10px monospace;fill:#c8c8c8} .tiles rect{stroke:none}",
-        )
+        doc.finish(".legend-label{font:10px monospace;fill:#c8c8c8} .tiles rect{stroke:none}")
     }
 }
 

@@ -19,8 +19,7 @@ fn heat_map(map: &DensityMap) {
     for iy in (0..grid.ny()).rev() {
         let mut line = String::new();
         for ix in 0..grid.nx() {
-            let density =
-                map.tile_area((ix, iy)) as f64 / grid.cell_rect((ix, iy)).area() as f64;
+            let density = map.tile_area((ix, iy)) as f64 / grid.cell_rect((ix, iy)).area() as f64;
             let glyph = match (density * 10.0) as u32 {
                 0 => ' ',
                 1 => '.',

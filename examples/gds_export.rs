@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let drawn = lib.boundaries.len() - fills.len();
     println!(
         "read back library `{}` / structure `{}`: {} drawn shapes, {} fill shapes",
-        lib.name, lib.structure, drawn, fills.len()
+        lib.name,
+        lib.structure,
+        drawn,
+        fills.len()
     );
     assert_eq!(fills.len() as u64, outcome.placed_features);
     assert!(fills.iter().all(|b| b.is_rect()));

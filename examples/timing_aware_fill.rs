@@ -26,7 +26,12 @@ fn build_design() -> Result<Design, Box<dyn std::error::Error>> {
     // with sinks (weights accumulate on the trunk).
     b = b
         .net("critical", Point::new(500, 20_000))
-        .segment("m3", Point::new(500, 20_000), Point::new(12_000, 20_000), 280)
+        .segment(
+            "m3",
+            Point::new(500, 20_000),
+            Point::new(12_000, 20_000),
+            280,
+        )
         .segment(
             "m3",
             Point::new(12_000, 20_000),
@@ -40,17 +45,42 @@ fn build_design() -> Result<Design, Box<dyn std::error::Error>> {
             280,
         )
         .sink(Point::new(38_000, 20_000))
-        .segment("m2", Point::new(12_000, 20_000), Point::new(12_000, 26_000), 280)
-        .segment("m3", Point::new(12_000, 26_000), Point::new(20_000, 26_000), 280)
+        .segment(
+            "m2",
+            Point::new(12_000, 20_000),
+            Point::new(12_000, 26_000),
+            280,
+        )
+        .segment(
+            "m3",
+            Point::new(12_000, 26_000),
+            Point::new(20_000, 26_000),
+            280,
+        )
         .sink(Point::new(20_000, 26_000))
-        .segment("m2", Point::new(25_000, 20_000), Point::new(25_000, 14_000), 280)
-        .segment("m3", Point::new(25_000, 14_000), Point::new(33_000, 14_000), 280)
+        .segment(
+            "m2",
+            Point::new(25_000, 20_000),
+            Point::new(25_000, 14_000),
+            280,
+        )
+        .segment(
+            "m3",
+            Point::new(25_000, 14_000),
+            Point::new(33_000, 14_000),
+            280,
+        )
         .sink(Point::new(33_000, 14_000));
 
     // A relaxed neighbour just below the critical trunk.
     b = b
         .net("relaxed", Point::new(500, 18_500))
-        .segment("m3", Point::new(500, 18_500), Point::new(30_000, 18_500), 280)
+        .segment(
+            "m3",
+            Point::new(500, 18_500),
+            Point::new(30_000, 18_500),
+            280,
+        )
         .sink(Point::new(30_000, 18_500));
 
     Ok(b.build()?)
@@ -82,11 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.impact.total_delay * 1e15
         );
         for (net, delay) in outcome.impact.worst_nets(5) {
-            println!(
-                "    {:<9} +{:.4} fs",
-                design.nets[net.0].name,
-                delay * 1e15
-            );
+            println!("    {:<9} +{:.4} fs", design.nets[net.0].name, delay * 1e15);
         }
     }
     println!(

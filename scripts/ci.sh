@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full offline CI pass: formatting, lints, build, tests, bench smoke.
+# The workspace has zero external dependencies, so everything here runs
+# without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> bench smoke (writes BENCH_pr1.json)"
+cargo run --release -p pilfill-bench --bin bench_json
+
+echo "CI OK"

@@ -20,8 +20,7 @@ fn full_flow_all_methods_share_density_and_budget() {
     let d = design();
     let cfg = config();
     let ctx = FlowContext::build(&d, &cfg).expect("context");
-    let methods: Vec<&dyn FillMethod> =
-        vec![&NormalFill, &IlpOne, &IlpTwo, &GreedyFill, &DpExact];
+    let methods: Vec<&dyn FillMethod> = vec![&NormalFill, &IlpOne, &IlpTwo, &GreedyFill, &DpExact];
     let outcomes: Vec<_> = methods
         .iter()
         .map(|m| ctx.run(&cfg, *m).expect("flow"))
@@ -33,8 +32,7 @@ fn full_flow_all_methods_share_density_and_budget() {
         assert_eq!(o.shortfall, 0);
         assert_eq!(o.impact.unlocated_features, 0);
         assert_eq!(
-            o.density_after.min_window_density,
-            reference.density_after.min_window_density,
+            o.density_after.min_window_density, reference.density_after.min_window_density,
             "{}: density quality must be identical",
             o.method
         );
@@ -51,8 +49,14 @@ fn method_quality_ordering_holds_end_to_end() {
     let greedy = tau(&GreedyFill);
     let ilp2 = tau(&IlpTwo);
     let dp = tau(&DpExact);
-    assert!(ilp2 <= greedy, "ILP-II ({ilp2}) must beat Greedy ({greedy})");
-    assert!(greedy < normal, "Greedy ({greedy}) must beat Normal ({normal})");
+    assert!(
+        ilp2 <= greedy,
+        "ILP-II ({ilp2}) must beat Greedy ({greedy})"
+    );
+    assert!(
+        greedy < normal,
+        "Greedy ({greedy}) must beat Normal ({normal})"
+    );
     // ILP-II solves the same model DP solves exactly.
     assert!((ilp2 - dp).abs() <= 1e-6 * dp.max(1e-30), "ILP-II vs DP");
 }

@@ -17,7 +17,12 @@ fn design_with_macro() -> Design {
         .segment("m3", Point::new(300, 4_000), Point::new(23_000, 4_000), 280)
         .sink(Point::new(23_000, 4_000))
         .net("b", Point::new(300, 20_000))
-        .segment("m3", Point::new(300, 20_000), Point::new(23_000, 20_000), 280)
+        .segment(
+            "m3",
+            Point::new(300, 20_000),
+            Point::new(23_000, 20_000),
+            280,
+        )
         .sink(Point::new(23_000, 20_000))
         .build()
         .expect("valid design")
@@ -77,8 +82,8 @@ fn coupling_to_macro_charges_only_the_real_net() {
 #[test]
 fn gds_and_svg_include_the_macro() {
     let d = design_with_macro();
-    let lib = pil_fill::stream::read_gds(&pil_fill::stream::write_gds(&d, &[]))
-        .expect("gds round trip");
+    let lib =
+        pil_fill::stream::read_gds(&pil_fill::stream::write_gds(&d, &[])).expect("gds round trip");
     let drawn = lib.boundaries_with_datatype(0);
     let total_segments: usize = d.nets.iter().map(|n| n.segments.len()).sum();
     assert_eq!(drawn.len(), total_segments + d.obstructions.len());

@@ -23,9 +23,7 @@ fn ilp2_wins_and_normal_loses_across_dissections() {
     for (window, r) in [(16_000i64, 2usize), (16_000, 4), (12_000, 2)] {
         let cfg = FlowConfig::new(window, r).expect("config");
         let ctx = FlowContext::build(&d, &cfg).expect("context");
-        let tau = |m: &dyn FillMethod| {
-            ctx.run(&cfg, m).expect("flow").impact.total_delay
-        };
+        let tau = |m: &dyn FillMethod| ctx.run(&cfg, m).expect("flow").impact.total_delay;
         let normal = tau(&NormalFill);
         let ilp1 = tau(&IlpOne);
         let ilp2 = tau(&IlpTwo);
@@ -50,11 +48,7 @@ fn improvement_shrinks_with_finer_dissection() {
     for r in [1usize, 4, 8] {
         let cfg = FlowConfig::new(16_000, r).expect("config");
         let ctx = FlowContext::build(&d, &cfg).expect("context");
-        let normal = ctx
-            .run(&cfg, &NormalFill)
-            .expect("flow")
-            .impact
-            .total_delay;
+        let normal = ctx.run(&cfg, &NormalFill).expect("flow").impact.total_delay;
         let ilp2 = ctx.run(&cfg, &IlpTwo).expect("flow").impact.total_delay;
         reductions.push((normal - ilp2) / normal);
     }
@@ -104,6 +98,12 @@ fn ilp2_runtime_dominates_other_methods() {
     let ilp2 = time(&IlpTwo);
     let greedy = time(&GreedyFill);
     let normal = time(&NormalFill);
-    assert!(ilp2 > greedy, "ILP-II ({ilp2:?}) slower than Greedy ({greedy:?})");
-    assert!(ilp2 > normal, "ILP-II ({ilp2:?}) slower than Normal ({normal:?})");
+    assert!(
+        ilp2 > greedy,
+        "ILP-II ({ilp2:?}) slower than Greedy ({greedy:?})"
+    );
+    assert!(
+        ilp2 > normal,
+        "ILP-II ({ilp2:?}) slower than Normal ({normal:?})"
+    );
 }
