@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! **Ablation B**: dissection-granularity effect (paper Section 6: "when
 //! the dissection becomes too fine-grain, it becomes harder to consider
 //! the total impact of a slack site column since we handle the overlapping

@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! **Ablation C**: the Greedy pathology and its bound fix (paper Section
 //! 5.4 footnote). Plain Greedy concentrates fill in whole columns; on nets
 //! whose columns rank cheap it can add more delay to a *single* net than
@@ -46,7 +48,9 @@ fn main() {
             .expect("greedy");
         let mut w0 = 0.0f64;
         for p in ctx.problems() {
-            let budget = (ctx.budget_features(p.cell) as u64).min(p.capacity()) as u32;
+            let budget = pilfill_geom::units::saturating_count(
+                (ctx.budget_features(p.cell) as u64).min(p.capacity()),
+            );
             if budget == 0 {
                 continue;
             }

@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! **Ablation A**: effect of the slack-column definition on delay impact
 //! and fill completion (paper Section 5.1's qualitative claims, measured).
 //!

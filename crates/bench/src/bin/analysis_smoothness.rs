@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! **Extension E**: smoothness analysis of filled layouts (the paper's
 //! reference \[4\], ISPD 2002) — beyond min/max window density, report
 //! the window-to-window gradient and multi-scale uniformity before and

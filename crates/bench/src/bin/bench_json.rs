@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! One-shot machine-readable bench report: times the hot paths of the
 //! whole pipeline (density analysis, scan-line extraction, every per-tile
 //! fill method, and the end-to-end flow) and writes `BENCH_pr1.json`
@@ -32,7 +34,7 @@ fn representative_tile(design: &Design, cfg: &FlowConfig) -> (TileProblem, u32) 
         })
         .expect("at least one tile")
         .clone();
-    let budget = (problem.capacity() / 2) as u32;
+    let budget = pilfill_geom::units::saturating_count(problem.capacity() / 2);
     (problem, budget)
 }
 

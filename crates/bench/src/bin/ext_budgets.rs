@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! **Extension D**: per-net capacitance budgets (paper Section 7's
 //! "ongoing research"). Runs ILP-II with and without per-net capacitance
 //! budget constraints and reports the worst-net delay and the number of

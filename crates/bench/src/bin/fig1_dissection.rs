@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! Regenerates **Figure 1** of the paper as data: the fixed r-dissection
 //! framework. Prints tile/window counts for the experiment grid and an
 //! ASCII rendering of a small r = 3 dissection like the paper's figure.

@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! Regenerates **Figure 2** of the paper as data: the coupling-capacitance
 //! configurations. Prints the exact fill-perturbed coupling `f(m, d)`
 //! (Eq. 5) against the Eq. 6 linearization across fill counts and line
@@ -25,7 +27,8 @@ fn main() {
     );
     let mut csv = String::from("d_dbu,m,ratio,exact_f,linear_f,error_pct\n");
     for d in [1_000i64, 1_400, 2_000, 4_000, 8_000] {
-        let max_m = ((d - 2 * 150) / 450).max(1) as u32; // site-pitch capacity
+        let max_m = // site-pitch capacity
+            pilfill_geom::units::saturating_count(((d - 2 * 150) / 450).max(1) as u64);
         for m in 1..=max_m {
             let exact = model.delta_cap_exact(m, d, w);
             let linear = model.delta_cap_linear(m, d, w);

@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! Regenerates **Figures 4-6** of the paper as data: the three
 //! slack-column definitions on the same tile. Reports, per definition,
 //! how many columns a representative tile sees, their total capacity, and

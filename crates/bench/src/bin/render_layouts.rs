@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! Renders the experiment testcases and a filled result as SVG — the
 //! visual counterparts of the paper's layout illustrations, generated
 //! from live data into `results/`.

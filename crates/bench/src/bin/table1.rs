@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! Regenerates **Table 1** of the paper: non-weighted PIL-Fill synthesis —
 //! total delay increase and per-method CPU time for Normal / ILP-I /
 //! ILP-II / Greedy over the T{1,2} x W{32,20} x r{2,4,8} grid.

@@ -1,3 +1,5 @@
+// Offline experiment harness: inputs are fixed and a failed step should
+// abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! Regenerates **Table 2** of the paper: weighted PIL-Fill synthesis — the
 //! same grid as Table 1 with the downstream-sink-weighted objective and
 //! metric.

@@ -22,8 +22,14 @@ impl Json {
     }
 
     /// Inserts `key: value`, replacing an existing key in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Object`].
     pub fn insert(&mut self, key: &str, value: Json) {
         let Json::Object(entries) = self else {
+            // Documented `# Panics` contract: inserting into a non-object is a
+            // caller bug in this offline harness. pilfill: allow(unwrap)
             panic!("insert on non-object JSON value");
         };
         if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
@@ -83,8 +89,8 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }

@@ -82,6 +82,8 @@ pub fn write_csv(rows: &[ExperimentRow], path: &Path) -> std::io::Result<()> {
 /// Percentage reduction of `value` relative to `baseline` (positive =
 /// better than baseline).
 pub fn reduction_pct(baseline: f64, value: f64) -> f64 {
+    // Exact-zero guard against division by zero; any nonzero baseline,
+    // however small, is meaningful. pilfill: allow(float-eq)
     if baseline == 0.0 {
         return 0.0;
     }

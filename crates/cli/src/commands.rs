@@ -333,8 +333,21 @@ fn report_fill(outcome: &FlowOutcome, out: &mut dyn Write) -> std::io::Result<()
     Ok(())
 }
 
+/// Stable kebab-case rule identifier for a DRC violation class, matching
+/// the `error[rule]` tags the repo linter uses.
+fn drc_rule(v: &pilfill_core::DrcViolation) -> &'static str {
+    use pilfill_core::DrcViolation;
+    match v {
+        DrcViolation::OffDie { .. } => "drc-off-die",
+        DrcViolation::BufferToWire { .. } => "drc-buffer-wire",
+        DrcViolation::BufferToObstruction { .. } => "drc-buffer-obstruction",
+        DrcViolation::FillSpacing { .. } => "drc-fill-spacing",
+    }
+}
+
 fn verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     use pilfill_core::check_fill;
+    use pilfill_diag::{Diagnostic, RuleCounts, Severity};
     let design = load_design(args.positional(0, "design.pfl")?)?;
     let gds_path = args.require("gds")?;
     let bytes = std::fs::read(gds_path)?;
@@ -344,19 +357,29 @@ fn verify(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "checked {} fill features", report.checked)?;
     if report.is_clean() {
         writeln!(out, "DRC clean")?;
-        Ok(())
-    } else {
-        for v in report.violations.iter().take(20) {
-            writeln!(out, "violation: {v}")?;
-        }
-        if report.violations.len() > 20 {
-            writeln!(out, "... and {} more", report.violations.len() - 20)?;
-        }
-        Err(CliError::Tool(format!(
-            "{} DRC violation(s)",
-            report.violations.len()
-        )))
+        return Ok(());
     }
+    // GDS streams have no line numbers: every diagnostic is file-scope
+    // (line 0), anchored to the stream path, tagged with its DRC rule.
+    let diagnostics: Vec<Diagnostic> = report
+        .violations
+        .iter()
+        .map(|v| Diagnostic::new(Severity::Error, drc_rule(v), gds_path, 0, v.to_string()))
+        .collect();
+    const MAX_SHOWN: usize = 20;
+    for d in diagnostics.iter().take(MAX_SHOWN) {
+        writeln!(out, "{}", d.render_text())?;
+    }
+    if diagnostics.len() > MAX_SHOWN {
+        writeln!(out, "... and {} more", diagnostics.len() - MAX_SHOWN)?;
+    }
+    let counts = RuleCounts::tally(&diagnostics);
+    writeln!(out, "\nviolations by rule:")?;
+    write!(out, "{}", counts.render_text())?;
+    Err(CliError::Tool(format!(
+        "{} DRC violation(s)",
+        counts.total()
+    )))
 }
 
 fn export(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
@@ -496,8 +519,22 @@ mod tests {
         }];
         std::fs::write(tmp("bad.gds"), pilfill_stream::write_gds(&design, &bad))
             .expect("write bad gds");
-        let err = run(&["verify", &design_path, "--gds", &tmp("bad.gds")]);
+        let args = Args::parse(
+            ["verify", &design_path, "--gds", &tmp("bad.gds")]
+                .iter()
+                .copied(),
+        )
+        .expect("parse");
+        let mut buf = Vec::new();
+        let err = dispatch(&args, &mut buf);
         assert!(matches!(err, Err(CliError::Tool(_))));
+        // Violations render through the shared diagnostic formatter.
+        let text = String::from_utf8(buf).expect("utf8 output");
+        assert!(text.contains("error[drc-"), "diag format missing: {text}");
+        assert!(
+            text.contains("violations by rule:"),
+            "summary missing: {text}"
+        );
     }
 
     #[test]

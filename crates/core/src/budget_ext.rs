@@ -20,6 +20,7 @@
 
 use crate::methods::{check_budget, FillMethod, IlpTwo, MethodError};
 use crate::{ActiveLine, SlackColumn, TileProblem};
+use pilfill_geom::units;
 use pilfill_layout::NetId;
 use pilfill_prng::rngs::StdRng;
 use pilfill_rc::CouplingModel;
@@ -217,7 +218,8 @@ impl FillMethod for BudgetedIlpTwo {
                     vars.push(None);
                     continue;
                 }
-                let table = col.table.as_ref().expect("costed column has a table");
+                // The `is_free` guard above filtered the table-less columns.
+                let table = col.table.as_ref().expect("costed column has a table"); // pilfill: allow(unwrap)
                 let col_vars: Vec<_> = (0..=col.capacity())
                     .map(|n| model.add_binary_var(col.alpha(weighted) * table.delta_cap(n) / scale))
                     .collect();
@@ -225,12 +227,12 @@ impl FillMethod for BudgetedIlpTwo {
                 budget_terms.extend(col_vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
                 for &net in &col.adjacent_nets {
                     let terms = net_terms.entry(net).or_default();
-                    terms.extend(
-                        col_vars
-                            .iter()
-                            .enumerate()
-                            .map(|(n, &v)| (v, table.delta_cap(n as u32) / cap_scale)),
-                    );
+                    terms.extend(col_vars.iter().enumerate().map(|(n, &v)| {
+                        (
+                            v,
+                            table.delta_cap(units::saturating_count(n as u64)) / cap_scale,
+                        )
+                    }));
                 }
                 vars.push(Some(col_vars));
             }
@@ -267,7 +269,7 @@ impl FillMethod for BudgetedIlpTwo {
                         .iter()
                         .enumerate()
                         .find(|(_, &v)| sol.value(v) > 0.5)
-                        .map(|(n, _)| n as u32)
+                        .map(|(n, _)| units::saturating_count(n as u64))
                         .unwrap_or(0),
                     None => 0,
                 })
@@ -278,7 +280,7 @@ impl FillMethod for BudgetedIlpTwo {
                     break;
                 }
                 if is_free(col) {
-                    let take = (col.capacity() as u64).min(free_left) as u32;
+                    let take = units::saturating_count(u64::from(col.capacity()).min(free_left));
                     counts[i] = take;
                     free_left -= take as u64;
                 }

@@ -17,6 +17,7 @@ use pilfill_rc::CouplingModel;
 
 /// Delay impact of a fill placement.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a delay evaluation is pure; dropping it discards the verdict"]
 pub struct DelayImpact {
     /// Total unweighted delay increase over all wire segments, in seconds
     /// (the paper's Table 1 metric).
@@ -45,7 +46,7 @@ impl DelayImpact {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0.0)
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite caps"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &c)| (NetId(i), c))
     }
 
@@ -59,7 +60,7 @@ impl DelayImpact {
             .filter(|(_, &d)| d > 0.0)
             .map(|(i, &d)| (NetId(i), d))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite delays"));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v.truncate(n);
         v
     }
@@ -105,7 +106,9 @@ pub fn evaluate_placement(
         // Defensive clamp: placements from per-tile scans may exceed the
         // global slot count by a feature or two near tile cuts; never let
         // the metal close the gap in the model.
-        let max_m = ((d - 1) / rules.feature_size).max(0) as u32;
+        let max_m = pilfill_geom::units::saturating_count(
+            u64::try_from((d - 1) / rules.feature_size).unwrap_or(0),
+        );
         let m = m.min(max_m);
         if m == 0 {
             continue;

@@ -11,7 +11,7 @@ use pilfill_density::{
     lp_budget, montecarlo_budget, BudgetError, DensityAnalysis, DensityMap, DissectionError,
     FixedDissection,
 };
-use pilfill_geom::Coord;
+use pilfill_geom::{units, Coord};
 use pilfill_layout::{Design, LayerId, LayoutError};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
@@ -50,7 +50,10 @@ impl FlowConfig {
     /// Returns [`FlowError::Dissection`] if `window` is not positive and
     /// divisible by `r`.
     pub fn new(window: Coord, r: usize) -> Result<Self, FlowError> {
-        if window <= 0 || r == 0 || window % r as Coord != 0 {
+        // `r` is untrusted config: reject (rather than assert) values that
+        // do not fit a coordinate.
+        let r_coord = units::try_coord(r).unwrap_or(-1);
+        if window <= 0 || r_coord <= 0 || window % r_coord != 0 {
             return Err(FlowError::Dissection(DissectionError::InvalidWindow {
                 window,
                 r,
@@ -118,6 +121,7 @@ impl From<MethodError> for FlowError {
 
 /// Everything a flow run produces.
 #[derive(Debug, Clone)]
+#[must_use = "a flow run is expensive; dropping its outcome discards the results"]
 pub struct FlowOutcome {
     /// Method name.
     pub method: &'static str,
@@ -220,7 +224,7 @@ impl FlowContext {
         );
         let slack: Vec<u32> = problems_three
             .iter()
-            .map(|p| p.capacity().min(u32::MAX as u64) as u32)
+            .map(|p| units::saturating_count(p.capacity()))
             .collect();
 
         let density_map = DensityMap::compute(design, config.layer, &dissection);
@@ -327,7 +331,8 @@ impl FlowContext {
                     for (off, slot) in slice.iter_mut().enumerate() {
                         let problem = &self.problems[base + off];
                         let want = self.budget.features(problem.cell);
-                        let effective = (want as u64).min(problem.capacity()) as u32;
+                        let effective =
+                            units::saturating_count(u64::from(want).min(problem.capacity()));
                         *slot = Some(if effective == 0 {
                             Ok((vec![0; problem.columns.len()], Duration::ZERO))
                         } else {
@@ -345,7 +350,8 @@ impl FlowContext {
 
         let mut per_tile = Vec::with_capacity(n);
         for (i, slot) in results.into_iter().enumerate() {
-            let (counts, elapsed) = slot.expect("every tile visited")?;
+            // The chunked slices partition `results`: every slot is written.
+            let (counts, elapsed) = slot.expect("every tile visited")?; // pilfill: allow(unwrap)
             per_tile.push((i, counts, elapsed));
         }
         self.assemble(method.name(), per_tile)
@@ -364,7 +370,7 @@ impl FlowContext {
         let mut per_tile = Vec::with_capacity(self.problems.len());
         for (i, problem) in self.problems.iter().enumerate() {
             let want = self.budget.features(problem.cell);
-            let effective = (want as u64).min(problem.capacity()) as u32;
+            let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
             if effective == 0 {
                 per_tile.push((i, vec![0; problem.columns.len()], Duration::ZERO));
                 continue;
@@ -399,7 +405,7 @@ impl FlowContext {
             shortfall += want.saturating_sub(tile_placed);
             solve_time += elapsed;
             for (col, &m) in problem.columns.iter().zip(&counts) {
-                for &slot in col.slots.iter().take(m as usize) {
+                for &slot in col.slots.iter().take(units::index(i64::from(m))) {
                     features.push(FillFeature {
                         x: col.feature_x,
                         y: slot,

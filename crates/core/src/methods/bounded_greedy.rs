@@ -52,12 +52,7 @@ impl FillMethod for BoundedGreedy {
         let mut order: Vec<usize> = (0..problem.columns.len())
             .filter(|&i| problem.columns[i].capacity() > 0)
             .collect();
-        order.sort_by(|&a, &b| {
-            score(a)
-                .partial_cmp(&score(b))
-                .expect("finite scores")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)));
 
         // Accumulated added delay per net (within this tile). A column's
         // full cost is attributed to each adjacent net — matching how the

@@ -8,6 +8,7 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
+use pilfill_geom::units;
 use pilfill_prng::rngs::StdRng;
 
 /// Exact DP over the lookup-table costs; optimal for the same model ILP-II
@@ -29,7 +30,7 @@ impl FillMethod for DpExact {
     ) -> Result<Vec<u32>, MethodError> {
         check_budget(problem, budget)?;
         let k = problem.columns.len();
-        let b = budget as usize;
+        let b = units::index(i64::from(budget));
         // best[i][f]: min cost placing f features in the first i columns.
         // Kept as a flat rolling array with a parent table for recovery.
         const INF: f64 = f64::INFINITY;
@@ -46,7 +47,7 @@ impl FillMethod for DpExact {
                     continue;
                 }
                 for m in 0..=cap {
-                    let f = used + m as usize;
+                    let f = used + units::index(i64::from(m));
                     if f > b {
                         break;
                     }
@@ -74,7 +75,7 @@ impl FillMethod for DpExact {
             let m = choice[i][f];
             debug_assert_ne!(m, u32::MAX);
             counts[i] = m;
-            f -= m as usize;
+            f -= units::index(i64::from(m));
         }
         debug_assert_eq!(f, 0);
         Ok(counts)

@@ -36,12 +36,7 @@ impl FillMethod for GreedyFill {
             let c = &problem.columns[i];
             c.cost_exact(c.capacity(), weighted)
         };
-        order.sort_by(|&a, &b| {
-            score(a)
-                .partial_cmp(&score(b))
-                .expect("finite scores")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| score(a).total_cmp(&score(b)).then(a.cmp(&b)));
         // Lines 15-19: fill whole columns until the budget is met.
         let mut left = budget;
         for i in order {

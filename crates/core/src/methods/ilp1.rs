@@ -8,6 +8,7 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
+use pilfill_geom::units;
 use pilfill_prng::rngs::StdRng;
 use pilfill_solver::{Model, Objective, Sense};
 
@@ -55,7 +56,7 @@ impl FillMethod for IlpOne {
         let sol = model.solve()?;
         Ok(vars
             .iter()
-            .map(|&v| sol.int_value(v).max(0) as u32)
+            .map(|&v| units::saturating_count(sol.int_value(v).max(0) as u64))
             .collect())
     }
 }

@@ -11,6 +11,7 @@
 
 use super::{check_budget, FillMethod, MethodError};
 use crate::TileProblem;
+use pilfill_geom::units;
 use pilfill_prng::rngs::StdRng;
 use pilfill_rc::CapTable;
 use pilfill_solver::{Model, Objective, Sense};
@@ -42,6 +43,9 @@ impl FillMethod for IlpTwo {
         // the per-tile ILPs tractable on large sparse tiles. The reduction
         // is exact: any distribution of the aggregate over free columns is
         // optimal.
+        // Exact zero is the sentinel for "no adjacent line charged", set —
+        // never computed — upstream; an epsilon would misclassify real
+        // low-resistance columns. pilfill: allow(float-eq)
         let is_free = |c: &crate::TileColumn| c.table.is_none() || c.alpha(weighted) == 0.0;
         let free_cap: u64 = problem
             .columns
@@ -101,7 +105,7 @@ impl FillMethod for IlpTwo {
                     .iter()
                     .enumerate()
                     .find(|(_, &v)| sol.value(v) > 0.5)
-                    .map(|(n, _)| n as u32)
+                    .map(|(n, _)| units::saturating_count(n as u64))
                     .unwrap_or(0),
                 None => 0,
             })
@@ -113,9 +117,9 @@ impl FillMethod for IlpTwo {
                 break;
             }
             if is_free(col) {
-                let take = (col.capacity() as u64).min(free_left) as u32;
+                let take = units::saturating_count(u64::from(col.capacity()).min(free_left));
                 counts[i] = take;
-                free_left -= take as u64;
+                free_left -= u64::from(take);
             }
         }
         // Numerical safety: if rounding left a residual against the exact
@@ -150,14 +154,18 @@ fn reconcile_budget(
             break;
         }
         let cap = problem.columns[i].capacity();
-        if total < budget as i64 {
-            let add = ((budget as i64 - total) as u32).min(cap - counts[i]);
+        if total < i64::from(budget) {
+            let missing =
+                units::saturating_count(u64::try_from(i64::from(budget) - total).unwrap_or(0));
+            let add = missing.min(cap - counts[i]);
             counts[i] += add;
-            total += add as i64;
+            total += i64::from(add);
         } else {
-            let sub = ((total - budget as i64) as u32).min(counts[i]);
+            let excess =
+                units::saturating_count(u64::try_from(total - i64::from(budget)).unwrap_or(0));
+            let sub = excess.min(counts[i]);
             counts[i] -= sub;
-            total -= sub as i64;
+            total -= i64::from(sub);
         }
     }
 }

@@ -33,7 +33,7 @@ pub struct SlackColumn {
 impl SlackColumn {
     /// Number of fill features the column can hold (the paper's `C_k`).
     pub fn capacity(&self) -> u32 {
-        self.slots.len() as u32
+        pilfill_geom::units::saturating_count(self.slots.len() as u64)
     }
 
     /// The line-to-line distance `d` of the capacitance model, defined only
@@ -80,7 +80,7 @@ pub fn scan_slack_columns(
     rules: FillRules,
 ) -> Vec<SlackColumn> {
     let pitch = rules.site_pitch();
-    let n_cols = (bounds.width() / pitch) as usize;
+    let n_cols = pilfill_geom::units::index(bounds.width() / pitch);
     if n_cols == 0 {
         return Vec::new();
     }
@@ -114,8 +114,8 @@ pub fn scan_slack_columns(
 
     let col_range = |r: &Rect| -> (usize, usize) {
         // Site columns whose [x, x+pitch) overlaps the rect's x span.
-        let lo = ((r.left - bounds.left) / pitch).max(0) as usize;
-        let hi = (((r.right - 1 - bounds.left) / pitch) as usize).min(n_cols - 1);
+        let lo = pilfill_geom::units::index(((r.left - bounds.left) / pitch).max(0));
+        let hi = pilfill_geom::units::index((r.right - 1 - bounds.left) / pitch).min(n_cols - 1);
         (lo, hi)
     };
 
@@ -130,7 +130,7 @@ pub fn scan_slack_columns(
         let slots = slots_for_gap(gap, below.is_some(), above.is_some(), rules);
         out.push(SlackColumn {
             site_x,
-            x: bounds.left + site_x as Coord * pitch,
+            x: bounds.left + pilfill_geom::units::coord(site_x) * pitch,
             gap,
             below,
             above,
@@ -173,7 +173,7 @@ pub fn locate_feature(
     if feature.x < bounds.left || feature.y < bounds.bottom {
         return None;
     }
-    let site_x = ((feature.x - bounds.left) / pitch) as usize;
+    let site_x = pilfill_geom::units::index((feature.x - bounds.left) / pitch);
     // Binary search the sorted (site_x, gap.lo) order.
     let start = columns.partition_point(|c| c.site_x < site_x);
     columns[start..]

@@ -71,7 +71,7 @@ pub struct TileColumn {
 impl TileColumn {
     /// Capacity of the column inside this tile.
     pub fn capacity(&self) -> u32 {
-        self.slots.len() as u32
+        pilfill_geom::units::saturating_count(self.slots.len() as u64)
     }
 
     /// Delay coefficient for the requested objective.
@@ -157,7 +157,7 @@ fn make_tile_column(
         }
     }
     let distance = col.distance();
-    let capacity = slots.len() as u32;
+    let capacity = pilfill_geom::units::saturating_count(slots.len() as u64);
     let (table, linear) = match distance {
         Some(d) => (
             Some(CapTable::build(model, d, rules.feature_size, capacity)),
@@ -299,7 +299,9 @@ pub fn build_tile_problems_parallel(
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("tile-problem worker panicked"))
+                        // Re-raising a worker panic on the caller is the
+                        // correct propagation; there is no error to type.
+                        .map(|h| h.join().expect("tile-problem worker panicked")) // pilfill: allow(unwrap)
                         .collect::<Vec<_>>()
                 });
                 for part in merged {

@@ -74,6 +74,7 @@ impl std::fmt::Display for DrcViolation {
 
 /// Result of a fill DRC run.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a DRC run is pure; dropping the report discards the verdict"]
 pub struct DrcReport {
     /// Features checked.
     pub checked: usize,

@@ -183,7 +183,7 @@ pub fn lp_budget(
     let sol = model.solve_lp()?;
     let features = vars
         .iter()
-        .map(|&v| sol.value(v).floor().max(0.0) as u32)
+        .map(|&v| pilfill_geom::units::saturating_count(sol.value(v).floor().max(0.0) as u64))
         .collect();
     Ok(FillBudget::new(&dis, features))
 }
@@ -238,11 +238,7 @@ pub fn montecarlo_budget(
         // Lowest-density window that is not stuck.
         let target = (0..windows.len())
             .filter(|&wi| !stuck[wi])
-            .min_by(|&a, &b| {
-                (w_fill[a] / w_area[a])
-                    .partial_cmp(&(w_fill[b] / w_area[b]))
-                    .expect("densities are finite")
-            });
+            .min_by(|&a, &b| (w_fill[a] / w_area[a]).total_cmp(&(w_fill[b] / w_area[b])));
         let Some(wi) = target else { break };
 
         // Best tile in that window: most remaining slack, addition must not

@@ -68,13 +68,16 @@ impl FixedDissection {
     /// `r > 0` and `r` divides `window`; [`DissectionError::DieTooSmall`]
     /// if the die cannot hold one full window.
     pub fn new(die: Rect, window: Coord, r: usize) -> Result<Self, DissectionError> {
-        if window <= 0 || r == 0 || window % r as Coord != 0 {
+        // `r` is untrusted config: reject (rather than assert) values that
+        // do not fit a coordinate.
+        let r_coord = pilfill_geom::units::try_coord(r).unwrap_or(-1);
+        if window <= 0 || r_coord <= 0 || window % r_coord != 0 {
             return Err(DissectionError::InvalidWindow { window, r });
         }
         if die.width() < window || die.height() < window {
             return Err(DissectionError::DieTooSmall);
         }
-        let tile = window / r as Coord;
+        let tile = window / r_coord;
         Ok(Self {
             tiles: Grid::square(die, tile),
             window,

@@ -33,6 +33,7 @@ pub struct DensityMap {
 
 /// Result of a window-density analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a density analysis is pure; dropping it discards the statistics"]
 pub struct DensityAnalysis {
     /// Smallest window density (features / window area).
     pub min_window_density: f64,

@@ -19,6 +19,7 @@ use pilfill_layout::{Design, LayerId};
 
 /// Neighbouring-window gradient statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a gradient analysis is pure; dropping it discards the statistics"]
 pub struct GradientAnalysis {
     /// Largest |density difference| between windows one tile apart.
     pub max_gradient: f64,
@@ -76,6 +77,7 @@ pub fn gradient_analysis(map: &DensityMap) -> GradientAnalysis {
 
 /// One scale of a multi-scale analysis.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a multi-scale analysis is pure; dropping it discards the statistics"]
 pub struct ScaleAnalysis {
     /// Window size in dbu.
     pub window: Coord,

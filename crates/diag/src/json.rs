@@ -1,0 +1,187 @@
+//! Minimal dependency-free JSON emission: correct string escaping and
+//! comma/nesting bookkeeping, nothing else. The workspace bans external
+//! crates, so report files are written through this instead of serde.
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An append-only JSON writer that tracks nesting and inserts commas.
+///
+/// # Examples
+///
+/// ```
+/// use pilfill_diag::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("tool", "pilfill-audit");
+/// w.key("items");
+/// w.begin_array();
+/// w.value_u64(1);
+/// w.value_u64(2);
+/// w.end_array();
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"tool":"pilfill-audit","items":[1,2]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    // One entry per open container: `true` once the container has a child
+    // (so the next child is comma-prefixed).
+    stack: Vec<bool>,
+    // A key was just written; the next value must not be comma-prefixed.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has_child) = self.stack.last_mut() {
+            if *has_child {
+                self.buf.push(',');
+            }
+            *has_child = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes an object key; the next `value_*`/`begin_*` call is its value.
+    pub fn key(&mut self, key: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(key));
+        self.buf.push_str("\":");
+        self.pending_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) {
+        self.before_value();
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(v));
+        self.buf.push('"');
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.before_value();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.before_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// `key` + string value in one call.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.value_str(v);
+    }
+
+    /// `key` + unsigned integer value in one call.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.value_u64(v);
+    }
+
+    /// `key` + boolean value in one call.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.key(key);
+        self.value_bool(v);
+    }
+
+    /// Consumes the writer, returning the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn nested_containers_get_commas_right() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("a", "1");
+        w.key("b");
+        w.begin_array();
+        w.begin_object();
+        w.field_u64("x", 2);
+        w.end_object();
+        w.value_bool(false);
+        w.end_array();
+        w.field_u64("c", 3);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":"1","b":[{"x":2},false],"c":3}"#);
+    }
+
+    #[test]
+    fn empty_containers_render() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("empty");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"empty":[]}"#);
+    }
+}

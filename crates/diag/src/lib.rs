@@ -1,0 +1,239 @@
+//! # pilfill-diag
+//!
+//! The diagnostic model shared by PIL-Fill's signoff-style checkers: the
+//! `xtask` repo linter and the `pilfill verify` DRC reporter both emit
+//! [`Diagnostic`]s and render them through this crate, so tooling output
+//! is uniform (`file:line: severity[rule]: message`) and machine-readable
+//! (a hand-rolled, dependency-free JSON report).
+//!
+//! # Examples
+//!
+//! ```
+//! use pilfill_diag::{Diagnostic, Severity};
+//!
+//! let d = Diagnostic::new(Severity::Error, "unwrap", "lib.rs", 12, "`.unwrap()` in library code");
+//! assert_eq!(d.render_text(), "lib.rs:12: error[unwrap]: `.unwrap()` in library code");
+//! ```
+
+mod json;
+
+pub use json::{json_escape, JsonWriter};
+
+/// How serious a diagnostic is.
+///
+/// `Error`s fail the run that produced them; `Warning`s fail only under a
+/// deny-warnings policy; `Note`s are informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never fails a run.
+    Note,
+    /// Fails only under a deny-warnings policy.
+    Warning,
+    /// Always fails the producing run.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case display name (`"error"`, `"warning"`, `"note"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from a checker: a rule-tagged message anchored to a
+/// `file:line` location.
+///
+/// `line` is 1-based; line 0 means "whole file" (used for file-scope
+/// findings such as a DRC report on a GDS stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Stable kebab-case rule identifier (e.g. `unwrap`, `drc-off-die`).
+    pub rule: String,
+    /// Path the finding anchors to (repo-relative for lint findings).
+    pub file: String,
+    /// 1-based line number; 0 for file-scope findings.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        severity: Severity,
+        rule: impl Into<String>,
+        file: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            severity,
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the canonical single-line text form:
+    /// `file:line: severity[rule]: message` (the `:line` part is omitted
+    /// for file-scope diagnostics).
+    pub fn render_text(&self) -> String {
+        if self.line == 0 {
+            format!(
+                "{}: {}[{}]: {}",
+                self.file, self.severity, self.rule, self.message
+            )
+        } else {
+            format!(
+                "{}:{}: {}[{}]: {}",
+                self.file, self.line, self.severity, self.rule, self.message
+            )
+        }
+    }
+
+    /// Writes this diagnostic as a JSON object onto `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("severity", self.severity.name());
+        w.field_str("rule", &self.rule);
+        w.field_str("file", &self.file);
+        w.field_u64("line", u64::from(self.line));
+        w.field_str("message", &self.message);
+        w.end_object();
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Per-rule counts over a batch of diagnostics, ordered by first
+/// appearance: the summary block both checkers print after their findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleCounts {
+    counts: Vec<(String, usize)>,
+}
+
+impl RuleCounts {
+    /// Tallies `diagnostics` by rule.
+    pub fn tally(diagnostics: &[Diagnostic]) -> Self {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for d in diagnostics {
+            match counts.iter_mut().find(|(rule, _)| *rule == d.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((d.rule.clone(), 1)),
+            }
+        }
+        Self { counts }
+    }
+
+    /// `(rule, count)` pairs in first-appearance order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.counts.iter().map(|(r, n)| (r.as_str(), *n))
+    }
+
+    /// Total finding count.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// `true` when no diagnostics were tallied.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Renders the per-rule summary table, one `  <rule>  <count>` line per
+    /// rule, aligned on the widest rule name.
+    pub fn render_text(&self) -> String {
+        let width = self.counts.iter().map(|(r, _)| r.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (rule, n) in &self.counts {
+            out.push_str(&format!("  {rule:width$}  {n}\n"));
+        }
+        out
+    }
+
+    /// Writes the counts as a JSON object (`{"rule": count, ...}`).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        for (rule, n) in &self.counts {
+            w.field_u64(rule, *n as u64);
+        }
+        w.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_includes_location_and_rule() {
+        let d = Diagnostic::new(Severity::Warning, "missing-docs", "a/b.rs", 7, "no docs");
+        assert_eq!(d.render_text(), "a/b.rs:7: warning[missing-docs]: no docs");
+        assert_eq!(d.to_string(), d.render_text());
+    }
+
+    #[test]
+    fn file_scope_diagnostic_omits_line() {
+        let d = Diagnostic::new(
+            Severity::Error,
+            "drc-off-die",
+            "chip.gds",
+            0,
+            "fill off die",
+        );
+        assert_eq!(
+            d.render_text(),
+            "chip.gds: error[drc-off-die]: fill off die"
+        );
+    }
+
+    #[test]
+    fn severity_ordering_and_names() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn rule_counts_tally_in_first_appearance_order() {
+        let diags = vec![
+            Diagnostic::new(Severity::Error, "b", "f", 1, "m"),
+            Diagnostic::new(Severity::Error, "a", "f", 2, "m"),
+            Diagnostic::new(Severity::Error, "b", "f", 3, "m"),
+        ];
+        let counts = RuleCounts::tally(&diags);
+        let pairs: Vec<_> = counts.iter().collect();
+        assert_eq!(pairs, vec![("b", 2), ("a", 1)]);
+        assert_eq!(counts.total(), 3);
+        assert!(!counts.is_empty());
+        assert!(counts.render_text().contains("b  2"));
+    }
+
+    #[test]
+    fn diagnostic_json_round_trips_key_fields() {
+        let d = Diagnostic::new(Severity::Error, "unwrap", "x.rs", 3, "msg \"quoted\"");
+        let mut w = JsonWriter::new();
+        d.write_json(&mut w);
+        let json = w.finish();
+        assert!(json.contains("\"rule\":\"unwrap\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.contains("msg \\\"quoted\\\""));
+    }
+}

@@ -58,7 +58,7 @@ impl Grid {
     }
 
     fn div_ceil(a: Coord, b: Coord) -> usize {
-        ((a + b - 1) / b) as usize
+        crate::units::index((a + b - 1) / b)
     }
 
     /// The covered bounds.
@@ -104,8 +104,8 @@ impl Grid {
     /// Panics if the index is out of range.
     pub fn cell_rect(&self, (ix, iy): CellIndex) -> Rect {
         assert!(ix < self.nx && iy < self.ny, "cell index out of range");
-        let left = self.bounds.left + self.pitch_x * ix as Coord;
-        let bottom = self.bounds.bottom + self.pitch_y * iy as Coord;
+        let left = self.bounds.left + self.pitch_x * crate::units::coord(ix);
+        let bottom = self.bounds.bottom + self.pitch_y * crate::units::coord(iy);
         Rect {
             left,
             bottom,
@@ -119,8 +119,8 @@ impl Grid {
         if !self.bounds.contains(crate::Point::new(x, y)) {
             return None;
         }
-        let ix = ((x - self.bounds.left) / self.pitch_x) as usize;
-        let iy = ((y - self.bounds.bottom) / self.pitch_y) as usize;
+        let ix = crate::units::index((x - self.bounds.left) / self.pitch_x);
+        let iy = crate::units::index((y - self.bounds.bottom) / self.pitch_y);
         Some((ix.min(self.nx - 1), iy.min(self.ny - 1)))
     }
 
@@ -147,8 +147,8 @@ impl Grid {
         if clipped.is_empty() {
             return None;
         }
-        let lo = ((clipped.lo - axis.lo) / pitch) as usize;
-        let hi = (((clipped.hi - 1 - axis.lo) / pitch) as usize).min(n - 1);
+        let lo = crate::units::index((clipped.lo - axis.lo) / pitch);
+        let hi = crate::units::index((clipped.hi - 1 - axis.lo) / pitch).min(n - 1);
         Some((lo, hi))
     }
 

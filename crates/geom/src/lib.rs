@@ -14,7 +14,10 @@
 //! - a uniform [`Grid`] mapping between continuous coordinates and discrete
 //!   cell (site or tile) indices;
 //! - the routing [`Dir`] (preferred direction) with axis transposition
-//!   helpers so all algorithms can be written for one orientation.
+//!   helpers so all algorithms can be written for one orientation;
+//! - the [`units`] module: checked, debug-asserted conversions between the
+//!   coordinate, index and count domains — the only sanctioned way to move
+//!   between `Coord`, `usize` and `u32` in this workspace.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ mod interval;
 mod interval_set;
 mod point;
 mod rect;
+pub mod units;
 
 pub use dir::Dir;
 pub use grid::{CellIndex, Grid};
@@ -43,6 +47,7 @@ pub use interval::Interval;
 pub use interval_set::IntervalSet;
 pub use point::Point;
 pub use rect::Rect;
+pub use units::UnitError;
 
 /// Database-unit coordinate (conventionally 1 dbu = 1 nm).
 pub type Coord = i64;

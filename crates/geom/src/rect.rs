@@ -100,9 +100,16 @@ impl Rect {
         (self.top - self.bottom).max(0)
     }
 
-    /// Area (zero if empty).
+    /// Area (zero if empty). Debug builds assert the product fits an
+    /// [`Area`]; use [`Rect::checked_area`] for untrusted die-scale rects.
     pub fn area(&self) -> Area {
-        self.width() * self.height()
+        crate::units::area(self.width(), self.height())
+    }
+
+    /// Area as an exact integer, or `None` when `width x height`
+    /// overflows `i64` (possible for adversarial rects near `i64::MAX`).
+    pub fn checked_area(&self) -> Option<Area> {
+        crate::units::checked_area(self.width(), self.height())
     }
 
     /// `true` if the rectangle covers no points.
@@ -240,6 +247,22 @@ mod tests {
         assert!(!r.is_empty());
         assert!(Rect::new(5, 0, 5, 10).is_empty());
         assert_eq!(Rect::new(5, 0, 3, 10).area(), 0);
+    }
+
+    #[test]
+    fn checked_area_at_i64_boundary_die_sizes() {
+        // A full-span die: width * height overflows i64.
+        let huge = Rect::new(i64::MIN / 2, i64::MIN / 2, i64::MAX / 2, i64::MAX / 2);
+        assert_eq!(huge.checked_area(), None);
+        // A degenerate sliver at the boundary still has an exact area.
+        let sliver = Rect::new(0, 0, i64::MAX, 1);
+        assert_eq!(sliver.checked_area(), Some(i64::MAX));
+        // The largest square that fits: floor(sqrt(i64::MAX)) = 3_037_000_499.
+        let side = 3_037_000_499i64;
+        let square = Rect::new(0, 0, side, side);
+        assert_eq!(square.checked_area(), Some(side * side));
+        let over = Rect::new(0, 0, side + 1, side + 1);
+        assert_eq!(over.checked_area(), None);
     }
 
     #[test]

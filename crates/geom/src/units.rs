@@ -1,0 +1,210 @@
+//! Unit-safe arithmetic and conversions for [`Coord`] and [`Area`].
+//!
+//! Every conversion between the coordinate domain (`i64` database units),
+//! the index domain (`usize` cell/site indices) and the count domain
+//! (`u32` feature counts) in the workspace goes through this module
+//! instead of a bare `as` cast — the `xtask` lint (`as-cast` rule)
+//! enforces it. The handful of raw casts that remain live here, each
+//! behind a debug-mode range assertion, so there is exactly one audited
+//! place where integer domains meet.
+//!
+//! Two flavors are provided:
+//!
+//! - `try_*` functions return a [`UnitError`] and are for validating
+//!   *untrusted* values (file input, die-sized products);
+//! - the plain functions ([`index`], [`coord`], [`area`]) are for values
+//!   whose range is already established by construction; they assert in
+//!   debug builds and compile to a bare cast in release builds.
+//!
+//! # Examples
+//!
+//! ```
+//! use pilfill_geom::units;
+//!
+//! assert_eq!(units::index(42), 42usize);
+//! assert_eq!(units::coord(7usize), 7i64);
+//! assert_eq!(units::checked_area(1 << 40, 1 << 40), None); // would overflow i64
+//! assert!(units::try_index(-1).is_err());
+//! ```
+
+use crate::{Area, Coord};
+
+/// A coordinate/index/area conversion that cannot be represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitError {
+    /// A negative coordinate cannot become an index.
+    Negative(Coord),
+    /// The value does not fit the destination type.
+    Overflow(i128),
+}
+
+impl std::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitError::Negative(v) => write!(f, "negative coordinate {v} used as an index"),
+            UnitError::Overflow(v) => write!(f, "value {v} overflows the destination type"),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+/// Converts a coordinate to a cell/site index, rejecting negatives and
+/// (on 32-bit hosts) overflow.
+///
+/// # Errors
+///
+/// [`UnitError::Negative`] for negative input, [`UnitError::Overflow`]
+/// when the value does not fit a `usize`.
+pub fn try_index(c: Coord) -> Result<usize, UnitError> {
+    if c < 0 {
+        return Err(UnitError::Negative(c));
+    }
+    usize::try_from(c).map_err(|_| UnitError::Overflow(i128::from(c)))
+}
+
+/// Converts a coordinate already known to be a valid index.
+///
+/// Debug builds assert the range; release builds compile to a bare cast.
+pub fn index(c: Coord) -> usize {
+    debug_assert!(
+        try_index(c).is_ok(),
+        "coordinate {c} is not a valid index (negative or too large)"
+    );
+    c as usize // audited: asserted non-negative above; pilfill: allow(as-cast)
+}
+
+/// Converts a cell/site index to a coordinate, rejecting values above
+/// `i64::MAX` (only reachable on exotic hosts).
+///
+/// # Errors
+///
+/// [`UnitError::Overflow`] when the index does not fit a [`Coord`].
+pub fn try_coord(i: usize) -> Result<Coord, UnitError> {
+    Coord::try_from(i).map_err(|_| UnitError::Overflow(i as i128))
+}
+
+/// Converts an index already known to fit the coordinate range.
+///
+/// Debug builds assert the range; release builds compile to a bare cast.
+pub fn coord(i: usize) -> Coord {
+    debug_assert!(
+        try_coord(i).is_ok(),
+        "index {i} does not fit a 64-bit coordinate"
+    );
+    i as Coord // audited: asserted in range above; pilfill: allow(as-cast)
+}
+
+/// `width x height` as an exact area, `None` on negative-clamped-to-zero
+/// inputs whose product overflows `i64` (possible from `i64::MAX`-sized
+/// die rectangles).
+pub fn checked_area(width: Coord, height: Coord) -> Option<Area> {
+    width.max(0).checked_mul(height.max(0))
+}
+
+/// `width x height` as an exact area for dimensions established to be
+/// die-bounded. Debug builds assert no overflow; release builds multiply.
+pub fn area(width: Coord, height: Coord) -> Area {
+    debug_assert!(
+        checked_area(width, height).is_some(),
+        "area {width} x {height} overflows i64"
+    );
+    width.max(0) * height.max(0)
+}
+
+/// Saturates a feature count into `u32` (budgets are `u64`, per-tile
+/// counts `u32`; a tile can never physically hold more than `u32::MAX`
+/// features, so saturation is the correct total behavior).
+pub fn saturating_count(v: u64) -> u32 {
+    // audited: explicitly saturated to the destination range; pilfill: allow(as-cast)
+    v.min(u64::from(u32::MAX)) as u32
+}
+
+/// An exact `f64` image of an area, asserting (debug builds) that the
+/// value is inside `f64`'s 2^53 exact-integer window — beyond it density
+/// ratios silently lose units.
+pub fn to_f64(v: Area) -> f64 {
+    const EXACT: i64 = 1 << 53;
+    debug_assert!(
+        (-EXACT..=EXACT).contains(&v),
+        "area {v} exceeds f64's exact integer range"
+    );
+    v as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_index_rejects_negative_and_accepts_range() {
+        assert_eq!(try_index(0), Ok(0));
+        assert_eq!(try_index(12345), Ok(12345));
+        assert_eq!(try_index(-1), Err(UnitError::Negative(-1)));
+        assert_eq!(index(77), 77);
+    }
+
+    #[test]
+    fn try_coord_round_trips() {
+        assert_eq!(try_coord(0), Ok(0));
+        assert_eq!(
+            try_coord(usize::MAX),
+            Err(UnitError::Overflow(usize::MAX as i128))
+        );
+        assert_eq!(coord(index(99)), 99);
+    }
+
+    #[test]
+    fn checked_area_boundary_cases() {
+        assert_eq!(checked_area(4, 3), Some(12));
+        assert_eq!(checked_area(-5, 3), Some(0));
+        assert_eq!(checked_area(i64::MAX, 1), Some(i64::MAX));
+        assert_eq!(checked_area(i64::MAX, 2), None);
+        assert_eq!(checked_area(1 << 32, 1 << 32), None);
+        assert_eq!(
+            checked_area((1 << 31) - 1, 1 << 31),
+            Some(((1i64 << 31) - 1) << 31)
+        );
+    }
+
+    #[test]
+    fn area_matches_checked_in_range() {
+        assert_eq!(area(100, 200), 20_000);
+        assert_eq!(area(-1, 5), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows i64")]
+    fn area_overflow_asserts_in_debug() {
+        let _ = area(i64::MAX, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a valid index")]
+    fn negative_index_asserts_in_debug() {
+        let _ = index(-3);
+    }
+
+    #[test]
+    fn saturating_count_clamps() {
+        assert_eq!(saturating_count(5), 5);
+        assert_eq!(saturating_count(u64::MAX), u32::MAX);
+        assert_eq!(saturating_count(u64::from(u32::MAX) + 1), u32::MAX);
+    }
+
+    #[test]
+    fn to_f64_is_exact_in_window() {
+        assert_eq!(to_f64(1 << 52), (1u64 << 52) as f64);
+        assert_eq!(to_f64(-42), -42.0);
+    }
+
+    #[test]
+    fn unit_error_displays() {
+        assert!(UnitError::Negative(-2).to_string().contains("-2"));
+        assert!(UnitError::Overflow(1 << 70)
+            .to_string()
+            .contains("overflows"));
+    }
+}

@@ -117,7 +117,8 @@ impl DesignBuilder {
         let net = self
             .current_net
             .as_mut()
-            .expect("segment() requires an open net");
+            // Documented `# Panics` contract of the builder API.
+            .expect("segment() requires an open net"); // pilfill: allow(unwrap)
         net.segments.push(Segment {
             layer: layer_id,
             start,
@@ -136,7 +137,8 @@ impl DesignBuilder {
     pub fn sink(mut self, at: Point) -> Self {
         self.current_net
             .as_mut()
-            .expect("sink() requires an open net")
+            // Documented `# Panics` contract of the builder API.
+            .expect("sink() requires an open net") // pilfill: allow(unwrap)
             .sinks
             .push(at);
         self

@@ -48,7 +48,8 @@ impl Segment {
         } else if self.start.x == self.end.x {
             Dir::Vertical
         } else {
-            panic!("diagonal segment {:?} -> {:?}", self.start, self.end)
+            // Documented `# Panics` contract; validation rejects diagonals.
+            panic!("diagonal segment {:?} -> {:?}", self.start, self.end) // pilfill: allow(unwrap)
         }
     }
 

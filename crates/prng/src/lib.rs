@@ -87,6 +87,7 @@ pub trait RngCore {
 
     /// The next 32-bit output (upper half of a 64-bit draw).
     fn next_u32(&mut self) -> u32 {
+        // The shift leaves at most 32 significant bits. pilfill: allow(as-cast)
         (self.next_u64() >> 32) as u32
     }
 }

@@ -2,7 +2,7 @@
 //! perturbation by floating square fill (paper Section 3, Eqs. (3)-(7)).
 
 use crate::{EPS0, METERS_PER_DBU};
-use pilfill_geom::Coord;
+use pilfill_geom::{units, Coord};
 use pilfill_layout::{FillRules, Tech};
 
 /// Parallel-plate coupling model between coplanar parallel lines.
@@ -94,7 +94,7 @@ pub fn max_fill_features(gap: Coord, rules: FillRules) -> u32 {
     if usable <= 0 {
         return 0;
     }
-    (usable / rules.site_pitch()).max(0) as u32
+    units::saturating_count((usable / rules.site_pitch()).max(0) as u64)
 }
 
 /// Pre-built lookup table of exact incremental column capacitances
@@ -126,12 +126,12 @@ impl CapTable {
     ///
     /// Panics if `m` exceeds the capacity the table was built for.
     pub fn delta_cap(&self, m: u32) -> f64 {
-        self.entries[m as usize]
+        self.entries[units::index(i64::from(m))]
     }
 
     /// Column capacity the table covers.
     pub fn capacity(&self) -> u32 {
-        (self.entries.len() - 1) as u32
+        units::saturating_count((self.entries.len() - 1) as u64)
     }
 
     /// Marginal cost of the `m`-th feature (difference of consecutive
@@ -142,7 +142,8 @@ impl CapTable {
     /// Panics if `m` is zero or exceeds capacity.
     pub fn marginal(&self, m: u32) -> f64 {
         assert!(m >= 1, "marginal cost needs m >= 1");
-        self.entries[m as usize] - self.entries[m as usize - 1]
+        let i = units::index(i64::from(m));
+        self.entries[i] - self.entries[i - 1]
     }
 }
 

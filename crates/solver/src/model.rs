@@ -62,6 +62,7 @@ impl std::error::Error for SolveError {}
 
 /// An optimal (or best-found) solution.
 #[derive(Debug, Clone)]
+#[must_use = "a solve is expensive; dropping the solution discards it"]
 pub struct Solution {
     /// Value per variable, indexed by [`VarId::index`].
     pub values: Vec<f64>,
@@ -256,6 +257,8 @@ impl Model {
                         return None;
                     }
                 }
+                // Exact zero test: guards the division below; an epsilon
+                // would misroute tiny-coefficient rows. pilfill: allow(float-eq)
                 [(var, coeff)] if *coeff != 0.0 => {
                     let bound = c.rhs / coeff;
                     // Sense flips when dividing by a negative coefficient.

@@ -1,5 +1,10 @@
 //! Dense bounded-variable primal simplex with Big-M feasibility.
 //!
+// Exact `!= 0.0` comparisons in this file are sparsity/no-op guards:
+// skipping arithmetic on an exactly-zero coefficient never changes a
+// result, whereas an epsilon threshold would silently drop small but
+// meaningful pivot terms. pilfill: allow-file(float-eq)
+//!
 //! Solves `min c'x  s.t.  Ax = b, 0 <= x <= u` where some components of `u`
 //! may be infinite. Inequalities and general bounds are normalized into this
 //! form by [`crate::model::Model`]. The tableau `[B^-1 A | B^-1 b]` is kept
@@ -56,6 +61,7 @@ pub struct StandardLp {
 
 /// Result of an LP solve.
 #[derive(Debug, Clone)]
+#[must_use = "an LP solve is expensive; dropping the solution discards it"]
 pub struct LpSolution {
     /// Solve status; values/objective are meaningful only for
     /// [`LpStatus::Optimal`].

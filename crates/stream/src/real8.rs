@@ -9,6 +9,8 @@
 /// Values too large for the format saturate to the largest representable
 /// magnitude; subnormal underflow encodes as zero.
 pub fn encode_real8(value: f64) -> [u8; 8] {
+    // Exact zero test: zero has a dedicated all-zero encoding; every other
+    // value (however small) goes through the normal path. pilfill: allow(float-eq)
     if value == 0.0 || !value.is_finite() {
         return [0; 8];
     }
@@ -34,9 +36,9 @@ pub fn encode_real8(value: f64) -> [u8; 8] {
     }
     let mantissa = (mag * (1u64 << 56) as f64) as u64;
     let mut out = [0u8; 8];
-    out[0] = sign | (exp as u8 & 0x7F);
+    out[0] = sign | (u8::try_from(exp).unwrap_or(0) & 0x7F);
     for (i, byte) in out.iter_mut().skip(1).enumerate() {
-        *byte = ((mantissa >> (8 * (6 - i))) & 0xFF) as u8;
+        *byte = u8::try_from((mantissa >> (8 * (6 - i))) & 0xFF).unwrap_or(0);
     }
     out
 }
@@ -44,7 +46,7 @@ pub fn encode_real8(value: f64) -> [u8; 8] {
 /// Decodes a GDSII real8 into an `f64`.
 pub fn decode_real8(bytes: [u8; 8]) -> f64 {
     let sign = if bytes[0] & 0x80 != 0 { -1.0 } else { 1.0 };
-    let exp = (bytes[0] & 0x7F) as i32 - 64;
+    let exp = i32::from(bytes[0] & 0x7F) - 64;
     let mut mantissa: u64 = 0;
     for &b in &bytes[1..] {
         mantissa = (mantissa << 8) | b as u64;

@@ -119,8 +119,15 @@ pub fn put_record(out: &mut Vec<u8>, rt: RecordType, dt: DataType, payload: &[u8
         "GDSII payloads are even-length"
     );
     let len = 4 + payload.len();
-    out.extend_from_slice(&(len as u16).to_be_bytes());
+    debug_assert!(
+        len <= usize::from(u16::MAX),
+        "GDSII record payload too large ({len} bytes)"
+    );
+    out.extend_from_slice(&u16::try_from(len).unwrap_or(u16::MAX).to_be_bytes());
+    // `RecordType`/`DataType` are `#[repr(u8)]`; the cast is the only way to
+    // read the discriminant and cannot narrow. pilfill: allow(as-cast)
     out.push(rt as u8);
+    // pilfill: allow(as-cast)
     out.push(dt as u8);
     out.extend_from_slice(payload);
 }
@@ -155,7 +162,7 @@ pub fn next_record(buf: &mut &[u8]) -> Result<Option<RawRecord>, GdsError> {
     let code = buf[2];
     let _dtype = buf[3];
     *buf = &buf[4..];
-    let payload_len = (length - 4) as usize;
+    let payload_len = usize::from(length - 4);
     if buf.len() < payload_len {
         return Err(GdsError::UnexpectedEof);
     }

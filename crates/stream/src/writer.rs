@@ -25,6 +25,18 @@ fn put_ascii(out: &mut Vec<u8>, rt: RecordType, s: &str) {
     put_record(out, rt, DataType::Ascii, &payload);
 }
 
+/// Narrows a die coordinate to the 32-bit range GDSII XY records mandate.
+///
+/// Dies handled here are far below the ±2.1 m (at 1 nm dbu) the format can
+/// express; debug builds assert, release builds saturate.
+fn gds_coord(c: i64) -> i32 {
+    debug_assert!(
+        i64::from(i32::MIN) <= c && c <= i64::from(i32::MAX),
+        "coordinate {c} exceeds the GDSII 32-bit range"
+    );
+    c.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32 // pilfill: allow(as-cast)
+}
+
 fn put_boundary(out: &mut Vec<u8>, layer: i16, datatype: i16, rect: Rect) {
     put_record(out, RecordType::Boundary, DataType::NoData, &[]);
     put_i16(out, RecordType::Layer, &[layer]);
@@ -39,8 +51,8 @@ fn put_boundary(out: &mut Vec<u8>, layer: i16, datatype: i16, rect: Rect) {
     ];
     let mut payload = Vec::with_capacity(40);
     for (x, y) in pts {
-        payload.extend_from_slice(&(x as i32).to_be_bytes());
-        payload.extend_from_slice(&(y as i32).to_be_bytes());
+        payload.extend_from_slice(&gds_coord(x).to_be_bytes());
+        payload.extend_from_slice(&gds_coord(y).to_be_bytes());
     }
     put_record(out, RecordType::Xy, DataType::Int32, &payload);
     put_record(out, RecordType::EndEl, DataType::NoData, &[]);
@@ -76,11 +88,13 @@ pub fn write_gds(design: &Design, fill: &[FillFeature]) -> Vec<u8> {
 
     for net in &design.nets {
         for seg in &net.segments {
-            put_boundary(&mut out, seg.layer.0 as i16, 0, seg.rect());
+            let layer = i16::try_from(seg.layer.0).unwrap_or(i16::MAX);
+            put_boundary(&mut out, layer, 0, seg.rect());
         }
     }
     for o in &design.obstructions {
-        put_boundary(&mut out, o.layer.0 as i16, 0, o.rect);
+        let layer = i16::try_from(o.layer.0).unwrap_or(i16::MAX);
+        put_boundary(&mut out, layer, 0, o.rect);
     }
     let size = design.rules.feature_size;
     for f in fill {

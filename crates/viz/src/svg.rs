@@ -143,6 +143,8 @@ pub fn escape(s: &str) -> String {
 /// `[0, 1]`, formatted as `#rrggbb`.
 pub fn lerp_color(from: (u8, u8, u8), to: (u8, u8, u8), t: f64) -> String {
     let t = t.clamp(0.0, 1.0);
+    // `t` is clamped to [0, 1], so the blend stays within [0, 255]; a
+    // float-to-u8 `as` cast also saturates by definition. pilfill: allow(as-cast)
     let c = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * t).round() as u8 };
     format!(
         "#{:02x}{:02x}{:02x}",

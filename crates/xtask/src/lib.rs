@@ -1,0 +1,109 @@
+//! # pilfill-audit (`xtask`)
+//!
+//! A zero-dependency static-analysis layer for the PIL-Fill workspace.
+//! PR 1 removed every external crate, which means no upstream library is
+//! vetting our integer geometry for us; this tool is the in-repo
+//! replacement: a source auditor that tokenizes every Rust file (string,
+//! comment and `#[cfg(test)]`-aware — no `syn`) and enforces the repo's
+//! soundness rules with `file:line` diagnostics, severity levels, a
+//! machine-readable JSON report and inline suppressions.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--json] [--deny-warnings] [--root DIR]
+//! ```
+//!
+//! See [`rules::Rule`] for the rule set and [`rules::lint_source`] for
+//! the per-file entry point (used directly by the fixture tests).
+
+pub mod rules;
+pub mod scan;
+
+use pilfill_diag::{JsonWriter, RuleCounts};
+use rules::LintReport;
+use std::path::{Path, PathBuf};
+
+/// Directories under the repo root whose `src/` trees are library code.
+///
+/// Test trees (`tests/`, `benches/`, `examples/`) are intentionally not
+/// walked: every rule is scoped to non-test library code.
+fn library_roots(repo: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let crates = repo.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .map(|p| p.join("src"))
+            .collect();
+        dirs.sort();
+        roots.extend(dirs);
+    }
+    if repo.join("src").is_dir() {
+        roots.push(repo.join("src"));
+    }
+    roots
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every library source file under `repo`, in deterministic path
+/// order.
+///
+/// # Errors
+///
+/// Returns the first unreadable source file as an I/O error.
+pub fn lint_repo(repo: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for root in library_roots(repo) {
+        let mut files = Vec::new();
+        rust_files(&root, &mut files);
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(repo)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.merge(rules::lint_source(&rel, &text));
+        }
+    }
+    Ok(report)
+}
+
+/// Renders the full machine-readable report consumed by CI.
+pub fn render_json(report: &LintReport) -> String {
+    let counts = RuleCounts::tally(&report.diagnostics);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("tool", "pilfill-audit");
+    w.field_str("version", env!("CARGO_PKG_VERSION"));
+    w.field_u64("files_scanned", report.files_scanned as u64);
+    w.field_u64("errors", report.errors() as u64);
+    w.field_u64("warnings", report.warnings() as u64);
+    w.field_u64("suppressed", report.suppressed as u64);
+    w.key("counts");
+    counts.write_json(&mut w);
+    w.key("diagnostics");
+    w.begin_array();
+    for d in &report.diagnostics {
+        d.write_json(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}

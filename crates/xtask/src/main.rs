@@ -1,0 +1,113 @@
+//! `cargo run -p xtask -- lint`: the repo audit gate.
+//!
+//! Text diagnostics and the per-rule summary go to stderr; `--json`
+//! prints the machine-readable report on stdout (CI archives it). The
+//! process exits non-zero when any error-severity finding survives
+//! suppression, or when `--deny-warnings` is set and warnings remain.
+
+use pilfill_diag::RuleCounts;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "pilfill-audit — PIL-Fill repo static analysis
+
+USAGE: cargo run -p xtask -- <command> [options]
+
+COMMANDS:
+  lint     audit all library sources
+             --json           print the JSON report on stdout
+             --deny-warnings  treat warnings as fatal
+             --root DIR       repo root (default: this workspace)
+  rules    list the rule set
+  help     show this text"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            for rule in xtask::rules::ALL_RULES {
+                eprintln!(
+                    "{:<13} {:<8} {}",
+                    rule.id(),
+                    rule.severity().name(),
+                    rule.describe()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | None => {
+            eprintln!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(opts: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    // Default to the workspace this binary was built from.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut it = opts.iter();
+    while let Some(opt) = it.next() {
+        match opt.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match xtask::lint_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read sources under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &report.diagnostics {
+        eprintln!("{d}");
+    }
+    let counts = RuleCounts::tally(&report.diagnostics);
+    if !counts.is_empty() {
+        eprintln!("\nfindings by rule:");
+        eprint!("{}", counts.render_text());
+    }
+    eprintln!(
+        "pilfill-audit: {} files, {} errors, {} warnings, {} suppressed",
+        report.files_scanned,
+        report.errors(),
+        report.warnings(),
+        report.suppressed
+    );
+    if json {
+        println!("{}", xtask::render_json(&report));
+    }
+
+    let failed = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,605 @@
+//! The lint rules of `pilfill-audit`.
+//!
+//! Every rule reports against the code view built by [`crate::scan`], so
+//! comments, strings and `#[cfg(test)]` regions never trigger findings.
+//! A finding can be suppressed with a `// pilfill: allow(<rule>)` comment
+//! on the same or the preceding line (a suppression must explain the
+//! invariant that makes the flagged pattern sound), or for a whole file
+//! with `// pilfill: allow-file(<rule>)`.
+
+use crate::scan::SourceFile;
+use pilfill_diag::{Diagnostic, Severity};
+
+/// The rule set, in reporting order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::Unwrap,
+    Rule::FloatEq,
+    Rule::AsCast,
+    Rule::ProcessExit,
+    Rule::MustUse,
+    Rule::MissingDocs,
+];
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No `.unwrap()` / `.expect()` / `panic!` family in library code.
+    Unwrap,
+    /// No `==` / `!=` where an operand is visibly floating-point.
+    FloatEq,
+    /// No bare narrowing `as` casts (use `pilfill_geom::units`).
+    AsCast,
+    /// No `std::process::exit` outside `crates/cli`.
+    ProcessExit,
+    /// Solver/flow result types must carry `#[must_use]`.
+    MustUse,
+    /// Public items must have doc comments.
+    MissingDocs,
+}
+
+impl Rule {
+    /// Stable kebab-case identifier (used in diagnostics and `allow(..)`).
+    pub const fn id(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::FloatEq => "float-eq",
+            Rule::AsCast => "as-cast",
+            Rule::ProcessExit => "process-exit",
+            Rule::MustUse => "must-use",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+
+    /// Default severity.
+    pub const fn severity(self) -> Severity {
+        match self {
+            Rule::Unwrap | Rule::FloatEq | Rule::AsCast | Rule::ProcessExit => Severity::Error,
+            Rule::MustUse | Rule::MissingDocs => Severity::Warning,
+        }
+    }
+
+    /// One-line description for `lint --rules` and the docs table.
+    pub const fn describe(self) -> &'static str {
+        match self {
+            Rule::Unwrap => {
+                "no `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!` or \
+                 `unimplemented!` in non-test library code"
+            }
+            Rule::FloatEq => "no `==`/`!=` comparisons with floating-point operands",
+            Rule::AsCast => {
+                "no bare narrowing `as` casts (i8/i16/i32/u8/u16/u32/usize/isize/Coord/Area); \
+                 use pilfill_geom::units"
+            }
+            Rule::ProcessExit => "no `std::process::exit` outside crates/cli",
+            Rule::MustUse => "solver/flow result types (*Outcome, *Report, ...) need #[must_use]",
+            Rule::MissingDocs => "public items need doc comments",
+        }
+    }
+}
+
+/// The outcome of linting one or more files.
+#[derive(Debug, Clone, Default)]
+#[must_use = "a lint run is pure; dropping the report discards its findings"]
+pub struct LintReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived suppression, in file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by `pilfill: allow` comments.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Error-severity finding count.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity finding count.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.files_scanned += other.files_scanned;
+        self.diagnostics.extend(other.diagnostics);
+        self.suppressed += other.suppressed;
+    }
+}
+
+/// Lints one file's text. `path` should be repo-relative; it is used both
+/// for diagnostics and for path-scoped rules (`process-exit`).
+pub fn lint_source(path: &str, text: &str) -> LintReport {
+    let file = SourceFile::parse(path, text);
+    let mut findings: Vec<(Rule, u32, String)> = Vec::new();
+    rule_unwrap(&file, &mut findings);
+    rule_float_eq(&file, &mut findings);
+    rule_as_cast(&file, &mut findings);
+    rule_process_exit(&file, &mut findings);
+    rule_must_use(&file, &mut findings);
+    rule_missing_docs(&file, &mut findings);
+    findings.sort_by_key(|&(_, line, _)| line);
+
+    let mut report = LintReport {
+        files_scanned: 1,
+        ..LintReport::default()
+    };
+    for (rule, line, message) in findings {
+        if is_suppressed(&file, rule, line) {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(Diagnostic::new(
+                rule.severity(),
+                rule.id(),
+                path,
+                line,
+                message,
+            ));
+        }
+    }
+    report
+}
+
+/// `true` when `rule` is allowed at 1-based `line` (same-line or
+/// preceding-line `pilfill: allow(..)`, or a file-wide `allow-file(..)`).
+fn is_suppressed(file: &SourceFile, rule: Rule, line: u32) -> bool {
+    let idx = usize::try_from(line.saturating_sub(1)).unwrap_or(0);
+    if line_allows(&file.raw[idx], "pilfill: allow(", rule) {
+        return true;
+    }
+    if idx > 0 && line_allows(&file.raw[idx - 1], "pilfill: allow(", rule) {
+        return true;
+    }
+    file.raw
+        .iter()
+        .any(|l| line_allows(l, "pilfill: allow-file(", rule))
+}
+
+fn line_allows(raw: &str, directive: &str, rule: Rule) -> bool {
+    let Some(pos) = raw.find(directive) else {
+        return false;
+    };
+    // Directives only count inside comments.
+    let before = &raw[..pos];
+    if !before.contains("//") {
+        return false;
+    }
+    let rest = &raw[pos + directive.len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[..close].split(',').any(|r| r.trim() == rule.id())
+}
+
+/// 1-based diagnostic line number for 0-based line index `i`.
+fn line_no(i: usize) -> u32 {
+    u32::try_from(i + 1).unwrap_or(u32::MAX)
+}
+
+/// Searches `line` for `pat` occurrences, returning byte offsets.
+fn find_all(line: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(off) = line[from..].find(pat) {
+        out.push(from + off);
+        from += off + pat.len();
+    }
+    out
+}
+
+fn rule_unwrap(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    const PATTERNS: [(&str, &str); 7] = [
+        (".unwrap()", "`.unwrap()`"),
+        (".unwrap_unchecked()", "`.unwrap_unchecked()`"),
+        (".expect(", "`.expect()`"),
+        ("panic!(", "`panic!`"),
+        ("unreachable!(", "`unreachable!`"),
+        ("todo!(", "`todo!`"),
+        ("unimplemented!(", "`unimplemented!`"),
+    ];
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for (pat, what) in PATTERNS {
+            for off in find_all(code, pat) {
+                // `debug_assert!`-style macros may expand to panic!; the
+                // source pattern here is a literal call, so only flag the
+                // macro itself, not e.g. `core::panic::Location`.
+                if pat == "panic!(" && off >= 1 && code.as_bytes()[off - 1] == b'_' {
+                    continue; // e.g. `catch_panic!(` style helper names
+                }
+                findings.push((
+                    Rule::Unwrap,
+                    line_no(i),
+                    format!(
+                        "{what} in library code: return a typed error, or document the \
+                         invariant and add `// pilfill: allow(unwrap)`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `true` if an operand substring shows floating-point evidence.
+fn has_float_evidence(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    // A float literal: digit '.' digit, with a non-identifier char before
+    // the first digit run (so tuple indexing `x.0` never matches).
+    for i in 0..bytes.len() {
+        if bytes[i] == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && i + 1 < bytes.len()
+            && (bytes[i + 1].is_ascii_digit() || !bytes[i + 1].is_ascii_alphanumeric())
+        {
+            // Walk back over the digit run; a preceding ident char means
+            // this dot is field/tuple access on an identifier like `x2.0`.
+            let mut j = i - 1;
+            while j > 0 && bytes[j - 1].is_ascii_digit() {
+                j -= 1;
+            }
+            let lit_start = j == 0
+                || (!bytes[j - 1].is_ascii_alphabetic()
+                    && bytes[j - 1] != b'_'
+                    && bytes[j - 1] != b'.');
+            if lit_start && (i + 1 >= bytes.len() || bytes[i + 1].is_ascii_digit()) {
+                return true;
+            }
+        }
+    }
+    for tok in ["f64", "f32"] {
+        for off in find_all(s, tok) {
+            let before_ok = off == 0 || {
+                let b = bytes[off - 1];
+                !b.is_ascii_alphanumeric()
+            };
+            let after = off + tok.len();
+            let after_ok = after >= bytes.len() || {
+                let b = bytes[after];
+                !b.is_ascii_alphanumeric() && b != b'_'
+            };
+            // `_f64` suffixes count as evidence too (`1_f64`).
+            if after_ok && (before_ok || bytes[off - 1] == b'_') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn rule_float_eq(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let bytes = code.as_bytes();
+        for op in ["==", "!="] {
+            for off in find_all(code, op) {
+                // Exclude `<=`, `>=`, `!=` handled separately; guard `===`
+                // style accidents and pattern arrows.
+                if op == "==" {
+                    if off > 0 && matches!(bytes[off - 1], b'!' | b'<' | b'>' | b'=') {
+                        continue;
+                    }
+                    if bytes.get(off + 2) == Some(&b'=') {
+                        continue;
+                    }
+                }
+                let left_start = code[..off]
+                    .rfind([',', ';', '(', '{', '[', '&', '|'])
+                    .map_or(0, |p| p + 1);
+                let right_end = code[off + 2..]
+                    .find([',', ';', ')', '{', '}', ']', '&', '|'])
+                    .map_or(code.len(), |p| off + 2 + p);
+                let left = &code[left_start..off];
+                let right = &code[off + 2..right_end];
+                if has_float_evidence(left) || has_float_evidence(right) {
+                    findings.push((
+                        Rule::FloatEq,
+                        line_no(i),
+                        format!(
+                            "floating-point `{op}` comparison: compare against an epsilon \
+                             or use exact integer areas"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Cast targets the `as-cast` rule flags: all lossy-or-sign-changing
+/// integer targets plus the coordinate aliases (whose sources are usually
+/// `usize` indices, i.e. sign-changing).
+const NARROWING_TARGETS: [&str; 10] = [
+    "i8", "i16", "i32", "u8", "u16", "u32", "usize", "isize", "Coord", "Area",
+];
+
+fn rule_as_cast(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for off in find_all(code, " as ") {
+            let after = &code[off + 4..];
+            let ty: String = after
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if NARROWING_TARGETS.contains(&ty.as_str()) {
+                findings.push((
+                    Rule::AsCast,
+                    line_no(i),
+                    format!(
+                        "narrowing `as {ty}` cast: use `pilfill_geom::units` \
+                         (index/coord/try_*) so overflow is checked, or justify with \
+                         `// pilfill: allow(as-cast)`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn rule_process_exit(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    if file.path.starts_with("crates/cli/") {
+        return;
+    }
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        if code.contains("process::exit") {
+            findings.push((
+                Rule::ProcessExit,
+                line_no(i),
+                "`std::process::exit` outside crates/cli: return an error (or \
+                 `std::process::ExitCode`) so library callers keep control"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Type-name suffixes that mark a solver/flow result type.
+const MUST_USE_SUFFIXES: [&str; 5] = ["Outcome", "Report", "Solution", "Analysis", "Impact"];
+
+fn rule_must_use(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let trimmed = code.trim_start();
+        let Some(name) = ["pub struct ", "pub enum "]
+            .iter()
+            .find_map(|kw| trimmed.strip_prefix(kw))
+        else {
+            continue;
+        };
+        let name: String = name
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !MUST_USE_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        // Walk up over attributes and doc comments looking for #[must_use].
+        let mut has = false;
+        for j in (0..i).rev() {
+            let above = file.raw[j].trim();
+            if above.starts_with("#[") || above.starts_with("#![") {
+                if above.contains("must_use") {
+                    has = true;
+                }
+                continue;
+            }
+            if above.starts_with("///") || above.starts_with("//") || above.ends_with(")]") {
+                continue;
+            }
+            break;
+        }
+        if !has {
+            findings.push((
+                Rule::MustUse,
+                line_no(i),
+                format!("result type `{name}` is missing `#[must_use]`"),
+            ));
+        }
+    }
+}
+
+fn rule_missing_docs(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    const ITEMS: [&str; 9] = [
+        "pub fn ",
+        "pub const fn ",
+        "pub unsafe fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub type ",
+        "pub const ",
+        "pub static ",
+    ];
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let trimmed = code.trim_start();
+        let is_item = ITEMS.iter().any(|kw| trimmed.starts_with(kw))
+            || (trimmed.starts_with("pub mod ") && trimmed.contains('{'));
+        if !is_item {
+            continue;
+        }
+        // Walk up over attributes; the nearest non-attribute line must be
+        // a doc comment.
+        let mut documented = false;
+        for j in (0..i).rev() {
+            let above = file.raw[j].trim();
+            if above.starts_with("#[") || above.starts_with("#![") || above.ends_with(")]") {
+                continue;
+            }
+            documented = above.starts_with("///")
+                || above.starts_with("/**")
+                || above.starts_with("*/")
+                || above.ends_with("*/");
+            break;
+        }
+        if !documented {
+            let name: String = trimmed
+                .split_whitespace()
+                .nth(2)
+                .unwrap_or("")
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            findings.push((
+                Rule::MissingDocs,
+                line_no(i),
+                format!("public item `{name}` has no doc comment"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(report: &LintReport) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_only_outside_tests() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules_fired(&report), vec!["unwrap"]);
+        assert_eq!(report.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn expect_and_panic_family_flagged() {
+        let src = "fn f() { a.expect(\"x\"); panic!(\"y\"); unreachable!(); todo!(); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(report.diagnostics.len(), 4);
+    }
+
+    #[test]
+    fn suppression_same_line_and_previous_line() {
+        let src = "fn f() { x.unwrap(); } // invariant: x checked above; pilfill: allow(unwrap)\n\
+                   // guaranteed non-empty; pilfill: allow(unwrap)\nfn g() { y.unwrap(); }\n\
+                   fn h() { z.unwrap(); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(report.suppressed, 2);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let src =
+            "// pilfill: allow-file(unwrap)\nfn f() { x.unwrap(); }\nfn g() { y.unwrap(); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.suppressed, 2);
+    }
+
+    #[test]
+    fn directive_outside_comment_does_not_suppress() {
+        let src = "fn f() { let pilfill_allow = \"pilfill: allow(unwrap)\"; x.unwrap(); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(report.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn float_eq_detected_by_literal_or_type_evidence() {
+        let src = "fn f() { if x == 0.5 { } if y as f64 != z { } if a == b { } }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(
+            rules_fired(&report)
+                .iter()
+                .filter(|r| **r == "float-eq")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn tuple_index_is_not_float_evidence() {
+        let src = "fn f() { if cell.0 == other.0 { } }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn narrowing_casts_flagged_widening_ignored() {
+        let src = "fn f() { let a = x as usize; let b = y as u32; let c = z as u64; let d = w as f64; }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(
+            rules_fired(&report),
+            vec!["as-cast", "as-cast"],
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn process_exit_allowed_in_cli_only() {
+        let src = "fn f() { std::process::exit(1); }\n";
+        assert!(lint_source("crates/cli/src/main.rs", src)
+            .diagnostics
+            .is_empty());
+        assert_eq!(
+            rules_fired(&lint_source("crates/core/src/a.rs", src)),
+            vec!["process-exit"]
+        );
+    }
+
+    #[test]
+    fn must_use_required_on_result_types() {
+        let src = "/// Doc.\npub struct FlowOutcome { }\n/// Doc.\n#[must_use]\npub struct DrcReport { }\n/// Doc.\npub struct Config { }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules_fired(&report), vec!["must-use"]);
+        assert_eq!(report.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn missing_docs_on_undocumented_public_item() {
+        let src = "/// Documented.\npub fn ok() {}\n\npub fn bad() {}\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules_fired(&report), vec!["missing-docs"]);
+        assert_eq!(report.diagnostics[0].line, 4);
+    }
+
+    #[test]
+    fn attributes_between_doc_and_item_are_skipped() {
+        let src = "/// Doc.\n#[derive(Debug, Clone)]\n#[must_use]\npub struct DrcReport { }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn banned_patterns_in_strings_and_comments_ignored() {
+        let src = "// calls .unwrap() internally\nfn f() { log(\"don't panic!(now)\"); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn report_severity_counters() {
+        let src = "pub fn bad() { x.unwrap(); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 1); // missing-docs
+    }
+}

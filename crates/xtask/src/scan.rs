@@ -1,0 +1,388 @@
+//! Lexical scanner for the repo linter.
+//!
+//! Rules must never fire on text inside string literals, comments, or
+//! `#[cfg(test)]` regions, so before any rule runs a source file is
+//! reduced to a *code view*: the same lines with every comment and
+//! string-literal body blanked out (string delimiters are kept so call
+//! shapes like `.expect("...")` remain recognizable), plus a per-line
+//! mask of which lines sit inside test-only code.
+//!
+//! This is a line-faithful scanner, not a parser: it understands line
+//! and nested block comments, plain/raw/byte strings, char literals vs.
+//! lifetimes, and brace-matched `#[cfg(test)]` / `#[test]` item bodies.
+//! That is enough to anchor every diagnostic to an exact `file:line`
+//! without pulling a full Rust grammar into the workspace.
+
+/// A scanned source file: raw text plus the derived code view.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path (used verbatim in diagnostics).
+    pub path: String,
+    /// The original lines.
+    pub raw: Vec<String>,
+    /// The lines with comments and string bodies blanked.
+    pub code: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` or `#[test]` item bodies.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `text` into a code view.
+    pub fn parse(path: impl Into<String>, text: &str) -> Self {
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let code = strip_lines(text);
+        debug_assert_eq!(raw.len(), code.len());
+        let in_test = test_mask(&code);
+        Self {
+            path: path.into(),
+            raw,
+            code,
+            in_test,
+        }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+}
+
+/// Blanks comments and string-literal bodies, preserving line structure.
+fn strip_lines(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    // Line comment (incl. doc comments): blank to newline.
+                    while i < chars.len() && chars[i] != '\n' {
+                        line.push(' ');
+                        i += 1;
+                    }
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    st = St::Block(1);
+                    line.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    st = St::Str;
+                    line.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    let (hashes, skip) = raw_string_open(&chars, i);
+                    st = St::RawStr(hashes);
+                    for _ in 0..skip {
+                        line.push(' ');
+                    }
+                    line.pop();
+                    line.push('"');
+                    i += skip;
+                }
+                '\'' => {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        line.push('\'');
+                        for _ in i + 1..end {
+                            line.push(' ');
+                        }
+                        line.push('\'');
+                        i = end + 1;
+                    } else {
+                        // Lifetime: keep the tick, let the ident flow.
+                        line.push('\'');
+                        i += 1;
+                    }
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    // Consume a full ident/number so a trailing `r`/`b`
+                    // inside it is never mistaken for a raw-string prefix.
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        line.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                c => {
+                    line.push(c);
+                    i += 1;
+                }
+            },
+            St::Block(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::Block(depth + 1);
+                    line.push_str("  ");
+                    i += 2;
+                } else {
+                    line.push(' ');
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Keep line-continuation newlines visible to the
+                    // outer loop so line numbering stays in sync.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        line.push(' ');
+                        i += 1;
+                    } else {
+                        line.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    st = St::Code;
+                    line.push('"');
+                    i += 1;
+                } else {
+                    line.push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    st = St::Code;
+                    line.push('"');
+                    for _ in 0..hashes {
+                        line.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    line.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.push(line);
+    // `str::lines` drops a trailing final newline's empty line; mirror it.
+    if text.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+/// `true` if `chars[i]` starts a raw or byte string prefix (`r"`, `r#"`,
+/// `br"`, `b"`, ...).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && chars.get(j) == Some(&'"')
+}
+
+/// Returns `(hash_count, chars_consumed)` for a raw/byte string opener.
+fn raw_string_open(chars: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // Consume the opening quote too.
+    (hashes, j - i + 1)
+}
+
+/// `true` if the `"` at `i` is followed by `hashes` `#`s (raw-string close).
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If `chars[i]` (a `'`) opens a char literal, returns the index of its
+/// closing quote; `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote, stepping over
+            // every `\x` pair so `'\\'` and `'\''` close correctly.
+            let mut j = i + 1;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+        _ => None,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` or `#[test]` item body.
+fn test_mask(code: &[String]) -> Vec<bool> {
+    // Flatten to (line, char) so brace matching can span lines.
+    let mut flat: Vec<(usize, char)> = Vec::new();
+    for (ln, l) in code.iter().enumerate() {
+        for c in l.chars() {
+            flat.push((ln, c));
+        }
+        flat.push((ln, '\n'));
+    }
+    let text: String = flat.iter().map(|&(_, c)| c).collect();
+    let mut mask = vec![false; code.len()];
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(off) = text[from..].find(pat) {
+            let start = from + off;
+            from = start + pat.len();
+            // Find the body: the first `{` before the item ends (a `;`
+            // at depth zero means an item with no body, e.g. `pub use`).
+            let mut j = start + pat.len();
+            let mut open = None;
+            while j < flat.len() {
+                match flat[j].1 {
+                    '{' => {
+                        open = Some(j);
+                        break;
+                    }
+                    ';' => break,
+                    _ => j += 1,
+                }
+            }
+            let Some(open) = open else { continue };
+            let mut depth = 0usize;
+            let mut close = open;
+            for (k, &(_, c)) in flat.iter().enumerate().skip(open) {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let first = flat[start].0;
+            let last = flat[close].0;
+            for m in mask.iter_mut().take(last + 1).skip(first) {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let f = SourceFile::parse("t.rs", "let x = 1; // unwrap() here\n");
+        assert_eq!(f.code[0].trim_end(), "let x = 1;");
+        assert!(f.raw[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\n.unwrap()\n*/ c\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.code[0].replace(' ', ""), "ab");
+        assert_eq!(f.code[1].trim(), "");
+        assert_eq!(f.code[2].trim(), "");
+        assert_eq!(f.code[3].replace(' ', ""), "c");
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_delimiters_kept() {
+        let f = SourceFile::parse("t.rs", r#"x.expect("boom .unwrap() \" ok");"#);
+        let code = &f.code[0];
+        assert!(code.contains(".expect(\""));
+        assert!(!code.contains("boom"));
+        assert!(!code.contains(".unwrap()"));
+        assert!(code.ends_with("\");"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_bodies() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let t = 1;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.code[0].contains("panic!"));
+        assert!(f.code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = '\"'; c }\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.code[0].contains("fn f<'a>(x: &'a str)"));
+        // The `'\"'` char literal must not open a string state.
+        assert!(f.code[0].contains('c'));
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(
+            f.in_test,
+            vec![false, true, true, true, true, false],
+            "{:?}",
+            f.in_test
+        );
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    boom();\n}\nfn b() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn ident_containing_r_is_not_a_raw_string() {
+        let f = SourceFile::parse("t.rs", "let number = 4; for x in iter { }\n");
+        assert!(f.code[0].contains("number = 4"));
+        assert!(f.code[0].contains("for x in iter"));
+    }
+}

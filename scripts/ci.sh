@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full offline CI pass: formatting, lints, build, tests, bench smoke.
+# Full offline CI pass: formatting, lints, repo audit, build, tests,
+# bench smoke, and (when the toolchain provides them) miri + TSan gates.
 # The workspace has zero external dependencies, so everything here runs
 # without network access.
 set -euo pipefail
@@ -11,6 +12,10 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> pilfill-audit lint (deny warnings, JSON report)"
+cargo run -q -p xtask -- lint --deny-warnings --json > lint-report.json
+cargo run -q -p xtask -- lint --deny-warnings
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -19,5 +24,24 @@ cargo test -q --workspace
 
 echo "==> bench smoke (writes BENCH_pr1.json)"
 cargo run --release -p pilfill-bench --bin bench_json
+
+# Optional soundness gates: run only when the host toolchain has the
+# nightly components (offline containers usually don't; the GitHub
+# workflow installs them and runs these for real).
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  echo "==> miri (pilfill-geom, pilfill-solver)"
+  cargo +nightly miri test -p pilfill-geom -p pilfill-solver
+else
+  echo "==> miri unavailable (skipping; CI runs it)"
+fi
+
+if [ -d "$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library" ]; then
+  echo "==> ThreadSanitizer (FlowOutcome determinism)"
+  RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+    -p pilfill-core --lib parallel_run_is_bit_identical -- --test-threads 1
+else
+  echo "==> nightly rust-src unavailable (skipping TSan; CI runs it)"
+fi
 
 echo "CI OK"
