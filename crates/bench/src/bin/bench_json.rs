@@ -2,22 +2,63 @@
 // abort loudly rather than be handled. pilfill: allow-file(unwrap)
 //! One-shot machine-readable bench report: times the hot paths of the
 //! whole pipeline (density analysis, scan-line extraction, every per-tile
-//! fill method, and the end-to-end flow) and writes `BENCH_pr1.json`
+//! fill method, and the end-to-end flow) and writes a `BENCH_*.json`
 //! mapping each metric to its median nanoseconds.
 //!
 //! Run with `cargo run --release -p pilfill-bench --bin bench_json`.
+//!
+//! Flags:
+//!
+//! - `--quick`: a small design and minimal sample counts — a CI smoke run
+//!   that checks the harness end-to-end in seconds, not a measurement.
+//! - `--threads-sweep`: additionally emit `flow/run_parallelN_ilp2_t2`
+//!   and `flow/context_build_parallelN_t2` for N in {1, 2, 4, 8}, each on
+//!   a persistent [`WorkerPool`] created outside the timed region.
+//! - `--out PATH`: report path (default `BENCH_pr4.json`).
+//!
+//! The report records `host_parallelism` (what
+//! [`std::thread::available_parallelism`] saw) so sweep numbers can be
+//! judged against the hardware they ran on: on a single-core host every
+//! N > 1 measures scheduling overhead, not speedup.
 
 use pilfill_bench::{Harness, Json};
 use pilfill_core::flow::{FlowConfig, FlowContext};
 use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
-use pilfill_core::{extract_active_lines, scan_slack_columns, TileProblem};
+use pilfill_core::{extract_active_lines, scan_slack_columns, TileProblem, WorkerPool};
 use pilfill_density::{DensityMap, FixedDissection};
 use pilfill_layout::synth::{synthesize, SynthConfig};
 use pilfill_layout::{Design, LayerId};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
 
-const OUT_PATH: &str = "BENCH_pr1.json";
+const DEFAULT_OUT: &str = "BENCH_pr4.json";
+
+/// Thread counts covered by `--threads-sweep`.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Options {
+    quick: bool,
+    sweep: bool,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        sweep: false,
+        out: DEFAULT_OUT.to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads-sweep" => opts.sweep = true,
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (try --quick, --threads-sweep, --out PATH)"),
+        }
+    }
+    opts
+}
 
 /// Picks the tile with the most paired capacity (the hardest instance).
 fn representative_tile(design: &Design, cfg: &FlowConfig) -> (TileProblem, u32) {
@@ -39,39 +80,45 @@ fn representative_tile(design: &Design, cfg: &FlowConfig) -> (TileProblem, u32) 
 }
 
 fn main() {
+    let opts = parse_args();
     let mut h = Harness::new();
-    let t2 = synthesize(&SynthConfig::t2());
-    let cfg = FlowConfig::new(32_000, 2).expect("config");
+    let (design, cfg, samples) = if opts.quick {
+        let d = synthesize(&SynthConfig::small_test(21));
+        (d, FlowConfig::new(8_000, 2).expect("config"), 3)
+    } else {
+        let d = synthesize(&SynthConfig::t2());
+        (d, FlowConfig::new(32_000, 2).expect("config"), 7)
+    };
+    let t2 = &design;
 
-    // Density: map construction and the (now prefix-sum-backed) window
-    // analysis.
+    // Density: map construction and the prefix-sum-backed window analysis.
     let dissection = FixedDissection::new(t2.die, cfg.window, cfg.r).expect("dissection");
-    h.bench("density/compute_map_t2", 15, 1, || {
-        DensityMap::compute(&t2, LayerId(0), &dissection)
+    h.bench("density/compute_map_t2", 2 * samples + 1, 1, || {
+        DensityMap::compute(t2, LayerId(0), &dissection)
     });
-    let map = DensityMap::compute(&t2, LayerId(0), &dissection);
-    h.bench("density/analyze_t2", 15, 8, || map.analyze());
+    let map = DensityMap::compute(t2, LayerId(0), &dissection);
+    h.bench("density/analyze_t2", 2 * samples + 1, 8, || map.analyze());
 
     // Scan-line core.
-    let lines = extract_active_lines(&t2, LayerId(0)).expect("lines");
-    h.bench("scanline/extract_active_lines_t2", 15, 1, || {
-        extract_active_lines(&t2, LayerId(0)).expect("lines")
-    });
-    h.bench("scanline/scan_slack_columns_t2", 15, 1, || {
+    let lines = extract_active_lines(t2, LayerId(0)).expect("lines");
+    h.bench(
+        "scanline/extract_active_lines_t2",
+        2 * samples + 1,
+        1,
+        || extract_active_lines(t2, LayerId(0)).expect("lines"),
+    );
+    h.bench("scanline/scan_slack_columns_t2", 2 * samples + 1, 1, || {
         scan_slack_columns(&lines, t2.die, t2.rules)
     });
 
     // Flow preparation (context build: extraction + scan + tile problems +
-    // budget), sequential and chunked.
-    h.bench("flow/context_build_t2", 7, 1, || {
-        FlowContext::build(&t2, &cfg).expect("context")
-    });
-    h.bench("flow/context_build_parallel4_t2", 7, 1, || {
-        FlowContext::build_parallel(&t2, &cfg, 4).expect("context")
+    // budget), sequential baseline.
+    h.bench("flow/context_build_t2", samples, 1, || {
+        FlowContext::build(t2, &cfg).expect("context")
     });
 
     // Per-tile method solves on the hardest tile.
-    let (tile, budget) = representative_tile(&t2, &cfg);
+    let (tile, budget) = representative_tile(t2, &cfg);
     let methods: Vec<(&str, &dyn FillMethod)> = vec![
         ("normal", &NormalFill),
         ("greedy", &GreedyFill),
@@ -80,7 +127,7 @@ fn main() {
         ("dp_exact", &DpExact),
     ];
     for (name, method) in methods {
-        h.bench(&format!("tile/{name}"), 9, 1, || {
+        h.bench(&format!("tile/{name}"), samples + 2, 1, || {
             let mut rng = StdRng::seed_from_u64(1);
             method
                 .place(&tile, budget, false, &mut rng)
@@ -89,24 +136,52 @@ fn main() {
     }
 
     // End-to-end flow (context reused, placement + assembly + evaluation).
-    let ctx = FlowContext::build(&t2, &cfg).expect("context");
-    h.bench("flow/run_greedy_t2", 5, 1, || {
+    let ctx = FlowContext::build(t2, &cfg).expect("context");
+    h.bench("flow/run_greedy_t2", samples, 1, || {
         ctx.run(&cfg, &GreedyFill).expect("run")
     });
-    h.bench("flow/run_ilp2_t2", 5, 1, || {
+    h.bench("flow/run_ilp2_t2", samples, 1, || {
         ctx.run(&cfg, &IlpTwo).expect("run")
     });
-    h.bench("flow/run_parallel4_ilp2_t2", 5, 1, || {
-        ctx.run_parallel(&cfg, &IlpTwo, 4).expect("run")
-    });
+
+    if opts.sweep {
+        // Persistent pools: workers are spawned once per thread count,
+        // outside the timed region, so the sweep measures steady-state
+        // dispatch rather than thread spawn-up.
+        for n in SWEEP_THREADS {
+            let pool = WorkerPool::new(n);
+            h.bench(
+                &format!("flow/context_build_parallel{n}_t2"),
+                samples,
+                1,
+                || FlowContext::build_pool(t2, &cfg, &pool).expect("context"),
+            );
+            h.bench(&format!("flow/run_parallel{n}_ilp2_t2"), samples, 1, || {
+                ctx.run_pool(&cfg, &IlpTwo, &pool).expect("run")
+            });
+        }
+    } else {
+        // Legacy single-point parallel keys (the sweep supersedes these).
+        h.bench("flow/context_build_parallel4_t2", samples, 1, || {
+            FlowContext::build_parallel(t2, &cfg, 4).expect("context")
+        });
+        h.bench("flow/run_parallel4_ilp2_t2", samples, 1, || {
+            ctx.run_parallel(&cfg, &IlpTwo, 4).expect("run")
+        });
+    }
 
     let mut report = Json::object();
     report.insert("schema", Json::Str("pilfill-bench/median_ns/v1".into()));
+    let host = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    report.insert(
+        "host_parallelism",
+        Json::UInt(u64::try_from(host).unwrap_or(0)),
+    );
     let mut metrics = Json::object();
     for m in h.results() {
         metrics.insert(&m.name, Json::UInt(m.median_ns));
     }
     report.insert("median_ns", metrics);
-    std::fs::write(OUT_PATH, report.to_pretty_string()).expect("write report");
-    println!("wrote {OUT_PATH}");
+    std::fs::write(&opts.out, report.to_pretty_string()).expect("write report");
+    println!("wrote {}", opts.out);
 }

@@ -11,6 +11,7 @@
 //! show ILP-I losing to the Normal baseline.
 
 use crate::{ActiveLine, FillFeature, SlackColumn};
+use pilfill_exec::WorkerPool;
 use pilfill_geom::Rect;
 use pilfill_layout::{FillRules, NetId, Tech};
 use pilfill_rc::CouplingModel;
@@ -66,6 +67,70 @@ impl DelayImpact {
     }
 }
 
+/// One adjacent line's share of a column's contribution: the Elmore delay
+/// increment, its weighted variant, and the net it charges.
+#[derive(Debug, Clone, Copy)]
+struct LineHit {
+    dtau: f64,
+    weighted_dtau: f64,
+    net: Option<NetId>,
+}
+
+/// The pure, order-independent contribution of one occupied slack column.
+/// Computing these is the expensive, embarrassingly-parallel part of the
+/// evaluation; folding them (in column order) is the cheap serial part
+/// that pins down the f64 addition sequence.
+#[derive(Debug, Clone, Copy)]
+enum Contribution {
+    /// Features in a column with no line pair: zero delay, counted free.
+    Free(u64),
+    /// The defensive clamp reduced the count to zero.
+    Clamped,
+    /// A line-pair column: exact incremental capacitance plus up to two
+    /// adjacent-line delay shares (below first, then above — the serial
+    /// iteration order).
+    Paired {
+        dcap: f64,
+        hits: [Option<LineHit>; 2],
+    },
+}
+
+/// Computes one column's [`Contribution`] for `m` located features.
+fn column_contribution(
+    col: &SlackColumn,
+    m: u32,
+    lines: &[ActiveLine],
+    model: &CouplingModel,
+    rules: FillRules,
+) -> Contribution {
+    let Some(d) = col.distance() else {
+        return Contribution::Free(m as u64);
+    };
+    // Defensive clamp: placements from per-tile scans may exceed the
+    // global slot count by a feature or two near tile cuts; never let
+    // the metal close the gap in the model.
+    let max_m = pilfill_geom::units::saturating_count(
+        u64::try_from((d - 1) / rules.feature_size).unwrap_or(0),
+    );
+    let m = m.min(max_m);
+    if m == 0 {
+        return Contribution::Clamped;
+    }
+    let dcap = model.delta_cap_exact(m, d, rules.feature_size);
+    let x = col.feature_x(rules) + rules.feature_size / 2;
+    let mut hits = [None, None];
+    for (k, idx) in [col.below, col.above].into_iter().flatten().enumerate() {
+        let line = &lines[idx];
+        let dtau = dcap * line.res_at(x);
+        hits[k] = Some(LineHit {
+            dtau,
+            weighted_dtau: line.weight as f64 * dtau,
+            net: line.net,
+        });
+    }
+    Contribution::Paired { dcap, hits }
+}
+
 /// Evaluates `features` against the global slack columns.
 ///
 /// `num_nets` sizes the per-net vector; `bounds`/`rules` must match the
@@ -79,6 +144,54 @@ pub fn evaluate_placement(
     rules: FillRules,
     num_nets: usize,
 ) -> DelayImpact {
+    evaluate_impl(
+        features, columns, lines, bounds, tech, rules, num_nets, None,
+    )
+}
+
+/// Like [`evaluate_placement`], but shards the per-column contribution
+/// work across `pool`'s lanes.
+///
+/// Each occupied column's contribution (capacitance, per-line delay
+/// shares) is a pure function of that column alone, computed into its own
+/// slot; the accumulators are then folded serially in global column order,
+/// which replays the exact f64 addition sequence of the serial evaluator.
+/// The result is therefore bit-identical to [`evaluate_placement`] for
+/// every lane count.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_placement_pool(
+    pool: &WorkerPool,
+    features: &[FillFeature],
+    columns: &[SlackColumn],
+    lines: &[ActiveLine],
+    bounds: Rect,
+    tech: &Tech,
+    rules: FillRules,
+    num_nets: usize,
+) -> DelayImpact {
+    evaluate_impl(
+        features,
+        columns,
+        lines,
+        bounds,
+        tech,
+        rules,
+        num_nets,
+        Some(pool),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_impl(
+    features: &[FillFeature],
+    columns: &[SlackColumn],
+    lines: &[ActiveLine],
+    bounds: Rect,
+    tech: &Tech,
+    rules: FillRules,
+    num_nets: usize,
+    pool: Option<&WorkerPool>,
+) -> DelayImpact {
     let model = CouplingModel::new(tech);
     let mut counts = vec![0u32; columns.len()];
     let mut unlocated = 0u64;
@@ -89,42 +202,57 @@ pub fn evaluate_placement(
         }
     }
 
+    // The fold is serial in both modes and always runs in ascending
+    // column order, so the f64 accumulation sequence is fixed by the
+    // column index, never by scheduling.
     let mut total = 0.0;
     let mut weighted = 0.0;
     let mut total_cap = 0.0;
     let mut free = 0u64;
     let mut per_net = vec![0.0f64; num_nets];
     let mut per_net_cap = vec![0.0f64; num_nets];
-    for (col, &m) in columns.iter().zip(&counts) {
-        if m == 0 {
-            continue;
-        }
-        let Some(d) = col.distance() else {
-            free += m as u64;
-            continue;
-        };
-        // Defensive clamp: placements from per-tile scans may exceed the
-        // global slot count by a feature or two near tile cuts; never let
-        // the metal close the gap in the model.
-        let max_m = pilfill_geom::units::saturating_count(
-            u64::try_from((d - 1) / rules.feature_size).unwrap_or(0),
-        );
-        let m = m.min(max_m);
-        if m == 0 {
-            continue;
-        }
-        let dcap = model.delta_cap_exact(m, d, rules.feature_size);
-        total_cap += dcap;
-        let x = col.feature_x(rules) + rules.feature_size / 2;
-        for idx in [col.below, col.above].into_iter().flatten() {
-            let line = &lines[idx];
-            let dtau = dcap * line.res_at(x);
-            total += dtau;
-            weighted += line.weight as f64 * dtau;
-            if let Some(net) = line.net {
-                per_net[net.0] += dtau;
-                per_net_cap[net.0] += dcap;
+    {
+        let mut fold = |c: Contribution| match c {
+            Contribution::Free(n) => free += n,
+            Contribution::Clamped => {}
+            Contribution::Paired { dcap, hits } => {
+                total_cap += dcap;
+                for hit in hits.iter().flatten() {
+                    total += hit.dtau;
+                    weighted += hit.weighted_dtau;
+                    if let Some(net) = hit.net {
+                        per_net[net.0] += hit.dtau;
+                        per_net_cap[net.0] += dcap;
+                    }
+                }
             }
+        };
+        match pool {
+            Some(pool) => {
+                // Dense worklist of occupied columns, ascending; each pure
+                // contribution lands in its own disjoint slot before the
+                // ordered fold replays the serial addition sequence.
+                let occupied: Vec<usize> = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m > 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                let contributions = pool.map(occupied.len(), |k| {
+                    let ci = occupied[k];
+                    column_contribution(&columns[ci], counts[ci], lines, &model, rules)
+                });
+                contributions.into_iter().for_each(&mut fold);
+            }
+            // Serial: stream each contribution straight into the fold, no
+            // worklist or slot vector.
+            None => counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m > 0)
+                .for_each(|(ci, &m)| {
+                    fold(column_contribution(&columns[ci], m, lines, &model, rules))
+                }),
         }
     }
 
@@ -298,6 +426,52 @@ mod tests {
         let f = FillFeature { x: 1_000, y: 2_950 };
         let impact = eval(&s, &[f]);
         assert_eq!(impact.unlocated_features, 1);
+    }
+
+    #[test]
+    fn sharded_evaluation_is_bit_identical_for_every_shard_count() {
+        use pilfill_layout::synth::{synthesize, SynthConfig};
+        // A dense placement on a seeded synthetic design: one feature in
+        // every slot of every column, so every contribution variant
+        // (paired, boundary-free) is exercised.
+        let d = synthesize(&SynthConfig::small_test(7));
+        let lines = extract_active_lines(&d, LayerId(0)).expect("lines");
+        let columns = scan_slack_columns(&lines, d.die, d.rules);
+        let features: Vec<FillFeature> = columns
+            .iter()
+            .flat_map(|c| {
+                c.slots.iter().map(|&y| FillFeature {
+                    x: c.feature_x(d.rules),
+                    y,
+                })
+            })
+            .collect();
+        assert!(features.len() > 100, "dense placement expected");
+        let serial = evaluate_placement(
+            &features,
+            &columns,
+            &lines,
+            d.die,
+            &d.tech,
+            d.rules,
+            d.nets.len(),
+        );
+        for shards in 1..=8 {
+            let pool = WorkerPool::new(shards);
+            let sharded = evaluate_placement_pool(
+                &pool,
+                &features,
+                &columns,
+                &lines,
+                d.die,
+                &d.tech,
+                d.rules,
+                d.nets.len(),
+            );
+            // Bit-identical, including every f64 accumulator: the fold
+            // order is the column order regardless of shard count.
+            assert_eq!(serial, sharded, "{shards} shards");
+        }
     }
 
     #[test]

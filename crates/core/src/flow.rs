@@ -4,17 +4,19 @@
 
 use crate::methods::{FillMethod, MethodError};
 use crate::{
-    build_tile_problems_parallel, evaluate_placement, extract_active_lines, scan_slack_columns,
-    DelayImpact, FillFeature, SlackColumnDef, TileProblem,
+    build_tile_problems_pool, evaluate_placement, evaluate_placement_pool, extract_active_lines,
+    scan_slack_columns, DelayImpact, FillFeature, SlackColumnDef, TileProblem,
 };
 use pilfill_density::{
     lp_budget, montecarlo_budget, BudgetError, DensityAnalysis, DensityMap, DissectionError,
     FixedDissection,
 };
+use pilfill_exec::WorkerPool;
 use pilfill_geom::{units, Coord};
 use pilfill_layout::{Design, LayerId, LayoutError};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
+use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
 /// Configuration of one flow run.
@@ -152,11 +154,13 @@ pub struct FlowOutcome {
 ///
 /// Algorithms are written for horizontally routed layers; when the target
 /// layer routes vertically, the context works on the transposed design and
-/// transposes placed features back into the original frame.
+/// transposes placed features back into the original frame. Horizontal
+/// layers borrow the caller's design ([`Cow::Borrowed`]) — only the
+/// transposed path pays for an owned copy.
 #[derive(Debug, Clone)]
-pub struct FlowContext {
+pub struct FlowContext<'d> {
     /// The design in the working frame (transposed for vertical layers).
-    frame_design: Design,
+    frame_design: Cow<'d, Design>,
     /// `true` when the working frame is the transpose of the input.
     transposed: bool,
     dissection: FixedDissection,
@@ -169,43 +173,59 @@ pub struct FlowContext {
     density_map: DensityMap,
 }
 
-impl FlowContext {
+impl<'d> FlowContext<'d> {
     /// Builds the context: extraction, scan, tile problems, density map and
     /// fill budget.
     ///
     /// # Errors
     ///
     /// See [`FlowError`].
-    pub fn build(design: &Design, config: &FlowConfig) -> Result<Self, FlowError> {
-        Self::build_parallel(design, config, 1)
+    pub fn build(design: &'d Design, config: &FlowConfig) -> Result<Self, FlowError> {
+        Self::build_pool(design, config, &WorkerPool::new(1))
     }
 
-    /// Like [`FlowContext::build`], but prepares the per-tile problems on
-    /// `threads` scoped worker threads (per-tile slack scans for
-    /// definitions I/II, chunked global-column distribution for
+    /// Like [`FlowContext::build`], but prepares the per-tile problems on a
+    /// transient `threads`-lane [`WorkerPool`] (per-tile slack scans for
+    /// definitions I/II, sharded global-column distribution for
     /// definition III). The result is identical for every thread count.
+    /// Callers building repeatedly should hold their own pool and use
+    /// [`FlowContext::build_pool`] to amortize worker spawn-up.
     ///
     /// # Errors
     ///
     /// See [`FlowError`].
     pub fn build_parallel(
-        design: &Design,
+        design: &'d Design,
         config: &FlowConfig,
         threads: usize,
     ) -> Result<Self, FlowError> {
-        let threads = threads.max(1);
+        Self::build_pool(design, config, &WorkerPool::new(threads))
+    }
+
+    /// Like [`FlowContext::build`], but prepares the per-tile problems on
+    /// the caller's persistent [`WorkerPool`]. The result is identical for
+    /// every pool size.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn build_pool(
+        design: &'d Design,
+        config: &FlowConfig,
+        pool: &WorkerPool,
+    ) -> Result<Self, FlowError> {
         // Work in a frame where the target layer routes horizontally.
         let transposed = design
             .layers
             .get(config.layer.0)
             .map(|l| l.dir.is_vertical())
             .unwrap_or(false);
-        let frame_design = if transposed {
-            design.transposed()
+        let frame_design: Cow<'d, Design> = if transposed {
+            Cow::Owned(design.transposed())
         } else {
-            design.clone()
+            Cow::Borrowed(design)
         };
-        let design = &frame_design;
+        let design: &Design = &frame_design;
         let dissection = FixedDissection::new(design.die, config.window, config.r)?;
         let lines = extract_active_lines(design, config.layer)?;
         let columns = scan_slack_columns(&lines, design.die, design.rules);
@@ -213,14 +233,14 @@ impl FlowContext {
         // Per-tile capacity for budgeting always uses definition III (the
         // physical truth); the method may then be run under a weaker
         // definition and take a shortfall.
-        let problems_three = build_tile_problems_parallel(
+        let problems_three = build_tile_problems_pool(
             &lines,
             &columns,
             &dissection,
             &design.tech,
             design.rules,
             SlackColumnDef::Three,
-            threads,
+            pool,
         );
         let slack: Vec<u32> = problems_three
             .iter()
@@ -240,14 +260,14 @@ impl FlowContext {
         let problems = if config.def == SlackColumnDef::Three {
             problems_three
         } else {
-            build_tile_problems_parallel(
+            build_tile_problems_pool(
                 &lines,
                 &columns,
                 &dissection,
                 &design.tech,
                 design.rules,
                 config.def,
-                threads,
+                pool,
             )
         };
 
@@ -297,9 +317,11 @@ impl FlowContext {
     }
 
     /// Runs one placement method against the prepared context, solving
-    /// tiles on `threads` worker threads. The result is identical to
-    /// [`FlowContext::run`] for any thread count: per-tile seeds depend
-    /// only on the tile index, and tile results are merged in tile order.
+    /// tiles on a transient `threads`-lane [`WorkerPool`]. The result is
+    /// identical to [`FlowContext::run`] for any thread count: per-tile
+    /// seeds depend only on the tile index, and tile results are merged in
+    /// tile order. Callers running repeatedly should hold their own pool
+    /// and use [`FlowContext::run_pool`] to amortize worker spawn-up.
     ///
     /// # Errors
     ///
@@ -311,50 +333,60 @@ impl FlowContext {
         threads: usize,
     ) -> Result<FlowOutcome, FlowError> {
         let threads = threads.max(1);
+        if threads == 1 || self.problems.len() < 2 {
+            return self.run(config, method);
+        }
+        self.run_pool(config, method, &WorkerPool::new(threads))
+    }
+
+    /// Runs one placement method against the prepared context on the
+    /// caller's persistent [`WorkerPool`]. Tiles are claimed dynamically
+    /// (one 4.5ms ILP-II tile no longer serializes a static chunk of
+    /// followers) and the delay evaluation is sharded by slack column; the
+    /// result is bit-identical to [`FlowContext::run`] for every pool
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Method`] if any tile solve fails.
+    pub fn run_pool(
+        &self,
+        config: &FlowConfig,
+        method: &(dyn FillMethod + Sync),
+        pool: &WorkerPool,
+    ) -> Result<FlowOutcome, FlowError> {
         let n = self.problems.len();
-        if threads == 1 || n < 2 {
+        if pool.threads() == 1 || n < 2 {
             return self.run(config, method);
         }
 
-        // Pre-partition the result vector into disjoint contiguous slices,
-        // one per worker: no locks, no contention, and every slot is
-        // written exactly once.
+        // Each tile owns one pre-partitioned result slot: no locks, no
+        // contention, and every slot is written exactly once.
         type TileResult = Result<(Vec<u32>, Duration), MethodError>;
         let mut results: Vec<Option<TileResult>> = Vec::new();
         results.resize_with(n, || None);
-        let chunk = n.div_ceil(threads);
-
-        std::thread::scope(|scope| {
-            for (ci, slice) in results.chunks_mut(chunk).enumerate() {
-                let base = ci * chunk;
-                scope.spawn(move || {
-                    for (off, slot) in slice.iter_mut().enumerate() {
-                        let problem = &self.problems[base + off];
-                        let want = self.budget.features(problem.cell);
-                        let effective =
-                            units::saturating_count(u64::from(want).min(problem.capacity()));
-                        *slot = Some(if effective == 0 {
-                            Ok((vec![0; problem.columns.len()], Duration::ZERO))
-                        } else {
-                            let mut rng =
-                                StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
-                            let t0 = Instant::now();
-                            method
-                                .place(problem, effective, config.weighted, &mut rng)
-                                .map(|counts| (counts, t0.elapsed()))
-                        });
-                    }
-                });
-            }
+        pool.for_each_slot(&mut results, |i, slot| {
+            let problem = &self.problems[i];
+            let want = self.budget.features(problem.cell);
+            let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
+            *slot = Some(if effective == 0 {
+                Ok((vec![0; problem.columns.len()], Duration::ZERO))
+            } else {
+                let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
+                let t0 = Instant::now();
+                method
+                    .place(problem, effective, config.weighted, &mut rng)
+                    .map(|counts| (counts, t0.elapsed()))
+            });
         });
 
         let mut per_tile = Vec::with_capacity(n);
         for (i, slot) in results.into_iter().enumerate() {
-            // The chunked slices partition `results`: every slot is written.
+            // The pool claims every index exactly once: each slot is written.
             let (counts, elapsed) = slot.expect("every tile visited")?; // pilfill: allow(unwrap)
             per_tile.push((i, counts, elapsed));
         }
-        self.assemble(method.name(), per_tile)
+        self.assemble(method.name(), per_tile, Some(pool))
     }
 
     /// Runs one placement method against the prepared context.
@@ -380,16 +412,19 @@ impl FlowContext {
             let counts = method.place(problem, effective, config.weighted, &mut rng)?;
             per_tile.push((i, counts, t0.elapsed()));
         }
-        self.assemble(method.name(), per_tile)
+        self.assemble(method.name(), per_tile, None)
     }
 
-    /// Merges per-tile assignments into features, density and impact.
+    /// Merges per-tile assignments into features, density and impact. With
+    /// a pool, the delay evaluation shards its per-column work across the
+    /// lanes (same result — the accumulator fold order is fixed).
     fn assemble(
         &self,
         method_name: &'static str,
         per_tile: Vec<(usize, Vec<u32>, Duration)>,
+        pool: Option<&WorkerPool>,
     ) -> Result<FlowOutcome, FlowError> {
-        let design = &self.frame_design;
+        let design: &Design = &self.frame_design;
         let mut features: Vec<FillFeature> = Vec::new();
         let mut placed = 0u64;
         let mut shortfall = 0u64;
@@ -419,15 +454,27 @@ impl FlowContext {
         // per tile.
         density_after_map.add_tile_areas(area_deltas);
 
-        let impact = evaluate_placement(
-            &features,
-            &self.columns,
-            &self.lines,
-            design.die,
-            &design.tech,
-            design.rules,
-            design.nets.len(),
-        );
+        let impact = match pool {
+            Some(pool) => evaluate_placement_pool(
+                pool,
+                &features,
+                &self.columns,
+                &self.lines,
+                design.die,
+                &design.tech,
+                design.rules,
+                design.nets.len(),
+            ),
+            None => evaluate_placement(
+                &features,
+                &self.columns,
+                &self.lines,
+                design.die,
+                &design.tech,
+                design.rules,
+                design.nets.len(),
+            ),
+        };
 
         // Report features in the caller's frame.
         if self.transposed {
@@ -625,20 +672,72 @@ mod tests {
         for method in methods {
             let seq = ctx.run(&cfg, method).expect("seq");
             for threads in [1usize, 2, 8] {
-                let par = ctx.run_parallel(&cfg, method, threads).expect("par");
-                let tag = format!("{} @ {threads} threads", method.name());
-                // Everything except wall-clock timing must be bit-identical.
-                assert_eq!(seq.method, par.method, "{tag}");
-                assert_eq!(seq.features, par.features, "{tag}");
-                assert_eq!(seq.placed_features, par.placed_features, "{tag}");
-                assert_eq!(seq.budget_total, par.budget_total, "{tag}");
-                assert_eq!(seq.shortfall, par.shortfall, "{tag}");
-                assert_eq!(seq.tiles, par.tiles, "{tag}");
-                assert_eq!(seq.impact, par.impact, "{tag}");
-                assert_eq!(seq.density_before, par.density_before, "{tag}");
-                assert_eq!(seq.density_after, par.density_after, "{tag}");
+                let pool = WorkerPool::new(threads);
+                let runs = [
+                    ctx.run_parallel(&cfg, method, threads).expect("par"),
+                    ctx.run_pool(&cfg, method, &pool).expect("pooled"),
+                ];
+                for par in &runs {
+                    let tag = format!("{} @ {threads} threads", method.name());
+                    // Everything except wall-clock timing must be
+                    // bit-identical, including the sharded evaluation's
+                    // f64 accumulators inside `impact`.
+                    assert_eq!(seq.method, par.method, "{tag}");
+                    assert_eq!(seq.features, par.features, "{tag}");
+                    assert_eq!(seq.placed_features, par.placed_features, "{tag}");
+                    assert_eq!(seq.budget_total, par.budget_total, "{tag}");
+                    assert_eq!(seq.shortfall, par.shortfall, "{tag}");
+                    assert_eq!(seq.tiles, par.tiles, "{tag}");
+                    assert_eq!(seq.impact, par.impact, "{tag}");
+                    assert_eq!(seq.density_before, par.density_before, "{tag}");
+                    assert_eq!(seq.density_after, par.density_after, "{tag}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn pool_reuse_gives_identical_results_to_fresh_pools() {
+        // One persistent pool across context build and two consecutive
+        // runs must match transient per-call pools bit for bit.
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(4);
+        let ctx = FlowContext::build_pool(&d, &cfg, &pool).expect("pooled ctx");
+        let fresh_ctx = FlowContext::build(&d, &cfg).expect("fresh ctx");
+        assert_eq!(ctx.problems, fresh_ctx.problems);
+        assert_eq!(ctx.budget_total, fresh_ctx.budget_total);
+
+        let first = ctx.run_pool(&cfg, &IlpTwo, &pool).expect("first run");
+        let second = ctx.run_pool(&cfg, &IlpTwo, &pool).expect("second run");
+        let fresh = fresh_ctx.run_parallel(&cfg, &IlpTwo, 4).expect("fresh run");
+        for run in [&second, &fresh] {
+            assert_eq!(first.features, run.features);
+            assert_eq!(first.impact, run.impact);
+            assert_eq!(first.placed_features, run.placed_features);
+            assert_eq!(first.shortfall, run.shortfall);
+            assert_eq!(first.density_after, run.density_after);
+        }
+    }
+
+    #[test]
+    fn borrowed_design_context_matches_owned_transposed_context() {
+        // The non-transposed path borrows the design (Cow::Borrowed);
+        // sanity-check it against an explicit clone-based build.
+        let d = design();
+        let cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        assert!(
+            matches!(ctx.frame_design, Cow::Borrowed(_)),
+            "horizontal layer must borrow the caller's design"
+        );
+        let mut vcfg = cfg.clone();
+        vcfg.layer = pilfill_layout::LayerId(1); // m2, vertical
+        let vctx = FlowContext::build(&d, &vcfg).expect("vertical ctx");
+        assert!(
+            matches!(vctx.frame_design, Cow::Owned(_)),
+            "vertical layer needs the transposed working frame"
+        );
     }
 
     #[test]

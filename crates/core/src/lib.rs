@@ -48,12 +48,14 @@ mod scan;
 mod tile;
 pub mod verify;
 
-pub use evaluate::{evaluate_placement, DelayImpact};
+pub use evaluate::{evaluate_placement, evaluate_placement_pool, DelayImpact};
 pub use flow::{run_flow, run_flow_all_layers, FlowConfig, FlowError, FlowOutcome};
 pub use line::{extract_active_lines, ActiveLine};
+pub use pilfill_exec::WorkerPool;
 pub use scan::{scan_slack_columns, SlackColumn};
 pub use tile::{
-    build_tile_problems, build_tile_problems_parallel, SlackColumnDef, TileColumn, TileProblem,
+    build_tile_problems, build_tile_problems_parallel, build_tile_problems_pool, SlackColumnDef,
+    TileColumn, TileProblem,
 };
 pub use verify::{check_fill, DrcReport, DrcViolation};
 

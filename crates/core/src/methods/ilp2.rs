@@ -1,20 +1,36 @@
-//! ILP-II (paper Section 5.3): the lookup-table integer program. Each
-//! column's count is one-hot encoded over `n = 0..=C_k` with exact
-//! incremental capacitances `f(n, d_k)` from the pre-built [`CapTable`]
-//! (Eqs. 15-23), so the optimizer sees the true convex cost curve instead
-//! of ILP-I's linearization.
+//! ILP-II (paper Section 5.3): the lookup-table integer program, with
+//! exact incremental capacitances `f(n, d_k)` from the pre-built
+//! [`CapTable`] (Eqs. 15-23), so the optimizer sees the true convex cost
+//! curve instead of ILP-I's linearization.
 //!
-//! The model is compacted before solving: the paper's intermediate
-//! variables `m_k`, `Cap_k` and `dtau_l` are substituted into the
-//! objective, leaving only the binaries, one convexity row per column and
-//! the budget row.
+//! The model is compacted before solving. When every costed column's
+//! scaled cost table is convex — the physical case, since [`CapTable`]
+//! marginals grow with crowding — the paper's one-hot binaries `m_{k,n}`
+//! are replaced by *incremental* binaries `z_{k,n}` whose objective
+//! coefficient is the `n`-th marginal `f(n) - f(n-1)`. Nondecreasing
+//! marginals make prefix selections (set `z_{k,1..=c}`) the cheapest way
+//! to reach any cardinality `c`, and every prefix selection telescopes to
+//! the exact table cost, so the compact model has the same optimum as the
+//! one-hot model (a standard exchange argument). The payoff is the
+//! constraint matrix: the per-column convexity rows vanish and only the
+//! single budget row remains, turning the root relaxation into a
+//! one-row knapsack that the simplex solves in a handful of pivots
+//! instead of the dense LP that used to dominate per-tile runtime. A
+//! non-convex table (possible only through rounding at the scale floor)
+//! falls back to the one-hot encoding, which stays exact unconditionally.
+//!
+//! Branch-and-bound is warm-started from the greedy placement: the greedy
+//! counts are feasible, and their exact objective seeds the search's
+//! pruning level ([`pilfill_solver::MilpOptions::cutoff`]). When nothing
+//! beats the cutoff the greedy counts are returned as-is (optimal to
+//! within the pruning tolerance).
 
-use super::{check_budget, FillMethod, MethodError};
+use super::{check_budget, FillMethod, GreedyFill, MethodError};
 use crate::TileProblem;
 use pilfill_geom::units;
 use pilfill_prng::rngs::StdRng;
 use pilfill_rc::CapTable;
-use pilfill_solver::{Model, Objective, Sense};
+use pilfill_solver::{MilpOptions, Model, Objective, Sense, SolveError};
 
 /// The Section-5.3 lookup-table ILP.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,7 +46,7 @@ impl FillMethod for IlpTwo {
         problem: &TileProblem,
         budget: u32,
         weighted: bool,
-        _rng: &mut StdRng,
+        rng: &mut StdRng,
     ) -> Result<Vec<u32>, MethodError> {
         check_budget(problem, budget)?;
         if budget == 0 {
@@ -63,44 +79,111 @@ impl FillMethod for IlpTwo {
             .fold(0.0f64, f64::max);
         let scale = if max_cost > 0.0 { max_cost } else { 1.0 };
 
+        // Scaled marginal costs per costed column: `m_n = (f(n) - f(n-1))
+        // / scale` for n = 1..=C_k. The incremental encoding is exact iff
+        // these are nondecreasing within every column (convexity).
+        let marginals: Vec<Option<Vec<f64>>> = problem
+            .columns
+            .iter()
+            .map(|col| {
+                if is_free(col) {
+                    return None;
+                }
+                let alpha = col.alpha(weighted);
+                col.table.as_ref().map(|t: &CapTable| {
+                    (1..=col.capacity())
+                        .map(|n| alpha * t.marginal(n) / scale)
+                        .collect()
+                })
+            })
+            .collect();
+        // Tolerance in scaled space (all costs are in [0, 1] there): a
+        // marginal may dip below its predecessor by round-off without
+        // breaking the exchange argument in any measurable way.
+        const CONVEX_EPS: f64 = 1e-12;
+        let convex = marginals.iter().flatten().all(|ms| {
+            ms.windows(2).all(|w| w[1] + CONVEX_EPS >= w[0]) && ms.iter().all(|&m| m >= -CONVEX_EPS)
+        });
+
         let mut model = Model::new(Objective::Minimize);
-        // Binaries m_{k,n} (Eq. 15/23), n = 0..=C_k, for costed columns;
-        // cost from the table (Eq. 20 folded into Eq. 16 through Eq. 21).
         let mut vars: Vec<Option<Vec<pilfill_solver::VarId>>> =
             Vec::with_capacity(problem.columns.len());
         let mut budget_terms: Vec<(pilfill_solver::VarId, f64)> = Vec::new();
-        for col in &problem.columns {
-            if is_free(col) {
+        for (col, ms) in problem.columns.iter().zip(&marginals) {
+            let Some(ms) = ms else {
                 vars.push(None);
                 continue;
+            };
+            if convex {
+                // Incremental binaries z_{k,n}: cost is the n-th marginal,
+                // count is the cardinality of the set binaries. No
+                // per-column row needed — the budget row carries them with
+                // unit coefficients.
+                let col_vars: Vec<_> = ms.iter().map(|&m| model.add_binary_var(m)).collect();
+                budget_terms.extend(col_vars.iter().map(|&v| (v, 1.0)));
+                vars.push(Some(col_vars));
+            } else {
+                // One-hot binaries m_{k,n} (Eq. 15/23), n = 0..=C_k; cost
+                // from the table (Eq. 20 folded into Eq. 16 through
+                // Eq. 21).
+                let cap = col.capacity();
+                let col_vars: Vec<_> = (0..=cap)
+                    .map(|n| {
+                        let cost = col
+                            .table
+                            .as_ref()
+                            .map_or(0.0, |t: &CapTable| col.alpha(weighted) * t.delta_cap(n));
+                        model.add_binary_var(cost / scale)
+                    })
+                    .collect();
+                // Eq. (19) with the n = 0 entry included: exactly one
+                // count is chosen per column.
+                model.add_constraint(col_vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
+                budget_terms.extend(col_vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
+                vars.push(Some(col_vars));
             }
-            let cap = col.capacity();
-            let col_vars: Vec<_> = (0..=cap)
-                .map(|n| {
-                    let cost = col
-                        .table
-                        .as_ref()
-                        .map_or(0.0, |t: &CapTable| col.alpha(weighted) * t.delta_cap(n));
-                    model.add_binary_var(cost / scale)
-                })
-                .collect();
-            // Eq. (19) with the n = 0 entry included: exactly one count is
-            // chosen per column.
-            model.add_constraint(col_vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
-            budget_terms.extend(col_vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
-            vars.push(Some(col_vars));
         }
         // The aggregate free variable (continuous: the budget row forces an
         // integral value given integral binaries).
         let free_var = model.add_var(0.0, free_cap as f64, 0.0);
         budget_terms.push((free_var, 1.0));
-        // Eqs. (17)+(18) folded: sum_k sum_n n * m_{k,n} + free = F.
+        // Eqs. (17)+(18) folded: sum_k sum_n n * m_{k,n} + free = F (with
+        // the incremental encoding every binary counts one feature, so the
+        // coefficient is simply 1).
         model.add_constraint(budget_terms, Sense::Eq, budget as f64);
 
-        let sol = model.solve()?;
+        // Incumbent warm start: greedy is deterministic, feasible for the
+        // same budget row (it places exactly `budget` features within
+        // column capacities), and usually optimal on sparse tiles. Its
+        // exact objective — evaluated by the same tables the model costs
+        // with, in the same `scale` — seeds branch-and-bound's pruning
+        // level.
+        let greedy_counts = GreedyFill.place(problem, budget, weighted, rng)?;
+        let greedy_cost = problem.cost_of(&greedy_counts, weighted) / scale;
+
+        let options = MilpOptions {
+            cutoff: Some(greedy_cost),
+            ..MilpOptions::default()
+        };
+        let sol = match model.solve_with(&options) {
+            Ok(sol) => sol,
+            // Nothing beats the greedy incumbent (Cutoff), or the node
+            // budget ran out before anything did (NodeLimit): keep the
+            // greedy counts, which are optimal to within the pruning
+            // tolerance `gap_tol * scale`.
+            Err(SolveError::Cutoff | SolveError::NodeLimit) => return Ok(greedy_counts),
+            Err(e) => return Err(e.into()),
+        };
         let mut counts: Vec<u32> = vars
             .iter()
             .map(|col_vars| match col_vars {
+                // Incremental: the count is how many binaries are set (ties
+                // between equal marginals may set a non-prefix subset; the
+                // prefix of the same cardinality costs the same or less, so
+                // cardinality extraction never degrades the objective).
+                Some(cv) if convex => units::saturating_count(
+                    cv.iter().filter(|&&v| sol.value(v) > 0.5).count() as u64,
+                ),
                 Some(cv) => cv
                     .iter()
                     .enumerate()

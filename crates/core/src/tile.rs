@@ -15,9 +15,16 @@
 
 use crate::{ActiveLine, SlackColumn};
 use pilfill_density::FixedDissection;
+use pilfill_exec::WorkerPool;
 use pilfill_geom::{CellIndex, Coord, Rect};
 use pilfill_layout::{FillRules, NetId, Tech};
 use pilfill_rc::{CapTable, CouplingModel};
+
+/// Global columns per definition-III work item. The shard size is fixed —
+/// independent of the lane count — so the merged output is the
+/// concatenation of the same shards in the same order for every pool,
+/// which is exactly the sequential result.
+const DEF_THREE_SHARD: usize = 64;
 
 /// Which slack-column definition to build tile problems under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -208,29 +215,27 @@ fn def_three_chunk(
     out
 }
 
-/// Definition I/II worker: scans and fills one contiguous chunk of tiles
-/// in place. Each tile's columns depend only on its own rect, so disjoint
-/// chunks are independent.
-fn def_one_two_chunk(
+/// Definition I/II worker: scans and fills one tile in place. Each tile's
+/// columns depend only on its own rect, so tiles are independent work
+/// items.
+fn def_one_two_tile(
     lines: &[ActiveLine],
-    chunk: &mut [TileProblem],
+    problem: &mut TileProblem,
     rules: FillRules,
     model: &CouplingModel,
     def: SlackColumnDef,
 ) {
-    for problem in chunk {
-        let tile_cols = crate::scan_slack_columns(lines, problem.rect, rules);
-        for col in tile_cols {
-            if def == SlackColumnDef::One && col.distance().is_none() {
-                continue;
-            }
-            let slots = col.slots.clone();
-            if slots.is_empty() {
-                continue;
-            }
-            let tc = make_tile_column(lines, &col, slots, rules, model);
-            problem.columns.push(tc);
+    let tile_cols = crate::scan_slack_columns(lines, problem.rect, rules);
+    for col in tile_cols {
+        if def == SlackColumnDef::One && col.distance().is_none() {
+            continue;
         }
+        let slots = col.slots.clone();
+        if slots.is_empty() {
+            continue;
+        }
+        let tc = make_tile_column(lines, &col, slots, rules, model);
+        problem.columns.push(tc);
     }
 }
 
@@ -249,14 +254,11 @@ pub fn build_tile_problems(
     build_tile_problems_parallel(lines, global_columns, dissection, tech, rules, def, 1)
 }
 
-/// Parallel variant of [`build_tile_problems`]: the work is split into
-/// contiguous chunks solved on `threads` scoped worker threads, and chunk
-/// results are merged in chunk order, so the output is identical to the
-/// sequential build for every thread count.
-///
-/// Definition III chunks the global column list (each chunk expands to
-/// `(tile, column)` pairs); definitions I and II chunk the tile grid
-/// directly, each worker filling a disjoint `&mut [TileProblem]` slice.
+/// Parallel variant of [`build_tile_problems`]: spins up a transient
+/// [`WorkerPool`] with `threads` lanes and delegates to
+/// [`build_tile_problems_pool`]. Callers building repeatedly (the flow,
+/// the benches) should hold a pool and call the pool variant directly to
+/// amortize worker spawn-up.
 pub fn build_tile_problems_parallel(
     lines: &[ActiveLine],
     global_columns: &[SlackColumn],
@@ -266,7 +268,28 @@ pub fn build_tile_problems_parallel(
     def: SlackColumnDef,
     threads: usize,
 ) -> Vec<TileProblem> {
-    let threads = threads.max(1);
+    let pool = WorkerPool::new(threads);
+    build_tile_problems_pool(lines, global_columns, dissection, tech, rules, def, &pool)
+}
+
+/// Pool-backed tile-problem build: work items are claimed dynamically from
+/// `pool`'s lanes, and results land in pre-partitioned slots merged in
+/// index order, so the output is identical to the sequential build for
+/// every lane count.
+///
+/// Definition III shards the global column list into fixed-size chunks
+/// (each expanding to `(tile, column)` pairs, concatenated in shard
+/// order); definitions I and II treat each tile as one work item filling
+/// its own `TileProblem` slot in place.
+pub fn build_tile_problems_pool(
+    lines: &[ActiveLine],
+    global_columns: &[SlackColumn],
+    dissection: &FixedDissection,
+    tech: &Tech,
+    rules: FillRules,
+    def: SlackColumnDef,
+    pool: &WorkerPool,
+) -> Vec<TileProblem> {
     let model = CouplingModel::new(tech);
     let grid = dissection.tiles();
     let mut problems: Vec<TileProblem> = grid
@@ -282,32 +305,13 @@ pub fn build_tile_problems_parallel(
         SlackColumnDef::Three => {
             // Distribute each global column's slots to the tiles containing
             // them; the column keeps its true line associations.
-            if threads == 1 || global_columns.len() < 2 {
-                for (idx, tc) in def_three_chunk(lines, global_columns, &grid, rules, &model) {
+            let shards: Vec<&[SlackColumn]> = global_columns.chunks(DEF_THREE_SHARD).collect();
+            let parts = pool.map(shards.len(), |si| {
+                def_three_chunk(lines, shards[si], &grid, rules, &model)
+            });
+            for part in parts {
+                for (idx, tc) in part {
                     problems[idx].columns.push(tc);
-                }
-            } else {
-                let chunk = global_columns.len().div_ceil(threads);
-                let merged = std::thread::scope(|scope| {
-                    let handles: Vec<_> = global_columns
-                        .chunks(chunk)
-                        .map(|cols| {
-                            let grid = &grid;
-                            let model = &model;
-                            scope.spawn(move || def_three_chunk(lines, cols, grid, rules, model))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        // Re-raising a worker panic on the caller is the
-                        // correct propagation; there is no error to type.
-                        .map(|h| h.join().expect("tile-problem worker panicked")) // pilfill: allow(unwrap)
-                        .collect::<Vec<_>>()
-                });
-                for part in merged {
-                    for (idx, tc) in part {
-                        problems[idx].columns.push(tc);
-                    }
                 }
             }
         }
@@ -315,17 +319,9 @@ pub fn build_tile_problems_parallel(
             // Per-tile scan: lines are clipped to the tile, so columns
             // bounded by geometry outside the tile lose their association
             // (definition II) or are dropped entirely (definition I).
-            if threads == 1 || problems.len() < 2 {
-                def_one_two_chunk(lines, &mut problems, rules, &model, def);
-            } else {
-                let chunk = problems.len().div_ceil(threads);
-                std::thread::scope(|scope| {
-                    for slice in problems.chunks_mut(chunk) {
-                        let model = &model;
-                        scope.spawn(move || def_one_two_chunk(lines, slice, rules, model, def));
-                    }
-                });
-            }
+            pool.for_each_slot(&mut problems, |_, problem| {
+                def_one_two_tile(lines, problem, rules, &model, def);
+            });
         }
     }
 

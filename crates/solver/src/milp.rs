@@ -31,6 +31,14 @@ pub struct MilpOptions {
     /// Disable to force the from-scratch solve at every node (slower;
     /// useful for testing and as a numerical escape hatch).
     pub warm_start: bool,
+    /// Objective value of a known feasible solution (in the model's own
+    /// optimization direction), used as the initial incumbent bound: any
+    /// node whose relaxation cannot beat it by more than `gap_tol` is
+    /// pruned immediately. When the search ends without finding a strictly
+    /// better integer solution, [`Model::solve_with`] returns
+    /// [`SolveError::Cutoff`] and the caller should keep the solution the
+    /// cutoff came from.
+    pub cutoff: Option<f64>,
 }
 
 impl Default for MilpOptions {
@@ -40,6 +48,7 @@ impl Default for MilpOptions {
             int_tol: 1e-6,
             gap_tol: 1e-9,
             warm_start: true,
+            cutoff: None,
         }
     }
 }
@@ -91,6 +100,9 @@ pub(crate) fn branch_and_bound(
     // Work internally in minimization sense: incumbent comparisons multiply
     // the model-direction objective by this sign.
     let minimize_sign = if model.is_minimize() { 1.0 } else { -1.0 };
+    // A caller-supplied incumbent objective acts as the initial pruning
+    // level: the search only keeps solutions strictly better than it.
+    let cutoff_min: Option<f64> = options.cutoff.map(|c| minimize_sign * c);
 
     let int_vars: Vec<VarId> = model.integer_vars().collect();
     debug_assert!(!int_vars.is_empty());
@@ -178,9 +190,11 @@ pub(crate) fn branch_and_bound(
             Relaxed::Fatal(e) => return Err(e),
         };
 
-        // Bound pruning (compare in minimization sense).
-        if let Some(inc) = &incumbent {
-            if minimize_sign * relax.objective >= minimize_sign * inc.objective - options.gap_tol {
+        // Bound pruning (compare in minimization sense) against the best
+        // of the incumbent and the caller's cutoff.
+        let prune_level = best_bound(&incumbent, cutoff_min, minimize_sign);
+        if let Some(level) = prune_level {
+            if minimize_sign * relax.objective >= level - options.gap_tol {
                 stats.pruned += 1;
                 continue;
             }
@@ -205,10 +219,10 @@ pub(crate) fn branch_and_bound(
                 for &v in &int_vars {
                     snapped.values[v.index()] = snapped.values[v.index()].round();
                 }
-                let better = incumbent.as_ref().is_none_or(|inc| {
-                    minimize_sign * snapped.objective
-                        < minimize_sign * inc.objective - options.gap_tol
-                });
+                let better =
+                    best_bound(&incumbent, cutoff_min, minimize_sign).is_none_or(|level| {
+                        minimize_sign * snapped.objective < level - options.gap_tol
+                    });
                 if better {
                     stats.incumbents += 1;
                     incumbent = Some(snapped);
@@ -259,7 +273,24 @@ pub(crate) fn branch_and_bound(
 
     match incumbent {
         Some(sol) => Ok(finish(sol, stats)),
+        // With a cutoff the empty outcome is the expected "your incumbent
+        // already wins" verdict, not an infeasibility proof.
+        None if options.cutoff.is_some() => Err(SolveError::Cutoff),
         None => Err(SolveError::Infeasible),
+    }
+}
+
+/// The current pruning level in minimization sense: the better of the
+/// incumbent objective and the caller's cutoff, if either exists.
+fn best_bound(
+    incumbent: &Option<Solution>,
+    cutoff_min: Option<f64>,
+    minimize_sign: f64,
+) -> Option<f64> {
+    let inc = incumbent.as_ref().map(|s| minimize_sign * s.objective);
+    match (inc, cutoff_min) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
     }
 }
 
@@ -516,6 +547,72 @@ mod tests {
             res,
             Err(SolveError::NodeLimit) | Err(SolveError::Infeasible)
         ));
+    }
+
+    #[test]
+    fn cutoff_at_optimum_prunes_everything() {
+        // Solve once to learn the optimum, then hand it back as a cutoff:
+        // nothing strictly better exists, so the verdict is Cutoff — the
+        // caller's incumbent wins, without the search re-proving it.
+        let m = ilp2_tile(6, 3, 8.0);
+        let baseline = m.solve().expect("solvable");
+        let with_cutoff = m.solve_with(&MilpOptions {
+            cutoff: Some(baseline.objective),
+            ..MilpOptions::default()
+        });
+        assert!(matches!(with_cutoff, Err(SolveError::Cutoff)));
+    }
+
+    #[test]
+    fn loose_cutoff_still_finds_the_optimum_with_less_work() {
+        let m = ilp2_tile(8, 3, 11.0);
+        let baseline = m.solve().expect("solvable");
+        let with_cutoff = m
+            .solve_with(&MilpOptions {
+                // A strictly worse incumbent: the optimum must still be
+                // found, and the pre-seeded bound can only shrink the tree.
+                cutoff: Some(baseline.objective + 1.0),
+                ..MilpOptions::default()
+            })
+            .expect("cutoff run solvable");
+        assert!(
+            (with_cutoff.objective - baseline.objective).abs() < 1e-6,
+            "cutoff {} vs baseline {}",
+            with_cutoff.objective,
+            baseline.objective
+        );
+        assert!(
+            with_cutoff.stats.nodes <= baseline.stats.nodes,
+            "cutoff must not grow the tree: {} vs {}",
+            with_cutoff.stats.nodes,
+            baseline.stats.nodes
+        );
+    }
+
+    #[test]
+    fn cutoff_on_maximization_prunes_in_the_right_direction() {
+        let mut m = Model::new(Objective::Maximize);
+        let vars: Vec<_> = (0..5)
+            .map(|i| m.add_binary_var(1.0 + i as f64 * 0.5))
+            .collect();
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Le, 2.0);
+        let best = m.solve().expect("solvable");
+        // An unbeatable incumbent prunes everything...
+        assert!(matches!(
+            m.solve_with(&MilpOptions {
+                cutoff: Some(best.objective),
+                ..MilpOptions::default()
+            }),
+            Err(SolveError::Cutoff)
+        ));
+        // ...while a beatable one is beaten.
+        let sol = m
+            .solve_with(&MilpOptions {
+                cutoff: Some(best.objective - 0.75),
+                ..MilpOptions::default()
+            })
+            .expect("beatable cutoff");
+        assert!((sol.objective - best.objective).abs() < 1e-6);
     }
 
     /// Builds an ILP-II tile-shaped instance: one-hot binaries per costed

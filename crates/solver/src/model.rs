@@ -45,6 +45,11 @@ pub enum SolveError {
     IterationLimit,
     /// Branch-and-bound exhausted its node limit before proving optimality.
     NodeLimit,
+    /// Every branch was pruned against [`crate::MilpOptions::cutoff`]: no
+    /// integer solution beats the caller-supplied incumbent objective.
+    /// Callers holding the incumbent (a warm-start heuristic solution)
+    /// should keep it — it is optimal to within the pruning tolerance.
+    Cutoff,
 }
 
 impl std::fmt::Display for SolveError {
@@ -54,6 +59,7 @@ impl std::fmt::Display for SolveError {
             SolveError::Unbounded => "model is unbounded",
             SolveError::IterationLimit => "simplex iteration limit exceeded",
             SolveError::NodeLimit => "branch-and-bound node limit exceeded",
+            SolveError::Cutoff => "no integer solution beats the cutoff incumbent",
         })
     }
 }
@@ -392,7 +398,9 @@ impl Model {
     ///
     /// # Errors
     ///
-    /// See [`Model::solve`].
+    /// See [`Model::solve`]; additionally returns [`SolveError::Cutoff`]
+    /// when [`MilpOptions::cutoff`] is set and no integer solution beats
+    /// it.
     pub fn solve_with(&self, options: &MilpOptions) -> Result<Solution, SolveError> {
         if !self.has_integers() {
             return self.solve_lp();

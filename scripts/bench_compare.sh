@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Compares two pilfill-bench reports (schema pilfill-bench/median_ns/v1)
+# key by key and prints a diff table. A key regresses when its median
+# grows by more than the threshold percentage; the exit status is the
+# number of regressed keys (0 = clean), so callers can gate or ignore.
+#
+# usage: bench_compare.sh [--threshold PCT] BASE.json NEW.json
+#
+# Keys present in only one report are listed as added/removed and never
+# count as regressions. Only std tools (bash + awk) are used.
+set -euo pipefail
+
+usage() {
+  echo "usage: $0 [--threshold PCT] BASE.json NEW.json" >&2
+  exit 2
+}
+
+threshold=10
+files=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threshold)
+      [ $# -ge 2 ] || usage
+      threshold=$2
+      shift 2
+      ;;
+    -*) usage ;;
+    *)
+      files+=("$1")
+      shift
+      ;;
+  esac
+done
+[ ${#files[@]} -eq 2 ] || usage
+base=${files[0]}
+new=${files[1]}
+[ -f "$base" ] || { echo "no such file: $base" >&2; exit 2; }
+[ -f "$new" ] || { echo "no such file: $new" >&2; exit 2; }
+
+# The reports are written one key per line by the in-repo JSON printer;
+# metric keys always contain a slash (e.g. "flow/run_ilp2_t2"), which
+# filters out schema/host metadata.
+extract() {
+  awk -F'"' '/": [0-9]+,?$/ && $2 ~ /\// {
+    val = $3
+    gsub(/[^0-9]/, "", val)
+    print $2, val
+  }' "$1"
+}
+
+{ extract "$base" | sed 's/^/B /'; extract "$new" | sed 's/^/N /'; } |
+  awk -v thr="$threshold" '
+    $1 == "B" { base[$2] = $3; order[n++] = $2 }
+    $1 == "N" { new[$2] = $3; if (!($2 in base)) order[n++] = $2 }
+    END {
+      printf "%-44s %14s %14s %9s\n", "key", "base ns", "new ns", "delta"
+      bad = 0
+      for (i = 0; i < n; i++) {
+        k = order[i]
+        if (!(k in new)) {
+          printf "%-44s %14d %14s %9s\n", k, base[k], "-", "removed"
+        } else if (!(k in base)) {
+          printf "%-44s %14s %14d %9s\n", k, "-", new[k], "added"
+        } else {
+          pct = base[k] > 0 ? 100.0 * (new[k] - base[k]) / base[k] : 0.0
+          mark = ""
+          if (pct > thr) { mark = " REGRESSED"; bad++ }
+          printf "%-44s %14d %14d %+8.1f%%%s\n", k, base[k], new[k], pct, mark
+        }
+      }
+      printf "threshold +%s%%: %d regression(s)\n", thr, bad
+      exit bad
+    }
+  '

@@ -22,8 +22,22 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> bench smoke (writes BENCH_pr1.json)"
-cargo run --release -p pilfill-bench --bin bench_json
+# Informational, non-blocking: a --quick bench run checks the harness
+# end-to-end (and the sweep flag paths) without pretending CI hardware
+# produces comparable medians; the diff against the committed baseline is
+# printed for the log but never fails the build.
+echo "==> bench smoke (--quick --threads-sweep, informational)"
+cargo run --release -q -p pilfill-bench --bin bench_json -- \
+  --quick --threads-sweep --out BENCH_smoke.json ||
+  echo "==> bench smoke failed — informational, not a gate"
+# The quick report uses a smaller design, so it is never diffed against
+# the committed full-size baselines; instead the committed reports are
+# diffed against each other to surface the perf trajectory in the log.
+if [ -f BENCH_pr1.json ] && [ -f BENCH_pr4.json ]; then
+  echo "==> committed baseline drift BENCH_pr1.json -> BENCH_pr4.json (informational)"
+  ./scripts/bench_compare.sh --threshold 25 BENCH_pr1.json BENCH_pr4.json ||
+    echo "==> bench drift above threshold — informational, not a gate"
+fi
 
 # Optional soundness gates: run only when the host toolchain has the
 # nightly components (offline containers usually don't; the GitHub
