@@ -1,0 +1,104 @@
+//! Std-only allocation counter for the bench harness.
+//!
+//! With the crate's `bench` feature enabled, a counting
+//! [`GlobalAlloc`] wrapper around [`System`] is installed as the
+//! `#[global_allocator]`; every `alloc`/`realloc`/`alloc_zeroed` call
+//! bumps a relaxed atomic, so [`count`] can report how many heap
+//! allocations a closure performed. The counter costs one relaxed
+//! `fetch_add` per allocation — negligible next to the allocation
+//! itself — but the feature is still off by default so ordinary builds
+//! use the system allocator untouched.
+//!
+//! Without the feature the module still compiles (so callers need no
+//! `cfg` of their own); [`enabled`] reports `false` and [`count`]
+//! returns `0` allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation events.
+///
+/// Deallocations are deliberately not counted: the interesting figure
+/// for a hot path is how often it asks the allocator for new memory.
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the counter touches no allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(feature = "bench")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `true` when the counting allocator is installed (`bench` feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "bench")
+}
+
+/// Total allocation events since process start (0 without the feature).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns its result plus the number of allocations it
+/// performed. Only meaningful when [`enabled`]; single-threaded callers
+/// get an exact count, concurrent ones a process-wide delta.
+pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let out = f();
+    (out, allocations() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_observes_vec_growth_when_enabled() {
+        let (sum, allocs) = count(|| {
+            let mut v: Vec<u64> = Vec::new();
+            for i in 0..10_000u64 {
+                v.push(i);
+            }
+            v.iter().sum::<u64>()
+        });
+        assert_eq!(sum, 49_995_000);
+        if enabled() {
+            // Doubling growth: at least a handful, far fewer than one
+            // allocation per push.
+            assert!(allocs >= 5, "vec growth must allocate: {allocs}");
+            assert!(allocs < 100, "implausibly many allocations: {allocs}");
+        } else {
+            assert_eq!(allocs, 0);
+        }
+    }
+
+    #[test]
+    fn counter_is_monotonic() {
+        let a = allocations();
+        let _v: Vec<u8> = Vec::with_capacity(64);
+        let b = allocations();
+        assert!(b >= a);
+    }
+}

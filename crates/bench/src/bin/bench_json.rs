@@ -14,15 +14,20 @@
 //! - `--threads-sweep`: additionally emit `flow/run_parallelN_ilp2_t2`
 //!   and `flow/context_build_parallelN_t2` for N in {1, 2, 4, 8}, each on
 //!   a persistent [`WorkerPool`] created outside the timed region.
-//! - `--out PATH`: report path (default `BENCH_pr4.json`).
+//! - `--out PATH`: report path (default `BENCH_pr5.json`).
+//!
+//! Built with `--features bench`, the counting global allocator is
+//! installed and the report additionally carries `allocs/*` keys: the
+//! number of heap allocations one call of the matching flow entry point
+//! performs (exact — the harness is single-threaded).
 //!
 //! The report records `host_parallelism` (what
 //! [`std::thread::available_parallelism`] saw) so sweep numbers can be
 //! judged against the hardware they ran on: on a single-core host every
 //! N > 1 measures scheduling overhead, not speedup.
 
-use pilfill_bench::{Harness, Json};
-use pilfill_core::flow::{FlowConfig, FlowContext};
+use pilfill_bench::{alloc_count, Harness, Json};
+use pilfill_core::flow::{run_flow_streamed, FlowConfig, FlowContext};
 use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
 use pilfill_core::{extract_active_lines, scan_slack_columns, TileProblem, WorkerPool};
 use pilfill_density::{DensityMap, FixedDissection};
@@ -31,7 +36,7 @@ use pilfill_layout::{Design, LayerId};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
 
-const DEFAULT_OUT: &str = "BENCH_pr4.json";
+const DEFAULT_OUT: &str = "BENCH_pr5.json";
 
 /// Thread counts covered by `--threads-sweep`.
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -77,6 +82,36 @@ fn representative_tile(design: &Design, cfg: &FlowConfig) -> (TileProblem, u32) 
         .clone();
     let budget = pilfill_geom::units::saturating_count(problem.capacity() / 2);
     (problem, budget)
+}
+
+/// A copy of `design` with one sink duplicated on a fill-layer net whose
+/// footprint spans the fewest tile-grid columns. The edit bumps every
+/// downstream line weight (so the net's tiles must be re-solved) without
+/// moving geometry — the canonical "one dirty tile, budget reusable"
+/// incremental workload.
+fn mutated_copy(design: &Design, tile: i64) -> Design {
+    let layer = LayerId(0);
+    let mut copy = design.clone();
+    let ni = copy
+        .nets
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !n.sinks.is_empty() && n.segments.iter().any(|s| s.layer == layer))
+        .min_by_key(|(_, n)| {
+            let xs = n
+                .segments
+                .iter()
+                .filter(|s| s.layer == layer)
+                .flat_map(|s| [s.start.x, s.end.x]);
+            let lo = xs.clone().min().unwrap_or(0);
+            let hi = xs.max().unwrap_or(0);
+            hi.div_euclid(tile) - lo.div_euclid(tile)
+        })
+        .map(|(ni, _)| ni)
+        .expect("a net with sinks on the fill layer");
+    let sink = copy.nets[ni].sinks[0];
+    copy.nets[ni].sinks.push(sink);
+    copy
 }
 
 fn main() {
@@ -144,6 +179,43 @@ fn main() {
         ctx.run(&cfg, &IlpTwo).expect("run")
     });
 
+    // Fused pipeline: one call covers what `context_build` + `run_ilp2`
+    // cover separately, so its figure competes with their *sum*.
+    let pool = WorkerPool::new(
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    h.bench("flow/run_streamed_ilp2_t2", samples, 1, || {
+        run_flow_streamed(t2, &cfg, &IlpTwo, &pool).expect("streamed")
+    });
+
+    // Incremental rebuild with exactly one mutated net. Alternating
+    // between the pristine design and its mutated copy keeps every timed
+    // call a real single-net diff (a same-design rebuild would be a no-op).
+    let mutated = mutated_copy(t2, dissection.tile_size());
+    {
+        let mut rctx = FlowContext::build(t2, &cfg).expect("context");
+        let mut flip = false;
+        h.bench("flow/rebuild_dirty1_t2", samples, 1, || {
+            let target = if flip { t2 } else { &mutated };
+            flip = !flip;
+            let stats = rctx.rebuild(target, &cfg, &pool).expect("rebuild");
+            assert!(!stats.full, "rebuild must take the incremental path");
+            stats
+        });
+    }
+
+    // Allocation counts (only with `--features bench`): how many heap
+    // allocations one call of each flow entry point performs.
+    let mut allocs: Vec<(&str, u64)> = Vec::new();
+    if alloc_count::enabled() {
+        let (_, build_allocs) =
+            alloc_count::count(|| FlowContext::build(t2, &cfg).expect("context"));
+        allocs.push(("allocs/context_build_t2", build_allocs));
+        let (_, streamed_allocs) =
+            alloc_count::count(|| run_flow_streamed(t2, &cfg, &IlpTwo, &pool).expect("streamed"));
+        allocs.push(("allocs/run_streamed_ilp2_t2", streamed_allocs));
+    }
+
     if opts.sweep {
         // Persistent pools: workers are spawned once per thread count,
         // outside the timed region, so the sweep measures steady-state
@@ -182,6 +254,13 @@ fn main() {
         metrics.insert(&m.name, Json::UInt(m.median_ns));
     }
     report.insert("median_ns", metrics);
+    if !allocs.is_empty() {
+        let mut counts = Json::object();
+        for (name, n) in &allocs {
+            counts.insert(name, Json::UInt(*n));
+        }
+        report.insert("allocs", counts);
+    }
     std::fs::write(&opts.out, report.to_pretty_string()).expect("write report");
     println!("wrote {}", opts.out);
 }

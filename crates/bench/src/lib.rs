@@ -9,6 +9,7 @@
 //! table rendering. The binaries (`table1`, `table2`, `fig*`,
 //! `ablation_*`, `ext_budgets`) each regenerate one artifact.
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod json;
 pub mod render;

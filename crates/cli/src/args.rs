@@ -60,7 +60,14 @@ impl std::error::Error for ArgError {}
 
 /// Flags that never take a value (everything else consumes the next
 /// token as its value).
-const BOOLEAN_FLAGS: &[&str] = &["weighted", "help", "quiet", "lp-budget"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "weighted",
+    "help",
+    "quiet",
+    "lp-budget",
+    "streamed",
+    "no-streamed",
+];
 
 impl Args {
     /// Parses raw arguments (excluding the program name).

@@ -106,6 +106,7 @@ COMMANDS:
   fill     <design.pfl> [--window DBU] [--r N] [--method normal|greedy|ilp1|ilp2|dp]
            [--def 1|2|3] [--max-density F] [--weighted]
            [--threads N] (0 = auto-detect available parallelism; default)
+           [--no-streamed] (disable the fused build+solve pipeline)
            [--gds out.gds] [--svg out.svg] [--csv report.csv]
            run timing-aware fill and report the delay impact
   export   <design.pfl> --gds out.gds
@@ -267,12 +268,22 @@ fn fill(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Tool(format!("no layer named `{layer}`")))?;
     }
 
-    let ctx = FlowContext::build_parallel(&design, &config, threads).map_err(tool_err)?;
-    let outcome = if threads > 1 {
-        ctx.run_parallel(&config, method, threads)
-            .map_err(tool_err)?
+    // The fused build+solve pipeline is the default; `--no-streamed`
+    // restores the two-phase build-then-run flow (`--streamed` is accepted
+    // as an explicit no-op). Both produce bit-identical results.
+    let outcome = if args.flag("no-streamed") {
+        let ctx = FlowContext::build_parallel(&design, &config, threads).map_err(tool_err)?;
+        if threads > 1 {
+            ctx.run_parallel(&config, method, threads)
+                .map_err(tool_err)?
+        } else {
+            ctx.run(&config, method).map_err(tool_err)?
+        }
     } else {
-        ctx.run(&config, method).map_err(tool_err)?
+        let pool = pilfill_core::WorkerPool::new(threads);
+        pilfill_core::run_flow_streamed(&design, &config, method, &pool)
+            .map_err(tool_err)?
+            .1
     };
     report_fill(&outcome, out)?;
 
@@ -535,6 +546,34 @@ mod tests {
             text.contains("violations by rule:"),
             "summary missing: {text}"
         );
+    }
+
+    #[test]
+    fn streamed_and_two_phase_fill_reports_match() {
+        let design_path = tmp("streamed.pfl");
+        run(&[
+            "synth",
+            "--preset",
+            "small",
+            "--seed",
+            "11",
+            "--out",
+            &design_path,
+        ])
+        .expect("synth");
+        let base = &["fill", &design_path, "--window", "8000", "--r", "2"];
+        // Reports are identical except for the wall-clock solve-time line.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("solve time"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let streamed = strip(&run(base).expect("streamed fill"));
+        let explicit: Vec<&str> = base.iter().copied().chain(["--streamed"]).collect();
+        assert_eq!(strip(&run(&explicit).expect("explicit flag")), streamed);
+        let two_phase: Vec<&str> = base.iter().copied().chain(["--no-streamed"]).collect();
+        assert_eq!(strip(&run(&two_phase).expect("two-phase fill")), streamed);
     }
 
     #[test]

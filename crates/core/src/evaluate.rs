@@ -325,7 +325,7 @@ mod tests {
             .expect("paired column");
         FillFeature {
             x: col.feature_x(s.design.rules),
-            y: col.slots[col.slots.len() / 2],
+            y: col.slots.get(col.slots.len() / 2).expect("slot"),
         }
     }
 
@@ -364,7 +364,7 @@ mod tests {
             .expect("boundary column");
         let f = FillFeature {
             x: col.feature_x(s.design.rules),
-            y: *col.slots.last().expect("slots"),
+            y: col.slots.last().expect("slots"),
         };
         let impact = eval(&s, &[f]);
         assert_eq!(impact.total_delay, 0.0);
@@ -381,9 +381,10 @@ mod tests {
             .expect("column with 3 slots");
         let col = &s.columns[col_idx];
         let make = |k: usize| -> Vec<FillFeature> {
-            col.slots[..k]
+            col.slots
                 .iter()
-                .map(|&y| FillFeature {
+                .take(k)
+                .map(|y| FillFeature {
                     x: col.feature_x(s.design.rules),
                     y,
                 })
@@ -409,7 +410,7 @@ mod tests {
         assert!(far.x > near.x);
         let f = |c: &crate::SlackColumn| FillFeature {
             x: c.feature_x(s.design.rules),
-            y: c.slots[0],
+            y: c.slots.first().expect("slot"),
         };
         let d_near = eval(&s, &[f(near)]).total_delay;
         let d_far = eval(&s, &[f(far)]).total_delay;
@@ -440,7 +441,7 @@ mod tests {
         let features: Vec<FillFeature> = columns
             .iter()
             .flat_map(|c| {
-                c.slots.iter().map(|&y| FillFeature {
+                c.slots.iter().map(|y| FillFeature {
                     x: c.feature_x(d.rules),
                     y,
                 })

@@ -4,19 +4,22 @@
 
 use crate::methods::{FillMethod, MethodError};
 use crate::{
-    build_tile_problems_pool, evaluate_placement, evaluate_placement_pool, extract_active_lines,
-    scan_slack_columns, DelayImpact, FillFeature, SlackColumnDef, TileProblem,
+    build_slab_problems, build_tile_problems_pool, def_three_capacities, evaluate_placement,
+    evaluate_placement_pool, extract_net_lines, extract_obstruction_lines, scan_site_columns,
+    scan_slack_columns_into, site_column_count, slab_ranges, ActiveLine, DelayImpact, FillFeature,
+    ScanScratch, SlackColumn, SlackColumnDef, TileProblem,
 };
 use pilfill_density::{
     lp_budget, montecarlo_budget, BudgetError, DensityAnalysis, DensityMap, DissectionError,
-    FixedDissection,
+    FillBudget, FixedDissection,
 };
 use pilfill_exec::WorkerPool;
-use pilfill_geom::{units, Coord};
-use pilfill_layout::{Design, LayerId, LayoutError};
+use pilfill_geom::{units, Coord, Rect};
+use pilfill_layout::{Design, LayerId, LayoutError, NetId};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
 use std::borrow::Cow;
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Configuration of one flow run.
@@ -148,6 +151,124 @@ pub struct FlowOutcome {
     pub tiles: usize,
 }
 
+/// Number of logical CPUs of the host, used to fall back to the serial
+/// paths when a multi-lane pool cannot actually run in parallel (lanes
+/// would only add claim/wake overhead — the PR4 bench regression).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `true` when `pool` can genuinely run more than one lane at once.
+fn pool_is_parallel(pool: &WorkerPool) -> bool {
+    pool.lanes() > 1 && host_parallelism() > 1
+}
+
+/// The method-independent flow state up to (and including) the fill
+/// budget, shared by [`FlowContext::build_pool`] and the streamed runner:
+/// frame transposition, dissection, per-net line extraction, the arena
+/// scan, definition-III slack capacities, density map and budget. Tile
+/// problems are *not* built here — the streamed pipeline fuses their
+/// construction with solving.
+struct Prelude<'d> {
+    frame_design: Cow<'d, Design>,
+    transposed: bool,
+    dissection: FixedDissection,
+    lines: Vec<ActiveLine>,
+    net_line_ranges: Vec<Range<usize>>,
+    columns: Vec<SlackColumn>,
+    slack: Vec<u32>,
+    density_map: DensityMap,
+    density_before: DensityAnalysis,
+    budget: FillBudget,
+    budget_total: u64,
+}
+
+fn prelude<'d>(design: &'d Design, config: &FlowConfig) -> Result<Prelude<'d>, FlowError> {
+    // Work in a frame where the target layer routes horizontally.
+    let transposed = design
+        .layers
+        .get(config.layer.0)
+        .map(|l| l.dir.is_vertical())
+        .unwrap_or(false);
+    let frame_design: Cow<'d, Design> = if transposed {
+        Cow::Owned(design.transposed())
+    } else {
+        Cow::Borrowed(design)
+    };
+    let design: &Design = &frame_design;
+    let dissection = FixedDissection::new(design.die, config.window, config.r)?;
+
+    // Per-net extraction, recording each net's line range so the rebuild
+    // cache can later re-extract changed nets in place.
+    let mut lines = Vec::new();
+    let mut net_line_ranges = Vec::with_capacity(design.nets.len());
+    for ni in 0..design.nets.len() {
+        let start = lines.len();
+        extract_net_lines(design, config.layer, NetId(ni), &mut lines)?;
+        net_line_ranges.push(start..lines.len());
+    }
+    extract_obstruction_lines(design, config.layer, &mut lines);
+
+    let mut scratch = ScanScratch::default();
+    let mut columns = Vec::new();
+    scan_slack_columns_into(&lines, design.die, design.rules, &mut scratch, &mut columns);
+
+    // Per-tile capacity for budgeting always uses definition III (the
+    // physical truth); the method may then be run under a weaker
+    // definition and take a shortfall. The capacities come straight from
+    // the global scan — no capacitance tables are built for budgeting.
+    let slack: Vec<u32> = def_three_capacities(&columns, &dissection, design.rules)
+        .into_iter()
+        .map(units::saturating_count)
+        .collect();
+
+    let density_map = DensityMap::compute(design, config.layer, &dissection);
+    let density_before = density_map.analyze();
+    let feature_area = design.rules.feature_area();
+    let budget = if config.lp_budget {
+        lp_budget(&density_map, &slack, feature_area, config.max_density)?
+    } else {
+        montecarlo_budget(&density_map, &slack, feature_area, config.max_density)?
+    };
+    let budget_total = budget.total();
+
+    Ok(Prelude {
+        frame_design,
+        transposed,
+        dissection,
+        lines,
+        net_line_ranges,
+        columns,
+        slack,
+        density_map,
+        density_before,
+        budget,
+        budget_total,
+    })
+}
+
+/// What [`FlowContext::rebuild`] did: either a localized update or a full
+/// rebuild, with the dirty extents for diagnostics and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "rebuild stats tell whether the cache actually hit"]
+pub struct RebuildStats {
+    /// `true` when the context fell back to a full [`FlowContext::build`]
+    /// (config/frame/topology change).
+    pub full: bool,
+    /// Nets whose geometry or timing changed.
+    pub changed_nets: usize,
+    /// Site columns re-swept.
+    pub dirty_site_columns: usize,
+    /// Tile-grid columns whose problems were rebuilt.
+    pub dirty_grid_columns: usize,
+    /// `true` when the cached budget was reused because the edit left the
+    /// density map and the slack vector bit-identical (budgeting is a pure
+    /// function of the two, so the cached result equals a fresh one).
+    pub budget_reused: bool,
+}
+
 /// Precomputed, method-independent flow state: everything up to (and
 /// including) the fill budget. Build once per (design, config) and run
 /// several methods against it without repaying the setup cost.
@@ -163,11 +284,18 @@ pub struct FlowContext<'d> {
     frame_design: Cow<'d, Design>,
     /// `true` when the working frame is the transpose of the input.
     transposed: bool,
+    /// The configuration the context was built under (the rebuild cache
+    /// key, together with the frame design).
+    config: FlowConfig,
     dissection: FixedDissection,
-    lines: Vec<crate::ActiveLine>,
-    columns: Vec<crate::SlackColumn>,
+    lines: Vec<ActiveLine>,
+    /// Line range of each net within `lines` (obstruction pseudo-lines
+    /// trail the last net).
+    net_line_ranges: Vec<Range<usize>>,
+    columns: Vec<SlackColumn>,
     problems: Vec<TileProblem>,
-    budget: pilfill_density::FillBudget,
+    slack: Vec<u32>,
+    budget: FillBudget,
     budget_total: u64,
     density_before: DensityAnalysis,
     density_map: DensityMap,
@@ -206,6 +334,10 @@ impl<'d> FlowContext<'d> {
     /// the caller's persistent [`WorkerPool`]. The result is identical for
     /// every pool size.
     ///
+    /// On a single-CPU host a multi-lane pool cannot overlap any work, so
+    /// the build transparently falls back to the serial path (the lanes
+    /// would only add claim/wake overhead).
+    ///
     /// # Errors
     ///
     /// See [`FlowError`].
@@ -214,74 +346,325 @@ impl<'d> FlowContext<'d> {
         config: &FlowConfig,
         pool: &WorkerPool,
     ) -> Result<Self, FlowError> {
-        // Work in a frame where the target layer routes horizontally.
-        let transposed = design
+        if pool.lanes() > 1 && !pool_is_parallel(pool) {
+            return Self::build_pool_impl(design, config, &WorkerPool::new(1));
+        }
+        Self::build_pool_impl(design, config, pool)
+    }
+
+    /// [`FlowContext::build_pool`] without the single-CPU serial fallback —
+    /// exercises the multi-lane path regardless of the host. Test-only.
+    #[doc(hidden)]
+    pub fn build_pool_forced(
+        design: &'d Design,
+        config: &FlowConfig,
+        pool: &WorkerPool,
+    ) -> Result<Self, FlowError> {
+        Self::build_pool_impl(design, config, pool)
+    }
+
+    fn build_pool_impl(
+        design: &'d Design,
+        config: &FlowConfig,
+        pool: &WorkerPool,
+    ) -> Result<Self, FlowError> {
+        let p = prelude(design, config)?;
+        let frame: &Design = &p.frame_design;
+        let problems = build_tile_problems_pool(
+            &p.lines,
+            &p.columns,
+            &p.dissection,
+            &frame.tech,
+            frame.rules,
+            config.def,
+            pool,
+        );
+        Ok(Self {
+            frame_design: p.frame_design,
+            transposed: p.transposed,
+            config: config.clone(),
+            dissection: p.dissection,
+            lines: p.lines,
+            net_line_ranges: p.net_line_ranges,
+            columns: p.columns,
+            problems,
+            slack: p.slack,
+            budget: p.budget,
+            budget_total: p.budget_total,
+            density_before: p.density_before,
+            density_map: p.density_map,
+        })
+    }
+
+    /// Incrementally rebuilds the context for a mutated `design`, reusing
+    /// every cached artifact whose inputs did not change.
+    ///
+    /// The cache key is exact, not a hash: nets are diffed value-for-value
+    /// against the design the context was built from. For each changed net
+    /// its lines are re-extracted in place; if the net's segments moved,
+    /// the site columns its old and new buffer-expanded lines cover are
+    /// re-swept through the arena scan and their tiles' def-III slack is
+    /// patched per slab. Only the tile-grid columns containing a changed
+    /// site column get their [`TileProblem`]s rebuilt
+    /// ([`build_slab_problems`]) — value-only edits (a sink or timing
+    /// change) skip the sweep entirely, since columns depend only on
+    /// rects. The density map and budget are recomputed only when a
+    /// segment moved AND the recomputed map or slack actually differ;
+    /// otherwise the cached budget is reused (budgeting is a pure function
+    /// of the two). All clean columns and problems are kept bit-for-bit.
+    ///
+    /// Falls back to a full [`FlowContext::build_pool`] — reported via
+    /// [`RebuildStats::full`] — when the change is not localizable: a
+    /// different config, die, rules, tech, layer table, obstruction set or
+    /// net count, a transposed working frame, or a changed net whose line
+    /// count on the target layer differs (line indices would shift under
+    /// every clean column).
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`]. On error the context is left in its previous
+    /// state (full-rebuild errors excepted).
+    pub fn rebuild(
+        &mut self,
+        design: &'d Design,
+        config: &FlowConfig,
+        pool: &WorkerPool,
+    ) -> Result<RebuildStats, FlowError> {
+        let full = RebuildStats {
+            full: true,
+            changed_nets: 0,
+            dirty_site_columns: 0,
+            dirty_grid_columns: 0,
+            budget_reused: false,
+        };
+        let new_transposed = design
             .layers
             .get(config.layer.0)
             .map(|l| l.dir.is_vertical())
             .unwrap_or(false);
-        let frame_design: Cow<'d, Design> = if transposed {
-            Cow::Owned(design.transposed())
-        } else {
-            Cow::Borrowed(design)
+        {
+            let old: &Design = &self.frame_design;
+            // The slab rebuild below is a definition-III construction
+            // (weaker definitions re-scan per tile anyway).
+            if *config != self.config
+                || config.def != SlackColumnDef::Three
+                || self.transposed
+                || new_transposed
+                || design.die != old.die
+                || design.rules != old.rules
+                || design.tech != old.tech
+                || design.layers != old.layers
+                || design.obstructions != old.obstructions
+                || design.nets.len() != old.nets.len()
+            {
+                *self = Self::build_pool(design, config, pool)?;
+                return Ok(full);
+            }
+        }
+
+        let die = design.die;
+        let rules = design.rules;
+        let pitch = rules.site_pitch();
+        let n_sites = site_column_count(die, rules);
+        // Two dirt granularities. `resolve`: site columns whose tiles'
+        // problems must be rebuilt (any line change — weights feed the
+        // cost tables). `rescan`: site columns whose slack columns must be
+        // re-swept (geometry moved — columns depend only on rects, so a
+        // value-only edit like a sink-weight bump leaves them untouched,
+        // and with them the slack vector and the density map).
+        let mut resolve = vec![false; n_sites];
+        let mut rescan = vec![false; n_sites];
+        // Marks the site columns a line's buffer-expanded rect covers —
+        // exactly the columns whose sweep sees the line as an event.
+        let mark = |rect: Rect, dirty: &mut Vec<bool>| {
+            let expanded = Rect::new(
+                rect.left - rules.buffer,
+                rect.bottom,
+                rect.right + rules.buffer,
+                rect.top,
+            );
+            let clipped = expanded.intersection(&die);
+            if clipped.is_empty() || n_sites == 0 {
+                return;
+            }
+            let lo = units::index(((clipped.left - die.left) / pitch).max(0));
+            let hi = units::index((clipped.right - 1 - die.left) / pitch).min(n_sites - 1);
+            for s in dirty.iter_mut().take(hi + 1).skip(lo) {
+                *s = true;
+            }
         };
-        let design: &Design = &frame_design;
-        let dissection = FixedDissection::new(design.die, config.window, config.r)?;
-        let lines = extract_active_lines(design, config.layer)?;
-        let columns = scan_slack_columns(&lines, design.die, design.rules);
 
-        // Per-tile capacity for budgeting always uses definition III (the
-        // physical truth); the method may then be run under a weaker
-        // definition and take a shortfall.
-        let problems_three = build_tile_problems_pool(
-            &lines,
-            &columns,
-            &dissection,
-            &design.tech,
-            design.rules,
-            SlackColumnDef::Three,
-            pool,
-        );
-        let slack: Vec<u32> = problems_three
-            .iter()
-            .map(|p| units::saturating_count(p.capacity()))
-            .collect();
+        // Diff nets value-for-value; re-extract changed ones in place.
+        let mut changed_nets = 0usize;
+        let mut geometry_changed = false;
+        let mut fresh: Vec<ActiveLine> = Vec::new();
+        for ni in 0..design.nets.len() {
+            if design.nets[ni] == self.frame_design.nets[ni] {
+                continue;
+            }
+            changed_nets += 1;
+            let geometry = design.nets[ni].segments != self.frame_design.nets[ni].segments;
+            geometry_changed |= geometry;
+            fresh.clear();
+            extract_net_lines(design, config.layer, NetId(ni), &mut fresh)?;
+            let range = self.net_line_ranges[ni].clone();
+            if fresh.len() != range.len() {
+                // Line indices after this net would shift; every clean
+                // column's below/above reference would dangle.
+                *self = Self::build_pool(design, config, pool)?;
+                return Ok(full);
+            }
+            for l in self.lines[range.clone()].iter().chain(fresh.iter()) {
+                mark(l.rect, &mut resolve);
+                if geometry {
+                    mark(l.rect, &mut rescan);
+                }
+            }
+            for (slot, line) in self.lines[range].iter_mut().zip(fresh.drain(..)) {
+                *slot = line;
+            }
+        }
+        self.frame_design = Cow::Borrowed(design);
+        let dirty_site_columns = rescan.iter().filter(|&&d| d).count();
+        if !resolve.iter().any(|&d| d) {
+            return Ok(RebuildStats {
+                full: false,
+                changed_nets,
+                dirty_site_columns: 0,
+                dirty_grid_columns: 0,
+                budget_reused: true,
+            });
+        }
 
-        let density_map = DensityMap::compute(design, config.layer, &dissection);
-        let density_before = density_map.analyze();
-        let feature_area = design.rules.feature_area();
-        let budget = if config.lp_budget {
-            lp_budget(&density_map, &slack, feature_area, config.max_density)?
-        } else {
-            montecarlo_budget(&density_map, &slack, feature_area, config.max_density)?
+        // Splice the column list: clean site runs keep their columns
+        // (a flat copy — `SlackColumn` is `Copy`), dirty runs are re-swept.
+        // Value-only edits rescan nothing: columns depend only on rects.
+        let grid = self.dissection.tiles();
+        let nx = grid.nx();
+        if dirty_site_columns > 0 {
+            let mut new_columns = Vec::with_capacity(self.columns.len());
+            let mut scratch = ScanScratch::default();
+            let mut site = 0usize;
+            let mut cursor = 0usize;
+            while site < n_sites {
+                let run_start = site;
+                let run_dirty = rescan[site];
+                while site < n_sites && rescan[site] == run_dirty {
+                    site += 1;
+                }
+                let run_cursor = cursor;
+                while cursor < self.columns.len() && self.columns[cursor].site_x < site {
+                    cursor += 1;
+                }
+                if run_dirty {
+                    scan_site_columns(
+                        &self.lines,
+                        die,
+                        rules,
+                        run_start..site,
+                        &mut scratch,
+                        &mut new_columns,
+                    );
+                } else {
+                    new_columns.extend_from_slice(&self.columns[run_cursor..cursor]);
+                }
+            }
+            self.columns = new_columns;
+        }
+
+        // Rebuild problems for tile-grid columns containing any changed
+        // site; patch slack only where the columns were actually re-swept.
+        let mark_grid = |sites: &[bool], dirty_grid: &mut Vec<bool>| {
+            for (s, d) in sites.iter().enumerate() {
+                if !d {
+                    continue;
+                }
+                let fx = die.left + units::coord(s) * pitch + (pitch - rules.feature_size) / 2;
+                if fx >= grid.bounds().left && fx < grid.bounds().right {
+                    let ix = units::index((fx - grid.bounds().left) / grid.pitch_x()).min(nx - 1);
+                    dirty_grid[ix] = true;
+                }
+            }
         };
-        let budget_total = budget.total();
-
-        let problems = if config.def == SlackColumnDef::Three {
-            problems_three
-        } else {
-            build_tile_problems_pool(
-                &lines,
-                &columns,
-                &dissection,
+        let mut dirty_grid = vec![false; nx];
+        let mut rescan_grid = vec![false; nx];
+        mark_grid(&resolve, &mut dirty_grid);
+        mark_grid(&rescan, &mut rescan_grid);
+        let ranges = slab_ranges(&self.columns, &self.dissection, rules);
+        let old_slack = self.slack.clone();
+        let mut dirty_grid_columns = 0usize;
+        for (ix, is_dirty) in dirty_grid.iter().enumerate() {
+            if !is_dirty {
+                continue;
+            }
+            dirty_grid_columns += 1;
+            let slab = build_slab_problems(
+                &self.lines,
+                &self.columns[ranges[ix].clone()],
+                &self.dissection,
                 &design.tech,
-                design.rules,
-                config.def,
-                pool,
-            )
+                rules,
+                ix,
+            );
+            for (iy, p) in slab.into_iter().enumerate() {
+                self.problems[iy * nx + ix] = p;
+            }
+            if !rescan_grid[ix] {
+                continue;
+            }
+            // Def-III slack is a per-column sum binned into tiles, and a
+            // slab's columns only ever bin into its own grid column, so
+            // feeding just this slab patches exactly its tiles' slack
+            // (integer sums — bit-identical to the full recompute).
+            let slab_caps =
+                def_three_capacities(&self.columns[ranges[ix].clone()], &self.dissection, rules);
+            for iy in 0..grid.ny() {
+                self.slack[iy * nx + ix] = units::saturating_count(slab_caps[iy * nx + ix]);
+            }
+        }
+
+        // Density and budget are global, but budgeting is a pure function
+        // of the density map and the slack vector: an edit that changed
+        // line values without moving drawn area or slot counts (a timing
+        // or sink-weight update, say) leaves both inputs bit-identical,
+        // and then the cached budget IS what a fresh build would compute.
+        // When no segment moved at all, both inputs are untouched by
+        // construction and even the equality check is skipped.
+        let budget_reused = if geometry_changed {
+            let new_map = DensityMap::compute(design, config.layer, &self.dissection);
+            let reused = new_map == self.density_map && self.slack == old_slack;
+            if !reused {
+                self.density_map = new_map;
+                self.density_before = self.density_map.analyze();
+                let feature_area = rules.feature_area();
+                self.budget = if config.lp_budget {
+                    lp_budget(
+                        &self.density_map,
+                        &self.slack,
+                        feature_area,
+                        config.max_density,
+                    )?
+                } else {
+                    montecarlo_budget(
+                        &self.density_map,
+                        &self.slack,
+                        feature_area,
+                        config.max_density,
+                    )?
+                };
+                self.budget_total = self.budget.total();
+            }
+            reused
+        } else {
+            true
         };
 
-        Ok(Self {
-            frame_design,
-            transposed,
-            dissection,
-            lines,
-            columns,
-            problems,
-            budget,
-            budget_total,
-            density_before,
-            density_map,
+        Ok(RebuildStats {
+            full: false,
+            changed_nets,
+            dirty_site_columns,
+            dirty_grid_columns,
+            budget_reused,
         })
     }
 
@@ -346,6 +729,10 @@ impl<'d> FlowContext<'d> {
     /// result is bit-identical to [`FlowContext::run`] for every pool
     /// size.
     ///
+    /// On a single-CPU host (or a 1-lane pool) this falls back to the
+    /// serial [`FlowContext::run`] — the lanes cannot overlap and would
+    /// only add claim/wake overhead.
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError::Method`] if any tile solve fails.
@@ -355,10 +742,35 @@ impl<'d> FlowContext<'d> {
         method: &(dyn FillMethod + Sync),
         pool: &WorkerPool,
     ) -> Result<FlowOutcome, FlowError> {
-        let n = self.problems.len();
-        if pool.threads() == 1 || n < 2 {
+        if !pool_is_parallel(pool) || self.problems.len() < 2 {
             return self.run(config, method);
         }
+        self.run_pool_impl(config, method, pool)
+    }
+
+    /// [`FlowContext::run_pool`] without the single-CPU serial fallback —
+    /// exercises the multi-lane path regardless of the host. Test-only.
+    #[doc(hidden)]
+    pub fn run_pool_forced(
+        &self,
+        config: &FlowConfig,
+        method: &(dyn FillMethod + Sync),
+        pool: &WorkerPool,
+    ) -> Result<FlowOutcome, FlowError> {
+        let n = self.problems.len();
+        if pool.lanes() == 1 || n < 2 {
+            return self.run(config, method);
+        }
+        self.run_pool_impl(config, method, pool)
+    }
+
+    fn run_pool_impl(
+        &self,
+        config: &FlowConfig,
+        method: &(dyn FillMethod + Sync),
+        pool: &WorkerPool,
+    ) -> Result<FlowOutcome, FlowError> {
+        let n = self.problems.len();
 
         // Each tile owns one pre-partitioned result slot: no locks, no
         // contention, and every slot is written exactly once.
@@ -440,7 +852,7 @@ impl<'d> FlowContext<'d> {
             shortfall += want.saturating_sub(tile_placed);
             solve_time += elapsed;
             for (col, &m) in problem.columns.iter().zip(&counts) {
-                for &slot in col.slots.iter().take(units::index(i64::from(m))) {
+                for slot in col.slots.iter().take(units::index(i64::from(m))) {
                     features.push(FillFeature {
                         x: col.feature_x,
                         y: slot,
@@ -516,6 +928,156 @@ pub fn run_flow(
     method: &dyn FillMethod,
 ) -> Result<FlowOutcome, FlowError> {
     FlowContext::build(design, config)?.run(config, method)
+}
+
+/// The streamed fill pipeline: context build and tile solving fused into
+/// one pass.
+///
+/// After the shared prelude (extraction, arena scan, slack, density,
+/// budget — the budget is a barrier: no tile can be solved before every
+/// tile's slack is known), the tile-problem construction is *streamed*:
+/// a producer walks the tile-grid columns left to right, expanding each
+/// grid column's slab of global slack columns into its [`TileProblem`]s
+/// ([`build_slab_problems`]), and publishes each finished slab to the
+/// pool's lanes, which solve its tiles immediately while the producer
+/// moves on to the next slab. Wall-clock approaches
+/// `max(build, solve)` instead of `build + solve`.
+///
+/// Results are folded in row-major tile order, so the outcome — features,
+/// density, and every f64 accumulation in the delay impact — is
+/// bit-identical to [`FlowContext::build`] + [`FlowContext::run`] at any
+/// lane count (the per-tile RNG seeds depend only on the tile cell). On a
+/// single-CPU host (or a 1-lane pool) the producer and consumer run fused
+/// in one serial loop over the same order.
+///
+/// Definitions I/II have no slab decomposition; they fall back to
+/// build + run internally.
+///
+/// Returns the built context alongside the outcome so further methods can
+/// be run (or the context [rebuilt](FlowContext::rebuild)) without paying
+/// the setup again.
+///
+/// # Errors
+///
+/// See [`FlowError`].
+pub fn run_flow_streamed<'d>(
+    design: &'d Design,
+    config: &FlowConfig,
+    method: &(dyn FillMethod + Sync),
+    pool: &WorkerPool,
+) -> Result<(FlowContext<'d>, FlowOutcome), FlowError> {
+    run_flow_streamed_impl(design, config, method, pool, pool_is_parallel(pool))
+}
+
+/// [`run_flow_streamed`] without the single-CPU serial fallback —
+/// exercises the producer/consumer gate regardless of the host. Test-only.
+#[doc(hidden)]
+pub fn run_flow_streamed_forced<'d>(
+    design: &'d Design,
+    config: &FlowConfig,
+    method: &(dyn FillMethod + Sync),
+    pool: &WorkerPool,
+) -> Result<(FlowContext<'d>, FlowOutcome), FlowError> {
+    run_flow_streamed_impl(design, config, method, pool, pool.lanes() > 1)
+}
+
+fn run_flow_streamed_impl<'d>(
+    design: &'d Design,
+    config: &FlowConfig,
+    method: &(dyn FillMethod + Sync),
+    pool: &WorkerPool,
+    parallel: bool,
+) -> Result<(FlowContext<'d>, FlowOutcome), FlowError> {
+    if config.def != SlackColumnDef::Three {
+        let ctx = FlowContext::build_pool(design, config, pool)?;
+        let outcome = ctx.run_pool(config, method, pool)?;
+        return Ok((ctx, outcome));
+    }
+
+    let p = prelude(design, config)?;
+    let grid = p.dissection.tiles();
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let ranges = slab_ranges(&p.columns, &p.dissection, p.frame_design.rules);
+
+    type TileResult = Result<(Vec<u32>, Duration), MethodError>;
+    let solve_tile = |problem: &TileProblem| -> TileResult {
+        let want = p.budget.features(problem.cell);
+        let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
+        if effective == 0 {
+            return Ok((vec![0; problem.columns.len()], Duration::ZERO));
+        }
+        let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
+        let t0 = Instant::now();
+        method
+            .place(problem, effective, config.weighted, &mut rng)
+            .map(|counts| (counts, t0.elapsed()))
+    };
+    let build_slab = |ix: usize| -> Vec<TileProblem> {
+        build_slab_problems(
+            &p.lines,
+            &p.columns[ranges[ix].clone()],
+            &p.dissection,
+            &p.frame_design.tech,
+            p.frame_design.rules,
+            ix,
+        )
+    };
+    let solve_slab = |_ix: usize, slab: &Vec<TileProblem>| -> Vec<TileResult> {
+        slab.iter().map(solve_tile).collect()
+    };
+
+    let (slabs, results) = if parallel {
+        pool.stream_map(nx, build_slab, solve_slab)
+    } else {
+        // Fused serial loop: produce slab `ix`, then consume it — the same
+        // per-tile order with no gate traffic.
+        let mut slabs = Vec::with_capacity(nx);
+        let mut results = Vec::with_capacity(nx);
+        for ix in 0..nx {
+            let slab = build_slab(ix);
+            results.push(solve_slab(ix, &slab));
+            slabs.push(slab);
+        }
+        (slabs, results)
+    };
+
+    // Fold slabs (column-major) into the row-major tile order; the fixed
+    // fold order is what makes the outcome bit-identical to the serial
+    // build + run at any lane count.
+    let mut problems = Vec::with_capacity(nx * ny);
+    let mut per_tile = Vec::with_capacity(nx * ny);
+    let mut slab_iters: Vec<_> = slabs.into_iter().map(Vec::into_iter).collect();
+    let mut result_iters: Vec<_> = results.into_iter().map(Vec::into_iter).collect();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            // Every slab holds exactly `ny` tiles (build_slab_problems).
+            // pilfill: allow(unwrap)
+            let problem = slab_iters[ix].next().expect("slab tile count");
+            // pilfill: allow(unwrap)
+            let (counts, elapsed) = result_iters[ix].next().expect("slab result count")?;
+            per_tile.push((iy * nx + ix, counts, elapsed));
+            problems.push(problem);
+        }
+    }
+
+    let ctx = FlowContext {
+        frame_design: p.frame_design,
+        transposed: p.transposed,
+        config: config.clone(),
+        dissection: p.dissection,
+        lines: p.lines,
+        net_line_ranges: p.net_line_ranges,
+        columns: p.columns,
+        problems,
+        slack: p.slack,
+        budget: p.budget,
+        budget_total: p.budget_total,
+        density_before: p.density_before,
+        density_map: p.density_map,
+    };
+    let eval_pool = if parallel { Some(pool) } else { None };
+    let outcome = ctx.assemble(method.name(), per_tile, eval_pool)?;
+    Ok((ctx, outcome))
 }
 
 /// Runs the flow for every layer of the design (the full-chip fill step:
@@ -676,6 +1238,7 @@ mod tests {
                 let runs = [
                     ctx.run_parallel(&cfg, method, threads).expect("par"),
                     ctx.run_pool(&cfg, method, &pool).expect("pooled"),
+                    ctx.run_pool_forced(&cfg, method, &pool).expect("forced"),
                 ];
                 for par in &runs {
                     let tag = format!("{} @ {threads} threads", method.name());
@@ -703,13 +1266,17 @@ mod tests {
         let d = design();
         let cfg = config();
         let pool = WorkerPool::new(4);
-        let ctx = FlowContext::build_pool(&d, &cfg, &pool).expect("pooled ctx");
+        let ctx = FlowContext::build_pool_forced(&d, &cfg, &pool).expect("pooled ctx");
         let fresh_ctx = FlowContext::build(&d, &cfg).expect("fresh ctx");
         assert_eq!(ctx.problems, fresh_ctx.problems);
         assert_eq!(ctx.budget_total, fresh_ctx.budget_total);
 
-        let first = ctx.run_pool(&cfg, &IlpTwo, &pool).expect("first run");
-        let second = ctx.run_pool(&cfg, &IlpTwo, &pool).expect("second run");
+        let first = ctx
+            .run_pool_forced(&cfg, &IlpTwo, &pool)
+            .expect("first run");
+        let second = ctx
+            .run_pool_forced(&cfg, &IlpTwo, &pool)
+            .expect("second run");
         let fresh = fresh_ctx.run_parallel(&cfg, &IlpTwo, 4).expect("fresh run");
         for run in [&second, &fresh] {
             assert_eq!(first.features, run.features);
@@ -752,7 +1319,8 @@ mod tests {
             cfg.def = def;
             let seq = FlowContext::build(&d, &cfg).expect("seq build");
             for threads in [2usize, 8] {
-                let par = FlowContext::build_parallel(&d, &cfg, threads).expect("par build");
+                let par = FlowContext::build_pool_forced(&d, &cfg, &WorkerPool::new(threads))
+                    .expect("par build");
                 assert_eq!(seq.problems, par.problems, "{def} @ {threads} threads");
                 assert_eq!(seq.budget_total, par.budget_total);
                 let a = seq.run(&cfg, &GreedyFill).expect("run seq ctx");
@@ -824,5 +1392,208 @@ mod tests {
         assert!(FlowConfig::new(0, 2).is_err());
         assert!(FlowConfig::new(1_001, 2).is_err());
         assert!(FlowConfig::new(8_000, 0).is_err());
+    }
+
+    fn assert_outcomes_identical(a: &FlowOutcome, b: &FlowOutcome, tag: &str) {
+        assert_eq!(a.method, b.method, "{tag}");
+        assert_eq!(a.features, b.features, "{tag}");
+        assert_eq!(a.placed_features, b.placed_features, "{tag}");
+        assert_eq!(a.budget_total, b.budget_total, "{tag}");
+        assert_eq!(a.shortfall, b.shortfall, "{tag}");
+        assert_eq!(a.tiles, b.tiles, "{tag}");
+        assert_eq!(a.impact, b.impact, "{tag}");
+        assert_eq!(a.density_before, b.density_before, "{tag}");
+        assert_eq!(a.density_after, b.density_after, "{tag}");
+    }
+
+    #[test]
+    fn streamed_run_is_bit_identical_to_serial_for_every_lane_count() {
+        let d = design();
+        let cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        for method in [
+            &NormalFill as &(dyn crate::methods::FillMethod + Sync),
+            &GreedyFill,
+            &IlpTwo,
+        ] {
+            let serial = ctx.run(&cfg, method).expect("serial");
+            for lanes in [1usize, 2, 4, 8] {
+                let pool = WorkerPool::new(lanes);
+                let (sctx, streamed) =
+                    run_flow_streamed_forced(&d, &cfg, method, &pool).expect("streamed");
+                let tag = format!("{} @ {lanes} lanes", method.name());
+                assert_outcomes_identical(&serial, &streamed, &tag);
+                assert_eq!(sctx.problems, ctx.problems, "{tag}");
+                assert_eq!(sctx.columns, ctx.columns, "{tag}");
+                assert_eq!(sctx.budget, ctx.budget, "{tag}");
+                // The public (host-aware) entry must agree too.
+                let (_, public) = run_flow_streamed(&d, &cfg, method, &pool).expect("public");
+                assert_outcomes_identical(&serial, &public, &tag);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_run_falls_back_for_weaker_definitions() {
+        let d = design();
+        let mut cfg = config();
+        cfg.def = SlackColumnDef::Two;
+        let pool = WorkerPool::new(2);
+        let (ctx, streamed) = run_flow_streamed(&d, &cfg, &GreedyFill, &pool).expect("streamed");
+        let serial = ctx.run(&cfg, &GreedyFill).expect("serial");
+        assert_outcomes_identical(&serial, &streamed, "def II fallback");
+    }
+
+    /// Thicken one segment of one net — a localized geometry change that
+    /// keeps the net's line count on the layer.
+    fn mutate_one_segment(d: &Design) -> Design {
+        let mut d2 = d.clone();
+        let layer = LayerId(0);
+        let (ni, si) = d2
+            .nets
+            .iter()
+            .enumerate()
+            .find_map(|(ni, n)| {
+                n.segments
+                    .iter()
+                    .position(|s| s.layer == layer && s.start.y == s.end.y)
+                    .map(|si| (ni, si))
+            })
+            .expect("a horizontal segment on the fill layer");
+        d2.nets[ni].segments[si].width += 100;
+        d2
+    }
+
+    #[test]
+    fn rebuild_after_one_segment_mutation_matches_fresh_build() {
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(1);
+        let d2 = mutate_one_segment(&d);
+
+        let mut ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let stats = ctx.rebuild(&d2, &cfg, &pool).expect("rebuild");
+        assert!(!stats.full, "a one-segment change must stay incremental");
+        assert_eq!(stats.changed_nets, 1);
+        assert!(stats.dirty_site_columns > 0);
+        assert!(stats.dirty_grid_columns > 0);
+
+        let fresh = FlowContext::build(&d2, &cfg).expect("fresh");
+        assert_eq!(ctx.lines, fresh.lines);
+        assert_eq!(ctx.columns, fresh.columns);
+        assert_eq!(ctx.problems, fresh.problems);
+        assert_eq!(ctx.slack, fresh.slack);
+        assert_eq!(ctx.budget, fresh.budget);
+        assert_eq!(ctx.budget_total, fresh.budget_total);
+        assert_eq!(ctx.density_before, fresh.density_before);
+
+        // And the run outcome is bit-identical as well.
+        let a = ctx.run(&cfg, &IlpTwo).expect("rebuilt run");
+        let b = fresh.run(&cfg, &IlpTwo).expect("fresh run");
+        assert_outcomes_identical(&a, &b, "rebuild vs fresh");
+    }
+
+    /// A value-only edit — duplicating a sink bumps downstream weights
+    /// without moving any geometry — must re-solve the net's tiles but
+    /// reuse the cached budget (density and slack are bit-identical).
+    #[test]
+    fn rebuild_after_sink_weight_change_reuses_the_budget() {
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(1);
+        let mut d2 = d.clone();
+        let sink = d2.nets[0].sinks[0];
+        d2.nets[0].sinks.push(sink);
+
+        let mut ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let stats = ctx.rebuild(&d2, &cfg, &pool).expect("rebuild");
+        assert!(!stats.full, "a sink edit must stay incremental");
+        assert_eq!(stats.changed_nets, 1);
+        assert_eq!(
+            stats.dirty_site_columns, 0,
+            "no geometry moved, so no column needs a re-sweep"
+        );
+        assert!(
+            stats.dirty_grid_columns > 0,
+            "the net's tiles must still be re-solved (weights feed costs)"
+        );
+        assert!(
+            stats.budget_reused,
+            "geometry-preserving edits must reuse the cached budget"
+        );
+
+        let fresh = FlowContext::build(&d2, &cfg).expect("fresh");
+        assert_eq!(ctx.lines, fresh.lines);
+        assert_eq!(ctx.columns, fresh.columns);
+        assert_eq!(ctx.problems, fresh.problems);
+        assert_eq!(ctx.slack, fresh.slack);
+        assert_eq!(ctx.budget, fresh.budget);
+        assert_eq!(ctx.budget_total, fresh.budget_total);
+        assert_eq!(ctx.density_before, fresh.density_before);
+        let a = ctx.run(&cfg, &IlpTwo).expect("rebuilt run");
+        let b = fresh.run(&cfg, &IlpTwo).expect("fresh run");
+        assert_outcomes_identical(&a, &b, "sink-weight rebuild vs fresh");
+    }
+
+    #[test]
+    fn rebuild_with_no_change_is_a_no_op_hit() {
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(1);
+        let mut ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let before_problems = ctx.problems.clone();
+        let stats = ctx.rebuild(&d, &cfg, &pool).expect("rebuild");
+        assert_eq!(
+            stats,
+            RebuildStats {
+                full: false,
+                changed_nets: 0,
+                dirty_site_columns: 0,
+                dirty_grid_columns: 0,
+                budget_reused: true,
+            }
+        );
+        assert_eq!(ctx.problems, before_problems);
+    }
+
+    #[test]
+    fn rebuild_falls_back_on_structural_changes() {
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(1);
+
+        // Config change -> full.
+        let mut ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let mut cfg2 = cfg.clone();
+        cfg2.weighted = true;
+        assert!(ctx.rebuild(&d, &cfg2, &pool).expect("rebuild").full);
+
+        // Net-count change -> full.
+        let mut ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let mut d2 = d.clone();
+        d2.nets.pop();
+        let stats = ctx.rebuild(&d2, &cfg, &pool).expect("rebuild");
+        assert!(stats.full);
+        let fresh = FlowContext::build(&d2, &cfg).expect("fresh");
+        assert_eq!(ctx.problems, fresh.problems);
+        assert_eq!(ctx.budget, fresh.budget);
+    }
+
+    #[test]
+    fn forced_parallel_paths_match_the_serial_fallback() {
+        // On any host, the forced multi-lane build/run must equal the
+        // public entry points (which may fall back to serial on 1 CPU).
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(4);
+        let ctx = FlowContext::build_pool(&d, &cfg, &pool).expect("ctx");
+        let forced = FlowContext::build_pool_forced(&d, &cfg, &pool).expect("forced ctx");
+        assert_eq!(ctx.problems, forced.problems);
+        assert_eq!(ctx.budget_total, forced.budget_total);
+        let a = ctx.run_pool(&cfg, &IlpTwo, &pool).expect("run");
+        let b = forced
+            .run_pool_forced(&cfg, &IlpTwo, &pool)
+            .expect("forced run");
+        assert_outcomes_identical(&a, &b, "forced vs fallback");
     }
 }

@@ -49,13 +49,23 @@ mod tile;
 pub mod verify;
 
 pub use evaluate::{evaluate_placement, evaluate_placement_pool, DelayImpact};
-pub use flow::{run_flow, run_flow_all_layers, FlowConfig, FlowError, FlowOutcome};
-pub use line::{extract_active_lines, ActiveLine};
+pub use flow::{
+    run_flow, run_flow_all_layers, run_flow_streamed, FlowConfig, FlowContext, FlowError,
+    FlowOutcome, RebuildStats,
+};
+pub use line::{
+    extract_active_lines, extract_active_lines_into, extract_net_lines, extract_obstruction_lines,
+    ActiveLine,
+};
 pub use pilfill_exec::WorkerPool;
-pub use scan::{scan_slack_columns, SlackColumn};
+pub use scan::{
+    scan_site_columns, scan_slack_columns, scan_slack_columns_into, site_column_count, ScanScratch,
+    SlackColumn, Slots,
+};
 pub use tile::{
-    build_tile_problems, build_tile_problems_parallel, build_tile_problems_pool, SlackColumnDef,
-    TileColumn, TileProblem,
+    build_slab_problems, build_tile_problems, build_tile_problems_parallel,
+    build_tile_problems_pool, def_three_capacities, slab_ranges, SlackColumnDef, TileColumn,
+    TileProblem,
 };
 pub use verify::{check_fill, DrcReport, DrcViolation};
 

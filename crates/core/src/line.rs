@@ -4,7 +4,7 @@
 
 use pilfill_geom::{Coord, Dir, Rect};
 use pilfill_layout::{Design, LayerId, LayoutError, NetId, SegmentId, SignalDir};
-use pilfill_rc::annotate_design;
+use pilfill_rc::annotate_net;
 
 /// One active (signal-carrying) line on the fill layer.
 ///
@@ -57,14 +57,56 @@ pub fn extract_active_lines(
     design: &Design,
     layer: LayerId,
 ) -> Result<Vec<ActiveLine>, LayoutError> {
-    let timing = annotate_design(design)?;
-    let layer_dir = design.layers[layer.0].dir;
     let mut out = Vec::new();
-    for (net_id, seg_id, seg) in design.segments_on_layer(layer) {
-        if seg.dir() != layer_dir {
+    extract_active_lines_into(design, layer, &mut out)?;
+    Ok(out)
+}
+
+/// [`extract_active_lines`] into a caller-owned buffer: `out` is cleared
+/// and refilled, reusing its capacity across extractions.
+///
+/// # Errors
+///
+/// Propagates net-topology errors from the RC annotator; `out` may hold a
+/// partial extraction on error.
+pub fn extract_active_lines_into(
+    design: &Design,
+    layer: LayerId,
+    out: &mut Vec<ActiveLine>,
+) -> Result<(), LayoutError> {
+    out.clear();
+    for net_id in 0..design.nets.len() {
+        extract_net_lines(design, layer, NetId(net_id), out)?;
+    }
+    extract_obstruction_lines(design, layer, out);
+    Ok(())
+}
+
+/// Appends the active lines of one net, in segment order — the same order
+/// and values [`extract_active_lines`] produces for that net (per-net RC
+/// annotation is independent of every other net). The incremental rebuild
+/// cache uses this to re-extract only the nets whose geometry changed.
+///
+/// # Errors
+///
+/// Propagates the net's topology error from the RC annotator.
+pub fn extract_net_lines(
+    design: &Design,
+    layer: LayerId,
+    net_id: NetId,
+    out: &mut Vec<ActiveLine>,
+) -> Result<(), LayoutError> {
+    let net = &design.nets[net_id.0];
+    let layer_dir = design.layers[layer.0].dir;
+    if !net.segments.iter().any(|s| s.layer == layer) {
+        return Ok(());
+    }
+    let timing = annotate_net(net, &design.tech)?;
+    for (seg_idx, seg) in net.segments.iter().enumerate() {
+        if seg.layer != layer || seg.dir() != layer_dir {
             continue;
         }
-        let t = timing[net_id.0].segments[seg_id.0];
+        let t = timing.segments[seg_idx];
         let rect = match layer_dir {
             Dir::Horizontal => seg.rect(),
             Dir::Vertical => seg.rect().transposed(),
@@ -75,7 +117,7 @@ pub fn extract_active_lines(
         };
         out.push(ActiveLine {
             net: Some(net_id),
-            segment: seg_id,
+            segment: SegmentId(seg_idx),
             rect,
             weight: t.weight,
             res_per_dbu: t.res_per_dbu,
@@ -84,6 +126,13 @@ pub fn extract_active_lines(
             signal: seg.signal_dir(),
         });
     }
+    Ok(())
+}
+
+/// Appends the obstruction pseudo-lines of `layer` (they always trail the
+/// net lines in extraction order).
+pub fn extract_obstruction_lines(design: &Design, layer: LayerId, out: &mut Vec<ActiveLine>) {
+    let layer_dir = design.layers[layer.0].dir;
     for o in design.obstructions_on_layer(layer) {
         let rect = match layer_dir {
             Dir::Horizontal => o.rect,
@@ -100,7 +149,6 @@ pub fn extract_active_lines(
             signal: SignalDir::Increasing,
         });
     }
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -120,7 +120,7 @@ pub(crate) mod testutil {
                 let cap = cap.min(((d - 1) / w) as u32);
                 TileColumn {
                     feature_x: 1_000 * i as Coord,
-                    slots: (0..cap).map(|s| s as Coord * 450).collect(),
+                    slots: crate::Slots::evenly(0, 450, cap),
                     distance: Some(d),
                     alpha_weighted: alpha * 2.0,
                     alpha_unweighted: alpha,
@@ -133,7 +133,7 @@ pub(crate) mod testutil {
         if free_capacity > 0 {
             columns.push(TileColumn {
                 feature_x: 999_000,
-                slots: (0..free_capacity).map(|s| s as Coord * 450).collect(),
+                slots: crate::Slots::evenly(0, 450, free_capacity),
                 distance: None,
                 alpha_weighted: 0.0,
                 alpha_unweighted: 0.0,

@@ -6,13 +6,138 @@
 //! lines (or between a line and the area boundary). Each gap is a
 //! [`SlackColumn`]: it knows the line below, the line above, and the
 //! concrete fill *slots* (y positions) that respect the buffer distance.
+//!
+//! The sweep runs over a caller-owned [`ScanScratch`] arena: the line
+//! events, the per-column bucket index and the cursors all live in reused
+//! buffers, and a [`SlackColumn`] is a flat `Copy` value (its slots are an
+//! arithmetic progression, not a `Vec`), so a warm re-scan performs zero
+//! heap allocation.
 
 use crate::{ActiveLine, FillFeature};
-use pilfill_geom::{Coord, Interval, Rect};
+use pilfill_geom::{units, Coord, Interval, Rect};
 use pilfill_layout::FillRules;
 
+/// Feasible fill slot bottoms of one slack column, stored as an arithmetic
+/// progression `lo, lo + pitch, ..., lo + (count - 1) * pitch` instead of a
+/// materialized `Vec<Coord>`. Slots are always evenly spaced by the site
+/// pitch, so the progression is lossless, `Copy`, and lets tile splitting
+/// take O(1) sub-ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slots {
+    lo: Coord,
+    pitch: Coord,
+    count: u32,
+}
+
+impl Slots {
+    /// The progression with no slots.
+    pub const EMPTY: Slots = Slots {
+        lo: 0,
+        pitch: 1,
+        count: 0,
+    };
+
+    /// The progression `lo, lo + pitch, ..., lo + (count - 1) * pitch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch <= 0` (the empty progression still needs a valid
+    /// stride for arithmetic).
+    pub fn evenly(lo: Coord, pitch: Coord, count: u32) -> Slots {
+        assert!(pitch > 0, "slot pitch must be positive (got {pitch})");
+        Slots { lo, pitch, count }
+    }
+
+    /// Slots of a gap: start `buffer` above the bottom line (none at the
+    /// area boundary), step one site pitch, and stop while a feature still
+    /// fits below the top line's buffer.
+    pub fn for_gap(
+        gap: Interval,
+        below_is_line: bool,
+        above_is_line: bool,
+        rules: FillRules,
+    ) -> Slots {
+        let lo = gap.lo + if below_is_line { rules.buffer } else { 0 };
+        let hi = gap.hi - if above_is_line { rules.buffer } else { 0 };
+        let pitch = rules.site_pitch();
+        let avail = hi - lo - rules.feature_size;
+        if avail < 0 {
+            return Slots::EMPTY;
+        }
+        Slots {
+            lo,
+            pitch,
+            count: units::saturating_count((avail / pitch) as u64 + 1),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        // u32 -> usize is widening on every supported target.
+        self.count as usize // pilfill: allow(as-cast)
+    }
+
+    /// Whether the progression holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `i`-th slot bottom, if `i < len()`.
+    pub fn get(&self, i: usize) -> Option<Coord> {
+        (i < self.len()).then(|| self.lo + units::coord(i) * self.pitch)
+    }
+
+    /// The first slot bottom.
+    pub fn first(&self) -> Option<Coord> {
+        self.get(0)
+    }
+
+    /// The last slot bottom.
+    pub fn last(&self) -> Option<Coord> {
+        self.len().checked_sub(1).and_then(|k| self.get(k))
+    }
+
+    /// Iterates the slot bottoms in ascending order.
+    pub fn iter(self) -> impl DoubleEndedIterator<Item = Coord> + ExactSizeIterator + Clone {
+        let Slots { lo, pitch, count } = self;
+        (0..count).map(move |k| lo + Coord::from(k) * pitch)
+    }
+
+    /// The sub-progression `[start, start + len)`, clamped to the slots
+    /// that exist.
+    pub fn slice(&self, start: usize, len: usize) -> Slots {
+        let start = start.min(self.len());
+        let len = len.min(self.len() - start);
+        Slots {
+            lo: self.lo + units::coord(start) * self.pitch,
+            pitch: self.pitch,
+            count: units::saturating_count(len as u64),
+        }
+    }
+
+    /// How many slots lie strictly below `y` — the split point used when a
+    /// column is partitioned at a tile-row boundary.
+    pub fn count_below(&self, y: Coord) -> usize {
+        if self.count == 0 || y <= self.lo {
+            return 0;
+        }
+        let k = (y - self.lo + self.pitch - 1) / self.pitch;
+        units::index(k).min(self.len())
+    }
+}
+
+impl IntoIterator for &Slots {
+    type Item = Coord;
+    type IntoIter = std::vec::IntoIter<Coord>;
+    fn into_iter(self) -> Self::IntoIter {
+        // Convenience for `for s in &col.slots` call sites; hot paths use
+        // the allocation-free `iter()`.
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
 /// A maximal vertical run of fillable space in one site column.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlackColumn {
     /// Site-column index (0 = leftmost).
     pub site_x: usize,
@@ -27,13 +152,13 @@ pub struct SlackColumn {
     pub above: Option<usize>,
     /// Feasible fill slot bottoms (ascending y), spaced one site pitch
     /// apart, respecting the buffer distance on line-bounded sides.
-    pub slots: Vec<Coord>,
+    pub slots: Slots,
 }
 
 impl SlackColumn {
     /// Number of fill features the column can hold (the paper's `C_k`).
     pub fn capacity(&self) -> u32 {
-        pilfill_geom::units::saturating_count(self.slots.len() as u64)
+        self.slots.count
     }
 
     /// The line-to-line distance `d` of the capacitance model, defined only
@@ -51,21 +176,32 @@ impl SlackColumn {
     }
 }
 
-fn slots_for_gap(
-    gap: Interval,
-    below_is_line: bool,
-    above_is_line: bool,
-    rules: FillRules,
-) -> Vec<Coord> {
-    let lo = gap.lo + if below_is_line { rules.buffer } else { 0 };
-    let hi = gap.hi - if above_is_line { rules.buffer } else { 0 };
-    let mut slots = Vec::new();
-    let mut y = lo;
-    while y + rules.feature_size <= hi {
-        slots.push(y);
-        y += rules.site_pitch();
-    }
-    slots
+/// One buffer-expanded, bounds-clipped line in the sweep, restricted to
+/// the site columns it covers.
+#[derive(Debug, Clone, Copy)]
+struct SweepEvent {
+    bottom: Coord,
+    top: Coord,
+    /// First covered site column (absolute index).
+    lo: u32,
+    /// Last covered site column (absolute index, inclusive).
+    hi: u32,
+    /// Index into the scanned line slice.
+    line: u32,
+}
+
+/// Reusable arena for [`scan_slack_columns_into`]: sweep events, the
+/// per-column counting-sort bucket and its offsets/cursors. A warm scratch
+/// makes a re-scan allocation-free.
+#[derive(Debug, Default)]
+pub struct ScanScratch {
+    events: Vec<SweepEvent>,
+    /// Exclusive prefix offsets into `bucket`, one per scanned column + 1.
+    offsets: Vec<u32>,
+    /// Per-column write cursors while distributing events.
+    cursors: Vec<u32>,
+    /// Event indices grouped by column, each group in global bottom order.
+    bucket: Vec<u32>,
 }
 
 /// Runs the Figure-7 scan over `bounds`, producing every slack column.
@@ -74,51 +210,135 @@ fn slots_for_gap(
 /// [`crate::extract_active_lines`]); only their overlap with `bounds` is
 /// considered. Site columns narrower than one site pitch (at the right
 /// boundary) are skipped — they cannot hold a feature.
+///
+/// Convenience wrapper over [`scan_slack_columns_into`] with a fresh
+/// scratch; repeated callers should hold their own [`ScanScratch`].
 pub fn scan_slack_columns(
     lines: &[ActiveLine],
     bounds: Rect,
     rules: FillRules,
 ) -> Vec<SlackColumn> {
+    let mut scratch = ScanScratch::default();
+    let mut out = Vec::new();
+    scan_slack_columns_into(lines, bounds, rules, &mut scratch, &mut out);
+    out
+}
+
+/// [`scan_slack_columns`] over a caller-owned scratch arena and output
+/// buffer: `out` is cleared and refilled, and with warm buffers the scan
+/// performs no heap allocation.
+pub fn scan_slack_columns_into(
+    lines: &[ActiveLine],
+    bounds: Rect,
+    rules: FillRules,
+    scratch: &mut ScanScratch,
+    out: &mut Vec<SlackColumn>,
+) {
+    out.clear();
+    let n_cols = site_column_count(bounds, rules);
+    scan_site_columns(lines, bounds, rules, 0..n_cols, scratch, out);
+}
+
+/// Number of full site columns across `bounds`.
+pub fn site_column_count(bounds: Rect, rules: FillRules) -> usize {
+    units::index(bounds.width() / rules.site_pitch())
+}
+
+/// Scans only the site columns in `sites` (absolute indices), *appending*
+/// their slack columns to `out` in (site_x, gap.lo) order. This is the
+/// partial-rescan entry used by the incremental rebuild cache: columns of
+/// clean site ranges are reused, dirty ranges are re-swept.
+pub fn scan_site_columns(
+    lines: &[ActiveLine],
+    bounds: Rect,
+    rules: FillRules,
+    sites: std::ops::Range<usize>,
+    scratch: &mut ScanScratch,
+    out: &mut Vec<SlackColumn>,
+) {
     let pitch = rules.site_pitch();
-    let n_cols = pilfill_geom::units::index(bounds.width() / pitch);
-    if n_cols == 0 {
-        return Vec::new();
+    let n_cols = site_column_count(bounds, rules);
+    let lo_site = sites.start.min(n_cols);
+    let hi_site = sites.end.min(n_cols);
+    if lo_site >= hi_site {
+        return;
+    }
+    let n_active = hi_site - lo_site;
+
+    // Step 2 of Figure 7: lines become events sorted by bottom edge,
+    // pre-clipped to the scan bounds. Each line is expanded by the buffer
+    // distance in x so that no slot can be created within the buffer of a
+    // line *end*; the vertical buffer is enforced per-slot instead
+    // (`Slots::for_gap`), which keeps the gap's edge-to-edge distance `d`
+    // exact for the capacitance model. The stable sort keeps equal bottoms
+    // in line order, matching the historical sweep exactly.
+    let events = &mut scratch.events;
+    events.clear();
+    for (i, l) in lines.iter().enumerate() {
+        let expanded = Rect::new(
+            l.rect.left - rules.buffer,
+            l.rect.bottom,
+            l.rect.right + rules.buffer,
+            l.rect.top,
+        );
+        let clipped = expanded.intersection(&bounds);
+        if clipped.is_empty() {
+            continue;
+        }
+        // Site columns whose [x, x+pitch) overlaps the rect's x span,
+        // clamped to the requested range.
+        let lo = units::index(((clipped.left - bounds.left) / pitch).max(0)).max(lo_site);
+        let hi = units::index((clipped.right - 1 - bounds.left) / pitch).min(hi_site - 1);
+        if lo > hi {
+            continue;
+        }
+        // Site indices are bounded by die width / pitch and line indices
+        // by the input slice length — both far below u32::MAX.
+        events.push(SweepEvent {
+            bottom: clipped.bottom,
+            top: clipped.top,
+            lo: lo as u32,  // pilfill: allow(as-cast)
+            hi: hi as u32,  // pilfill: allow(as-cast)
+            line: i as u32, // pilfill: allow(as-cast)
+        });
+    }
+    events.sort_by_key(|e| e.bottom);
+
+    // Counting-sort the events into per-column groups. Distributing in
+    // global bottom order keeps each group bottom-sorted with the same
+    // tie-breaks, so the per-column sweep below sees exactly the event
+    // sequence the historical single-pass sweep saw.
+    let offsets = &mut scratch.offsets;
+    offsets.clear();
+    offsets.resize(n_active + 1, 0);
+    for e in events.iter() {
+        for c in e.lo..=e.hi {
+            // u32 -> usize is widening on every supported target.
+            offsets[(c as usize - lo_site) + 1] += 1; // pilfill: allow(as-cast)
+        }
+    }
+    for i in 0..n_active {
+        offsets[i + 1] += offsets[i];
+    }
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.extend_from_slice(&offsets[..n_active]);
+    let bucket = &mut scratch.bucket;
+    bucket.clear();
+    bucket.resize(units::index(Coord::from(offsets[n_active])), 0);
+    // u32 -> usize below is widening; event indices fit u32 because the
+    // event count is bounded by the line count.
+    for (ei, e) in events.iter().enumerate() {
+        for c in e.lo..=e.hi {
+            let cursor = &mut cursors[c as usize - lo_site]; // pilfill: allow(as-cast)
+            bucket[*cursor as usize] = ei as u32; // pilfill: allow(as-cast)
+            *cursor += 1;
+        }
     }
 
-    // Lines sorted by bottom edge (step 2 of Figure 7), pre-clipped to the
-    // scan bounds. Each line is expanded by the buffer distance in x so
-    // that no slot can be created within the buffer of a line *end*; the
-    // vertical buffer is enforced per-slot instead (`slots_for_gap`), which
-    // keeps the gap's edge-to-edge distance `d` exact for the capacitance
-    // model.
-    let mut order: Vec<(usize, Rect)> = lines
-        .iter()
-        .enumerate()
-        .filter_map(|(i, l)| {
-            let expanded = Rect::new(
-                l.rect.left - rules.buffer,
-                l.rect.bottom,
-                l.rect.right + rules.buffer,
-                l.rect.top,
-            );
-            let clipped = expanded.intersection(&bounds);
-            (!clipped.is_empty()).then_some((i, clipped))
-        })
-        .collect();
-    order.sort_by_key(|(_, r)| r.bottom);
-
-    // Open gap state per site column.
-    let mut open_y = vec![bounds.bottom; n_cols];
-    let mut open_below: Vec<Option<usize>> = vec![None; n_cols];
-    let mut out = Vec::new();
-
-    let col_range = |r: &Rect| -> (usize, usize) {
-        // Site columns whose [x, x+pitch) overlaps the rect's x span.
-        let lo = pilfill_geom::units::index(((r.left - bounds.left) / pitch).max(0));
-        let hi = pilfill_geom::units::index((r.right - 1 - bounds.left) / pitch).min(n_cols - 1);
-        (lo, hi)
-    };
-
+    // Sweep each column independently: gaps open at the area bottom (or
+    // the previous line's top) and close at the next line's bottom (step
+    // 14: the area top). Emission is naturally sorted by (site_x, gap.lo).
     let emit = |site_x: usize,
                 gap: Interval,
                 below: Option<usize>,
@@ -127,34 +347,43 @@ pub fn scan_slack_columns(
         if gap.is_empty() {
             return;
         }
-        let slots = slots_for_gap(gap, below.is_some(), above.is_some(), rules);
         out.push(SlackColumn {
             site_x,
-            x: bounds.left + pilfill_geom::units::coord(site_x) * pitch,
+            x: bounds.left + units::coord(site_x) * pitch,
             gap,
             below,
             above,
-            slots,
+            slots: Slots::for_gap(gap, below.is_some(), above.is_some(), rules),
         });
     };
-
-    for (line_idx, rect) in order {
-        let (lo, hi) = col_range(&rect);
-        for c in lo..=hi {
-            let gap = Interval::new(open_y[c], rect.bottom);
-            emit(c, gap, open_below[c], Some(line_idx), &mut out);
-            open_y[c] = open_y[c].max(rect.top);
-            open_below[c] = Some(line_idx);
+    for rel in 0..n_active {
+        let site_x = lo_site + rel;
+        let mut open_y = bounds.bottom;
+        let mut open_below: Option<usize> = None;
+        // u32 -> usize throughout the sweep is widening on every
+        // supported target.
+        let group = &bucket[offsets[rel] as usize..offsets[rel + 1] as usize]; // pilfill: allow(as-cast)
+        for &ei in group {
+            let e = &events[ei as usize]; // pilfill: allow(as-cast)
+            let below_line = Some(e.line as usize); // pilfill: allow(as-cast)
+            emit(
+                site_x,
+                Interval::new(open_y, e.bottom),
+                open_below,
+                below_line,
+                out,
+            );
+            open_y = open_y.max(e.top);
+            open_below = below_line;
         }
+        emit(
+            site_x,
+            Interval::new(open_y, bounds.top),
+            open_below,
+            None,
+            out,
+        );
     }
-    // Step 14: close columns at the top boundary.
-    for c in 0..n_cols {
-        let gap = Interval::new(open_y[c], bounds.top);
-        emit(c, gap, open_below[c], None, &mut out);
-    }
-
-    out.sort_by_key(|col| (col.site_x, col.gap.lo));
-    out
 }
 
 /// Locates the slack column (by index into `columns`) that contains a fill
@@ -209,6 +438,75 @@ mod tests {
         }
     }
 
+    /// The pre-progression slot rule, kept as the reference for
+    /// [`Slots::for_gap`].
+    fn slots_by_loop(gap: Interval, below_is_line: bool, above_is_line: bool) -> Vec<Coord> {
+        let r = rules();
+        let lo = gap.lo + if below_is_line { r.buffer } else { 0 };
+        let hi = gap.hi - if above_is_line { r.buffer } else { 0 };
+        let mut slots = Vec::new();
+        let mut y = lo;
+        while y + r.feature_size <= hi {
+            slots.push(y);
+            y += r.site_pitch();
+        }
+        slots
+    }
+
+    #[test]
+    fn slots_progression_matches_reference_loop() {
+        for lo in [-900, 0, 37, 449, 450] {
+            for len in 0..2_000 {
+                let gap = Interval::new(lo, lo + len);
+                for (below, above) in [(false, false), (true, false), (false, true), (true, true)] {
+                    let want = slots_by_loop(gap, below, above);
+                    let got = Slots::for_gap(gap, below, above, rules());
+                    assert_eq!(got.len(), want.len(), "gap {gap} {below}/{above}");
+                    assert_eq!(got.iter().collect::<Vec<_>>(), want);
+                    assert_eq!(got.first(), want.first().copied());
+                    assert_eq!(got.last(), want.last().copied());
+                    for (i, &w) in want.iter().enumerate() {
+                        assert_eq!(got.get(i), Some(w));
+                    }
+                    assert_eq!(got.get(want.len()), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slots_slice_and_count_below_are_consistent() {
+        let gap = Interval::new(1_000, 5_000);
+        let slots = Slots::for_gap(gap, true, true, rules());
+        let all: Vec<Coord> = slots.iter().collect();
+        assert!(slots.len() >= 3, "test wants a few slots");
+        for start in 0..=slots.len() {
+            for len in 0..=slots.len() + 1 {
+                let sub = slots.slice(start, len);
+                let want: Vec<Coord> = all[start.min(all.len())..]
+                    .iter()
+                    .take(len)
+                    .copied()
+                    .collect();
+                assert_eq!(sub.iter().collect::<Vec<_>>(), want, "slice({start},{len})");
+            }
+        }
+        for y in (gap.lo - 500..gap.hi + 500).step_by(77) {
+            let want = all.iter().filter(|&&s| s < y).count();
+            assert_eq!(slots.count_below(y), want, "count_below({y})");
+        }
+        // Split at a slot boundary: the two halves partition the slots.
+        if let Some(mid) = slots.get(1) {
+            let k = slots.count_below(mid);
+            assert_eq!(k, 1);
+            let below = slots.slice(0, k);
+            let above = slots.slice(k, slots.len() - k);
+            let mut rejoined: Vec<Coord> = below.iter().collect();
+            rejoined.extend(above.iter());
+            assert_eq!(rejoined, all);
+        }
+    }
+
     #[test]
     fn empty_area_yields_full_height_columns() {
         let bounds = Rect::new(0, 0, 4_500, 3_000);
@@ -238,8 +536,8 @@ mod tests {
         assert_eq!(below_gaps[0].gap, Interval::new(0, 4_000));
         assert_eq!(above_gaps[0].gap, Interval::new(4_200, 10_000));
         // Buffer applies on the line side only.
-        assert_eq!(below_gaps[0].slots.first(), Some(&0));
-        let last = *below_gaps[0].slots.last().expect("has slots");
+        assert_eq!(below_gaps[0].slots.first(), Some(0));
+        let last = below_gaps[0].slots.last().expect("has slots");
         assert!(last + 300 <= 4_000 - 150);
     }
 
@@ -259,7 +557,7 @@ mod tests {
         // floor((1500 - 300)/450)+1 = 3.
         assert_eq!(mid.capacity(), 3);
         // All slots respect buffers.
-        for &s in &mid.slots {
+        for s in mid.slots.iter() {
             assert!(s >= 1_200 + 150);
             assert!(s + 300 <= 3_000 - 150);
         }
@@ -306,7 +604,7 @@ mod tests {
         let r = rules();
         let cols = scan_slack_columns(&[l], bounds, r);
         for c in &cols {
-            for &slot in &c.slots {
+            for slot in c.slots.iter() {
                 let feat = Rect::new(
                     c.feature_x(r),
                     slot,
@@ -340,7 +638,7 @@ mod tests {
         let a = line(Rect::new(900, 3_000, 3_600, 3_300));
         let cols = scan_slack_columns(&[a], bounds, rules());
         for (i, c) in cols.iter().enumerate() {
-            for &slot in &c.slots {
+            for slot in c.slots.iter() {
                 let f = FillFeature {
                     x: c.feature_x(rules()),
                     y: slot,
@@ -385,5 +683,53 @@ mod tests {
                 .collect()
         };
         assert_eq!(summarize(&a), summarize(&b));
+    }
+
+    #[test]
+    fn partial_site_range_scan_matches_the_full_scan() {
+        let bounds = Rect::new(0, 0, 4_500, 9_000);
+        let lines = vec![
+            line(Rect::new(0, 1_000, 4_500, 1_200)),
+            line(Rect::new(900, 5_000, 2_700, 5_300)),
+            line(Rect::new(1_800, 7_000, 4_500, 7_400)),
+        ];
+        let full = scan_slack_columns(&lines, bounds, rules());
+        let n = site_column_count(bounds, rules());
+        let mut scratch = ScanScratch::default();
+        // Re-scan in arbitrary chunk sizes; concatenation must equal the
+        // full scan exactly (this is the rebuild cache's contract).
+        for chunk in [1usize, 2, 3, 7, n] {
+            let mut stitched = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                scan_site_columns(
+                    &lines,
+                    bounds,
+                    rules(),
+                    start..end,
+                    &mut scratch,
+                    &mut stitched,
+                );
+                start = end;
+            }
+            assert_eq!(stitched, full, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn warm_rescan_into_scratch_is_reusable() {
+        let bounds = Rect::new(0, 0, 2_700, 9_000);
+        let lines = vec![
+            line(Rect::new(0, 1_000, 2_700, 1_200)),
+            line(Rect::new(450, 5_000, 1_800, 5_300)),
+        ];
+        let mut scratch = ScanScratch::default();
+        let mut out = Vec::new();
+        scan_slack_columns_into(&lines, bounds, rules(), &mut scratch, &mut out);
+        let first = out.clone();
+        scan_slack_columns_into(&lines, bounds, rules(), &mut scratch, &mut out);
+        assert_eq!(out, first);
+        assert_eq!(out, scan_slack_columns(&lines, bounds, rules()));
     }
 }

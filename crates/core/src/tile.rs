@@ -13,10 +13,10 @@
 //!   column inside the tile keeps its association with active lines in
 //!   adjacent tiles. This is the most accurate definition and the default.
 
-use crate::{ActiveLine, SlackColumn};
+use crate::{ActiveLine, SlackColumn, Slots};
 use pilfill_density::FixedDissection;
 use pilfill_exec::WorkerPool;
-use pilfill_geom::{CellIndex, Coord, Rect};
+use pilfill_geom::{units, CellIndex, Coord, Grid, Rect};
 use pilfill_layout::{FillRules, NetId, Tech};
 use pilfill_rc::{CapTable, CouplingModel};
 
@@ -55,7 +55,7 @@ pub struct TileColumn {
     /// x of a feature placed in this column.
     pub feature_x: Coord,
     /// Feasible slot bottoms inside this tile (ascending).
-    pub slots: Vec<Coord>,
+    pub slots: Slots,
     /// Line-to-line distance `d` of the capacitance model; `None` when the
     /// column is not (known to be) between two active lines, making its
     /// modeled cost zero.
@@ -143,7 +143,7 @@ impl TileProblem {
 fn make_tile_column(
     lines: &[ActiveLine],
     col: &SlackColumn,
-    slots: Vec<Coord>,
+    slots: Slots,
     rules: FillRules,
     model: &CouplingModel,
 ) -> TileColumn {
@@ -184,57 +184,170 @@ fn make_tile_column(
     }
 }
 
+/// Splits a global column's slot progression at tile-row boundaries,
+/// calling `f` once per non-empty `(cell, sub-progression)` in ascending
+/// row order — the arithmetic equivalent of classifying every slot through
+/// `grid.cell_at` (slots outside the grid bounds are skipped, rows past the
+/// last boundary clamp to the top row).
+fn for_each_row_chunk(
+    col: &SlackColumn,
+    fx: Coord,
+    grid: &Grid,
+    mut f: impl FnMut(CellIndex, Slots),
+) {
+    let bounds = grid.bounds();
+    if fx < bounds.left || fx >= bounds.right {
+        return;
+    }
+    let ix = units::index((fx - bounds.left) / grid.pitch_x()).min(grid.nx() - 1);
+    let mut start = col.slots.count_below(bounds.bottom);
+    let stop = col.slots.count_below(bounds.top);
+    while start < stop {
+        let Some(y) = col.slots.get(start) else {
+            return;
+        };
+        let iy = units::index((y - bounds.bottom) / grid.pitch_y()).min(grid.ny() - 1);
+        let end = if iy + 1 >= grid.ny() {
+            stop
+        } else {
+            let row_top = bounds.bottom + grid.pitch_y() * units::coord(iy + 1);
+            col.slots.count_below(row_top).min(stop)
+        };
+        f((ix, iy), col.slots.slice(start, end - start));
+        start = end;
+    }
+}
+
 /// Definition III worker: expands one contiguous chunk of global columns
 /// into `(tile index, column)` pairs, preserving column order within the
 /// chunk.
 fn def_three_chunk(
     lines: &[ActiveLine],
     chunk: &[SlackColumn],
-    grid: &pilfill_geom::Grid,
+    grid: &Grid,
     rules: FillRules,
     model: &CouplingModel,
 ) -> Vec<(usize, TileColumn)> {
     let mut out = Vec::new();
     for col in chunk {
         let fx = col.feature_x(rules);
-        let mut by_tile: Vec<(CellIndex, Vec<Coord>)> = Vec::new();
-        for &slot in &col.slots {
-            let Some(cell) = grid.cell_at(fx, slot) else {
-                continue;
-            };
-            match by_tile.last_mut() {
-                Some((c, slots)) if *c == cell => slots.push(slot),
-                _ => by_tile.push((cell, vec![slot])),
-            }
-        }
-        for ((ix, iy), slots) in by_tile {
+        for_each_row_chunk(col, fx, grid, |(ix, iy), slots| {
             let tc = make_tile_column(lines, col, slots, rules, model);
             out.push((iy * grid.nx() + ix, tc));
-        }
+        });
     }
     out
 }
 
+/// Per-tile definition-III fill capacities (row-major `iy * nx + ix`)
+/// straight from the global scan — the slack counts the budget derivation
+/// needs, with no capacitance tables built. Equals the per-tile capacity
+/// sum of the definition-III [`TileProblem`]s.
+pub fn def_three_capacities(
+    columns: &[SlackColumn],
+    dissection: &FixedDissection,
+    rules: FillRules,
+) -> Vec<u64> {
+    let grid = dissection.tiles();
+    let mut caps = vec![0u64; grid.len()];
+    for col in columns {
+        let fx = col.feature_x(rules);
+        for_each_row_chunk(col, fx, &grid, |(ix, iy), slots| {
+            caps[iy * grid.nx() + ix] += slots.len() as u64;
+        });
+    }
+    caps
+}
+
+/// Grid column (tile x-index) a global slack column's features land in, or
+/// `None` when the feature x falls outside the grid (such a column never
+/// contributes a tile column).
+fn grid_column_of(col: &SlackColumn, grid: &Grid, rules: FillRules) -> Option<usize> {
+    let fx = col.feature_x(rules);
+    let bounds = grid.bounds();
+    if fx < bounds.left || fx >= bounds.right {
+        return None;
+    }
+    Some(units::index((fx - bounds.left) / grid.pitch_x()).min(grid.nx() - 1))
+}
+
+/// Partitions the globally sorted column list into one contiguous range
+/// per grid column (feature x is monotone in the site index, so the ranges
+/// are contiguous). Out-of-grid columns are folded into the nearest range;
+/// they contribute no tile columns either way.
+pub fn slab_ranges(
+    columns: &[SlackColumn],
+    dissection: &FixedDissection,
+    rules: FillRules,
+) -> Vec<std::ops::Range<usize>> {
+    let grid = dissection.tiles();
+    let nx = grid.nx();
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(nx);
+    let mut start = 0usize;
+    for ix in 0..nx {
+        let end = columns[start..]
+            .partition_point(|c| grid_column_of(c, &grid, rules).unwrap_or(ix) <= ix)
+            + start;
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Builds the definition-III tile problems of one grid column — tiles
+/// `(ix, 0..ny)`, indexed by row — from that column's slab of the global
+/// scan (see [`slab_ranges`]). Feeding each slab through the same expansion
+/// as the full build, in the same column order, makes the per-tile output
+/// bit-identical to [`build_tile_problems`]; this is the unit of work of
+/// the streamed pipeline and the rebuild cache.
+pub fn build_slab_problems(
+    lines: &[ActiveLine],
+    slab: &[SlackColumn],
+    dissection: &FixedDissection,
+    tech: &Tech,
+    rules: FillRules,
+    ix: usize,
+) -> Vec<TileProblem> {
+    let model = CouplingModel::new(tech);
+    let grid = dissection.tiles();
+    let nx = grid.nx();
+    let mut problems: Vec<TileProblem> = (0..grid.ny())
+        .map(|iy| TileProblem {
+            cell: (ix, iy),
+            rect: grid.cell_rect((ix, iy)),
+            columns: Vec::new(),
+        })
+        .collect();
+    for (idx, tc) in def_three_chunk(lines, slab, &grid, rules, &model) {
+        debug_assert_eq!(idx % nx, ix, "slab column escaped its grid column");
+        problems[idx / nx].columns.push(tc);
+    }
+    problems
+}
+
 /// Definition I/II worker: scans and fills one tile in place. Each tile's
 /// columns depend only on its own rect, so tiles are independent work
-/// items.
-fn def_one_two_tile(
+/// items. `scratch`/`cols` are reused sweep buffers (see
+/// [`crate::ScanScratch`]); serial callers thread one pair through every
+/// tile for an allocation-free rescan.
+pub(crate) fn def_one_two_tile(
     lines: &[ActiveLine],
     problem: &mut TileProblem,
     rules: FillRules,
     model: &CouplingModel,
     def: SlackColumnDef,
+    scratch: &mut crate::ScanScratch,
+    cols: &mut Vec<SlackColumn>,
 ) {
-    let tile_cols = crate::scan_slack_columns(lines, problem.rect, rules);
-    for col in tile_cols {
+    crate::scan_slack_columns_into(lines, problem.rect, rules, scratch, cols);
+    for col in cols.iter() {
         if def == SlackColumnDef::One && col.distance().is_none() {
             continue;
         }
-        let slots = col.slots.clone();
-        if slots.is_empty() {
+        if col.slots.is_empty() {
             continue;
         }
-        let tc = make_tile_column(lines, &col, slots, rules, model);
+        let tc = make_tile_column(lines, col, col.slots, rules, model);
         problem.columns.push(tc);
     }
 }
@@ -320,7 +433,9 @@ pub fn build_tile_problems_pool(
             // bounded by geometry outside the tile lose their association
             // (definition II) or are dropped entirely (definition I).
             pool.for_each_slot(&mut problems, |_, problem| {
-                def_one_two_tile(lines, problem, rules, &model, def);
+                let mut scratch = crate::ScanScratch::default();
+                let mut cols = Vec::new();
+                def_one_two_tile(lines, problem, rules, &model, def, &mut scratch, &mut cols);
             });
         }
     }
@@ -481,7 +596,7 @@ mod tests {
         let (d, problems) = setup(SlackColumnDef::Three);
         for p in &problems {
             for c in &p.columns {
-                for &s in &c.slots {
+                for s in c.slots.iter() {
                     assert!(
                         p.rect.y_span().contains(s),
                         "slot {s} outside tile {:?}",
@@ -489,6 +604,45 @@ mod tests {
                     );
                     assert!(c.feature_x >= d.die.left);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn def_three_capacities_match_problem_capacities() {
+        let d = two_line_design();
+        let dis = FixedDissection::new(d.die, 16_000, 2).expect("dissection");
+        let lines = extract_active_lines(&d, LayerId(0)).expect("lines");
+        let cols = scan_slack_columns(&lines, d.die, d.rules);
+        let problems =
+            build_tile_problems(&lines, &cols, &dis, &d.tech, d.rules, SlackColumnDef::Three);
+        let caps = def_three_capacities(&cols, &dis, d.rules);
+        let grid = dis.tiles();
+        assert_eq!(caps.len(), problems.len());
+        for p in &problems {
+            let (ix, iy) = p.cell;
+            assert_eq!(caps[iy * grid.nx() + ix], p.capacity(), "tile {:?}", p.cell);
+        }
+    }
+
+    #[test]
+    fn slab_builds_concatenate_to_the_full_build() {
+        let d = two_line_design();
+        let dis = FixedDissection::new(d.die, 16_000, 2).expect("dissection");
+        let lines = extract_active_lines(&d, LayerId(0)).expect("lines");
+        let cols = scan_slack_columns(&lines, d.die, d.rules);
+        let full =
+            build_tile_problems(&lines, &cols, &dis, &d.tech, d.rules, SlackColumnDef::Three);
+        let grid = dis.tiles();
+        let ranges = slab_ranges(&cols, &dis, d.rules);
+        assert_eq!(ranges.len(), grid.nx());
+        assert_eq!(ranges.last().expect("nx > 0").end, cols.len());
+        for (ix, range) in ranges.iter().enumerate() {
+            let slab =
+                build_slab_problems(&lines, &cols[range.clone()], &dis, &d.tech, d.rules, ix);
+            assert_eq!(slab.len(), grid.ny());
+            for (iy, p) in slab.iter().enumerate() {
+                assert_eq!(p, &full[iy * grid.nx() + ix], "tile ({ix}, {iy})");
             }
         }
     }

@@ -63,7 +63,7 @@ fn scan_slots_never_touch_lines_or_each_other() {
         let cols = scan_slack_columns(&lines, bounds(), r);
         let mut feature_rects: Vec<Rect> = Vec::new();
         for c in &cols {
-            for &slot in &c.slots {
+            for slot in c.slots.iter() {
                 let f = FillFeature {
                     x: c.feature_x(r),
                     y: slot,
@@ -128,6 +128,71 @@ fn scan_gaps_partition_each_site_column() {
                 "site {}",
                 site
             );
+        }
+    }
+}
+
+/// The arena-backed counting-sort sweep must agree with a brute-force
+/// per-site occupancy model: per site column, subtract every x-expanded
+/// line's y span from the area, then enumerate slots of each maximal free
+/// interval with the naive stepping loop.
+#[test]
+fn scratch_sweep_matches_brute_force_per_site_occupancy() {
+    let mut rng = StdRng::seed_from_u64(0xC0_0005);
+    let r = rules();
+    let b = bounds();
+    for _ in 0..64 {
+        let lines = rand_lines(&mut rng);
+        let cols = scan_slack_columns(&lines, b, r);
+        let n_cols = (b.width() / r.site_pitch()) as usize;
+        for site in 0..n_cols {
+            let x_span = Interval::new(
+                b.left + site as Coord * r.site_pitch(),
+                b.left + (site as Coord + 1) * r.site_pitch(),
+            );
+            // Occupied y spans: lines expanded by the buffer in x only
+            // (the vertical buffer is enforced per slot).
+            let mut covered = pilfill_geom::IntervalSet::new();
+            for l in &lines {
+                let expanded = Rect::new(
+                    l.rect.left - r.buffer,
+                    l.rect.bottom,
+                    l.rect.right + r.buffer,
+                    l.rect.top,
+                );
+                if expanded.x_span().overlaps(x_span) {
+                    covered.insert(expanded.y_span());
+                }
+            }
+            let mut want_slots: Vec<Coord> = Vec::new();
+            let mut want_gaps: Vec<Interval> = Vec::new();
+            for free in covered.gaps_within(b.y_span()) {
+                if free.is_empty() {
+                    continue;
+                }
+                want_gaps.push(free);
+                let lo = free.lo + if free.lo > b.bottom { r.buffer } else { 0 };
+                let hi = free.hi - if free.hi < b.top { r.buffer } else { 0 };
+                let mut y = lo;
+                while y + r.feature_size <= hi {
+                    want_slots.push(y);
+                    y += r.site_pitch();
+                }
+            }
+            let got: Vec<&SlackColumn> = cols.iter().filter(|c| c.site_x == site).collect();
+            let got_gaps: Vec<Interval> = got.iter().map(|c| c.gap).collect();
+            let got_slots: Vec<Coord> = got.iter().flat_map(|c| c.slots.iter()).collect();
+            assert_eq!(got_gaps, want_gaps, "site {site}");
+            assert_eq!(got_slots, want_slots, "site {site}");
+            // Line-bounded sides must reference real lines.
+            for c in &got {
+                if let Some(below) = c.below {
+                    assert_eq!(lines[below].rect.top, c.gap.lo, "site {site}");
+                }
+                if let Some(above) = c.above {
+                    assert_eq!(lines[above].rect.bottom, c.gap.hi, "site {site}");
+                }
+            }
         }
     }
 }

@@ -20,6 +20,7 @@
 use crate::{DensityMap, FixedDissection};
 use pilfill_geom::CellIndex;
 use pilfill_solver::{Model, Objective, Sense, SolveError};
+use std::collections::BinaryHeap;
 
 /// Error from fill budgeting.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,12 +189,54 @@ pub fn lp_budget(
     Ok(FillBudget::new(&dis, features))
 }
 
+/// A heap entry of the budget loop's lazy priority queue. The `BinaryHeap`
+/// max-heap pops the *smallest* `(density, window)` because the `Ord` below
+/// is reversed; `version` marks entries stale (not part of the ordering).
+#[derive(Debug, Clone, Copy)]
+struct NeediestWindow {
+    density: f64,
+    wi: usize,
+    version: u64,
+}
+
+impl Ord for NeediestWindow {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the max-heap then yields the lowest density first, ties
+        // towards the lower window index — exactly the first-minimum rule
+        // of the `min_by(total_cmp)` scan this heap replaces.
+        other
+            .density
+            .total_cmp(&self.density)
+            .then_with(|| other.wi.cmp(&self.wi))
+    }
+}
+
+impl PartialOrd for NeediestWindow {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for NeediestWindow {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for NeediestWindow {}
+
 /// Scalable Monte-Carlo/greedy budgeting: repeatedly pick the window with
 /// the lowest density and add one feature to its tile with the most
 /// remaining slack, subject to no window exceeding `upper_bound`. Stops
 /// when no minimum-density window can accept more fill.
 ///
-/// Deterministic: ties break towards lower tile index.
+/// The neediest window is tracked with a lazy min-heap (densities only
+/// ever increase, so stale entries sort at or before their window's live
+/// entry and are discarded on pop by a version check), making each of the
+/// `total()` iterations O(log W) instead of an O(W) scan.
+///
+/// Deterministic: ties break towards lower tile index, and the heap's
+/// tie-break reproduces the historical linear scan exactly.
 ///
 /// # Errors
 ///
@@ -221,11 +264,14 @@ pub fn montecarlo_budget(
         .iter()
         .map(|&w| existing.window_area(w) as f64)
         .collect();
-    // Windows covering each tile.
+    // Windows covering each tile, and tiles of each window, flattened once
+    // so the per-feature hot loop never re-derives grid arithmetic.
     let mut windows_of_tile: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut tiles_of_window: Vec<Vec<usize>> = vec![Vec::new(); windows.len()];
     for (wi, w) in windows.iter().enumerate() {
         for (ix, iy) in w.tiles() {
             windows_of_tile[iy * nx + ix].push(wi);
+            tiles_of_window[wi].push(iy * nx + ix);
         }
     }
 
@@ -234,27 +280,47 @@ pub fn montecarlo_budget(
     let fa = feature_area as f64;
     let mut stuck = vec![false; windows.len()];
 
-    loop {
-        // Lowest-density window that is not stuck.
-        let target = (0..windows.len())
-            .filter(|&wi| !stuck[wi])
-            .min_by(|&a, &b| (w_fill[a] / w_area[a]).total_cmp(&(w_fill[b] / w_area[b])));
-        let Some(wi) = target else { break };
+    // Cached density-after-one-more-feature per window. The historical
+    // acceptance check `after <= upper_bound.max(current) && after <=
+    // upper_bound` collapses to `after <= upper_bound` (the max only ever
+    // raises the first bound), and `after` is the same quotient
+    // `(w_fill + fa) / w_area` recomputed here whenever `w_fill` changes —
+    // identical operands and order, so the cached compare is bit-identical
+    // to dividing inside the filter.
+    let mut d_after: Vec<f64> = (0..windows.len())
+        .map(|wi| (w_fill[wi] + fa) / w_area[wi])
+        .collect();
+
+    // Lazy min-heap over (density, window). Every non-stuck window has
+    // exactly one live entry (the one whose `version` matches); entries
+    // left behind by density updates are stale and skipped on pop.
+    let mut version = vec![0u64; windows.len()];
+    let mut heap: BinaryHeap<NeediestWindow> = (0..windows.len())
+        .map(|wi| NeediestWindow {
+            density: w_fill[wi] / w_area[wi],
+            wi,
+            version: 0,
+        })
+        .collect();
+
+    while let Some(entry) = heap.pop() {
+        let wi = entry.wi;
+        if stuck[wi] || entry.version != version[wi] {
+            continue;
+        }
 
         // Best tile in that window: most remaining slack, addition must not
-        // push any covering window above the bound.
-        let candidate = windows[wi]
-            .tiles()
-            .map(|(ix, iy)| iy * nx + ix)
+        // push any covering window above the bound (never above it unless
+        // it already exceeded the bound from drawn features alone — then
+        // fill there is simply forbidden).
+        let candidate = tiles_of_window[wi]
+            .iter()
+            .copied()
             .filter(|&t| remaining[t] > 0)
             .filter(|&t| {
-                windows_of_tile[t].iter().all(|&cw| {
-                    let after = (w_fill[cw] + fa) / w_area[cw];
-                    // Never push a window above the bound unless it already
-                    // exceeded it from drawn features alone (then fill is
-                    // simply forbidden there).
-                    after <= upper_bound.max(w_fill[cw] / w_area[cw]) && after <= upper_bound
-                })
+                windows_of_tile[t]
+                    .iter()
+                    .all(|&cw| d_after[cw] <= upper_bound)
             })
             .max_by_key(|&t| (remaining[t], std::cmp::Reverse(t)));
 
@@ -262,13 +328,21 @@ pub fn montecarlo_budget(
             Some(t) => {
                 remaining[t] -= 1;
                 budget[t] += 1;
+                // Stuck windows stay stuck: adding fill elsewhere only
+                // raises densities, never creates new capacity, so this is
+                // sound. The chosen tile lies inside window `wi`, so `wi`
+                // itself is refreshed here and stays in the heap.
                 for &cw in &windows_of_tile[t] {
                     w_fill[cw] += fa;
-                    // Any window that gained fill might unstick neighbours'
-                    // ordering; conservative: clear all stuck marks
-                    // occasionally would be O(n^2). Stuck windows stay
-                    // stuck: adding fill elsewhere only raises densities,
-                    // never creates new capacity, so this is sound.
+                    d_after[cw] = (w_fill[cw] + fa) / w_area[cw];
+                    version[cw] += 1;
+                    if !stuck[cw] {
+                        heap.push(NeediestWindow {
+                            density: w_fill[cw] / w_area[cw],
+                            wi: cw,
+                            version: version[cw],
+                        });
+                    }
                 }
             }
             None => {
@@ -379,6 +453,80 @@ mod tests {
         let mc_min = apply(&mc);
         // MC should reach at least 85% of the LP's min-density gain.
         assert!(mc_min >= 0.85 * lp_min, "mc {mc_min} far below lp {lp_min}");
+    }
+
+    /// The pre-heap linear-scan budget loop, kept verbatim as the
+    /// reference the lazy heap must reproduce bit-for-bit.
+    fn montecarlo_budget_by_scan(
+        existing: &DensityMap,
+        slack: &[u32],
+        feature_area: i64,
+        upper_bound: f64,
+    ) -> FillBudget {
+        let dis = *existing.dissection();
+        let grid = dis.tiles();
+        let nx = grid.nx();
+        let n = grid.len();
+        let windows: Vec<_> = dis.windows().collect();
+        let w_area: Vec<f64> = windows
+            .iter()
+            .map(|&w| dis.window_rect(w).area() as f64)
+            .collect();
+        let mut w_fill: Vec<f64> = windows
+            .iter()
+            .map(|&w| existing.window_area(w) as f64)
+            .collect();
+        let mut windows_of_tile: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (wi, w) in windows.iter().enumerate() {
+            for (ix, iy) in w.tiles() {
+                windows_of_tile[iy * nx + ix].push(wi);
+            }
+        }
+        let mut remaining: Vec<u32> = slack.to_vec();
+        let mut budget = vec![0u32; n];
+        let fa = feature_area as f64;
+        let mut stuck = vec![false; windows.len()];
+        loop {
+            let target = (0..windows.len())
+                .filter(|&wi| !stuck[wi])
+                .min_by(|&a, &b| (w_fill[a] / w_area[a]).total_cmp(&(w_fill[b] / w_area[b])));
+            let Some(wi) = target else { break };
+            let candidate = windows[wi]
+                .tiles()
+                .map(|(ix, iy)| iy * nx + ix)
+                .filter(|&t| remaining[t] > 0)
+                .filter(|&t| {
+                    windows_of_tile[t].iter().all(|&cw| {
+                        let after = (w_fill[cw] + fa) / w_area[cw];
+                        after <= upper_bound.max(w_fill[cw] / w_area[cw]) && after <= upper_bound
+                    })
+                })
+                .max_by_key(|&t| (remaining[t], std::cmp::Reverse(t)));
+            match candidate {
+                Some(t) => {
+                    remaining[t] -= 1;
+                    budget[t] += 1;
+                    for &cw in &windows_of_tile[t] {
+                        w_fill[cw] += fa;
+                    }
+                }
+                None => stuck[wi] = true,
+            }
+        }
+        FillBudget::new(&dis, budget)
+    }
+
+    #[test]
+    fn heap_budget_matches_linear_scan_reference() {
+        let map = test_map();
+        for per_tile in [0u32, 1, 3, 10, 25, 40] {
+            for ub in [0.2, 0.35, 0.4, 0.5, 1.0] {
+                let slack = full_slack(&map, per_tile);
+                let heap = montecarlo_budget(&map, &slack, FEATURE_AREA, ub).expect("mc");
+                let scan = montecarlo_budget_by_scan(&map, &slack, FEATURE_AREA, ub);
+                assert_eq!(heap, scan, "slack {per_tile}, bound {ub}");
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,53 @@ struct JobCore<'a> {
     panicked: AtomicBool,
     /// First panic payload, re-raised on the submitting thread.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Streamed jobs only: lanes may not run an index until the producer
+    /// has published it past this watermark.
+    gate: Option<&'a ReadyGate>,
+}
+
+/// Ready watermark for streamed jobs: the producer publishes `ready = k`
+/// once items `0..k` are fully written, and consuming lanes park on the
+/// condvar when the cursor catches up with the watermark. The store is
+/// `Release` and the loads `Acquire`, so a lane that observes `ready > i`
+/// also observes every write the producer made to item `i`.
+#[derive(Debug, Default)]
+struct ReadyGate {
+    ready: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ReadyGate {
+    /// Publishes items `0..upto` as ready and wakes parked lanes. Taking
+    /// the lock around the store closes the check-then-wait race in
+    /// [`ReadyGate::wait_past`].
+    fn publish(&self, upto: usize) {
+        let _guard = lock(&self.lock);
+        self.ready.store(upto, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until item `i` is ready (`ready > i`). Returns `false` if the
+    /// job aborted (a lane or the producer panicked) before that happened.
+    fn wait_past(&self, i: usize, core: &JobCore<'_>) -> bool {
+        loop {
+            if core.panicked.load(Ordering::Relaxed) {
+                return false;
+            }
+            if self.ready.load(Ordering::Acquire) > i {
+                return true;
+            }
+            let guard = lock(&self.lock);
+            if self.ready.load(Ordering::Acquire) > i {
+                return true;
+            }
+            if core.panicked.load(Ordering::Relaxed) {
+                return false;
+            }
+            drop(wait_on(&self.cv, guard));
+        }
+    }
 }
 
 impl WorkerPool {
@@ -149,6 +196,13 @@ impl WorkerPool {
 
     /// The number of lanes (worker threads plus the submitting thread).
     pub fn threads(&self) -> usize {
+        self.lanes
+    }
+
+    /// Alias for [`WorkerPool::threads`]: the lane count callers should
+    /// compare against available parallelism when deciding whether the
+    /// pooled path is worth its coordination cost.
+    pub fn lanes(&self) -> usize {
         self.lanes
     }
 
@@ -196,6 +250,137 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Streams `n` items through a single producer into a parallel
+    /// consumer: `producer(k)` runs on the calling thread in index order,
+    /// each finished item is published through a ready watermark, and pool
+    /// lanes claim published indices with the same adaptive cursor as
+    /// [`WorkerPool::run`] — so consumption of item 0 overlaps production
+    /// of item 1, and wall-clock approaches max(produce, consume) instead
+    /// of produce + consume.
+    ///
+    /// Returns the produced items and the consumer results, both in index
+    /// order. Because every index owns disjoint slots in both vectors and
+    /// the caller folds them in index order, the output is bit-identical
+    /// for every lane count. On a 1-lane pool (or a reentrant submission)
+    /// this degrades to a fused serial loop: produce item `k`, consume item
+    /// `k`, repeat — no threads are woken.
+    ///
+    /// Panics from the producer or any consumer lane are re-raised on the
+    /// calling thread after all lanes have stopped.
+    pub fn stream_map<T, R>(
+        &self,
+        n: usize,
+        mut producer: impl FnMut(usize) -> T,
+        consumer: impl Fn(usize, &T) -> R + Sync,
+    ) -> (Vec<T>, Vec<R>)
+    where
+        T: Send + Sync,
+        R: Send,
+    {
+        let fused_serial = |producer: &mut dyn FnMut(usize) -> T| {
+            let mut items = Vec::with_capacity(n);
+            let mut results = Vec::with_capacity(n);
+            for i in 0..n {
+                let item = producer(i);
+                results.push(consumer(i, &item));
+                items.push(item);
+            }
+            (items, results)
+        };
+        if self.handles.is_empty() || n <= 1 {
+            return fused_serial(&mut producer);
+        }
+
+        let mut items: Vec<Option<T>> = Vec::new();
+        items.resize_with(n, || None);
+        let mut results: Vec<Option<R>> = Vec::new();
+        results.resize_with(n, || None);
+        let gate = ReadyGate::default();
+        let item_slots = SlotWriter {
+            ptr: items.as_mut_ptr(),
+            len: n,
+        };
+        let result_slots = SlotWriter {
+            ptr: results.as_mut_ptr(),
+            len: n,
+        };
+        let consumer_ref = &consumer;
+        let job = move |i: usize| {
+            // SAFETY: a lane only reaches index `i` after the gate
+            // published `ready > i` (Acquire), so the producer's write to
+            // slot `i` is complete and visible, and the producer never
+            // touches a published slot again. Each index is claimed exactly
+            // once, so the result slot is unaliased.
+            unsafe {
+                item_slots.with(i, |slot| {
+                    // Invariant: publish happens only after the write.
+                    // pilfill: allow(unwrap)
+                    let item = slot.as_ref().expect("gate published an unwritten slot");
+                    let r = consumer_ref(i, item);
+                    result_slots.with(i, |out| *out = Some(r));
+                });
+            }
+        };
+        let core = JobCore {
+            cursor: AtomicUsize::new(0),
+            n,
+            lanes: self.lanes.min(n),
+            f: &job,
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            gate: Some(&gate),
+        };
+        if !self.try_open_job(&core) {
+            // Reentrant submission from inside a live job: claiming the
+            // shared cursor would deadlock the outer job, so run the fused
+            // serial loop on this lane instead.
+            drop(core);
+            return fused_serial(&mut producer);
+        }
+
+        // Produce on this thread while lanes consume behind the watermark.
+        let produced = catch_unwind(AssertUnwindSafe(|| {
+            for k in 0..n {
+                let item = producer(k);
+                // SAFETY: slot `k` is unpublished (`ready <= k`), so no
+                // lane reads it yet; only this thread writes it.
+                unsafe { item_slots.with(k, |slot| *slot = Some(item)) };
+                gate.publish(k + 1);
+            }
+        }));
+        match produced {
+            Ok(()) => {
+                // The submitter joins consumption once production is done.
+                claim_loop(&core);
+            }
+            Err(payload) => {
+                core.panicked.store(true, Ordering::Relaxed);
+                let mut slot = lock(&core.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                drop(slot);
+                // Wake parked lanes so they observe the abort.
+                gate.publish(n);
+            }
+        }
+        self.close_job(&core);
+
+        fn unwrap_all<V>(v: Vec<Option<V>>, what: &str) -> Vec<V> {
+            v.into_iter()
+                .map(|slot| {
+                    // The job completed without panicking, so every slot
+                    // was written. pilfill: allow(unwrap)
+                    slot.expect(what)
+                })
+                .collect()
+        }
+        (
+            unwrap_all(items, "streamed job produced every item"),
+            unwrap_all(results, "streamed job consumed every item"),
+        )
+    }
+
     fn run_erased(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
         if n == 0 {
             return;
@@ -216,34 +401,45 @@ impl WorkerPool {
             f,
             panicked: AtomicBool::new(false),
             panic: Mutex::new(None),
+            gate: None,
         };
-        {
-            let mut st = lock(&self.shared.state);
-            if st.job.is_some() {
-                // Reentrant submission from inside a job: claiming the
-                // shared cursor would deadlock the outer job, so run
-                // inline on this lane instead.
-                drop(st);
-                for i in 0..n {
-                    f(i);
-                }
-                return;
+        if !self.try_open_job(&core) {
+            // Reentrant submission from inside a job: claiming the
+            // shared cursor would deadlock the outer job, so run
+            // inline on this lane instead.
+            for i in 0..n {
+                f(i);
             }
-            st.epoch += 1;
-            let erased = std::ptr::from_ref(&core).cast::<JobCore<'static>>();
-            st.job = Some(JobRef(erased));
-            self.shared.work_cv.notify_all();
+            return;
         }
 
         // The submitter is a lane too.
         claim_loop(&core);
+        self.close_job(&core);
+    }
 
-        // Close the job (no new worker can join), then wait for the ones
-        // inside to leave; only then may `core` drop.
+    /// Publishes `core` as the live job and wakes the workers. Returns
+    /// `false` without publishing if another job is live (reentrancy).
+    fn try_open_job(&self, core: &JobCore<'_>) -> bool {
+        let mut st = lock(&self.shared.state);
+        if st.job.is_some() {
+            return false;
+        }
+        st.epoch += 1;
+        let erased = std::ptr::from_ref(core).cast::<JobCore<'static>>();
+        st.job = Some(JobRef(erased));
+        self.shared.work_cv.notify_all();
+        true
+    }
+
+    /// Closes the job (no new worker can join), waits for the ones inside
+    /// to leave — only then may `core` drop — and re-raises the first
+    /// recorded panic on the calling thread.
+    fn close_job(&self, core: &JobCore<'_>) {
         let mut st = lock(&self.shared.state);
         st.job = None;
         while st.active > 0 {
-            st = wait(&self.shared.done_cv, st);
+            st = wait_on(&self.shared.done_cv, st);
         }
         drop(st);
 
@@ -276,7 +472,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn wait<'a>(cv: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+fn wait_on<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard)
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -304,13 +500,15 @@ fn worker_loop(shared: &Shared) {
                     shared.done_cv.notify_all();
                 }
             }
-            _ => st = wait(&shared.work_cv, st),
+            _ => st = wait_on(&shared.work_cv, st),
         }
     }
 }
 
 /// One lane's claim loop: grab an adaptive batch of indices from the
 /// cursor, run them, repeat until the cursor is drained or a lane panicked.
+/// Streamed jobs additionally clamp each batch to the published watermark
+/// and park on the gate while the producer is behind.
 fn claim_loop(core: &JobCore<'_>) {
     loop {
         if core.panicked.load(Ordering::Relaxed) {
@@ -320,7 +518,18 @@ fn claim_loop(core: &JobCore<'_>) {
         if claimed >= core.n {
             return;
         }
-        let remaining = core.n - claimed;
+        let mut limit = core.n;
+        if let Some(gate) = core.gate {
+            let ready = gate.ready.load(Ordering::Acquire);
+            if ready <= claimed {
+                if !gate.wait_past(claimed, core) {
+                    return;
+                }
+                continue;
+            }
+            limit = ready.min(core.n);
+        }
+        let remaining = limit - claimed;
         let batch = (remaining / (core.lanes * CLAIM_RATIO)).clamp(1, MAX_BATCH);
         // `fetch_add` hands out disjoint ranges even under contention; a
         // stale `remaining` only mis-sizes the batch, never re-issues an
@@ -330,6 +539,13 @@ fn claim_loop(core: &JobCore<'_>) {
             return;
         }
         let end = (begin + batch).min(core.n);
+        // Racing lanes can push a claim past the watermark; wait for the
+        // producer to publish the whole batch before running it.
+        if let Some(gate) = core.gate {
+            if !gate.wait_past(end - 1, core) {
+                return;
+            }
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             for i in begin..end {
                 (core.f)(i);
@@ -348,11 +564,20 @@ fn claim_loop(core: &JobCore<'_>) {
 
 /// Raw-slice wrapper letting multiple lanes write disjoint slots of one
 /// `&mut [T]`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 struct SlotWriter<T> {
     ptr: *mut T,
     len: usize,
 }
+
+// Manual impls: the derived ones would add an unwanted `T: Copy` bound —
+// the writer is a pointer-and-length pair regardless of `T`.
+impl<T> Clone for SlotWriter<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlotWriter<T> {}
 
 // SAFETY: only used for disjoint per-index access from pool jobs (each
 // index is claimed exactly once), so no two threads alias a slot.
@@ -493,5 +718,99 @@ mod tests {
     fn dropping_an_idle_pool_joins_workers() {
         let pool = WorkerPool::new(6);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn stream_map_matches_fused_serial_for_every_lane_count() {
+        let n = 403usize;
+        let want_items: Vec<u64> = (0..n as u64).map(|k| k * 3 + 1).collect();
+        let want_results: Vec<u64> = want_items.iter().map(|&v| v * v).collect();
+        for threads in 1..=8 {
+            let pool = WorkerPool::new(threads);
+            let (items, results) =
+                pool.stream_map(n, |k| k as u64 * 3 + 1, |_, item: &u64| item * item);
+            assert_eq!(items, want_items, "{threads} lanes");
+            assert_eq!(results, want_results, "{threads} lanes");
+        }
+    }
+
+    #[test]
+    fn stream_map_production_order_is_sequential() {
+        // The producer must be called with 0, 1, 2, ... in order on the
+        // submitting thread, regardless of consumer scheduling.
+        let pool = WorkerPool::new(4);
+        let mut seen = Vec::new();
+        let (items, _) = pool.stream_map(
+            100,
+            |k| {
+                seen.push(k);
+                k
+            },
+            |_, &item| item,
+        );
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(items, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_map_with_slow_producer_still_completes() {
+        let pool = WorkerPool::new(4);
+        let (_, results) = pool.stream_map(
+            24,
+            |k| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                k as u32
+            },
+            |_, &item| item + 1,
+        );
+        assert_eq!(results, (1..=24).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn stream_map_consumer_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.stream_map(
+                64,
+                |k| k,
+                |_, &item| {
+                    assert!(item != 17, "boom at 17");
+                    item
+                },
+            );
+        }));
+        assert!(result.is_err(), "consumer panic must reach the submitter");
+        let got = pool.map(4, |i| i);
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stream_map_producer_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.stream_map(
+                64,
+                |k| {
+                    assert!(k != 9, "producer boom at 9");
+                    k
+                },
+                |_, &item| item,
+            );
+        }));
+        assert!(result.is_err(), "producer panic must reach the submitter");
+        let got = pool.map(4, |i| i + 1);
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stream_map_reentrant_submission_runs_fused_serial() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.run(3, |_| {
+            let (items, results) = pool.stream_map(5, |k| k as u64, |_, &item| item * 2);
+            assert_eq!(items, vec![0, 1, 2, 3, 4]);
+            total.fetch_add(results.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 3 * 20);
     }
 }

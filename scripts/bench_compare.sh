@@ -6,8 +6,9 @@
 #
 # usage: bench_compare.sh [--threshold PCT] BASE.json NEW.json
 #
-# Keys present in only one report are listed as added/removed and never
-# count as regressions. Only std tools (bash + awk) are used.
+# Keys present in only one report (new or retired benches) are listed in
+# a separate "added/removed keys" section after the table and never count
+# as regressions. Only std tools (bash + awk) are used.
 set -euo pipefail
 
 usage() {
@@ -55,17 +56,26 @@ extract() {
     END {
       printf "%-44s %14s %14s %9s\n", "key", "base ns", "new ns", "delta"
       bad = 0
+      extra = 0
       for (i = 0; i < n; i++) {
         k = order[i]
         if (!(k in new)) {
-          printf "%-44s %14d %14s %9s\n", k, base[k], "-", "removed"
+          removed[extra] = k; tag[extra++] = "removed"
         } else if (!(k in base)) {
-          printf "%-44s %14s %14d %9s\n", k, "-", new[k], "added"
+          removed[extra] = k; tag[extra++] = "added"
         } else {
           pct = base[k] > 0 ? 100.0 * (new[k] - base[k]) / base[k] : 0.0
           mark = ""
           if (pct > thr) { mark = " REGRESSED"; bad++ }
           printf "%-44s %14d %14d %+8.1f%%%s\n", k, base[k], new[k], pct, mark
+        }
+      }
+      if (extra > 0) {
+        printf "added/removed keys (never regressions):\n"
+        for (i = 0; i < extra; i++) {
+          k = removed[i]
+          v = (tag[i] == "added") ? new[k] : base[k]
+          printf "  %-42s %14d %9s\n", k, v, tag[i]
         }
       }
       printf "threshold +%s%%: %d regression(s)\n", thr, bad

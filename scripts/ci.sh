@@ -33,9 +33,9 @@ cargo run --release -q -p pilfill-bench --bin bench_json -- \
 # The quick report uses a smaller design, so it is never diffed against
 # the committed full-size baselines; instead the committed reports are
 # diffed against each other to surface the perf trajectory in the log.
-if [ -f BENCH_pr1.json ] && [ -f BENCH_pr4.json ]; then
-  echo "==> committed baseline drift BENCH_pr1.json -> BENCH_pr4.json (informational)"
-  ./scripts/bench_compare.sh --threshold 25 BENCH_pr1.json BENCH_pr4.json ||
+if [ -f BENCH_pr4.json ] && [ -f BENCH_pr5.json ]; then
+  echo "==> committed baseline drift BENCH_pr4.json -> BENCH_pr5.json (informational)"
+  ./scripts/bench_compare.sh --threshold 25 BENCH_pr4.json BENCH_pr5.json ||
     echo "==> bench drift above threshold — informational, not a gate"
 fi
 
