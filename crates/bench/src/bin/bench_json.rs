@@ -13,8 +13,12 @@
 //!   that checks the harness end-to-end in seconds, not a measurement.
 //! - `--threads-sweep`: additionally emit `flow/run_parallelN_ilp2_t2`
 //!   and `flow/context_build_parallelN_t2` for N in {1, 2, 4, 8}, each on
-//!   a persistent [`WorkerPool`] created outside the timed region.
-//! - `--out PATH`: report path (default `BENCH_pr5.json`).
+//!   a persistent [`WorkerPool`] created outside the timed region, plus a
+//!   `scaling` object with `.../speedup@N` keys in permille (the N = 1
+//!   median over the N-lane median, so 2000 = a clean 2x). Judge those
+//!   against `host_parallelism`: lanes beyond the hardware measure
+//!   scheduling overhead, not speedup (`scripts/check_scaling.sh`).
+//! - `--out PATH`: report path (default `BENCH_pr6.json`).
 //!
 //! Built with `--features bench`, the counting global allocator is
 //! installed and the report additionally carries `allocs/*` keys: the
@@ -29,14 +33,17 @@
 use pilfill_bench::{alloc_count, Harness, Json};
 use pilfill_core::flow::{run_flow_streamed, FlowConfig, FlowContext};
 use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
-use pilfill_core::{extract_active_lines, scan_slack_columns, TileProblem, WorkerPool};
+use pilfill_core::{
+    extract_active_lines, scan_slack_columns, scan_slack_columns_into, ScanScratch, TileProblem,
+    WorkerPool,
+};
 use pilfill_density::{DensityMap, FixedDissection};
 use pilfill_layout::synth::{synthesize, SynthConfig};
 use pilfill_layout::{Design, LayerId};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
 
-const DEFAULT_OUT: &str = "BENCH_pr5.json";
+const DEFAULT_OUT: &str = "BENCH_pr6.json";
 
 /// Thread counts covered by `--threads-sweep`.
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -214,6 +221,20 @@ fn main() {
         let (_, streamed_allocs) =
             alloc_count::count(|| run_flow_streamed(t2, &cfg, &IlpTwo, &pool).expect("streamed"));
         allocs.push(("allocs/run_streamed_ilp2_t2", streamed_allocs));
+        // Warm-scratch hot paths: after one priming call both must run
+        // allocation-free (the scan emits into a retained Vec, the density
+        // fold into retained area/prefix buffers).
+        let mut scan_scratch = ScanScratch::default();
+        let mut cols = Vec::new();
+        scan_slack_columns_into(&lines, t2.die, t2.rules, &mut scan_scratch, &mut cols);
+        let (_, scan_allocs) = alloc_count::count(|| {
+            scan_slack_columns_into(&lines, t2.die, t2.rules, &mut scan_scratch, &mut cols)
+        });
+        allocs.push(("allocs/scan_slack_columns_t2", scan_allocs));
+        let mut warm_map = DensityMap::compute(t2, LayerId(0), &dissection);
+        warm_map.recompute(t2, LayerId(0));
+        let (_, map_allocs) = alloc_count::count(|| warm_map.recompute(t2, LayerId(0)));
+        allocs.push(("allocs/compute_map_t2", map_allocs));
     }
 
     if opts.sweep {
@@ -254,6 +275,37 @@ fn main() {
         metrics.insert(&m.name, Json::UInt(m.median_ns));
     }
     report.insert("median_ns", metrics);
+    if opts.sweep {
+        // Multicore scaling in permille: the 1-lane median over the N-lane
+        // median (2000 = a clean 2x). Derived, so bench_compare.sh can diff
+        // speedups directly instead of re-deriving them from raw medians;
+        // meaningless across different host_parallelism values.
+        let median = |name: &str| {
+            h.results()
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.median_ns)
+        };
+        let mut scaling = Json::object();
+        for (label, pattern) in [
+            ("run_ilp2_t2", "flow/run_parallel{n}_ilp2_t2"),
+            ("context_build_t2", "flow/context_build_parallel{n}_t2"),
+        ] {
+            let base = median(&pattern.replace("{n}", "1"));
+            for n in SWEEP_THREADS.iter().skip(1) {
+                let lane = median(&pattern.replace("{n}", &n.to_string()));
+                if let (Some(base), Some(lane)) = (base, lane) {
+                    if let Some(permille) = (base * 1000).checked_div(lane) {
+                        scaling.insert(
+                            &format!("scaling/{label}/speedup@{n}"),
+                            Json::UInt(permille),
+                        );
+                    }
+                }
+            }
+        }
+        report.insert("scaling", scaling);
+    }
     if !allocs.is_empty() {
         let mut counts = Json::object();
         for (name, n) in &allocs {

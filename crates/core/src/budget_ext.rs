@@ -83,7 +83,10 @@ impl CapBudgets {
             let Some(d) = col.distance() else { continue };
             let cb = model.cb_per_m(d);
             for idx in [col.below, col.above].into_iter().flatten() {
-                if let Some(net) = lines[idx].net {
+                // u32 -> usize is widening on every supported target.
+                // pilfill: allow(as-cast)
+                let line = &lines[idx as usize];
+                if let Some(net) = line.net {
                     exposure[net.0] += cb * 1e-6; // per um of column
                 }
             }

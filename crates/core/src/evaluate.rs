@@ -76,23 +76,47 @@ struct LineHit {
     net: Option<NetId>,
 }
 
-/// The pure, order-independent contribution of one occupied slack column.
-/// Computing these is the expensive, embarrassingly-parallel part of the
-/// evaluation; folding them (in column order) is the cheap serial part
-/// that pins down the f64 addition sequence.
+impl LineHit {
+    /// Filler for unused `hits` slots (never folded: `n_hits` bounds the
+    /// walk).
+    const ZERO: Self = Self {
+        dtau: 0.0,
+        weighted_dtau: 0.0,
+        net: None,
+    };
+}
+
+/// The pure, order-independent contribution of one occupied slack column,
+/// as a flat fixed-size record: the sharded evaluator's `pool.map` writes
+/// these into a dense array (one slot per occupied column) that the serial
+/// fold then streams in ascending column order, pinning down the f64
+/// addition sequence. A free column carries only `free`; a column whose
+/// defensive clamp zeroed the count carries nothing; a line-pair column
+/// sets `paired` and fills `dcap` plus `n_hits` adjacent-line delay shares
+/// (below first, then above — the serial iteration order).
 #[derive(Debug, Clone, Copy)]
-enum Contribution {
+struct Contribution {
+    /// `true` for line-pair columns: `dcap` and `hits[..n_hits]` carry
+    /// data.
+    paired: bool,
+    /// Valid prefix length of `hits` (0..=2).
+    n_hits: u8,
     /// Features in a column with no line pair: zero delay, counted free.
-    Free(u64),
-    /// The defensive clamp reduced the count to zero.
-    Clamped,
-    /// A line-pair column: exact incremental capacitance plus up to two
-    /// adjacent-line delay shares (below first, then above — the serial
-    /// iteration order).
-    Paired {
-        dcap: f64,
-        hits: [Option<LineHit>; 2],
-    },
+    free: u64,
+    /// Exact incremental coupling capacitance of the column's line pair.
+    dcap: f64,
+    hits: [LineHit; 2],
+}
+
+impl Contribution {
+    /// A zero record: no free features, no line-pair data.
+    const EMPTY: Self = Self {
+        paired: false,
+        n_hits: 0,
+        free: 0,
+        dcap: 0.0,
+        hits: [LineHit::ZERO; 2],
+    };
 }
 
 /// Computes one column's [`Contribution`] for `m` located features.
@@ -103,8 +127,10 @@ fn column_contribution(
     model: &CouplingModel,
     rules: FillRules,
 ) -> Contribution {
+    let mut out = Contribution::EMPTY;
     let Some(d) = col.distance() else {
-        return Contribution::Free(m as u64);
+        out.free = u64::from(m);
+        return out;
     };
     // Defensive clamp: placements from per-tile scans may exceed the
     // global slot count by a feature or two near tile cuts; never let
@@ -114,21 +140,23 @@ fn column_contribution(
     );
     let m = m.min(max_m);
     if m == 0 {
-        return Contribution::Clamped;
+        return out;
     }
-    let dcap = model.delta_cap_exact(m, d, rules.feature_size);
+    out.paired = true;
+    out.dcap = model.delta_cap_exact(m, d, rules.feature_size);
     let x = col.feature_x(rules) + rules.feature_size / 2;
-    let mut hits = [None, None];
-    for (k, idx) in [col.below, col.above].into_iter().flatten().enumerate() {
-        let line = &lines[idx];
-        let dtau = dcap * line.res_at(x);
-        hits[k] = Some(LineHit {
+    for idx in [col.below, col.above].into_iter().flatten() {
+        // u32 -> usize is widening on every supported target.
+        let line = &lines[idx as usize]; // pilfill: allow(as-cast)
+        let dtau = out.dcap * line.res_at(x);
+        out.hits[usize::from(out.n_hits)] = LineHit {
             dtau,
-            weighted_dtau: line.weight as f64 * dtau,
+            weighted_dtau: f64::from(line.weight) * dtau,
             net: line.net,
-        });
+        };
+        out.n_hits += 1;
     }
-    Contribution::Paired { dcap, hits }
+    out
 }
 
 /// Evaluates `features` against the global slack columns.
@@ -212,18 +240,18 @@ fn evaluate_impl(
     let mut per_net = vec![0.0f64; num_nets];
     let mut per_net_cap = vec![0.0f64; num_nets];
     {
-        let mut fold = |c: Contribution| match c {
-            Contribution::Free(n) => free += n,
-            Contribution::Clamped => {}
-            Contribution::Paired { dcap, hits } => {
-                total_cap += dcap;
-                for hit in hits.iter().flatten() {
-                    total += hit.dtau;
-                    weighted += hit.weighted_dtau;
-                    if let Some(net) = hit.net {
-                        per_net[net.0] += hit.dtau;
-                        per_net_cap[net.0] += dcap;
-                    }
+        let mut fold = |c: Contribution| {
+            free += c.free;
+            if !c.paired {
+                return;
+            }
+            total_cap += c.dcap;
+            for hit in &c.hits[..usize::from(c.n_hits)] {
+                total += hit.dtau;
+                weighted += hit.weighted_dtau;
+                if let Some(net) = hit.net {
+                    per_net[net.0] += hit.dtau;
+                    per_net_cap[net.0] += c.dcap;
                 }
             }
         };

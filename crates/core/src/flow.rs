@@ -5,9 +5,9 @@
 use crate::methods::{FillMethod, MethodError};
 use crate::{
     build_slab_problems, build_tile_problems_pool, def_three_capacities, evaluate_placement,
-    evaluate_placement_pool, extract_net_lines, extract_obstruction_lines, scan_site_columns,
-    scan_slack_columns_into, site_column_count, slab_ranges, ActiveLine, DelayImpact, FillFeature,
-    ScanScratch, SlackColumn, SlackColumnDef, TileProblem,
+    evaluate_placement_pool, extract_net_lines_with, extract_obstruction_lines, scan_site_columns,
+    scan_slack_columns_into, site_column_count, slab_ranges, ActiveLine, DelayImpact,
+    ExtractScratch, FillFeature, ScanScratch, SlackColumn, SlackColumnDef, TileProblem,
 };
 use pilfill_density::{
     lp_budget, montecarlo_budget, BudgetError, DensityAnalysis, DensityMap, DissectionError,
@@ -204,9 +204,16 @@ fn prelude<'d>(design: &'d Design, config: &FlowConfig) -> Result<Prelude<'d>, F
     // cache can later re-extract changed nets in place.
     let mut lines = Vec::new();
     let mut net_line_ranges = Vec::with_capacity(design.nets.len());
+    let mut extract_scratch = ExtractScratch::default();
     for ni in 0..design.nets.len() {
         let start = lines.len();
-        extract_net_lines(design, config.layer, NetId(ni), &mut lines)?;
+        extract_net_lines_with(
+            design,
+            config.layer,
+            NetId(ni),
+            &mut extract_scratch,
+            &mut lines,
+        )?;
         net_line_ranges.push(start..lines.len());
     }
     extract_obstruction_lines(design, config.layer, &mut lines);
@@ -299,6 +306,10 @@ pub struct FlowContext<'d> {
     budget_total: u64,
     density_before: DensityAnalysis,
     density_map: DensityMap,
+    /// Spare map the rebuild cache folds fresh geometry into
+    /// ([`DensityMap::recompute`]), so checking whether drawn area moved
+    /// costs no allocations; swapped with `density_map` when it did.
+    density_scratch: DensityMap,
 }
 
 impl<'d> FlowContext<'d> {
@@ -392,6 +403,7 @@ impl<'d> FlowContext<'d> {
             budget: p.budget,
             budget_total: p.budget_total,
             density_before: p.density_before,
+            density_scratch: DensityMap::zeros(p.density_map.dissection()),
             density_map: p.density_map,
         })
     }
@@ -498,6 +510,7 @@ impl<'d> FlowContext<'d> {
         let mut changed_nets = 0usize;
         let mut geometry_changed = false;
         let mut fresh: Vec<ActiveLine> = Vec::new();
+        let mut extract_scratch = ExtractScratch::default();
         for ni in 0..design.nets.len() {
             if design.nets[ni] == self.frame_design.nets[ni] {
                 continue;
@@ -506,7 +519,13 @@ impl<'d> FlowContext<'d> {
             let geometry = design.nets[ni].segments != self.frame_design.nets[ni].segments;
             geometry_changed |= geometry;
             fresh.clear();
-            extract_net_lines(design, config.layer, NetId(ni), &mut fresh)?;
+            extract_net_lines_with(
+                design,
+                config.layer,
+                NetId(ni),
+                &mut extract_scratch,
+                &mut fresh,
+            )?;
             let range = self.net_line_ranges[ni].clone();
             if fresh.len() != range.len() {
                 // Line indices after this net would shift; every clean
@@ -631,10 +650,10 @@ impl<'d> FlowContext<'d> {
         // When no segment moved at all, both inputs are untouched by
         // construction and even the equality check is skipped.
         let budget_reused = if geometry_changed {
-            let new_map = DensityMap::compute(design, config.layer, &self.dissection);
-            let reused = new_map == self.density_map && self.slack == old_slack;
+            self.density_scratch.recompute(design, config.layer);
+            let reused = self.density_scratch == self.density_map && self.slack == old_slack;
             if !reused {
-                self.density_map = new_map;
+                std::mem::swap(&mut self.density_map, &mut self.density_scratch);
                 self.density_before = self.density_map.analyze();
                 let feature_area = rules.feature_area();
                 self.budget = if config.lp_budget {
@@ -1073,6 +1092,7 @@ fn run_flow_streamed_impl<'d>(
         budget: p.budget,
         budget_total: p.budget_total,
         density_before: p.density_before,
+        density_scratch: DensityMap::zeros(p.density_map.dissection()),
         density_map: p.density_map,
     };
     let eval_pool = if parallel { Some(pool) } else { None };

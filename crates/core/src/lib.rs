@@ -54,13 +54,14 @@ pub use flow::{
     FlowOutcome, RebuildStats,
 };
 pub use line::{
-    extract_active_lines, extract_active_lines_into, extract_net_lines, extract_obstruction_lines,
-    ActiveLine,
+    extract_active_lines, extract_active_lines_into, extract_net_lines, extract_net_lines_with,
+    extract_obstruction_lines, ActiveLine, ExtractScratch,
 };
 pub use pilfill_exec::WorkerPool;
+pub use scan::layout;
 pub use scan::{
-    scan_site_columns, scan_slack_columns, scan_slack_columns_into, site_column_count, ScanScratch,
-    SlackColumn, Slots,
+    scan_site_columns, scan_site_columns_reference, scan_slack_columns, scan_slack_columns_into,
+    scan_slack_columns_reference, site_column_count, ScanScratch, SlackColumn, Slots,
 };
 pub use tile::{
     build_slab_problems, build_tile_problems, build_tile_problems_parallel,

@@ -4,7 +4,7 @@
 
 use pilfill_geom::{Coord, Dir, Rect};
 use pilfill_layout::{Design, LayerId, LayoutError, NetId, SegmentId, SignalDir};
-use pilfill_rc::annotate_net;
+use pilfill_rc::{annotate_net_into, AnnotateScratch, SegmentTiming};
 
 /// One active (signal-carrying) line on the fill layer.
 ///
@@ -43,6 +43,15 @@ impl ActiveLine {
     }
 }
 
+/// Reusable arena for [`extract_net_lines_with`]: the RC annotator's
+/// traversal scratch plus the per-net timing buffer. A warm scratch makes
+/// re-extracting a net allocation-free.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    annotate: AnnotateScratch,
+    timing: Vec<SegmentTiming>,
+}
+
 /// Extracts all active lines of `layer`, transposing vertical layers into
 /// the horizontal frame. Wrong-direction segments on the layer are skipped
 /// (the paper ignores wrong-direction routing, Sec. 5.2). Obstructions on
@@ -75,8 +84,9 @@ pub fn extract_active_lines_into(
     out: &mut Vec<ActiveLine>,
 ) -> Result<(), LayoutError> {
     out.clear();
+    let mut scratch = ExtractScratch::default();
     for net_id in 0..design.nets.len() {
-        extract_net_lines(design, layer, NetId(net_id), out)?;
+        extract_net_lines_with(design, layer, NetId(net_id), &mut scratch, out)?;
     }
     extract_obstruction_lines(design, layer, out);
     Ok(())
@@ -96,17 +106,39 @@ pub fn extract_net_lines(
     net_id: NetId,
     out: &mut Vec<ActiveLine>,
 ) -> Result<(), LayoutError> {
+    extract_net_lines_with(design, layer, net_id, &mut ExtractScratch::default(), out)
+}
+
+/// [`extract_net_lines`] over a caller-owned [`ExtractScratch`]: with warm
+/// buffers the per-net annotation performs no heap allocation. The output
+/// is identical — the scratch only changes where intermediates live.
+///
+/// # Errors
+///
+/// Propagates the net's topology error from the RC annotator.
+pub fn extract_net_lines_with(
+    design: &Design,
+    layer: LayerId,
+    net_id: NetId,
+    scratch: &mut ExtractScratch,
+    out: &mut Vec<ActiveLine>,
+) -> Result<(), LayoutError> {
     let net = &design.nets[net_id.0];
     let layer_dir = design.layers[layer.0].dir;
     if !net.segments.iter().any(|s| s.layer == layer) {
         return Ok(());
     }
-    let timing = annotate_net(net, &design.tech)?;
+    annotate_net_into(
+        net,
+        &design.tech,
+        &mut scratch.annotate,
+        &mut scratch.timing,
+    )?;
     for (seg_idx, seg) in net.segments.iter().enumerate() {
         if seg.layer != layer || seg.dir() != layer_dir {
             continue;
         }
-        let t = timing.segments[seg_idx];
+        let t = scratch.timing[seg_idx];
         let rect = match layer_dir {
             Dir::Horizontal => seg.rect(),
             Dir::Vertical => seg.rect().transposed(),

@@ -8,14 +8,30 @@
 //! concrete fill *slots* (y positions) that respect the buffer distance.
 //!
 //! The sweep runs over a caller-owned [`ScanScratch`] arena: the line
-//! events, the per-column bucket index and the cursors all live in reused
-//! buffers, and a [`SlackColumn`] is a flat `Copy` value (its slots are an
-//! arithmetic progression, not a `Vec`), so a warm re-scan performs zero
-//! heap allocation.
+//! events, the struct-of-arrays event mirrors, the occupancy bitmask and
+//! the active-set buffers all live in reused storage, and a [`SlackColumn`]
+//! is a flat `Copy` value (its slots are an arithmetic progression, not a
+//! `Vec`), so a warm re-scan performs zero heap allocation.
+//!
+//! Two implementations share the event builder:
+//!
+//! - [`scan_site_columns`] — the production *span sweep*. Site columns
+//!   where the active-line set can change are marked in a chunked `u64`
+//!   bitmask ([`layout::MASK_WORD_BITS`]); maximal zero runs are spans
+//!   whose columns all see the identical active set, so the gap structure
+//!   is built once per span (a template of `Copy` gaps) and stamped per
+//!   column. The active set itself is a rank-sorted index into separate
+//!   flat `Coord`/`u32` arrays (struct-of-arrays), maintained with a
+//!   branch-light retain + two-pointer merge per boundary.
+//! - [`scan_site_columns_reference`] — the retained per-column interval
+//!   walk, kept verbatim as the oracle the span sweep is property-tested
+//!   against (bit-identical output is a hard invariant).
 
 use crate::{ActiveLine, FillFeature};
 use pilfill_geom::{units, Coord, Interval, Rect};
 use pilfill_layout::FillRules;
+
+pub mod layout;
 
 /// Feasible fill slot bottoms of one slack column, stored as an arithmetic
 /// progression `lo, lo + pitch, ..., lo + (count - 1) * pitch` instead of a
@@ -25,7 +41,10 @@ use pilfill_layout::FillRules;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Slots {
     lo: Coord,
-    pitch: Coord,
+    /// Stride in dbu. Stored narrow (site pitches are a few hundred dbu)
+    /// so a [`SlackColumn`] packs into one 64-byte cache line; widened
+    /// back to `Coord` for all arithmetic.
+    pitch: i32,
     count: u32,
 }
 
@@ -42,10 +61,19 @@ impl Slots {
     /// # Panics
     ///
     /// Panics if `pitch <= 0` (the empty progression still needs a valid
-    /// stride for arithmetic).
+    /// stride for arithmetic) or if `pitch` overflows the packed `i32`
+    /// stride.
     pub fn evenly(lo: Coord, pitch: Coord, count: u32) -> Slots {
-        assert!(pitch > 0, "slot pitch must be positive (got {pitch})");
-        Slots { lo, pitch, count }
+        assert!(
+            pitch > 0 && pitch <= i64::from(i32::MAX),
+            "slot pitch must be positive and fit i32 (got {pitch})"
+        );
+        Slots {
+            lo,
+            // Range-checked by the assert above.
+            pitch: pitch as i32, // pilfill: allow(as-cast)
+            count,
+        }
     }
 
     /// Slots of a gap: start `buffer` above the bottom line (none at the
@@ -64,11 +92,17 @@ impl Slots {
         if avail < 0 {
             return Slots::EMPTY;
         }
-        Slots {
+        Slots::evenly(
             lo,
             pitch,
-            count: units::saturating_count((avail / pitch) as u64 + 1),
-        }
+            units::saturating_count((avail / pitch) as u64 + 1),
+        )
+    }
+
+    /// The stride as a `Coord` (internal widening accessor).
+    #[inline]
+    fn stride(&self) -> Coord {
+        Coord::from(self.pitch)
     }
 
     /// Number of slots.
@@ -84,7 +118,7 @@ impl Slots {
 
     /// The `i`-th slot bottom, if `i < len()`.
     pub fn get(&self, i: usize) -> Option<Coord> {
-        (i < self.len()).then(|| self.lo + units::coord(i) * self.pitch)
+        (i < self.len()).then(|| self.lo + units::coord(i) * self.stride())
     }
 
     /// The first slot bottom.
@@ -100,7 +134,7 @@ impl Slots {
     /// Iterates the slot bottoms in ascending order.
     pub fn iter(self) -> impl DoubleEndedIterator<Item = Coord> + ExactSizeIterator + Clone {
         let Slots { lo, pitch, count } = self;
-        (0..count).map(move |k| lo + Coord::from(k) * pitch)
+        (0..count).map(move |k| lo + Coord::from(k) * Coord::from(pitch))
     }
 
     /// The sub-progression `[start, start + len)`, clamped to the slots
@@ -109,7 +143,7 @@ impl Slots {
         let start = start.min(self.len());
         let len = len.min(self.len() - start);
         Slots {
-            lo: self.lo + units::coord(start) * self.pitch,
+            lo: self.lo + units::coord(start) * self.stride(),
             pitch: self.pitch,
             count: units::saturating_count(len as u64),
         }
@@ -121,7 +155,8 @@ impl Slots {
         if self.count == 0 || y <= self.lo {
             return 0;
         }
-        let k = (y - self.lo + self.pitch - 1) / self.pitch;
+        let pitch = self.stride();
+        let k = (y - self.lo + pitch - 1) / pitch;
         units::index(k).min(self.len())
     }
 }
@@ -137,6 +172,13 @@ impl IntoIterator for &Slots {
 }
 
 /// A maximal vertical run of fillable space in one site column.
+///
+/// The layout is packed to exactly one 64-byte cache line (enforced
+/// below): the scan writes tens of thousands of these per sweep and the
+/// tile-problem build streams them all back, so the struct size is the
+/// dominant memory-traffic term of both hot paths. Line references are
+/// `u32` (line counts are bounded far below `u32::MAX`) and the slot
+/// stride is an `i32` for the same reason.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlackColumn {
     /// Site-column index (0 = leftmost).
@@ -147,13 +189,17 @@ pub struct SlackColumn {
     /// boundary where no line bounds the gap).
     pub gap: Interval,
     /// Index (into the scanned line slice) of the line below, if any.
-    pub below: Option<usize>,
+    pub below: Option<u32>,
     /// Index of the line above, if any.
-    pub above: Option<usize>,
+    pub above: Option<u32>,
     /// Feasible fill slot bottoms (ascending y), spaced one site pitch
     /// apart, respecting the buffer distance on line-bounded sides.
     pub slots: Slots,
 }
+
+// One slack column == one cache line; a silent regrowth (e.g. a field
+// widening back to `usize`) would re-inflate every scan and tile pass.
+const _: () = assert!(std::mem::size_of::<SlackColumn>() == 64);
 
 impl SlackColumn {
     /// Number of fill features the column can hold (the paper's `C_k`).
@@ -182,20 +228,86 @@ impl SlackColumn {
 struct SweepEvent {
     bottom: Coord,
     top: Coord,
-    /// First covered site column (absolute index).
+    /// First covered site column, relative to the scanned range start.
     lo: u32,
-    /// Last covered site column (absolute index, inclusive).
+    /// Last covered site column (inclusive), relative to the range start.
     hi: u32,
     /// Index into the scanned line slice.
     line: u32,
 }
 
-/// Reusable arena for [`scan_slack_columns_into`]: sweep events, the
-/// per-column counting-sort bucket and its offsets/cursors. A warm scratch
-/// makes a re-scan allocation-free.
+/// Exact division by a scan-invariant positive pitch via the round-up
+/// reciprocal method (Granlund & Montgomery): with `l = ceil(log2 d)` and
+/// `m = floor(2^(32+l) / d) + 1`, `floor(m * n / 2^(32+l)) == floor(n / d)`
+/// for every `0 <= n < 2^32`. Proof sketch: `m * d = 2^(32+l) + k` with
+/// `1 <= k <= d`, so the error term `k * n / (d * 2^(32+l))` is strictly
+/// below `1 / d` (because `k * n <= 2^l * (2^32 - 1) < 2^(32+l)`), which
+/// can never carry `floor(n / d + err)` past the next integer. The sweep
+/// divides once per emitted gap; replacing the hardware divide with a
+/// multiply + shift is a measurable win on the scan hot path.
+#[derive(Debug, Clone, Copy)]
+struct PitchRecip {
+    m: u64,
+    s: u32,
+}
+
+impl PitchRecip {
+    fn new(pitch: Coord) -> PitchRecip {
+        assert!(pitch > 0, "site pitch must be positive (got {pitch})");
+        let l = if pitch == 1 {
+            0
+        } else {
+            64 - ((pitch - 1) as u64).leading_zeros() // pilfill: allow(as-cast)
+        };
+        let m = ((1u128 << (32 + l)) / pitch as u128) as u64 + 1; // pilfill: allow(as-cast)
+        PitchRecip { m, s: 32 + l }
+    }
+
+    /// `n / pitch` for `0 <= n < 2^32` (callers guard the range).
+    #[inline]
+    fn div(self, n: Coord) -> Coord {
+        debug_assert!((0..1 << 32).contains(&n));
+        ((n as u64 as u128 * u128::from(self.m)) >> self.s) as Coord // pilfill: allow(as-cast)
+    }
+}
+
+/// Reusable arena for [`scan_slack_columns_into`]: sweep events, their
+/// struct-of-arrays mirrors, the boundary/active bitmasks and the
+/// starter/ender schedules, plus the retained reference path's
+/// counting-sort bucket. A warm scratch makes a re-scan allocation-free.
 #[derive(Debug, Default)]
 pub struct ScanScratch {
     events: Vec<SweepEvent>,
+    // Struct-of-arrays mirrors of the bottom-sorted events (span sweep).
+    /// Clipped bottom edges, indexed by event rank.
+    soa_bottom: Vec<Coord>,
+    /// Clipped top edges, indexed by event rank.
+    soa_top: Vec<Coord>,
+    /// Scanned-line index, indexed by event rank.
+    soa_line: Vec<u32>,
+    /// Chunked boundary bitmask over the scanned columns: bit `c` is set
+    /// when a line starts at relative column `c`.
+    start_mask: Vec<u64>,
+    /// Bit `c` set when a line's last covered column is `c - 1`.
+    end_mask: Vec<u64>,
+    /// Span boundaries (`start_mask | end_mask | bit 0`) decoded to
+    /// ascending relative columns.
+    spans: Vec<u32>,
+    /// Exclusive prefix offsets into `starters`, one per scanned column + 1.
+    start_offsets: Vec<u32>,
+    /// Event ranks grouped by first covered column, each group rank-sorted.
+    starters: Vec<u32>,
+    /// Exclusive prefix offsets into `enders`, one per scanned column + 1.
+    end_offsets: Vec<u32>,
+    /// Event ranks grouped by the column *after* their last, rank-sorted.
+    enders: Vec<u32>,
+    /// Per-column write cursors shared by both distributions.
+    start_cursors: Vec<u32>,
+    /// Chunked active-set bitmask over event ranks: bit `r` set while
+    /// event `r` covers the current span. Ascending bit order is
+    /// ascending rank order — the emission order of the interval walk.
+    active_words: Vec<u64>,
+    // Retained interval-walk reference path.
     /// Exclusive prefix offsets into `bucket`, one per scanned column + 1.
     offsets: Vec<u32>,
     /// Per-column write cursors while distributing events.
@@ -244,35 +356,26 @@ pub fn site_column_count(bounds: Rect, rules: FillRules) -> usize {
     units::index(bounds.width() / rules.site_pitch())
 }
 
-/// Scans only the site columns in `sites` (absolute indices), *appending*
-/// their slack columns to `out` in (site_x, gap.lo) order. This is the
-/// partial-rescan entry used by the incremental rebuild cache: columns of
-/// clean site ranges are reused, dirty ranges are re-swept.
-pub fn scan_site_columns(
+/// Builds the bottom-sorted sweep events of `lines` over the site columns
+/// `lo_site..hi_site` (step 2 of Figure 7), with covered columns stored
+/// relative to `lo_site`. Each line is expanded by the buffer distance in
+/// x so that no slot can be created within the buffer of a line *end*; the
+/// vertical buffer is enforced per-slot instead (`Slots::for_gap`), which
+/// keeps the gap's edge-to-edge distance `d` exact for the capacitance
+/// model. Equal bottoms stay in line order, matching the historical
+/// stable sweep exactly: each line yields at most one event and events
+/// are pushed in line order, so the unstable sort's `(bottom, line)` key
+/// is duplicate-free and reproduces a stable bottom sort without the
+/// merge-buffer allocation.
+fn build_events(
     lines: &[ActiveLine],
     bounds: Rect,
     rules: FillRules,
-    sites: std::ops::Range<usize>,
-    scratch: &mut ScanScratch,
-    out: &mut Vec<SlackColumn>,
+    lo_site: usize,
+    hi_site: usize,
+    events: &mut Vec<SweepEvent>,
 ) {
     let pitch = rules.site_pitch();
-    let n_cols = site_column_count(bounds, rules);
-    let lo_site = sites.start.min(n_cols);
-    let hi_site = sites.end.min(n_cols);
-    if lo_site >= hi_site {
-        return;
-    }
-    let n_active = hi_site - lo_site;
-
-    // Step 2 of Figure 7: lines become events sorted by bottom edge,
-    // pre-clipped to the scan bounds. Each line is expanded by the buffer
-    // distance in x so that no slot can be created within the buffer of a
-    // line *end*; the vertical buffer is enforced per-slot instead
-    // (`Slots::for_gap`), which keeps the gap's edge-to-edge distance `d`
-    // exact for the capacitance model. The stable sort keeps equal bottoms
-    // in line order, matching the historical sweep exactly.
-    let events = &mut scratch.events;
     events.clear();
     for (i, l) in lines.iter().enumerate() {
         let expanded = Rect::new(
@@ -297,12 +400,263 @@ pub fn scan_site_columns(
         events.push(SweepEvent {
             bottom: clipped.bottom,
             top: clipped.top,
-            lo: lo as u32,  // pilfill: allow(as-cast)
-            hi: hi as u32,  // pilfill: allow(as-cast)
-            line: i as u32, // pilfill: allow(as-cast)
+            lo: (lo - lo_site) as u32, // pilfill: allow(as-cast)
+            hi: (hi - lo_site) as u32, // pilfill: allow(as-cast)
+            line: i as u32,            // pilfill: allow(as-cast)
         });
     }
-    events.sort_by_key(|e| e.bottom);
+    events.sort_unstable_by_key(|e| (e.bottom, e.line));
+}
+
+/// Scans only the site columns in `sites` (absolute indices), *appending*
+/// their slack columns to `out` in (site_x, gap.lo) order. This is the
+/// partial-rescan entry used by the incremental rebuild cache: columns of
+/// clean site ranges are reused, dirty ranges are re-swept.
+///
+/// This is the production span sweep (see the module docs); its output is
+/// bit-identical to [`scan_site_columns_reference`], enforced by seeded
+/// property tests.
+pub fn scan_site_columns(
+    lines: &[ActiveLine],
+    bounds: Rect,
+    rules: FillRules,
+    sites: std::ops::Range<usize>,
+    scratch: &mut ScanScratch,
+    out: &mut Vec<SlackColumn>,
+) {
+    let pitch = rules.site_pitch();
+    let n_cols = site_column_count(bounds, rules);
+    let lo_site = sites.start.min(n_cols);
+    let hi_site = sites.end.min(n_cols);
+    if lo_site >= hi_site {
+        return;
+    }
+    let n_active = hi_site - lo_site;
+
+    build_events(lines, bounds, rules, lo_site, hi_site, &mut scratch.events);
+    let ScanScratch {
+        events,
+        soa_bottom,
+        soa_top,
+        soa_line,
+        start_mask,
+        end_mask,
+        spans,
+        start_offsets,
+        starters,
+        end_offsets,
+        enders,
+        start_cursors,
+        active_words,
+        ..
+    } = scratch;
+    const W: usize = layout::MASK_WORD_BITS;
+
+    // Struct-of-arrays mirrors: the emission loop reads bottoms, tops and
+    // line indices as independent flat streams instead of chasing whole
+    // event structs through the cache.
+    soa_bottom.clear();
+    soa_top.clear();
+    soa_line.clear();
+    for e in events.iter() {
+        soa_bottom.push(e.bottom);
+        soa_top.push(e.top);
+        soa_line.push(e.line);
+    }
+
+    // Boundary bitmasks: bit `c` of `start_mask` marks a line's first
+    // covered column, bit `c` of `end_mask` the column right after a
+    // line's last. Maximal runs with neither bit set are spans whose
+    // columns all emit identical gaps. u32 -> usize below is widening on
+    // every supported target.
+    let words = n_active.div_ceil(W);
+    start_mask.clear();
+    start_mask.resize(words, 0);
+    end_mask.clear();
+    end_mask.resize(words, 0);
+    for e in events.iter() {
+        let lo = e.lo as usize; // pilfill: allow(as-cast)
+        start_mask[lo / W] |= 1u64 << (lo % W);
+        let after = e.hi as usize + 1; // pilfill: allow(as-cast)
+        if after < n_active {
+            end_mask[after / W] |= 1u64 << (after % W);
+        }
+    }
+    // Word-level bit scan of the union: each boundary costs one
+    // `trailing_zeros` plus one clear-lowest-bit, independent of how wide
+    // its span is.
+    spans.clear();
+    for wi in 0..words {
+        let mut w = start_mask[wi] | end_mask[wi];
+        if wi == 0 {
+            w |= 1;
+        }
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize; // pilfill: allow(as-cast)
+            spans.push((wi * W + bit) as u32); // pilfill: allow(as-cast)
+            w &= w - 1;
+        }
+    }
+
+    // Counting-sort the events into per-boundary schedules: `starters[b]`
+    // holds the ranks whose first column is `b`, `enders[b]` the ranks
+    // whose last column is `b - 1`. Distributing in rank (bottom-sort)
+    // order keeps each group rank-sorted.
+    start_offsets.clear();
+    start_offsets.resize(n_active + 1, 0);
+    end_offsets.clear();
+    end_offsets.resize(n_active + 1, 0);
+    for e in events.iter() {
+        start_offsets[e.lo as usize + 1] += 1; // pilfill: allow(as-cast)
+        let after = e.hi as usize + 1; // pilfill: allow(as-cast)
+        if after < n_active {
+            end_offsets[after + 1] += 1;
+        }
+    }
+    for i in 0..n_active {
+        start_offsets[i + 1] += start_offsets[i];
+        end_offsets[i + 1] += end_offsets[i];
+    }
+    starters.clear();
+    starters.resize(events.len(), 0);
+    start_cursors.clear();
+    start_cursors.extend_from_slice(&start_offsets[..n_active]);
+    for (rank, e) in events.iter().enumerate() {
+        let cursor = &mut start_cursors[e.lo as usize]; // pilfill: allow(as-cast)
+        starters[*cursor as usize] = rank as u32; // pilfill: allow(as-cast)
+        *cursor += 1;
+    }
+    enders.clear();
+    enders.resize(units::index(Coord::from(end_offsets[n_active])), 0);
+    start_cursors.clear();
+    start_cursors.extend_from_slice(&end_offsets[..n_active]);
+    for (rank, e) in events.iter().enumerate() {
+        let after = e.hi as usize + 1; // pilfill: allow(as-cast)
+        if after < n_active {
+            let cursor = &mut start_cursors[after];
+            enders[*cursor as usize] = rank as u32; // pilfill: allow(as-cast)
+            *cursor += 1;
+        }
+    }
+
+    // The active set as a chunked bitmask over event ranks: entering a
+    // boundary costs O(starts + expiries) single-bit flips (amortized two
+    // per event over the whole sweep), and walking the set bits in word
+    // order replays the events in ascending rank order — exactly the
+    // bottom-sorted sequence the per-column interval walk sees.
+    active_words.clear();
+    active_words.resize(events.len().div_ceil(W), 0);
+
+    let recip = PitchRecip::new(pitch);
+    let feature = rules.feature_size;
+    let buffer = rules.buffer;
+    for (si, &boundary) in spans.iter().enumerate() {
+        let b = boundary as usize; // pilfill: allow(as-cast)
+        let b_end = spans.get(si + 1).map_or(n_active, |&n| n as usize); // pilfill: allow(as-cast)
+
+        if end_mask[b / W] & (1u64 << (b % W)) != 0 {
+            // pilfill: allow(as-cast)
+            let (e0, e1) = (end_offsets[b] as usize, end_offsets[b + 1] as usize);
+            for &r in &enders[e0..e1] {
+                let r = r as usize; // pilfill: allow(as-cast)
+                active_words[r / W] &= !(1u64 << (r % W));
+            }
+        }
+        if start_mask[b / W] & (1u64 << (b % W)) != 0 {
+            // pilfill: allow(as-cast)
+            let (s0, s1) = (start_offsets[b] as usize, start_offsets[b + 1] as usize);
+            for &r in &starters[s0..s1] {
+                let r = r as usize; // pilfill: allow(as-cast)
+                active_words[r / W] |= 1u64 << (r % W);
+            }
+        }
+
+        // Emit the span's first column directly (step 14 of Figure 7:
+        // gaps open at the area bottom or the previous line's top, close
+        // at the next line's bottom or the area top; empty gaps are
+        // skipped). The slot count uses the exact pitch reciprocal.
+        let run_start = out.len();
+        let site_x = lo_site + b;
+        let x = bounds.left + units::coord(site_x) * pitch;
+        let mut open_y = bounds.bottom;
+        let mut open_below: Option<u32> = None;
+        let mut emit = |gap: Interval, below: Option<u32>, above: Option<u32>| {
+            if gap.is_empty() {
+                return;
+            }
+            let slot_lo = gap.lo + if below.is_some() { buffer } else { 0 };
+            let slot_hi = gap.hi - if above.is_some() { buffer } else { 0 };
+            let avail = slot_hi - slot_lo - feature;
+            let slots = if avail < 0 {
+                Slots::EMPTY
+            } else if avail < 1 << 32 {
+                // Same result as `Slots::for_gap`: the reciprocal divide
+                // is exact on this range and the count fits u32.
+                Slots::evenly(slot_lo, pitch, (recip.div(avail) + 1) as u32) // pilfill: allow(as-cast)
+            } else {
+                Slots::for_gap(gap, below.is_some(), above.is_some(), rules)
+            };
+            out.push(SlackColumn {
+                site_x,
+                x,
+                gap,
+                below,
+                above,
+                slots,
+            });
+        };
+        for (wi, &word) in active_words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let r = wi * W + w.trailing_zeros() as usize; // pilfill: allow(as-cast)
+                w &= w - 1;
+                let below_line = Some(soa_line[r]);
+                emit(Interval::new(open_y, soa_bottom[r]), open_below, below_line);
+                open_y = open_y.max(soa_top[r]);
+                open_below = below_line;
+            }
+        }
+        emit(Interval::new(open_y, bounds.top), open_below, None);
+
+        // Replicate the emitted run for the span's remaining columns: a
+        // SlackColumn is `Copy`, so each is a site_x/x patch.
+        let run_end = out.len();
+        for rel in b + 1..b_end {
+            let site_x = lo_site + rel;
+            let x = bounds.left + units::coord(site_x) * pitch;
+            for k in run_start..run_end {
+                let mut col = out[k];
+                col.site_x = site_x;
+                col.x = x;
+                out.push(col);
+            }
+        }
+    }
+}
+
+/// The retained per-column interval walk — the original Figure-7 sweep,
+/// kept as the oracle [`scan_site_columns`] is property-tested against.
+/// Same contract and output, O(columns x events) bucket distribution
+/// instead of span templates.
+pub fn scan_site_columns_reference(
+    lines: &[ActiveLine],
+    bounds: Rect,
+    rules: FillRules,
+    sites: std::ops::Range<usize>,
+    scratch: &mut ScanScratch,
+    out: &mut Vec<SlackColumn>,
+) {
+    let pitch = rules.site_pitch();
+    let n_cols = site_column_count(bounds, rules);
+    let lo_site = sites.start.min(n_cols);
+    let hi_site = sites.end.min(n_cols);
+    if lo_site >= hi_site {
+        return;
+    }
+    let n_active = hi_site - lo_site;
+
+    build_events(lines, bounds, rules, lo_site, hi_site, &mut scratch.events);
+    let events = &scratch.events;
 
     // Counting-sort the events into per-column groups. Distributing in
     // global bottom order keeps each group bottom-sorted with the same
@@ -314,7 +668,7 @@ pub fn scan_site_columns(
     for e in events.iter() {
         for c in e.lo..=e.hi {
             // u32 -> usize is widening on every supported target.
-            offsets[(c as usize - lo_site) + 1] += 1; // pilfill: allow(as-cast)
+            offsets[c as usize + 1] += 1; // pilfill: allow(as-cast)
         }
     }
     for i in 0..n_active {
@@ -330,7 +684,7 @@ pub fn scan_site_columns(
     // event count is bounded by the line count.
     for (ei, e) in events.iter().enumerate() {
         for c in e.lo..=e.hi {
-            let cursor = &mut cursors[c as usize - lo_site]; // pilfill: allow(as-cast)
+            let cursor = &mut cursors[c as usize]; // pilfill: allow(as-cast)
             bucket[*cursor as usize] = ei as u32; // pilfill: allow(as-cast)
             *cursor += 1;
         }
@@ -341,8 +695,8 @@ pub fn scan_site_columns(
     // 14: the area top). Emission is naturally sorted by (site_x, gap.lo).
     let emit = |site_x: usize,
                 gap: Interval,
-                below: Option<usize>,
-                above: Option<usize>,
+                below: Option<u32>,
+                above: Option<u32>,
                 out: &mut Vec<SlackColumn>| {
         if gap.is_empty() {
             return;
@@ -359,13 +713,13 @@ pub fn scan_site_columns(
     for rel in 0..n_active {
         let site_x = lo_site + rel;
         let mut open_y = bounds.bottom;
-        let mut open_below: Option<usize> = None;
+        let mut open_below: Option<u32> = None;
         // u32 -> usize throughout the sweep is widening on every
         // supported target.
         let group = &bucket[offsets[rel] as usize..offsets[rel + 1] as usize]; // pilfill: allow(as-cast)
         for &ei in group {
             let e = &events[ei as usize]; // pilfill: allow(as-cast)
-            let below_line = Some(e.line as usize); // pilfill: allow(as-cast)
+            let below_line = Some(e.line);
             emit(
                 site_x,
                 Interval::new(open_y, e.bottom),
@@ -384,6 +738,21 @@ pub fn scan_site_columns(
             out,
         );
     }
+}
+
+/// [`scan_slack_columns`] routed through the retained interval walk
+/// ([`scan_site_columns_reference`]) — the comparison oracle for property
+/// tests and benchmarks.
+pub fn scan_slack_columns_reference(
+    lines: &[ActiveLine],
+    bounds: Rect,
+    rules: FillRules,
+) -> Vec<SlackColumn> {
+    let mut scratch = ScanScratch::default();
+    let mut out = Vec::new();
+    let n_cols = site_column_count(bounds, rules);
+    scan_site_columns_reference(lines, bounds, rules, 0..n_cols, &mut scratch, &mut out);
+    out
 }
 
 /// Locates the slack column (by index into `columns`) that contains a fill
@@ -714,6 +1083,48 @@ mod tests {
                 start = end;
             }
             assert_eq!(stitched, full, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn span_sweep_matches_the_reference_interval_walk() {
+        let bounds = Rect::new(0, 0, 9_000, 9_000);
+        let lines = vec![
+            line(Rect::new(0, 1_000, 9_000, 1_200)),
+            // Equal bottoms with overlap: tie-break order must survive.
+            line(Rect::new(900, 1_000, 2_700, 1_300)),
+            line(Rect::new(1_800, 5_000, 4_500, 5_300)),
+            line(Rect::new(4_500, 5_000, 9_000, 5_200)),
+            line(Rect::new(0, 7_000, 900, 7_400)),
+            // A tall skinny line: many boundaries in one mask word.
+            line(Rect::new(8_100, 200, 8_550, 8_800)),
+        ];
+        assert_eq!(
+            scan_slack_columns(&lines, bounds, rules()),
+            scan_slack_columns_reference(&lines, bounds, rules()),
+        );
+        let n = site_column_count(bounds, rules());
+        let mut scratch = ScanScratch::default();
+        for range in [0..3, 2..n, 5..7, 0..n, 3..3] {
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            scan_site_columns(
+                &lines,
+                bounds,
+                rules(),
+                range.clone(),
+                &mut scratch,
+                &mut fast,
+            );
+            scan_site_columns_reference(
+                &lines,
+                bounds,
+                rules(),
+                range.clone(),
+                &mut scratch,
+                &mut slow,
+            );
+            assert_eq!(fast, slow, "range {range:?}");
         }
     }
 

@@ -13,18 +13,13 @@
 //!   column inside the tile keeps its association with active lines in
 //!   adjacent tiles. This is the most accurate definition and the default.
 
+use crate::layout::DEF_THREE_SHARD_COLUMNS as DEF_THREE_SHARD;
 use crate::{ActiveLine, SlackColumn, Slots};
 use pilfill_density::FixedDissection;
 use pilfill_exec::WorkerPool;
 use pilfill_geom::{units, CellIndex, Coord, Grid, Rect};
 use pilfill_layout::{FillRules, NetId, Tech};
 use pilfill_rc::{CapTable, CouplingModel};
-
-/// Global columns per definition-III work item. The shard size is fixed —
-/// independent of the lane count — so the merged output is the
-/// concatenation of the same shards in the same order for every pool,
-/// which is exactly the sequential result.
-const DEF_THREE_SHARD: usize = 64;
 
 /// Which slack-column definition to build tile problems under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,7 +148,8 @@ fn make_tile_column(
     let mut alpha_u = 0.0;
     let mut adjacent_nets: Vec<NetId> = Vec::with_capacity(2);
     for idx in [col.below, col.above].into_iter().flatten() {
-        let line = &lines[idx];
+        // u32 -> usize is widening on every supported target.
+        let line = &lines[idx as usize]; // pilfill: allow(as-cast)
         let r = line.res_at(center_x);
         alpha_u += r;
         alpha_w += line.weight as f64 * r;

@@ -187,10 +187,10 @@ fn scratch_sweep_matches_brute_force_per_site_occupancy() {
             // Line-bounded sides must reference real lines.
             for c in &got {
                 if let Some(below) = c.below {
-                    assert_eq!(lines[below].rect.top, c.gap.lo, "site {site}");
+                    assert_eq!(lines[below as usize].rect.top, c.gap.lo, "site {site}");
                 }
                 if let Some(above) = c.above {
-                    assert_eq!(lines[above].rect.bottom, c.gap.hi, "site {site}");
+                    assert_eq!(lines[above as usize].rect.bottom, c.gap.hi, "site {site}");
                 }
             }
         }

@@ -1,0 +1,178 @@
+//! Randomized bit-identity tests for the span-sweep scanline against the
+//! retained interval-walk reference: same `SlackColumn` output on random
+//! line sets, on random stitched site ranges, and through the tile
+//! problems of all three slack-column definitions. Driven by the in-repo
+//! seeded PRNG so every run explores the same cases.
+
+use pilfill_core::{
+    build_tile_problems, scan_site_columns, scan_site_columns_reference, scan_slack_columns,
+    scan_slack_columns_reference, site_column_count, ActiveLine, ScanScratch, SlackColumn,
+    SlackColumnDef,
+};
+use pilfill_density::FixedDissection;
+use pilfill_geom::Rect;
+use pilfill_layout::{FillRules, NetId, SegmentId, SignalDir, Tech};
+use pilfill_prng::rngs::StdRng;
+use pilfill_prng::{Rng, SeedableRng};
+
+fn rules() -> FillRules {
+    FillRules {
+        feature_size: 300,
+        gap: 150,
+        buffer: 150,
+    }
+}
+
+fn bounds() -> Rect {
+    Rect::new(0, 0, 9_000, 9_000)
+}
+
+/// Random horizontal, non-overlapping lines inside the bounds; includes
+/// equal-bottom clusters (stable-sort tie-break coverage) and tall lines
+/// spanning many site columns.
+fn rand_lines(rng: &mut StdRng) -> Vec<ActiveLine> {
+    let n = rng.gen_range(0usize..24);
+    let mut lines: Vec<ActiveLine> = Vec::new();
+    for _ in 0..n {
+        let xs = rng.gen_range(0i64..18);
+        // Bias tracks toward a few values so several lines share a bottom
+        // edge and the sweep's tie order is exercised.
+        let track = if rng.gen::<bool>() {
+            rng.gen_range(0i64..28)
+        } else {
+            rng.gen_range(0i64..4) * 7
+        };
+        let len = rng.gen_range(1i64..18);
+        let height = if rng.gen_range(0u32..8) == 0 {
+            1_200
+        } else {
+            280
+        };
+        let y = 300 + track * 300;
+        let rect = Rect::new(xs * 450, y, (xs + len).min(20) * 450, y + height);
+        if rect.is_empty() || rect.right > 9_000 || rect.top > 9_000 {
+            continue;
+        }
+        if lines.iter().any(|l| l.rect.overlaps(&rect)) {
+            continue;
+        }
+        lines.push(ActiveLine {
+            net: Some(NetId(lines.len())),
+            segment: SegmentId(0),
+            rect,
+            weight: 1 + (lines.len() as u32 % 3),
+            res_per_dbu: 2.5e-4,
+            upstream_res: rng.gen_range(0.0f64..20.0),
+            entry_x: rect.left,
+            signal: SignalDir::Increasing,
+        });
+    }
+    lines
+}
+
+/// Full-die scans must agree column-for-column (site, x, gap, neighbor
+/// indices, slots — `SlackColumn` is `PartialEq` over all fields).
+#[test]
+fn span_sweep_matches_reference_on_random_line_sets() {
+    let mut rng = StdRng::seed_from_u64(0x50A_0001);
+    for _ in 0..64 {
+        let lines = rand_lines(&mut rng);
+        let fast = scan_slack_columns(&lines, bounds(), rules());
+        let reference = scan_slack_columns_reference(&lines, bounds(), rules());
+        assert_eq!(fast, reference, "lines = {}", lines.len());
+    }
+}
+
+/// Scanning random site sub-ranges and stitching them back together must
+/// reproduce both the reference on the same ranges and the full-die scan:
+/// the sharded tile builders rely on partial scans being exact.
+#[test]
+fn stitched_partial_scans_match_reference_and_full_scan() {
+    let mut rng = StdRng::seed_from_u64(0x50A_0002);
+    let r = rules();
+    let b = bounds();
+    let n_cols = site_column_count(b, r);
+    let mut scratch = ScanScratch::default();
+    let mut ref_scratch = ScanScratch::default();
+    for _ in 0..64 {
+        let lines = rand_lines(&mut rng);
+        let full = scan_slack_columns(&lines, b, r);
+        // Cut the site range at 1..4 random interior points.
+        let mut cuts: Vec<usize> = (0..rng.gen_range(1usize..5))
+            .map(|_| rng.gen_range(0..=n_cols))
+            .collect();
+        cuts.push(0);
+        cuts.push(n_cols);
+        cuts.sort_unstable();
+        let mut stitched: Vec<SlackColumn> = Vec::new();
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut fast = Vec::new();
+            let mut reference = Vec::new();
+            scan_site_columns(&lines, b, r, lo..hi, &mut scratch, &mut fast);
+            scan_site_columns_reference(&lines, b, r, lo..hi, &mut ref_scratch, &mut reference);
+            assert_eq!(fast, reference, "range {lo}..{hi}");
+            stitched.extend_from_slice(&fast);
+        }
+        assert_eq!(stitched, full, "stitching the cuts loses columns");
+    }
+}
+
+/// The scan feeds the tile builders; the problems built from the span
+/// sweep's columns must equal those built from the reference's columns
+/// under every slack-column definition.
+#[test]
+fn tile_problems_agree_under_all_three_definitions() {
+    let mut rng = StdRng::seed_from_u64(0x50A_0003);
+    let r = rules();
+    let b = bounds();
+    let tech = Tech::default_180nm();
+    let dissection = FixedDissection::new(b, 4_500, 2).expect("valid dissection");
+    for _ in 0..16 {
+        let lines = rand_lines(&mut rng);
+        let fast = scan_slack_columns(&lines, b, r);
+        let reference = scan_slack_columns_reference(&lines, b, r);
+        assert_eq!(fast, reference);
+        for def in [
+            SlackColumnDef::One,
+            SlackColumnDef::Two,
+            SlackColumnDef::Three,
+        ] {
+            let p_fast = build_tile_problems(&lines, &fast, &dissection, &tech, r, def);
+            let p_ref = build_tile_problems(&lines, &reference, &dissection, &tech, r, def);
+            assert_eq!(p_fast.len(), p_ref.len(), "{def:?}");
+            for (a, b) in p_fast.iter().zip(&p_ref) {
+                assert_eq!(a.columns, b.columns, "{def:?}");
+            }
+        }
+    }
+}
+
+/// Degenerate inputs: empty line set, a single line, and a line filling
+/// almost the whole die.
+#[test]
+fn span_sweep_matches_reference_on_degenerate_inputs() {
+    let r = rules();
+    let b = bounds();
+    let mk = |rect: Rect| ActiveLine {
+        net: Some(NetId(0)),
+        segment: SegmentId(0),
+        rect,
+        weight: 1,
+        res_per_dbu: 2.5e-4,
+        upstream_res: 1.0,
+        entry_x: rect.left,
+        signal: SignalDir::Increasing,
+    };
+    let cases: Vec<Vec<ActiveLine>> = vec![
+        vec![],
+        vec![mk(Rect::new(450, 300, 900, 580))],
+        vec![mk(Rect::new(0, 150, 9_000, 8_850))],
+        vec![mk(Rect::new(0, 0, 450, 9_000))],
+    ];
+    for lines in cases {
+        let fast = scan_slack_columns(&lines, b, r);
+        let reference = scan_slack_columns_reference(&lines, b, r);
+        assert_eq!(fast, reference);
+    }
+}

@@ -2,6 +2,21 @@ use crate::{FixedDissection, Window};
 use pilfill_geom::CellIndex;
 use pilfill_layout::{Design, LayerId};
 
+/// Tiles per chunk in the vertical pass of the summed-area fold
+/// ([`DensityMap::rebuild_prefix_chunked`]).
+///
+/// The fold adds each prefix row to the next as two flat `i64` slices;
+/// splitting the rows into fixed-width chunks gives the compiler
+/// independent, bounds-check-free inner loops it can unroll and
+/// vectorize. 64 tiles = 512 bytes = 8 cache lines per chunk, and any
+/// chunk width yields bit-identical tables (integer addition is
+/// associative), which the lane-sweep test below checks for 1/2/4/8.
+///
+/// This is the density-crate counterpart of the scanline layout
+/// constants in `pilfill_core::scan::layout`; it lives here because the
+/// core crate depends on this one, not the other way around.
+pub const PREFIX_CHUNK: usize = 64;
+
 /// Per-tile feature area on one layer, with window-density queries.
 ///
 /// # Examples
@@ -52,10 +67,36 @@ impl DensityMap {
     pub fn compute(design: &Design, layer: LayerId, dissection: &FixedDissection) -> Self {
         let grid = dissection.tiles();
         let mut area = vec![0i64; grid.len()];
+        Self::accumulate_layer(&grid, &mut area, design, layer);
+        Self::from_areas(*dissection, area)
+    }
+
+    /// Recomputes the map in place for (possibly changed) geometry on
+    /// `layer`, reusing the existing `area` and `prefix` allocations.
+    ///
+    /// Equivalent to replacing `self` with
+    /// [`DensityMap::compute`]`(design, layer, self.dissection())` but
+    /// allocation-free once the buffers are warm.
+    pub fn recompute(&mut self, design: &Design, layer: LayerId) {
+        let grid = self.dissection.tiles();
+        self.area.clear();
+        self.area.resize(grid.len(), 0);
+        Self::accumulate_layer(&grid, &mut self.area, design, layer);
+        self.rebuild_prefix();
+    }
+
+    /// Adds the clipped per-tile area of every segment and obstruction on
+    /// `layer` into `area` (row-major over `grid`).
+    fn accumulate_layer(
+        grid: &pilfill_geom::Grid,
+        area: &mut [i64],
+        design: &Design,
+        layer: LayerId,
+    ) {
         let mut add_rect = |rect: pilfill_geom::Rect| {
             for cell in grid.cells_overlapping(&rect) {
                 let clipped = grid.cell_rect(cell).intersection(&rect);
-                area[Self::index_of(&grid, cell)] += clipped.area();
+                area[Self::index_of(grid, cell)] += clipped.area();
             }
         };
         for (_, _, seg) in design.segments_on_layer(layer) {
@@ -64,7 +105,6 @@ impl DensityMap {
         for o in design.obstructions_on_layer(layer) {
             add_rect(o.rect);
         }
-        Self::from_areas(*dissection, area)
     }
 
     /// An all-zero map over `dissection` (useful for accumulating fill).
@@ -86,6 +126,69 @@ impl DensityMap {
 
     /// Recomputes the summed-area table from `area` in O(tiles).
     fn rebuild_prefix(&mut self) {
+        self.rebuild_prefix_chunked(PREFIX_CHUNK);
+    }
+
+    /// The chunked two-pass summed-area build behind
+    /// [`rebuild_prefix`](Self::rebuild_prefix), with an explicit chunk
+    /// width so tests can sweep lane counts. Both passes are branchless
+    /// row-major walks over flat slices:
+    ///
+    /// 1. each prefix row gets the horizontal running sums of its area
+    ///    row (rows are independent);
+    /// 2. each prefix row is added element-wise to the next, in
+    ///    `chunk`-wide strips (`chunks_exact` lets the compiler drop
+    ///    bounds checks and vectorize the strip).
+    ///
+    /// The result is bit-identical for every `chunk >= 1` and matches
+    /// [`rebuild_prefix_reference`](Self::rebuild_prefix_reference).
+    #[doc(hidden)]
+    pub fn rebuild_prefix_chunked(&mut self, chunk: usize) {
+        assert!(chunk > 0, "chunk width must be positive");
+        let grid = self.dissection.tiles();
+        let (nx, ny) = (grid.nx(), grid.ny());
+        let stride = nx + 1;
+        self.prefix.clear();
+        self.prefix.resize(stride * (ny + 1), 0);
+        // Pass 1: horizontal running sums. Prefix row iy + 1 column
+        // ix + 1 gets area[iy][..=ix] summed; column 0 stays zero.
+        let rows = &mut self.prefix[stride..];
+        for (iy, row) in rows.chunks_exact_mut(stride).enumerate() {
+            let src = &self.area[iy * nx..(iy + 1) * nx];
+            let mut run = 0i64;
+            for (dst, &a) in row[1..].iter_mut().zip(src) {
+                run += a;
+                *dst = run;
+            }
+        }
+        // Pass 2: vertical fold, row k += row k - 1 element-wise. The
+        // rows are sequentially dependent but each row-pair add is a
+        // flat slice walk in `chunk`-wide strips.
+        for k in 1..ny {
+            let (head, tail) = rows.split_at_mut(k * stride);
+            let prev = &head[(k - 1) * stride..];
+            let cur = &mut tail[..stride];
+            let mut prev_chunks = prev.chunks_exact(chunk);
+            let mut cur_chunks = cur.chunks_exact_mut(chunk);
+            for (c, p) in (&mut cur_chunks).zip(&mut prev_chunks) {
+                for (dst, &src) in c.iter_mut().zip(p) {
+                    *dst += src;
+                }
+            }
+            for (dst, &src) in cur_chunks
+                .into_remainder()
+                .iter_mut()
+                .zip(prev_chunks.remainder())
+            {
+                *dst += src;
+            }
+        }
+    }
+
+    /// The original scalar summed-area build, retained as the oracle for
+    /// the chunked fold's bit-identity tests.
+    #[doc(hidden)]
+    pub fn rebuild_prefix_reference(&mut self) {
         let grid = self.dissection.tiles();
         let (nx, ny) = (grid.nx(), grid.ny());
         self.prefix.clear();
@@ -344,6 +447,57 @@ mod tests {
                 assert_eq!(map.window_area(w), naive_window_area(&map, w));
             }
         }
+    }
+
+    /// The chunked two-pass fold must be bit-identical to the retained
+    /// scalar reference for every lane width, on square, ragged, and
+    /// single-row/column grids.
+    #[test]
+    fn chunked_prefix_is_bit_identical_across_lane_widths() {
+        use pilfill_prng::{Rng, SeedableRng};
+        let mut rng = pilfill_prng::rngs::StdRng::seed_from_u64(0xFA_CADE);
+        let cases = [
+            (Rect::new(0, 0, 32_000, 32_000), 8_000i64, 2usize),
+            (Rect::new(0, 0, 10_500, 9_100), 4_000, 2),
+            (Rect::new(-5_000, -3_000, 27_000, 29_000), 8_000, 4),
+            (Rect::new(0, 0, 24_000, 4_000), 4_000, 2),
+            (Rect::new(0, 0, 4_000, 24_000), 4_000, 2),
+        ];
+        for (die, window, r) in cases {
+            let dis = FixedDissection::new(die, window, r).expect("valid dissection");
+            let mut map = DensityMap::zeros(&dis);
+            let grid = dis.tiles();
+            map.add_tile_areas(
+                grid.indices()
+                    .map(|c| (c, rng.gen_range(-1_000_000..1_000_000i64))),
+            );
+            map.rebuild_prefix_reference();
+            let want = map.prefix.clone();
+            for lanes in [1usize, 2, 4, 8] {
+                map.prefix.clear();
+                map.rebuild_prefix_chunked(lanes);
+                assert_eq!(
+                    map.prefix, want,
+                    "lane width {lanes} diverged under {die:?} w={window} r={r}"
+                );
+            }
+            // And the production width, in case it ever departs from the
+            // swept set.
+            map.rebuild_prefix_chunked(PREFIX_CHUNK);
+            assert_eq!(map.prefix, want);
+        }
+    }
+
+    /// `recompute` must reproduce `compute` exactly while reusing buffers.
+    #[test]
+    fn recompute_matches_fresh_compute() {
+        let d = one_wire_design();
+        let dis = dissection(d.die);
+        let fresh = DensityMap::compute(&d, LayerId(0), &dis);
+        let mut reused = DensityMap::zeros(&dis);
+        reused.add_tile_area((3, 3), 123_456); // dirty the buffers first
+        reused.recompute(&d, LayerId(0));
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -1,8 +1,23 @@
 //! Per-segment timing annotation: entry (upstream) resistance and
 //! downstream-sink weights — the `R_l` and `W_l` inputs of the MDFC
 //! formulations (paper Sections 4 and 5.2).
+//!
+//! The hot path ([`annotate_net_into`]) runs the tree traversal over a
+//! caller-owned [`AnnotateScratch`] arena: a sorted flat children index
+//! replaces the per-net hash map, upstream resistances are computed with
+//! the one-step recurrence `up[k] = up[parent] + res[parent]` instead of
+//! materialized source-path chains, and every buffer is reused across
+//! nets. The output is bit-identical to the retained
+//! [`Net::topology`]-based implementation ([`annotate_net_reference`]) —
+//! the recurrence replays the reference's left-fold addition order
+//! exactly, and the traversal mirrors [`Net::topology`] node for node so
+//! the error cases agree too.
 
+use pilfill_geom::Point;
 use pilfill_layout::{Design, LayoutError, Net, Tech};
+
+/// Sentinel parent index for segments hanging directly off the source.
+const NO_PARENT: usize = usize::MAX;
 
 /// Timing attributes of one routed segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,11 +39,163 @@ pub struct NetTiming {
     pub segments: Vec<SegmentTiming>,
 }
 
-/// Annotates one net.
+/// Reusable arena for [`annotate_net_into`]: the sorted children index,
+/// the parent/visited/order traversal state and the per-segment
+/// resistance buffers all live in flat, reused allocations, so annotating
+/// a warm net performs no heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct AnnotateScratch {
+    /// `(segment.start, segment index)`, sorted — the flat replacement
+    /// for the reference's `HashMap<Point, Vec<usize>>` children map.
+    /// Sorting by `(Point, index)` keeps each node's children in
+    /// ascending segment index, the reference's iteration order.
+    children: Vec<(Point, usize)>,
+    /// Parent segment of each segment ([`NO_PARENT`] at the source).
+    parent: Vec<usize>,
+    /// Traversal visit flags (a second visit is a cycle).
+    visited: Vec<bool>,
+    /// Depth-first discovery order, parents before children.
+    order: Vec<usize>,
+    /// DFS stack of `(node, segment arrived through)`.
+    stack: Vec<(Point, usize)>,
+    /// Full-segment resistances.
+    seg_res: Vec<f64>,
+    /// Source-to-`start` resistances, via the one-step recurrence.
+    upstream: Vec<f64>,
+}
+
+/// Annotates one net into `out` (cleared first), reusing `scratch`.
+///
+/// Produces exactly the segments of [`annotate_net`] — same values, same
+/// order — without the per-call hash map and chain clones.
 ///
 /// # Errors
 ///
-/// Propagates topology errors from [`Net::topology`].
+/// The same errors, with the same values, as [`Net::topology`]:
+/// [`LayoutError::DisconnectedNet`] when the segments do not form a tree
+/// rooted at the source, [`LayoutError::DanglingSink`] when a sink is not
+/// a segment endpoint (or the source itself). `out` is left empty on
+/// error.
+pub fn annotate_net_into(
+    net: &Net,
+    tech: &Tech,
+    scratch: &mut AnnotateScratch,
+    out: &mut Vec<SegmentTiming>,
+) -> Result<(), LayoutError> {
+    out.clear();
+    let n = net.segments.len();
+    let disconnected = || LayoutError::DisconnectedNet {
+        net: net.name.clone(),
+    };
+
+    // Children index: a contiguous sorted run per node, children in
+    // ascending segment index (the insertion order of the reference's
+    // per-node `Vec`).
+    scratch.children.clear();
+    scratch
+        .children
+        .extend(net.segments.iter().enumerate().map(|(i, s)| (s.start, i)));
+    scratch.children.sort_unstable();
+
+    // Stack DFS from the source following start -> end, mirroring the
+    // reference traversal: one pop visits all children of a node, pushing
+    // their ends in child order, so pops happen in the same sequence and
+    // a cycle trips the visited check at the same segment.
+    scratch.parent.clear();
+    scratch.parent.resize(n, NO_PARENT);
+    scratch.visited.clear();
+    scratch.visited.resize(n, false);
+    scratch.order.clear();
+    scratch.stack.clear();
+    scratch.stack.push((net.source, NO_PARENT));
+    while let Some((node, from_seg)) = scratch.stack.pop() {
+        let run = scratch.children.partition_point(|&(p, _)| p < node);
+        for ci in run..scratch.children.len() {
+            let (p, k) = scratch.children[ci];
+            if p != node {
+                break;
+            }
+            if scratch.visited[k] {
+                return Err(disconnected());
+            }
+            scratch.visited[k] = true;
+            scratch.parent[k] = from_seg;
+            scratch.order.push(k);
+            scratch.stack.push((net.segments[k].end, k));
+        }
+    }
+    if scratch.visited.iter().any(|&v| !v) {
+        return Err(disconnected());
+    }
+
+    // Sinks must be segment endpoints or the source.
+    for sink in &net.sinks {
+        let anchored = *sink == net.source
+            || net
+                .segments
+                .iter()
+                .any(|s| s.start == *sink || s.end == *sink);
+        if !anchored {
+            return Err(LayoutError::DanglingSink {
+                net: net.name.clone(),
+            });
+        }
+    }
+
+    // Upstream resistance by the one-step recurrence over the
+    // parents-first order. `up[k] = up[p] + res[p]` replays the
+    // reference's left-fold over the source path exactly: the path of
+    // `k` is the path of `p` extended by `p`, so the partial sums agree
+    // operation for operation (f64 addition is deterministic).
+    scratch.seg_res.clear();
+    scratch.seg_res.extend(
+        net.segments
+            .iter()
+            .map(|s| tech.res_per_dbu(s.width) * s.length() as f64),
+    );
+    scratch.upstream.clear();
+    scratch.upstream.resize(n, 0.0);
+    for &k in &scratch.order {
+        let p = scratch.parent[k];
+        if p != NO_PARENT {
+            scratch.upstream[k] = scratch.upstream[p] + scratch.seg_res[p];
+        }
+    }
+
+    out.reserve(n);
+    for (i, s) in net.segments.iter().enumerate() {
+        out.push(SegmentTiming {
+            res_per_dbu: tech.res_per_dbu(s.width),
+            upstream_res: scratch.upstream[i],
+            weight: 0,
+        });
+    }
+    // Downstream sink counts: walk up the parent links from the segment
+    // ending at each sink (a sink on the source has no downstream
+    // segment), exactly the reference's walk.
+    for sink in &net.sinks {
+        if let Some(mut cur) = net.segments.iter().position(|s| s.end == *sink) {
+            loop {
+                out[cur].weight += 1;
+                let p = scratch.parent[cur];
+                if p == NO_PARENT {
+                    break;
+                }
+                cur = p;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Annotates one net.
+///
+/// Convenience wrapper over [`annotate_net_into`] with a fresh scratch;
+/// repeated callers should hold their own [`AnnotateScratch`].
+///
+/// # Errors
+///
+/// See [`annotate_net_into`].
 ///
 /// # Examples
 ///
@@ -42,6 +209,21 @@ pub struct NetTiming {
 /// # Ok::<(), pilfill_layout::LayoutError>(())
 /// ```
 pub fn annotate_net(net: &Net, tech: &Tech) -> Result<NetTiming, LayoutError> {
+    let mut scratch = AnnotateScratch::default();
+    let mut segments = Vec::new();
+    annotate_net_into(net, tech, &mut scratch, &mut segments)?;
+    Ok(NetTiming { segments })
+}
+
+/// The retained [`Net::topology`]-based implementation, kept as the
+/// bit-identity reference for the arena-based [`annotate_net_into`] (the
+/// seeded property suite pits the two against each other, values and
+/// errors both).
+///
+/// # Errors
+///
+/// Propagates topology errors from [`Net::topology`].
+pub fn annotate_net_reference(net: &Net, tech: &Tech) -> Result<NetTiming, LayoutError> {
     let topo = net.topology()?;
     let n = net.segments.len();
     let mut out = vec![
@@ -69,16 +251,21 @@ pub fn annotate_net(net: &Net, tech: &Tech) -> Result<NetTiming, LayoutError> {
     Ok(NetTiming { segments: out })
 }
 
-/// Annotates every net of a design.
+/// Annotates every net of a design, reusing one scratch across nets.
 ///
 /// # Errors
 ///
 /// Returns the first net's topology error encountered.
 pub fn annotate_design(design: &Design) -> Result<Vec<NetTiming>, LayoutError> {
+    let mut scratch = AnnotateScratch::default();
     design
         .nets
         .iter()
-        .map(|n| annotate_net(n, &design.tech))
+        .map(|n| {
+            let mut segments = Vec::new();
+            annotate_net_into(n, &design.tech, &mut scratch, &mut segments)?;
+            Ok(NetTiming { segments })
+        })
         .collect()
 }
 
@@ -165,6 +352,130 @@ mod tests {
             let first = &t.segments[0];
             assert!(first.upstream_res >= 0.0);
             let _ = tree;
+        }
+    }
+
+    #[test]
+    fn arena_annotation_is_bit_identical_to_the_reference_on_synth_designs() {
+        // Every net of several seeded synthetic designs, one warm scratch
+        // across all of them: values must match the retained topology()
+        // implementation bit for bit (f64 equality, not epsilon).
+        let mut scratch = AnnotateScratch::default();
+        let mut segments = Vec::new();
+        for seed in [1u64, 7, 9, 21, 42] {
+            let d = synthesize(&SynthConfig::small_test(seed));
+            for net in &d.nets {
+                let want = annotate_net_reference(net, &d.tech).expect("reference");
+                annotate_net_into(net, &d.tech, &mut scratch, &mut segments).expect("arena");
+                assert_eq!(segments, want.segments, "net {} seed {seed}", net.name);
+                let wrapper = annotate_net(net, &d.tech).expect("wrapper");
+                assert_eq!(wrapper.segments, want.segments);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_annotation_matches_reference_on_randomized_trees() {
+        use pilfill_prng::{Rng, SeedableRng};
+        let tech = Tech::default_180nm();
+        let mut rng = pilfill_prng::rngs::StdRng::seed_from_u64(0xA11C);
+        let mut scratch = AnnotateScratch::default();
+        let mut segments = Vec::new();
+        for case in 0..128 {
+            // Random rectilinear tree: each new segment hangs off a random
+            // existing endpoint, alternating orientation.
+            let mut points = vec![Point::new(0, 0)];
+            let mut segs: Vec<Segment> = Vec::new();
+            let n = rng.gen_range(1..12usize);
+            for i in 0..n {
+                let from = points[rng.gen_range(0..points.len())];
+                let delta = rng.gen_range(1..8i64) * 450;
+                let end = if i % 2 == 0 {
+                    Point::new(from.x + delta, from.y)
+                } else {
+                    Point::new(from.x, from.y + delta)
+                };
+                segs.push(Segment {
+                    layer: LayerId(0),
+                    start: from,
+                    end,
+                    width: 200,
+                });
+                points.push(end);
+            }
+            let sinks: Vec<Point> = (0..rng.gen_range(0..4usize))
+                .map(|_| points[rng.gen_range(0..points.len())])
+                .collect();
+            let net = Net {
+                name: format!("r{case}"),
+                source: Point::new(0, 0),
+                sinks,
+                segments: segs,
+            };
+            let want = annotate_net_reference(&net, &tech);
+            let got = annotate_net_into(&net, &tech, &mut scratch, &mut segments);
+            match (want, got) {
+                (Ok(w), Ok(())) => assert_eq!(segments, w.segments, "case {case}"),
+                (Err(we), Err(ge)) => assert_eq!(we, ge, "case {case}"),
+                (w, g) => panic!("case {case}: reference {w:?} vs arena {g:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arena_annotation_reports_the_same_errors_as_the_reference() {
+        let tech = Tech::default_180nm();
+        let seg = |x0: i64, y0: i64, x1: i64, y1: i64| Segment {
+            layer: LayerId(0),
+            start: Point::new(x0, y0),
+            end: Point::new(x1, y1),
+            width: 100,
+        };
+        // Disconnected: an island segment never reached from the source.
+        let disconnected = Net {
+            name: "d".into(),
+            source: Point::new(0, 0),
+            sinks: vec![],
+            segments: vec![seg(0, 0, 1_000, 0), seg(9_000, 9_000, 9_500, 9_000)],
+        };
+        // Cycle: loops back onto the source, revisiting the first segment.
+        let cycle = Net {
+            name: "c".into(),
+            source: Point::new(0, 0),
+            sinks: vec![],
+            segments: vec![seg(0, 0, 1_000, 0), seg(1_000, 0, 0, 0)],
+        };
+        // Dangling sink: not a segment endpoint.
+        let dangling = Net {
+            name: "s".into(),
+            source: Point::new(0, 0),
+            sinks: vec![Point::new(123, 456)],
+            segments: vec![seg(0, 0, 1_000, 0)],
+        };
+        // Two segments converging on one *childless* point: the reference
+        // traversal never revisits a segment (the shared endpoint has no
+        // children), so this DAG passes validation — the arena must agree
+        // rather than reject it as a non-tree.
+        let converging = Net {
+            name: "v".into(),
+            source: Point::new(0, 0),
+            sinks: vec![Point::new(1_000, 700)],
+            segments: vec![
+                seg(0, 0, 1_000, 0),
+                seg(0, 0, 0, 700),
+                seg(0, 700, 1_000, 700),
+                seg(1_000, 0, 1_000, 700),
+            ],
+        };
+        let mut scratch = AnnotateScratch::default();
+        let mut segments = Vec::new();
+        for net in [&disconnected, &cycle, &dangling, &converging] {
+            let want = annotate_net_reference(net, &tech);
+            let got =
+                annotate_net_into(net, &tech, &mut scratch, &mut segments).map(|()| NetTiming {
+                    segments: segments.clone(),
+                });
+            assert_eq!(want, got, "net {}", net.name);
         }
     }
 }

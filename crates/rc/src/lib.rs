@@ -35,7 +35,10 @@ mod coupling;
 pub mod elmore;
 pub mod slack;
 
-pub use annotate::{annotate_design, annotate_net, NetTiming, SegmentTiming};
+pub use annotate::{
+    annotate_design, annotate_net, annotate_net_into, annotate_net_reference, AnnotateScratch,
+    NetTiming, SegmentTiming,
+};
 pub use coupling::{max_fill_features, CapTable, CouplingModel};
 pub use elmore::{RcChain, RcTree};
 pub use slack::{cap_budgets_from_slack, default_wire_cap_per_m, net_slack, NetSlack};

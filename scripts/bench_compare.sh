@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
 # Compares two pilfill-bench reports (schema pilfill-bench/median_ns/v1)
-# key by key and prints a diff table. A key regresses when its median
-# grows by more than the threshold percentage; the exit status is the
-# number of regressed keys (0 = clean), so callers can gate or ignore.
+# key by key and prints a diff table. A median_ns key regresses when its
+# median grows by more than the threshold percentage; a scaling
+# `speedup@N` key (permille, larger is better) regresses when it *shrinks*
+# by more than the threshold. The exit status is the number of regressed
+# keys (0 = clean), so callers can gate or ignore.
 #
-# usage: bench_compare.sh [--threshold PCT] BASE.json NEW.json
+# usage: bench_compare.sh [--threshold PCT] [--allow-cross-host] BASE.json NEW.json
+#
+# The reports record `host_parallelism` (what available_parallelism saw
+# when they were taken). Medians and especially speedups taken on
+# different core counts are not comparable, so a mismatch REFUSES the
+# comparison with exit status 3 before any key is diffed (the informational
+# flag — distinct from a regression count, which only occurs after a
+# completed comparison). Pass --allow-cross-host to compare anyway; the
+# prominent warning is still printed.
 #
 # Keys present in only one report (new or retired benches) are listed in
 # a separate "added/removed keys" section after the table and never count
@@ -12,11 +22,12 @@
 set -euo pipefail
 
 usage() {
-  echo "usage: $0 [--threshold PCT] BASE.json NEW.json" >&2
+  echo "usage: $0 [--threshold PCT] [--allow-cross-host] BASE.json NEW.json" >&2
   exit 2
 }
 
 threshold=10
+allow_cross_host=0
 files=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -24,6 +35,10 @@ while [ $# -gt 0 ]; do
       [ $# -ge 2 ] || usage
       threshold=$2
       shift 2
+      ;;
+    --allow-cross-host)
+      allow_cross_host=1
+      shift
       ;;
     -*) usage ;;
     *)
@@ -38,9 +53,35 @@ new=${files[1]}
 [ -f "$base" ] || { echo "no such file: $base" >&2; exit 2; }
 [ -f "$new" ] || { echo "no such file: $new" >&2; exit 2; }
 
+host_of() {
+  awk -F': ' '/"host_parallelism"/ {
+    val = $2
+    gsub(/[^0-9]/, "", val)
+    print val
+    exit
+  }' "$1"
+}
+
+base_host=$(host_of "$base")
+new_host=$(host_of "$new")
+if [ -n "$base_host" ] && [ -n "$new_host" ] && [ "$base_host" != "$new_host" ]; then
+  {
+    echo "================================================================"
+    echo "WARNING: host_parallelism mismatch: $base recorded $base_host,"
+    echo "$new recorded $new_host. Medians and speedup@N keys taken on"
+    echo "different core counts are not comparable."
+    echo "================================================================"
+  } >&2
+  if [ "$allow_cross_host" -ne 1 ]; then
+    echo "refusing cross-host comparison (exit 3); pass --allow-cross-host to override" >&2
+    exit 3
+  fi
+fi
+
 # The reports are written one key per line by the in-repo JSON printer;
 # metric keys always contain a slash (e.g. "flow/run_ilp2_t2"), which
-# filters out schema/host metadata.
+# filters out schema/host metadata. The scaling section's speedup@N keys
+# share the format and are told apart by name in the diff below.
 extract() {
   awk -F'"' '/": [0-9]+,?$/ && $2 ~ /\// {
     val = $3
@@ -54,7 +95,7 @@ extract() {
     $1 == "B" { base[$2] = $3; order[n++] = $2 }
     $1 == "N" { new[$2] = $3; if (!($2 in base)) order[n++] = $2 }
     END {
-      printf "%-44s %14s %14s %9s\n", "key", "base ns", "new ns", "delta"
+      printf "%-44s %14s %14s %9s\n", "key", "base", "new", "delta"
       bad = 0
       extra = 0
       for (i = 0; i < n; i++) {
@@ -66,7 +107,10 @@ extract() {
         } else {
           pct = base[k] > 0 ? 100.0 * (new[k] - base[k]) / base[k] : 0.0
           mark = ""
-          if (pct > thr) { mark = " REGRESSED"; bad++ }
+          if (k ~ /speedup@/) {
+            # Permille speedups: larger is better, so a drop regresses.
+            if (pct < -thr) { mark = " REGRESSED"; bad++ }
+          } else if (pct > thr) { mark = " REGRESSED"; bad++ }
           printf "%-44s %14d %14d %+8.1f%%%s\n", k, base[k], new[k], pct, mark
         }
       }
@@ -78,7 +122,7 @@ extract() {
           printf "  %-42s %14d %9s\n", k, v, tag[i]
         }
       }
-      printf "threshold +%s%%: %d regression(s)\n", thr, bad
+      printf "threshold +/-%s%%: %d regression(s)\n", thr, bad
       exit bad
     }
   '

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Judges the multicore scaling story of one pilfill-bench report: every
+# `scaling/.../speedup@N` key (permille, 2000 = clean 2x over the 1-lane
+# median) is checked against a floor — but only where the check is
+# honest. On a host with fewer than 4 cores, or for lanes wider than the
+# host, an oversubscribed sweep measures scheduling overhead rather than
+# speedup, so those keys are reported informationally and never fail.
+#
+# usage: check_scaling.sh [--min-permille P] [--lane N] REPORT.json
+#
+# The floor P (default 1200 = +20% over 1 lane) applies to every lane
+# N <= host_parallelism when host_parallelism >= 4. With --lane N only
+# the speedup@N keys are judged (the CI sweep matrix gives each lane its
+# own job); other lanes are not printed. The exit status is the number
+# of thresholded lanes below the floor (0 = clean or purely
+# informational). Only std tools (bash + awk) are used.
+set -euo pipefail
+
+usage() {
+  echo "usage: $0 [--min-permille P] [--lane N] REPORT.json" >&2
+  exit 2
+}
+
+min_permille=1200
+only_lane=0
+report=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --min-permille)
+      [ $# -ge 2 ] || usage
+      min_permille=$2
+      shift 2
+      ;;
+    --lane)
+      [ $# -ge 2 ] || usage
+      only_lane=$2
+      shift 2
+      ;;
+    -*) usage ;;
+    *)
+      [ -z "$report" ] || usage
+      report=$1
+      shift
+      ;;
+  esac
+done
+[ -n "$report" ] || usage
+[ -f "$report" ] || { echo "no such file: $report" >&2; exit 2; }
+
+awk -F'"' -v min="$min_permille" -v only="$only_lane" '
+  BEGIN { n = 0; host = 0 }
+  /"host_parallelism"/ {
+    val = $0
+    gsub(/[^0-9]/, "", val)
+    host = val + 0
+  }
+  /": [0-9]+,?$/ && $2 ~ /speedup@/ {
+    key = $2
+    val = $3
+    gsub(/[^0-9]/, "", val)
+    lane = key
+    sub(/.*speedup@/, "", lane)
+    keys[n] = key; vals[n] = val + 0; lanes[n] = lane + 0; n++
+  }
+  END {
+    if (n == 0) {
+      print "no scaling/speedup@N keys found (run bench_json --threads-sweep)"
+      exit 0
+    }
+    printf "host_parallelism = %d, floor = %d permille\n", host, min
+    bad = 0
+    for (i = 0; i < n; i++) {
+      if (only > 0 && lanes[i] != only) continue
+      if (host < 4 || lanes[i] > host) {
+        printf "  %-44s %6d  informational (host too narrow for lane %d)\n", \
+          keys[i], vals[i], lanes[i]
+      } else if (vals[i] < min) {
+        printf "  %-44s %6d  BELOW FLOOR %d\n", keys[i], vals[i], min
+        bad++
+      } else {
+        printf "  %-44s %6d  ok\n", keys[i], vals[i]
+      }
+    }
+    printf "%d lane(s) below floor\n", bad
+    exit bad
+  }
+' "$report"
