@@ -1,0 +1,77 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every modeled thread carries a [`Clock`]; every synchronization object
+//! (atomic, mutex) carries the clock its release history publishes. An
+//! event `a` happens-before `b` exactly when `a`'s clock is component-wise
+//! `<=` `b`'s clock, which is what the race detector in the runtime tests.
+//! The clock is a fixed array because model executions are bounded to
+//! [`MAX_THREADS`] threads — exploration cost is exponential in thread
+//! count, so models never get close to the cap.
+
+/// Upper bound on threads in one model execution (including the main
+/// thread). Spawning past it is reported as a model error, not a panic.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock over model thread ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Clock([u32; MAX_THREADS]);
+
+impl Clock {
+    /// The all-zero clock: happens-before everything.
+    pub const EMPTY: Clock = Clock([0; MAX_THREADS]);
+
+    /// Advances this thread's own component by one event.
+    pub fn bump(&mut self, tid: usize) {
+        debug_assert!(tid < MAX_THREADS);
+        self.0[tid] += 1;
+    }
+
+    /// Joins `other` into `self` (component-wise max): after an acquire
+    /// edge, the acquiring thread has seen everything `other` had seen.
+    pub fn join(&mut self, other: &Clock) {
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// `true` when every component of `self` is `<=` the matching
+    /// component of `other`, i.e. `self` happens-before-or-equals `other`.
+    pub fn le(&self, other: &Clock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(s, o)| s <= o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = Clock::EMPTY;
+        a.bump(0);
+        a.bump(0);
+        let mut b = Clock::EMPTY;
+        b.bump(1);
+        a.join(&b);
+        assert!(b.le(&a));
+        assert!(!a.le(&b));
+    }
+
+    #[test]
+    fn empty_happens_before_everything() {
+        let mut a = Clock::EMPTY;
+        a.bump(3);
+        assert!(Clock::EMPTY.le(&a));
+        assert!(Clock::EMPTY.le(&Clock::EMPTY));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered() {
+        let mut a = Clock::EMPTY;
+        a.bump(0);
+        let mut b = Clock::EMPTY;
+        b.bump(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+}

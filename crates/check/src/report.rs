@@ -1,0 +1,118 @@
+//! `check-report.json` emission.
+//!
+//! Serializes a model-suite run into the same hand-rolled JSON dialect
+//! the audit tool uses for `lint-report.json` (via
+//! [`pilfill_diag::JsonWriter`]), so CI can drop both reports next
+//! to each other and diff them across runs.
+
+use crate::models::ModelReport;
+use pilfill_diag::JsonWriter;
+
+/// Renders the suite results as a `check-report.json` document.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "seed": 123,
+///   "total_distinct": 12345,
+///   "ok": true,
+///   "models": [
+///     { "name": "...", "invariant": "...", "ok": true,
+///       "exhaustive": { "interleavings": n, "distinct": n, "pruned": n,
+///                        "ops": n, "complete": true },
+///       "random": { ... , "seed": n },
+///       "violation": "..."? }
+///   ]
+/// }
+/// ```
+pub fn render_report(seed: u64, reports: &[ModelReport]) -> String {
+    let total: u64 = reports.iter().map(ModelReport::distinct).sum();
+    let ok = reports.iter().all(|r| r.violation.is_none());
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_u64("seed", seed);
+    w.field_u64("total_distinct", total);
+    w.field_bool("ok", ok);
+    w.key("models");
+    w.begin_array();
+    for r in reports {
+        w.begin_object();
+        w.field_str("name", r.name);
+        w.field_str("invariant", r.invariant);
+        w.field_bool("ok", r.violation.is_none());
+        w.key("exhaustive");
+        w.begin_object();
+        w.field_u64("interleavings", r.exhaustive.interleavings);
+        w.field_u64("distinct", r.exhaustive.distinct);
+        w.field_u64("pruned", r.exhaustive.pruned);
+        w.field_u64("ops", r.exhaustive.ops);
+        w.field_bool("complete", r.exhaustive.complete);
+        w.end_object();
+        w.key("random");
+        w.begin_object();
+        w.field_u64("interleavings", r.random.interleavings);
+        w.field_u64("distinct", r.random.distinct);
+        w.field_u64("ops", r.random.ops);
+        w.field_u64("seed", r.seed);
+        w.end_object();
+        if let Some(v) = &r.violation {
+            w.field_str("violation", &v.to_string());
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::Stats;
+
+    fn sample() -> Vec<ModelReport> {
+        vec![ModelReport {
+            name: "sample",
+            invariant: "nothing bad happens",
+            exhaustive: Stats {
+                interleavings: 4,
+                distinct: 4,
+                pruned: 1,
+                ops: 40,
+                complete: true,
+            },
+            random: Stats {
+                interleavings: 3,
+                distinct: 2,
+                pruned: 0,
+                ops: 30,
+                complete: false,
+            },
+            seed: 9,
+            violation: None,
+        }]
+    }
+
+    #[test]
+    fn report_carries_totals_and_per_model_stats() {
+        let json = render_report(7, &sample());
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\"total_distinct\":6"));
+        assert!(json.contains("\"ok\":true"));
+        assert!(json.contains("\"name\":\"sample\""));
+        assert!(json.contains("\"complete\":true"));
+    }
+
+    #[test]
+    fn violations_flip_ok_and_are_included() {
+        let mut reports = sample();
+        reports[0].violation = Some(crate::rt::Violation {
+            message: "data race on cell".into(),
+            trace: vec![0, 1, 0],
+        });
+        let json = render_report(7, &reports);
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("data race on cell"));
+    }
+}

@@ -1,0 +1,1424 @@
+//! The cooperative scheduler and interleaving explorer.
+//!
+//! # How an execution runs
+//!
+//! A model is a closure using the shadow primitives in [`crate::sync`] and
+//! [`crate::thread`]. [`Explorer::explore`] runs it many times; in each
+//! execution the model's threads are real OS threads (reused across
+//! executions through a lane pool), but a *baton* protocol ensures exactly
+//! one of them runs at a time: before every visible operation (atomic
+//! access, mutex, condvar, [`crate::sync::RaceCell`] access, spawn, join)
+//! the thread declares the operation and parks; the scheduler picks which
+//! declared operation executes next. The decision is made exactly once per
+//! executed operation, by the thread currently holding the baton when it
+//! arrives at its next operation (or exits). Every decision with more than
+//! one *enabled* candidate branches the interleaving space being explored.
+//!
+//! Blocking is modeled by *enabledness*, not by retrying: a thread whose
+//! pending operation cannot execute (lock a held mutex, reacquire before
+//! its condvar ticket is notified, join an unfinished thread) is simply
+//! not a candidate, so a state where no thread is enabled is a detected
+//! deadlock, reported with the schedule that reached it.
+//!
+//! # Happens-before and races
+//!
+//! Threads carry vector clocks ([`crate::clock::Clock`]). Release stores
+//! publish the storing thread's clock on the atomic; acquire loads join
+//! it; `Relaxed` stores publish nothing (and reset the location's release
+//! history, as a relaxed store heads an empty release sequence); relaxed
+//! RMWs preserve it (they continue the release sequence). Mutexes carry
+//! the clock of their last critical section. Plain data is modeled with
+//! [`crate::sync::RaceCell`], whose accesses *check* clocks: a read of a
+//! write that is not ordered happens-before the reader is reported as a
+//! data race — this is exactly how a `Release`-to-`Relaxed` weakening in a
+//! publication protocol becomes a caught violation rather than a silent
+//! source of stale reads on weak hardware.
+//!
+//! The model is interleaving-atomic: loads observe the latest store, so
+//! weak-memory *value* speculation (an old value satisfying coherence) is
+//! not explored — synchronization errors surface through the clock checks
+//! instead. `SeqCst` is treated as `AcqRel` (no global order is modeled).
+//! Condvars have no spurious wakeups; `notify_one` wakes the lowest
+//! waiting thread id. These simplifications are documented in DESIGN.md.
+//!
+//! # Exploration strategies
+//!
+//! [`Strategy::Exhaustive`] runs a depth-first search over decision
+//! points, bounded by [`Config::preemption_bound`] (switching away from a
+//! still-enabled thread costs one preemption; forced switches are free)
+//! and pruned with DPOR-style sleep sets: after a branch is fully
+//! explored, its thread sleeps for the node's remaining siblings until a
+//! dependent operation executes, so schedules that merely commute
+//! independent operations are not revisited. [`Strategy::Random`] draws
+//! decisions from a seeded in-repo PRNG, making huge spaces samplable and
+//! any found violation reproducible from the seed.
+
+use crate::clock::{Clock, MAX_THREADS};
+use pilfill_prng::Xoshiro256PlusPlus;
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Model thread id; the main (submitting) thread is always 0.
+pub type Tid = usize;
+
+/// Pseudo object id meaning "depends on everything" (spawn, and any
+/// operation whose effects are not tied to one object).
+const GLOBAL_OBJ: usize = usize::MAX;
+
+/// Base of the per-thread pseudo object ids used by start/finish/join so
+/// that join/finish pairs on the same thread are dependent operations.
+const THREAD_OBJ_BASE: usize = usize::MAX - 64;
+
+fn thread_obj(tid: Tid) -> usize {
+    THREAD_OBJ_BASE + tid
+}
+
+/// The kind of a visible operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First scheduling of a spawned thread.
+    Start,
+    /// Thread termination (wakes joiners).
+    Finish,
+    /// Thread creation.
+    Spawn,
+    /// Join on a finished thread.
+    Join,
+    /// Atomic load; `acquire` joins the location's release clock.
+    AtomicLoad {
+        /// Acquire semantics requested.
+        acquire: bool,
+    },
+    /// Atomic store; `release` publishes the thread clock.
+    AtomicStore {
+        /// Release semantics requested.
+        release: bool,
+    },
+    /// Atomic read-modify-write.
+    AtomicRmw {
+        /// Acquire semantics requested.
+        acquire: bool,
+        /// Release semantics requested.
+        release: bool,
+    },
+    /// Mutex acquisition (enabled only while free).
+    MutexLock,
+    /// Mutex release.
+    MutexUnlock,
+    /// Condvar wait phase 1: release the mutex and enqueue.
+    CvWait,
+    /// Condvar wait phase 2: reacquire after notification.
+    CvReacquire,
+    /// Wake all waiters.
+    CvNotifyAll,
+    /// Wake the lowest-id unnotified waiter.
+    CvNotifyOne,
+    /// `RaceCell` read (race-checked).
+    CellRead,
+    /// `RaceCell` write (race-checked).
+    CellWrite,
+}
+
+impl OpKind {
+    fn is_pure_read(self) -> bool {
+        matches!(self, OpKind::AtomicLoad { .. } | OpKind::CellRead)
+    }
+}
+
+/// A declared visible operation: what a thread will do when scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OpDesc {
+    /// Primary object the operation touches.
+    pub obj: usize,
+    /// Secondary object (a condvar wait also touches its mutex).
+    pub obj2: Option<usize>,
+    /// Operation kind.
+    pub kind: OpKind,
+}
+
+impl OpDesc {
+    pub(crate) fn new(obj: usize, kind: OpKind) -> Self {
+        Self {
+            obj,
+            obj2: None,
+            kind,
+        }
+    }
+
+    pub(crate) fn with_obj2(obj: usize, obj2: usize, kind: OpKind) -> Self {
+        Self {
+            obj,
+            obj2: Some(obj2),
+            kind,
+        }
+    }
+}
+
+/// Conservative dependence relation for sleep-set pruning: operations are
+/// independent only when they provably commute (different objects, or
+/// both pure reads of the same object). Anything touching the global
+/// pseudo-object is dependent with everything — pruning stays sound.
+fn dependent(a: &OpDesc, b: &OpDesc) -> bool {
+    if a.obj == GLOBAL_OBJ || b.obj == GLOBAL_OBJ {
+        return true;
+    }
+    let objs_a = [Some(a.obj), a.obj2];
+    let objs_b = [Some(b.obj), b.obj2];
+    for oa in objs_a.into_iter().flatten() {
+        for ob in objs_b.into_iter().flatten() {
+            if oa == ob && !(a.kind.is_pure_read() && b.kind.is_pure_read()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Argument payload for a visible operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpArg {
+    None,
+    Store(u64),
+    Add(u64),
+    Sub(u64),
+    Swap(u64),
+    Cx { expect: u64, new: u64 },
+}
+
+/// Result payload of a visible operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpOut {
+    Unit,
+    Val(u64),
+    Cx(Result<u64, u64>),
+}
+
+impl OpOut {
+    pub(crate) fn val(self) -> u64 {
+        match self {
+            OpOut::Val(v) => v,
+            // Dummy outputs (teardown path) read as zero.
+            _ => 0,
+        }
+    }
+}
+
+/// State of one synchronization object.
+#[derive(Debug)]
+enum ObjSt {
+    Atomic { value: u64, sync: Clock },
+    Mutex { held_by: Option<Tid>, clock: Clock },
+    Condvar,
+    Cell { writer: Clock, readers: Clock },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CvTicket {
+    cv: usize,
+    mutex: usize,
+    notified: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Active,
+    Finished,
+}
+
+struct ThreadSt {
+    run: Run,
+    /// Scheduler picked this thread to execute its declared operation.
+    granted: bool,
+    /// The operation this thread is parked on (None while computing).
+    next_op: Option<OpDesc>,
+    clock: Clock,
+    cv_ticket: Option<CvTicket>,
+    /// Real panic payload captured by the lane wrapper, handed to join.
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl ThreadSt {
+    fn new(clock: Clock) -> Self {
+        Self {
+            run: Run::Active,
+            granted: false,
+            next_op: None,
+            clock,
+            cv_ticket: None,
+            payload: None,
+        }
+    }
+}
+
+/// Why an execution stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EndKind {
+    /// Sleep-set pruning: this schedule commutes with an explored one.
+    Pruned,
+    /// A violation was recorded; everything unwinds.
+    Violated,
+}
+
+/// Token unwound through model threads to tear an execution down. Raised
+/// with `resume_unwind` so the global panic hook stays silent.
+struct AbortToken;
+
+/// One decision point in the DFS tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Schedulable (enabled, not sleeping) threads with their pending
+    /// operations at the node's creation, in deterministic order:
+    /// arriving thread first, then by id.
+    candidates: Vec<(Tid, OpDesc)>,
+    /// Index of the branch currently being explored.
+    chosen: usize,
+    /// Fully-explored branches; sleep-set entries for later siblings.
+    explored: Vec<(Tid, OpDesc)>,
+    /// The thread whose arrival created this decision point.
+    arriving: Tid,
+    /// Whether that thread was itself enabled (switching away from it
+    /// then counts as a preemption).
+    arriving_enabled: bool,
+    /// Cumulative preemptions on the path above this node.
+    preempts_at_entry: u32,
+}
+
+/// A found property violation with the schedule that reached it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable description (deadlock, data race, failed assert...).
+    pub message: String,
+    /// The sequence of thread ids chosen at each decision of the schedule.
+    pub trace: Vec<Tid>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [schedule:", self.message)?;
+        for t in &self.trace {
+            write!(f, " {t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+///// Counters accumulated over one [`Explorer::explore`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Completed executions (each is one explored interleaving).
+    pub interleavings: u64,
+    /// Distinct schedules among them (equal to `interleavings` for the
+    /// exhaustive strategy; deduplicated by schedule hash for random).
+    pub distinct: u64,
+    /// Executions cut short by sleep-set pruning (redundant schedules).
+    pub pruned: u64,
+    /// Total visible operations executed.
+    pub ops: u64,
+    /// The exhaustive strategy ran out of schedules (space fully covered
+    /// within the preemption bound) before hitting the budget.
+    pub complete: bool,
+}
+
+/// How the explorer picks branches at decision points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Depth-first over all decision sequences, with sleep-set pruning
+    /// and the configured preemption bound.
+    Exhaustive,
+    /// Seeded uniform-random decisions; reproducible from the seed.
+    Random {
+        /// PRNG seed; the same seed explores the same schedules.
+        seed: u64,
+    },
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Branch selection strategy.
+    pub strategy: Strategy,
+    /// Maximum executions to run (completed + pruned for exhaustive).
+    pub budget: usize,
+    /// Preemption bound for [`Strategy::Exhaustive`] (`None` = unbounded).
+    pub preemption_bound: Option<u32>,
+    /// Per-execution visible-operation cap (livelock backstop; exceeding
+    /// it is reported as a violation).
+    pub max_ops: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Exhaustive,
+            budget: 50_000,
+            preemption_bound: Some(2),
+            max_ops: 20_000,
+        }
+    }
+}
+
+/// The result of exploring one model.
+#[derive(Debug, Clone)]
+#[must_use = "an exploration outcome carries the violation verdict"]
+pub struct Outcome {
+    /// Exploration counters.
+    pub stats: Stats,
+    /// First violation found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+}
+
+/// Per-execution scheduler state, behind one real mutex. Every visible
+/// operation locks it briefly; the baton protocol means contention is
+/// hand-off only.
+struct Inner {
+    threads: Vec<ThreadSt>,
+    objects: Vec<ObjSt>,
+    /// The thread currently holding the baton (last granted). Only its
+    /// arrival triggers a scheduling decision; a freshly spawned thread
+    /// arriving at its pre-declared first op just parks.
+    flow: Tid,
+    aborted: Option<EndKind>,
+    violation: Option<Violation>,
+    ops: usize,
+    max_ops: usize,
+    /// Index of the next decision point (position in `path` while
+    /// replaying the DFS prefix).
+    decision_idx: usize,
+    /// DFS tree path, moved in from the explorer for the execution.
+    path: Vec<Node>,
+    /// Live sleep set: threads (with their pending op at insertion) that
+    /// need not be scheduled until a dependent operation runs.
+    sleep: Vec<(Tid, OpDesc)>,
+    preemptions: u32,
+    strategy: Strategy,
+    rng: Xoshiro256PlusPlus,
+    /// Chosen thread per decision, for violation reports and the random
+    /// strategy's distinct-schedule hash.
+    trace: Vec<Tid>,
+}
+
+pub(crate) struct Rt {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Rt>, Tid)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<Rt>, Tid) {
+    CTX.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        // Using a shadow primitive outside `Explorer::explore` is a
+        // misuse of the checker API, not a model property; fail loudly.
+        // pilfill: allow(unwrap)
+        panic!("pilfill-check sync primitive used outside Explorer::explore")
+    })
+}
+
+fn set_ctx(v: Option<(Arc<Rt>, Tid)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+/// `true` while the current OS thread is unwinding: shadow operations
+/// become no-ops so destructors (mutex guards, pool drops) can run during
+/// execution teardown without re-entering the dead scheduler.
+fn tearing_down() -> bool {
+    std::thread::panicking()
+}
+
+fn lock_inner(rt: &Rt) -> MutexGuard<'_, Inner> {
+    rt.inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Rt {
+    /// Registers a new synchronization object, returning its id.
+    fn register_obj(&self, st: ObjSt) -> usize {
+        let mut g = lock_inner(self);
+        g.objects.push(st);
+        g.objects.len() - 1
+    }
+
+    /// Current thread's clock snapshot (used when creating `RaceCell`s so
+    /// the creating write is ordered before reads reached via spawn).
+    fn my_clock(&self, me: Tid) -> Clock {
+        lock_inner(self).threads[me].clock
+    }
+
+    /// Declares and executes one visible operation for thread `me`,
+    /// parking until the scheduler grants it.
+    fn visible(self: &Arc<Self>, me: Tid, desc: OpDesc, arg: OpArg) -> OpOut {
+        let mut g = lock_inner(self);
+        if g.aborted.is_some() {
+            drop(g);
+            resume_unwind(Box::new(AbortToken));
+        }
+        g.threads[me].next_op = Some(desc);
+        // Only the baton holder's arrival is a decision point; anyone
+        // else (a spawned thread reaching its pre-declared first op) is
+        // already a candidate and just parks.
+        if !g.threads[me].granted && g.flow == me {
+            self.schedule(&mut g, me);
+        }
+        g = self.wait_granted(g, me);
+        g.threads[me].granted = false;
+        g.threads[me].next_op = None;
+        let out = self.execute(&mut g, me, desc, arg);
+        if g.aborted.is_some() {
+            drop(g);
+            resume_unwind(Box::new(AbortToken));
+        }
+        out
+    }
+
+    /// Parks until `me` is granted, honoring aborts.
+    fn wait_granted<'a>(&'a self, mut g: MutexGuard<'a, Inner>, me: Tid) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.aborted.is_some() {
+                drop(g);
+                resume_unwind(Box::new(AbortToken));
+            }
+            if g.threads[me].granted {
+                return g;
+            }
+            g = self
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// `true` when thread `t`'s declared operation can execute now.
+    fn is_enabled(g: &Inner, t: Tid) -> bool {
+        let th = &g.threads[t];
+        if th.run != Run::Active {
+            return false;
+        }
+        let Some(op) = th.next_op else {
+            return false;
+        };
+        match op.kind {
+            OpKind::MutexLock => matches!(g.objects[op.obj], ObjSt::Mutex { held_by: None, .. }),
+            OpKind::CvReacquire => {
+                let Some(ticket) = th.cv_ticket else {
+                    return false;
+                };
+                ticket.notified
+                    && matches!(g.objects[ticket.mutex], ObjSt::Mutex { held_by: None, .. })
+            }
+            OpKind::Join => {
+                let target = op.obj - THREAD_OBJ_BASE;
+                g.threads[target].run == Run::Finished
+            }
+            _ => true,
+        }
+    }
+
+    /// The scheduling decision: pick which declared operation executes
+    /// next and grant its thread. Called exactly once per executed
+    /// operation, by the baton holder at its next arrival (or exit).
+    fn schedule(&self, g: &mut Inner, arriving: Tid) {
+        if g.aborted.is_some() {
+            return;
+        }
+        let enabled: Vec<(Tid, OpDesc)> = {
+            let mut order: Vec<Tid> = Vec::with_capacity(g.threads.len());
+            if Self::is_enabled(g, arriving) {
+                order.push(arriving);
+            }
+            for t in 0..g.threads.len() {
+                if t != arriving && Self::is_enabled(g, t) {
+                    order.push(t);
+                }
+            }
+            order
+                .into_iter()
+                .filter_map(|t| g.threads[t].next_op.map(|op| (t, op)))
+                .collect()
+        };
+        if enabled.is_empty() {
+            let arriving_active = g.threads[arriving].run == Run::Active;
+            let others_active = g
+                .threads
+                .iter()
+                .enumerate()
+                .any(|(t, th)| t != arriving && th.run == Run::Active);
+            if arriving_active || others_active {
+                let blocked: Vec<String> = g
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, th)| th.run == Run::Active)
+                    .map(|(t, th)| format!("thread {t} on {:?}", th.next_op.map(|o| o.kind)))
+                    .collect();
+                self.record_violation(g, format!("deadlock: [{}]", blocked.join(", ")));
+            }
+            return;
+        }
+        let arriving_enabled = enabled.first().is_some_and(|&(t, _)| t == arriving);
+
+        let (chosen_tid, chosen_op) = match g.strategy {
+            Strategy::Exhaustive => {
+                let d = g.decision_idx;
+                g.decision_idx += 1;
+                if d < g.path.len() {
+                    // Replaying the explored prefix: re-arm the node's
+                    // sleep entries for descendants, then take its
+                    // current branch.
+                    let explored = g.path[d].explored.clone();
+                    g.sleep.extend(explored);
+                    let pick = {
+                        let node = &g.path[d];
+                        node.candidates[node.chosen]
+                    };
+                    if !enabled.contains(&pick) {
+                        self.record_violation(
+                            g,
+                            "nondeterministic model: replayed schedule diverged \
+                             (model behavior must depend only on scheduling)"
+                                .to_string(),
+                        );
+                        return;
+                    }
+                    pick
+                } else {
+                    let awake: Vec<(Tid, OpDesc)> = enabled
+                        .iter()
+                        .copied()
+                        .filter(|&(t, _)| !g.sleep.iter().any(|&(s, _)| s == t))
+                        .collect();
+                    if awake.is_empty() {
+                        // Every enabled thread sleeps: this schedule only
+                        // commutes independent operations of an already
+                        // explored one — prune the execution.
+                        g.aborted = Some(EndKind::Pruned);
+                        self.cv.notify_all();
+                        return;
+                    }
+                    let node = Node {
+                        candidates: awake,
+                        chosen: 0,
+                        explored: Vec::new(),
+                        arriving,
+                        arriving_enabled,
+                        preempts_at_entry: g.preemptions,
+                    };
+                    let pick = node.candidates[0];
+                    g.path.push(node);
+                    pick
+                }
+            }
+            Strategy::Random { .. } => {
+                let draw = g.rng.next_u64() % (enabled.len() as u64);
+                let idx = usize::try_from(draw).unwrap_or(0);
+                enabled[idx]
+            }
+        };
+
+        // The chosen operation wakes sleeping threads whose pending
+        // operations depend on it.
+        g.sleep
+            .retain(|(t, op)| *t != chosen_tid && !dependent(op, &chosen_op));
+        if chosen_tid != arriving && arriving_enabled {
+            g.preemptions += 1;
+        }
+        g.trace.push(chosen_tid);
+        g.flow = chosen_tid;
+        g.threads[chosen_tid].granted = true;
+        self.cv.notify_all();
+    }
+
+    fn record_violation(&self, g: &mut Inner, message: String) {
+        if g.violation.is_none() {
+            g.violation = Some(Violation {
+                message,
+                trace: g.trace.clone(),
+            });
+        }
+        g.aborted = Some(EndKind::Violated);
+        self.cv.notify_all();
+    }
+
+    /// Executes the granted operation's state transition.
+    fn execute(&self, g: &mut Inner, me: Tid, desc: OpDesc, arg: OpArg) -> OpOut {
+        g.ops += 1;
+        if g.ops > g.max_ops {
+            self.record_violation(
+                g,
+                format!(
+                    "operation budget exceeded ({} ops): livelock or model too large",
+                    g.max_ops
+                ),
+            );
+            return OpOut::Unit;
+        }
+        g.threads[me].clock.bump(me);
+        let me_clock = g.threads[me].clock;
+        match desc.kind {
+            OpKind::Start | OpKind::Spawn => OpOut::Unit,
+            OpKind::Finish => {
+                g.threads[me].run = Run::Finished;
+                OpOut::Unit
+            }
+            OpKind::Join => {
+                let target = desc.obj - THREAD_OBJ_BASE;
+                let tc = g.threads[target].clock;
+                g.threads[me].clock.join(&tc);
+                OpOut::Unit
+            }
+            OpKind::AtomicLoad { acquire } => {
+                let ObjSt::Atomic { value, sync } = &g.objects[desc.obj] else {
+                    return OpOut::Unit;
+                };
+                let (value, sync) = (*value, *sync);
+                if acquire {
+                    g.threads[me].clock.join(&sync);
+                }
+                OpOut::Val(value)
+            }
+            OpKind::AtomicStore { release } => {
+                let v = match arg {
+                    OpArg::Store(v) => v,
+                    _ => 0,
+                };
+                if let ObjSt::Atomic { value, sync } = &mut g.objects[desc.obj] {
+                    *value = v;
+                    // A release store publishes this thread's history; a
+                    // relaxed store heads an empty release sequence, so
+                    // acquire loads of the new value synchronize with
+                    // nothing.
+                    *sync = if release { me_clock } else { Clock::EMPTY };
+                }
+                OpOut::Unit
+            }
+            OpKind::AtomicRmw { acquire, release } => {
+                let ObjSt::Atomic { value, sync } = &mut g.objects[desc.obj] else {
+                    return OpOut::Unit;
+                };
+                let old = *value;
+                let result = match arg {
+                    OpArg::Add(v) => {
+                        *value = old.wrapping_add(v);
+                        OpOut::Val(old)
+                    }
+                    OpArg::Sub(v) => {
+                        *value = old.wrapping_sub(v);
+                        OpOut::Val(old)
+                    }
+                    OpArg::Swap(v) => {
+                        *value = v;
+                        OpOut::Val(old)
+                    }
+                    OpArg::Cx { expect, new } => {
+                        if old == expect {
+                            *value = new;
+                            OpOut::Cx(Ok(old))
+                        } else {
+                            OpOut::Cx(Err(old))
+                        }
+                    }
+                    _ => OpOut::Val(old),
+                };
+                let failed_cx = matches!(result, OpOut::Cx(Err(_)));
+                if release && !failed_cx {
+                    // An RMW continues the release sequence: join rather
+                    // than replace, so earlier release stores stay
+                    // visible through later acquire loads.
+                    sync.join(&me_clock);
+                }
+                let sync = *sync;
+                if acquire && !failed_cx {
+                    g.threads[me].clock.join(&sync);
+                }
+                result
+            }
+            OpKind::MutexLock => {
+                let ObjSt::Mutex { held_by, clock } = &mut g.objects[desc.obj] else {
+                    return OpOut::Unit;
+                };
+                debug_assert!(held_by.is_none());
+                *held_by = Some(me);
+                let mc = *clock;
+                g.threads[me].clock.join(&mc);
+                OpOut::Unit
+            }
+            OpKind::MutexUnlock => {
+                if let ObjSt::Mutex { held_by, clock } = &mut g.objects[desc.obj] {
+                    *held_by = None;
+                    clock.join(&me_clock);
+                }
+                OpOut::Unit
+            }
+            OpKind::CvWait => {
+                let mutex = match arg {
+                    OpArg::Store(m) => usize::try_from(m).unwrap_or(0),
+                    _ => 0,
+                };
+                if let ObjSt::Mutex { held_by, clock } = &mut g.objects[mutex] {
+                    *held_by = None;
+                    clock.join(&me_clock);
+                }
+                g.threads[me].cv_ticket = Some(CvTicket {
+                    cv: desc.obj,
+                    mutex,
+                    notified: false,
+                });
+                OpOut::Unit
+            }
+            OpKind::CvReacquire => {
+                let Some(ticket) = g.threads[me].cv_ticket.take() else {
+                    return OpOut::Unit;
+                };
+                if let ObjSt::Mutex { held_by, clock } = &mut g.objects[ticket.mutex] {
+                    debug_assert!(held_by.is_none());
+                    *held_by = Some(me);
+                    let mc = *clock;
+                    g.threads[me].clock.join(&mc);
+                }
+                OpOut::Unit
+            }
+            OpKind::CvNotifyAll => {
+                for th in &mut g.threads {
+                    if let Some(t) = th.cv_ticket.as_mut() {
+                        if t.cv == desc.obj {
+                            t.notified = true;
+                        }
+                    }
+                }
+                OpOut::Unit
+            }
+            OpKind::CvNotifyOne => {
+                for th in &mut g.threads {
+                    if let Some(t) = th.cv_ticket.as_mut() {
+                        if t.cv == desc.obj && !t.notified {
+                            t.notified = true;
+                            break;
+                        }
+                    }
+                }
+                OpOut::Unit
+            }
+            OpKind::CellRead => {
+                let writer = match &g.objects[desc.obj] {
+                    ObjSt::Cell { writer, .. } => *writer,
+                    _ => return OpOut::Unit,
+                };
+                if !writer.le(&me_clock) {
+                    let msg = format!(
+                        "data race: thread {me} read plain data whose last write \
+                         does not happen-before the read (missing release/acquire edge)"
+                    );
+                    self.record_violation(g, msg);
+                    return OpOut::Unit;
+                }
+                if let ObjSt::Cell { readers, .. } = &mut g.objects[desc.obj] {
+                    readers.join(&me_clock);
+                }
+                OpOut::Unit
+            }
+            OpKind::CellWrite => {
+                let (writer, readers) = match &g.objects[desc.obj] {
+                    ObjSt::Cell { writer, readers } => (*writer, *readers),
+                    _ => return OpOut::Unit,
+                };
+                if !writer.le(&me_clock) || !readers.le(&me_clock) {
+                    let msg = format!(
+                        "data race: thread {me} wrote plain data concurrently with \
+                         an unordered access (write/write or read/write race)"
+                    );
+                    self.record_violation(g, msg);
+                    return OpOut::Unit;
+                }
+                if let ObjSt::Cell { writer, readers } = &mut g.objects[desc.obj] {
+                    *writer = me_clock;
+                    *readers = Clock::EMPTY;
+                }
+                OpOut::Unit
+            }
+        }
+    }
+}
+
+/// Lane pool: OS threads reused across executions so exploring tens of
+/// thousands of interleavings does not pay tens of thousands of spawns.
+struct LaneShared {
+    q: Mutex<LaneQ>,
+    cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct LaneQ {
+    tasks: VecDeque<Box<dyn FnOnce() + Send>>,
+    idle: usize,
+    busy: usize,
+    shutdown: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn lock_q(shared: &LaneShared) -> MutexGuard<'_, LaneQ> {
+    shared
+        .q
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lane_loop(shared: &LaneShared) {
+    let mut q = lock_q(shared);
+    q.idle += 1;
+    loop {
+        if q.shutdown {
+            q.idle -= 1;
+            return;
+        }
+        if let Some(task) = q.tasks.pop_front() {
+            q.idle -= 1;
+            q.busy += 1;
+            drop(q);
+            task();
+            q = lock_q(shared);
+            q.busy -= 1;
+            q.idle += 1;
+            shared.done_cv.notify_all();
+        } else {
+            q = shared
+                .cv
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<LaneShared>, task: Box<dyn FnOnce() + Send>) {
+    let mut q = lock_q(shared);
+    q.tasks.push_back(task);
+    if q.idle == 0 {
+        let s = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("pilfill-check-lane".to_string())
+            .spawn(move || lane_loop(&s));
+        if let Ok(h) = spawned {
+            q.handles.push(h);
+        }
+    }
+    shared.cv.notify_one();
+}
+
+fn wait_idle(shared: &LaneShared) {
+    let mut q = lock_q(shared);
+    while !(q.tasks.is_empty() && q.busy == 0) {
+        q = shared
+            .done_cv
+            .wait(q)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// Explores the interleavings of a model closure.
+///
+/// Create one per model; the explorer owns a lane pool and the DFS state,
+/// both reused across the many executions of [`Explorer::explore`].
+pub struct Explorer {
+    config: Config,
+    lanes: Arc<LaneShared>,
+    path: Vec<Node>,
+    rng: Xoshiro256PlusPlus,
+    distinct: HashSet<u64>,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given limits.
+    pub fn new(config: Config) -> Self {
+        let seed = match config.strategy {
+            Strategy::Random { seed } => seed,
+            Strategy::Exhaustive => 0,
+        };
+        Self {
+            config,
+            lanes: Arc::new(LaneShared {
+                q: Mutex::new(LaneQ {
+                    tasks: VecDeque::new(),
+                    idle: 0,
+                    busy: 0,
+                    shutdown: false,
+                    handles: Vec::new(),
+                }),
+                cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            path: Vec::new(),
+            rng: Xoshiro256PlusPlus::from_seed_u64(seed),
+            distinct: HashSet::new(),
+        }
+    }
+
+    /// Runs `model` under every schedule the strategy selects, stopping
+    /// at the first violation or when the budget is spent.
+    ///
+    /// The closure is re-run once per interleaving and must be
+    /// deterministic apart from scheduling: same inputs, no wall-clock,
+    /// no ambient randomness.
+    pub fn explore<F: Fn()>(&mut self, model: F) -> Outcome {
+        let mut stats = Stats::default();
+        loop {
+            let (end, violation, trace, ops) = self.execute_once(&model);
+            stats.ops += ops;
+            match end {
+                Some(EndKind::Pruned) => stats.pruned += 1,
+                _ => {
+                    stats.interleavings += 1;
+                    match self.config.strategy {
+                        Strategy::Exhaustive => stats.distinct += 1,
+                        Strategy::Random { .. } => {
+                            if self.distinct.insert(schedule_hash(&trace)) {
+                                stats.distinct += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(v) = violation {
+                return Outcome {
+                    stats,
+                    violation: Some(v),
+                };
+            }
+            match self.config.strategy {
+                Strategy::Exhaustive => {
+                    if !advance(&mut self.path, self.config.preemption_bound) {
+                        stats.complete = true;
+                        break;
+                    }
+                    if stats.interleavings + stats.pruned >= self.config.budget as u64 {
+                        break;
+                    }
+                }
+                Strategy::Random { .. } => {
+                    if stats.interleavings >= self.config.budget as u64 {
+                        break;
+                    }
+                }
+            }
+        }
+        Outcome {
+            stats,
+            violation: None,
+        }
+    }
+
+    /// Runs the model once under the current schedule prefix. Returns the
+    /// end kind (None = clean completion), any violation, the decision
+    /// trace, and the op count.
+    fn execute_once<F: Fn()>(
+        &mut self,
+        model: &F,
+    ) -> (Option<EndKind>, Option<Violation>, Vec<Tid>, u64) {
+        let rt = Arc::new(Rt {
+            inner: Mutex::new(Inner {
+                threads: vec![ThreadSt::new({
+                    let mut c = Clock::EMPTY;
+                    c.bump(0);
+                    c
+                })],
+                objects: Vec::new(),
+                flow: 0,
+                aborted: None,
+                violation: None,
+                ops: 0,
+                max_ops: self.config.max_ops,
+                decision_idx: 0,
+                path: std::mem::take(&mut self.path),
+                sleep: Vec::new(),
+                preemptions: 0,
+                strategy: self.config.strategy,
+                rng: self.rng.clone(),
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        LANES.with(|l| *l.borrow_mut() = Some(Arc::clone(&self.lanes)));
+        set_ctx(Some((Arc::clone(&rt), 0)));
+        let result = catch_unwind(AssertUnwindSafe(model));
+        set_ctx(None);
+        LANES.with(|l| *l.borrow_mut() = None);
+
+        {
+            let mut g = lock_inner(&rt);
+            match result {
+                Err(p) if p.is::<AbortToken>() => {}
+                Err(p) => {
+                    let msg = panic_message(p.as_ref());
+                    rt.record_violation(&mut g, format!("main thread panicked: {msg}"));
+                }
+                Ok(()) => {
+                    if g.aborted.is_none() {
+                        let leaked = g
+                            .threads
+                            .iter()
+                            .skip(1)
+                            .filter(|t| t.run == Run::Active)
+                            .count();
+                        if leaked > 0 {
+                            rt.record_violation(
+                                &mut g,
+                                format!(
+                                    "main thread returned with {leaked} live model \
+                                     thread(s): every spawned thread must be joined"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Let every lane finish unwinding before reclaiming shared state.
+        wait_idle(&self.lanes);
+
+        let mut g = lock_inner(&rt);
+        self.path = std::mem::take(&mut g.path);
+        self.rng = g.rng.clone();
+        let trace = std::mem::take(&mut g.trace);
+        (
+            g.aborted,
+            g.violation.take(),
+            trace,
+            u64::try_from(g.ops).unwrap_or(u64::MAX),
+        )
+    }
+}
+
+impl Drop for Explorer {
+    fn drop(&mut self) {
+        let handles = {
+            let mut q = lock_q(&self.lanes);
+            q.shutdown = true;
+            self.lanes.cv.notify_all();
+            std::mem::take(&mut q.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Advances the DFS path to the next unexplored admissible branch,
+/// applying the sleep-set and preemption-bound filters. Returns `false`
+/// when the bounded space is exhausted.
+fn advance(path: &mut Vec<Node>, bound: Option<u32>) -> bool {
+    while let Some(node) = path.last_mut() {
+        let done = node.candidates[node.chosen];
+        node.explored.push(done);
+        let mut next = node.chosen + 1;
+        while next < node.candidates.len() {
+            let (t, _) = node.candidates[next];
+            let slept = node.explored.iter().any(|&(s, _)| s == t);
+            // Branching away from an enabled arriving thread is a
+            // preemption; skip branches that would blow the bound.
+            let preempts = t != node.arriving && node.arriving_enabled;
+            let over = preempts && bound.is_some_and(|b| node.preempts_at_entry >= b);
+            if !slept && !over {
+                break;
+            }
+            next += 1;
+        }
+        if next < node.candidates.len() {
+            node.chosen = next;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// FNV-1a over a decision trace; counts distinct random schedules.
+fn schedule_hash(trace: &[Tid]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &t in trace {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// Lane pool of the explorer driving the current execution; spawn
+    /// operations dispatch model threads through it.
+    static LANES: RefCell<Option<Arc<LaneShared>>> = const { RefCell::new(None) };
+}
+
+/// Spawns a model thread running `f`; pairs with [`join_thread`].
+pub(crate) fn spawn_thread(f: Box<dyn FnOnce() + Send>) -> Tid {
+    if tearing_down() {
+        return 0;
+    }
+    let (rt, me) = ctx();
+    let _ = rt.visible(me, OpDesc::new(GLOBAL_OBJ, OpKind::Spawn), OpArg::None);
+    let vid = {
+        let mut g = lock_inner(&rt);
+        if g.threads.len() >= MAX_THREADS {
+            rt.record_violation(
+                &mut g,
+                format!("model spawned more than {MAX_THREADS} threads"),
+            );
+            drop(g);
+            resume_unwind(Box::new(AbortToken));
+        }
+        let vid = g.threads.len();
+        let parent_clock = g.threads[me].clock;
+        let mut st = ThreadSt::new(parent_clock);
+        st.clock.bump(vid);
+        // Declare the child's first operation on its behalf so the
+        // scheduler can pick it before its OS lane even starts; the lane
+        // pool's own handoff is invisible to the model.
+        st.next_op = Some(OpDesc::new(thread_obj(vid), OpKind::Start));
+        g.threads.push(st);
+        vid
+    };
+    let lanes = LANES.with(|l| l.borrow().clone());
+    let Some(lanes) = lanes else {
+        return vid;
+    };
+    let task_rt = Arc::clone(&rt);
+    dispatch(
+        &lanes,
+        Box::new(move || {
+            set_ctx(Some((Arc::clone(&task_rt), vid)));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                // Consume the pre-declared Start barrier, then run.
+                let _ = task_rt.visible(
+                    vid,
+                    OpDesc::new(thread_obj(vid), OpKind::Start),
+                    OpArg::None,
+                );
+                f();
+            }));
+            let payload = match result {
+                Ok(()) => None,
+                Err(p) if p.is::<AbortToken>() => {
+                    set_ctx(None);
+                    return;
+                }
+                Err(p) => Some(p),
+            };
+            // The finish op itself abort-unwinds when the execution is
+            // being torn down; swallow the token here at the lane edge.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                finish_current(&task_rt, vid, payload);
+            }));
+            set_ctx(None);
+        }),
+    );
+    vid
+}
+
+fn finish_current(rt: &Arc<Rt>, me: Tid, payload: Option<Box<dyn Any + Send>>) {
+    if let Some(p) = payload {
+        lock_inner(rt).threads[me].payload = Some(p);
+    }
+    let _ = rt.visible(me, OpDesc::new(thread_obj(me), OpKind::Finish), OpArg::None);
+    // Hand the baton off: this thread never arrives again.
+    let mut g = lock_inner(rt);
+    rt.schedule(&mut g, me);
+}
+
+/// Joins model thread `vid`, returning its panic payload if it panicked.
+pub(crate) fn join_thread(vid: Tid) -> Option<Box<dyn Any + Send>> {
+    if tearing_down() {
+        return None;
+    }
+    let (rt, me) = ctx();
+    let _ = rt.visible(me, OpDesc::new(thread_obj(vid), OpKind::Join), OpArg::None);
+    let payload = lock_inner(&rt).threads[vid].payload.take();
+    payload
+}
+
+/// Performs a visible operation for the calling model thread.
+pub(crate) fn op(desc: OpDesc, arg: OpArg) -> OpOut {
+    if tearing_down() {
+        return OpOut::Unit;
+    }
+    let (rt, me) = ctx();
+    rt.visible(me, desc, arg)
+}
+
+/// What kind of synchronization object to register.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ObjKind {
+    Atomic,
+    Mutex,
+    Condvar,
+    Cell,
+}
+
+/// Registers a synchronization object for the current execution.
+pub(crate) fn register(kind: ObjKind, initial: u64) -> usize {
+    let (rt, me) = ctx();
+    match kind {
+        ObjKind::Atomic => rt.register_obj(ObjSt::Atomic {
+            value: initial,
+            sync: Clock::EMPTY,
+        }),
+        ObjKind::Mutex => rt.register_obj(ObjSt::Mutex {
+            held_by: None,
+            clock: Clock::EMPTY,
+        }),
+        ObjKind::Condvar => rt.register_obj(ObjSt::Condvar),
+        ObjKind::Cell => {
+            let clock = rt.my_clock(me);
+            rt.register_obj(ObjSt::Cell {
+                writer: clock,
+                readers: Clock::EMPTY,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{AtomicUsize, Mutex as ModelMutex, RaceCell};
+    use crate::thread;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn single_thread_model_runs_once_exhaustively() {
+        let mut ex = Explorer::new(Config::default());
+        let outcome = ex.explore(|| {
+            let a = AtomicUsize::new(1);
+            assert_eq!(a.load(Ordering::Relaxed), 1);
+            a.store(2, Ordering::Release);
+            assert_eq!(a.load(Ordering::Acquire), 2);
+        });
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert_eq!(outcome.stats.interleavings, 1);
+        assert!(outcome.stats.complete);
+    }
+
+    #[test]
+    fn two_thread_counter_explores_multiple_interleavings() {
+        let mut ex = Explorer::new(Config::default());
+        let outcome = ex.explore(|| {
+            let a = std::sync::Arc::new(AtomicUsize::new(0));
+            let a2 = std::sync::Arc::clone(&a);
+            let h = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::Relaxed);
+            });
+            a.fetch_add(1, Ordering::Relaxed);
+            h.join().map_err(|_| ()).expect("joins");
+            assert_eq!(a.load(Ordering::Relaxed), 2);
+        });
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.stats.interleavings >= 2, "{:?}", outcome.stats);
+        assert!(outcome.stats.complete);
+    }
+
+    #[test]
+    fn release_acquire_publication_is_race_free() {
+        let mut ex = Explorer::new(Config::default());
+        let outcome = ex.explore(|| {
+            let data = std::sync::Arc::new(RaceCell::new(0u64));
+            let flag = std::sync::Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (std::sync::Arc::clone(&data), std::sync::Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                if f2.load(Ordering::Acquire) == 1 {
+                    assert_eq!(d2.get(), 7);
+                }
+            });
+            data.set(7);
+            flag.store(1, Ordering::Release);
+            h.join().map_err(|_| ()).expect("joins");
+        });
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+        assert!(outcome.stats.complete);
+    }
+
+    #[test]
+    fn relaxed_publication_race_is_caught() {
+        let mut ex = Explorer::new(Config::default());
+        let outcome = ex.explore(|| {
+            let data = std::sync::Arc::new(RaceCell::new(0u64));
+            let flag = std::sync::Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (std::sync::Arc::clone(&data), std::sync::Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                if f2.load(Ordering::Acquire) == 1 {
+                    let _ = d2.get();
+                }
+            });
+            data.set(7);
+            flag.store(1, Ordering::Relaxed); // the bug under test
+            h.join().map_err(|_| ()).expect("joins");
+        });
+        let v = outcome.violation.expect("relaxed publication must race");
+        assert!(v.message.contains("data race"), "{v}");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut ex = Explorer::new(Config::default());
+        let outcome = ex.explore(|| {
+            let m = std::sync::Arc::new(ModelMutex::new(0u64));
+            let m2 = std::sync::Arc::clone(&m);
+            let h = thread::spawn(move || {
+                let _g1 = m2.lock().map_err(|_| ()).expect("locks");
+                let _g2 = m2.lock().map_err(|_| ()).expect("self-deadlock");
+            });
+            h.join().map_err(|_| ()).expect("joins");
+        });
+        let v = outcome.violation.expect("double lock must deadlock");
+        assert!(v.message.contains("deadlock"), "{v}");
+    }
+
+    #[test]
+    fn random_strategy_is_reproducible_from_seed() {
+        let run = |seed: u64| {
+            let mut ex = Explorer::new(Config {
+                strategy: Strategy::Random { seed },
+                budget: 200,
+                ..Config::default()
+            });
+            ex.explore(|| {
+                let a = std::sync::Arc::new(AtomicUsize::new(0));
+                let a2 = std::sync::Arc::clone(&a);
+                let h = thread::spawn(move || {
+                    a2.fetch_add(3, Ordering::Relaxed);
+                });
+                a.fetch_add(5, Ordering::Relaxed);
+                h.join().map_err(|_| ()).expect("joins");
+            })
+            .stats
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a.interleavings, b.interleavings);
+        assert_eq!(a.distinct, b.distinct);
+        assert_eq!(a.ops, b.ops);
+        assert!(c.interleavings > 0);
+    }
+
+    #[test]
+    fn leaked_thread_is_a_violation() {
+        let mut ex = Explorer::new(Config {
+            budget: 10,
+            ..Config::default()
+        });
+        let outcome = ex.explore(|| {
+            let _h = thread::spawn(|| {});
+        });
+        let v = outcome.violation.expect("unjoined thread is reported");
+        assert!(v.message.contains("live model thread"), "{v}");
+    }
+}

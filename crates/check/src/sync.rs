@@ -1,0 +1,328 @@
+//! Shadow synchronization primitives.
+//!
+//! Drop-in replacements for the `std::sync` types the worker pool uses.
+//! Each one registers an object with the active [`crate::Explorer`]
+//! execution and turns every access into a visible operation the
+//! scheduler can interleave and the vector-clock engine can check. The
+//! APIs mirror `std` exactly (including `LockResult` plumbing, though the
+//! shadow lock never poisons) so `pilfill-exec` can swap them in with a
+//! `cfg` switch and zero call-site changes.
+//!
+//! [`RaceCell`] has no `std` counterpart: it models *plain* (non-atomic)
+//! shared data, the thing the pool's protocols exist to protect. Reads
+//! and writes are checked against the happens-before relation and any
+//! unordered pair is reported as a data race.
+
+use crate::rt::{self, ObjKind, OpArg, OpDesc, OpKind, OpOut};
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+use std::sync::LockResult;
+
+fn load_acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn store_releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+macro_rules! shadow_atomic {
+    ($name:ident, $prim:ty, $to:expr, $from:expr) => {
+        /// Shadow of the `std::sync::atomic` type of the same name: the
+        /// value lives in the scheduler, every access is a visible,
+        /// clock-tracked operation.
+        #[derive(Debug)]
+        pub struct $name {
+            id: usize,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value, registering it
+            /// with the active execution.
+            pub fn new(v: $prim) -> Self {
+                Self {
+                    id: rt::register(ObjKind::Atomic, ($to)(v)),
+                }
+            }
+
+            /// Atomic load with `order` semantics.
+            pub fn load(&self, order: Ordering) -> $prim {
+                let out = rt::op(
+                    OpDesc::new(
+                        self.id,
+                        OpKind::AtomicLoad {
+                            acquire: load_acquires(order),
+                        },
+                    ),
+                    OpArg::None,
+                );
+                ($from)(out.val())
+            }
+
+            /// Atomic store with `order` semantics.
+            pub fn store(&self, v: $prim, order: Ordering) {
+                rt::op(
+                    OpDesc::new(
+                        self.id,
+                        OpKind::AtomicStore {
+                            release: store_releases(order),
+                        },
+                    ),
+                    OpArg::Store(($to)(v)),
+                );
+            }
+
+            /// Atomic fetch-add, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                let out = self.rmw(order, OpArg::Add(($to)(v)));
+                ($from)(out.val())
+            }
+
+            /// Atomic fetch-sub, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                let out = self.rmw(order, OpArg::Sub(($to)(v)));
+                ($from)(out.val())
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                let out = self.rmw(order, OpArg::Swap(($to)(v)));
+                ($from)(out.val())
+            }
+
+            /// Atomic compare-exchange; both orderings are approximated
+            /// by `success` (the checker treats SeqCst as AcqRel anyway).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let out = self.rmw(
+                    success,
+                    OpArg::Cx {
+                        expect: ($to)(current),
+                        new: ($to)(new),
+                    },
+                );
+                match out {
+                    OpOut::Cx(Ok(v)) => Ok(($from)(v)),
+                    OpOut::Cx(Err(v)) => Err(($from)(v)),
+                    other => Ok(($from)(other.val())),
+                }
+            }
+
+            fn rmw(&self, order: Ordering, arg: OpArg) -> OpOut {
+                rt::op(
+                    OpDesc::new(
+                        self.id,
+                        OpKind::AtomicRmw {
+                            acquire: load_acquires(order),
+                            release: store_releases(order),
+                        },
+                    ),
+                    arg,
+                )
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+shadow_atomic!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| {
+    // Model values originate from usize; the round-trip is lossless on
+    // 64-bit targets. pilfill: allow(as-cast)
+    v as usize
+});
+shadow_atomic!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+shadow_atomic!(AtomicBool, bool, |v: bool| u64::from(v), |v: u64| v != 0);
+
+/// Shadow of `std::sync::Mutex`: acquisition is an enabledness-gated
+/// visible operation, so lock cycles surface as detected deadlocks
+/// instead of hangs.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs exactly one model thread at a time and
+// grants MutexLock only while the mutex is free, so all access to `data`
+// through guards is mutually exclusive and ordered by the baton handoff.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — `&Mutex<T>` only exposes `data` through guards whose
+// creation the scheduler serializes.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex, registering it with the active execution.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: rt::register(ObjKind::Mutex, 0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the mutex. Never returns `Err`: the shadow lock does not
+    /// poison (panics abort the whole model execution instead).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::op(OpDesc::new(self.id, OpKind::MutexLock), OpArg::None);
+        Ok(MutexGuard { mutex: self })
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Shadow of `std::sync::MutexGuard`; unlocking on drop is a visible
+/// operation.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this guard exists only between a granted MutexLock and
+        // its MutexUnlock; the scheduler enforces mutual exclusion, so no
+        // other reference to the data is live.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive access is guaranteed by the
+        // scheduler for the guard's lifetime.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::op(OpDesc::new(self.mutex.id, OpKind::MutexUnlock), OpArg::None);
+    }
+}
+
+/// Shadow of `std::sync::Condvar`. A wait is modeled as two visible
+/// operations: release-and-enqueue, then a reacquire that is enabled only
+/// once a notification arrived and the mutex is free. There are no
+/// spurious wakeups (every real-world wakeup path must therefore be
+/// driven by an explicit notify in the model).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: std::cell::OnceCell<usize>,
+}
+
+// SAFETY: the OnceCell is only accessed by model threads, which the
+// scheduler runs one at a time; initialization races cannot occur.
+unsafe impl Send for Condvar {}
+// SAFETY: as above — model threads are serialized by the baton protocol.
+unsafe impl Sync for Condvar {}
+
+impl Condvar {
+    /// Creates the condvar; the object registers lazily on first use so
+    /// `Condvar::new` can stay `const`-shaped like `std`'s.
+    pub fn new() -> Self {
+        Self {
+            id: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| rt::register(ObjKind::Condvar, 0))
+    }
+
+    /// Releases `guard`'s mutex, waits for a notification, reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        // The two-phase wait replaces the guard's normal drop; forgetting
+        // it skips the MutexUnlock that CvWait performs itself.
+        std::mem::forget(guard);
+        let cv = self.id();
+        rt::op(
+            OpDesc::with_obj2(cv, mutex.id, OpKind::CvWait),
+            OpArg::Store(u64::try_from(mutex.id).unwrap_or(0)),
+        );
+        rt::op(
+            OpDesc::with_obj2(cv, mutex.id, OpKind::CvReacquire),
+            OpArg::None,
+        );
+        Ok(MutexGuard { mutex })
+    }
+
+    /// Wakes every current waiter.
+    pub fn notify_all(&self) {
+        rt::op(OpDesc::new(self.id(), OpKind::CvNotifyAll), OpArg::None);
+    }
+
+    /// Wakes one current waiter (the lowest thread id, deterministically).
+    pub fn notify_one(&self) {
+        rt::op(OpDesc::new(self.id(), OpKind::CvNotifyOne), OpArg::None);
+    }
+}
+
+/// Plain shared data under race detection.
+///
+/// Models a non-atomic memory location (a tile slot, a result buffer).
+/// Every access is checked against happens-before: a read must be ordered
+/// after the last write, a write must be ordered after every prior
+/// access. Unordered pairs are reported as data races — the checker's
+/// equivalent of UB.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: model threads run one at a time under the baton protocol, so
+// the raw accesses below never overlap in real time; logically-racy
+// accesses are caught by the clock check before data is returned.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+// SAFETY: as above — real-time exclusivity comes from the scheduler,
+// logical races are detected and abort the execution.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates the cell; the construction counts as the initial write.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: rt::register(ObjKind::Cell, 0),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Race-checked read.
+    pub fn get(&self) -> T {
+        rt::op(OpDesc::new(self.id, OpKind::CellRead), OpArg::None);
+        // SAFETY: the scheduler serializes model threads, so this
+        // non-overlapping read is valid; ordering violations were already
+        // reported by the CellRead operation above.
+        unsafe { *self.data.get() }
+    }
+
+    /// Race-checked write.
+    pub fn set(&self, value: T) {
+        rt::op(OpDesc::new(self.id, OpKind::CellWrite), OpArg::None);
+        // SAFETY: as in `get` — the store cannot overlap another access
+        // in real time; logical races were checked by CellWrite.
+        unsafe { *self.data.get() = value };
+    }
+}

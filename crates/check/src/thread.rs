@@ -1,0 +1,88 @@
+//! Shadow of the used subset of `std::thread`.
+//!
+//! Spawned closures become model threads driven by the scheduler in
+//! [`crate::rt`]; the OS-level threads underneath come from the
+//! explorer's reusable lane pool, so models pay no per-execution spawn
+//! cost. Every spawned thread must be joined before the model closure
+//! returns — leaking one is reported as a violation (a real pool that
+//! leaks threads on shutdown is a bug the checker should catch, not
+//! tolerate).
+
+use crate::rt::{self, Tid};
+use std::any::Any;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shadow of `std::thread::JoinHandle`.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    vid: Tid,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a visible, enabledness-gated
+    /// operation) and returns its result, or the panic payload if the
+    /// thread panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send>> {
+        if let Some(payload) = rt::join_thread(self.vid) {
+            return Err(payload);
+        }
+        // The slot is written by the child before its Finish operation
+        // and read here after Join, which the scheduler orders after
+        // Finish — the real lock below is therefore uncontended.
+        let taken = self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match taken {
+            Some(v) => Ok(v),
+            None => Err(Box::new("model thread produced no result (torn down)")),
+        }
+    }
+}
+
+/// Spawns a model thread. Mirrors `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let out = Arc::clone(&slot);
+    let vid = rt::spawn_thread(Box::new(move || {
+        let v = f();
+        *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+    }));
+    JoinHandle { vid, slot }
+}
+
+/// Shadow of `std::thread::Builder` (name is accepted and ignored — the
+/// OS lanes carry their own names).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread name (recorded for API parity, not used).
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread; infallible in the model, `io::Result` for API
+    /// parity with `std`.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn(f))
+    }
+}

@@ -26,10 +26,13 @@
 //! The pool is intentionally minimal: no futures, no channels, no external
 //! crates — `std::thread`, two condvars and two atomics.
 
+mod sync;
+
+use crate::sync::thread::JoinHandle;
+use crate::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Batches per lane the adaptive claiming aims for: each lane claims about
 /// `remaining / (lanes * CLAIM_RATIO)` indices per grab, so early grabs are
@@ -178,7 +181,7 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(lanes - 1);
         for i in 1..lanes {
             let shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
+            let spawned = crate::sync::thread::Builder::new()
                 .name(format!("pilfill-exec-{i}"))
                 .spawn(move || worker_loop(&shared));
             // A failed spawn (resource exhaustion) degrades the pool to

@@ -1,0 +1,28 @@
+//! Synchronization-primitive shim.
+//!
+//! The pool's concurrency surface — its atomics, locks, condvars, and
+//! thread spawning — goes through this module instead of naming `std`
+//! directly. Normally the re-exports below *are* the `std` types, so the
+//! shim compiles away to nothing. Under `--cfg pilfill_check` (set via
+//! `RUSTFLAGS`, see `scripts/ci.sh`) they swap to the shadow primitives
+//! of the `pilfill-check` bounded model checker, which turn every atomic
+//! access, lock acquisition, and condvar wait into a visible operation a
+//! cooperative scheduler can interleave and verify. That lets
+//! `tests/model_pool.rs` run the *real* pool protocols — not a
+//! transcription — under exhaustive schedule exploration.
+//!
+//! Keep the surface minimal: only the types the pool actually uses are
+//! re-exported, so a new primitive sneaking into the pool without model
+//! coverage shows up as a compile error here first.
+
+#[cfg(not(pilfill_check))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize};
+#[cfg(not(pilfill_check))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(pilfill_check))]
+pub(crate) use std::thread;
+
+#[cfg(pilfill_check)]
+pub(crate) use pilfill_check::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard};
+#[cfg(pilfill_check)]
+pub(crate) use pilfill_check::thread;

@@ -82,7 +82,34 @@ pub fn lint_repo(repo: &Path) -> std::io::Result<LintReport> {
             report.merge(rules::lint_source(&rel, &text));
         }
     }
+    report.merge(rules::lint_manifests(&workspace_manifests(repo)?));
     Ok(report)
+}
+
+/// Collects `(repo-relative path, text)` for the root manifest and every
+/// crate manifest, in deterministic order, for the `layering` rule.
+fn workspace_manifests(repo: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths = vec![repo.join("Cargo.toml")];
+    if let Ok(entries) = std::fs::read_dir(repo.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .map(|p| p.join("Cargo.toml"))
+            .filter(|p| p.is_file())
+            .collect();
+        dirs.sort();
+        paths.extend(dirs);
+    }
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(repo)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, text));
+    }
+    Ok(out)
 }
 
 /// Renders the full machine-readable report consumed by CI.

@@ -11,13 +11,16 @@ use crate::scan::SourceFile;
 use pilfill_diag::{Diagnostic, Severity};
 
 /// The rule set, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::Unwrap,
     Rule::FloatEq,
     Rule::AsCast,
     Rule::ProcessExit,
     Rule::MustUse,
     Rule::MissingDocs,
+    Rule::UnsafeComment,
+    Rule::AtomicOrdering,
+    Rule::Layering,
 ];
 
 /// One lint rule.
@@ -35,6 +38,14 @@ pub enum Rule {
     MustUse,
     /// Public items must have doc comments.
     MissingDocs,
+    /// Every `unsafe` block / `unsafe impl` needs a `// SAFETY:` rationale.
+    UnsafeComment,
+    /// No `Relaxed` store paired with an acquiring load of the same
+    /// atomic, and no `SeqCst` outside the allowlist.
+    AtomicOrdering,
+    /// Crate dependencies must respect the workspace layer order
+    /// (checked from `Cargo.toml` edges via [`lint_manifests`]).
+    Layering,
 }
 
 impl Rule {
@@ -47,6 +58,9 @@ impl Rule {
             Rule::ProcessExit => "process-exit",
             Rule::MustUse => "must-use",
             Rule::MissingDocs => "missing-docs",
+            Rule::UnsafeComment => "unsafe-no-safety-comment",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::Layering => "layering",
         }
     }
 
@@ -54,6 +68,7 @@ impl Rule {
     pub const fn severity(self) -> Severity {
         match self {
             Rule::Unwrap | Rule::FloatEq | Rule::AsCast | Rule::ProcessExit => Severity::Error,
+            Rule::UnsafeComment | Rule::AtomicOrdering | Rule::Layering => Severity::Error,
             Rule::MustUse | Rule::MissingDocs => Severity::Warning,
         }
     }
@@ -73,6 +88,18 @@ impl Rule {
             Rule::ProcessExit => "no `std::process::exit` outside crates/cli",
             Rule::MustUse => "solver/flow result types (*Outcome, *Report, ...) need #[must_use]",
             Rule::MissingDocs => "public items need doc comments",
+            Rule::UnsafeComment => {
+                "every `unsafe` block and `unsafe impl` needs a `// SAFETY:` comment \
+                 stating the upheld invariant"
+            }
+            Rule::AtomicOrdering => {
+                "no `Relaxed` store of an atomic that is elsewhere loaded with an \
+                 acquiring ordering, and no `SeqCst` outside the allowlist"
+            }
+            Rule::Layering => {
+                "crate dependency edges must point down the workspace layer order \
+                 (prng/geom/diag/solver -> check/layout -> exec/rc/density -> core -> ...)"
+            }
         }
     }
 }
@@ -125,6 +152,8 @@ pub fn lint_source(path: &str, text: &str) -> LintReport {
     rule_process_exit(&file, &mut findings);
     rule_must_use(&file, &mut findings);
     rule_missing_docs(&file, &mut findings);
+    rule_unsafe_comment(&file, &mut findings);
+    rule_atomic_ordering(&file, &mut findings);
     findings.sort_by_key(|&(_, line, _)| line);
 
     let mut report = LintReport {
@@ -470,6 +499,319 @@ fn rule_missing_docs(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>)
     }
 }
 
+/// `true` when the `unsafe` at `line` index `i` is justified: a `SAFETY:`
+/// marker on the same raw line, or in the contiguous run of comment /
+/// attribute lines directly above (`// SAFETY:` comments and `/// #
+/// Safety` doc sections both count).
+fn has_safety_evidence(file: &SourceFile, i: usize) -> bool {
+    if file.raw[i].contains("SAFETY:") {
+        return true;
+    }
+    for j in (0..i).rev() {
+        let above = file.raw[j].trim();
+        if above.starts_with("//") || above.starts_with("#[") || above.starts_with("#![") {
+            if above.contains("SAFETY:") || above.contains("# Safety") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+fn rule_unsafe_comment(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let bytes = code.as_bytes();
+        for off in find_all(code, "unsafe") {
+            let word_start = off == 0 || {
+                let b = bytes[off - 1];
+                !b.is_ascii_alphanumeric() && b != b'_'
+            };
+            if !word_start {
+                continue;
+            }
+            // Only blocks and impls carry a local `// SAFETY:` obligation;
+            // `unsafe fn` declarations document their contract in a
+            // `# Safety` doc section (enforced via the same evidence walk
+            // when the block inside them is audited).
+            let rest = code[off + "unsafe".len()..].trim_start();
+            if !(rest.starts_with('{') || rest.starts_with("impl")) {
+                continue;
+            }
+            if !has_safety_evidence(file, i) {
+                findings.push((
+                    Rule::UnsafeComment,
+                    line_no(i),
+                    "`unsafe` without a `// SAFETY:` comment: state the invariant that \
+                     makes this sound on the line(s) directly above"
+                        .to_string(),
+                ));
+            }
+            // One finding per line is enough.
+            break;
+        }
+    }
+}
+
+/// Files allowed to name `SeqCst`: the model checker's ordering
+/// classifier must pattern-match every ordering, including `SeqCst`.
+const SEQCST_ALLOWED: [&str; 1] = ["crates/check/src/sync.rs"];
+
+/// Extracts the identifier immediately before byte offset `off` (the
+/// receiver field of a `.store(`/`.load(` call).
+fn ident_before(code: &str, off: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = off;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    code[start..off].to_string()
+}
+
+fn rule_atomic_ordering(file: &SourceFile, findings: &mut Vec<(Rule, u32, String)>) {
+    let mut relaxed_stores: Vec<(String, usize)> = Vec::new();
+    let mut acquiring_loads: Vec<(String, usize)> = Vec::new();
+    for (i, code) in file.code.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        let bytes = code.as_bytes();
+        for off in find_all(code, "SeqCst") {
+            let word_start = off == 0 || {
+                let b = bytes[off - 1];
+                !b.is_ascii_alphanumeric() && b != b'_'
+            };
+            if word_start && !SEQCST_ALLOWED.contains(&file.path.as_str()) {
+                findings.push((
+                    Rule::AtomicOrdering,
+                    line_no(i),
+                    "`SeqCst` outside the allowlist: the pool protocols are specified in \
+                     acquire/release terms — justify the full fence or use \
+                     `Acquire`/`Release`"
+                        .to_string(),
+                ));
+            }
+        }
+        // Bound the ordering search to the call's own argument list so
+        // several calls sharing a line don't cross-contaminate (ordering
+        // names are plain paths, so the first `)` closes the call).
+        let args_of = |off: usize| {
+            let end = code[off..].find(')').map_or(code.len(), |p| off + p);
+            &code[off..end]
+        };
+        for off in find_all(code, ".store(") {
+            if args_of(off).contains("Relaxed") {
+                let field = ident_before(code, off);
+                if !field.is_empty() {
+                    relaxed_stores.push((field, i));
+                }
+            }
+        }
+        for off in find_all(code, ".load(") {
+            let args = args_of(off);
+            if args.contains("Acquire") || args.contains("SeqCst") {
+                let field = ident_before(code, off);
+                if !field.is_empty() {
+                    acquiring_loads.push((field, i));
+                }
+            }
+        }
+    }
+    for (field, i) in &relaxed_stores {
+        if let Some((_, j)) = acquiring_loads.iter().find(|(f, _)| f == field) {
+            findings.push((
+                Rule::AtomicOrdering,
+                line_no(*i),
+                format!(
+                    "`{field}` is stored with `Relaxed` but loaded with an acquiring \
+                     ordering at line {}: the acquire synchronizes with nothing — make \
+                     the store `Release` (or both `Relaxed` if no data is published)",
+                    line_no(*j)
+                ),
+            ));
+        }
+    }
+}
+
+/// The workspace layer order. A crate may only depend on crates in a
+/// strictly lower layer; edges inside a layer or pointing up are
+/// layering violations (they either create cycle risk or invert the
+/// prng/geom/diag -> core -> flow architecture documented in DESIGN.md).
+const LAYERS: [(&str, u32); 16] = [
+    ("pilfill-prng", 0),
+    ("pilfill-geom", 0),
+    ("pilfill-diag", 0),
+    ("pilfill-solver", 0),
+    ("pilfill-check", 1),
+    ("pilfill-layout", 1),
+    ("xtask", 1),
+    ("pilfill-exec", 2),
+    ("pilfill-rc", 2),
+    ("pilfill-density", 2),
+    ("pilfill-core", 3),
+    ("pilfill-stream", 4),
+    ("pilfill-viz", 4),
+    ("pilfill-cli", 5),
+    ("pilfill-bench", 5),
+    ("pil-fill", 5),
+];
+
+fn layer_of(name: &str) -> Option<u32> {
+    LAYERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, tier)| tier)
+}
+
+/// One parsed manifest: package name plus its `[dependencies]` edges.
+struct Manifest {
+    path: String,
+    name: String,
+    /// `(dep_name, 1-based line, suppressed)`.
+    deps: Vec<(String, u32, bool)>,
+}
+
+/// Parses the package name and `[dependencies]` entries out of a
+/// `Cargo.toml`. Line-oriented: good enough for workspace manifests,
+/// which this repo keeps in the canonical `name.workspace = true` form.
+fn parse_manifest(path: &str, text: &str) -> Manifest {
+    let mut name = String::new();
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if section == "[package]" && name.is_empty() {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    name = rest.trim().trim_matches('"').to_string();
+                }
+            }
+        }
+        if section == "[dependencies]" && !line.is_empty() && !line.starts_with('#') {
+            let dep: String = line
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if !dep.is_empty() {
+                let suppressed = raw
+                    .find('#')
+                    .is_some_and(|p| raw[p..].contains("pilfill: allow(layering)"));
+                deps.push((dep, line_no(i), suppressed));
+            }
+        }
+    }
+    Manifest {
+        path: path.to_string(),
+        name,
+        deps,
+    }
+}
+
+/// Lints the workspace dependency graph declared by `manifests`
+/// (`(repo-relative path, text)` pairs): every edge must point to a
+/// strictly lower layer of [`LAYERS`], and the graph must be acyclic.
+/// Suppress a deliberate exception with `# pilfill: allow(layering)` on
+/// the dependency line.
+pub fn lint_manifests(manifests: &[(String, String)]) -> LintReport {
+    let parsed: Vec<Manifest> = manifests
+        .iter()
+        .map(|(path, text)| parse_manifest(path, text))
+        .collect();
+    let mut report = LintReport {
+        files_scanned: parsed.len(),
+        ..LintReport::default()
+    };
+
+    for m in &parsed {
+        let Some(tier) = layer_of(&m.name) else {
+            continue;
+        };
+        for (dep, line, suppressed) in &m.deps {
+            let Some(dep_tier) = layer_of(dep) else {
+                continue;
+            };
+            if tier > dep_tier {
+                continue;
+            }
+            if *suppressed {
+                report.suppressed += 1;
+            } else {
+                report.diagnostics.push(Diagnostic::new(
+                    Rule::Layering.severity(),
+                    Rule::Layering.id(),
+                    &m.path,
+                    *line,
+                    format!(
+                        "layering violation: `{}` (layer {tier}) may not depend on \
+                         `{dep}` (layer {dep_tier}); dependency edges must point down \
+                         the layer order",
+                        m.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Cycle detection over the declared edges (covers crates outside the
+    // layer table too).
+    let index: std::collections::HashMap<&str, usize> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.as_str(), i))
+        .collect();
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut state = vec![0u8; parsed.len()];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..parsed.len() {
+        if state[start] != 0 {
+            continue;
+        }
+        stack.push((start, 0));
+        state[start] = 1;
+        while let Some(&(node, edge)) = stack.last() {
+            if edge >= parsed[node].deps.len() {
+                state[node] = 2;
+                stack.pop();
+                continue;
+            }
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
+            let dep = parsed[node].deps[edge].0.as_str();
+            let Some(&next) = index.get(dep) else {
+                continue;
+            };
+            if state[next] == 1 {
+                let mut cycle: Vec<&str> = stack
+                    .iter()
+                    .map(|&(n, _)| parsed[n].name.as_str())
+                    .collect();
+                cycle.push(dep);
+                report.diagnostics.push(Diagnostic::new(
+                    Rule::Layering.severity(),
+                    Rule::Layering.id(),
+                    &parsed[next].path,
+                    1,
+                    format!("dependency cycle: {}", cycle.join(" -> ")),
+                ));
+            } else if state[next] == 0 {
+                state[next] = 1;
+                stack.push((next, 0));
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,5 +943,137 @@ mod tests {
         let report = lint_source("crates/core/src/a.rs", src);
         assert_eq!(report.errors(), 1);
         assert_eq!(report.warnings(), 1); // missing-docs
+    }
+
+    #[test]
+    fn unsafe_block_requires_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules_fired(&report), vec!["unsafe-no-safety-comment"]);
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_satisfies_unsafe_rule() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads, checked by caller.\n    unsafe { *p }\n}\n// SAFETY: no shared state is touched.\nunsafe impl Send for X {}\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn safety_evidence_walks_over_attributes_and_doc_sections() {
+        let src = "// SAFETY: slots are index-partitioned.\n#[allow(clippy::mut_from_ref)]\nunsafe impl<T> Sync for W<T> {}\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unsafe_fn_declaration_is_not_flagged_as_a_block() {
+        // The declaration's contract lives in `# Safety` docs; only the
+        // block and impl forms need a local SAFETY comment.
+        let src =
+            "/// Does things.\n/// # Safety\n/// Caller checks i.\npub unsafe fn w(i: usize) {}\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn unsafe_rule_suppressible() {
+        let src = "// justified elsewhere; pilfill: allow(unsafe-no-safety-comment)\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn relaxed_store_with_acquire_load_is_flagged() {
+        let src = "fn f(a: &A) { a.ready.store(1, Ordering::Relaxed); }\nfn g(a: &A) -> usize { a.ready.load(Ordering::Acquire) }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules_fired(&report), vec!["atomic-ordering"]);
+        assert_eq!(report.diagnostics[0].line, 1, "flagged at the store");
+    }
+
+    #[test]
+    fn consistent_orderings_are_not_flagged() {
+        let src = "fn f(a: &A) { a.panicked.store(true, Ordering::Relaxed); let _ = a.panicked.load(Ordering::Relaxed); a.ready.store(1, Ordering::Release); let _ = a.ready.load(Ordering::Acquire); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn seqcst_is_flagged_outside_the_allowlist() {
+        let src = "fn f(a: &A) { a.x.store(1, Ordering::SeqCst); }\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(rules_fired(&report), vec!["atomic-ordering"]);
+        let allowed = lint_source("crates/check/src/sync.rs", src);
+        assert!(allowed.diagnostics.is_empty(), "{:?}", allowed.diagnostics);
+    }
+
+    #[test]
+    fn atomic_ordering_suppressible() {
+        let src = "// intentional: flag is advisory only; pilfill: allow(atomic-ordering)\nfn f(a: &A) { a.hint.store(1, Ordering::Relaxed); }\nfn g(a: &A) -> usize { a.hint.load(Ordering::Acquire) } // pilfill: allow(atomic-ordering)\n";
+        let report = lint_source("crates/core/src/a.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressed, 1);
+    }
+
+    fn manifest(path: &str, text: &str) -> (String, String) {
+        (path.to_string(), text.to_string())
+    }
+
+    #[test]
+    fn layering_violation_fires_on_upward_edge() {
+        let bad = manifest(
+            "crates/geom/Cargo.toml",
+            "[package]\nname = \"pilfill-geom\"\n\n[dependencies]\npilfill-core.workspace = true\n",
+        );
+        let report = lint_manifests(&[bad]);
+        assert_eq!(report.errors(), 1);
+        assert!(report.diagnostics[0].message.contains("pilfill-core"));
+    }
+
+    #[test]
+    fn layering_ok_for_downward_edges() {
+        let good = manifest(
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"pilfill-core\"\n\n[dependencies]\npilfill-geom.workspace = true\npilfill-exec.workspace = true\n",
+        );
+        let report = lint_manifests(&[good]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn layering_suppressible_per_line() {
+        let bad = manifest(
+            "crates/geom/Cargo.toml",
+            "[package]\nname = \"pilfill-geom\"\n\n[dependencies]\npilfill-core.workspace = true # transitional; pilfill: allow(layering)\n",
+        );
+        let report = lint_manifests(&[bad]);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn dependency_cycles_are_reported() {
+        let a = manifest(
+            "crates/a/Cargo.toml",
+            "[package]\nname = \"ext-a\"\n\n[dependencies]\next-b = \"1\"\n",
+        );
+        let b = manifest(
+            "crates/b/Cargo.toml",
+            "[package]\nname = \"ext-b\"\n\n[dependencies]\next-a = \"1\"\n",
+        );
+        let report = lint_manifests(&[a, b]);
+        assert_eq!(report.errors(), 1, "{:?}", report.diagnostics);
+        assert!(report.diagnostics[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt_from_layering() {
+        let m = manifest(
+            "crates/geom/Cargo.toml",
+            "[package]\nname = \"pilfill-geom\"\n\n[dev-dependencies]\npilfill-core.workspace = true\n",
+        );
+        let report = lint_manifests(&[m]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
     }
 }

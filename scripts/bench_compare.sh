@@ -18,7 +18,9 @@
 #
 # Keys present in only one report (new or retired benches) are listed in
 # a separate "added/removed keys" section after the table and never count
-# as regressions. Only std tools (bash + awk) are used.
+# as regressions; their count is repeated on the final summary line so a
+# renamed key can't scroll past unnoticed in a long CI log. Only std
+# tools (bash + awk) are used.
 set -euo pipefail
 
 usage() {
@@ -122,7 +124,7 @@ extract() {
           printf "  %-42s %14d %9s\n", k, v, tag[i]
         }
       }
-      printf "threshold +/-%s%%: %d regression(s)\n", thr, bad
+      printf "threshold +/-%s%%: %d regression(s), %d added/removed key(s)\n", thr, bad, extra
       exit bad
     }
   '

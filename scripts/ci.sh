@@ -22,6 +22,22 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# Concurrency gates. The bounded model checker explores the pool's
+# protocol invariants (epoch publication, cursor claiming, slot merges,
+# gate streaming, panic propagation) under a fixed seed and budget; its
+# JSON report lands next to lint-report.json. The three concurrency
+# audit rules (unsafe-no-safety-comment, atomic-ordering, layering)
+# already gate above as part of the pilfill-audit lint step.
+echo "==> pilfill-check model suite (bounded budget, JSON report)"
+cargo run --release -q -p pilfill-check -- --out check-report.json
+
+# The same engine driving the REAL WorkerPool through the cfg'd sync
+# shim. A separate target dir keeps the --cfg flag from thrashing the
+# main build cache.
+echo "==> model-checked pool tests (cfg pilfill_check)"
+RUSTFLAGS="--cfg pilfill_check" CARGO_TARGET_DIR=target/check \
+  cargo test -q -p pilfill-exec --test model_pool
+
 # Informational, non-blocking: a --quick bench run checks the harness
 # end-to-end (and the sweep flag paths) without pretending CI hardware
 # produces comparable medians; the diff against the committed baseline is
