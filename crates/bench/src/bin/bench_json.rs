@@ -18,7 +18,12 @@
 //!   median over the N-lane median, so 2000 = a clean 2x). Judge those
 //!   against `host_parallelism`: lanes beyond the hardware measure
 //!   scheduling overhead, not speedup (`scripts/check_scaling.sh`).
-//! - `--out PATH`: report path (default `BENCH_pr6.json`).
+//! - `--out PATH`: report path (default `BENCH_pr8.json`).
+//!
+//! Besides timings, the report carries a `solver` object of raw effort
+//! counters from one ILP-II solve of the representative tile — simplex
+//! iterations, LU refactorizations and branch-and-bound nodes — so a
+//! regression in solver behavior is visible even when wall time hides it.
 //!
 //! Built with `--features bench`, the counting global allocator is
 //! installed and the report additionally carries `allocs/*` keys: the
@@ -43,7 +48,7 @@ use pilfill_layout::{Design, LayerId};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
 
-const DEFAULT_OUT: &str = "BENCH_pr6.json";
+const DEFAULT_OUT: &str = "BENCH_pr8.json";
 
 /// Thread counts covered by `--threads-sweep`.
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -176,6 +181,18 @@ fn main() {
                 .expect("placement")
         });
     }
+
+    // Solver effort counters (counts, not nanoseconds): one ILP-II solve
+    // of the representative tile, reported verbatim. These catch solver
+    // regressions — e.g. a pricing change that triples the pivot count —
+    // that noisy wall-clock medians can absorb.
+    let solver_stats = {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, stats) = IlpTwo
+            .place_with_stats(&tile, budget, false, &mut rng)
+            .expect("ilp2 stats");
+        stats
+    };
 
     // End-to-end flow (context reused, placement + assembly + evaluation).
     let ctx = FlowContext::build(t2, &cfg).expect("context");
@@ -312,6 +329,17 @@ fn main() {
             counts.insert(name, Json::UInt(*n));
         }
         report.insert("allocs", counts);
+    }
+    {
+        let mut solver = Json::object();
+        for (name, n) in [
+            ("solver/iters_ilp2_t2", solver_stats.pivots),
+            ("solver/refactor_count_t2", solver_stats.refactorizations),
+            ("solver/bb_nodes_ilp2_t2", solver_stats.nodes),
+        ] {
+            solver.insert(name, Json::UInt(u64::try_from(n).unwrap_or(0)));
+        }
+        report.insert("solver", solver);
     }
     std::fs::write(&opts.out, report.to_pretty_string()).expect("write report");
     println!("wrote {}", opts.out);

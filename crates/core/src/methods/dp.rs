@@ -31,35 +31,69 @@ impl FillMethod for DpExact {
         check_budget(problem, budget)?;
         let k = problem.columns.len();
         let b = units::index(i64::from(budget));
-        // best[i][f]: min cost placing f features in the first i columns.
-        // Kept as a flat rolling array with a parent table for recovery.
         const INF: f64 = f64::INFINITY;
+        // Per-column cost tables, evaluated once per (column, m) pair:
+        // the DP inner loop revisits each pair once per reachable state,
+        // so looking the cost up there instead of re-deriving it from the
+        // lookup table is the difference between ~cap and ~cap*b
+        // `cost_exact` calls per column.
+        let caps: Vec<usize> = problem
+            .columns
+            .iter()
+            .map(|c| units::index(i64::from(c.capacity().min(budget))))
+            .collect();
+        let mut cost_off = Vec::with_capacity(k + 1);
+        cost_off.push(0usize);
+        for &cap in &caps {
+            cost_off.push(cost_off[cost_off.len() - 1] + cap + 1);
+        }
+        let mut cost_tab = Vec::with_capacity(cost_off[k]);
+        for (col, &cap) in problem.columns.iter().zip(&caps) {
+            for m in 0..=cap {
+                // Safe: m <= cap <= u32 capacity by construction.
+                cost_tab.push(col.cost_exact(u32::try_from(m).unwrap_or(u32::MAX), weighted));
+            }
+        }
+        // suffix[i] = capacity of columns i.. — states that cannot still
+        // reach f = b are dead and need not be expanded.
+        let mut suffix = vec![0usize; k + 1];
+        for i in (0..k).rev() {
+            suffix[i] = suffix[i + 1] + caps[i];
+        }
+        // best[f]: min cost placing f features in the columns so far.
+        // Kept as a rolling pair of flat arrays with a flat parent table
+        // (choice[i * (b + 1) + f]) for recovery.
         let mut best = vec![INF; b + 1];
         best[0] = 0.0;
-        // choice[i][f] = features placed in column i when f used after i.
-        let mut choice = vec![vec![u32::MAX; b + 1]; k];
-        for (i, col) in problem.columns.iter().enumerate() {
-            let cap = col.capacity().min(budget);
-            let mut next = vec![INF; b + 1];
-            let mut pick = vec![u32::MAX; b + 1];
-            for (used, &base) in best.iter().enumerate() {
+        let mut next = vec![INF; b + 1];
+        let mut choice = vec![u32::MAX; k * (b + 1)];
+        // Highest state reachable after the columns processed so far.
+        let mut reach = 0usize;
+        for i in 0..k {
+            let cap = caps[i];
+            let costs = &cost_tab[cost_off[i]..cost_off[i] + cap + 1];
+            let pick = &mut choice[i * (b + 1)..(i + 1) * (b + 1)];
+            // Only states in [lo, reach] can still complete the budget.
+            let lo = b.saturating_sub(suffix[i]);
+            let new_reach = (reach + cap).min(b);
+            next[lo..=new_reach].fill(INF);
+            for (used, &base) in best.iter().enumerate().take(reach + 1).skip(lo) {
                 if base == INF {
                     continue;
                 }
-                for m in 0..=cap {
-                    let f = used + units::index(i64::from(m));
-                    if f > b {
-                        break;
-                    }
-                    let cost = base + col.cost_exact(m, weighted);
+                let mmax = cap.min(b - used);
+                for (m, &c) in costs.iter().enumerate().take(mmax + 1) {
+                    let f = used + m;
+                    let cost = base + c;
                     if cost < next[f] {
                         next[f] = cost;
-                        pick[f] = m;
+                        // Safe: m <= cap fits in u32 by construction.
+                        pick[f] = u32::try_from(m).unwrap_or(u32::MAX);
                     }
                 }
             }
-            best = next;
-            choice[i] = pick;
+            std::mem::swap(&mut best, &mut next);
+            reach = new_reach;
         }
         if best[b] == INF {
             // Unreachable given the capacity check, but guard anyway.
@@ -72,7 +106,7 @@ impl FillMethod for DpExact {
         let mut counts = vec![0u32; k];
         let mut f = b;
         for i in (0..k).rev() {
-            let m = choice[i][f];
+            let m = choice[i * (b + 1) + f];
             debug_assert_ne!(m, u32::MAX);
             counts[i] = m;
             f -= units::index(i64::from(m));

@@ -294,3 +294,76 @@ fn optimizers_never_beat_dp_on_model_cost() {
         }
     }
 }
+
+#[test]
+fn solver_backends_agree_on_extracted_tiles_under_all_defs() {
+    use pilfill_core::{build_tile_problems, SlackColumnDef};
+    use pilfill_density::FixedDissection;
+    use pilfill_layout::Tech;
+    use pilfill_solver::{Model, Objective, Sense, SolverBackend};
+
+    // One-hot ILP-II model (paper Eq. 15-23 shape) straight from the tile
+    // tables, built identically for both backends.
+    fn one_hot_model(p: &pilfill_core::TileProblem, budget: u32, backend: SolverBackend) -> Model {
+        let mut m = Model::with_backend(Objective::Minimize, backend);
+        let mut budget_terms = Vec::new();
+        for col in &p.columns {
+            let vars: Vec<_> = (0..=col.capacity().min(budget))
+                .map(|n| m.add_binary_var(col.cost_exact(n, false)))
+                .collect();
+            m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
+            budget_terms.extend(vars.iter().enumerate().map(|(n, &v)| (v, n as f64)));
+        }
+        m.add_constraint(budget_terms, Sense::Eq, f64::from(budget));
+        m
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xC0_0005);
+    let mut compared = 0usize;
+    for _ in 0..12 {
+        let lines = rand_lines(&mut rng);
+        let budget_frac = rng.gen_range(0.2f64..0.8);
+        let r = rules();
+        let cols = scan_slack_columns(&lines, bounds(), r);
+        let dissection = FixedDissection::new(bounds(), 4_500, 2).expect("dissection");
+        for def in [
+            SlackColumnDef::One,
+            SlackColumnDef::Two,
+            SlackColumnDef::Three,
+        ] {
+            let problems =
+                build_tile_problems(&lines, &cols, &dissection, &Tech::default_180nm(), r, def);
+            for p in problems.iter().filter(|p| p.capacity() > 0).take(2) {
+                let budget = (p.capacity() as f64 * budget_frac).floor() as u32;
+                if budget == 0 {
+                    continue;
+                }
+                let sparse = one_hot_model(p, budget, SolverBackend::Sparse)
+                    .solve()
+                    .expect("sparse solvable");
+                let dense = one_hot_model(p, budget, SolverBackend::DenseReference)
+                    .solve()
+                    .expect("dense solvable");
+                assert!(
+                    (sparse.objective - dense.objective).abs()
+                        <= 1e-6 * (1.0 + dense.objective.abs()),
+                    "{def}: sparse {} vs dense {}",
+                    sparse.objective,
+                    dense.objective
+                );
+                // The production path (IlpTwo on the sparse default) must
+                // land on the same optimum as the one-hot model.
+                let mut mrng = StdRng::seed_from_u64(11);
+                let counts = IlpTwo.place(p, budget, false, &mut mrng).expect("ilp2");
+                let cost = p.cost_of(&counts, false);
+                assert!(
+                    (cost - dense.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
+                    "{def}: ilp2 cost {cost} vs one-hot optimum {}",
+                    dense.objective
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared >= 16, "too few non-trivial tiles: {compared}");
+}

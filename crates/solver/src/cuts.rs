@@ -1,0 +1,215 @@
+//! Knapsack cover cut separation for the branch-and-bound root.
+//!
+//! A row `sum(a_j x_j) <= b` over binaries with `a_j > 0` is a knapsack;
+//! a *cover* is a subset `C` with `sum_{C} a_j > b`, which forces
+//! `sum_{C} x_j <= |C| - 1` on every integer point. Equality rows imply
+//! their `<=` direction, so the ILP-II budget row (`sum n·y_n = budget`
+//! from the PR 4 re-encoding) and the one-hot net-capacitance rows are
+//! both eligible. Separation is the standard greedy: sort by fractional
+//! value descending, accumulate until the capacity is exceeded, minimize
+//! the cover, and keep it only when the LP point actually violates it.
+//!
+//! Rows whose coefficients are all (nearly) equal are skipped: their
+//! covers reduce to cardinality bounds the LP relaxation already
+//! satisfies, so separation can never find a violation worth a row —
+//! this covers the unit-coefficient convexity rows that dominate ILP-II
+//! models.
+
+use crate::model::{Model, VarId};
+use crate::Sense;
+
+/// Minimum violation of the LP point before a cover is worth adding.
+const MIN_VIOLATION: f64 = 1e-4;
+
+/// A cover inequality `sum_{v in vars} x_v <= rhs`.
+#[derive(Debug, Clone)]
+pub(crate) struct CoverCut {
+    /// Member binaries of the (minimal) cover.
+    pub(crate) vars: Vec<VarId>,
+    /// `|cover| - 1`.
+    pub(crate) rhs: f64,
+}
+
+/// Separates violated cover cuts at the LP point `x`, at most `max_cuts`.
+pub(crate) fn separate_cover_cuts(model: &Model, x: &[f64], max_cuts: usize) -> Vec<CoverCut> {
+    let mut cuts = Vec::new();
+    for c in model.constraint_rows() {
+        if cuts.len() >= max_cuts {
+            break;
+        }
+        if c.sense == Sense::Ge || c.rhs <= 0.0 {
+            continue;
+        }
+        // Knapsack shape: every term a positive coefficient on a binary.
+        let mut min_a = f64::INFINITY;
+        let mut max_a = 0.0f64;
+        let mut total = 0.0f64;
+        let knapsack = c.terms.iter().all(|&(j, a)| {
+            min_a = min_a.min(a);
+            max_a = max_a.max(a);
+            total += a;
+            a > 1e-12 && model.is_binary(j)
+        });
+        if !knapsack || c.terms.len() < 2 || total <= c.rhs + 1e-9 {
+            continue;
+        }
+        // Near-uniform coefficients: covers degenerate to cardinality
+        // bounds (never violated by the relaxation); skip cheaply.
+        if max_a - min_a <= 1e-9 * max_a.max(1.0) {
+            continue;
+        }
+        if let Some(cut) = separate_row(&c.terms, c.rhs, x) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// Greedy cover on one knapsack row; returns a violated minimal cover.
+fn separate_row(terms: &[(usize, f64)], b: f64, x: &[f64]) -> Option<CoverCut> {
+    // Candidates sorted by fractional value descending (tie: index) —
+    // maximizes the left-hand side of the prospective cover inequality.
+    let mut order: Vec<usize> = (0..terms.len()).collect();
+    order.sort_unstable_by(|&p, &q| {
+        x[terms[q].0]
+            .total_cmp(&x[terms[p].0])
+            .then(terms[p].0.cmp(&terms[q].0))
+    });
+    let mut cover: Vec<usize> = Vec::new();
+    let mut weight = 0.0f64;
+    for &k in &order {
+        if weight > b + 1e-9 {
+            break;
+        }
+        // Items at (near) zero cannot contribute violation.
+        if x[terms[k].0] <= 1e-9 {
+            break;
+        }
+        cover.push(k);
+        weight += terms[k].1;
+    }
+    if weight <= b + 1e-9 {
+        return None;
+    }
+    // Minimalize from the least-valuable end: drop members whose removal
+    // keeps the set a cover.
+    let mut keep = vec![true; cover.len()];
+    for pos in (0..cover.len()).rev() {
+        let a = terms[cover[pos]].1;
+        if weight - a > b + 1e-9 {
+            keep[pos] = false;
+            weight -= a;
+        }
+    }
+    let members: Vec<usize> = cover
+        .into_iter()
+        .zip(keep)
+        .filter(|&(_, k)| k)
+        .map(|(t, _)| t)
+        .collect();
+    let rhs = members.len().saturating_sub(1) as f64;
+    let lhs: f64 = members.iter().map(|&k| x[terms[k].0]).sum();
+    if lhs <= rhs + MIN_VIOLATION {
+        return None;
+    }
+    Some(CoverCut {
+        vars: members.iter().map(|&k| VarId(terms[k].0)).collect(),
+        rhs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Objective};
+
+    /// 3 binaries, weights 3/3/2, capacity 4; LP point (1, 1, 0) is cut
+    /// by the cover {0, 1}: x0 + x1 <= 1.
+    #[test]
+    fn violated_cover_found() {
+        let mut m = Model::new(Objective::Maximize);
+        let a = m.add_binary_var(1.0);
+        let b = m.add_binary_var(1.0);
+        let c = m.add_binary_var(1.0);
+        m.add_constraint(vec![(a, 3.0), (b, 3.0), (c, 2.0)], Sense::Le, 4.0);
+        let x = vec![1.0, 1.0, 0.0];
+        let cuts = separate_cover_cuts(&m, &x, 8);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].rhs, 1.0);
+        assert_eq!(cuts[0].vars.len(), 2);
+    }
+
+    #[test]
+    fn satisfied_point_yields_no_cut() {
+        let mut m = Model::new(Objective::Maximize);
+        let a = m.add_binary_var(1.0);
+        let b = m.add_binary_var(1.0);
+        let c = m.add_binary_var(1.0);
+        m.add_constraint(vec![(a, 3.0), (b, 3.0), (c, 2.0)], Sense::Le, 4.0);
+        let x = vec![0.5, 0.5, 0.5];
+        assert!(separate_cover_cuts(&m, &x, 8).is_empty());
+    }
+
+    #[test]
+    fn unit_coefficient_rows_skipped() {
+        // Convexity-style row: covers are cardinality bounds, never
+        // violated by an LP-feasible point — the separator must not even
+        // try.
+        let mut m = Model::new(Objective::Maximize);
+        let vars: Vec<_> = (0..4).map(|_| m.add_binary_var(1.0)).collect();
+        m.add_constraint(vars.iter().map(|&v| (v, 1.0)), Sense::Eq, 1.0);
+        let x = vec![0.25; 4];
+        assert!(separate_cover_cuts(&m, &x, 8).is_empty());
+    }
+
+    #[test]
+    fn general_integer_rows_skipped() {
+        let mut m = Model::new(Objective::Maximize);
+        let a = m.add_integer_var(0.0, 3.0, 1.0);
+        let b = m.add_binary_var(1.0);
+        m.add_constraint(vec![(a, 3.0), (b, 2.0)], Sense::Le, 4.0);
+        let x = vec![1.0, 0.9];
+        assert!(separate_cover_cuts(&m, &x, 8).is_empty());
+    }
+
+    #[test]
+    fn equality_budget_row_is_eligible() {
+        // ILP-II budget shape: sum n*y_n = b with distinct coefficients.
+        let mut m = Model::new(Objective::Minimize);
+        let y1 = m.add_binary_var(1.0);
+        let y2 = m.add_binary_var(1.0);
+        let y3 = m.add_binary_var(1.0);
+        m.add_constraint(vec![(y1, 1.0), (y2, 2.0), (y3, 3.0)], Sense::Eq, 3.0);
+        // Point (0.8, 0.9, 0.2): cover {y2, y3} has weight 5 > 3 and
+        // lhs 1.1 > 1.
+        let x = vec![0.8, 0.9, 0.2];
+        let cuts = separate_cover_cuts(&m, &x, 8);
+        assert!(!cuts.is_empty(), "equality row must separate");
+    }
+
+    #[test]
+    fn cut_never_removes_integer_points() {
+        // Exhaustive check on a small knapsack: every integer-feasible
+        // point satisfies every emitted cover.
+        let mut m = Model::new(Objective::Maximize);
+        let vars: Vec<_> = (0..4).map(|_| m.add_binary_var(1.0)).collect();
+        let w = [5.0, 4.0, 3.0, 2.0];
+        m.add_constraint(vars.iter().zip(w).map(|(&v, c)| (v, c)), Sense::Le, 8.0);
+        // A deliberately fractional point.
+        let x = vec![0.9, 0.9, 0.4, 0.1];
+        for cut in separate_cover_cuts(&m, &x, 8) {
+            for bits in 0..16u32 {
+                let pt: Vec<f64> = (0..4).map(|i| f64::from((bits >> i) & 1)).collect();
+                let load: f64 = pt.iter().zip(w).map(|(v, c)| v * c).sum();
+                if load <= 8.0 + 1e-9 {
+                    let lhs: f64 = cut.vars.iter().map(|v| pt[v.index()]).sum();
+                    assert!(
+                        lhs <= cut.rhs + 1e-9,
+                        "cut removed feasible point {pt:?} (lhs {lhs} rhs {})",
+                        cut.rhs
+                    );
+                }
+            }
+        }
+    }
+}

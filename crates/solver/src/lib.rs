@@ -6,15 +6,18 @@
 //!
 //! The solver is sized for the problems PIL-Fill actually produces — per-tile
 //! MDFC instances with tens of general-integer variables (ILP-I) or a few
-//! hundred binaries (ILP-II), and the per-layout density-budget LP — and
-//! favours robustness over large-scale performance:
+//! hundred binaries (ILP-II), and the per-layout density-budget LP:
 //!
 //! - [`Model`]: a builder API for variables (with bounds and integrality),
 //!   linear constraints and a linear objective;
-//! - a dense *bounded-variable* primal simplex with Big-M feasibility and
-//!   Bland's-rule anti-cycling fallback ([`Model::solve_lp`]);
+//! - a *sparse revised simplex* with an LU-factored basis, native bounded
+//!   variables and two-phase feasibility as the default LP engine
+//!   ([`Model::solve_lp`]), with the original dense bounded-variable Big-M
+//!   tableau retained as a cross-checking oracle
+//!   ([`SolverBackend::DenseReference`]);
 //! - a best-incumbent depth-first branch-and-bound layer for integer
-//!   variables ([`Model::solve`]).
+//!   variables ([`Model::solve`]) with pluggable branching rules
+//!   ([`BranchRule`]) and root knapsack cover cuts (cut-and-branch).
 //!
 //! # Examples
 //!
@@ -31,10 +34,17 @@
 //! # Ok::<(), pilfill_solver::SolveError>(())
 //! ```
 
+mod branch;
+mod cuts;
+mod lu;
 mod milp;
 mod model;
 mod simplex;
+mod sparse;
 
+pub use branch::{
+    BranchCandidate, BranchDir, BranchRule, BranchRuleKind, MostFractional, PseudoCost,
+};
 pub use milp::{BranchBoundStats, MilpOptions};
-pub use model::{Model, Objective, Sense, Solution, SolveError, VarId};
+pub use model::{Model, Objective, Sense, Solution, SolveError, SolverBackend, VarId};
 pub use simplex::LpStatus;

@@ -1,0 +1,523 @@
+//! Sparse LU factorization of the simplex basis with eta-file updates.
+//!
+//! The basis `B` (one sparse column per basic variable) is factored as
+//! `B = L·U` by left-looking Gaussian elimination:
+//!
+//! - **Markowitz-ordered pivoting**: columns are processed in ascending
+//!   nonzero-count order, and within each column the pivot row is the
+//!   numerically eligible row (`|a| >= 0.1 * max|a|`) with the smallest
+//!   static row count — the classic cheap approximation of the Markowitz
+//!   `(r-1)(c-1)` fill bound. Simplex bases are dominated by logical
+//!   (identity) columns, so this ordering usually factors with zero fill.
+//! - **`L` as an eta file**: each elimination step stores its multipliers
+//!   as one [`Eta`]; applying the file in order computes `L^-1 v`
+//!   (forward) or `L^-T v` (reverse).
+//! - **`U` by columns**: back-substitution walks the pivot order in
+//!   reverse using the stored upper-triangular columns.
+//!
+//! Basis exchanges append **product-form update etas** (the eta-file /
+//! Forrest–Tomlin-style update without the permutation bookkeeping): after
+//! slot `p` swaps its column, `B_new^-1 = E^-1 B_old^-1`, so FTRAN applies
+//! the update file after the factor and BTRAN applies its transpose
+//! before it. The factorization is rebuilt from scratch — a *refactor* —
+//! on a fixed cadence ([`REFACTOR_INTERVAL`] updates), when the update
+//! file outgrows the factor ([`eta_growth_exceeded`]), or on demand when
+//! an update pivot is numerically unacceptable (the growth-triggered
+//! fallback: the caller refactors and retries with a clean factor).
+//!
+// Exact `!= 0.0` comparisons in this file are sparsity guards: skipping
+// arithmetic on an exactly-zero entry never changes a result.
+// pilfill: allow-file(float-eq)
+
+/// Update etas accumulated before a scheduled refactorization.
+pub(crate) const REFACTOR_INTERVAL: usize = 64;
+
+/// An update pivot below this fraction of the entering column's largest
+/// entry triggers a refactor-and-retry instead of an unstable update.
+pub(crate) const UPDATE_PIVOT_REL_TOL: f64 = 1e-8;
+
+/// Relative threshold for accepting a factorization pivot within a column.
+const FACTOR_PIVOT_REL_TOL: f64 = 0.1;
+
+/// Entries smaller than this are dropped when harvesting scratch vectors.
+const DROP_TOL: f64 = 1e-13;
+
+/// One elimination (or product-form update) step: at pivot position `r`,
+/// subtract `mult * v[r]` from each listed row (FTRAN direction).
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    /// `(row, multiplier)` pairs, excluding the pivot row itself.
+    entries: Vec<(usize, f64)>,
+}
+
+/// A product-form update eta: slot `p` absorbed an entering column whose
+/// FTRAN image was `w` (pivot `w[p]` stored inverted).
+#[derive(Debug, Clone)]
+struct UpdateEta {
+    p: usize,
+    inv_piv: f64,
+    /// `(slot, w_slot)` pairs, excluding the pivot slot.
+    entries: Vec<(usize, f64)>,
+}
+
+/// One column of `U` in pivot coordinates: diagonal `piv` at pivot row
+/// `r`, plus entries on the pivot rows of earlier elimination steps.
+#[derive(Debug, Clone)]
+struct UCol {
+    r: usize,
+    piv: f64,
+    above: Vec<(usize, f64)>,
+}
+
+/// Error from a basis factorization attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LuError {
+    /// The basis matrix is (numerically) singular.
+    Singular,
+}
+
+/// LU factors of the current basis plus the product-form update file.
+///
+/// All solves are expressed in *slot* space: `ftran` maps a row-space
+/// right-hand side to coefficients per basis slot, `btran` maps slot-space
+/// costs to row-space duals.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Lu {
+    m: usize,
+    letas: Vec<Eta>,
+    ucols: Vec<UCol>,
+    /// Basis slot factored at elimination step `k`.
+    slot_of_step: Vec<usize>,
+    /// Elimination step that owns pivot row `r` (dense, length `m`).
+    step_of_row: Vec<usize>,
+    updates: Vec<UpdateEta>,
+    factor_nnz: usize,
+    refactors: usize,
+}
+
+impl Lu {
+    /// Number of refactorizations performed so far (monotonic).
+    pub(crate) fn refactor_count(&self) -> usize {
+        self.refactors
+    }
+
+    /// Number of update etas appended since the last refactorization.
+    pub(crate) fn updates_since_refactor(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// `true` when the update file has outgrown the factor and a refactor
+    /// would pay for itself (growth trigger).
+    pub(crate) fn eta_growth_exceeded(&self) -> bool {
+        let update_nnz: usize = self.updates.iter().map(|e| e.entries.len() + 1).sum();
+        update_nnz > 4 * (self.factor_nnz + self.m).max(16)
+    }
+
+    /// Factors the basis given by `cols` (one sparse column per slot,
+    /// entries as `(row, value)`), replacing any previous factor and
+    /// clearing the update file.
+    ///
+    /// # Errors
+    ///
+    /// [`LuError::Singular`] when no numerically acceptable pivot exists
+    /// for some column.
+    pub(crate) fn factor(&mut self, cols: &[Vec<(usize, f64)>]) -> Result<(), LuError> {
+        let m = cols.len();
+        self.m = m;
+        self.letas.clear();
+        self.ucols.clear();
+        self.slot_of_step.clear();
+        self.updates.clear();
+        self.step_of_row.clear();
+        self.step_of_row.resize(m, usize::MAX);
+        self.refactors += 1;
+        self.factor_nnz = 0;
+        if m == 0 {
+            return Ok(());
+        }
+
+        // Static row counts drive the Markowitz-style pivot-row choice.
+        let mut row_count = vec![0usize; m];
+        for col in cols {
+            for &(r, _) in col {
+                row_count[r] += 1;
+            }
+        }
+        // Column order: ascending nonzero count, ties by slot index.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&j| (cols[j].len(), j));
+
+        let mut consumed = vec![false; m];
+        let mut w = vec![0.0f64; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+
+        for &slot in &order {
+            // Scatter the column and apply the existing elimination steps.
+            for &(r, v) in &cols[slot] {
+                if w[r] == 0.0 {
+                    touched.push(r);
+                }
+                w[r] += v;
+            }
+            for eta in &self.letas {
+                let t = w[eta.r];
+                if t != 0.0 {
+                    for &(i, mult) in &eta.entries {
+                        if w[i] == 0.0 {
+                            touched.push(i);
+                        }
+                        w[i] -= mult * t;
+                    }
+                }
+            }
+
+            // Pivot row: numerically eligible, minimum static row count.
+            let mut max_abs = 0.0f64;
+            for &r in &touched {
+                if !consumed[r] {
+                    max_abs = max_abs.max(w[r].abs());
+                }
+            }
+            if max_abs < DROP_TOL {
+                for &r in &touched {
+                    w[r] = 0.0;
+                }
+                return Err(LuError::Singular);
+            }
+            let mut pivot_row = usize::MAX;
+            let mut pivot_score = (usize::MAX, usize::MAX);
+            for &r in &touched {
+                if consumed[r] || w[r].abs() < FACTOR_PIVOT_REL_TOL * max_abs {
+                    continue;
+                }
+                let score = (row_count[r], r);
+                if score < pivot_score {
+                    pivot_score = score;
+                    pivot_row = r;
+                }
+            }
+            let piv = w[pivot_row];
+
+            // Harvest U entries (consumed rows) and L multipliers (the
+            // rest), then clear the scratch.
+            let mut above: Vec<(usize, f64)> = Vec::new();
+            let mut mults: Vec<(usize, f64)> = Vec::new();
+            touched.sort_unstable();
+            for &r in &touched {
+                let v = w[r];
+                w[r] = 0.0;
+                if v.abs() < DROP_TOL || r == pivot_row {
+                    continue;
+                }
+                if consumed[r] {
+                    above.push((r, v));
+                } else {
+                    mults.push((r, v / piv));
+                }
+            }
+            touched.clear();
+            self.factor_nnz += above.len() + mults.len() + 1;
+            self.step_of_row[pivot_row] = self.slot_of_step.len();
+            self.slot_of_step.push(slot);
+            self.ucols.push(UCol {
+                r: pivot_row,
+                piv,
+                above,
+            });
+            self.letas.push(Eta {
+                r: pivot_row,
+                entries: mults,
+            });
+            consumed[pivot_row] = true;
+        }
+        Ok(())
+    }
+
+    /// FTRAN: solves `B x = v` in place. On entry `v` is a row-space
+    /// vector; on exit it holds the solution indexed by basis slot.
+    pub(crate) fn ftran(&self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        // L^-1 (forward through the elimination file).
+        for eta in &self.letas {
+            let t = v[eta.r];
+            if t != 0.0 {
+                for &(i, mult) in &eta.entries {
+                    v[i] -= mult * t;
+                }
+            }
+        }
+        // U^-1 (reverse pivot order), permuting rows into slots as we go.
+        // Values are staged per elimination step and scattered afterwards
+        // so row/slot indices never collide mid-solve.
+        let steps = self.ucols.len();
+        for k in (0..steps).rev() {
+            let uc = &self.ucols[k];
+            let x = v[uc.r] / uc.piv;
+            v[uc.r] = x;
+            for &(r, u) in &uc.above {
+                v[r] -= u * x;
+            }
+        }
+        // v is now indexed by pivot row of each step; permute to slots.
+        self.permute_rows_to_slots(v);
+        // Product-form updates, oldest first (slot space).
+        for e in &self.updates {
+            let t = v[e.p] * e.inv_piv;
+            if t != 0.0 {
+                for &(i, wv) in &e.entries {
+                    v[i] -= wv * t;
+                }
+            }
+            v[e.p] = t;
+        }
+    }
+
+    /// BTRAN: solves `B^T y = c` in place. On entry `v` holds a slot-space
+    /// vector (e.g. basic costs); on exit it holds the row-space duals.
+    pub(crate) fn btran(&self, v: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.m);
+        // Transposed updates, newest first (still slot space).
+        for e in self.updates.iter().rev() {
+            let mut t = v[e.p];
+            for &(i, wv) in &e.entries {
+                t -= wv * v[i];
+            }
+            v[e.p] = t * e.inv_piv;
+        }
+        // Permute slots to pivot rows, then solve U^T (forward order).
+        self.permute_slots_to_rows(v);
+        let steps = self.ucols.len();
+        for k in 0..steps {
+            let uc = &self.ucols[k];
+            let mut t = v[uc.r];
+            for &(r, u) in &uc.above {
+                t -= u * v[r];
+            }
+            v[uc.r] = t / uc.piv;
+        }
+        // L^-T (reverse through the elimination file).
+        for eta in self.letas.iter().rev() {
+            let mut t = v[eta.r];
+            for &(i, mult) in &eta.entries {
+                t -= mult * v[i];
+            }
+            v[eta.r] = t;
+        }
+    }
+
+    /// Re-indexes `v` from pivot-row order to slot order: the value at
+    /// pivot row `r_k` belongs to slot `slot_of_step[k]`.
+    fn permute_rows_to_slots(&self, v: &mut [f64]) {
+        let mut out = vec![0.0; self.m];
+        for (k, &slot) in self.slot_of_step.iter().enumerate() {
+            out[slot] = v[self.ucols[k].r];
+        }
+        v.copy_from_slice(&out);
+    }
+
+    /// Inverse of [`Lu::permute_rows_to_slots`].
+    fn permute_slots_to_rows(&self, v: &mut [f64]) {
+        let mut out = vec![0.0; self.m];
+        for (k, &slot) in self.slot_of_step.iter().enumerate() {
+            out[self.ucols[k].r] = v[slot];
+        }
+        v.copy_from_slice(&out);
+    }
+
+    /// Appends a product-form update: slot `p` absorbs an entering column
+    /// whose FTRAN image is `w` (slot space, dense). Returns `false` when
+    /// the pivot `w[p]` is too small relative to the column — the caller
+    /// should refactor and retry.
+    pub(crate) fn push_update(&mut self, w: &[f64], p: usize) -> bool {
+        debug_assert_eq!(w.len(), self.m);
+        let piv = w[p];
+        let max_abs = w.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+        if piv.abs() < UPDATE_PIVOT_REL_TOL * max_abs.max(1.0) {
+            return false;
+        }
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| i != p && x.abs() >= DROP_TOL)
+            .map(|(i, &x)| (i, x))
+            .collect();
+        self.updates.push(UpdateEta {
+            p,
+            inv_piv: 1.0 / piv,
+            entries,
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilfill_prng::rngs::StdRng;
+    use pilfill_prng::{Rng, SeedableRng};
+
+    /// Dense reference solve via Gaussian elimination with partial
+    /// pivoting.
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        let m = b.len();
+        let mut aug: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                let mut row: Vec<f64> = (0..m).map(|j| a[i][j]).collect();
+                row.push(b[i]);
+                row
+            })
+            .collect();
+        for k in 0..m {
+            let piv_row = (k..m)
+                .max_by(|&p, &q| aug[p][k].abs().total_cmp(&aug[q][k].abs()))
+                .unwrap();
+            aug.swap(k, piv_row);
+            let piv = aug[k][k];
+            assert!(piv.abs() > 1e-12, "singular test matrix");
+            let pivot_row: Vec<f64> = aug[k][k..=m].to_vec();
+            for (i, row) in aug.iter_mut().enumerate() {
+                if i != k && row[k] != 0.0 {
+                    let f = row[k] / piv;
+                    for (pv, cell) in pivot_row.iter().zip(&mut row[k..=m]) {
+                        *cell -= f * pv;
+                    }
+                }
+            }
+        }
+        (0..m).map(|i| aug[i][m] / aug[i][i]).collect()
+    }
+
+    fn dense_from_cols(cols: &[Vec<(usize, f64)>]) -> Vec<Vec<f64>> {
+        let m = cols.len();
+        let mut a = vec![vec![0.0; m]; m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(i, v) in col {
+                a[i][j] += v;
+            }
+        }
+        a
+    }
+
+    fn random_nonsingular(rng: &mut StdRng, m: usize) -> Vec<Vec<(usize, f64)>> {
+        // Diagonal plus a sprinkle of off-diagonal entries keeps the
+        // matrix comfortably nonsingular while staying sparse.
+        (0..m)
+            .map(|j| {
+                let mut col = vec![(j, rng.gen_range(0.5f64..2.0))];
+                for _ in 0..rng.gen_range(0usize..3) {
+                    let i = rng.gen_range(0usize..m);
+                    if i != j {
+                        col.push((i, rng.gen_range(-1.0f64..1.0)));
+                    }
+                }
+                col
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ftran_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for _ in 0..64 {
+            let m = rng.gen_range(1usize..10);
+            let cols = random_nonsingular(&mut rng, m);
+            let mut lu = Lu::default();
+            lu.factor(&cols).expect("nonsingular");
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+            let mut x = b.clone();
+            lu.ftran(&mut x);
+            let want = dense_solve(&dense_from_cols(&cols), &b);
+            for (got, want) in x.iter().zip(&want) {
+                assert!((got - want).abs() < 1e-8, "ftran {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_matches_dense_transpose_solve() {
+        let mut rng = StdRng::seed_from_u64(0xB17A);
+        for _ in 0..64 {
+            let m = rng.gen_range(1usize..10);
+            let cols = random_nonsingular(&mut rng, m);
+            let mut lu = Lu::default();
+            lu.factor(&cols).expect("nonsingular");
+            let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+            let mut y = c.clone();
+            lu.btran(&mut y);
+            // Dense transpose solve.
+            let a = dense_from_cols(&cols);
+            let at: Vec<Vec<f64>> = (0..m).map(|i| (0..m).map(|j| a[j][i]).collect()).collect();
+            let want = dense_solve(&at, &c);
+            for (got, want) in y.iter().zip(&want) {
+                assert!((got - want).abs() < 1e-8, "btran {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_etas_match_refactored_basis() {
+        let mut rng = StdRng::seed_from_u64(0xE7A);
+        for _ in 0..32 {
+            let m = rng.gen_range(2usize..8);
+            let mut cols = random_nonsingular(&mut rng, m);
+            let mut lu = Lu::default();
+            lu.factor(&cols).expect("nonsingular");
+            // Replace a slot with a fresh column through push_update.
+            for _ in 0..3 {
+                let p = rng.gen_range(0usize..m);
+                let newcol = {
+                    let mut col = vec![(p, rng.gen_range(0.8f64..2.0))];
+                    let extra = rng.gen_range(0usize..m);
+                    if extra != p {
+                        col.push((extra, rng.gen_range(-0.7f64..0.7)));
+                    }
+                    col
+                };
+                let mut w = vec![0.0; m];
+                for &(i, v) in &newcol {
+                    w[i] += v;
+                }
+                lu.ftran(&mut w);
+                assert!(lu.push_update(&w, p), "acceptable pivot");
+                cols[p] = newcol;
+            }
+            // Updated factor must agree with a from-scratch refactor.
+            let mut fresh = Lu::default();
+            fresh.factor(&cols).expect("nonsingular");
+            let b: Vec<f64> = (0..m).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+            let (mut x1, mut x2) = (b.clone(), b.clone());
+            lu.ftran(&mut x1);
+            fresh.ftran(&mut x2);
+            for (a, b) in x1.iter().zip(&x2) {
+                assert!((a - b).abs() < 1e-7, "updated {a} vs refactored {b}");
+            }
+            let c: Vec<f64> = (0..m).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+            let (mut y1, mut y2) = (c.clone(), c.clone());
+            lu.btran(&mut y1);
+            fresh.btran(&mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-7, "updated {a} vs refactored {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_basis_rejected() {
+        // Two identical columns.
+        let cols = vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]];
+        let mut lu = Lu::default();
+        assert_eq!(lu.factor(&cols), Err(LuError::Singular));
+    }
+
+    #[test]
+    fn identity_basis_factors_with_no_fill() {
+        let cols: Vec<Vec<(usize, f64)>> = (0..6).map(|j| vec![(j, 1.0)]).collect();
+        let mut lu = Lu::default();
+        lu.factor(&cols).expect("identity");
+        let mut v: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let before = v.clone();
+        lu.ftran(&mut v);
+        assert_eq!(v, before);
+    }
+}

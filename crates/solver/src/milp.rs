@@ -1,22 +1,39 @@
 //! Branch-and-bound layer over the LP relaxation.
 //!
-//! Depth-first search with best-incumbent pruning. Branching selects the
-//! integer variable whose relaxation value is most fractional, and explores
-//! the branch nearer the fractional value first (a cheap form of
-//! best-first dive). Node and pivot counts are reported in
-//! [`BranchBoundStats`] so benchmark tables can include solver effort.
+//! Depth-first search with best-incumbent pruning. Branch-variable
+//! selection is delegated to a pluggable [`BranchRule`] (most-fractional
+//! by default, pseudo-cost optional — see [`crate::branch`]); the search
+//! explores the branch nearer the fractional value first (a cheap form of
+//! best-first dive). Node, pivot, cut and refactorization counts are
+//! reported in [`BranchBoundStats`] so benchmark tables can include
+//! solver effort, not just wall time.
 //!
-//! Child nodes are warm-started from the parent's optimal simplex tableau:
-//! a branch only tightens one variable's bounds, which leaves the basis
-//! dual feasible, so the child re-optimizes with a few dual-simplex pivots
-//! instead of a from-scratch Big-M primal solve. Both children of a node
-//! share the parent tableau through an [`Rc`] and clone it on use; any
-//! numerical trouble on the warm path falls back to the cold solve.
+//! At the root, **knapsack cover cuts** ([`crate::cuts`]) are separated
+//! from `<=`/`=` rows over binaries (cut-and-branch): a few rounds of
+//! globally valid covers tighten the relaxation before the tree starts,
+//! which the ILP-II budget row is particularly amenable to.
+//!
+//! Child nodes are warm-started from the parent's optimal basis: a branch
+//! only tightens one variable's bounds, which leaves the basis dual
+//! feasible, so the child re-optimizes with a few dual-simplex pivots
+//! instead of a from-scratch primal solve. Both children of a node share
+//! the parent state through an [`Rc`] and clone it on use; any numerical
+//! trouble on the warm path falls back to the cold solve. The warm state
+//! is backend-shaped: an LU-factored [`SparseSimplex`] for the default
+//! sparse engine, a dense [`Tableau`] for the reference oracle.
 
 use std::rc::Rc;
 
-use crate::model::{Model, Solution, SolveError, VarId};
+use crate::branch::{BranchCandidate, BranchDir, BranchRule, BranchRuleKind};
+use crate::cuts;
+use crate::model::{Model, Solution, SolveError, SolverBackend, VarId};
 use crate::simplex::{self, LpStatus, StandardLp, Tableau};
+use crate::sparse::{self, SparseLp, SparseSimplex};
+
+/// Rounds of cover-cut separation at the root.
+const CUT_ROUNDS: usize = 3;
+/// Maximum cover cuts accepted per separation round.
+const CUTS_PER_ROUND: usize = 8;
 
 /// Tuning knobs for [`Model::solve_with`].
 #[derive(Debug, Clone)]
@@ -39,6 +56,11 @@ pub struct MilpOptions {
     /// [`SolveError::Cutoff`] and the caller should keep the solution the
     /// cutoff came from.
     pub cutoff: Option<f64>,
+    /// Built-in branch-variable selection rule. For custom rules use
+    /// [`Model::solve_with_rule`].
+    pub branch_rule: BranchRuleKind,
+    /// Separate knapsack cover cuts at the root (cut-and-branch).
+    pub cover_cuts: bool,
 }
 
 impl Default for MilpOptions {
@@ -49,6 +71,8 @@ impl Default for MilpOptions {
             gap_tol: 1e-9,
             warm_start: true,
             cutoff: None,
+            branch_rule: BranchRuleKind::default(),
+            cover_cuts: true,
         }
     }
 }
@@ -66,39 +90,277 @@ pub struct BranchBoundStats {
     pub pivots: usize,
     /// Nodes re-optimized from the parent basis (dual simplex).
     pub warm_solves: usize,
+    /// LU basis refactorizations (sparse backend only).
+    pub refactorizations: usize,
+    /// Cover cuts added at the root.
+    pub cuts: usize,
+}
+
+/// Backend-shaped warm-start state shared by both children of a node.
+enum WarmState {
+    Dense(Rc<Tableau>),
+    Sparse(Rc<SparseSimplex>),
+}
+
+impl WarmState {
+    fn share(&self) -> WarmState {
+        match self {
+            WarmState::Dense(t) => WarmState::Dense(Rc::clone(t)),
+            WarmState::Sparse(s) => WarmState::Sparse(Rc::clone(s)),
+        }
+    }
 }
 
 struct Node {
     /// (var, lb, ub) bound overrides along this branch.
     bounds: Vec<(VarId, f64, f64)>,
-    /// Parent's optimal tableau (shared by both children), plus this
-    /// node's single new bound `(column, lb, ub)` in root standard space.
-    warm: Option<(Rc<Tableau>, (usize, f64, f64))>,
+    /// Parent's optimal basis plus this node's single new bound
+    /// `(column, lb, ub)` — in root standard space for the dense backend,
+    /// in model space for the sparse backend.
+    warm: Option<(WarmState, (usize, f64, f64))>,
     depth: usize,
+    /// The branching that created this node: (var, direction, fractional
+    /// distance moved, parent objective in minimization sense). Feeds
+    /// [`BranchRule::observe`].
+    branch: Option<(VarId, BranchDir, f64, f64)>,
 }
 
 /// Per-node LP solve outcome, normalized to model space.
 enum Relaxed {
-    Optimal(Solution, Option<Rc<Tableau>>),
+    Optimal(Solution, Option<WarmState>),
     Infeasible,
     Unbounded,
     Fatal(SolveError),
 }
 
-/// Runs branch-and-bound on `model` (which must contain integer variables).
-///
-/// # Errors
-///
-/// Returns [`SolveError::Infeasible`] when no integer-feasible point exists,
-/// [`SolveError::Unbounded`] when the relaxation is unbounded, and
-/// [`SolveError::NodeLimit`] when the node budget is exhausted with no
-/// incumbent.
+/// Shared per-search solve context: the cut-augmented models and the
+/// backend-specific root forms they compile to.
+struct SearchCtx {
+    /// Presolved root model plus any cover cuts (bound base for branching).
+    work: Model,
+    /// Original model plus the same cuts (cold-solve base: keeps the
+    /// original rows so node bounds computed against original bases stay
+    /// sound).
+    cold_base: Model,
+    backend: SolverBackend,
+    minimize_sign: f64,
+    /// Dense-backend root form: standard LP, objective offset, root lower
+    /// bounds (the shift the warm deltas are expressed in).
+    dense: Option<(StandardLp, f64, Vec<f64>)>,
+    /// Sparse-backend root form.
+    sparse: Option<Rc<SparseLp>>,
+    scratch: Model,
+}
+
+impl SearchCtx {
+    fn new(model: &Model, work: Model) -> Self {
+        let backend = model.backend();
+        let mut ctx = Self {
+            work,
+            cold_base: model.clone(),
+            backend,
+            minimize_sign: if model.is_minimize() { 1.0 } else { -1.0 },
+            dense: None,
+            sparse: None,
+            scratch: model.clone(),
+        };
+        ctx.compile_root();
+        ctx
+    }
+
+    /// (Re-)compiles the root forms from `work`; called after cut rounds.
+    fn compile_root(&mut self) {
+        match self.backend {
+            SolverBackend::DenseReference => {
+                let (lp, offset) = self.work.to_standard();
+                let lower = self.work.lower_bounds().to_vec();
+                self.dense = Some((lp, offset, lower));
+                self.sparse = None;
+            }
+            SolverBackend::Sparse => {
+                self.sparse = Some(Rc::new(SparseLp::build(&self.work)));
+                self.dense = None;
+            }
+        }
+    }
+
+    /// Adds cover cuts to both models. The cuts are globally valid, so
+    /// they strengthen every node's relaxation.
+    fn add_cuts(&mut self, new_cuts: &[cuts::CoverCut]) {
+        for cut in new_cuts {
+            let terms: Vec<(VarId, f64)> = cut.vars.iter().map(|&v| (v, 1.0)).collect();
+            self.work
+                .add_constraint(terms.clone(), crate::Sense::Le, cut.rhs);
+            self.cold_base
+                .add_constraint(terms, crate::Sense::Le, cut.rhs);
+        }
+        self.compile_root();
+    }
+
+    /// Solves the root relaxation, producing the tree-seeding warm state.
+    fn solve_root(&mut self, stats: &mut BranchBoundStats) -> Relaxed {
+        match self.backend {
+            SolverBackend::DenseReference => {
+                let Some((lp, offset, lower)) = self.dense.as_ref() else {
+                    return Relaxed::Fatal(SolveError::IterationLimit);
+                };
+                let (sol, warm) = simplex::solve_with_warm(lp);
+                stats.pivots += sol.iterations;
+                self.dense_outcome(sol, warm.map(Rc::new), *offset, lower)
+            }
+            SolverBackend::Sparse => {
+                let Some(lp) = self.sparse.as_ref() else {
+                    return Relaxed::Fatal(SolveError::IterationLimit);
+                };
+                let (sol, warm) = sparse::solve_sparse(lp);
+                stats.pivots += sol.iterations;
+                if let Some(sim) = &warm {
+                    stats.refactorizations += sim.refactor_count();
+                }
+                self.sparse_outcome(sol, warm.map(Rc::new))
+            }
+        }
+    }
+
+    fn dense_outcome(
+        &self,
+        sol: simplex::LpSolution,
+        warm: Option<Rc<Tableau>>,
+        offset: f64,
+        lower: &[f64],
+    ) -> Relaxed {
+        match sol.status {
+            LpStatus::Optimal => {
+                let values: Vec<f64> = sol.values.iter().zip(lower).map(|(v, lb)| v + lb).collect();
+                let objective = self.minimize_sign * (sol.objective + offset);
+                Relaxed::Optimal(
+                    Solution {
+                        values,
+                        objective,
+                        stats: BranchBoundStats::default(),
+                    },
+                    warm.map(WarmState::Dense),
+                )
+            }
+            LpStatus::Infeasible => Relaxed::Infeasible,
+            LpStatus::Unbounded => Relaxed::Unbounded,
+            LpStatus::IterationLimit => Relaxed::Fatal(SolveError::IterationLimit),
+        }
+    }
+
+    fn sparse_outcome(&self, sol: simplex::LpSolution, warm: Option<Rc<SparseSimplex>>) -> Relaxed {
+        match sol.status {
+            LpStatus::Optimal => Relaxed::Optimal(
+                Solution {
+                    values: sol.values,
+                    objective: self.minimize_sign * sol.objective,
+                    stats: BranchBoundStats::default(),
+                },
+                warm.map(WarmState::Sparse),
+            ),
+            LpStatus::Infeasible => Relaxed::Infeasible,
+            LpStatus::Unbounded => Relaxed::Unbounded,
+            LpStatus::IterationLimit => Relaxed::Fatal(SolveError::IterationLimit),
+        }
+    }
+
+    /// Solves one node's relaxation: warm dual re-optimize when possible,
+    /// cold solve on the cut-augmented base model otherwise.
+    fn solve_node(
+        &mut self,
+        node: &Node,
+        effective: &[(VarId, f64, f64)],
+        stats: &mut BranchBoundStats,
+        options: &MilpOptions,
+    ) -> Relaxed {
+        if options.warm_start {
+            if let Some((parent, (col, lb, ub))) = &node.warm {
+                match parent {
+                    WarmState::Dense(parent) => {
+                        let mut tab = Tableau::clone(parent);
+                        if !tab.apply_var_bounds(*col, *lb, *ub) {
+                            return Relaxed::Infeasible;
+                        }
+                        if let Some(sol) = tab.dual_solve() {
+                            stats.pivots += sol.iterations;
+                            stats.warm_solves += 1;
+                            let (offset, lower): (f64, &[f64]) = match self.dense.as_ref() {
+                                Some((_, off, low)) => (*off, low),
+                                None => (0.0, &[]),
+                            };
+                            return self.dense_outcome(sol, Some(Rc::new(tab)), offset, lower);
+                        }
+                        // Dual solve bailed out: fall through to cold.
+                    }
+                    WarmState::Sparse(parent) => {
+                        let mut sim = SparseSimplex::clone(parent);
+                        if !sim.apply_var_bounds(*col, *lb, *ub) {
+                            return Relaxed::Infeasible;
+                        }
+                        let refactor0 = sim.refactor_count();
+                        if let Some(sol) = sim.dual_solve() {
+                            stats.pivots += sol.iterations;
+                            stats.warm_solves += 1;
+                            stats.refactorizations += sim.refactor_count() - refactor0;
+                            return self.sparse_outcome(sol, Some(Rc::new(sim)));
+                        }
+                        // Dual solve bailed out: fall through to cold.
+                    }
+                }
+            }
+        }
+
+        if node.depth == 0 {
+            return self.solve_root(stats);
+        }
+
+        // Cold fallback: apply bounds onto a fresh copy of the base model
+        // (original rows plus cuts, so presolve-consumed singleton rows
+        // cannot be loosened away).
+        self.scratch.clone_from(&self.cold_base);
+        for &(v, lb, ub) in effective {
+            self.scratch.set_bounds(v, lb, ub);
+        }
+        match self.scratch.solve_lp() {
+            Ok(s) => {
+                stats.pivots += s.stats.pivots;
+                stats.refactorizations += s.stats.refactorizations;
+                Relaxed::Optimal(s, None)
+            }
+            Err(SolveError::Infeasible) => Relaxed::Infeasible,
+            Err(SolveError::Unbounded) => Relaxed::Unbounded,
+            Err(e) => Relaxed::Fatal(e),
+        }
+    }
+}
+
+/// Runs branch-and-bound with the rule configured in `options`.
 pub(crate) fn branch_and_bound(
     model: &Model,
     options: &MilpOptions,
 ) -> Result<Solution, SolveError> {
-    // Work internally in minimization sense: incumbent comparisons multiply
-    // the model-direction objective by this sign.
+    branch_and_bound_stats(model, options).0
+}
+
+/// Runs branch-and-bound and always reports the search statistics, even
+/// when the outcome is an error (e.g. [`SolveError::Cutoff`], where the
+/// caller's incumbent wins but the tree was still searched).
+pub(crate) fn branch_and_bound_stats(
+    model: &Model,
+    options: &MilpOptions,
+) -> (Result<Solution, SolveError>, BranchBoundStats) {
+    let mut rule = options.branch_rule.instantiate();
+    branch_and_bound_with(model, options, rule.as_mut())
+}
+
+/// Branch-and-bound with a caller-supplied branching rule (the plugin
+/// entry point behind [`Model::solve_with_rule`]).
+pub(crate) fn branch_and_bound_with(
+    model: &Model,
+    options: &MilpOptions,
+    rule: &mut dyn BranchRule,
+) -> (Result<Solution, SolveError>, BranchBoundStats) {
+    let mut stats = BranchBoundStats::default();
     let minimize_sign = if model.is_minimize() { 1.0 } else { -1.0 };
     // A caller-supplied incumbent objective acts as the initial pruning
     // level: the search only keeps solutions strictly better than it.
@@ -108,29 +370,52 @@ pub(crate) fn branch_and_bound(
     debug_assert!(!int_vars.is_empty());
 
     // Root presolve once: singleton-row bound tightenings are valid at
-    // every node, and the resulting standard form fixes the variable
-    // shifts that all warm-started tableaux share.
-    let Some(root_model) = model.presolved() else {
-        return Err(SolveError::Infeasible);
+    // every node, and the resulting forms fix the spaces all warm-started
+    // bases share.
+    let Some(work) = model.presolved() else {
+        return (Err(SolveError::Infeasible), stats);
     };
-    let (root_lp, offset) = root_model.to_standard();
-    let root_lower: Vec<f64> = root_model.lower_bounds().to_vec();
+    let mut ctx = SearchCtx::new(model, work);
 
-    let mut stats = BranchBoundStats::default();
+    // Root solve + cover-cut rounds (cut-and-branch).
+    let mut root = ctx.solve_root(&mut stats);
+    if options.cover_cuts {
+        for _ in 0..CUT_ROUNDS {
+            let Relaxed::Optimal(sol, _) = &root else {
+                break;
+            };
+            let fractional = int_vars.iter().any(|&v| {
+                let val = sol.values[v.index()];
+                (val - val.round()).abs() > options.int_tol
+            });
+            if !fractional {
+                break;
+            }
+            let new_cuts = cuts::separate_cover_cuts(&ctx.work, &sol.values, CUTS_PER_ROUND);
+            if new_cuts.is_empty() {
+                break;
+            }
+            stats.cuts += new_cuts.len();
+            ctx.add_cuts(&new_cuts);
+            root = ctx.solve_root(&mut stats);
+        }
+    }
+
     let mut incumbent: Option<Solution> = None;
     let mut stack = vec![Node {
         bounds: Vec::new(),
         warm: None,
         depth: 0,
+        branch: None,
     }];
-    let mut scratch = model.clone();
+    let mut root_relax = Some(root);
     let mut relaxation_unbounded_at_root = false;
 
     while let Some(node) = stack.pop() {
         if stats.nodes >= options.node_limit {
             return match incumbent {
-                Some(sol) => Ok(finish(sol, stats)),
-                None => Err(SolveError::NodeLimit),
+                Some(sol) => (Ok(finish(sol, stats)), stats),
+                None => (Err(SolveError::NodeLimit), stats),
             };
         }
 
@@ -160,18 +445,10 @@ pub(crate) fn branch_and_bound(
         }
 
         stats.nodes += 1;
-        let relax = solve_node(
-            &node,
-            model,
-            &root_lp,
-            &root_lower,
-            offset,
-            minimize_sign,
-            &effective,
-            &mut scratch,
-            &mut stats,
-            options,
-        );
+        let relax = match root_relax.take() {
+            Some(r) if node.depth == 0 => r,
+            _ => ctx.solve_node(&node, &effective, &mut stats, options),
+        };
         let (relax, warm) = match relax {
             Relaxed::Optimal(sol, warm) => (sol, warm),
             Relaxed::Infeasible => continue,
@@ -183,12 +460,18 @@ pub(crate) fn branch_and_bound(
                 // may be unbounded; treat conservatively as unbounded.
                 relaxation_unbounded_at_root = relaxation_unbounded_at_root || node.depth > 0;
                 if relaxation_unbounded_at_root {
-                    return Err(SolveError::Unbounded);
+                    return (Err(SolveError::Unbounded), stats);
                 }
                 continue;
             }
-            Relaxed::Fatal(e) => return Err(e),
+            Relaxed::Fatal(e) => return (Err(e), stats),
         };
+
+        // Pseudo-cost style feedback for the rule that created this node.
+        if let Some((bvar, dir, frac, parent_obj)) = node.branch {
+            let degradation = (minimize_sign * relax.objective - parent_obj).max(0.0);
+            rule.observe(bvar, dir, frac, degradation);
+        }
 
         // Bound pruning (compare in minimization sense) against the best
         // of the incumbent and the caller's cutoff.
@@ -200,83 +483,96 @@ pub(crate) fn branch_and_bound(
             }
         }
 
-        // Find most fractional integer variable.
-        let mut branch_var: Option<(VarId, f64)> = None;
-        let mut best_frac = options.int_tol;
+        // Fractional candidates, in deterministic variable order.
+        let mut candidates: Vec<BranchCandidate> = Vec::new();
         for &v in &int_vars {
-            let val = relax.value(v);
-            let frac = (val - val.round()).abs();
-            if frac > best_frac {
-                best_frac = frac;
-                branch_var = Some((v, val));
+            let value = relax.value(v);
+            if (value - value.round()).abs() > options.int_tol {
+                candidates.push(BranchCandidate { var: v, value });
             }
         }
 
-        match branch_var {
-            None => {
-                // Integer feasible: snap and record.
-                let mut snapped = relax;
-                for &v in &int_vars {
-                    snapped.values[v.index()] = snapped.values[v.index()].round();
-                }
-                let better =
-                    best_bound(&incumbent, cutoff_min, minimize_sign).is_none_or(|level| {
-                        minimize_sign * snapped.objective < level - options.gap_tol
-                    });
-                if better {
-                    stats.incumbents += 1;
-                    incumbent = Some(snapped);
-                }
+        if candidates.is_empty() {
+            // Integer feasible: snap and record.
+            let mut snapped = relax;
+            for &v in &int_vars {
+                snapped.values[v.index()] = snapped.values[v.index()].round();
             }
-            Some((v, val)) => {
-                let floor = val.floor();
-                // Each child tightens one side of v around the fractional
-                // value; compute the child's full [lb, ub] for v so the
-                // warm path can apply it as a single delta. The base comes
-                // from the *presolved* root model: singleton rows were
-                // consumed into these bounds and no longer exist in the
-                // shared standard form, so dropping them here would let
-                // children escape them.
-                let (mut cur_lb, mut cur_ub) = root_model.bounds(v);
-                if let Some(&(_, lb, ub)) = effective.iter().find(|&&(ev, _, _)| ev == v) {
-                    cur_lb = cur_lb.max(lb);
-                    cur_ub = cur_ub.min(ub);
-                }
-                let lb0 = root_lower[v.index()];
-                let down_delta = (v.index(), cur_lb - lb0, floor - lb0);
-                let up_delta = (v.index(), floor + 1.0 - lb0, cur_ub - lb0);
-                let child = |bounds: Vec<(VarId, f64, f64)>, delta| Node {
-                    bounds,
-                    warm: warm.as_ref().map(|t| (Rc::clone(t), delta)),
-                    depth: node.depth + 1,
-                };
-                // Explore the nearer branch last so it pops first (DFS
-                // stack order): dive towards the fractional value.
-                let down = child(
-                    with_bound(&node.bounds, v, f64::NEG_INFINITY, floor),
-                    down_delta,
-                );
-                let up = child(
-                    with_bound(&node.bounds, v, floor + 1.0, f64::INFINITY),
-                    up_delta,
-                );
-                if val - floor < 0.5 {
-                    stack.push(up);
-                    stack.push(down);
-                } else {
-                    stack.push(down);
-                    stack.push(up);
-                }
+            let better = best_bound(&incumbent, cutoff_min, minimize_sign)
+                .is_none_or(|level| minimize_sign * snapped.objective < level - options.gap_tol);
+            if better {
+                stats.incumbents += 1;
+                incumbent = Some(snapped);
             }
+            continue;
+        }
+
+        let chosen = rule.select(&candidates).min(candidates.len() - 1);
+        let BranchCandidate { var: v, value: val } = candidates[chosen];
+        let floor = val.floor();
+        let node_obj_min = minimize_sign * relax.objective;
+        // Each child tightens one side of v around the fractional value;
+        // compute the child's full [lb, ub] for v so the warm path can
+        // apply it as a single delta. The base comes from the *presolved*
+        // root model: singleton rows were consumed into these bounds and
+        // no longer exist in the shared root forms, so dropping them here
+        // would let children escape them.
+        let (mut cur_lb, mut cur_ub) = ctx.work.bounds(v);
+        if let Some(&(_, lb, ub)) = effective.iter().find(|&&(ev, _, _)| ev == v) {
+            cur_lb = cur_lb.max(lb);
+            cur_ub = cur_ub.min(ub);
+        }
+        // Warm deltas: root-standard space (shifted by the root lower
+        // bound) for the dense backend, model space for the sparse one.
+        let (down_delta, up_delta) = match ctx.backend {
+            SolverBackend::DenseReference => {
+                let lb0 = ctx
+                    .dense
+                    .as_ref()
+                    .map_or(0.0, |(_, _, lower)| lower[v.index()]);
+                (
+                    (v.index(), cur_lb - lb0, floor - lb0),
+                    (v.index(), floor + 1.0 - lb0, cur_ub - lb0),
+                )
+            }
+            SolverBackend::Sparse => ((v.index(), cur_lb, floor), (v.index(), floor + 1.0, cur_ub)),
+        };
+        let frac = val - floor;
+        let child = |bounds: Vec<(VarId, f64, f64)>, delta, dir, moved| Node {
+            bounds,
+            warm: warm.as_ref().map(|w| (w.share(), delta)),
+            depth: node.depth + 1,
+            branch: Some((v, dir, moved, node_obj_min)),
+        };
+        // Explore the nearer branch last so it pops first (DFS stack
+        // order): dive towards the fractional value.
+        let down = child(
+            with_bound(&node.bounds, v, f64::NEG_INFINITY, floor),
+            down_delta,
+            BranchDir::Down,
+            frac,
+        );
+        let up = child(
+            with_bound(&node.bounds, v, floor + 1.0, f64::INFINITY),
+            up_delta,
+            BranchDir::Up,
+            1.0 - frac,
+        );
+        if frac < 0.5 {
+            stack.push(up);
+            stack.push(down);
+        } else {
+            stack.push(down);
+            stack.push(up);
         }
     }
 
     match incumbent {
-        Some(sol) => Ok(finish(sol, stats)),
+        Some(sol) => (Ok(finish(sol, stats)), stats),
         // With a cutoff the empty outcome is the expected "your incumbent
         // already wins" verdict, not an infeasibility proof.
-        None if options.cutoff.is_some() => Err(SolveError::Cutoff),
-        None => Err(SolveError::Infeasible),
+        None if options.cutoff.is_some() => (Err(SolveError::Cutoff), stats),
+        None => (Err(SolveError::Infeasible), stats),
     }
 }
 
@@ -294,103 +590,6 @@ fn best_bound(
     }
 }
 
-/// Solves one node's LP relaxation: dual-simplex warm start from the
-/// parent tableau when available, falling back to the per-node cold solve
-/// on numerical trouble.
-#[allow(clippy::too_many_arguments)]
-fn solve_node(
-    node: &Node,
-    model: &Model,
-    root_lp: &StandardLp,
-    root_lower: &[f64],
-    offset: f64,
-    minimize_sign: f64,
-    effective: &[(VarId, f64, f64)],
-    scratch: &mut Model,
-    stats: &mut BranchBoundStats,
-    options: &MilpOptions,
-) -> Relaxed {
-    if options.warm_start {
-        if let Some((parent, (col, lb, ub))) = &node.warm {
-            let mut tab = Tableau::clone(parent);
-            if !tab.apply_var_bounds(*col, *lb, *ub) {
-                return Relaxed::Infeasible;
-            }
-            if let Some(sol) = tab.dual_solve() {
-                stats.pivots += sol.iterations;
-                stats.warm_solves += 1;
-                return match sol.status {
-                    LpStatus::Optimal => {
-                        let values: Vec<f64> = sol
-                            .values
-                            .iter()
-                            .zip(root_lower)
-                            .map(|(v, lb)| v + lb)
-                            .collect();
-                        let objective = minimize_sign * (sol.objective + offset);
-                        Relaxed::Optimal(
-                            Solution {
-                                values,
-                                objective,
-                                stats: BranchBoundStats::default(),
-                            },
-                            Some(Rc::new(tab)),
-                        )
-                    }
-                    LpStatus::Infeasible => Relaxed::Infeasible,
-                    LpStatus::Unbounded => Relaxed::Unbounded,
-                    LpStatus::IterationLimit => Relaxed::Fatal(SolveError::IterationLimit),
-                };
-            }
-            // Dual solve bailed out: fall through to the cold path.
-        }
-    }
-
-    if node.depth == 0 {
-        // Root: solve the shared standard form directly so the optimal
-        // tableau seeds the whole tree.
-        let (sol, warm) = simplex::solve_with_warm(root_lp);
-        stats.pivots += sol.iterations;
-        return match sol.status {
-            LpStatus::Optimal => {
-                let values: Vec<f64> = sol
-                    .values
-                    .iter()
-                    .zip(root_lower)
-                    .map(|(v, lb)| v + lb)
-                    .collect();
-                let objective = minimize_sign * (sol.objective + offset);
-                Relaxed::Optimal(
-                    Solution {
-                        values,
-                        objective,
-                        stats: BranchBoundStats::default(),
-                    },
-                    warm.map(Rc::new),
-                )
-            }
-            LpStatus::Infeasible => Relaxed::Infeasible,
-            LpStatus::Unbounded => Relaxed::Unbounded,
-            LpStatus::IterationLimit => Relaxed::Fatal(SolveError::IterationLimit),
-        };
-    }
-
-    // Cold fallback: apply bounds onto a fresh copy of the base model.
-    scratch.clone_from(model);
-    for &(v, lb, ub) in effective {
-        scratch.set_bounds(v, lb, ub);
-    }
-    match scratch.solve_lp() {
-        Ok(s) => {
-            stats.pivots += s.stats.pivots;
-            Relaxed::Optimal(s, None)
-        }
-        Err(SolveError::Infeasible) => Relaxed::Infeasible,
-        Err(SolveError::Unbounded) => Relaxed::Unbounded,
-        Err(e) => Relaxed::Fatal(e),
-    }
-}
-
 fn with_bound(bounds: &[(VarId, f64, f64)], v: VarId, lb: f64, ub: f64) -> Vec<(VarId, f64, f64)> {
     let mut out = bounds.to_vec();
     out.push((v, lb, ub));
@@ -401,7 +600,6 @@ fn finish(mut sol: Solution, stats: BranchBoundStats) -> Solution {
     sol.stats = stats;
     sol
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,5 +868,83 @@ mod tests {
             warm.stats.pivots,
             cold.stats.pivots
         );
+    }
+
+    #[test]
+    fn pseudo_cost_rule_reaches_the_same_optimum() {
+        let m = ilp2_tile(8, 3, 11.0);
+        let base = m.solve().expect("most-fractional solvable");
+        let pc = m
+            .solve_with(&MilpOptions {
+                branch_rule: BranchRuleKind::PseudoCost,
+                ..MilpOptions::default()
+            })
+            .expect("pseudo-cost solvable");
+        assert!(
+            (base.objective - pc.objective).abs() < 1e-6,
+            "optima differ: {} vs {}",
+            base.objective,
+            pc.objective
+        );
+    }
+
+    #[test]
+    fn cover_cuts_do_not_change_the_optimum() {
+        // A knapsack with distinct weights, where cover separation can
+        // actually fire.
+        let mut weights = Vec::new();
+        let mut m = Model::new(Objective::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| {
+                let w = 2.0 + (i % 5) as f64 * 1.3;
+                weights.push(w);
+                m.add_binary_var(1.0 + i as f64 * 0.7)
+            })
+            .collect();
+        m.add_constraint(
+            vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
+            Sense::Le,
+            14.0,
+        );
+        let with_cuts = m.solve().expect("with cuts");
+        let without = m
+            .solve_with(&MilpOptions {
+                cover_cuts: false,
+                ..MilpOptions::default()
+            })
+            .expect("without cuts");
+        assert!(
+            (with_cuts.objective - without.objective).abs() < 1e-6,
+            "cuts changed the optimum: {} vs {}",
+            with_cuts.objective,
+            without.objective
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_ilp2_tile() {
+        let sparse = ilp2_tile(8, 3, 11.0);
+        let mut dense = sparse.clone();
+        dense.set_backend(crate::SolverBackend::DenseReference);
+        let s = sparse.solve().expect("sparse solvable");
+        let d = dense.solve().expect("dense solvable");
+        assert!(
+            (s.objective - d.objective).abs() < 1e-6,
+            "sparse {} vs dense {}",
+            s.objective,
+            d.objective
+        );
+    }
+
+    #[test]
+    fn solve_with_stats_reports_the_tree_on_cutoff() {
+        let m = ilp2_tile(6, 3, 8.0);
+        let baseline = m.solve().expect("solvable");
+        let (result, stats) = m.solve_with_stats(&MilpOptions {
+            cutoff: Some(baseline.objective),
+            ..MilpOptions::default()
+        });
+        assert!(matches!(result, Err(SolveError::Cutoff)));
+        assert!(stats.nodes >= 1, "search ran but stats empty: {stats:?}");
     }
 }

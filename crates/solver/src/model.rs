@@ -1,7 +1,11 @@
 //! User-facing model builder and solve entry points.
 
+use std::rc::Rc;
+
+use crate::branch::BranchRule;
 use crate::milp::{self, BranchBoundStats, MilpOptions};
 use crate::simplex::{self, LpStatus, StandardLp};
+use crate::sparse::{self, SparseLp};
 
 /// Handle to a decision variable in a [`Model`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,6 +25,19 @@ pub enum Objective {
     Minimize,
     /// Maximize the objective function.
     Maximize,
+}
+
+/// Which LP engine backs [`Model::solve_lp`] and the branch-and-bound
+/// relaxations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Sparse revised simplex with an LU-factored basis, bounded
+    /// variables and two-phase feasibility (the default engine).
+    #[default]
+    Sparse,
+    /// The original dense bounded-variable tableau with Big-M
+    /// feasibility — kept as a numerical oracle and escape hatch.
+    DenseReference,
 }
 
 /// Constraint sense.
@@ -92,10 +109,10 @@ impl Solution {
 }
 
 #[derive(Debug, Clone)]
-struct Constraint {
-    terms: Vec<(usize, f64)>,
-    sense: Sense,
-    rhs: f64,
+pub(crate) struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) sense: Sense,
+    pub(crate) rhs: f64,
 }
 
 /// A linear / mixed-integer optimization model.
@@ -123,6 +140,7 @@ pub struct Model {
     upper: Vec<f64>,
     integer: Vec<bool>,
     constraints: Vec<Constraint>,
+    backend: SolverBackend,
 }
 
 impl Model {
@@ -132,6 +150,24 @@ impl Model {
             minimize: objective == Objective::Minimize,
             ..Self::default()
         }
+    }
+
+    /// Creates an empty model solved by a specific LP backend.
+    pub fn with_backend(objective: Objective, backend: SolverBackend) -> Self {
+        Self {
+            backend,
+            ..Self::new(objective)
+        }
+    }
+
+    /// The LP engine this model solves with.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
+    /// Switches the LP engine (e.g. to cross-check the two backends).
+    pub fn set_backend(&mut self, backend: SolverBackend) {
+        self.backend = backend;
     }
 
     /// Adds a continuous variable with bounds `[lb, ub]` and objective
@@ -245,6 +281,29 @@ impl Model {
         &self.lower
     }
 
+    /// Current upper bounds per variable.
+    pub(crate) fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Objective coefficients in the model's own direction.
+    pub(crate) fn objective_coeffs(&self) -> &[f64] {
+        &self.obj
+    }
+
+    /// The raw constraint rows (post-presolve when called on a presolved
+    /// model).
+    pub(crate) fn constraint_rows(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// `true` when variable `idx` is a 0/1 integer.
+    pub(crate) fn is_binary(&self, idx: usize) -> bool {
+        // Exact bound comparison: binaries are constructed with literal
+        // 0.0/1.0 bounds, never computed ones. pilfill: allow(float-eq)
+        self.integer[idx] && self.lower[idx] == 0.0 && self.upper[idx] == 1.0
+    }
+
     /// Light presolve: empty rows become feasibility checks, singleton
     /// rows become variable bounds. Returns the simplified model, or
     /// `None` when presolve proves infeasibility.
@@ -356,6 +415,42 @@ impl Model {
     /// [`SolveError::IterationLimit`] when no optimal solution exists or the
     /// solver fails to converge.
     pub fn solve_lp(&self) -> Result<Solution, SolveError> {
+        match self.backend {
+            SolverBackend::Sparse => match self.solve_lp_sparse() {
+                // Numerical trouble in the sparse engine: retry on the
+                // dense oracle before reporting failure.
+                Err(SolveError::IterationLimit) => self.solve_lp_dense(),
+                other => other,
+            },
+            SolverBackend::DenseReference => self.solve_lp_dense(),
+        }
+    }
+
+    fn solve_lp_sparse(&self) -> Result<Solution, SolveError> {
+        let presolved = self.presolved().ok_or(SolveError::Infeasible)?;
+        let lp = Rc::new(SparseLp::build(&presolved));
+        let (sol, warm) = sparse::solve_sparse(&lp);
+        match sol.status {
+            LpStatus::Optimal => {
+                let sign = if self.minimize { 1.0 } else { -1.0 };
+                Ok(Solution {
+                    // Sparse solutions are already in model space.
+                    objective: sign * sol.objective,
+                    values: sol.values,
+                    stats: BranchBoundStats {
+                        pivots: sol.iterations,
+                        refactorizations: warm.as_ref().map_or(0, |s| s.refactor_count()),
+                        ..BranchBoundStats::default()
+                    },
+                })
+            }
+            LpStatus::Infeasible => Err(SolveError::Infeasible),
+            LpStatus::Unbounded => Err(SolveError::Unbounded),
+            LpStatus::IterationLimit => Err(SolveError::IterationLimit),
+        }
+    }
+
+    fn solve_lp_dense(&self) -> Result<Solution, SolveError> {
         let presolved = self.presolved().ok_or(SolveError::Infeasible)?;
         let (std_lp, offset) = presolved.to_standard();
         let sol = simplex::solve_standard(&std_lp);
@@ -406,6 +501,40 @@ impl Model {
             return self.solve_lp();
         }
         milp::branch_and_bound(self, options)
+    }
+
+    /// Like [`Model::solve_with`], but always reports the branch-and-bound
+    /// statistics — including when the result is an error such as
+    /// [`SolveError::Cutoff`], where the search ran to completion and the
+    /// caller's incumbent simply survived.
+    pub fn solve_with_stats(
+        &self,
+        options: &MilpOptions,
+    ) -> (Result<Solution, SolveError>, BranchBoundStats) {
+        if !self.has_integers() {
+            let result = self.solve_lp();
+            let stats = result.as_ref().map(|s| s.stats).unwrap_or_default();
+            return (result, stats);
+        }
+        milp::branch_and_bound_stats(self, options)
+    }
+
+    /// Solves with a caller-supplied [`BranchRule`] plugin (overriding
+    /// [`MilpOptions::branch_rule`]). The model must contain integer
+    /// variables.
+    ///
+    /// # Errors
+    ///
+    /// See [`Model::solve_with`].
+    pub fn solve_with_rule(
+        &self,
+        options: &MilpOptions,
+        rule: &mut dyn BranchRule,
+    ) -> Result<Solution, SolveError> {
+        if !self.has_integers() {
+            return self.solve_lp();
+        }
+        milp::branch_and_bound_with(self, options, rule).0
     }
 }
 

@@ -28,51 +28,7 @@
 //! basis instead of re-running the Big-M primal from scratch. See
 //! [`Tableau::apply_var_bounds`] and [`Tableau::dual_solve`].
 
-/// Feasibility/boundedness status of an LP solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LpStatus {
-    /// An optimal basic solution was found.
-    Optimal,
-    /// No feasible point exists.
-    Infeasible,
-    /// The objective is unbounded below (for minimization).
-    Unbounded,
-    /// The iteration limit was exceeded (numerical trouble).
-    IterationLimit,
-}
-
-/// A linear program in computational standard form.
-#[derive(Debug, Clone)]
-pub struct StandardLp {
-    /// Number of structural variables (excluding slacks/artificials).
-    pub n_structural: usize,
-    /// Objective coefficients (minimization), length `n_structural`.
-    pub costs: Vec<f64>,
-    /// Dense constraint rows over structural variables.
-    pub rows: Vec<Vec<f64>>,
-    /// Row senses normalized to `<=` (false) or `=` (true); `>=` rows are
-    /// pre-negated by the caller.
-    pub eq: Vec<bool>,
-    /// Right-hand sides, one per row.
-    pub rhs: Vec<f64>,
-    /// Upper bounds per structural variable (may be `f64::INFINITY`).
-    pub upper: Vec<f64>,
-}
-
-/// Result of an LP solve.
-#[derive(Debug, Clone)]
-#[must_use = "an LP solve is expensive; dropping the solution discards it"]
-pub struct LpSolution {
-    /// Solve status; values/objective are meaningful only for
-    /// [`LpStatus::Optimal`].
-    pub status: LpStatus,
-    /// Values of the structural variables.
-    pub values: Vec<f64>,
-    /// Objective value (minimization sense).
-    pub objective: f64,
-    /// Simplex pivots performed.
-    pub iterations: usize,
-}
+use super::{LpSolution, LpStatus, StandardLp};
 
 const EPS: f64 = 1e-9;
 /// Pivot elements smaller than this are rejected for stability.
@@ -427,6 +383,26 @@ impl Tableau {
             }
 
             if t_max.is_infinite() {
+                // A ray in the composite (Big-M) objective while an
+                // artificial is still basic at positive level does not
+                // prove true unboundedness: the ray keeps the artificial
+                // sum constant, so no feasible point has been reached.
+                // Report infeasibility, matching the two-phase sparse
+                // engine on infeasible-with-ray instances.
+                let feas_tol = 1e-6 * (1.0 + self.big_m / 1e7);
+                let artificial_residual = self
+                    .basis
+                    .iter()
+                    .zip(&self.b)
+                    .any(|(&bj, &xb)| bj >= self.artificial_start && xb.abs() > feas_tol);
+                if artificial_residual {
+                    return LpSolution {
+                        status: LpStatus::Infeasible,
+                        values: vec![0.0; self.n_structural],
+                        objective: f64::NAN,
+                        iterations,
+                    };
+                }
                 return LpSolution {
                     status: LpStatus::Unbounded,
                     values: vec![0.0; self.n_structural],

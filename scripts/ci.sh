@@ -51,18 +51,18 @@ cargo run --release -q -p pilfill-bench --bin bench_json -- \
 # diffed against each other to surface the perf trajectory in the log.
 # --allow-cross-host: the two baselines may have been recorded on
 # different machines, and this diff is informational either way.
-if [ -f BENCH_pr5.json ] && [ -f BENCH_pr6.json ]; then
-  echo "==> committed baseline drift BENCH_pr5.json -> BENCH_pr6.json (informational)"
-  ./scripts/bench_compare.sh --threshold 25 --allow-cross-host BENCH_pr5.json BENCH_pr6.json ||
+if [ -f BENCH_pr6.json ] && [ -f BENCH_pr8.json ]; then
+  echo "==> committed baseline drift BENCH_pr6.json -> BENCH_pr8.json (informational)"
+  ./scripts/bench_compare.sh --threshold 25 --allow-cross-host BENCH_pr6.json BENCH_pr8.json ||
     echo "==> bench drift above threshold — informational, not a gate"
 fi
 # Scaling floors from the committed sweep. check_scaling.sh itself
 # downgrades to informational when the recording host had < 4 cores or
 # the lane is wider than the host, so this is a real gate exactly where
 # the numbers are meaningful.
-if [ -f BENCH_pr6.json ]; then
-  echo "==> multicore scaling check (BENCH_pr6.json)"
-  ./scripts/check_scaling.sh BENCH_pr6.json
+if [ -f BENCH_pr8.json ]; then
+  echo "==> multicore scaling check (BENCH_pr8.json)"
+  ./scripts/check_scaling.sh BENCH_pr8.json
 fi
 
 # Optional soundness gates: run only when the host toolchain has the
