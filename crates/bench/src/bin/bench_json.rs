@@ -18,7 +18,16 @@
 //!   median over the N-lane median, so 2000 = a clean 2x). Judge those
 //!   against `host_parallelism`: lanes beyond the hardware measure
 //!   scheduling overhead, not speedup (`scripts/check_scaling.sh`).
-//! - `--out PATH`: report path (default `BENCH_pr8.json`).
+//! - `--serve-load`: additionally start an in-process fill service on a
+//!   unix socket and drive it with an open-loop multi-client request
+//!   stream (send times are scheduled up front, so queueing delay counts
+//!   against latency instead of silently thinning the arrival rate —
+//!   no coordinated omission). Emits a `serve` object: `serve/rps`,
+//!   `serve/p50_ns`, `serve/p99_ns`, `serve/warm_hit_ratio` (permille),
+//!   plus `serve/cold_ns` vs `serve/warm_edit_ns` — the cold-build
+//!   request against the served latency of an edited design riding the
+//!   cached context through `FlowContext::rebuild`.
+//! - `--out PATH`: report path (default `BENCH_pr9.json`).
 //!
 //! Besides timings, the report carries a `solver` object of raw effort
 //! counters from one ILP-II solve of the representative tile — simplex
@@ -48,7 +57,7 @@ use pilfill_layout::{Design, LayerId};
 use pilfill_prng::rngs::StdRng;
 use pilfill_prng::SeedableRng;
 
-const DEFAULT_OUT: &str = "BENCH_pr8.json";
+const DEFAULT_OUT: &str = "BENCH_pr9.json";
 
 /// Thread counts covered by `--threads-sweep`.
 const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -56,6 +65,7 @@ const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 struct Options {
     quick: bool,
     sweep: bool,
+    serve_load: bool,
     out: String,
 }
 
@@ -63,6 +73,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
         sweep: false,
+        serve_load: false,
         out: DEFAULT_OUT.to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -70,8 +81,11 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--threads-sweep" => opts.sweep = true,
+            "--serve-load" => opts.serve_load = true,
             "--out" => opts.out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other:?} (try --quick, --threads-sweep, --out PATH)"),
+            other => panic!(
+                "unknown flag {other:?} (try --quick, --threads-sweep, --serve-load, --out PATH)"
+            ),
         }
     }
     opts
@@ -102,9 +116,18 @@ fn representative_tile(design: &Design, cfg: &FlowConfig) -> (TileProblem, u32) 
 /// moving geometry — the canonical "one dirty tile, budget reusable"
 /// incremental workload.
 fn mutated_copy(design: &Design, tile: i64) -> Design {
-    let layer = LayerId(0);
+    let ni = narrowest_net(design, tile);
     let mut copy = design.clone();
-    let ni = copy
+    let sink = copy.nets[ni].sinks[0];
+    copy.nets[ni].sinks.push(sink);
+    copy
+}
+
+/// Index of the fill-layer net with sinks whose footprint spans the
+/// fewest tile-grid columns — the cheapest net to dirty.
+fn narrowest_net(design: &Design, tile: i64) -> usize {
+    let layer = LayerId(0);
+    design
         .nets
         .iter()
         .enumerate()
@@ -120,10 +143,177 @@ fn mutated_copy(design: &Design, tile: i64) -> Design {
             hi.div_euclid(tile) - lo.div_euclid(tile)
         })
         .map(|(ni, _)| ni)
-        .expect("a net with sinks on the fill layer");
-    let sink = copy.nets[ni].sinks[0];
-    copy.nets[ni].sinks.push(sink);
-    copy
+        .expect("a net with sinks on the fill layer")
+}
+
+/// Open-loop load generation against an in-process fill service on a
+/// unix socket.
+///
+/// Eight client threads each drive one connection: a cold inline upload
+/// of a per-client design followed by warm by-hash repeats. Send times
+/// are fixed on a global interleaved schedule *before* the run, so a
+/// slow reply pushes later sends past their scheduled instants and the
+/// lateness is charged to their latency — the open-loop discipline that
+/// avoids coordinated omission. Afterwards a sequential probe measures
+/// `serve/cold_ns` (fresh design, full build) against
+/// `serve/warm_edit_ns` (one-net edit riding the cached context through
+/// `FlowContext::rebuild`).
+fn serve_load_metrics(quick: bool) -> Vec<(&'static str, u64)> {
+    use pilfill_serve::protocol::{design_hash, DesignRef, EditOp, FillParams, FillStatus, Reply};
+    use pilfill_serve::{Client, ServeOptions, Server};
+    use std::time::{Duration, Instant};
+
+    let sock =
+        std::env::temp_dir().join(format!("pilfill-bench-serve-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let spec = format!("unix:{}", sock.display());
+    let server = Server::bind(&spec, &ServeOptions::default()).expect("bind serve socket");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    const CLIENTS: usize = 8;
+    let per_client: usize = if quick { 4 } else { 16 };
+    let interval = Duration::from_millis(if quick { 3 } else { 2 });
+    // Greedy placement keeps each request small enough that the stream,
+    // not one solve, dominates the measurement.
+    let mut params = FillParams::new(8_000, 2).expect("params");
+    params.method = 1;
+    let reply_timeout = Duration::from_secs(60);
+
+    // Scheduled epoch: every client waits for it, so the interleaved
+    // send schedule is shared and the rate is fixed up front.
+    let start = Instant::now() + Duration::from_millis(50);
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let spec = spec.clone();
+        let params = params.clone();
+        handles.push(std::thread::spawn(move || {
+            let seed = 400 + u64::try_from(c).unwrap_or(0);
+            let design = synthesize(&SynthConfig::small_test(seed));
+            let text = design.to_text();
+            let hash = design_hash(&design);
+            let mut client = Client::connect_retry(&spec, Duration::from_secs(5)).expect("connect");
+            let mut latencies = Vec::with_capacity(per_client);
+            let mut warm = 0u64;
+            for i in 0..per_client {
+                let slot = u32::try_from(i * CLIENTS + c).unwrap_or(u32::MAX);
+                let due = start + interval * slot;
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let design_ref = if i == 0 {
+                    DesignRef::Inline(text.clone())
+                } else {
+                    DesignRef::Hash(hash)
+                };
+                let reply = client
+                    .fill_retry(&design_ref, &params, reply_timeout)
+                    .expect("fill reply");
+                let served = Instant::now();
+                match reply {
+                    Reply::FillOk { status, .. } => {
+                        if status == FillStatus::Warm {
+                            warm += 1;
+                        }
+                    }
+                    other => panic!("unexpected load reply: {other:?}"),
+                }
+                latencies
+                    .push(u64::try_from(served.duration_since(due).as_nanos()).unwrap_or(u64::MAX));
+            }
+            (latencies, warm)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut warm_hits = 0u64;
+    for handle in handles {
+        let (lat, warm) = handle.join().expect("load client");
+        latencies.extend(lat);
+        warm_hits += warm;
+    }
+    let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    latencies.sort_unstable();
+    let pct = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    let total = u64::try_from(latencies.len()).unwrap_or(0);
+    let rps = total
+        .saturating_mul(1_000_000_000)
+        .checked_div(elapsed_ns.max(1))
+        .unwrap_or(0);
+    let warm_permille = warm_hits
+        .saturating_mul(1000)
+        .checked_div(total.max(1))
+        .unwrap_or(0);
+
+    // Cold build vs served warm-edit rebuild, same host, same server.
+    let median = |v: &mut Vec<u64>| {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let mut client = Client::connect_retry(&spec, Duration::from_secs(5)).expect("connect");
+    let rounds: u64 = if quick { 2 } else { 5 };
+    // Probe on T1: big enough that context construction dominates a cold
+    // request, so the edited repeat — which rides the cached context
+    // through `FlowContext::rebuild` and re-solves only the dirtied
+    // tiles — shows the cache's real payoff. A per-round config seed
+    // forces a fresh context cache key (a genuine cold build) while the
+    // paired edit lands on exactly that entry.
+    let t1 = synthesize(&SynthConfig::t1());
+    let t1_text = t1.to_text();
+    let t1_hash = design_hash(&t1);
+    let mut probe = FillParams::new(32_000, 2).expect("probe params");
+    probe.method = 1;
+    let mut cold_ns: Vec<u64> = Vec::new();
+    let mut warm_edit_ns: Vec<u64> = Vec::new();
+    for k in 0..rounds {
+        probe.seed = 7000 + k;
+        match client
+            .fill_retry(&DesignRef::Inline(t1_text.clone()), &probe, reply_timeout)
+            .expect("cold reply")
+        {
+            Reply::FillOk {
+                status: FillStatus::Cold,
+                server_ns,
+                ..
+            } => cold_ns.push(server_ns),
+            other => panic!("expected a cold fill, got {other:?}"),
+        }
+        let edit = DesignRef::Edit {
+            base: t1_hash,
+            ops: vec![EditOp::DupSink {
+                net: u32::try_from(narrowest_net(&t1, 32_000 / 2)).unwrap_or(0),
+            }],
+        };
+        match client
+            .fill_retry(&edit, &probe, reply_timeout)
+            .expect("edit reply")
+        {
+            Reply::FillOk {
+                status: FillStatus::RebuildIncr | FillStatus::RebuildFull,
+                server_ns,
+                ..
+            } => warm_edit_ns.push(server_ns),
+            other => panic!("expected an edit rebuild, got {other:?}"),
+        }
+    }
+    let cold = median(&mut cold_ns);
+    let warm_edit = median(&mut warm_edit_ns);
+    println!(
+        "serve-load: {total} requests, {rps} rps, warm ratio {warm_permille}‰, \
+         cold {cold} ns vs warm-edit {warm_edit} ns ({:.1}x)",
+        cold.max(1) as f64 / warm_edit.max(1) as f64 // pilfill: allow(as-cast)
+    );
+
+    assert!(client.shutdown().expect("shutdown"), "shutdown refused");
+    server_thread.join().expect("server thread").expect("serve");
+
+    vec![
+        ("serve/rps", rps),
+        ("serve/p50_ns", pct(50)),
+        ("serve/p99_ns", pct(99)),
+        ("serve/warm_hit_ratio", warm_permille),
+        ("serve/cold_ns", cold),
+        ("serve/warm_edit_ns", warm_edit),
+    ]
 }
 
 fn main() {
@@ -204,11 +394,13 @@ fn main() {
     });
 
     // Fused pipeline: one call covers what `context_build` + `run_ilp2`
-    // cover separately, so its figure competes with their *sum*.
+    // cover separately, so its figure competes with their *sum* — the
+    // `_buildsolve` suffix marks it as build+solve so bench_compare.sh
+    // diffs never pit it against the solve-only `flow/run_ilp2_t2`.
     let pool = WorkerPool::new(
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     );
-    h.bench("flow/run_streamed_ilp2_t2", samples, 1, || {
+    h.bench("flow/run_streamed_buildsolve_ilp2_t2", samples, 1, || {
         run_flow_streamed(t2, &cfg, &IlpTwo, &pool).expect("streamed")
     });
 
@@ -237,7 +429,7 @@ fn main() {
         allocs.push(("allocs/context_build_t2", build_allocs));
         let (_, streamed_allocs) =
             alloc_count::count(|| run_flow_streamed(t2, &cfg, &IlpTwo, &pool).expect("streamed"));
-        allocs.push(("allocs/run_streamed_ilp2_t2", streamed_allocs));
+        allocs.push(("allocs/run_streamed_buildsolve_ilp2_t2", streamed_allocs));
         // Warm-scratch hot paths: after one priming call both must run
         // allocation-free (the scan emits into a retained Vec, the density
         // fold into retained area/prefix buffers).
@@ -340,6 +532,13 @@ fn main() {
             solver.insert(name, Json::UInt(u64::try_from(n).unwrap_or(0)));
         }
         report.insert("solver", solver);
+    }
+    if opts.serve_load {
+        let mut serve = Json::object();
+        for (name, v) in serve_load_metrics(opts.quick) {
+            serve.insert(name, Json::UInt(v));
+        }
+        report.insert("serve", serve);
     }
     std::fs::write(&opts.out, report.to_pretty_string()).expect("write report");
     println!("wrote {}", opts.out);

@@ -67,6 +67,8 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "lp-budget",
     "streamed",
     "no-streamed",
+    "by-hash",
+    "shutdown",
 ];
 
 impl Args {

@@ -10,9 +10,12 @@ use pilfill_density::{DensityMap, FixedDissection};
 use pilfill_layout::stats::design_stats;
 use pilfill_layout::synth::{synthesize, SynthConfig};
 use pilfill_layout::{Design, LayerId};
+use pilfill_serve::protocol::{design_hash, DesignRef, EditOp, FillParams, Reply, METHOD_NAMES};
+use pilfill_serve::{Client, ServeOptions, Server};
 use pilfill_stream::write_gds;
 use pilfill_viz::{DensityView, LayoutView, Theme};
 use std::io::Write;
+use std::time::Duration;
 
 /// Any error a command can produce.
 #[derive(Debug)]
@@ -83,6 +86,8 @@ pub fn dispatch(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => stats(args, out),
         "density" => density(args, out),
         "fill" => fill(args, out),
+        "serve" => serve(args, out),
+        "request" => request(args, out),
         "export" => export(args, out),
         "verify" => verify(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -109,6 +114,16 @@ COMMANDS:
            [--no-streamed] (disable the fused build+solve pipeline)
            [--gds out.gds] [--svg out.svg] [--csv report.csv]
            run timing-aware fill and report the delay impact
+  serve    --listen <host:port|unix:PATH> [--threads N] [--quota N]
+           [--max-inflight N] [--cache N] [--design-cache N]
+           run the persistent fill service until a shutdown request
+  request  <design.pfl> --connect <host:port|unix:PATH>
+           [--window DBU] [--r N] [--method normal|greedy|ilp1|ilp2|dp]
+           [--def 1|2|3] [--seed N] [--max-density F] [--weighted] [--lp-budget]
+           [--edit dup-sink:NET|widen:NET,SEG,DELTA[+more]] [--by-hash]
+           [--repeat K] [--dump blob.bin] [--timeout-ms N] [--shutdown]
+           send a fill request to a running service; with --shutdown and
+           no design, just stop the service
   export   <design.pfl> --gds out.gds
            export drawn metal to GDSII (without fill)
   verify   <design.pfl> --gds filled.gds
@@ -242,17 +257,13 @@ fn parse_def(v: &str) -> Result<SlackColumnDef, CliError> {
     })
 }
 
-fn fill(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let design = load_design(args.positional(0, "design.pfl")?)?;
+/// Builds the [`FlowConfig`] described by the shared fill-flow options
+/// (`--window`, `--r`, `--def`, `--seed`, `--max-density`, `--weighted`,
+/// `--lp-budget`, `--layer`) — the same vocabulary for `fill` and
+/// `request`, so a served request is specified exactly like a one-shot
+/// run.
+fn flow_config(args: &Args, design: &Design) -> Result<FlowConfig, CliError> {
     let (window, r) = dissection_args(args)?;
-    let method = parse_method(args.get("method").unwrap_or("ilp2"))?;
-    // `--threads 0` (the default) auto-detects the available parallelism;
-    // `--threads 1` forces the sequential path.
-    let threads = match args.get_parsed("threads", 0usize, "a thread count")? {
-        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-        n => n,
-    };
-
     let mut config = FlowConfig::new(window, r).map_err(tool_err)?;
     config.weighted = args.flag("weighted");
     config.lp_budget = args.flag("lp-budget");
@@ -267,6 +278,19 @@ fn fill(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             .layer_by_name(layer)
             .ok_or_else(|| CliError::Tool(format!("no layer named `{layer}`")))?;
     }
+    Ok(config)
+}
+
+fn fill(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let design = load_design(args.positional(0, "design.pfl")?)?;
+    let method = parse_method(args.get("method").unwrap_or("ilp2"))?;
+    // `--threads 0` (the default) auto-detects the available parallelism;
+    // `--threads 1` forces the sequential path.
+    let threads = match args.get_parsed("threads", 0usize, "a thread count")? {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    };
+    let config = flow_config(args, &design)?;
 
     // The fused build+solve pipeline is the default; `--no-streamed`
     // restores the two-phase build-then-run flow (`--streamed` is accepted
@@ -342,6 +366,160 @@ fn report_fill(outcome: &FlowOutcome, out: &mut dyn Write) -> std::io::Result<()
     )?;
     writeln!(out, "solve time       {:.2?}", outcome.solve_time)?;
     Ok(())
+}
+
+fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let listen = args.require("listen")?;
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        lanes: args.get_parsed("threads", defaults.lanes, "a thread count")?,
+        quota: args.get_parsed("quota", defaults.quota, "a batch quota")?,
+        max_inflight: args.get_parsed(
+            "max-inflight",
+            defaults.max_inflight,
+            "an in-flight request cap",
+        )?,
+        ctx_cache_cap: args.get_parsed("cache", defaults.ctx_cache_cap, "a context cache size")?,
+        design_cache_cap: args.get_parsed(
+            "design-cache",
+            defaults.design_cache_cap,
+            "a design store size",
+        )?,
+    };
+    let server = Server::bind(listen, &opts)?;
+    writeln!(out, "listening on {}", server.addr())?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "shut down")?;
+    Ok(())
+}
+
+/// Parses an `--edit` spec: ops joined by `+`, each `dup-sink:NET` or
+/// `widen:NET,SEG,DELTA`.
+fn parse_edits(spec: &str) -> Result<Vec<EditOp>, CliError> {
+    let bad = |op: &str| CliError::UnknownChoice {
+        what: "edit op",
+        value: op.to_string(),
+        choices: "dup-sink:NET, widen:NET,SEG,DELTA (joined with +)",
+    };
+    spec.split('+')
+        .map(|op| {
+            if let Some(net) = op.strip_prefix("dup-sink:") {
+                let net = net.parse().map_err(|_| bad(op))?;
+                Ok(EditOp::DupSink { net })
+            } else if let Some(rest) = op.strip_prefix("widen:") {
+                let mut fields = rest.splitn(3, ',');
+                let mut next = || fields.next().ok_or_else(|| bad(op));
+                let net = next()?.parse().map_err(|_| bad(op))?;
+                let seg = next()?.parse().map_err(|_| bad(op))?;
+                let delta = next()?.parse().map_err(|_| bad(op))?;
+                Ok(EditOp::WidenSegment { net, seg, delta })
+            } else {
+                Err(bad(op))
+            }
+        })
+        .collect()
+}
+
+/// Human-readable name of a reply's cache temperature.
+fn status_name(status: pilfill_serve::protocol::FillStatus) -> &'static str {
+    use pilfill_serve::protocol::FillStatus;
+    match status {
+        FillStatus::Cold => "cold",
+        FillStatus::Warm => "warm",
+        FillStatus::RebuildIncr => "rebuild-incr",
+        FillStatus::RebuildFull => "rebuild-full",
+    }
+}
+
+fn request(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let spec = args.require("connect")?;
+    let timeout = Duration::from_millis(args.get_parsed(
+        "timeout-ms",
+        30_000u64,
+        "a timeout in milliseconds",
+    )?);
+    // `request --connect SPEC --shutdown` with no design just stops the
+    // service.
+    if args.positional.is_empty() && args.flag("shutdown") {
+        let mut client = Client::connect_retry(spec, timeout)?;
+        return finish_shutdown(&mut client, out);
+    }
+
+    let design = load_design(args.positional(0, "design.pfl")?)?;
+    let config = flow_config(args, &design)?;
+    let method_name = args.get("method").unwrap_or("ilp2");
+    let method = METHOD_NAMES
+        .iter()
+        .position(|m| *m == method_name)
+        .ok_or_else(|| CliError::UnknownChoice {
+            what: "method",
+            value: method_name.to_string(),
+            choices: "normal, greedy, ilp1, ilp2, dp",
+        })?;
+    let params = FillParams::from_config(&config, u8::try_from(method).unwrap_or(u8::MAX));
+
+    let base_hash = design_hash(&design);
+    let design_ref = if let Some(edit_spec) = args.get("edit") {
+        DesignRef::Edit {
+            base: base_hash,
+            ops: parse_edits(edit_spec)?,
+        }
+    } else if args.flag("by-hash") {
+        DesignRef::Hash(base_hash)
+    } else {
+        DesignRef::Inline(design.to_text())
+    };
+
+    let repeat = args.get_parsed("repeat", 1usize, "a repeat count")?.max(1);
+    let mut client = Client::connect_retry(spec, timeout)?;
+    for _ in 0..repeat {
+        match client.fill_retry(&design_ref, &params, timeout)? {
+            Reply::FillOk {
+                status,
+                server_ns,
+                design_hash,
+                blob,
+            } => {
+                writeln!(
+                    out,
+                    "fill ok  status {}  design {design_hash:016x}  server {server_ns} ns  blob {} bytes",
+                    status_name(status),
+                    blob.len()
+                )?;
+                if let Some(path) = args.get("dump") {
+                    std::fs::write(path, &blob)?;
+                }
+            }
+            Reply::Busy { inflight } => {
+                return Err(CliError::Tool(format!(
+                    "server busy ({inflight} requests in flight); raise --timeout-ms or retry"
+                )))
+            }
+            Reply::Err { code, message } => {
+                return Err(CliError::Tool(format!("server error {code}: {message}")))
+            }
+            other => {
+                return Err(CliError::Tool(format!(
+                    "unexpected reply to a fill request: {other:?}"
+                )))
+            }
+        }
+    }
+
+    if args.flag("shutdown") {
+        return finish_shutdown(&mut client, out);
+    }
+    Ok(())
+}
+
+fn finish_shutdown(client: &mut Client, out: &mut dyn Write) -> Result<(), CliError> {
+    if client.shutdown()? {
+        writeln!(out, "shutdown acknowledged")?;
+        Ok(())
+    } else {
+        Err(CliError::Tool("server refused to shut down".into()))
+    }
 }
 
 /// Stable kebab-case rule identifier for a DRC violation class, matching
@@ -600,5 +778,115 @@ mod tests {
             run(&["stats", "/nonexistent/file.pfl"]),
             Err(CliError::Io(_))
         ));
+    }
+
+    #[test]
+    fn serve_and_request_round_trip_over_unix_socket() {
+        let design_path = tmp("serve-rt.pfl");
+        run(&[
+            "synth",
+            "--preset",
+            "small",
+            "--seed",
+            "21",
+            "--out",
+            &design_path,
+        ])
+        .expect("synth");
+        let sock = tmp(&format!("serve-rt-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let listen = format!("unix:{sock}");
+
+        let server = std::thread::spawn({
+            let listen = listen.clone();
+            move || run(&["serve", "--listen", &listen, "--threads", "2"])
+        });
+
+        let base: &[&str] = &[
+            "request",
+            &design_path,
+            "--connect",
+            &listen,
+            "--window",
+            "8000",
+            "--r",
+            "2",
+            "--method",
+            "greedy",
+        ];
+        fn with<'a>(base: &[&'a str], extra: &[&'a str]) -> Vec<&'a str> {
+            base.iter().chain(extra.iter()).copied().collect()
+        }
+
+        // Cold inline upload, then a warm by-hash repeat: byte-identical
+        // outcome blobs.
+        let cold_blob = tmp("serve-rt-cold.blob");
+        let text = run(&with(base, &["--dump", &cold_blob])).expect("cold request");
+        assert!(text.contains("status cold"), "not cold: {text}");
+        let warm_blob = tmp("serve-rt-warm.blob");
+        let text = run(&with(base, &["--by-hash", "--dump", &warm_blob])).expect("warm request");
+        assert!(text.contains("status warm"), "not warm: {text}");
+        assert_eq!(
+            std::fs::read(&cold_blob).expect("cold blob"),
+            std::fs::read(&warm_blob).expect("warm blob"),
+            "warm replay must match the cold run byte-for-byte"
+        );
+
+        // Repeats reuse one connection and stay warm.
+        let text = run(&with(base, &["--by-hash", "--repeat", "2"])).expect("repeat");
+        assert_eq!(text.matches("status warm").count(), 2, "repeats: {text}");
+
+        // An edit of the cached base goes through rebuild, not cold build.
+        let text = run(&with(base, &["--edit", "dup-sink:0"])).expect("edit request");
+        assert!(text.contains("status rebuild-"), "not a rebuild: {text}");
+
+        // A design-less `request --shutdown` stops the service cleanly.
+        let text = run(&["request", "--connect", &listen, "--shutdown"]).expect("shutdown");
+        assert!(text.contains("shutdown acknowledged"));
+        let text = server.join().expect("server thread").expect("serve ok");
+        assert!(text.contains("listening on unix:"), "serve output: {text}");
+        assert!(text.contains("shut down"), "serve output: {text}");
+        assert!(
+            std::fs::metadata(&sock).is_err(),
+            "socket file must be unlinked on shutdown"
+        );
+    }
+
+    #[test]
+    fn request_rejects_bad_edit_specs_and_methods() {
+        let design_path = tmp("serve-bad.pfl");
+        run(&["synth", "--preset", "small", "--out", &design_path]).expect("synth");
+        let sock = tmp(&format!("serve-bad-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let listen = format!("unix:{sock}");
+        let server = std::thread::spawn({
+            let listen = listen.clone();
+            move || run(&["serve", "--listen", &listen, "--threads", "1"])
+        });
+        // Argument validation happens before anything hits the wire.
+        assert!(matches!(
+            run(&[
+                "request",
+                &design_path,
+                "--connect",
+                &listen,
+                "--edit",
+                "explode:3"
+            ]),
+            Err(CliError::UnknownChoice { .. })
+        ));
+        assert!(matches!(
+            run(&[
+                "request",
+                &design_path,
+                "--connect",
+                &listen,
+                "--method",
+                "magic"
+            ]),
+            Err(CliError::UnknownChoice { .. })
+        ));
+        run(&["request", "--connect", &listen, "--shutdown"]).expect("shutdown");
+        server.join().expect("server thread").expect("serve ok");
     }
 }

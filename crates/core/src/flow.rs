@@ -256,6 +256,25 @@ fn prelude<'d>(design: &'d Design, config: &FlowConfig) -> Result<Prelude<'d>, F
     })
 }
 
+/// Which tiles' previously computed solve results a
+/// [`FlowContext::rebuild`] invalidated — the complement of what a
+/// result cache layered above the context may keep.
+///
+/// Invalidated means the tile's [`TileProblem`] was rebuilt or its
+/// budgeted feature count may have changed; a cached per-tile solve for
+/// any other tile is still exactly what a fresh solve would produce
+/// (the methods are deterministic functions of problem, budget, and
+/// seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildDirt {
+    /// Every tile: the context was fully rebuilt, or the budget changed
+    /// (every tile's allotment may differ).
+    All,
+    /// Only these row-major tile indices, sorted ascending (possibly
+    /// empty for a pure cache hit).
+    Tiles(Vec<usize>),
+}
+
 /// What [`FlowContext::rebuild`] did: either a localized update or a full
 /// rebuild, with the dirty extents for diagnostics and benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,6 +293,50 @@ pub struct RebuildStats {
     /// density map and the slack vector bit-identical (budgeting is a pure
     /// function of the two, so the cached result equals a fresh one).
     pub budget_reused: bool,
+}
+
+impl RebuildStats {
+    /// The stats of a full (non-incremental) rebuild.
+    pub const FULL: RebuildStats = RebuildStats {
+        full: true,
+        changed_nets: 0,
+        dirty_site_columns: 0,
+        dirty_grid_columns: 0,
+        budget_reused: false,
+    };
+}
+
+/// Outcome of the shared incremental-rebuild body: either the context was
+/// patched in place, or the change was not localizable and the caller
+/// must rebuild from scratch (with the design lifetime it owns).
+enum IncrOutcome {
+    NeedsFull,
+    Done {
+        stats: RebuildStats,
+        dirt: RebuildDirt,
+    },
+}
+
+/// Solves one tile: budget lookup, capacity clamp, per-tile seeded RNG,
+/// method dispatch — the single definition behind [`FlowContext::run`],
+/// the pooled runner, the streamed pipeline, and
+/// [`FlowContext::solve_tile`].
+fn solve_one_tile(
+    problem: &TileProblem,
+    budget: &FillBudget,
+    config: &FlowConfig,
+    method: &dyn FillMethod,
+) -> Result<(Vec<u32>, Duration), MethodError> {
+    let want = budget.features(problem.cell);
+    let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
+    if effective == 0 {
+        return Ok((vec![0; problem.columns.len()], Duration::ZERO));
+    }
+    let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
+    let t0 = Instant::now();
+    method
+        .place(problem, effective, config.weighted, &mut rng)
+        .map(|counts| (counts, t0.elapsed()))
 }
 
 /// Precomputed, method-independent flow state: everything up to (and
@@ -442,13 +505,48 @@ impl<'d> FlowContext<'d> {
         config: &FlowConfig,
         pool: &WorkerPool,
     ) -> Result<RebuildStats, FlowError> {
-        let full = RebuildStats {
-            full: true,
-            changed_nets: 0,
-            dirty_site_columns: 0,
-            dirty_grid_columns: 0,
-            budget_reused: false,
-        };
+        Ok(self.rebuild_tracked(design, config, pool)?.0)
+    }
+
+    /// Like [`FlowContext::rebuild`], but additionally reports which
+    /// tiles' previously computed solve results the rebuild invalidated
+    /// ([`RebuildDirt`]) — the contract a per-tile result cache layered
+    /// above the context (the serving layer) relies on.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowContext::rebuild`].
+    pub fn rebuild_tracked(
+        &mut self,
+        design: &'d Design,
+        config: &FlowConfig,
+        pool: &WorkerPool,
+    ) -> Result<(RebuildStats, RebuildDirt), FlowError> {
+        match self.rebuild_incr(design, config)? {
+            IncrOutcome::NeedsFull => {
+                *self = Self::build_pool(design, config, pool)?;
+                Ok((RebuildStats::FULL, RebuildDirt::All))
+            }
+            IncrOutcome::Done { stats, dirt } => {
+                self.frame_design = Cow::Borrowed(design);
+                Ok((stats, dirt))
+            }
+        }
+    }
+
+    /// The incremental-rebuild body shared by the borrowed
+    /// ([`FlowContext::rebuild_tracked`]) and owned
+    /// ([`FlowContext::rebuild_owned`]) entry points. Never stores
+    /// `design` into the context — on [`IncrOutcome::Done`] the caller
+    /// installs it with the lifetime it owns; on
+    /// [`IncrOutcome::NeedsFull`] the caller replaces the whole context
+    /// (partial line splices made before a mid-diff bailout are then
+    /// overwritten wholesale).
+    fn rebuild_incr(
+        &mut self,
+        design: &Design,
+        config: &FlowConfig,
+    ) -> Result<IncrOutcome, FlowError> {
         let new_transposed = design
             .layers
             .get(config.layer.0)
@@ -469,8 +567,7 @@ impl<'d> FlowContext<'d> {
                 || design.obstructions != old.obstructions
                 || design.nets.len() != old.nets.len()
             {
-                *self = Self::build_pool(design, config, pool)?;
-                return Ok(full);
+                return Ok(IncrOutcome::NeedsFull);
             }
         }
 
@@ -530,8 +627,7 @@ impl<'d> FlowContext<'d> {
             if fresh.len() != range.len() {
                 // Line indices after this net would shift; every clean
                 // column's below/above reference would dangle.
-                *self = Self::build_pool(design, config, pool)?;
-                return Ok(full);
+                return Ok(IncrOutcome::NeedsFull);
             }
             for l in self.lines[range.clone()].iter().chain(fresh.iter()) {
                 mark(l.rect, &mut resolve);
@@ -543,15 +639,17 @@ impl<'d> FlowContext<'d> {
                 *slot = line;
             }
         }
-        self.frame_design = Cow::Borrowed(design);
         let dirty_site_columns = rescan.iter().filter(|&&d| d).count();
         if !resolve.iter().any(|&d| d) {
-            return Ok(RebuildStats {
-                full: false,
-                changed_nets,
-                dirty_site_columns: 0,
-                dirty_grid_columns: 0,
-                budget_reused: true,
+            return Ok(IncrOutcome::Done {
+                stats: RebuildStats {
+                    full: false,
+                    changed_nets,
+                    dirty_site_columns: 0,
+                    dirty_grid_columns: 0,
+                    budget_reused: true,
+                },
+                dirt: RebuildDirt::Tiles(Vec::new()),
             });
         }
 
@@ -678,12 +776,31 @@ impl<'d> FlowContext<'d> {
             true
         };
 
-        Ok(RebuildStats {
-            full: false,
-            changed_nets,
-            dirty_site_columns,
-            dirty_grid_columns,
-            budget_reused,
+        // A changed budget may change any tile's allotment; otherwise
+        // only the rebuilt grid columns' tiles lost their problems.
+        let dirt = if budget_reused {
+            let mut tiles = Vec::with_capacity(dirty_grid_columns * grid.ny());
+            for iy in 0..grid.ny() {
+                for (ix, is_dirty) in dirty_grid.iter().enumerate() {
+                    if *is_dirty {
+                        tiles.push(iy * nx + ix);
+                    }
+                }
+            }
+            RebuildDirt::Tiles(tiles)
+        } else {
+            RebuildDirt::All
+        };
+
+        Ok(IncrOutcome::Done {
+            stats: RebuildStats {
+                full: false,
+                changed_nets,
+                dirty_site_columns,
+                dirty_grid_columns,
+                budget_reused,
+            },
+            dirt,
         })
     }
 
@@ -797,18 +914,12 @@ impl<'d> FlowContext<'d> {
         let mut results: Vec<Option<TileResult>> = Vec::new();
         results.resize_with(n, || None);
         pool.for_each_slot(&mut results, |i, slot| {
-            let problem = &self.problems[i];
-            let want = self.budget.features(problem.cell);
-            let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
-            *slot = Some(if effective == 0 {
-                Ok((vec![0; problem.columns.len()], Duration::ZERO))
-            } else {
-                let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
-                let t0 = Instant::now();
-                method
-                    .place(problem, effective, config.weighted, &mut rng)
-                    .map(|counts| (counts, t0.elapsed()))
-            });
+            *slot = Some(solve_one_tile(
+                &self.problems[i],
+                &self.budget,
+                config,
+                method,
+            ));
         });
 
         let mut per_tile = Vec::with_capacity(n);
@@ -832,18 +943,50 @@ impl<'d> FlowContext<'d> {
     ) -> Result<FlowOutcome, FlowError> {
         let mut per_tile = Vec::with_capacity(self.problems.len());
         for (i, problem) in self.problems.iter().enumerate() {
-            let want = self.budget.features(problem.cell);
-            let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
-            if effective == 0 {
-                per_tile.push((i, vec![0; problem.columns.len()], Duration::ZERO));
-                continue;
-            }
-            let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
-            let t0 = Instant::now();
-            let counts = method.place(problem, effective, config.weighted, &mut rng)?;
-            per_tile.push((i, counts, t0.elapsed()));
+            let (counts, elapsed) = solve_one_tile(problem, &self.budget, config, method)?;
+            per_tile.push((i, counts, elapsed));
         }
         self.assemble(method.name(), per_tile, None)
+    }
+
+    /// Solves the single tile at row-major index `index` — budget lookup,
+    /// capacity clamp, per-tile seeded RNG, method dispatch. Because the
+    /// per-tile seed depends only on the tile cell, solving any subset of
+    /// tiles in any order produces exactly the counts a full
+    /// [`FlowContext::run`] would — the building block for per-tile
+    /// result caches that re-solve only what a rebuild dirtied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.problems().len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the method's [`MethodError`] if the solve fails.
+    pub fn solve_tile(
+        &self,
+        config: &FlowConfig,
+        method: &dyn FillMethod,
+        index: usize,
+    ) -> Result<(Vec<u32>, Duration), MethodError> {
+        solve_one_tile(&self.problems[index], &self.budget, config, method)
+    }
+
+    /// Assembles a [`FlowOutcome`] from externally collected per-tile
+    /// counts — `(row-major tile index, per-column counts, solve time)`,
+    /// in tile-index order, one entry per tile. With counts produced by
+    /// [`FlowContext::solve_tile`] (freshly or replayed from a cache) the
+    /// outcome is bit-identical to [`FlowContext::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowError`].
+    pub fn finish_run(
+        &self,
+        method_name: &'static str,
+        per_tile: Vec<(usize, Vec<u32>, Duration)>,
+    ) -> Result<FlowOutcome, FlowError> {
+        self.assemble(method_name, per_tile, None)
     }
 
     /// Merges per-tile assignments into features, density and impact. With
@@ -926,6 +1069,61 @@ impl<'d> FlowContext<'d> {
             solve_time,
             tiles: self.dissection.num_tiles(),
         })
+    }
+
+    /// Detaches the context from the borrowed design, cloning the frame
+    /// design if it was borrowed. Everything else is already owned, so
+    /// this is one `Design` clone at most — the price of admission for
+    /// storing a context beyond its design's lifetime (a cross-request
+    /// context cache).
+    pub fn into_owned(self) -> FlowContext<'static> {
+        FlowContext {
+            frame_design: Cow::Owned(self.frame_design.into_owned()),
+            transposed: self.transposed,
+            config: self.config,
+            dissection: self.dissection,
+            lines: self.lines,
+            net_line_ranges: self.net_line_ranges,
+            columns: self.columns,
+            problems: self.problems,
+            slack: self.slack,
+            budget: self.budget,
+            budget_total: self.budget_total,
+            density_before: self.density_before,
+            density_map: self.density_map,
+            density_scratch: self.density_scratch,
+        }
+    }
+}
+
+impl FlowContext<'static> {
+    /// [`FlowContext::rebuild_tracked`] for detached
+    /// ([`FlowContext::into_owned`]) contexts: the mutated `design` may
+    /// live arbitrarily briefly — the context clones it into its owned
+    /// frame instead of borrowing. The incremental machinery (and its
+    /// results) are exactly those of [`FlowContext::rebuild`]; a clone
+    /// (~60µs on T2) replaces the borrow, which is what lets a long-lived
+    /// context cache serve the edit→re-fill loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowContext::rebuild`].
+    pub fn rebuild_owned(
+        &mut self,
+        design: &Design,
+        config: &FlowConfig,
+        pool: &WorkerPool,
+    ) -> Result<(RebuildStats, RebuildDirt), FlowError> {
+        match self.rebuild_incr(design, config)? {
+            IncrOutcome::NeedsFull => {
+                *self = FlowContext::build_pool(design, config, pool)?.into_owned();
+                Ok((RebuildStats::FULL, RebuildDirt::All))
+            }
+            IncrOutcome::Done { stats, dirt } => {
+                self.frame_design = Cow::Owned(design.clone());
+                Ok((stats, dirt))
+            }
+        }
     }
 }
 
@@ -1020,16 +1218,7 @@ fn run_flow_streamed_impl<'d>(
 
     type TileResult = Result<(Vec<u32>, Duration), MethodError>;
     let solve_tile = |problem: &TileProblem| -> TileResult {
-        let want = p.budget.features(problem.cell);
-        let effective = units::saturating_count(u64::from(want).min(problem.capacity()));
-        if effective == 0 {
-            return Ok((vec![0; problem.columns.len()], Duration::ZERO));
-        }
-        let mut rng = StdRng::seed_from_u64(tile_seed(config.seed, problem.cell));
-        let t0 = Instant::now();
-        method
-            .place(problem, effective, config.weighted, &mut rng)
-            .map(|counts| (counts, t0.elapsed()))
+        solve_one_tile(problem, &p.budget, config, method)
     };
     let build_slab = |ix: usize| -> Vec<TileProblem> {
         build_slab_problems(
@@ -1597,6 +1786,135 @@ mod tests {
         let fresh = FlowContext::build(&d2, &cfg).expect("fresh");
         assert_eq!(ctx.problems, fresh.problems);
         assert_eq!(ctx.budget, fresh.budget);
+    }
+
+    #[test]
+    fn solve_tile_and_finish_run_replay_matches_run() {
+        let d = design();
+        let cfg = config();
+        let ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let direct = ctx.run(&cfg, &IlpTwo).expect("run");
+        let mut per_tile = Vec::new();
+        for i in 0..ctx.problems().len() {
+            let (counts, elapsed) = ctx.solve_tile(&cfg, &IlpTwo, i).expect("tile");
+            per_tile.push((i, counts, elapsed));
+        }
+        let replayed = ctx.finish_run(IlpTwo.name(), per_tile).expect("finish");
+        assert_outcomes_identical(&direct, &replayed, "solve_tile replay");
+    }
+
+    #[test]
+    fn into_owned_preserves_run_results() {
+        let d = design();
+        let cfg = config();
+        let borrowed = FlowContext::build(&d, &cfg).expect("ctx");
+        let a = borrowed.run(&cfg, &IlpTwo).expect("borrowed run");
+        let owned: FlowContext<'static> = borrowed.into_owned();
+        drop(d); // the owned context must not depend on the design
+        let b = owned.run(&cfg, &IlpTwo).expect("owned run");
+        assert_outcomes_identical(&a, &b, "into_owned");
+    }
+
+    #[test]
+    fn rebuild_owned_matches_borrowed_rebuild() {
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(1);
+        let d2 = mutate_one_segment(&d);
+
+        let mut borrowed = FlowContext::build(&d, &cfg).expect("ctx");
+        let mut owned = FlowContext::build(&d, &cfg).expect("ctx").into_owned();
+        let (stats_b, dirt_b) = borrowed.rebuild_tracked(&d2, &cfg, &pool).expect("rebuild");
+        let (stats_o, dirt_o) = owned
+            .rebuild_owned(&d2, &cfg, &pool)
+            .expect("rebuild owned");
+        assert_eq!(stats_b, stats_o);
+        assert_eq!(dirt_b, dirt_o);
+        assert!(!stats_o.full);
+        let a = borrowed.run(&cfg, &IlpTwo).expect("run");
+        let b = owned.run(&cfg, &IlpTwo).expect("run");
+        assert_outcomes_identical(&a, &b, "rebuild_owned vs rebuild");
+
+        // Structural fallback works on the owned path too.
+        let mut d3 = d2.clone();
+        d3.nets.pop();
+        let (stats, dirt) = owned.rebuild_owned(&d3, &cfg, &pool).expect("full");
+        assert!(stats.full);
+        assert_eq!(dirt, RebuildDirt::All);
+        let fresh = FlowContext::build(&d3, &cfg).expect("fresh");
+        let a = owned.run(&cfg, &IlpTwo).expect("run");
+        let b = fresh.run(&cfg, &IlpTwo).expect("run");
+        assert_outcomes_identical(&a, &b, "owned full fallback");
+    }
+
+    #[test]
+    fn rebuild_dirt_bounds_the_tiles_whose_results_change() {
+        // Replay clean tiles from the pre-edit cache, re-solve only the
+        // reported dirty tiles, and the assembled outcome must be
+        // bit-identical to a fresh full run on the edited design — the
+        // exact contract the serving layer's result cache relies on.
+        let d = design();
+        let cfg = config();
+        let pool = WorkerPool::new(1);
+        // A sink duplication changes line weights (so the net's tiles
+        // must re-solve) without moving geometry (so the budget — and
+        // with it every other tile's allotment — is reused). Pick the
+        // net with the smallest x-span on the fill layer so the dirt
+        // stays partial.
+        let mut d2 = d.clone();
+        let ni = d2
+            .nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                !n.sinks.is_empty() && n.segments.iter().any(|s| s.layer == LayerId(0))
+            })
+            .min_by_key(|(_, n)| {
+                let rects: Vec<_> = n
+                    .segments
+                    .iter()
+                    .filter(|s| s.layer == LayerId(0))
+                    .map(|s| s.rect())
+                    .collect();
+                let left = rects.iter().map(|r| r.left).min().unwrap_or(0);
+                let right = rects.iter().map(|r| r.right).max().unwrap_or(0);
+                right - left
+            })
+            .map(|(ni, _)| ni)
+            .expect("a net with sinks on the fill layer");
+        let sink = d2.nets[ni].sinks[0];
+        d2.nets[ni].sinks.push(sink);
+
+        let mut ctx = FlowContext::build(&d, &cfg).expect("ctx");
+        let mut cached: Vec<Vec<u32>> = Vec::new();
+        for i in 0..ctx.problems().len() {
+            cached.push(ctx.solve_tile(&cfg, &IlpTwo, i).expect("tile").0);
+        }
+        let (stats, dirt) = ctx.rebuild_tracked(&d2, &cfg, &pool).expect("rebuild");
+        assert!(!stats.full);
+        assert!(stats.budget_reused);
+        let RebuildDirt::Tiles(dirty) = &dirt else {
+            panic!("value-only edit with reused budget must report tile dirt, got {dirt:?}");
+        };
+        assert!(!dirty.is_empty());
+        assert!(dirty.len() < ctx.problems().len(), "dirt must be partial");
+        assert!(dirty.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+
+        let mut per_tile = Vec::new();
+        for (i, counts) in cached.into_iter().enumerate() {
+            let counts = if dirty.contains(&i) {
+                ctx.solve_tile(&cfg, &IlpTwo, i).expect("re-solve").0
+            } else {
+                counts
+            };
+            per_tile.push((i, counts, Duration::ZERO));
+        }
+        let replayed = ctx.finish_run(IlpTwo.name(), per_tile).expect("finish");
+        let fresh = FlowContext::build(&d2, &cfg)
+            .expect("fresh")
+            .run(&cfg, &IlpTwo)
+            .expect("fresh run");
+        assert_outcomes_identical(&fresh, &replayed, "dirty-tile replay");
     }
 
     #[test]

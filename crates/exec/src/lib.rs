@@ -26,7 +26,10 @@
 //! The pool is intentionally minimal: no futures, no channels, no external
 //! crates — `std::thread`, two condvars and two atomics.
 
+mod fair;
 mod sync;
+
+pub use fair::{BatchRecord, FairError, FairOptions, FairPool, FairRun};
 
 use crate::sync::thread::JoinHandle;
 use crate::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, MutexGuard};
@@ -589,6 +592,14 @@ unsafe impl<T: Send> Send for SlotWriter<T> {}
 unsafe impl<T: Send> Sync for SlotWriter<T> {}
 
 impl<T> SlotWriter<T> {
+    /// Wraps a mutable slice for disjoint per-index writes.
+    fn new(out: &mut [T]) -> Self {
+        Self {
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
+        }
+    }
+
     /// # Safety
     ///
     /// `i` must be `< len`, and no other thread may access slot `i`

@@ -1,0 +1,112 @@
+//! Blocking client for the fill service: connect, frame requests,
+//! decode replies, and retry `Busy` backpressure.
+
+use crate::net::Stream;
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, DesignRef, FillParams, Reply, Request,
+};
+use std::time::Duration;
+
+/// A connected client. One request is in flight at a time (the protocol
+/// is strictly request/reply per connection).
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a server by spec (`unix:PATH`, a socket path, or TCP
+    /// `host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(spec: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: Stream::connect(spec)?,
+        })
+    }
+
+    /// Like [`Client::connect`], but retries for up to `timeout` while
+    /// the server is still binding — the usual way tests and scripts
+    /// wait for a just-spawned daemon.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once `timeout` elapses.
+    pub fn connect_retry(spec: &str, timeout: Duration) -> std::io::Result<Client> {
+        let start = std::time::Instant::now();
+        loop {
+            match Client::connect(spec) {
+                Ok(client) => return Ok(client),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a server-side disconnect (`UnexpectedEof`), or a
+    /// malformed reply frame (`InvalidData`).
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Reply> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )
+        })?;
+        decode_reply(&payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends a fill request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn fill(&mut self, design: DesignRef, params: FillParams) -> std::io::Result<Reply> {
+        self.request(&Request::Fill { design, params })
+    }
+
+    /// Sends a fill request, retrying `Busy` replies with a short sleep
+    /// until `timeout` elapses (each retry is a fresh request; the
+    /// server holds no state for rejected submissions).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]. A final `Busy` is returned as-is when
+    /// the timeout elapses.
+    pub fn fill_retry(
+        &mut self,
+        design: &DesignRef,
+        params: &FillParams,
+        timeout: Duration,
+    ) -> std::io::Result<Reply> {
+        let start = std::time::Instant::now();
+        loop {
+            let reply = self.fill(design.clone(), params.clone())?;
+            match reply {
+                Reply::Busy { .. } if start.elapsed() < timeout => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                reply => return Ok(reply),
+            }
+        }
+    }
+
+    /// Asks the server to shut down; `Ok(true)` on an acknowledged
+    /// shutdown.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> std::io::Result<bool> {
+        Ok(matches!(
+            self.request(&Request::Shutdown)?,
+            Reply::ShutdownOk
+        ))
+    }
+}

@@ -1,0 +1,224 @@
+//! Transport abstraction: one connected stream / listener type over TCP
+//! and unix-domain sockets.
+//!
+//! A listen/connect *spec* selects the transport: `unix:PATH` (or any
+//! spec containing a `/`) is a unix socket path; anything else is a TCP
+//! `host:port` address.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// A parsed listen/connect spec.
+pub(crate) enum Spec<'a> {
+    /// TCP `host:port`.
+    Tcp(&'a str),
+    /// Unix-domain socket path.
+    Unix(&'a str),
+}
+
+/// Parses a spec: `unix:PATH` or a path containing `/` → unix socket,
+/// otherwise TCP `host:port`.
+pub(crate) fn parse_spec(spec: &str) -> Spec<'_> {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        Spec::Unix(path)
+    } else if spec.contains('/') {
+        Spec::Unix(spec)
+    } else {
+        Spec::Tcp(spec)
+    }
+}
+
+/// One connected byte stream, TCP or unix.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to a server by spec.
+    pub(crate) fn connect(spec: &str) -> std::io::Result<Stream> {
+        match parse_spec(spec) {
+            Spec::Tcp(addr) => Ok(Stream::Tcp(TcpStream::connect(addr)?)),
+            #[cfg(unix)]
+            Spec::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Spec::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not supported on this platform",
+            )),
+        }
+    }
+
+    /// Clones the handle (shares the underlying socket).
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Sets the read timeout (shared with clones of this socket).
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Peeks at incoming bytes without consuming them; `Ok(0)` means the
+    /// peer closed its write side.
+    pub(crate) fn peek(&self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.peek(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => unix_peek(s, buf),
+        }
+    }
+}
+
+/// `UnixStream::peek` is still unstable (`unix_socket_peek`), so peek
+/// through the libc `recv` std already links, with `MSG_PEEK`. Honors
+/// the socket's `SO_RCVTIMEO` like any other receive.
+#[cfg(unix)]
+fn unix_peek(s: &UnixStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn recv(fd: i32, buf: *mut std::ffi::c_void, len: usize, flags: i32) -> isize;
+    }
+    /// POSIX `MSG_PEEK` (value 2 on every platform the workspace
+    /// supports).
+    const MSG_PEEK: i32 = 2;
+    // SAFETY: `fd` is a valid open socket for the lifetime of `&self`,
+    // and `buf` is a live, writable allocation of exactly `buf.len()`
+    // bytes — the kernel writes at most that many.
+    let n = unsafe { recv(s.as_raw_fd(), buf.as_mut_ptr().cast(), buf.len(), MSG_PEEK) };
+    match usize::try_from(n) {
+        Ok(n) => Ok(n),
+        Err(_) => Err(std::io::Error::last_os_error()),
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, non-blocking listener, TCP or unix.
+#[derive(Debug)]
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, String),
+}
+
+impl Listener {
+    /// Binds by spec and switches to non-blocking accepts. A stale unix
+    /// socket file left by a dead server is removed first.
+    pub(crate) fn bind(spec: &str) -> std::io::Result<Listener> {
+        match parse_spec(spec) {
+            Spec::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+            #[cfg(unix)]
+            Spec::Unix(path) => {
+                if std::fs::metadata(path).is_ok() && Stream::connect(path).is_err() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.to_string()))
+            }
+            #[cfg(not(unix))]
+            Spec::Unix(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not supported on this platform",
+            )),
+        }
+    }
+
+    /// The spec clients should connect to (resolves TCP port 0).
+    pub(crate) fn addr(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map_or_else(|_| "?".to_string(), |a| a.to_string()),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => format!("unix:{path}"),
+        }
+    }
+
+    /// Accepts one pending connection; `WouldBlock` when none is queued.
+    pub(crate) fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+
+    /// The unix socket path to unlink on shutdown, if any.
+    pub(crate) fn unix_path(&self) -> Option<&str> {
+        match self {
+            Listener::Tcp(_) => None,
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Some(path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse() {
+        assert!(matches!(parse_spec("127.0.0.1:7777"), Spec::Tcp(_)));
+        assert!(matches!(
+            parse_spec("unix:/tmp/x.sock"),
+            Spec::Unix("/tmp/x.sock")
+        ));
+        assert!(matches!(
+            parse_spec("/tmp/x.sock"),
+            Spec::Unix("/tmp/x.sock")
+        ));
+        assert!(matches!(parse_spec("localhost:0"), Spec::Tcp(_)));
+    }
+}

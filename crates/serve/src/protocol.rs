@@ -1,0 +1,979 @@
+//! The wire protocol of the fill service.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload, whose first byte is the message type. All
+//! multi-byte integers are little-endian; `f64` values travel as their
+//! IEEE-754 bit patterns (`to_bits`), so a reply is a deterministic byte
+//! string — the serving layer inherits the repo's bit-identical
+//! invariant.
+//!
+//! Designs are keyed by a 64-bit FNV-1a hash of their canonical text
+//! form ([`design_hash`]). A request can carry the design inline, refer
+//! to a previously uploaded design by hash, or describe a small *edit*
+//! against a base hash ([`DesignRef::Edit`]) — the shape of an ECO loop,
+//! and the path that exercises the server's warm [`FlowContext`] cache.
+//!
+//! [`FlowContext`]: pilfill_core::FlowContext
+
+use pilfill_core::flow::{FlowConfig, FlowOutcome};
+use pilfill_core::SlackColumnDef;
+use pilfill_geom::Coord;
+use pilfill_layout::{Design, LayerId};
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected before allocation (a corrupt or
+/// hostile length prefix must not drive an OOM).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Request: run the fill flow (`0x01`).
+pub const MSG_FILL: u8 = 0x01;
+/// Request: window-density analysis only (`0x02`).
+pub const MSG_DENSITY: u8 = 0x02;
+/// Request: DRC-check a fill placement (`0x03`).
+pub const MSG_VERIFY: u8 = 0x03;
+/// Request: shut the server down (`0x04`).
+pub const MSG_SHUTDOWN: u8 = 0x04;
+/// Reply: fill outcome (`0x81`).
+pub const MSG_FILL_OK: u8 = 0x81;
+/// Reply: density analysis (`0x82`).
+pub const MSG_DENSITY_OK: u8 = 0x82;
+/// Reply: DRC report (`0x83`).
+pub const MSG_VERIFY_OK: u8 = 0x83;
+/// Reply: admission control pushed back — retry later (`0x84`).
+pub const MSG_BUSY: u8 = 0x84;
+/// Reply: request failed (`0x85`).
+pub const MSG_ERR: u8 = 0x85;
+/// Reply: shutdown acknowledged (`0x86`).
+pub const MSG_SHUTDOWN_OK: u8 = 0x86;
+
+/// `u32` wire lengths/indices widen losslessly into `usize` on every
+/// target the workspace supports (64-bit).
+fn to_usize(v: u32) -> usize {
+    v as usize // pilfill: allow(as-cast)
+}
+
+/// Collection length → wire `u32`, saturating: payloads anywhere near
+/// 4 GiB are rejected by the [`MAX_FRAME`] check long before a truncated
+/// length could be observed.
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The design-store key: FNV-1a of the canonical text serialization.
+pub fn design_hash(design: &Design) -> u64 {
+    fnv1a(design.to_text().as_bytes())
+}
+
+/// One in-place design edit, applied server-side against a cached base
+/// design. Edits are the warm path: the server reuses the base's
+/// [`pilfill_core::FlowContext`] through `rebuild` instead of building
+/// from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Duplicate the first sink of net `net` (a value-only edit: no
+    /// geometry moves, only delay weights change).
+    DupSink {
+        /// Net index.
+        net: u32,
+    },
+    /// Widen segment `seg` of net `net` by `delta` dbu (a geometry edit:
+    /// densities change, the budget is recomputed).
+    WidenSegment {
+        /// Net index.
+        net: u32,
+        /// Segment index within the net.
+        seg: u32,
+        /// Width delta in dbu (may be negative).
+        delta: i64,
+    },
+}
+
+/// How a request names its design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignRef {
+    /// Full canonical design text, parsed and cached server-side.
+    Inline(String),
+    /// A design previously seen by the server, by [`design_hash`].
+    Hash(u64),
+    /// An edit of a cached base design. The edited design's store key is
+    /// derived from `(base, ops)` — [`edit_hash`] — so a repeated edit
+    /// request is itself a cache hit.
+    Edit {
+        /// [`design_hash`] of the base design.
+        base: u64,
+        /// Edits, applied in order.
+        ops: Vec<EditOp>,
+    },
+}
+
+/// Store key of an edited design: FNV-1a over the base hash and the
+/// serialized edit ops. Cheaper than re-serializing the edited design,
+/// and stable across clients, so identical edits dedupe.
+pub fn edit_hash(base: u64, ops: &[EditOp]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + ops.len() * 17);
+    bytes.extend_from_slice(&base.to_le_bytes());
+    for op in ops {
+        match *op {
+            EditOp::DupSink { net } => {
+                bytes.push(0);
+                bytes.extend_from_slice(&net.to_le_bytes());
+            }
+            EditOp::WidenSegment { net, seg, delta } => {
+                bytes.push(1);
+                bytes.extend_from_slice(&net.to_le_bytes());
+                bytes.extend_from_slice(&seg.to_le_bytes());
+                bytes.extend_from_slice(&delta.to_le_bytes());
+            }
+        }
+    }
+    fnv1a(&bytes)
+}
+
+/// Fill-flow parameters of a [`Request::Fill`] — the wire form of
+/// [`FlowConfig`] plus the method selector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FillParams {
+    /// Fill target layer.
+    pub layer: u32,
+    /// Density window size in dbu.
+    pub window: i64,
+    /// Dissection parameter `r`.
+    pub r: u64,
+    /// Slack-column definition (1, 2, or 3).
+    pub def: u8,
+    /// Weighted objective?
+    pub weighted: bool,
+    /// Window-density upper bound.
+    pub max_density: f64,
+    /// Seed for stochastic methods.
+    pub seed: u64,
+    /// Exact-LP budgeting?
+    pub lp_budget: bool,
+    /// Method selector: an index into [`METHOD_NAMES`].
+    pub method: u8,
+}
+
+/// CLI names of the placement methods, indexed by [`FillParams::method`].
+pub const METHOD_NAMES: [&str; 5] = ["normal", "greedy", "ilp1", "ilp2", "dp"];
+
+impl FillParams {
+    /// Default parameters: window/r with ILP-II and the [`FlowConfig`]
+    /// defaults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlowConfig::new`] validation.
+    pub fn new(window: Coord, r: usize) -> Result<Self, pilfill_core::FlowError> {
+        let config = FlowConfig::new(window, r)?;
+        Ok(Self::from_config(&config, 3))
+    }
+
+    /// Wire form of an existing config + method index.
+    pub fn from_config(config: &FlowConfig, method: u8) -> Self {
+        FillParams {
+            layer: len_u32(config.layer.0),
+            window: config.window,
+            r: config.r as u64,
+            def: match config.def {
+                SlackColumnDef::One => 1,
+                SlackColumnDef::Two => 2,
+                SlackColumnDef::Three => 3,
+            },
+            weighted: config.weighted,
+            max_density: config.max_density,
+            seed: config.seed,
+            lp_budget: config.lp_budget,
+            method,
+        }
+    }
+
+    /// Reconstructs the [`FlowConfig`] these parameters describe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range fields or invalid dissection
+    /// parameters.
+    pub fn to_config(&self) -> Result<FlowConfig, String> {
+        let r = usize::try_from(self.r).map_err(|_| format!("r {} out of range", self.r))?;
+        let mut config = FlowConfig::new(self.window, r).map_err(|e| e.to_string())?;
+        config.layer = LayerId(to_usize(self.layer));
+        config.def = match self.def {
+            1 => SlackColumnDef::One,
+            2 => SlackColumnDef::Two,
+            3 => SlackColumnDef::Three,
+            d => return Err(format!("unknown slack-column definition {d}")),
+        };
+        config.weighted = self.weighted;
+        config.max_density = self.max_density;
+        config.seed = self.seed;
+        config.lp_budget = self.lp_budget;
+        if usize::from(self.method) >= METHOD_NAMES.len() {
+            return Err(format!("unknown method index {}", self.method));
+        }
+        Ok(config)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run the fill flow.
+    Fill {
+        /// The design to fill.
+        design: DesignRef,
+        /// Flow parameters.
+        params: FillParams,
+    },
+    /// Window-density analysis of the bare design.
+    Density {
+        /// The design to analyze.
+        design: DesignRef,
+        /// Layer index.
+        layer: u32,
+        /// Density window size in dbu.
+        window: i64,
+        /// Dissection parameter `r`.
+        r: u64,
+    },
+    /// DRC-check externally supplied fill features.
+    Verify {
+        /// The design to check against.
+        design: DesignRef,
+        /// Layer index.
+        layer: u32,
+        /// Feature lower-left corners `(x, y)`.
+        features: Vec<(i64, i64)>,
+    },
+    /// Shut the server down.
+    Shutdown,
+}
+
+/// How warm the serving path was for a [`Reply::FillOk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillStatus {
+    /// No cached context: full build + full solve.
+    Cold,
+    /// Cached context matched the design hash: results replayed (or
+    /// solved once) with no rebuild.
+    Warm,
+    /// Cached context rebuilt through the incremental path.
+    RebuildIncr,
+    /// Cached context rebuilt through the full fallback.
+    RebuildFull,
+}
+
+impl FillStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            FillStatus::Cold => 0,
+            FillStatus::Warm => 1,
+            FillStatus::RebuildIncr => 2,
+            FillStatus::RebuildFull => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        Ok(match b {
+            0 => FillStatus::Cold,
+            1 => FillStatus::Warm,
+            2 => FillStatus::RebuildIncr,
+            3 => FillStatus::RebuildFull,
+            other => return Err(ProtocolError::bad(format!("fill status {other}"))),
+        })
+    }
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Fill succeeded.
+    FillOk {
+        /// Cache temperature of the serving path.
+        status: FillStatus,
+        /// Server-side handling time in nanoseconds (excluded from the
+        /// deterministic `blob`).
+        server_ns: u64,
+        /// Store key of the design that was filled.
+        design_hash: u64,
+        /// Deterministic outcome serialization ([`encode_outcome_blob`]).
+        blob: Vec<u8>,
+    },
+    /// Density analysis succeeded: `(min, max, variation, mean)`.
+    DensityOk {
+        /// Store key of the analyzed design.
+        design_hash: u64,
+        /// `(min, max, variation, mean)` window density.
+        analysis: (f64, f64, f64, f64),
+    },
+    /// Verify succeeded.
+    VerifyOk {
+        /// Store key of the checked design.
+        design_hash: u64,
+        /// Features checked.
+        checked: u64,
+        /// Human-readable violations (empty = clean).
+        violations: Vec<String>,
+    },
+    /// Admission control rejected the request; retry later.
+    Busy {
+        /// Requests in flight when the request was rejected.
+        inflight: u32,
+    },
+    /// The request failed.
+    Err {
+        /// Coarse error class ([`ERR_PROTOCOL`] etc.).
+        code: u8,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Shutdown acknowledged; the server stops accepting connections.
+    ShutdownOk,
+}
+
+/// [`Reply::Err`] code: malformed request frame.
+pub const ERR_PROTOCOL: u8 = 1;
+/// [`Reply::Err`] code: design parse/validation failure.
+pub const ERR_DESIGN: u8 = 2;
+/// [`Reply::Err`] code: flow execution failure.
+pub const ERR_FLOW: u8 = 3;
+/// [`Reply::Err`] code: [`DesignRef::Hash`]/[`DesignRef::Edit`] base not
+/// in the store.
+pub const ERR_UNKNOWN_DESIGN: u8 = 4;
+/// [`Reply::Err`] code: the request was aborted (client went away).
+pub const ERR_ABORTED: u8 = 5;
+
+/// A malformed frame.
+#[derive(Debug)]
+pub struct ProtocolError(pub String);
+
+impl ProtocolError {
+    fn bad(what: impl Into<String>) -> Self {
+        ProtocolError(what.into())
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// ---------------------------------------------------------------- framing
+
+/// Writes one frame: `u32` length prefix + payload.
+///
+/// # Errors
+///
+/// I/O errors from `w`; an oversized payload is an `InvalidData` error.
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload. `Ok(None)` on clean EOF before the first
+/// length byte.
+///
+/// # Errors
+///
+/// I/O errors from `r`; an oversized or truncated frame is an
+/// `InvalidData`/`UnexpectedEof` error.
+pub fn read_frame(r: &mut dyn Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; to_usize(len)];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ----------------------------------------------------------- byte cursor
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ProtocolError::bad("truncated frame"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        // take(2) returns exactly 2 bytes. pilfill: allow(unwrap)
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        // take(4) returns exactly 4 bytes. pilfill: allow(unwrap)
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        // take(8) returns exactly 8 bytes. pilfill: allow(unwrap)
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        let len = to_usize(self.u32()?);
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::bad("invalid utf-8"))
+    }
+
+    fn done(&self) -> Result<(), ProtocolError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::bad("trailing bytes"))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&len_u32(s.len()).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_design_ref(out: &mut Vec<u8>, design: &DesignRef) {
+    match design {
+        DesignRef::Inline(text) => {
+            out.push(0);
+            put_string(out, text);
+        }
+        DesignRef::Hash(h) => {
+            out.push(1);
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        DesignRef::Edit { base, ops } => {
+            out.push(2);
+            out.extend_from_slice(&base.to_le_bytes());
+            out.extend_from_slice(&u16::try_from(ops.len()).unwrap_or(u16::MAX).to_le_bytes());
+            for op in ops {
+                match *op {
+                    EditOp::DupSink { net } => {
+                        out.push(0);
+                        out.extend_from_slice(&net.to_le_bytes());
+                    }
+                    EditOp::WidenSegment { net, seg, delta } => {
+                        out.push(1);
+                        out.extend_from_slice(&net.to_le_bytes());
+                        out.extend_from_slice(&seg.to_le_bytes());
+                        out.extend_from_slice(&delta.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn get_design_ref(c: &mut Cursor<'_>) -> Result<DesignRef, ProtocolError> {
+    Ok(match c.u8()? {
+        0 => DesignRef::Inline(c.string()?),
+        1 => DesignRef::Hash(c.u64()?),
+        2 => {
+            let base = c.u64()?;
+            let count = c.u16()?;
+            let mut ops = Vec::with_capacity(usize::from(count));
+            for _ in 0..count {
+                ops.push(match c.u8()? {
+                    0 => EditOp::DupSink { net: c.u32()? },
+                    1 => EditOp::WidenSegment {
+                        net: c.u32()?,
+                        seg: c.u32()?,
+                        delta: c.i64()?,
+                    },
+                    other => return Err(ProtocolError::bad(format!("edit op {other}"))),
+                });
+            }
+            DesignRef::Edit { base, ops }
+        }
+        other => return Err(ProtocolError::bad(format!("design ref tag {other}"))),
+    })
+}
+
+// ------------------------------------------------------- request codecs
+
+/// Serializes a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Fill { design, params } => {
+            out.push(MSG_FILL);
+            put_design_ref(&mut out, design);
+            out.extend_from_slice(&params.layer.to_le_bytes());
+            out.extend_from_slice(&params.window.to_le_bytes());
+            out.extend_from_slice(&params.r.to_le_bytes());
+            out.push(params.def);
+            out.push(u8::from(params.weighted));
+            out.extend_from_slice(&params.max_density.to_bits().to_le_bytes());
+            out.extend_from_slice(&params.seed.to_le_bytes());
+            out.push(u8::from(params.lp_budget));
+            out.push(params.method);
+        }
+        Request::Density {
+            design,
+            layer,
+            window,
+            r,
+        } => {
+            out.push(MSG_DENSITY);
+            put_design_ref(&mut out, design);
+            out.extend_from_slice(&layer.to_le_bytes());
+            out.extend_from_slice(&window.to_le_bytes());
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        Request::Verify {
+            design,
+            layer,
+            features,
+        } => {
+            out.push(MSG_VERIFY);
+            put_design_ref(&mut out, design);
+            out.extend_from_slice(&layer.to_le_bytes());
+            out.extend_from_slice(&len_u32(features.len()).to_le_bytes());
+            for &(x, y) in features {
+                out.extend_from_slice(&x.to_le_bytes());
+                out.extend_from_slice(&y.to_le_bytes());
+            }
+        }
+        Request::Shutdown => out.push(MSG_SHUTDOWN),
+    }
+    out
+}
+
+/// Parses a request frame payload.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on unknown message types, truncation, or trailing
+/// bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        MSG_FILL => {
+            let design = get_design_ref(&mut c)?;
+            let params = FillParams {
+                layer: c.u32()?,
+                window: c.i64()?,
+                r: c.u64()?,
+                def: c.u8()?,
+                weighted: c.u8()? != 0,
+                max_density: c.f64()?,
+                seed: c.u64()?,
+                lp_budget: c.u8()? != 0,
+                method: c.u8()?,
+            };
+            Request::Fill { design, params }
+        }
+        MSG_DENSITY => Request::Density {
+            design: get_design_ref(&mut c)?,
+            layer: c.u32()?,
+            window: c.i64()?,
+            r: c.u64()?,
+        },
+        MSG_VERIFY => {
+            let design = get_design_ref(&mut c)?;
+            let layer = c.u32()?;
+            let count = to_usize(c.u32()?);
+            // 16 bytes per feature must fit the remaining payload.
+            if count > payload.len() / 16 + 1 {
+                return Err(ProtocolError::bad("feature count exceeds frame"));
+            }
+            let mut features = Vec::with_capacity(count);
+            for _ in 0..count {
+                features.push((c.i64()?, c.i64()?));
+            }
+            Request::Verify {
+                design,
+                layer,
+                features,
+            }
+        }
+        MSG_SHUTDOWN => Request::Shutdown,
+        other => return Err(ProtocolError::bad(format!("request type {other:#x}"))),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+// --------------------------------------------------------- reply codecs
+
+/// Serializes a reply into a frame payload.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut out = Vec::new();
+    match reply {
+        Reply::FillOk {
+            status,
+            server_ns,
+            design_hash,
+            blob,
+        } => {
+            out.push(MSG_FILL_OK);
+            out.push(status.to_byte());
+            out.extend_from_slice(&server_ns.to_le_bytes());
+            out.extend_from_slice(&design_hash.to_le_bytes());
+            out.extend_from_slice(&len_u32(blob.len()).to_le_bytes());
+            out.extend_from_slice(blob);
+        }
+        Reply::DensityOk {
+            design_hash,
+            analysis,
+        } => {
+            out.push(MSG_DENSITY_OK);
+            out.extend_from_slice(&design_hash.to_le_bytes());
+            for v in [analysis.0, analysis.1, analysis.2, analysis.3] {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Reply::VerifyOk {
+            design_hash,
+            checked,
+            violations,
+        } => {
+            out.push(MSG_VERIFY_OK);
+            out.extend_from_slice(&design_hash.to_le_bytes());
+            out.extend_from_slice(&checked.to_le_bytes());
+            out.extend_from_slice(&len_u32(violations.len()).to_le_bytes());
+            for v in violations {
+                put_string(&mut out, v);
+            }
+        }
+        Reply::Busy { inflight } => {
+            out.push(MSG_BUSY);
+            out.extend_from_slice(&inflight.to_le_bytes());
+        }
+        Reply::Err { code, message } => {
+            out.push(MSG_ERR);
+            out.push(*code);
+            put_string(&mut out, message);
+        }
+        Reply::ShutdownOk => out.push(MSG_SHUTDOWN_OK),
+    }
+    out
+}
+
+/// Parses a reply frame payload.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on unknown message types, truncation, or trailing
+/// bytes.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let reply = match c.u8()? {
+        MSG_FILL_OK => {
+            let status = FillStatus::from_byte(c.u8()?)?;
+            let server_ns = c.u64()?;
+            let design_hash = c.u64()?;
+            let len = to_usize(c.u32()?);
+            let blob = c.take(len)?.to_vec();
+            Reply::FillOk {
+                status,
+                server_ns,
+                design_hash,
+                blob,
+            }
+        }
+        MSG_DENSITY_OK => Reply::DensityOk {
+            design_hash: c.u64()?,
+            analysis: (c.f64()?, c.f64()?, c.f64()?, c.f64()?),
+        },
+        MSG_VERIFY_OK => {
+            let design_hash = c.u64()?;
+            let checked = c.u64()?;
+            let count = to_usize(c.u32()?);
+            if count > payload.len() / 4 + 1 {
+                return Err(ProtocolError::bad("violation count exceeds frame"));
+            }
+            let mut violations = Vec::with_capacity(count);
+            for _ in 0..count {
+                violations.push(c.string()?);
+            }
+            Reply::VerifyOk {
+                design_hash,
+                checked,
+                violations,
+            }
+        }
+        MSG_BUSY => Reply::Busy { inflight: c.u32()? },
+        MSG_ERR => Reply::Err {
+            code: c.u8()?,
+            message: c.string()?,
+        },
+        MSG_SHUTDOWN_OK => Reply::ShutdownOk,
+        other => return Err(ProtocolError::bad(format!("reply type {other:#x}"))),
+    };
+    c.done()?;
+    Ok(reply)
+}
+
+// --------------------------------------------------------- outcome blob
+
+/// Serializes a [`FlowOutcome`] into the deterministic reply blob.
+///
+/// Every field except wall-clock `solve_time` is included; all floats go
+/// as IEEE bit patterns. Two outcomes that compare equal (same features,
+/// same accumulated impact) therefore produce byte-identical blobs —
+/// this is the payload the bit-identical serving invariant is asserted
+/// on, and what `pilfill request --dump` writes.
+pub fn encode_outcome_blob(outcome: &FlowOutcome) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_string(&mut out, outcome.method);
+    out.extend_from_slice(&outcome.budget_total.to_le_bytes());
+    out.extend_from_slice(&outcome.placed_features.to_le_bytes());
+    out.extend_from_slice(&outcome.shortfall.to_le_bytes());
+    out.extend_from_slice(&(outcome.tiles as u64).to_le_bytes());
+    for a in [&outcome.density_before, &outcome.density_after] {
+        for v in [
+            a.min_window_density,
+            a.max_window_density,
+            a.variation,
+            a.mean_window_density,
+        ] {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    let impact = &outcome.impact;
+    for v in [impact.total_delay, impact.weighted_delay, impact.total_cap] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&impact.free_features.to_le_bytes());
+    out.extend_from_slice(&impact.unlocated_features.to_le_bytes());
+    out.extend_from_slice(&len_u32(impact.per_net_delay.len()).to_le_bytes());
+    for &v in &impact.per_net_delay {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&len_u32(impact.per_net_cap.len()).to_le_bytes());
+    for &v in &impact.per_net_cap {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&len_u32(outcome.features.len()).to_le_bytes());
+    for f in &outcome.features {
+        out.extend_from_slice(&f.x.to_le_bytes());
+        out.extend_from_slice(&f.y.to_le_bytes());
+    }
+    out
+}
+
+/// Applies edit ops to a design (in order), mirroring what the server
+/// does for [`DesignRef::Edit`].
+///
+/// # Errors
+///
+/// Returns a message if an op's net/segment index is out of range.
+pub fn apply_edits(design: &mut Design, ops: &[EditOp]) -> Result<(), String> {
+    for op in ops {
+        match *op {
+            EditOp::DupSink { net } => {
+                let net = design
+                    .nets
+                    .get_mut(to_usize(net))
+                    .ok_or_else(|| format!("dup-sink: no net {net}"))?;
+                let sink = *net
+                    .sinks
+                    .first()
+                    .ok_or_else(|| format!("dup-sink: net {} has no sinks", net.name))?;
+                net.sinks.push(sink);
+            }
+            EditOp::WidenSegment { net, seg, delta } => {
+                let net = design
+                    .nets
+                    .get_mut(to_usize(net))
+                    .ok_or_else(|| format!("widen: no net {net}"))?;
+                let seg = net
+                    .segments
+                    .get_mut(to_usize(seg))
+                    .ok_or_else(|| format!("widen: net {} has no segment {seg}", net.name))?;
+                seg.width = seg
+                    .width
+                    .checked_add(delta)
+                    .filter(|&w| w > 0)
+                    .ok_or_else(|| "widen: resulting width not positive".to_string())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Fill {
+                design: DesignRef::Inline("design x\n".into()),
+                params: FillParams::new(8_000, 2).expect("valid window"),
+            },
+            Request::Fill {
+                design: DesignRef::Edit {
+                    base: 77,
+                    ops: vec![
+                        EditOp::DupSink { net: 3 },
+                        EditOp::WidenSegment {
+                            net: 1,
+                            seg: 2,
+                            delta: -40,
+                        },
+                    ],
+                },
+                params: FillParams::new(16_000, 4).expect("valid window"),
+            },
+            Request::Density {
+                design: DesignRef::Hash(0xdead_beef),
+                layer: 1,
+                window: 8_000,
+                r: 2,
+            },
+            Request::Verify {
+                design: DesignRef::Hash(9),
+                layer: 0,
+                features: vec![(100, 200), (-5, 7)],
+            },
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            let bytes = encode_request(req);
+            let back = decode_request(&bytes).expect("roundtrip decode");
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = [
+            Reply::FillOk {
+                status: FillStatus::RebuildIncr,
+                server_ns: 12_345,
+                design_hash: 42,
+                blob: vec![1, 2, 3, 4],
+            },
+            Reply::DensityOk {
+                design_hash: 7,
+                analysis: (0.1, 0.4, 0.3, 0.25),
+            },
+            Reply::VerifyOk {
+                design_hash: 8,
+                checked: 120,
+                violations: vec!["overlap at (3, 4)".into()],
+            },
+            Reply::Busy { inflight: 9 },
+            Reply::Err {
+                code: ERR_DESIGN,
+                message: "parse error".into(),
+            },
+            Reply::ShutdownOk,
+        ];
+        for reply in &replies {
+            let bytes = encode_reply(reply);
+            let back = decode_reply(&bytes).expect("roundtrip decode");
+            assert_eq!(&back, reply);
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_are_rejected() {
+        let bytes = encode_request(&Request::Density {
+            design: DesignRef::Hash(1),
+            layer: 0,
+            window: 8_000,
+            r: 2,
+        });
+        assert!(decode_request(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_request(&extra).is_err());
+        assert!(decode_request(&[0xff]).is_err());
+        assert!(decode_reply(&[0x42]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write");
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).expect("read").as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("read"), None);
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn edit_hash_depends_on_ops_and_base() {
+        let ops = [EditOp::DupSink { net: 0 }];
+        let a = edit_hash(1, &ops);
+        assert_eq!(a, edit_hash(1, &ops));
+        assert_ne!(a, edit_hash(2, &ops));
+        assert_ne!(a, edit_hash(1, &[EditOp::DupSink { net: 1 }]));
+        assert_ne!(a, edit_hash(1, &[]));
+    }
+}

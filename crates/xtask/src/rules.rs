@@ -641,7 +641,7 @@ fn rule_atomic_ordering(file: &SourceFile, findings: &mut Vec<(Rule, u32, String
 /// strictly lower layer; edges inside a layer or pointing up are
 /// layering violations (they either create cycle risk or invert the
 /// prng/geom/diag -> core -> flow architecture documented in DESIGN.md).
-const LAYERS: [(&str, u32); 16] = [
+const LAYERS: [(&str, u32); 17] = [
     ("pilfill-prng", 0),
     ("pilfill-geom", 0),
     ("pilfill-diag", 0),
@@ -655,6 +655,7 @@ const LAYERS: [(&str, u32); 16] = [
     ("pilfill-core", 3),
     ("pilfill-stream", 4),
     ("pilfill-viz", 4),
+    ("pilfill-serve", 4),
     ("pilfill-cli", 5),
     ("pilfill-bench", 5),
     ("pil-fill", 5),
@@ -1050,6 +1051,26 @@ mod tests {
         let report = lint_manifests(&[bad]);
         assert!(report.diagnostics.is_empty());
         assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn layering_rejects_serve_depending_on_cli() {
+        // The service tier sits below the binaries: `pilfill-cli` drives
+        // `pilfill-serve`, never the reverse. An inverted edge must fire.
+        let bad = manifest(
+            "crates/serve/Cargo.toml",
+            "[package]\nname = \"pilfill-serve\"\n\n[dependencies]\npilfill-cli.workspace = true\n",
+        );
+        let report = lint_manifests(&[bad]);
+        assert_eq!(report.errors(), 1, "{:?}", report.diagnostics);
+        assert!(report.diagnostics[0].message.contains("pilfill-cli"));
+        // The real direction is fine: cli (5) and bench (5) -> serve (4).
+        let good = manifest(
+            "crates/cli/Cargo.toml",
+            "[package]\nname = \"pilfill-cli\"\n\n[dependencies]\npilfill-serve.workspace = true\n",
+        );
+        let report = lint_manifests(&[good]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
     }
 
     #[test]

@@ -19,8 +19,14 @@
 # Keys present in only one report (new or retired benches) are listed in
 # a separate "added/removed keys" section after the table and never count
 # as regressions; their count is repeated on the final summary line so a
-# renamed key can't scroll past unnoticed in a long CI log. Only std
+# renamed key can't scroll past unnoticed in a long CI log. `serve/*`
+# keys only exist from PR 9 baselines on, so ones absent from the older
+# report are tagged as explicitly skipped rather than "added". Only std
 # tools (bash + awk) are used.
+#
+# Direction: median_ns keys regress when they GROW; `speedup@N`,
+# `serve/rps` and `serve/warm_hit_ratio` are larger-is-better and
+# regress when they SHRINK.
 set -euo pipefail
 
 usage() {
@@ -109,8 +115,9 @@ extract() {
         } else {
           pct = base[k] > 0 ? 100.0 * (new[k] - base[k]) / base[k] : 0.0
           mark = ""
-          if (k ~ /speedup@/) {
-            # Permille speedups: larger is better, so a drop regresses.
+          if (k ~ /speedup@/ || k == "serve/rps" || k == "serve/warm_hit_ratio") {
+            # Larger is better (permille speedups, request throughput,
+            # cache hit ratio): a drop regresses.
             if (pct < -thr) { mark = " REGRESSED"; bad++ }
           } else if (pct > thr) { mark = " REGRESSED"; bad++ }
           printf "%-44s %14d %14d %+8.1f%%%s\n", k, base[k], new[k], pct, mark
@@ -121,7 +128,12 @@ extract() {
         for (i = 0; i < extra; i++) {
           k = removed[i]
           v = (tag[i] == "added") ? new[k] : base[k]
-          printf "  %-42s %14d %9s\n", k, v, tag[i]
+          note = tag[i]
+          # serve/* keys only exist from PR 9 baselines on: their absence
+          # from an older report is expected, not a bench change.
+          if (tag[i] == "added" && k ~ /^serve\//)
+            note = "skipped (no serve keys in base)"
+          printf "  %-42s %14d  %s\n", k, v, note
         }
       }
       printf "threshold +/-%s%%: %d regression(s), %d added/removed key(s)\n", thr, bad, extra

@@ -38,31 +38,63 @@ echo "==> model-checked pool tests (cfg pilfill_check)"
 RUSTFLAGS="--cfg pilfill_check" CARGO_TARGET_DIR=target/check \
   cargo test -q -p pilfill-exec --test model_pool
 
+# Serve smoke: the daemon answers a cold upload, a warm by-hash repeat
+# (byte-for-byte identical outcome blob), and a one-net edit riding the
+# cached context through the rebuild path, then shuts down cleanly. A
+# real gate — determinism of the serving layer is an invariant, not a
+# perf number.
+echo "==> serve smoke (unix socket: cold / warm-repeat / one-net-edit)"
+serve_dir=$(mktemp -d)
+serve_sock="$serve_dir/pilfill-ci.sock"
+./target/release/pilfill synth --preset small --seed 33 --out "$serve_dir/smoke.pfl" >/dev/null
+./target/release/pilfill serve --listen "unix:$serve_sock" --threads 2 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+request() {
+  ./target/release/pilfill request "$serve_dir/smoke.pfl" \
+    --connect "unix:$serve_sock" --window 8000 --r 2 --method greedy "$@"
+}
+out=$(request --dump "$serve_dir/cold.blob")
+echo "$out" | grep -q "status cold" || { echo "expected a cold fill: $out"; exit 1; }
+out=$(request --by-hash --dump "$serve_dir/warm.blob")
+echo "$out" | grep -q "status warm" || { echo "expected a warm fill: $out"; exit 1; }
+cmp "$serve_dir/cold.blob" "$serve_dir/warm.blob" ||
+  { echo "warm reply must match cold byte-for-byte"; exit 1; }
+out=$(request --edit dup-sink:0)
+echo "$out" | grep -q "status rebuild-" || { echo "expected a rebuild: $out"; exit 1; }
+./target/release/pilfill request --connect "unix:$serve_sock" --shutdown |
+  grep -q "shutdown acknowledged" || { echo "shutdown not acknowledged"; exit 1; }
+wait "$serve_pid"
+[ ! -e "$serve_sock" ] || { echo "socket file not unlinked on shutdown"; exit 1; }
+trap - EXIT
+rm -rf "$serve_dir"
+
 # Informational, non-blocking: a --quick bench run checks the harness
-# end-to-end (and the sweep flag paths) without pretending CI hardware
-# produces comparable medians; the diff against the committed baseline is
-# printed for the log but never fails the build.
-echo "==> bench smoke (--quick --threads-sweep, informational)"
+# end-to-end (including the sweep and serve-load flag paths) without
+# pretending CI hardware produces comparable medians; the diff against
+# the committed baseline is printed for the log but never fails the
+# build.
+echo "==> bench smoke (--quick --threads-sweep --serve-load, informational)"
 cargo run --release -q -p pilfill-bench --bin bench_json -- \
-  --quick --threads-sweep --out BENCH_smoke.json ||
+  --quick --threads-sweep --serve-load --out BENCH_smoke.json ||
   echo "==> bench smoke failed — informational, not a gate"
 # The quick report uses a smaller design, so it is never diffed against
 # the committed full-size baselines; instead the committed reports are
 # diffed against each other to surface the perf trajectory in the log.
 # --allow-cross-host: the two baselines may have been recorded on
 # different machines, and this diff is informational either way.
-if [ -f BENCH_pr6.json ] && [ -f BENCH_pr8.json ]; then
-  echo "==> committed baseline drift BENCH_pr6.json -> BENCH_pr8.json (informational)"
-  ./scripts/bench_compare.sh --threshold 25 --allow-cross-host BENCH_pr6.json BENCH_pr8.json ||
+if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
+  echo "==> committed baseline drift BENCH_pr8.json -> BENCH_pr9.json (informational)"
+  ./scripts/bench_compare.sh --threshold 25 --allow-cross-host BENCH_pr8.json BENCH_pr9.json ||
     echo "==> bench drift above threshold — informational, not a gate"
 fi
 # Scaling floors from the committed sweep. check_scaling.sh itself
 # downgrades to informational when the recording host had < 4 cores or
 # the lane is wider than the host, so this is a real gate exactly where
 # the numbers are meaningful.
-if [ -f BENCH_pr8.json ]; then
-  echo "==> multicore scaling check (BENCH_pr8.json)"
-  ./scripts/check_scaling.sh BENCH_pr8.json
+if [ -f BENCH_pr9.json ]; then
+  echo "==> multicore scaling check (BENCH_pr9.json)"
+  ./scripts/check_scaling.sh BENCH_pr9.json
 fi
 
 # Optional soundness gates: run only when the host toolchain has the
