@@ -116,6 +116,7 @@ COMMANDS:
            run timing-aware fill and report the delay impact
   serve    --listen <host:port|unix:PATH> [--threads N] [--quota N]
            [--max-inflight N] [--cache N] [--design-cache N]
+           [--max-conns N]
            run the persistent fill service until a shutdown request
   request  <design.pfl> --connect <host:port|unix:PATH>
            [--window DBU] [--r N] [--method normal|greedy|ilp1|ilp2|dp]
@@ -385,6 +386,7 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             defaults.design_cache_cap,
             "a design store size",
         )?,
+        max_conns: args.get_parsed("max-conns", defaults.max_conns, "a connection cap")?,
     };
     let server = Server::bind(listen, &opts)?;
     writeln!(out, "listening on {}", server.addr())?;
@@ -483,7 +485,7 @@ fn request(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             } => {
                 writeln!(
                     out,
-                    "fill ok  status {}  design {design_hash:016x}  server {server_ns} ns  blob {} bytes",
+                    "fill ok  status {}  design {design_hash}  server {server_ns} ns  blob {} bytes",
                     status_name(status),
                     blob.len()
                 )?;

@@ -18,6 +18,7 @@
 //! key never share a context; the loser of the race simply builds cold
 //! and the newer entry wins the slot on check-in.
 
+use crate::protocol::DesignKey;
 use pilfill_core::flow::{FlowConfig, FlowContext};
 use pilfill_layout::Design;
 use std::sync::Arc;
@@ -27,7 +28,7 @@ use std::sync::Arc;
 pub(crate) struct DesignStore {
     cap: usize,
     /// Most-recently-used first.
-    entries: Vec<(u64, Arc<Design>)>,
+    entries: Vec<(DesignKey, Arc<Design>)>,
 }
 
 impl DesignStore {
@@ -39,7 +40,7 @@ impl DesignStore {
     }
 
     /// Looks a design up and marks it most-recently-used.
-    pub(crate) fn get(&mut self, hash: u64) -> Option<Arc<Design>> {
+    pub(crate) fn get(&mut self, hash: DesignKey) -> Option<Arc<Design>> {
         let i = self.entries.iter().position(|(h, _)| *h == hash)?;
         let entry = self.entries.remove(i);
         let design = Arc::clone(&entry.1);
@@ -49,7 +50,7 @@ impl DesignStore {
 
     /// Inserts (or refreshes) a design, evicting the least-recently-used
     /// entry beyond capacity.
-    pub(crate) fn put(&mut self, hash: u64, design: Arc<Design>) {
+    pub(crate) fn put(&mut self, hash: DesignKey, design: Arc<Design>) {
         self.entries.retain(|(h, _)| *h != hash);
         self.entries.insert(0, (hash, design));
         self.entries.truncate(self.cap);
@@ -80,7 +81,7 @@ pub(crate) struct CtxEntry {
     pub(crate) config: FlowConfig,
     /// [`crate::protocol::design_hash`] of the design the context
     /// currently reflects.
-    pub(crate) design_hash: u64,
+    pub(crate) design_hash: DesignKey,
     /// The prepared (detached) context.
     pub(crate) ctx: FlowContext<'static>,
     /// Last solve's per-tile counts, if any.
@@ -136,7 +137,12 @@ mod tests {
     use super::*;
     use pilfill_layout::synth::{synthesize, SynthConfig};
 
-    fn ctx_entry(name: &str, seed: u64, hash: u64) -> CtxEntry {
+    /// Shorthand key for cache tests.
+    fn key(b: u8) -> DesignKey {
+        DesignKey([b; 32])
+    }
+
+    fn ctx_entry(name: &str, seed: u64, hash: DesignKey) -> CtxEntry {
         let design = synthesize(&SynthConfig::small_test(7));
         let mut config = FlowConfig::new(8_000, 2).expect("valid window");
         config.seed = seed;
@@ -156,19 +162,19 @@ mod tests {
     fn design_store_is_lru() {
         let d = Arc::new(synthesize(&SynthConfig::small_test(7)));
         let mut store = DesignStore::new(2);
-        store.put(1, Arc::clone(&d));
-        store.put(2, Arc::clone(&d));
-        assert!(store.get(1).is_some()); // 1 now MRU
-        store.put(3, Arc::clone(&d)); // evicts 2
-        assert!(store.get(2).is_none());
-        assert!(store.get(1).is_some());
-        assert!(store.get(3).is_some());
+        store.put(key(1), Arc::clone(&d));
+        store.put(key(2), Arc::clone(&d));
+        assert!(store.get(key(1)).is_some()); // 1 now MRU
+        store.put(key(3), Arc::clone(&d)); // evicts 2
+        assert!(store.get(key(2)).is_none());
+        assert!(store.get(key(1)).is_some());
+        assert!(store.get(key(3)).is_some());
     }
 
     #[test]
     fn ctx_cache_checkout_removes_and_checkin_restores() {
         let mut cache = CtxCache::new(2);
-        let entry = ctx_entry("a", 1, 10);
+        let entry = ctx_entry("a", 1, key(10));
         let config = entry.config.clone();
         cache.checkin(entry);
         assert_eq!(cache.len(), 1);
@@ -182,15 +188,15 @@ mod tests {
     #[test]
     fn ctx_cache_distinguishes_configs_and_evicts_lru() {
         let mut cache = CtxCache::new(2);
-        let a1 = ctx_entry("a", 1, 10);
-        let a2 = ctx_entry("a", 2, 10); // same name, different config.seed
+        let a1 = ctx_entry("a", 1, key(10));
+        let a2 = ctx_entry("a", 2, key(10)); // same name, different config.seed
         let config1 = a1.config.clone();
         let config2 = a2.config.clone();
         cache.checkin(a1);
         cache.checkin(a2);
         assert_eq!(cache.len(), 2);
         // `b` evicts the LRU entry (a1).
-        cache.checkin(ctx_entry("b", 1, 11));
+        cache.checkin(ctx_entry("b", 1, key(11)));
         assert!(cache.checkout("a", &config1).is_none());
         assert!(cache.checkout("a", &config2).is_some());
     }
@@ -198,8 +204,8 @@ mod tests {
     #[test]
     fn ctx_cache_capacity_one_keeps_newest() {
         let mut cache = CtxCache::new(1);
-        let a = ctx_entry("a", 1, 10);
-        let b = ctx_entry("b", 1, 11);
+        let a = ctx_entry("a", 1, key(10));
+        let b = ctx_entry("b", 1, key(11));
         let config = a.config.clone();
         cache.checkin(a);
         cache.checkin(b);

@@ -43,6 +43,7 @@ pub mod client;
 mod net;
 pub mod protocol;
 pub mod server;
+mod sha;
 
 pub use client::Client;
 pub use server::{ServeOptions, Server};

@@ -7,11 +7,13 @@
 //! string — the serving layer inherits the repo's bit-identical
 //! invariant.
 //!
-//! Designs are keyed by a 64-bit FNV-1a hash of their canonical text
-//! form ([`design_hash`]). A request can carry the design inline, refer
-//! to a previously uploaded design by hash, or describe a small *edit*
-//! against a base hash ([`DesignRef::Edit`]) — the shape of an ECO loop,
-//! and the path that exercises the server's warm [`FlowContext`] cache.
+//! Designs are keyed by a 256-bit SHA-256 digest of their canonical
+//! text form ([`design_hash`], a [`DesignKey`]) — collision-resistant,
+//! so a store key can never silently alias a different layout. A
+//! request can carry the design inline, refer to a previously uploaded
+//! design by key, or describe a small *edit* against a base key
+//! ([`DesignRef::Edit`]) — the shape of an ECO loop, and the path that
+//! exercises the server's warm [`FlowContext`] cache.
 //!
 //! [`FlowContext`]: pilfill_core::FlowContext
 
@@ -59,19 +61,37 @@ fn len_u32(n: usize) -> u32 {
     u32::try_from(n).unwrap_or(u32::MAX)
 }
 
-/// 64-bit FNV-1a over `bytes`.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+/// A design-store key: the SHA-256 digest of the design's canonical
+/// text ([`design_hash`]) or of a base key plus edit ops
+/// ([`edit_hash`]). Collision resistance is what makes content
+/// addressing safe here — a key that could collide would make a
+/// by-hash request silently resolve to a *different* cached layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignKey(pub [u8; 32]);
+
+impl DesignKey {
+    /// Wire size of a key in bytes.
+    pub const LEN: usize = 32;
 }
 
-/// The design-store key: FNV-1a of the canonical text serialization.
-pub fn design_hash(design: &Design) -> u64 {
-    fnv1a(design.to_text().as_bytes())
+impl std::fmt::Display for DesignKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DesignKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DesignKey({self})")
+    }
+}
+
+/// The design-store key: SHA-256 of the canonical text serialization.
+pub fn design_hash(design: &Design) -> DesignKey {
+    DesignKey(crate::sha::sha256(design.to_text().as_bytes()))
 }
 
 /// One in-place design edit, applied server-side against a cached base
@@ -104,24 +124,24 @@ pub enum DesignRef {
     /// Full canonical design text, parsed and cached server-side.
     Inline(String),
     /// A design previously seen by the server, by [`design_hash`].
-    Hash(u64),
+    Hash(DesignKey),
     /// An edit of a cached base design. The edited design's store key is
     /// derived from `(base, ops)` — [`edit_hash`] — so a repeated edit
     /// request is itself a cache hit.
     Edit {
         /// [`design_hash`] of the base design.
-        base: u64,
+        base: DesignKey,
         /// Edits, applied in order.
         ops: Vec<EditOp>,
     },
 }
 
-/// Store key of an edited design: FNV-1a over the base hash and the
+/// Store key of an edited design: SHA-256 over the base key and the
 /// serialized edit ops. Cheaper than re-serializing the edited design,
 /// and stable across clients, so identical edits dedupe.
-pub fn edit_hash(base: u64, ops: &[EditOp]) -> u64 {
-    let mut bytes = Vec::with_capacity(8 + ops.len() * 17);
-    bytes.extend_from_slice(&base.to_le_bytes());
+pub fn edit_hash(base: DesignKey, ops: &[EditOp]) -> DesignKey {
+    let mut bytes = Vec::with_capacity(DesignKey::LEN + ops.len() * 17);
+    bytes.extend_from_slice(&base.0);
     for op in ops {
         match *op {
             EditOp::DupSink { net } => {
@@ -136,7 +156,7 @@ pub fn edit_hash(base: u64, ops: &[EditOp]) -> u64 {
             }
         }
     }
-    fnv1a(&bytes)
+    DesignKey(crate::sha::sha256(&bytes))
 }
 
 /// Fill-flow parameters of a [`Request::Fill`] — the wire form of
@@ -304,21 +324,21 @@ pub enum Reply {
         /// deterministic `blob`).
         server_ns: u64,
         /// Store key of the design that was filled.
-        design_hash: u64,
+        design_hash: DesignKey,
         /// Deterministic outcome serialization ([`encode_outcome_blob`]).
         blob: Vec<u8>,
     },
     /// Density analysis succeeded: `(min, max, variation, mean)`.
     DensityOk {
         /// Store key of the analyzed design.
-        design_hash: u64,
+        design_hash: DesignKey,
         /// `(min, max, variation, mean)` window density.
         analysis: (f64, f64, f64, f64),
     },
     /// Verify succeeded.
     VerifyOk {
         /// Store key of the checked design.
-        design_hash: u64,
+        design_hash: DesignKey,
         /// Features checked.
         checked: u64,
         /// Human-readable violations (empty = clean).
@@ -387,30 +407,152 @@ pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame payload. `Ok(None)` on clean EOF before the first
-/// length byte.
+/// Reads one frame payload from a *blocking* stream. `Ok(None)` on
+/// clean EOF before the first length byte.
+///
+/// On a socket with a read timeout, use [`FrameReader`] instead: a
+/// one-shot read cannot resume a partially received frame, so here a
+/// timeout surfaces as a `TimedOut` error rather than desyncing the
+/// stream.
 ///
 /// # Errors
 ///
 /// I/O errors from `r`; an oversized or truncated frame is an
-/// `InvalidData`/`UnexpectedEof` error.
+/// `InvalidData`/`UnexpectedEof` error; a read timeout is `TimedOut`.
 pub fn read_frame(r: &mut dyn Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    match r.read(&mut len) {
-        Ok(0) => return Ok(None),
-        Ok(n) => r.read_exact(&mut len[n..])?,
-        Err(e) => return Err(e),
+    match FrameReader::new().poll(r)? {
+        FrameProgress::Frame(payload) => Ok(Some(payload)),
+        FrameProgress::Eof => Ok(None),
+        FrameProgress::Idle | FrameProgress::Pending => Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "frame read timed out",
+        )),
     }
-    let len = u32::from_le_bytes(len);
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap"),
-        ));
+}
+
+/// What one [`FrameReader::poll`] step observed.
+#[derive(Debug)]
+pub enum FrameProgress {
+    /// The read timed out with *no* bytes of a frame buffered — a true
+    /// idle tick. Polling again later is safe.
+    Idle,
+    /// The read timed out mid-frame. The partial length/payload bytes
+    /// are retained; the next poll resumes exactly where this one
+    /// stopped.
+    Pending,
+    /// One complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+}
+
+/// Incremental frame reader for sockets that wake up on `SO_RCVTIMEO`.
+///
+/// A server poll loop needs read timeouts to notice shutdown and abort
+/// flags, but a timeout can fire after part of the 4-byte length prefix
+/// or payload has already been consumed. Discarding those bytes (as a
+/// fresh [`read_frame`] call would) desyncs the connection: later
+/// payload bytes get parsed as a new length prefix and every reply goes
+/// out of phase with the client's requests. `FrameReader` keeps the
+/// partial frame across polls, so the distinction the loop needs is
+/// explicit: [`FrameProgress::Idle`] (nothing buffered, fine to treat
+/// as an idle tick) vs [`FrameProgress::Pending`] (mid-frame, keep
+/// polling).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Length-prefix bytes received so far.
+    len: [u8; 4],
+    /// How many bytes of `len` are valid.
+    have: usize,
+    /// Payload buffer, allocated once the length prefix is complete.
+    payload: Option<Vec<u8>>,
+    /// Payload bytes received so far.
+    filled: usize,
+}
+
+/// Timeout error kinds a poll tick absorbs (unix reports `WouldBlock`,
+/// Windows `TimedOut`).
+fn is_read_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl FrameReader {
+    /// A reader with no frame in progress.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
     }
-    let mut payload = vec![0u8; to_usize(len)];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+
+    /// Advances the in-progress frame as far as `r` allows.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors other than timeouts and interrupts; EOF mid-frame is
+    /// `UnexpectedEof`, an oversized length prefix `InvalidData`. After
+    /// an error the reader's position in the byte stream is undefined —
+    /// drop the connection instead of polling again.
+    pub fn poll(&mut self, r: &mut dyn Read) -> std::io::Result<FrameProgress> {
+        while self.payload.is_none() {
+            if self.have == self.len.len() {
+                let len = u32::from_le_bytes(self.len);
+                if len > MAX_FRAME {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds cap"),
+                    ));
+                }
+                self.payload = Some(vec![0u8; to_usize(len)]);
+                self.filled = 0;
+                break;
+            }
+            match r.read(&mut self.len[self.have..]) {
+                Ok(0) if self.have == 0 => return Ok(FrameProgress::Eof),
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside a frame length prefix",
+                    ))
+                }
+                Ok(n) => self.have += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if is_read_timeout(&e) => {
+                    return Ok(if self.have == 0 {
+                        FrameProgress::Idle
+                    } else {
+                        FrameProgress::Pending
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        loop {
+            // The prefix loop above ran to `break` or the payload
+            // survived an earlier Pending poll. pilfill: allow(unwrap)
+            let payload = self.payload.as_mut().expect("payload allocated");
+            if self.filled == payload.len() {
+                break;
+            }
+            match r.read(&mut payload[self.filled..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside a frame payload",
+                    ))
+                }
+                Ok(n) => self.filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if is_read_timeout(&e) => return Ok(FrameProgress::Pending),
+                Err(e) => return Err(e),
+            }
+        }
+        self.have = 0;
+        // The loop above only breaks with the payload complete.
+        // pilfill: allow(unwrap)
+        let payload = self.payload.take().expect("complete payload");
+        Ok(FrameProgress::Frame(payload))
+    }
 }
 
 // ----------------------------------------------------------- byte cursor
@@ -463,6 +605,12 @@ impl<'a> Cursor<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    fn key(&mut self) -> Result<DesignKey, ProtocolError> {
+        let bytes = self.take(DesignKey::LEN)?;
+        // take(32) returns exactly 32 bytes. pilfill: allow(unwrap)
+        Ok(DesignKey(bytes.try_into().expect("len 32")))
+    }
+
     fn string(&mut self) -> Result<String, ProtocolError> {
         let len = to_usize(self.u32()?);
         let bytes = self.take(len)?;
@@ -491,11 +639,11 @@ fn put_design_ref(out: &mut Vec<u8>, design: &DesignRef) {
         }
         DesignRef::Hash(h) => {
             out.push(1);
-            out.extend_from_slice(&h.to_le_bytes());
+            out.extend_from_slice(&h.0);
         }
         DesignRef::Edit { base, ops } => {
             out.push(2);
-            out.extend_from_slice(&base.to_le_bytes());
+            out.extend_from_slice(&base.0);
             out.extend_from_slice(&u16::try_from(ops.len()).unwrap_or(u16::MAX).to_le_bytes());
             for op in ops {
                 match *op {
@@ -518,9 +666,9 @@ fn put_design_ref(out: &mut Vec<u8>, design: &DesignRef) {
 fn get_design_ref(c: &mut Cursor<'_>) -> Result<DesignRef, ProtocolError> {
     Ok(match c.u8()? {
         0 => DesignRef::Inline(c.string()?),
-        1 => DesignRef::Hash(c.u64()?),
+        1 => DesignRef::Hash(c.key()?),
         2 => {
-            let base = c.u64()?;
+            let base = c.key()?;
             let count = c.u16()?;
             let mut ops = Vec::with_capacity(usize::from(count));
             for _ in 0..count {
@@ -660,7 +808,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             out.push(MSG_FILL_OK);
             out.push(status.to_byte());
             out.extend_from_slice(&server_ns.to_le_bytes());
-            out.extend_from_slice(&design_hash.to_le_bytes());
+            out.extend_from_slice(&design_hash.0);
             out.extend_from_slice(&len_u32(blob.len()).to_le_bytes());
             out.extend_from_slice(blob);
         }
@@ -669,7 +817,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             analysis,
         } => {
             out.push(MSG_DENSITY_OK);
-            out.extend_from_slice(&design_hash.to_le_bytes());
+            out.extend_from_slice(&design_hash.0);
             for v in [analysis.0, analysis.1, analysis.2, analysis.3] {
                 out.extend_from_slice(&v.to_bits().to_le_bytes());
             }
@@ -680,7 +828,7 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             violations,
         } => {
             out.push(MSG_VERIFY_OK);
-            out.extend_from_slice(&design_hash.to_le_bytes());
+            out.extend_from_slice(&design_hash.0);
             out.extend_from_slice(&checked.to_le_bytes());
             out.extend_from_slice(&len_u32(violations.len()).to_le_bytes());
             for v in violations {
@@ -713,7 +861,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
         MSG_FILL_OK => {
             let status = FillStatus::from_byte(c.u8()?)?;
             let server_ns = c.u64()?;
-            let design_hash = c.u64()?;
+            let design_hash = c.key()?;
             let len = to_usize(c.u32()?);
             let blob = c.take(len)?.to_vec();
             Reply::FillOk {
@@ -724,11 +872,11 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
             }
         }
         MSG_DENSITY_OK => Reply::DensityOk {
-            design_hash: c.u64()?,
+            design_hash: c.key()?,
             analysis: (c.f64()?, c.f64()?, c.f64()?, c.f64()?),
         },
         MSG_VERIFY_OK => {
-            let design_hash = c.u64()?;
+            let design_hash = c.key()?;
             let checked = c.u64()?;
             let count = to_usize(c.u32()?);
             if count > payload.len() / 4 + 1 {
@@ -848,12 +996,20 @@ pub fn apply_edits(design: &mut Design, ops: &[EditOp]) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    /// Shorthand key for wire tests.
+    fn key(b: u8) -> DesignKey {
+        DesignKey([b; 32])
+    }
+
     #[test]
-    fn fnv1a_matches_reference_vectors() {
-        // Published FNV-1a 64-bit test vectors.
-        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
-        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
-        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    fn design_key_displays_as_hex() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 0xde;
+        bytes[1] = 0xad;
+        let shown = DesignKey(bytes).to_string();
+        assert_eq!(shown.len(), 64);
+        assert!(shown.starts_with("dead"));
+        assert!(shown.ends_with("00"));
     }
 
     #[test]
@@ -865,7 +1021,7 @@ mod tests {
             },
             Request::Fill {
                 design: DesignRef::Edit {
-                    base: 77,
+                    base: key(77),
                     ops: vec![
                         EditOp::DupSink { net: 3 },
                         EditOp::WidenSegment {
@@ -878,13 +1034,13 @@ mod tests {
                 params: FillParams::new(16_000, 4).expect("valid window"),
             },
             Request::Density {
-                design: DesignRef::Hash(0xdead_beef),
+                design: DesignRef::Hash(key(0xbe)),
                 layer: 1,
                 window: 8_000,
                 r: 2,
             },
             Request::Verify {
-                design: DesignRef::Hash(9),
+                design: DesignRef::Hash(key(9)),
                 layer: 0,
                 features: vec![(100, 200), (-5, 7)],
             },
@@ -903,15 +1059,15 @@ mod tests {
             Reply::FillOk {
                 status: FillStatus::RebuildIncr,
                 server_ns: 12_345,
-                design_hash: 42,
+                design_hash: key(42),
                 blob: vec![1, 2, 3, 4],
             },
             Reply::DensityOk {
-                design_hash: 7,
+                design_hash: key(7),
                 analysis: (0.1, 0.4, 0.3, 0.25),
             },
             Reply::VerifyOk {
-                design_hash: 8,
+                design_hash: key(8),
                 checked: 120,
                 violations: vec!["overlap at (3, 4)".into()],
             },
@@ -932,7 +1088,7 @@ mod tests {
     #[test]
     fn truncated_and_trailing_frames_are_rejected() {
         let bytes = encode_request(&Request::Density {
-            design: DesignRef::Hash(1),
+            design: DesignRef::Hash(key(1)),
             layer: 0,
             window: 8_000,
             r: 2,
@@ -970,10 +1126,90 @@ mod tests {
     #[test]
     fn edit_hash_depends_on_ops_and_base() {
         let ops = [EditOp::DupSink { net: 0 }];
-        let a = edit_hash(1, &ops);
-        assert_eq!(a, edit_hash(1, &ops));
-        assert_ne!(a, edit_hash(2, &ops));
-        assert_ne!(a, edit_hash(1, &[EditOp::DupSink { net: 1 }]));
-        assert_ne!(a, edit_hash(1, &[]));
+        let a = edit_hash(key(1), &ops);
+        assert_eq!(a, edit_hash(key(1), &ops));
+        assert_ne!(a, edit_hash(key(2), &ops));
+        assert_ne!(a, edit_hash(key(1), &[EditOp::DupSink { net: 1 }]));
+        assert_ne!(a, edit_hash(key(1), &[]));
+    }
+
+    /// A `Read` that yields `data` one byte at a time and fails with a
+    /// timeout before every read — the worst-case `SO_RCVTIMEO` stream.
+    struct Stutter {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "stutter",
+                ));
+            }
+            self.ready = false;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_at_every_byte_boundary() {
+        // Two frames; a timeout fires before every single byte. A naive
+        // reader would discard partial prefixes/payloads and desync.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").expect("write");
+        write_frame(&mut wire, b"").expect("write");
+        let mut stream = Stutter {
+            data: wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut idle = 0;
+        let mut pending = 0;
+        loop {
+            match reader.poll(&mut stream).expect("poll") {
+                FrameProgress::Frame(p) => frames.push(p),
+                FrameProgress::Idle => idle += 1,
+                FrameProgress::Pending => pending += 1,
+                FrameProgress::Eof => break,
+            }
+        }
+        assert_eq!(frames, vec![b"hello".to_vec(), Vec::new()]);
+        // Mid-frame stalls must be reported as Pending, never Idle: an
+        // Idle verdict licenses the caller to believe no frame is in
+        // flight.
+        assert!(pending > 0, "mid-frame timeouts must surface as Pending");
+        assert!(idle > 0, "boundary timeouts must surface as Idle");
+    }
+
+    #[test]
+    fn frame_reader_reports_eof_inside_a_frame_as_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").expect("write");
+        wire.truncate(6); // length prefix + 2 payload bytes
+        let mut stream = Stutter {
+            data: wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let err = loop {
+            match reader.poll(&mut stream) {
+                Ok(FrameProgress::Idle | FrameProgress::Pending) => {}
+                Ok(other) => panic!("expected an error, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 }

@@ -19,7 +19,13 @@
 //!
 //! Admission control lives in the scheduler: when too many requests are
 //! in flight, submissions fail fast and the client sees a `Busy` reply
-//! instead of unbounded queueing. A per-connection watcher thread peeks
+//! instead of unbounded queueing. Density and verify requests run as
+//! exclusive scheduler turns, so they are governed by the same
+//! `max_inflight` bound as fills — no request type bypasses admission.
+//! The accept loop itself is bounded too: beyond `max_conns` live
+//! connections, new ones are turned away with an immediate `Busy`
+//! reply, and finished connection threads are reaped every accept pass.
+//! A per-connection watcher thread peeks
 //! the socket and raises an abort flag when the client disconnects, so
 //! a dead client's tile batches stop at the next batch boundary instead
 //! of running (and blocking the pool) to completion.
@@ -28,8 +34,8 @@ use crate::cache::{CtxCache, CtxEntry, DesignStore, SolvedTiles};
 use crate::net::{Listener, Stream};
 use crate::protocol::{
     apply_edits, decode_request, design_hash, edit_hash, encode_outcome_blob, encode_reply,
-    read_frame, write_frame, DesignRef, FillParams, FillStatus, Reply, Request, ERR_ABORTED,
-    ERR_DESIGN, ERR_FLOW, ERR_PROTOCOL, ERR_UNKNOWN_DESIGN,
+    write_frame, DesignKey, DesignRef, FillParams, FillStatus, FrameProgress, FrameReader, Reply,
+    Request, ERR_ABORTED, ERR_DESIGN, ERR_FLOW, ERR_PROTOCOL, ERR_UNKNOWN_DESIGN,
 };
 use pilfill_core::flow::{FlowConfig, FlowContext, RebuildDirt};
 use pilfill_core::methods::{DpExact, FillMethod, GreedyFill, IlpOne, IlpTwo, NormalFill};
@@ -59,6 +65,9 @@ pub struct ServeOptions {
     pub ctx_cache_cap: usize,
     /// Parsed designs kept in the store.
     pub design_cache_cap: usize,
+    /// Concurrent connections served before new ones are turned away
+    /// with a `Busy` reply (each connection costs two threads).
+    pub max_conns: usize,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +78,7 @@ impl Default for ServeOptions {
             max_inflight: 32,
             ctx_cache_cap: 8,
             design_cache_cap: 16,
+            max_conns: 256,
         }
     }
 }
@@ -130,7 +140,7 @@ impl Engine {
     }
 
     /// Resolves a design reference to `(store key, design)`.
-    fn resolve(&self, dref: &DesignRef) -> Result<(u64, Arc<Design>), Reply> {
+    fn resolve(&self, dref: &DesignRef) -> Result<(DesignKey, Arc<Design>), Reply> {
         match dref {
             DesignRef::Inline(text) => {
                 let design = Design::from_text(text).map_err(|e| Reply::Err {
@@ -146,7 +156,7 @@ impl Engine {
                 Some(design) => Ok((*hash, design)),
                 None => Err(Reply::Err {
                     code: ERR_UNKNOWN_DESIGN,
-                    message: format!("design {hash:#018x} not in store"),
+                    message: format!("design {hash} not in store"),
                 }),
             },
             DesignRef::Edit { base, ops } => {
@@ -157,7 +167,7 @@ impl Engine {
                 }
                 let base_design = designs.get(*base).ok_or_else(|| Reply::Err {
                     code: ERR_UNKNOWN_DESIGN,
-                    message: format!("edit base {base:#018x} not in store"),
+                    message: format!("edit base {base} not in store"),
                 })?;
                 let mut design = (*base_design).clone();
                 apply_edits(&mut design, ops).map_err(|message| Reply::Err {
@@ -310,7 +320,7 @@ impl Engine {
     fn rebuild_entry(
         &self,
         mut entry: CtxEntry,
-        hash: u64,
+        hash: DesignKey,
         design: &Design,
         config: &FlowConfig,
     ) -> Result<(CtxEntry, FillStatus), Reply> {
@@ -359,7 +369,7 @@ impl Engine {
     /// Cold-builds a fresh entry as an exclusive scheduler turn.
     fn build_entry(
         &self,
-        hash: u64,
+        hash: DesignKey,
         design: &Design,
         config: &FlowConfig,
     ) -> Result<CtxEntry, Reply> {
@@ -410,7 +420,16 @@ impl Engine {
             }
         };
         let layer = LayerId(usize::try_from(layer).unwrap_or(usize::MAX));
-        let analysis = DensityMap::compute(&design, layer, &dissection).analyze();
+        // One exclusive scheduler turn: density analysis counts against
+        // `max_inflight` and yields `Busy` under load, like any other
+        // request — admission control must not have a side door.
+        let computed = self
+            .fair
+            .with_pool(|_| DensityMap::compute(&design, layer, &dissection).analyze());
+        let analysis = match computed {
+            Ok(a) => a,
+            Err(fair) => return busy_or_aborted(&fair),
+        };
         Reply::DensityOk {
             design_hash: hash,
             analysis: (
@@ -432,7 +451,16 @@ impl Engine {
             .map(|&(x, y)| FillFeature { x, y })
             .collect();
         let layer = LayerId(usize::try_from(layer).unwrap_or(usize::MAX));
-        let report = check_fill(&design, layer, &features);
+        // Same admission discipline as density: the DRC sweep takes an
+        // exclusive scheduler turn instead of free-riding on the
+        // connection thread.
+        let report = match self
+            .fair
+            .with_pool(|_| check_fill(&design, layer, &features))
+        {
+            Ok(r) => r,
+            Err(fair) => return busy_or_aborted(&fair),
+        };
         Reply::VerifyOk {
             design_hash: hash,
             checked: u64::try_from(report.checked).unwrap_or(u64::MAX),
@@ -460,6 +488,7 @@ pub struct Server {
     engine: Arc<Engine>,
     shutdown: Arc<AtomicBool>,
     addr: String,
+    max_conns: usize,
 }
 
 impl Server {
@@ -476,6 +505,7 @@ impl Server {
             engine: Arc::new(Engine::new(opts)),
             shutdown: Arc::new(AtomicBool::new(false)),
             addr,
+            max_conns: opts.max_conns.max(1),
         })
     }
 
@@ -497,8 +527,21 @@ impl Server {
             if self.shutdown.load(Ordering::Acquire) {
                 break Ok(());
             }
+            // Reap finished connection threads every pass: a long-lived
+            // daemon churning through short-lived connections must not
+            // accumulate handles (and their thread resources) until
+            // shutdown.
+            conns.retain(|conn| !conn.is_finished());
             match self.listener.accept() {
-                Ok(stream) => {
+                Ok(mut stream) => {
+                    if conns.len() >= self.max_conns {
+                        // Same pushback contract as scheduler admission:
+                        // an immediate Busy reply, then the connection is
+                        // turned away — never an unbounded thread herd.
+                        let inflight = u32::try_from(conns.len()).unwrap_or(u32::MAX);
+                        let _ = write_frame(&mut stream, &encode_reply(&Reply::Busy { inflight }));
+                        continue;
+                    }
                     let engine = Arc::clone(&self.engine);
                     let shutdown = Arc::clone(&self.shutdown);
                     conns.push(std::thread::spawn(move || {
@@ -541,19 +584,21 @@ fn serve_conn(mut stream: Stream, engine: &Engine, shutdown: &Arc<AtomicBool>) {
         std::thread::spawn(move || watch_disconnect(&peer, &abort, &done))
     });
 
+    // One resumable reader for the connection's whole lifetime: a read
+    // timeout mid-frame keeps the partial bytes buffered, so the next
+    // poll tick resumes the same frame instead of re-parsing payload
+    // bytes as a length prefix (which would desync every later reply).
+    let mut frames = FrameReader::new();
     loop {
         if shutdown.load(Ordering::Acquire) || abort.load(Ordering::Acquire) {
             break;
         }
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => break, // clean EOF
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // idle poll tick
-            }
+        let payload = match frames.poll(&mut stream) {
+            Ok(FrameProgress::Frame(payload)) => payload,
+            // Idle and mid-frame ticks both loop back to the flag
+            // checks; only the reader knows where the frame left off.
+            Ok(FrameProgress::Idle | FrameProgress::Pending) => continue,
+            Ok(FrameProgress::Eof) => break, // clean EOF
             Err(_) => break,
         };
         let reply = match decode_request(&payload) {
@@ -622,6 +667,7 @@ fn watch_disconnect(peer: &Stream, abort: &Arc<AtomicBool>, done: &Arc<AtomicBoo
 mod tests {
     use super::*;
     use crate::protocol::METHOD_NAMES;
+    use pilfill_layout::synth::{synthesize, SynthConfig};
 
     #[test]
     fn method_table_matches_wire_names() {
@@ -630,5 +676,56 @@ mod tests {
         // blob carries as "ILP-II" — same table order as the CLI.
         assert_eq!(METHODS[3].name(), "ILP-II");
         assert_eq!(METHODS[0].name(), "Normal");
+    }
+
+    /// Density and verify must share the fill path's admission control:
+    /// with the single `max_inflight` slot occupied, both get `Busy`
+    /// instead of running unbounded on the connection thread.
+    #[test]
+    fn density_and_verify_go_through_admission_control() {
+        let opts = ServeOptions {
+            lanes: 1,
+            max_inflight: 1,
+            ..ServeOptions::default()
+        };
+        let engine = Engine::new(&opts);
+        let design = synthesize(&SynthConfig::small_test(3));
+        let dref = DesignRef::Inline(design.to_text());
+
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            // Occupy the only admission slot with a blocked exclusive
+            // turn; nothing else may be admitted until it is released.
+            s.spawn(|| {
+                engine
+                    .fair
+                    .with_pool(move |_| {
+                        entered_tx.send(()).expect("signal entry");
+                        release_rx.recv().expect("await release");
+                    })
+                    .expect("exclusive turn");
+            });
+            entered_rx.recv().expect("occupant running");
+            assert!(
+                matches!(engine.density(&dref, 0, 8_000, 2), Reply::Busy { .. }),
+                "density must be rejected while the scheduler is full"
+            );
+            assert!(
+                matches!(engine.verify(&dref, 0, &[]), Reply::Busy { .. }),
+                "verify must be rejected while the scheduler is full"
+            );
+            release_tx.send(()).expect("release occupant");
+        });
+
+        // With the slot free the same requests are served.
+        assert!(matches!(
+            engine.density(&dref, 0, 8_000, 2),
+            Reply::DensityOk { .. }
+        ));
+        assert!(matches!(
+            engine.verify(&dref, 0, &[]),
+            Reply::VerifyOk { .. }
+        ));
     }
 }

@@ -9,8 +9,8 @@ use pilfill_core::methods::{FillMethod, GreedyFill, IlpTwo};
 use pilfill_layout::synth::{synthesize, SynthConfig};
 use pilfill_layout::Design;
 use pilfill_serve::protocol::{
-    apply_edits, design_hash, encode_outcome_blob, DesignRef, EditOp, FillParams, FillStatus,
-    Reply, Request,
+    apply_edits, design_hash, encode_outcome_blob, DesignKey, DesignRef, EditOp, FillParams,
+    FillStatus, Reply, Request,
 };
 use pilfill_serve::{Client, ServeOptions, Server};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -363,6 +363,65 @@ fn mid_request_disconnect_does_not_wedge_the_pool() {
     );
 }
 
+/// A client that stalls longer than the server's 100ms poll timeout
+/// *mid-frame* — inside the length prefix and inside the payload — must
+/// still be served correctly, twice on the same connection. With a
+/// non-resumable frame reader the timeout discards the partial bytes
+/// and later payload bytes get parsed as a length prefix, desyncing
+/// every subsequent reply.
+#[test]
+fn mid_frame_stalls_longer_than_the_poll_timeout_do_not_desync() {
+    use pilfill_serve::protocol::{decode_reply, encode_request, read_frame, write_frame};
+    use std::io::Write as _;
+    use std::os::unix::net::UnixStream;
+
+    let design = synthesize(&SynthConfig::small_test(17));
+    let params = FillParams::new(8_000, 2).expect("valid window");
+    let blob = one_shot_blob(&design, &params);
+    let path = unix_sock_path("slow");
+    let (addr, server) = spawn_server(&format!("unix:{path}"), &ServeOptions::default());
+
+    let mut wire = Vec::new();
+    write_frame(
+        &mut wire,
+        &encode_request(&Request::Fill {
+            design: DesignRef::Inline(design.to_text()),
+            params: params.clone(),
+        }),
+    )
+    .expect("encode frame");
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    // Stall past several poll timeouts at the nastiest offsets: 2 bytes
+    // into the 4-byte length prefix, then a few bytes into the payload.
+    let mut at = 0;
+    for cut in [2usize, 7, wire.len() / 2] {
+        stream.write_all(&wire[at..cut]).expect("trickle");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(250));
+        at = cut;
+    }
+    stream.write_all(&wire[at..]).expect("finish frame");
+    let reply = decode_reply(&read_frame(&mut stream).expect("reply").expect("frame"))
+        .expect("decode reply");
+    let (_, got) = expect_fill_ok(reply);
+    assert_eq!(got, blob, "trickled request must be served exactly");
+
+    // The connection must still be in phase: a second request (sent
+    // whole) gets a second exact reply.
+    stream.write_all(&wire).expect("second request");
+    let reply = decode_reply(&read_frame(&mut stream).expect("reply").expect("frame"))
+        .expect("decode second reply");
+    let (status, got) = expect_fill_ok(reply);
+    assert_eq!(got, blob, "second reply proves the stream stayed in sync");
+    assert_eq!(status, FillStatus::Warm, "repeat on a cached design");
+    drop(stream);
+
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+    assert!(client.shutdown().expect("shutdown"));
+    server.join().expect("server thread").expect("server run");
+}
+
 /// Density and verify requests match their library-level equivalents.
 #[test]
 fn density_and_verify_requests_match_library_results() {
@@ -433,6 +492,64 @@ fn density_and_verify_requests_match_library_results() {
     server.join().expect("server thread").expect("server run");
 }
 
+/// Beyond `max_conns` live connections the accept loop answers `Busy`
+/// and turns the connection away instead of spawning threads without
+/// bound; a freed slot serves fresh connections again, exactly.
+#[test]
+fn connection_cap_turns_excess_connections_away_with_busy() {
+    let design = synthesize(&SynthConfig::small_test(13));
+    let params = FillParams::new(8_000, 2).expect("valid window");
+    let blob = one_shot_blob(&design, &params);
+    let opts = ServeOptions {
+        max_conns: 1,
+        ..ServeOptions::default()
+    };
+    let (addr, server) = spawn_server(&format!("unix:{}", unix_sock_path("cap")), &opts);
+
+    // Client A occupies the only slot (a served round-trip proves the
+    // accept loop registered the connection).
+    let mut a = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect a");
+    let (_, got) = expect_fill_ok(
+        a.fill_retry(
+            &DesignRef::Inline(design.to_text()),
+            &params,
+            Duration::from_secs(10),
+        )
+        .expect("fill a"),
+    );
+    assert_eq!(got, blob);
+
+    // While A lives no other connection may be served: B either reads
+    // the accept loop's Busy frame or finds its socket already closed.
+    let mut b = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect b");
+    match b.fill(DesignRef::Inline(design.to_text()), params.clone()) {
+        Ok(Reply::Busy { .. }) | Err(_) => {}
+        Ok(other) => panic!("capped connection must not be served, got {other:?}"),
+    }
+
+    // Dropping A frees the slot; a fresh connection gets served again.
+    drop(a);
+    drop(b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut client = loop {
+        let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("reconnect");
+        match c.fill(DesignRef::Inline(design.to_text()), params.clone()) {
+            Ok(Reply::FillOk { blob: got, .. }) => {
+                assert_eq!(got, blob, "a freed slot must serve exact results again");
+                break c;
+            }
+            Ok(Reply::Busy { .. }) | Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(other) => panic!("unexpected reply after freeing the slot: {other:?}"),
+            Err(e) => panic!("slot never freed within the deadline: {e}"),
+        }
+    };
+
+    assert!(client.shutdown().expect("shutdown"));
+    server.join().expect("server thread").expect("server run");
+}
+
 /// Unknown hashes and malformed frames produce error replies, not dead
 /// connections.
 #[test]
@@ -445,7 +562,7 @@ fn unknown_design_and_garbage_frames_get_error_replies() {
 
     let params = FillParams::new(8_000, 2).expect("valid window");
     let reply = client
-        .fill(DesignRef::Hash(0xdead_beef), params)
+        .fill(DesignRef::Hash(DesignKey([0xde; 32])), params)
         .expect("fill by unknown hash");
     match reply {
         Reply::Err { code, .. } => {
